@@ -1,0 +1,67 @@
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+namespace ash::bench {
+
+DesignSet &
+DesignSet::standard()
+{
+    static DesignSet *set = [] {
+        auto *s = new DesignSet();
+        for (designs::Design &d : designs::allDesigns()) {
+            DesignSet::Entry entry{std::move(d), rtl::Netlist{}, 0.0};
+            entry.netlist = designs::compileDesign(entry.design);
+            refsim::ReferenceSimulator sim(entry.netlist);
+            auto stim = entry.design.makeStimulus();
+            sim.run(*stim, 200);
+            entry.activity = sim.activityFactor();
+            s->_entries.push_back(std::move(entry));
+        }
+        return s;
+    }();
+    return *set;
+}
+
+core::TaskProgram
+compileFor(const rtl::Netlist &nl, uint32_t tiles,
+           const core::CompilerOptions &base)
+{
+    core::CompilerOptions opts = base;
+    opts.numTiles = tiles;
+    return core::compile(nl, opts);
+}
+
+core::RunResult
+runAsh(const core::TaskProgram &prog, const designs::Design &design,
+       core::ArchConfig cfg, uint64_t cycles)
+{
+    cfg.numTiles = prog.numTiles;
+    core::AshSimulator sim(prog, cfg);
+    auto stim = design.makeStimulus();
+    return sim.run(*stim, cycles);
+}
+
+core::RunResult
+runAshAt(const DesignSet::Entry &entry, uint32_t tiles, bool selective,
+         uint64_t cycles)
+{
+    core::TaskProgram prog = compileFor(entry.netlist, tiles);
+    core::ArchConfig cfg;
+    cfg.selective = selective;
+    return runAsh(prog, entry.design, cfg, cycles);
+}
+
+double
+gmeanOf(const std::vector<double> &values)
+{
+    return geomean(values.data(), values.size());
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace ash::bench

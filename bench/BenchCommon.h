@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared infrastructure for the paper-reproduction benchmark binaries.
+ * Each bench regenerates one table or figure of the paper; this header
+ * provides the standard design set, cached compilation, and run
+ * helpers so the benches stay declarative.
+ */
+
+#ifndef ASH_BENCH_BENCHCOMMON_H
+#define ASH_BENCH_BENCHCOMMON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/Baseline.h"
+#include "common/Stats.h"
+#include "common/Table.h"
+#include "core/arch/AshSim.h"
+#include "core/compiler/Compiler.h"
+#include "designs/Designs.h"
+#include "refsim/ReferenceSimulator.h"
+
+namespace ash::bench {
+
+/** Number of simulated design cycles per timing run. */
+constexpr uint64_t kRunCycles = 60;
+
+/** The four benchmark designs with compiled netlists (cached). */
+class DesignSet
+{
+  public:
+    struct Entry
+    {
+        designs::Design design;
+        rtl::Netlist netlist;
+        double activity = 0.0;
+    };
+
+    /** Build (and functionally warm) the standard four designs. */
+    static DesignSet &standard();
+
+    std::vector<Entry> &entries() { return _entries; }
+
+  private:
+    std::vector<Entry> _entries;
+};
+
+/** Compile a netlist for a tile count (cached per call site). */
+core::TaskProgram compileFor(const rtl::Netlist &nl, uint32_t tiles,
+                             const core::CompilerOptions &base = {});
+
+/** Run the ASH chip model; cfg.numTiles must match the program. */
+core::RunResult runAsh(const core::TaskProgram &prog,
+                       const designs::Design &design,
+                       core::ArchConfig cfg,
+                       uint64_t cycles = kRunCycles);
+
+/** Convenience: compile + run at a tile count / mode. */
+core::RunResult runAshAt(const DesignSet::Entry &entry, uint32_t tiles,
+                         bool selective, uint64_t cycles = kRunCycles);
+
+/** Geometric mean over a vector. */
+double gmeanOf(const std::vector<double> &values);
+
+/** Print a header line for a bench. */
+void banner(const std::string &title);
+
+} // namespace ash::bench
+
+#endif // ASH_BENCH_BENCHCOMMON_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 11 reproduction: speedup of the baseline, DASH, and SASH
+ * over serial simulation as the system grows from 4 to 256 cores
+ * (1 to 64 tiles, 4 cores each).
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Figure 11: scalability, speedup over 1-core "
+                  "serial simulation");
+
+    const uint32_t tile_counts[] = {1, 4, 16, 32, 64};
+
+    for (auto &entry : bench::DesignSet::standard().entries()) {
+        const rtl::Netlist &nl = entry.netlist;
+        double serial_khz = baseline::runBaseline(
+                                nl, baseline::simBaselineHost(1))
+                                .speedKHz;
+
+        TextTable table({"cores", "baseline", "DASH", "SASH"});
+        for (uint32_t tiles : tile_counts) {
+            uint32_t cores = tiles * 4;
+            double base_khz = baseline::runBaseline(
+                                  nl,
+                                  baseline::simBaselineHost(cores))
+                                  .speedKHz;
+            core::TaskProgram prog = bench::compileFor(nl, tiles);
+            core::ArchConfig dcfg;
+            double dash_khz =
+                bench::runAsh(prog, entry.design, dcfg).speedKHz();
+            core::ArchConfig scfg;
+            scfg.selective = true;
+            double sash_khz =
+                bench::runAsh(prog, entry.design, scfg).speedKHz();
+            table.addRow(
+                {TextTable::integer(cores),
+                 TextTable::speedup(base_khz / serial_khz, 1),
+                 TextTable::speedup(dash_khz / serial_khz, 1),
+                 TextTable::speedup(sash_khz / serial_khz, 1)});
+        }
+        std::printf("-- %s (activity %.0f%%) --\n%s\n",
+                    entry.design.name.c_str(), entry.activity * 100,
+                    table.toString().c_str());
+    }
+    std::printf("Expected shape (paper Fig 11): DASH/SASH keep "
+                "scaling with cores while the baseline saturates "
+                "early; SASH leads where activity is low.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 12 reproduction: breakdown of aggregate core cycles for SASH
+ * (committed / aborted / idle) as the system scales.
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Figure 12: SASH core-cycle breakdown");
+
+    for (auto &entry : bench::DesignSet::standard().entries()) {
+        TextTable table({"cores", "committed", "aborted", "idle",
+                         "agg cycles vs 4-core"});
+        uint64_t one_tile_total = 0;
+        for (uint32_t tiles : {1u, 4u, 16u, 32u, 64u}) {
+            auto res = bench::runAshAt(entry, tiles, true);
+            uint64_t committed =
+                res.stats.get("coreCyclesCommitted");
+            uint64_t aborted = res.stats.get("coreCyclesAborted");
+            uint64_t idle = res.stats.get("coreCyclesIdle");
+            uint64_t total = committed + aborted + idle;
+            if (tiles == 1)
+                one_tile_total = total;
+            table.addRow(
+                {TextTable::integer(tiles * 4),
+                 TextTable::percent(static_cast<double>(committed) /
+                                    total),
+                 TextTable::percent(static_cast<double>(aborted) /
+                                    total),
+                 TextTable::percent(static_cast<double>(idle) /
+                                    total),
+                 TextTable::num(static_cast<double>(total) /
+                                    static_cast<double>(
+                                        one_tile_total),
+                                2)});
+        }
+        std::printf("-- %s --\n%s\n", entry.design.name.c_str(),
+                    table.toString().c_str());
+    }
+    std::printf("Expected shape (paper Fig 12): committed work "
+                "dominates everywhere, aborts stay small, and idle "
+                "grows at the largest sizes for low-activity "
+                "designs.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 15 reproduction: in-flight argument footprint of prioritized
+ * (timestamp-ordered) vs unordered dataflow execution under DASH.
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Figure 15: in-flight argument footprint, "
+                  "prioritized vs unordered dataflow (DASH)");
+
+    TextTable table({"design", "TS order (KB)", "unordered (KB)",
+                     "blowup"});
+    std::vector<double> blowups;
+    for (auto &entry : bench::DesignSet::standard().entries()) {
+        core::TaskProgram prog =
+            bench::compileFor(entry.netlist, 64);
+        // A wide run-ahead window lets the *ordering policy* (not
+        // testbench backpressure) determine how many arguments stay
+        // alive, as in the paper's unthrottled dataflow baselines.
+        core::ArchConfig ordered;
+        ordered.stimulusWindow = 48;
+        auto ores = bench::runAsh(prog, entry.design, ordered);
+        core::ArchConfig unordered = ordered;
+        unordered.prioritized = false;
+        unordered.aqEntries = 1u << 20;   // Wait-match is unbounded
+                                          // in unordered designs.
+        auto ures = bench::runAsh(prog, entry.design, unordered);
+
+        double okb =
+            ores.stats.accum("footprintBytes").mean() / 1024.0;
+        double ukb =
+            ures.stats.accum("footprintBytes").mean() / 1024.0;
+        double blowup = okb > 0 ? ukb / okb : 0;
+        blowups.push_back(std::max(blowup, 1e-3));
+        table.addRow({entry.design.name, TextTable::num(okb, 1),
+                      TextTable::num(ukb, 1),
+                      TextTable::speedup(blowup, 1)});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("\ngmean blowup: %.1fx (paper: 16.8x gmean, up to "
+                "47x)\nExpected shape: unordered execution keeps an "
+                "order of magnitude more arguments alive.\n",
+                bench::gmeanOf(blowups));
+    return 0;
+}

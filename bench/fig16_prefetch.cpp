@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 16 reproduction: speedup from task-driven instruction
+ * prefetching (Sec 6) on SASH across system sizes.
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Figure 16: task-driven instruction prefetching "
+                  "speedup (SASH)");
+
+    TextTable table({"cores", "gmean speedup from prefetching"});
+    for (uint32_t tiles : {1u, 4u, 16u, 64u}) {
+        std::vector<double> ratios;
+        for (auto &entry : bench::DesignSet::standard().entries()) {
+            core::TaskProgram prog =
+                bench::compileFor(entry.netlist, tiles);
+            core::ArchConfig on;
+            on.selective = true;
+            core::ArchConfig off = on;
+            off.prefetch = false;
+            double with =
+                bench::runAsh(prog, entry.design, on).speedKHz();
+            double without =
+                bench::runAsh(prog, entry.design, off).speedKHz();
+            ratios.push_back(with / without);
+        }
+        table.addRow({TextTable::integer(tiles * 4),
+                      TextTable::speedup(bench::gmeanOf(ratios), 2)});
+    }
+    std::printf("%s", table.toString().c_str());
+    std::printf("\nExpected shape (paper Fig 16): prefetching helps "
+                "at every size and most at small systems where less "
+                "code fits on chip.\n");
+    return 0;
+}

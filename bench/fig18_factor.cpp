@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 18 reproduction: factor analysis. Starting from the best
+ * parallel software baseline, add: hardware dataflow on the
+ * single-cycle graph (+hw df), the unrolled dataflow graph (+unroll),
+ * partition-aware mapping and coarsening (+mapping = DASH), and
+ * selective execution (+selective = SASH).
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Figure 18: factor analysis, gmean speedup over "
+                  "best parallel baseline");
+
+    struct Step
+    {
+        const char *name;
+        bool unrolled;
+        bool mapping;
+        bool selective;
+    };
+    Step steps[] = {{"+hw df", false, false, false},
+                    {"+unroll", true, false, false},
+                    {"+mapping (DASH)", true, true, false},
+                    {"+selective (SASH)", true, true, true}};
+
+    std::map<std::string, std::vector<double>> ratios;
+    for (auto &entry : bench::DesignSet::standard().entries()) {
+        const rtl::Netlist &nl = entry.netlist;
+        double best_base = 0;
+        for (uint32_t t : {4u, 16u, 64u, 128u})
+            best_base = std::max(
+                best_base, baseline::runBaseline(
+                               nl, baseline::simBaselineHost(t))
+                               .speedKHz);
+
+        for (const Step &step : steps) {
+            core::CompilerOptions copts;
+            copts.unrolled = step.unrolled;
+            copts.useMapping = step.mapping;
+            core::TaskProgram prog =
+                bench::compileFor(nl, 64, copts);
+            core::ArchConfig cfg;
+            cfg.selective = step.selective;
+            double khz =
+                bench::runAsh(prog, entry.design, cfg).speedKHz();
+            ratios[step.name].push_back(khz / best_base);
+        }
+    }
+
+    TextTable table({"configuration", "gmean speedup"});
+    table.addRow({"parallel baseline", "1.0x"});
+    for (const Step &step : steps)
+        table.addRow({step.name,
+                      TextTable::speedup(
+                          bench::gmeanOf(ratios[step.name]), 1)});
+    std::printf("%s", table.toString().c_str());
+    std::printf("\nExpected shape (paper Fig 18): each step adds a "
+                "substantial gain, with unrolling and mapping "
+                "enabling dataflow hardware to pull away.\n");
+    return 0;
+}

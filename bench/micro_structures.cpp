@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the key data structures and
+ * hot paths: the AQ priority heap, the cache model, the NoC, node
+ * evaluation, the partitioner, and end-to-end Verilog compilation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/BoundedHeap.h"
+#include "common/Random.h"
+#include "core/arch/Cache.h"
+#include "core/arch/Noc.h"
+#include "partition/Partition.h"
+#include "rtl/Eval.h"
+#include "verilog/Compile.h"
+
+using namespace ash;
+
+static void
+BM_BoundedHeapPushPop(benchmark::State &state)
+{
+    BoundedHeap<uint64_t> heap(512);
+    Rng rng(1);
+    for (int i = 0; i < 256; ++i)
+        heap.push(rng.next());
+    for (auto _ : state) {
+        heap.push(rng.next());
+        benchmark::DoNotOptimize(heap.pop());
+    }
+}
+BENCHMARK(BM_BoundedHeapPushPop);
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    core::CacheModel cache(16 * 1024, 8, 64);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 18) * 64));
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_NocSend(benchmark::State &state)
+{
+    core::NocModel noc(64);
+    Rng rng(3);
+    uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            noc.send(static_cast<uint32_t>(rng.below(64)),
+                     static_cast<uint32_t>(rng.below(64)), 40,
+                     now++));
+    }
+}
+BENCHMARK(BM_NocSend);
+
+static void
+BM_EvalCombOp(benchmark::State &state)
+{
+    rtl::Netlist nl;
+    rtl::NodeId a = nl.addInput("a", 32);
+    rtl::NodeId b = nl.addInput("b", 32);
+    rtl::Node n;
+    n.op = rtl::Op::Mul;
+    n.width = 32;
+    n.operands = {a, b};
+    uint64_t ops[2] = {12345, 6789};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rtl::evalCombOp(n, nl, ops));
+        ++ops[0];
+    }
+}
+BENCHMARK(BM_EvalCombOp);
+
+static void
+BM_PartitionGraph(benchmark::State &state)
+{
+    partition::Graph g;
+    size_t n = 2000;
+    g.vertexWeight.assign(n, 1);
+    g.adj.resize(n);
+    Rng rng(4);
+    for (size_t e = 0; e < 6000; ++e) {
+        uint32_t u = static_cast<uint32_t>(rng.below(n));
+        uint32_t v = static_cast<uint32_t>(rng.below(n));
+        if (u != v)
+            g.addEdge(u, v, 1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(partition::partitionGraph(g, 16));
+}
+BENCHMARK(BM_PartitionGraph)->Unit(benchmark::kMillisecond);
+
+static void
+BM_CompileVerilog(benchmark::State &state)
+{
+    const char *src = R"(
+module top(input clk, input [15:0] x, output [15:0] y);
+  reg [15:0] acc;
+  always_ff @(posedge clk) acc <= acc + x * 16'd3;
+  assign y = acc ^ (x >> 2);
+endmodule
+)";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            verilog::compileVerilog(src, "top"));
+}
+BENCHMARK(BM_CompileVerilog)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

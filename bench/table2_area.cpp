@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 2 reproduction: area breakdown of the 256-core ASH chip at
+ * 7 nm, plus the Zen2-class comparison from Sec 9.1.
+ */
+
+#include <cstdio>
+
+#include "BenchCommon.h"
+#include "model/EnergyArea.h"
+
+using namespace ash;
+
+int
+main()
+{
+    bench::banner("Table 2: ASH area breakdown (256 cores, 64 tiles, "
+                  "1 MB L2/tile, 7 nm)");
+
+    TextTable table({"component", "area (mm^2)"});
+    auto rows = model::ashArea(256, 64, 1.0);
+    for (const auto &row : rows)
+        table.addRow({row.component, TextTable::num(row.mm2, 1)});
+    std::printf("%s", table.toString().c_str());
+
+    double ash = rows.back().mm2;
+    double zen = model::zen2Area(32);
+    std::printf("\n32-core Zen2-class CPU: %.1f mm^2 -> ASH uses "
+                "%.1fx less area (paper: ~3x)\n", zen, zen / ash);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Design-space exploration over the four benchmark designs: sweep
+ * tile counts and execution modes, printing speed, work, and
+ * speculation behavior for each point.
+ *
+ *   $ ./build/examples/design_explorer [design] [cycles]
+ *     design: vortex | chronos_pe | chronos_rv | ntt (default all)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/Table.h"
+#include "core/arch/AshSim.h"
+#include "core/compiler/Compiler.h"
+#include "designs/Designs.h"
+
+using namespace ash;
+
+static void
+explore(const designs::Design &design, uint64_t cycles)
+{
+    rtl::Netlist nl = designs::compileDesign(design);
+    std::printf("\n== %s: %zu IR nodes ==\n", design.name.c_str(),
+                nl.numNodes());
+
+    TextTable table({"tiles", "mode", "sim KHz", "tasks committed",
+                     "descs filtered", "aborts", "idle"});
+    for (uint32_t tiles : {4u, 16u, 64u}) {
+        core::CompilerOptions copts;
+        copts.numTiles = tiles;
+        core::TaskProgram prog = core::compile(nl, copts);
+        for (bool selective : {false, true}) {
+            core::ArchConfig cfg;
+            cfg.numTiles = tiles;
+            cfg.selective = selective;
+            core::AshSimulator chip(prog, cfg);
+            auto stim = design.makeStimulus();
+            auto res = chip.run(*stim, cycles);
+            double total_cycles =
+                static_cast<double>(res.chipCycles) * tiles * 4;
+            table.addRow(
+                {TextTable::integer(tiles),
+                 selective ? "SASH" : "DASH",
+                 TextTable::num(res.speedKHz(), 0),
+                 TextTable::integer(
+                     res.stats.get("tasksCommitted")),
+                 TextTable::integer(
+                     res.stats.get("descsFiltered")),
+                 TextTable::integer(res.stats.get("aborts")),
+                 TextTable::percent(
+                     static_cast<double>(
+                         res.stats.get("coreCyclesIdle")) /
+                     total_cycles)});
+        }
+    }
+    std::printf("%s", table.toString().c_str());
+}
+
+int
+main(int argc, char **argv)
+{
+    const char *which = argc > 1 ? argv[1] : nullptr;
+    uint64_t cycles = argc > 2 ? strtoull(argv[2], nullptr, 10) : 60;
+
+    for (const designs::Design &d : designs::allDesigns()) {
+        if (which && d.name != which)
+            continue;
+        explore(d, cycles);
+    }
+    return 0;
+}

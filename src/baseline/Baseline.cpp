@@ -1,0 +1,208 @@
+#include "baseline/Baseline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/Logging.h"
+#include "core/arch/Cache.h"
+#include "core/compiler/Compiler.h"
+
+namespace ash::baseline {
+
+using core::Task;
+using core::TaskProgram;
+
+HostConfig
+zen2Host(uint32_t threads)
+{
+    HostConfig h;
+    h.threads = threads;
+    h.ghz = 3.5;
+    h.cpi = 1.0;          // Wide OOO core, but Verilator's footprint
+                          // and branches keep IPC near 1 (Sec 9.1).
+    h.l1iBytes = 32 * 1024;
+    h.l1dBytes = 32 * 1024;
+    h.llcBytes = 128ull * 1024 * 1024;   // Threadripper-class L3.
+    h.llcLatency = 40;
+    h.barrierCycles = 250;
+    h.coherenceMiss = 90;
+    return h;
+}
+
+HostConfig
+simBaselineHost(uint32_t threads)
+{
+    HostConfig h;
+    h.threads = threads;
+    h.ghz = 2.5;
+    h.cpi = 1.4;
+    // Tile-proportional LLC: the simulated baseline keeps the same
+    // cache-per-core ratio as ASH (Sec 9.1), 1 MB per 4 cores.
+    h.llcBytes = std::max<uint64_t>(1, (threads + 3) / 4) * 1024 *
+                 1024;
+    h.llcLatency = 25;
+    h.barrierCycles = 180;
+    h.coherenceMiss = 60;
+    return h;
+}
+
+BaselineResult
+runBaseline(const rtl::Netlist &nl, const HostConfig &host,
+            uint32_t max_task_cost, uint32_t warm_cycles)
+{
+    // Verilator parallelizes the single-cycle graph: registers stay
+    // in memory and cycles do not overlap.
+    core::CompilerOptions copts;
+    copts.numTiles = 1;
+    copts.unrolled = false;
+    copts.maxTaskCost = max_task_cost;
+    copts.useMapping = false;
+    TaskProgram prog = core::compile(nl, copts);
+
+    BaselineResult result;
+    result.tasks = prog.tasks.size();
+    result.parallelism = prog.stats.parallelism;
+
+    // Static wave schedule: tasks grouped by depth, LPT-packed onto
+    // threads within each wave.
+    uint32_t waves = prog.cycleDepth;
+    std::vector<std::vector<const Task *>> wave_tasks(waves);
+    for (const Task &t : prog.tasks)
+        wave_tasks[t.depth].push_back(&t);
+
+    std::vector<std::vector<const Task *>> assign(host.threads);
+    std::vector<std::vector<std::vector<const Task *>>> schedule(
+        waves, std::vector<std::vector<const Task *>>(host.threads));
+    std::vector<uint32_t> thread_of(prog.tasks.size(), 0);
+    for (uint32_t w = 0; w < waves; ++w) {
+        std::sort(wave_tasks[w].begin(), wave_tasks[w].end(),
+                  [](const Task *a, const Task *b) {
+                      return a->cost > b->cost;
+                  });
+        std::vector<uint64_t> load(host.threads, 0);
+        for (const Task *t : wave_tasks[w]) {
+            uint32_t best = static_cast<uint32_t>(
+                std::min_element(load.begin(), load.end()) -
+                load.begin());
+            schedule[w][best].push_back(t);
+            thread_of[t->id] = best;
+            load[best] += t->cost;
+        }
+    }
+
+    // Cross-thread consumer edges pay coherence misses.
+    std::vector<uint32_t> cross_edges(prog.tasks.size(), 0);
+    for (const Task &t : prog.tasks) {
+        for (const core::Push &p : t.pushes) {
+            if (thread_of[t.id] != thread_of[p.dst])
+                ++cross_edges[p.dst];
+        }
+    }
+
+    // Per-thread cache models; one shared LLC.
+    std::vector<core::CacheModel> l1is, l1ds;
+    for (uint32_t th = 0; th < host.threads; ++th) {
+        l1is.emplace_back(host.l1iBytes, host.l1Ways, host.lineBytes);
+        l1ds.emplace_back(host.l1dBytes, host.l1Ways, host.lineBytes);
+    }
+    core::CacheModel llc(host.llcBytes, host.llcWays, host.lineBytes);
+
+    // Static per-task addresses: code, private data, memory state.
+    std::vector<uint64_t> code_base(prog.tasks.size());
+    uint64_t addr = 0x40000000ull;
+    for (const Task &t : prog.tasks) {
+        code_base[t.id] = addr;
+        addr += (t.codeBytes + 63) & ~63ull;
+    }
+    std::vector<uint64_t> mem_base(nl.memories().size());
+    addr = 0x80000000ull;
+    for (size_t m = 0; m < nl.memories().size(); ++m) {
+        mem_base[m] = addr;
+        addr += (static_cast<uint64_t>(nl.memories()[m].depth) * 8 +
+                 63) & ~63ull;
+    }
+
+    StatSet stats;
+    auto taskTime = [&](const Task &t, uint32_t th,
+                        uint64_t cycle) -> uint64_t {
+        uint64_t instr = t.cost + host.perTaskOverhead;
+        double time = static_cast<double>(instr) * host.cpi;
+
+        // Code fetch.
+        uint32_t code_lines = (t.codeBytes + host.lineBytes - 1) /
+                              host.lineBytes;
+        for (uint32_t i = 0; i < code_lines; ++i) {
+            uint64_t a = code_base[t.id] + i * host.lineBytes;
+            if (l1is[th].access(a))
+                continue;
+            stats.inc("l1iMisses");
+            time += llc.access(a) ? host.llcLatency : host.llcLatency +
+                                                          host.memLatency;
+        }
+        // Data: one private line plus one line per memory port node,
+        // walking the memory sequentially with the design cycle (a
+        // coarse but stable access pattern).
+        uint64_t data_lines = 1;
+        for (rtl::NodeId raw : t.nodes) {
+            rtl::NodeId id = raw & ~core::regWriteFlag;
+            const rtl::Node &n = nl.node(id);
+            if (n.op == rtl::Op::MemRead || n.op == rtl::Op::MemWrite) {
+                uint64_t depth = nl.memories()[n.mem].depth;
+                uint64_t a = mem_base[n.mem] +
+                             ((cycle * 7 + id) % std::max<uint64_t>(
+                                                     1, depth)) * 8;
+                if (!l1ds[th].access(a)) {
+                    time += llc.access(a)
+                                ? host.llcLatency
+                                : host.llcLatency + host.memLatency;
+                }
+            }
+        }
+        for (uint64_t i = 0; i < data_lines; ++i) {
+            uint64_t a = 0x100000ull + t.id * 128 + i * 64;
+            if (!l1ds[th].access(a)) {
+                time += llc.access(a) ? host.llcLatency
+                                      : host.llcLatency +
+                                            host.memLatency;
+            }
+        }
+        // Cross-thread argument reads.
+        time += static_cast<double>(cross_edges[t.id]) *
+                host.coherenceMiss;
+        return static_cast<uint64_t>(time);
+    };
+
+    // Model warm_cycles design cycles; the first is warmup.
+    double total = 0.0;
+    uint64_t measured = 0;
+    for (uint64_t cycle = 0; cycle < warm_cycles; ++cycle) {
+        double cycle_time = 0.0;
+        for (uint32_t w = 0; w < waves; ++w) {
+            uint64_t worst = 0;
+            for (uint32_t th = 0; th < host.threads; ++th) {
+                uint64_t sum = 0;
+                for (const Task *t : schedule[w][th])
+                    sum += taskTime(*t, th, cycle);
+                worst = std::max(worst, sum);
+            }
+            bool wave_empty = wave_tasks[w].empty();
+            cycle_time += static_cast<double>(worst);
+            if (!wave_empty && host.threads > 1)
+                cycle_time += host.barrierCycles;
+        }
+        if (cycle >= 2) {   // Skip cold-cache warmup.
+            total += cycle_time;
+            ++measured;
+        }
+    }
+
+    result.cyclesPerDesignCycle = measured ? total / measured : 0.0;
+    result.speedKHz = result.cyclesPerDesignCycle > 0
+                          ? host.ghz * 1e6 /
+                                result.cyclesPerDesignCycle
+                          : 0.0;
+    result.stats = std::move(stats);
+    return result;
+}
+
+} // namespace ash::baseline

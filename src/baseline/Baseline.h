@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multicore software-simulator baselines: a timing model of a
+ * Verilator-style compiled simulator running on a conventional
+ * shared-memory multicore (Sec 2.2 and the "Baseline" rows of
+ * Table 5). The netlist is coarsened into macro-tasks on the
+ * single-cycle dataflow graph, statically scheduled onto threads in
+ * depth waves (longest-processing-time first), and each simulated
+ * design cycle costs the sum over waves of the slowest thread plus
+ * barrier synchronization. Cross-thread value edges pay coherence
+ * misses through the shared LLC.
+ *
+ * Functional outputs of this baseline are by construction those of
+ * the reference simulator (same netlist, full evaluation in
+ * dependency order), so only timing is modeled here.
+ *
+ * Two parameter presets mirror the paper's hosts: the simulated
+ * multicore baseline (Table 3 parameters, shared LLC) and a
+ * Zen2-like commercial CPU (3.5 GHz, large caches, OOO CPI).
+ */
+
+#ifndef ASH_BASELINE_BASELINE_H
+#define ASH_BASELINE_BASELINE_H
+
+#include "common/Stats.h"
+#include "rtl/Netlist.h"
+
+namespace ash::baseline {
+
+/** Host machine model. */
+struct HostConfig
+{
+    uint32_t threads = 1;
+    double ghz = 2.5;
+    double cpi = 1.4;              ///< Base CPI without memory stalls.
+    uint32_t l1iBytes = 16 * 1024;
+    uint32_t l1dBytes = 16 * 1024;
+    uint32_t l1Ways = 8;
+    uint32_t l1Latency = 2;
+    uint64_t llcBytes = 1 * 1024 * 1024;   ///< Shared LLC (scaled by
+                                           ///< threads for the
+                                           ///< simulated baseline).
+    uint32_t llcWays = 16;
+    uint32_t llcLatency = 25;
+    uint32_t lineBytes = 64;
+    uint32_t memLatency = 120;
+    /** Cycles for one barrier among all threads. */
+    uint32_t barrierCycles = 180;
+    /** Extra latency when a consumer reads a cross-thread value. */
+    uint32_t coherenceMiss = 60;
+    /** Scheduling overhead per task (queue bookkeeping). */
+    uint32_t perTaskOverhead = 8;
+};
+
+/** Zen2-like commercial CPU preset (Threadripper-class). */
+HostConfig zen2Host(uint32_t threads);
+
+/** Simulated multicore baseline preset (Table 3-like, shared LLC). */
+HostConfig simBaselineHost(uint32_t threads);
+
+/** Result of a baseline timing run. */
+struct BaselineResult
+{
+    double cyclesPerDesignCycle = 0.0;
+    double speedKHz = 0.0;
+    uint64_t tasks = 0;
+    double parallelism = 0.0;   ///< Task-graph parallelism.
+    StatSet stats;
+};
+
+/**
+ * Model @p warm_cycles simulated design cycles of a Verilator-style
+ * compiled simulation of @p nl on @p host.
+ *
+ * @param max_task_cost Coarsening cap (instructions per macro-task);
+ *                      Verilator's merge level. The Fig 3 sweep
+ *                      varies this.
+ */
+BaselineResult runBaseline(const rtl::Netlist &nl,
+                           const HostConfig &host,
+                           uint32_t max_task_cost = 2000,
+                           uint32_t warm_cycles = 30);
+
+} // namespace ash::baseline
+
+#endif // ASH_BASELINE_BASELINE_H

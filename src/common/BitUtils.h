@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the RTL IR, the Verilog
+ * frontend, and the simulators. All signal values in ASH are carried in
+ * 64-bit words; widths from 1 to 64 bits are supported.
+ */
+
+#ifndef ASH_COMMON_BITUTILS_H
+#define ASH_COMMON_BITUTILS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/Logging.h"
+
+namespace ash {
+
+/** Maximum signal width carried in a single IR value. */
+constexpr unsigned maxSignalWidth = 64;
+
+/** Mask covering the low @p width bits (width in [0, 64]). */
+constexpr uint64_t
+mask64(unsigned width)
+{
+    return width >= 64 ? ~0ull : ((1ull << width) - 1);
+}
+
+/** Truncate @p value to @p width bits. */
+constexpr uint64_t
+truncate(uint64_t value, unsigned width)
+{
+    return value & mask64(width);
+}
+
+/** Sign-extend the low @p width bits of @p value to 64 bits. */
+constexpr int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = 1ull << (width - 1);
+    return static_cast<int64_t>((value ^ sign) - sign);
+}
+
+/** Number of bits needed to represent @p value (at least 1). */
+constexpr unsigned
+bitsFor(uint64_t value)
+{
+    return value == 0 ? 1 : 64 - static_cast<unsigned>(
+                                     std::countl_zero(value));
+}
+
+/** Smallest power of two >= @p value (value must be nonzero). */
+constexpr uint64_t
+roundUpPow2(uint64_t value)
+{
+    return std::bit_ceil(value);
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2Exact(uint64_t value)
+{
+    return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace ash
+
+#endif // ASH_COMMON_BITUTILS_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * A fixed-capacity binary min-heap. This models the pipelined-heap
+ * priority queue inside each tile's Argument Queue (AQ, Sec 4.2): pops
+ * return the lowest-priority-key element, and when the structure fills
+ * up the *highest*-key elements can be extracted so the TMU's spill FSM
+ * can move them to memory (high timestamps spill first, preventing them
+ * from starving low-timestamp work).
+ */
+
+#ifndef ASH_COMMON_BOUNDEDHEAP_H
+#define ASH_COMMON_BOUNDEDHEAP_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/Logging.h"
+
+namespace ash {
+
+/**
+ * Min-heap over T with an explicit capacity. Comparison uses
+ * Compare(a, b) returning true when a orders before b (lower priority
+ * key first).
+ */
+template <typename T, typename Compare = std::less<T>>
+class BoundedHeap
+{
+  public:
+    explicit BoundedHeap(size_t capacity, Compare cmp = Compare{})
+        : _capacity(capacity), _cmp(std::move(cmp))
+    {
+        _items.reserve(capacity);
+    }
+
+    size_t size() const { return _items.size(); }
+    size_t capacity() const { return _capacity; }
+    bool empty() const { return _items.empty(); }
+    bool full() const { return _items.size() >= _capacity; }
+
+    /** Insert @p item; the heap must not be full. */
+    void
+    push(T item)
+    {
+        ASH_ASSERT(!full(), "BoundedHeap overflow (capacity %zu)",
+                   _capacity);
+        _items.push_back(std::move(item));
+        siftUp(_items.size() - 1);
+    }
+
+    /** Smallest element; heap must be nonempty. */
+    const T &
+    top() const
+    {
+        ASH_ASSERT(!empty());
+        return _items.front();
+    }
+
+    /** Remove and return the smallest element. */
+    T
+    pop()
+    {
+        ASH_ASSERT(!empty());
+        T out = std::move(_items.front());
+        _items.front() = std::move(_items.back());
+        _items.pop_back();
+        if (!_items.empty())
+            siftDown(0);
+        return out;
+    }
+
+    /**
+     * Remove and return the element with the *largest* key. Used for
+     * spilling when the AQ fills. Linear scan over the leaf half; this
+     * matches hardware that spills lazily and is fine in simulation
+     * because spills are rare.
+     */
+    T
+    extractWorst()
+    {
+        ASH_ASSERT(!empty());
+        size_t first_leaf = _items.size() / 2;
+        size_t worst = first_leaf;
+        for (size_t i = first_leaf + 1; i < _items.size(); ++i) {
+            if (_cmp(_items[worst], _items[i]))
+                worst = i;
+        }
+        T out = std::move(_items[worst]);
+        _items[worst] = std::move(_items.back());
+        _items.pop_back();
+        if (worst < _items.size()) {
+            siftDown(worst);
+            siftUp(worst);
+        }
+        return out;
+    }
+
+    /**
+     * Remove every element matching @p pred; returns the number
+     * removed. Used for descriptor cancellation on aborts.
+     */
+    template <typename Pred>
+    size_t
+    removeIf(Pred pred)
+    {
+        size_t before = _items.size();
+        _items.erase(std::remove_if(_items.begin(), _items.end(), pred),
+                     _items.end());
+        std::make_heap(_items.begin(), _items.end(),
+                       [this](const T &a, const T &b) {
+                           return _cmp(b, a);
+                       });
+        return before - _items.size();
+    }
+
+    /** Unordered view of the contents (for occupancy accounting). */
+    const std::vector<T> &items() const { return _items; }
+
+    void clear() { _items.clear(); }
+
+  private:
+    void
+    siftUp(size_t i)
+    {
+        while (i > 0) {
+            size_t parent = (i - 1) / 2;
+            if (!_cmp(_items[i], _items[parent]))
+                break;
+            std::swap(_items[i], _items[parent]);
+            i = parent;
+        }
+    }
+
+    void
+    siftDown(size_t i)
+    {
+        size_t n = _items.size();
+        while (true) {
+            size_t left = 2 * i + 1;
+            size_t right = left + 1;
+            size_t best = i;
+            if (left < n && _cmp(_items[left], _items[best]))
+                best = left;
+            if (right < n && _cmp(_items[right], _items[best]))
+                best = right;
+            if (best == i)
+                break;
+            std::swap(_items[i], _items[best]);
+            i = best;
+        }
+    }
+
+    size_t _capacity;
+    Compare _cmp;
+    std::vector<T> _items;
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_BOUNDEDHEAP_H

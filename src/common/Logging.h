@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Logging and error-reporting utilities for the ASH library.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (bugs in ASH itself), fatal() for user-caused conditions the library
+ * cannot recover from (bad Verilog, invalid configuration), and warn() /
+ * inform() for status messages that never stop execution.
+ */
+
+#ifndef ASH_COMMON_LOGGING_H
+#define ASH_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace ash {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Normal, Verbose, Debug };
+
+/** Set the global verbosity for inform()/debugLog() messages. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an unrecoverable user-level error (bad input, bad config) and
+ * throw ash::FatalError. Printf-style formatting.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (an ASH bug) and abort.
+ * Printf-style formatting.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a normal-priority status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a debug-priority status message to stderr. */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : _msg(std::move(msg)) {}
+    const char *what() const noexcept override { return _msg.c_str(); }
+
+  private:
+    std::string _msg;
+};
+
+} // namespace ash
+
+namespace ash {
+
+/** Implementation hook for ASH_ASSERT; do not call directly. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+} // namespace ash
+
+/**
+ * Assert an internal invariant; compiled in all build types because the
+ * simulators rely on these checks for correctness testing. An optional
+ * printf-style message may follow the condition.
+ */
+#define ASH_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::ash::panicAssert(#cond, __FILE__, __LINE__, "" __VA_ARGS__); \
+        }                                                                  \
+    } while (0)
+
+#endif // ASH_COMMON_LOGGING_H

@@ -1,0 +1,92 @@
+#include "common/Stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ash {
+
+void
+StatSet::inc(const std::string &name, uint64_t delta)
+{
+    _counters[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, uint64_t value)
+{
+    _counters[name] = value;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second;
+}
+
+void
+StatSet::sample(const std::string &name, double value)
+{
+    _accums[name].sample(value);
+}
+
+Accumulator
+StatSet::accum(const std::string &name) const
+{
+    auto it = _accums.find(name);
+    return it == _accums.end() ? Accumulator{} : it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other._counters)
+        _counters[name] += value;
+    for (const auto &[name, acc] : other._accums) {
+        Accumulator &mine = _accums[name];
+        if (acc.count == 0)
+            continue;
+        if (mine.count == 0) {
+            mine = acc;
+        } else {
+            mine.count += acc.count;
+            mine.sum += acc.sum;
+            mine.minValue = std::min(mine.minValue, acc.minValue);
+            mine.maxValue = std::max(mine.maxValue, acc.maxValue);
+        }
+    }
+}
+
+void
+StatSet::clear()
+{
+    _counters.clear();
+    _accums.clear();
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : _counters)
+        os << name << " = " << value << "\n";
+    for (const auto &[name, acc] : _accums) {
+        os << name << " = mean " << acc.mean() << " (n=" << acc.count
+           << ", min=" << acc.minValue << ", max=" << acc.maxValue
+           << ")\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const double *values, size_t n)
+{
+    if (n == 0)
+        return 0.0;
+    double logSum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        logSum += std::log(values[i]);
+    return std::exp(logSum / static_cast<double>(n));
+}
+
+} // namespace ash

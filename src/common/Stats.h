@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lightweight named statistics used by every simulator component. A
+ * StatSet owns scalar counters and averaging accumulators and can render
+ * itself for debugging. Benches read individual stats by name.
+ */
+
+#ifndef ASH_COMMON_STATS_H
+#define ASH_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ash {
+
+/** Accumulator tracking count/sum/min/max for a sampled quantity. */
+struct Accumulator
+{
+    uint64_t count = 0;
+    double sum = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+
+    void
+    sample(double v)
+    {
+        if (count == 0) {
+            minValue = maxValue = v;
+        } else {
+            if (v < minValue)
+                minValue = v;
+            if (v > maxValue)
+                maxValue = v;
+        }
+        ++count;
+        sum += v;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+};
+
+/** A named collection of counters and accumulators. */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter named @p name (created on demand). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Set the counter named @p name to @p value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Counter value, or 0 if never touched. */
+    uint64_t get(const std::string &name) const;
+
+    /** Record one sample into the accumulator named @p name. */
+    void sample(const std::string &name, double value);
+
+    /** Accumulator by name; returns an empty accumulator if absent. */
+    Accumulator accum(const std::string &name) const;
+
+    /** Merge all counters and accumulators from @p other into this. */
+    void merge(const StatSet &other);
+
+    /** Reset everything to zero. */
+    void clear();
+
+    /** Render all stats, one "name = value" line each. */
+    std::string toString() const;
+
+    const std::map<std::string, uint64_t> &counters() const
+    { return _counters; }
+    const std::map<std::string, Accumulator> &accumulators() const
+    { return _accums; }
+
+  private:
+    std::map<std::string, uint64_t> _counters;
+    std::map<std::string, Accumulator> _accums;
+};
+
+/** Geometric mean of a sequence of positive values. */
+double geomean(const double *values, size_t n);
+
+} // namespace ash
+
+#endif // ASH_COMMON_STATS_H

@@ -1,0 +1,108 @@
+#include "common/Table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/Logging.h"
+
+namespace ash {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    ASH_ASSERT(row.size() == _header.size(),
+               "row arity %zu != header arity %zu", row.size(),
+               _header.size());
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths(_header.size());
+    for (size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            // Left-align the first column (labels), right-align data.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(widths[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << "\n";
+    };
+
+    emitRow(_header);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        emitRow(row);
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::integer(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+TextTable::speedup(double v, int precision)
+{
+    return num(v, precision) + "x";
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+std::string
+TextTable::bytes(uint64_t n)
+{
+    char buf[64];
+    if (n >= 1024ull * 1024) {
+        std::snprintf(buf, sizeof(buf), "%.1fMB",
+                      static_cast<double>(n) / (1024.0 * 1024.0));
+    } else if (n >= 1024) {
+        std::snprintf(buf, sizeof(buf), "%.1fKB",
+                      static_cast<double>(n) / 1024.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(n));
+    }
+    return buf;
+}
+
+} // namespace ash

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Each bench
+ * binary regenerates one of the paper's tables or figure data series
+ * and prints it through this class so output stays aligned and uniform.
+ */
+
+#ifndef ASH_COMMON_TABLE_H
+#define ASH_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ash {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with single-space-padded, right-aligned numeric columns. */
+    std::string toString() const;
+
+    /** Convenience numeric formatting helpers. */
+    static std::string num(double v, int precision = 1);
+    static std::string integer(uint64_t v);
+    /** Render v with an 'x' suffix, e.g. "32.4x". */
+    static std::string speedup(double v, int precision = 1);
+    /** Render a fraction as a percentage, e.g. "17.4%". */
+    static std::string percent(double fraction, int precision = 1);
+    /** Human-readable byte count (KB / MB). */
+    static std::string bytes(uint64_t n);
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_TABLE_H

@@ -1,0 +1,1659 @@
+#include "core/arch/AshSim.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "common/Logging.h"
+#include "core/arch/Cache.h"
+#include "core/arch/Noc.h"
+#include "rtl/Eval.h"
+
+namespace ash::core {
+
+using refsim::Stimulus;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace {
+
+/** Instance key: one execution of a task at one simulated cycle. */
+using InstKey = std::pair<TaskId, uint64_t>;
+
+/** An argument descriptor traveling between task instances. */
+struct Desc
+{
+    TaskId dst = invalidTask;
+    uint64_t inst = 0;
+    TaskId src = invalidTask;      ///< Producing task (stimulus: invalid).
+    PushKind kind = PushKind::Value;
+    bool stimulus = false;
+    std::vector<std::pair<NodeId, uint64_t>> values;
+    uint32_t bytes = 16;
+    uint64_t ts = 0;
+
+    enum class St : uint8_t { InFlight, Queued, Consumed, Cancelled };
+    St state = St::InFlight;
+};
+using DescPtr = std::shared_ptr<Desc>;
+
+/** Queued descriptors of one not-yet-dispatched instance. */
+struct Bundle
+{
+    std::vector<DescPtr> descs;
+    uint64_t firstArrival = ~0ull;
+    uint64_t lastArrival = 0;
+    bool spilled = false;
+
+    uint32_t
+    bytes() const
+    {
+        uint32_t b = 0;
+        for (const DescPtr &d : descs)
+            b += d->bytes;
+        return b;
+    }
+};
+
+/** AQ priority key: (priority, task, instance). */
+using AqKey = std::tuple<uint64_t, TaskId, uint64_t>;
+
+/** One undo-log record (eager versioning, Sec 5.2). */
+struct UndoRec
+{
+    enum class Kind : uint8_t {
+        Mem,       ///< Design memory word.
+        RegState,  ///< Single-cycle register state.
+        BufMem,    ///< Buffer-task staging memory.
+        Filter,    ///< Output-argument filter buffer.
+        LastVals,  ///< Input-argument buffer.
+    };
+    Kind kind;
+    uint32_t a = 0;          ///< mem / reg idx / buffer task / task.
+    uint64_t b = 0;          ///< addr / node / push index.
+    uint64_t oldVal = 0;
+    uint64_t oldTag = 0;
+    bool existed = true;
+    std::vector<uint64_t> oldVec;   ///< Filter payload.
+};
+
+/** Versioned value: tag = writer instance + 1 (0 = initial state). */
+struct Versioned
+{
+    uint64_t val = 0;
+    uint64_t tag = 0;
+    TaskId writer = invalidTask;
+};
+
+/** A speculative (or, in DASH, merely in-flight) task execution. */
+struct TcqEntry
+{
+    TaskId task = invalidTask;
+    uint64_t inst = 0;
+    uint64_t ts = 0;
+    uint64_t epoch = 0;
+    bool completed = false;
+    uint64_t duration = 0;
+    std::vector<DescPtr> consumed;
+    std::vector<DescPtr> sent;
+    std::vector<UndoRec> undo;
+    std::vector<std::pair<uint32_t, uint64_t>> outputs; ///< (idx, val).
+};
+
+/** Pending event. */
+struct Event
+{
+    enum class Type : uint8_t { DescArrive, CoreFree, VtRound, Retry };
+    uint64_t time = 0;
+    Type type = Type::VtRound;
+    uint32_t tile = 0;
+    uint32_t core = 0;
+    DescPtr desc;
+    TaskId task = invalidTask;
+    uint64_t inst = 0;
+    uint64_t epoch = 0;
+
+    bool
+    operator>(const Event &o) const
+    {
+        return time > o.time;
+    }
+};
+
+} // namespace
+
+struct AshSimulator::Impl
+{
+    const TaskProgram &prog;
+    ArchConfig cfg;
+    const rtl::Netlist &nl;
+
+    // --- static program info ---
+    std::vector<std::vector<std::pair<NodeId, uint32_t>>> taskInputs;
+    std::vector<TaskId> activatedTasks;   ///< Stimulus-driven tasks.
+    std::vector<uint32_t> outputIndexOf;  ///< Output node -> index.
+    std::vector<uint64_t> codeBase;       ///< Per-task code address.
+    std::vector<uint64_t> memBase;        ///< Per design memory.
+    std::vector<int64_t> regConstNext;    ///< -1 or constant value.
+    std::unordered_map<NodeId, uint32_t> inputIdxOf;
+
+    // --- timing state ---
+    std::priority_queue<Event, std::vector<Event>,
+                        std::greater<Event>> events;
+    uint64_t now = 0;
+    NocModel noc;
+    std::vector<std::vector<uint64_t>> coreFreeAt;   // [tile][core]
+    std::vector<std::unique_ptr<CacheModel>> l1i;    // per core
+    std::vector<std::unique_ptr<CacheModel>> l1d;    // per core
+    std::vector<std::unique_ptr<CacheModel>> l2;     // per tile
+    std::vector<uint64_t> dramFree;
+    uint64_t epochCounter = 0;
+    uint64_t busyCommitted = 0, busyAborted = 0, busyUnresolved = 0;
+
+    // --- TMU state ---
+    std::vector<std::map<AqKey, Bundle>> aq;         // per tile
+    std::vector<std::map<InstKey, TcqEntry>> tcq;    // per tile
+    std::multiset<uint64_t> inFlight;
+    uint64_t aqSeq = 0;
+
+    // --- functional state ---
+    std::vector<std::vector<Versioned>> memData;
+    std::vector<Versioned> regState;
+    std::vector<std::unordered_map<NodeId, Versioned>> bufMem;
+    std::vector<std::vector<std::vector<uint64_t>>> filters; // task,push
+    std::vector<std::vector<uint8_t>> filterValid;
+    std::vector<std::unordered_map<NodeId, uint64_t>> lastVals;
+    std::map<std::pair<uint64_t, uint32_t>, uint64_t> finalOutputs;
+
+    // --- stimulus ---
+    Stimulus *stim = nullptr;
+    std::vector<std::vector<uint64_t>> frames;
+    uint64_t designCycles = 0;
+    uint64_t injectedUpTo = 0;
+    bool done = false;
+
+    StatSet stats;
+    uint64_t lastSample = 0;
+
+    Impl(const TaskProgram &p, const ArchConfig &c)
+        : prog(p), cfg(c), nl(*p.nl), noc(c.numTiles)
+    {
+        ASH_ASSERT(prog.numTiles == cfg.numTiles,
+                   "program compiled for %u tiles, chip has %u",
+                   prog.numTiles, cfg.numTiles);
+        ASH_ASSERT(cfg.prioritized || !cfg.selective,
+                   "unordered dataflow is modeled for DASH only");
+
+        size_t nt = prog.tasks.size();
+        taskInputs.resize(nt);
+        filters.resize(nt);
+        filterValid.resize(nt);
+        lastVals.resize(nt);
+        bufMem.resize(nt);
+        codeBase.resize(nt);
+
+        // Map input nodes to stimulus indices.
+        for (size_t i = 0; i < nl.inputs().size(); ++i)
+            inputIdxOf[nl.inputs()[i]] = static_cast<uint32_t>(i);
+        const auto &input_idx = inputIdxOf;
+        outputIndexOf.assign(nl.numNodes(), ~0u);
+        for (size_t i = 0; i < nl.outputs().size(); ++i)
+            outputIndexOf[nl.outputs()[i]] = static_cast<uint32_t>(i);
+
+        uint64_t code_addr = 0x40000000ull;
+        for (const Task &t : prog.tasks) {
+            codeBase[t.id] = code_addr;
+            code_addr += (t.codeBytes + 63) & ~63ull;
+            filters[t.id].resize(t.pushes.size());
+            filterValid[t.id].assign(t.pushes.size(), 0);
+            for (NodeId raw : t.nodes) {
+                NodeId id = raw & ~regWriteFlag;
+                if (!(raw & regWriteFlag) &&
+                    nl.node(id).op == Op::Input) {
+                    taskInputs[t.id].emplace_back(id,
+                                                  input_idx.at(id));
+                }
+            }
+            if (t.stimulusParents > 0)
+                activatedTasks.push_back(t.id);
+        }
+
+        parentsOf.resize(nt);
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes) {
+                if (p.kind == PushKind::War)
+                    continue;   // Discarded on arrival in SASH.
+                parentsOf[p.dst].emplace_back(t.id, p.crossCycle);
+            }
+        }
+        parentPred.resize(nt);
+        for (size_t i = 0; i < nt; ++i)
+            parentPred[i].assign(parentsOf[i].size(), 3);
+
+        regConstNext.assign(nl.regs().size(), -1);
+        for (size_t r = 0; r < nl.regs().size(); ++r) {
+            const rtl::Node &next = nl.node(nl.regs()[r].next);
+            if (next.op == Op::Const) {
+                regConstNext[r] = static_cast<int64_t>(next.imm);
+            } else if (nl.regs()[r].next == nl.regs()[r].node) {
+                // A register feeding itself holds its initial value
+                // forever; the dataflow graph drops the self-loop, so
+                // the engine supplies the constant directly.
+                regConstNext[r] =
+                    static_cast<int64_t>(nl.regs()[r].init);
+            }
+        }
+
+        // Functional state.
+        memBase.resize(nl.memories().size());
+        uint64_t mem_addr = 0x80000000ull;
+        for (size_t m = 0; m < nl.memories().size(); ++m) {
+            const rtl::MemInfo &mi = nl.memories()[m];
+            memBase[m] = mem_addr;
+            mem_addr += (static_cast<uint64_t>(mi.depth) * 8 + 63) &
+                        ~63ull;
+            std::vector<Versioned> contents(mi.depth);
+            for (size_t i = 0; i < mi.init.size(); ++i)
+                contents[i].val = mi.init[i];
+            memData.push_back(std::move(contents));
+        }
+        regState.resize(nl.regs().size());
+        for (size_t r = 0; r < nl.regs().size(); ++r)
+            regState[r].val = nl.regs()[r].init;
+
+        // Hardware structures.
+        coreFreeAt.assign(cfg.numTiles,
+                          std::vector<uint64_t>(cfg.coresPerTile, 0));
+        aq.resize(cfg.numTiles);
+        tileMinTs.assign(cfg.numTiles, ~0ull);
+        for (uint32_t t = 0; t < cfg.numTiles; ++t)
+            tileMins.insert(~0ull);
+        tcq.resize(cfg.numTiles);
+        dramFree.assign(cfg.dramCtrls, 0);
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            l2.push_back(std::make_unique<CacheModel>(
+                cfg.l2Bytes, cfg.l2Ways, cfg.lineBytes));
+            for (uint32_t c = 0; c < cfg.coresPerTile; ++c) {
+                l1i.push_back(std::make_unique<CacheModel>(
+                    cfg.l1iBytes, cfg.l1Ways, cfg.lineBytes));
+                l1d.push_back(std::make_unique<CacheModel>(
+                    cfg.l1dBytes, cfg.l1Ways, cfg.lineBytes));
+            }
+        }
+    }
+
+    // =====================================================================
+    // Helpers
+    // =====================================================================
+
+    uint64_t
+    ts(TaskId t, uint64_t inst) const
+    {
+        return prog.timestamp(t, inst);
+    }
+
+    const std::vector<uint64_t> &
+    frame(uint64_t cycle)
+    {
+        while (frames.size() <= cycle) {
+            std::vector<uint64_t> f(nl.inputs().size(), 0);
+            stim->apply(frames.size(), f);
+            for (size_t i = 0; i < f.size(); ++i)
+                f[i] = truncate(f[i], nl.node(nl.inputs()[i]).width);
+            frames.push_back(std::move(f));
+        }
+        return frames[cycle];
+    }
+
+    CacheModel &coreL1i(uint32_t tile, uint32_t core)
+    { return *l1i[tile * cfg.coresPerTile + core]; }
+    CacheModel &coreL1d(uint32_t tile, uint32_t core)
+    { return *l1d[tile * cfg.coresPerTile + core]; }
+
+    /** DRAM access latency with controller bandwidth queueing. */
+    uint64_t
+    dramAccess(uint32_t tile, uint64_t at, uint32_t bytes)
+    {
+        uint32_t ctrl = tile % cfg.dramCtrls;
+        uint64_t queue = dramFree[ctrl] > at ? dramFree[ctrl] - at : 0;
+        dramFree[ctrl] = std::max(dramFree[ctrl], at) +
+                         static_cast<uint64_t>(
+                             bytes / cfg.dramBytesPerCycle) + 1;
+        stats.inc("dramAccesses");
+        stats.inc("dramBytes", bytes);
+        return cfg.dramLatency + queue + 8;   // 8: mesh to edge.
+    }
+
+    /** Data access through L1D/L2/DRAM; returns stall cycles. */
+    uint64_t
+    dataAccess(uint32_t tile, uint32_t core, uint64_t addr, uint64_t at)
+    {
+        stats.inc("l1dAccesses");
+        if (coreL1d(tile, core).access(addr))
+            return cfg.l1Latency;
+        uint64_t lat = cfg.l1Latency;
+        uint32_t home = cfg.sharedLlc
+                            ? static_cast<uint32_t>(
+                                  (addr / cfg.lineBytes) % cfg.numTiles)
+                            : tile;
+        if (cfg.sharedLlc && home != tile)
+            lat += 2 * noc.baseLatency(tile, home);
+        stats.inc("l2Accesses");
+        if (l2[home]->access(addr))
+            return lat + cfg.l2Latency;
+        return lat + cfg.l2Latency + dramAccess(tile, at,
+                                                cfg.lineBytes);
+    }
+
+    /** Instruction fetch for a task's code; returns stall cycles. */
+    uint64_t
+    fetchCode(uint32_t tile, uint32_t core, const Task &t, uint64_t at)
+    {
+        uint64_t stall = 0;
+        uint32_t lines = (t.codeBytes + cfg.lineBytes - 1) /
+                         cfg.lineBytes;
+        for (uint32_t i = 0; i < lines; ++i) {
+            uint64_t addr = codeBase[t.id] + i * cfg.lineBytes;
+            stats.inc("l1iAccesses");
+            if (coreL1i(tile, core).access(addr))
+                continue;
+            stats.inc("l1iMisses");
+            uint64_t miss = cfg.l2Latency;
+            stats.inc("l2Accesses");
+            if (!l2[tile]->access(addr)) {
+                stats.inc("l2iMisses");
+                miss += dramAccess(tile, at, cfg.lineBytes);
+            }
+            stall += miss;
+        }
+        // Task-driven prefetching (Sec 6) hides nearly all of the
+        // fetch latency behind the previous task's execution.
+        return cfg.prefetch ? stall / 16 : stall;
+    }
+
+    // =====================================================================
+    // Versioned state with read-time conflict checks
+    // =====================================================================
+
+    /**
+     * Read a versioned cell as instance @p inst with write-visibility
+     * horizon @p max_tag. Writers with tags beyond the horizon were
+     * dispatched too early; abort them so the restored value is
+     * consistent (see file header).
+     */
+    uint64_t
+    readVersioned(Versioned *cell,
+                  std::function<Versioned *()> reload,
+                  uint64_t max_tag)
+    {
+        unsigned guard = 0;
+        while (cell && cell->tag > max_tag) {
+            TaskId writer = cell->writer;
+            uint64_t winst = cell->tag - 1;
+            ASH_ASSERT(++guard < 10000,
+                       "version abort loop: writer T%u inst %llu tag "
+                       "%llu max %llu in-tcq %d", writer,
+                       static_cast<unsigned long long>(winst),
+                       static_cast<unsigned long long>(cell->tag),
+                       static_cast<unsigned long long>(max_tag),
+                       static_cast<int>(
+                           tcq[prog.tasks[writer].tile].count(
+                               {writer, winst})));
+            abortInstance(prog.tasks[writer].tile, {writer, winst},
+                          "read-version");
+            cell = reload();
+        }
+        return cell ? cell->val : 0;
+    }
+
+    // =====================================================================
+    // AQ management
+    // =====================================================================
+
+    AqKey
+    aqKey(TaskId t, uint64_t inst, uint64_t prio) const
+    {
+        return {prio, t, inst};
+    }
+
+    /** Find a bundle by instance (priority is recomputable). */
+    std::map<AqKey, Bundle>::iterator
+    findBundle(uint32_t tile, TaskId t, uint64_t inst)
+    {
+        if (cfg.prioritized)
+            return aq[tile].find(aqKey(t, inst, ts(t, inst)));
+        // Unordered mode: linear scan (DASH-only analysis runs).
+        for (auto it = aq[tile].begin(); it != aq[tile].end(); ++it) {
+            if (std::get<1>(it->first) == t &&
+                std::get<2>(it->first) == inst)
+                return it;
+        }
+        return aq[tile].end();
+    }
+
+    /** Enqueue a descriptor at its destination tile. */
+    void
+    enqueue(uint32_t tile, const DescPtr &d)
+    {
+        auto it = findBundle(tile, d->dst, d->inst);
+        if (it == aq[tile].end()) {
+            uint64_t prio = cfg.prioritized ? d->ts : ++aqSeq;
+            it = aq[tile].emplace(aqKey(d->dst, d->inst, prio),
+                                  Bundle{}).first;
+            if (aq[tile].size() > cfg.aqEntries) {
+                // Spill the highest-priority-key bundle (Sec 4.2).
+                auto worst = std::prev(aq[tile].end());
+                if (!worst->second.spilled) {
+                    worst->second.spilled = true;
+                    stats.inc("aqSpills");
+                    stats.inc("dramBytes", worst->second.bytes());
+                }
+            }
+        }
+        if (trace)
+            std::fprintf(stderr, "[%llu] enqueue T%u/%llu kind=%d "
+                         "src=T%u n=%zu\n",
+                         (unsigned long long)now, d->dst,
+                         (unsigned long long)d->inst,
+                         static_cast<int>(d->kind), d->src,
+                         it->second.descs.size() + 1);
+        d->state = Desc::St::Queued;
+        it->second.descs.push_back(d);
+        it->second.lastArrival = now;
+        if (it->second.firstArrival == ~0ull)
+            it->second.firstArrival = now;
+        updateTileMin(tile);
+    }
+
+    /** Remove one descriptor from its queued bundle. */
+    void
+    unqueue(uint32_t tile, const DescPtr &d)
+    {
+        auto it = findBundle(tile, d->dst, d->inst);
+        ASH_ASSERT(it != aq[tile].end(), "cancel: bundle missing");
+        auto &descs = it->second.descs;
+        auto pos = std::find(descs.begin(), descs.end(), d);
+        ASH_ASSERT(pos != descs.end());
+        if (trace)
+            std::fprintf(stderr, "[%llu] unqueue T%u/%llu src=T%u\n",
+                         (unsigned long long)now, d->dst,
+                         (unsigned long long)d->inst, d->src);
+        descs.erase(pos);
+        if (descs.empty())
+            aq[tile].erase(it);
+        updateTileMin(tile);
+    }
+
+    // =====================================================================
+    // Abort machinery (SASH)
+    // =====================================================================
+
+    void
+    abortInstance(uint32_t tile, InstKey key, const char *reason)
+    {
+        auto it = tcq[tile].find(key);
+        if (trace)
+            std::fprintf(stderr, "[%llu] abort T%u/%llu (%s) found=%d\n",
+                         (unsigned long long)now, key.first,
+                         (unsigned long long)key.second, reason,
+                         it != tcq[tile].end());
+        if (it == tcq[tile].end())
+            return;   // Already aborted via another path.
+
+        // Younger dispatched instances of the same task observed the
+        // per-task argument buffers this abort rewinds; kill them
+        // first (youngest first) so undo logs unwind in order.
+        {
+            std::vector<InstKey> younger;
+            for (auto jt = tcq[tile].upper_bound(key);
+                 jt != tcq[tile].end() && jt->first.first == key.first;
+                 ++jt)
+                younger.push_back(jt->first);
+            for (auto k = younger.rbegin(); k != younger.rend(); ++k)
+                abortInstance(tile, *k, "same-task-order");
+            it = tcq[tile].find(key);
+            ASH_ASSERT(it != tcq[tile].end(),
+                       "instance vanished while aborting successors");
+        }
+
+        TcqEntry entry = std::move(it->second);
+        tcq[tile].erase(it);
+        stats.inc("aborts");
+        stats.inc(std::string("aborts.") + reason);
+        busyAborted += entry.duration;
+        busyUnresolved -= entry.duration;
+
+        // Cancel children FIRST (Time-Warp anti-messages): children
+        // wrote after this instance, so their rollbacks must land
+        // before ours or our restored values would be re-clobbered.
+        for (const DescPtr &d : entry.sent) {
+            uint32_t dst_tile = prog.tasks[d->dst].tile;
+            switch (d->state) {
+              case Desc::St::InFlight:
+                d->state = Desc::St::Cancelled;
+                stats.inc("cancelMessages");
+                break;
+              case Desc::St::Queued:
+                unqueue(dst_tile, d);
+                d->state = Desc::St::Cancelled;
+                stats.inc("cancelMessages");
+                break;
+              case Desc::St::Consumed:
+                abortInstance(dst_tile, {d->dst, d->inst}, "cascade");
+                // The consumer's abort re-queued this descriptor; now
+                // cancel it from the AQ.
+                if (d->state == Desc::St::Queued) {
+                    unqueue(dst_tile, d);
+                    d->state = Desc::St::Cancelled;
+                }
+                stats.inc("cancelMessages");
+                break;
+              case Desc::St::Cancelled:
+                break;
+            }
+        }
+
+        // Roll back memory effects in reverse order.
+        for (auto u = entry.undo.rbegin(); u != entry.undo.rend();
+             ++u) {
+            switch (u->kind) {
+              case UndoRec::Kind::Mem:
+                if (traceMem == static_cast<int64_t>(u->a))
+                    std::fprintf(stderr,
+                                 "[%llu] undo m%u[%llu]->%llu "
+                                 "(T%u/%llu)\n",
+                                 (unsigned long long)now, u->a,
+                                 (unsigned long long)u->b,
+                                 (unsigned long long)u->oldVal,
+                                 entry.task,
+                                 (unsigned long long)entry.inst);
+                memData[u->a][u->b] =
+                    Versioned{u->oldVal, u->oldTag,
+                              static_cast<TaskId>(u->existed
+                                                      ? u->oldVec[0]
+                                                      : invalidTask)};
+                break;
+              case UndoRec::Kind::RegState:
+                regState[u->a] =
+                    Versioned{u->oldVal, u->oldTag,
+                              static_cast<TaskId>(u->existed
+                                                      ? u->oldVec[0]
+                                                      : invalidTask)};
+                break;
+              case UndoRec::Kind::BufMem:
+                if (u->existed) {
+                    bufMem[u->a][static_cast<NodeId>(u->b)] =
+                        Versioned{u->oldVal, u->oldTag,
+                                  static_cast<TaskId>(u->oldVec[0])};
+                } else {
+                    bufMem[u->a].erase(static_cast<NodeId>(u->b));
+                }
+                break;
+              case UndoRec::Kind::Filter:
+                filters[u->a][u->b] = u->oldVec;
+                filterValid[u->a][u->b] = u->existed;
+                break;
+              case UndoRec::Kind::LastVals:
+                if (u->existed)
+                    lastVals[u->a][static_cast<NodeId>(u->b)] =
+                        u->oldVal;
+                else
+                    lastVals[u->a].erase(static_cast<NodeId>(u->b));
+                break;
+            }
+        }
+
+        // Requeue the instance with its original descriptors.
+        for (const DescPtr &d : entry.consumed) {
+            if (d->state == Desc::St::Consumed)
+                enqueue(tile, d);
+        }
+        // Rollback semantics (Time Warp): an aborted instance MUST
+        // re-execute — its pushes were cancelled, and a producer whose
+        // re-push is filtered will never re-activate it. A synthetic,
+        // uncancellable token guarantees the re-run.
+        auto token = std::make_shared<Desc>();
+        token->dst = key.first;
+        token->inst = key.second;
+        token->kind = PushKind::Raw;
+        token->bytes = 16;
+        token->ts = entry.ts;
+        enqueue(tile, token);
+        Event ev;
+        ev.time = now + 1;
+        ev.type = Event::Type::Retry;
+        ev.tile = tile;
+        events.push(ev);
+    }
+
+    // =====================================================================
+    // Functional execution
+    // =====================================================================
+
+    struct Ctx
+    {
+        TaskId task;
+        uint64_t inst;
+        std::unordered_map<NodeId, uint64_t> local;
+        std::unordered_map<NodeId, uint64_t> recv;
+        TcqEntry *entry = nullptr;
+        uint64_t dataStallLines = 0;
+    };
+
+    uint64_t
+    regNextValue(Ctx &ctx, size_t reg_idx)
+    {
+        // The next value is either computed in-task, constant, or —
+        // in the single-cycle graph — delivered by descriptor from
+        // the producing task; resolve() covers all three.
+        return resolve(ctx, nl.regs()[reg_idx].next);
+    }
+
+    /** Resolve the value of @p id as seen by instance ctx. */
+    uint64_t
+    resolve(Ctx &ctx, NodeId id)
+    {
+        auto lit = ctx.local.find(id);
+        if (lit != ctx.local.end())
+            return lit->second;
+        const rtl::Node &n = nl.node(id);
+        if (n.op == Op::Const)
+            return n.imm;
+        auto rit = ctx.recv.find(id);
+        if (rit != ctx.recv.end())
+            return rit->second;
+        if (n.op == Op::Input)
+            return frame(ctx.inst)[inputIndex(id)];
+        if (n.op == Op::Reg) {
+            size_t r = nl.regIndex(id);
+            if (!prog.unrolled) {
+                // Single-cycle graph: registers live in tile memory.
+                ++ctx.dataStallLines;
+                return readVersioned(
+                    &regState[r], [&]() { return &regState[r]; },
+                    ctx.inst);
+            }
+            if (regConstNext[r] >= 0) {
+                return ctx.inst == 0
+                           ? nl.regs()[r].init
+                           : static_cast<uint64_t>(regConstNext[r]);
+            }
+            // Fall through to lastVals / zero below.
+        }
+        // Buffered inputs (DTT / fan-in staging memory).
+        const Task &t = prog.tasks[ctx.task];
+        for (TaskId buf : t.bufferParents) {
+            const auto &carried = prog.tasks[buf].carriedValues;
+            if (std::find(carried.begin(), carried.end(), id) ==
+                carried.end())
+                continue;
+            ++ctx.dataStallLines;
+            auto find_cell = [&]() -> Versioned * {
+                auto mit = bufMem[buf].find(id);
+                return mit == bufMem[buf].end() ? nullptr
+                                                : &mit->second;
+            };
+            Versioned *cell = find_cell();
+            if (!cell)
+                break;   // Never staged yet: old-value path below.
+            return readVersioned(cell, find_cell, ctx.inst + 1);
+        }
+        if (cfg.selective) {
+            auto vit = lastVals[ctx.task].find(id);
+            if (vit != lastVals[ctx.task].end())
+                return vit->second;
+            return 0;   // Speculative cold read; aborts repair it.
+        }
+        panic("DASH: value %u missing for task %u inst %llu", id,
+              ctx.task, static_cast<unsigned long long>(ctx.inst));
+    }
+
+    uint32_t
+    inputIndex(NodeId id) const
+    {
+        auto it = inputIdxOf.find(id);
+        ASH_ASSERT(it != inputIdxOf.end(), "node %u is not an input",
+                   id);
+        return it->second;
+    }
+
+    void
+    logLastVal(Ctx &ctx, NodeId id, uint64_t val)
+    {
+        auto &lv = lastVals[ctx.task];
+        auto it = lv.find(id);
+        UndoRec u;
+        u.kind = UndoRec::Kind::LastVals;
+        u.a = ctx.task;
+        u.b = id;
+        u.existed = it != lv.end();
+        u.oldVal = u.existed ? it->second : 0;
+        ctx.entry->undo.push_back(std::move(u));
+        lv[id] = val;
+    }
+
+    /** Execute the task body; fills ctx.local, pushes undo records. */
+    void
+    executeBody(Ctx &ctx)
+    {
+        const Task &t = prog.tasks[ctx.task];
+        uint64_t scratch[8];
+        for (NodeId raw : t.nodes) {
+            if (raw & regWriteFlag) {
+                NodeId reg = raw & ~regWriteFlag;
+                size_t r = nl.regIndex(reg);
+                uint64_t v = regNextValue(ctx, r);
+                UndoRec u;
+                u.kind = UndoRec::Kind::RegState;
+                u.a = static_cast<uint32_t>(r);
+                u.oldVal = regState[r].val;
+                u.oldTag = regState[r].tag;
+                u.oldVec = {regState[r].writer};
+                ctx.entry->undo.push_back(std::move(u));
+                regState[r] = Versioned{v, ctx.inst + 1, ctx.task};
+                ++ctx.dataStallLines;
+                continue;
+            }
+            const rtl::Node &n = nl.node(raw);
+            switch (n.op) {
+              case Op::Input:
+                ctx.local[raw] = frame(ctx.inst)[inputIndex(raw)];
+                break;
+              case Op::Reg:
+                ctx.local[raw] = resolve(ctx, raw);
+                break;
+              case Op::MemRead: {
+                uint64_t addr = resolve(ctx, n.operands[0]);
+                auto &mem = memData[n.mem];
+                ++ctx.dataStallLines;
+                uint64_t v = 0;
+                if (addr < mem.size()) {
+                    v = readVersioned(&mem[addr],
+                                      [&]() { return &mem[addr]; },
+                                      ctx.inst);
+                }
+                ctx.local[raw] = v;
+                break;
+              }
+              case Op::MemWrite: {
+                uint64_t addr = resolve(ctx, n.operands[0]);
+                uint64_t data = resolve(ctx, n.operands[1]);
+                uint64_t en = resolve(ctx, n.operands[2]);
+                ++ctx.dataStallLines;
+                if (traceMem == static_cast<int64_t>(n.mem))
+                    std::fprintf(stderr,
+                                 "[%llu] write m%u[%llu]=%llu en=%llu"
+                                 " T%u/%llu node %u\n",
+                                 (unsigned long long)now, n.mem,
+                                 (unsigned long long)addr,
+                                 (unsigned long long)data,
+                                 (unsigned long long)en, ctx.task,
+                                 (unsigned long long)ctx.inst, raw);
+                if (en && addr < memData[n.mem].size()) {
+                    Versioned &cell = memData[n.mem][addr];
+                    UndoRec u;
+                    u.kind = UndoRec::Kind::Mem;
+                    u.a = n.mem;
+                    u.b = addr;
+                    u.oldVal = cell.val;
+                    u.oldTag = cell.tag;
+                    u.existed = true;
+                    u.oldVec = {cell.writer};
+                    ctx.entry->undo.push_back(std::move(u));
+                    cell = Versioned{data, ctx.inst + 1, ctx.task};
+                }
+                break;
+              }
+              case Op::Output: {
+                uint64_t v = resolve(ctx, n.operands[0]);
+                ctx.entry->outputs.emplace_back(outputIndexOf[raw], v);
+                break;
+              }
+              default: {
+                for (size_t i = 0; i < n.operands.size(); ++i)
+                    scratch[i] = resolve(ctx, n.operands[i]);
+                ctx.local[raw] = rtl::evalCombOp(n, nl, scratch);
+                break;
+              }
+            }
+        }
+    }
+
+    /**
+     * Value a push carries for node @p id. A register id on a
+     * cross-cycle push means "the register's value at cycle+1", i.e.
+     * the next-value this instance computed; on a same-cycle push it
+     * is the register's current value.
+     */
+    uint64_t
+    pushValue(Ctx &ctx, NodeId id, bool cross_cycle)
+    {
+        const rtl::Node &n = nl.node(id);
+        if (n.op == Op::Reg && cross_cycle) {
+            NodeId next = nl.regs()[nl.regIndex(id)].next;
+            if (nl.node(next).op == Op::Const)
+                return nl.node(next).imm;
+            auto nit = ctx.local.find(next);
+            if (nit != ctx.local.end())
+                return nit->second;
+            return resolve(ctx, next);
+        }
+        return resolve(ctx, id);
+    }
+
+    // =====================================================================
+    // Dispatch, completion, commit
+    // =====================================================================
+
+    /** Dispatch one AQ bundle on a core; returns execution duration. */
+    void
+    dispatch(uint32_t tile, uint32_t core,
+             std::map<AqKey, Bundle>::iterator bit)
+    {
+        TaskId task = std::get<1>(bit->first);
+        uint64_t inst = std::get<2>(bit->first);
+        const Task &t = prog.tasks[task];
+        Bundle bundle = std::move(bit->second);
+        aq[tile].erase(bit);
+        updateTileMin(tile);
+
+        // Same-task future instances read state this instance will
+        // change: abort them first (conservative, SASH only).
+        if (cfg.selective) {
+            std::vector<InstKey> doomed;
+            for (auto it = tcq[tile].lower_bound({task, inst + 1});
+                 it != tcq[tile].end() && it->first.first == task;
+                 ++it)
+                doomed.push_back(it->first);
+            // Youngest first, so undo logs unwind in order.
+            for (auto k = doomed.rbegin(); k != doomed.rend(); ++k)
+                abortInstance(tile, *k, "same-task-order");
+        }
+
+        TcqEntry entry;
+        entry.task = task;
+        entry.inst = inst;
+        entry.ts = ts(task, inst);
+        entry.epoch = ++epochCounter;
+
+        if (cfg.selective) {
+            for (size_t pi = 0; pi < parentsOf[task].size(); ++pi) {
+                auto [ptask, cross] = parentsOf[task][pi];
+                if (cross && inst == 0)
+                    continue;
+                bool have = false;
+                for (const DescPtr &d : bundle.descs) {
+                    if (d->src == ptask) {
+                        have = true;
+                        break;
+                    }
+                }
+                uint8_t &ctr = parentPred[task][pi];
+                if (have)
+                    ctr = static_cast<uint8_t>(std::min(3, ctr + 1));
+                else if (ctr > 0)
+                    --ctr;
+            }
+        }
+
+        Ctx ctx;
+        ctx.task = task;
+        ctx.inst = inst;
+        ctx.entry = &entry;
+        uint32_t arrived = 0;
+        for (const DescPtr &d : bundle.descs) {
+            d->state = Desc::St::Consumed;
+            ++arrived;
+            for (auto &[node, val] : d->values)
+                ctx.recv[node] = val;
+            entry.consumed.push_back(d);
+        }
+        if (cfg.selective) {
+            for (auto &[node, val] : ctx.recv)
+                logLastVal(ctx, node, val);
+        }
+
+        // Functional execution.
+        uint64_t sent_pushes = 0;
+        uint64_t filtered = 0;
+        if (t.kind == TaskKind::Buffer) {
+            // Raw tokens from upstream buffers in a fan-in chain mean
+            // "the consumer must run"; they propagate regardless of
+            // this buffer's own values.
+            bool got_raw = false;
+            for (const DescPtr &d : bundle.descs) {
+                if (d->kind == PushKind::Raw)
+                    got_raw = true;
+            }
+            bool all_same = true;
+            std::vector<uint64_t> vals;
+            for (NodeId v : t.carriedValues) {
+                uint64_t val = resolve(ctx, v);
+                vals.push_back(val);
+                auto it = bufMem[task].find(v);
+                if (it == bufMem[task].end() || it->second.val != val)
+                    all_same = false;
+            }
+            if (trace)
+                std::fprintf(stderr,
+                             "[%llu] buffer T%u/%llu all_same=%d "
+                             "raw=%d recv=%zu\n",
+                             (unsigned long long)now, task,
+                             (unsigned long long)inst, all_same,
+                             got_raw, ctx.recv.size());
+            if (!(cfg.selective && all_same && !got_raw)) {
+                for (size_t i = 0; i < t.carriedValues.size(); ++i) {
+                    NodeId v = t.carriedValues[i];
+                    auto it = bufMem[task].find(v);
+                    UndoRec u;
+                    u.kind = UndoRec::Kind::BufMem;
+                    u.a = task;
+                    u.b = v;
+                    u.existed = it != bufMem[task].end();
+                    if (u.existed) {
+                        u.oldVal = it->second.val;
+                        u.oldTag = it->second.tag;
+                        u.oldVec = {it->second.writer};
+                    } else {
+                        u.oldVec = {invalidTask};
+                    }
+                    entry.undo.push_back(std::move(u));
+                    bufMem[task][v] =
+                        Versioned{vals[i], inst + 1, task};
+                    ++ctx.dataStallLines;
+                }
+                sendPushes(tile, entry, ctx, sent_pushes, filtered,
+                           /*force=*/false);
+            } else {
+                filtered += t.pushes.size();
+            }
+        } else {
+            executeBody(ctx);
+            sendPushes(tile, entry, ctx, sent_pushes, filtered,
+                       /*force=*/false);
+        }
+
+        // Timing.
+        uint64_t instr = t.cost + cfg.pushCost * sent_pushes;
+        if (cfg.selective)
+            instr += static_cast<uint64_t>(t.pushes.size());
+        if (!cfg.hwDataflow) {
+            // Software dataflow (Swarm/Chronos, Sec 10.1): spawn
+            // bookkeeping, argument stores/loads through memory, and
+            // a counter-decrement join per parent.
+            instr += 12 + 6ull * t.numParents + 10ull * t.pushes.size();
+            if (cfg.selective)
+                instr += 4ull * t.numParents;
+        }
+        uint64_t stall = fetchCode(tile, core, t, now);
+        // Argument/filter buffers and touched state lines.
+        uint64_t data_lines = 1 + (cfg.selective ? 1 : 0) +
+                              ctx.dataStallLines;
+        if (!cfg.hwDataflow)
+            data_lines += t.numParents;
+        for (uint64_t i = 0; i < data_lines; ++i) {
+            uint64_t addr = 0x100000ull + task * 256 + i * 64;
+            stall += dataAccess(tile, core, addr, now);
+        }
+        uint64_t duration =
+            static_cast<uint64_t>(static_cast<double>(instr) *
+                                  cfg.baseCpi) +
+            stall + cfg.dispatchOverhead +
+            (bundle.spilled ? cfg.spillPenalty : 0);
+        duration = std::max<uint64_t>(duration, 2);
+        entry.duration = duration;
+        busyUnresolved += duration;
+
+        stats.inc("tasksExecuted");
+        stats.inc("instrs", instr);
+        stats.inc("descsConsumed", arrived);
+        stats.inc("descsFiltered", filtered);
+
+        coreFreeAt[tile][core] = now + duration;
+        Event ev;
+        ev.time = now + duration;
+        ev.type = Event::Type::CoreFree;
+        ev.tile = tile;
+        ev.core = core;
+        ev.task = task;
+        ev.inst = inst;
+        ev.epoch = entry.epoch;
+        events.push(ev);
+
+        if (trace)
+            std::fprintf(stderr, "[%llu] dispatch T%u/%llu dur=%llu\n",
+                         (unsigned long long)now, task,
+                         (unsigned long long)inst,
+                         (unsigned long long)entry.duration);
+        auto [tit, fresh] = tcq[tile].emplace(InstKey{task, inst},
+                                              std::move(entry));
+        ASH_ASSERT(fresh, "double dispatch of task %u inst %llu",
+                   task, static_cast<unsigned long long>(inst));
+        (void)tit;
+    }
+
+    bool trace = getenv("ASH_TRACE") != nullptr;
+    int64_t traceMem = getenv("ASH_TRACE_MEM")
+                           ? atoll(getenv("ASH_TRACE_MEM"))
+                           : -1;
+    uint64_t lastGvtCycle = 0;
+
+    // --- incomplete-dispatch gate bookkeeping -------------------------
+    std::vector<std::vector<std::pair<TaskId, bool>>> parentsOf;
+    /**
+     * Per-(task, parent) 2-bit delivery predictor: >=2 means this
+     * parent historically delivers its argument (so wait for it),
+     * <2 means it is historically filtered/skipped (dispatch without
+     * it). Mirrors hardware skip prediction; mispredictions are
+     * repaired by the speculation machinery.
+     */
+    std::vector<std::vector<uint8_t>> parentPred;
+    std::map<InstKey, uint32_t> inFlightTo;
+    std::vector<uint64_t> tileMinTs;    ///< Min queued ts per tile.
+    std::multiset<uint64_t> tileMins;   ///< All per-tile minima.
+    std::set<uint32_t> gateBlocked;     ///< Tiles waiting on the gate.
+    uint64_t prevGateMin = ~0ull;
+
+    /** Refresh @p tile's entry in the global queued-ts minima. */
+    void
+    updateTileMin(uint32_t tile)
+    {
+        uint64_t fresh = aq[tile].empty()
+                             ? ~0ull
+                             : std::get<0>(aq[tile].begin()->first);
+        if (fresh == tileMinTs[tile])
+            return;
+        auto it = tileMins.find(tileMinTs[tile]);
+        ASH_ASSERT(it != tileMins.end());
+        tileMins.erase(it);
+        tileMins.insert(fresh);
+        tileMinTs[tile] = fresh;
+    }
+
+    /** Wake gate-blocked tiles when the global picture changed. */
+    void
+    wakeGateBlocked()
+    {
+        uint64_t cur = tileMins.empty() ? ~0ull : *tileMins.begin();
+        if (!inFlight.empty())
+            cur = std::min(cur, *inFlight.begin());
+        if (cur == prevGateMin || gateBlocked.empty()) {
+            prevGateMin = cur;
+            return;
+        }
+        prevGateMin = cur;
+        for (uint32_t tile : gateBlocked) {
+            Event ev;
+            ev.time = now + 1;
+            ev.type = Event::Type::Retry;
+            ev.tile = tile;
+            events.push(ev);
+        }
+        gateBlocked.clear();
+    }
+
+    void
+    sendPushes(uint32_t tile, TcqEntry &entry, Ctx &ctx,
+               uint64_t &sent, uint64_t &filtered, bool force)
+    {
+        const Task &t = prog.tasks[ctx.task];
+        (void)force;
+        for (size_t pi = 0; pi < t.pushes.size(); ++pi) {
+            const Push &p = t.pushes[pi];
+            uint64_t dst_inst = ctx.inst + (p.crossCycle ? 1 : 0);
+            std::vector<std::pair<NodeId, uint64_t>> payload;
+            for (NodeId v : p.values)
+                payload.emplace_back(v, pushValue(ctx, v,
+                                                  p.crossCycle));
+
+            if (cfg.selective && p.kind == PushKind::Value) {
+                // Output-argument filtering (Sec 5.1).
+                bool same = filterValid[ctx.task][pi];
+                if (same) {
+                    const auto &prev = filters[ctx.task][pi];
+                    for (size_t i = 0; i < payload.size(); ++i) {
+                        if (prev[i] != payload[i].second) {
+                            same = false;
+                            break;
+                        }
+                    }
+                }
+                if (same) {
+                    ++filtered;
+                    continue;
+                }
+                UndoRec u;
+                u.kind = UndoRec::Kind::Filter;
+                u.a = ctx.task;
+                u.b = pi;
+                u.oldVec = filters[ctx.task][pi];
+                u.existed = filterValid[ctx.task][pi];
+                ctx.entry->undo.push_back(std::move(u));
+                auto &f = filters[ctx.task][pi];
+                f.clear();
+                for (auto &[n, v] : payload)
+                    f.push_back(v);
+                filterValid[ctx.task][pi] = 1;
+            }
+
+            auto d = std::make_shared<Desc>();
+            d->dst = p.dst;
+            d->inst = dst_inst;
+            d->src = ctx.task;
+            d->kind = p.kind;
+            d->values = std::move(payload);
+            d->bytes = p.bytes();
+            d->ts = ts(p.dst, dst_inst);
+            d->state = Desc::St::InFlight;
+            uint32_t dst_tile = prog.tasks[p.dst].tile;
+            uint64_t arrive = noc.send(tile, dst_tile, d->bytes,
+                                       now + 2 + sent);
+            inFlight.insert(d->ts);
+            ++inFlightTo[{d->dst, d->inst}];
+            entry.sent.push_back(d);
+            ++sent;
+            stats.inc("descsSent");
+            stats.inc("descBytes", d->bytes);
+
+            Event ev;
+            ev.time = arrive;
+            ev.type = Event::Type::DescArrive;
+            ev.tile = dst_tile;
+            ev.desc = d;
+            events.push(ev);
+        }
+    }
+
+    // =====================================================================
+    // Scheduling
+    // =====================================================================
+
+    /** Try to dispatch work on every free core of @p tile. */
+    void
+    trySchedule(uint32_t tile)
+    {
+        while (true) {
+            // Find a free core.
+            uint32_t core = ~0u;
+            for (uint32_t c = 0; c < cfg.coresPerTile; ++c) {
+                if (coreFreeAt[tile][c] <= now) {
+                    core = c;
+                    break;
+                }
+            }
+            if (core == ~0u)
+                return;
+            if (cfg.selective &&
+                tcq[tile].size() >= cfg.tcqEntries) {
+                stats.inc("tcqFullStalls");
+                return;
+            }
+
+            auto bit = pickBundle(tile);
+            if (bit == aq[tile].end())
+                return;
+            dispatch(tile, core, bit);
+        }
+    }
+
+    /** Choose the next bundle to dispatch, or end() if none. */
+    std::map<AqKey, Bundle>::iterator
+    pickBundle(uint32_t tile)
+    {
+        auto &q = aq[tile];
+        if (q.empty())
+            return q.end();
+
+        if (cfg.selective) {
+            // SASH: lowest-timestamp instance; incomplete bundles get
+            // a short merge grace period.
+            auto it = q.begin();
+            TaskId task = std::get<1>(it->first);
+            uint64_t inst = std::get<2>(it->first);
+            if (inst > lastGvtCycle + cfg.speculationWindow)
+                return q.end();   // Bound speculative run-ahead.
+            uint32_t need = prog.tasks[task].numParents;
+            if (it->second.descs.size() < need) {
+                // Missing arguments: speculate "producer skipped"
+                // only when the missing producers could not still be
+                // on the way — no descriptor to this instance in
+                // flight, and no missing parent queued anywhere. A
+                // parent that never activates is the selective-skip
+                // case this dispatch bets on.
+                if (now < it->second.lastArrival +
+                              cfg.mergeGraceCycles) {
+                    Event ev;
+                    ev.time = it->second.lastArrival +
+                              cfg.mergeGraceCycles;
+                    ev.type = Event::Type::Retry;
+                    ev.tile = tile;
+                    events.push(ev);
+                    return q.end();
+                }
+                if (inFlightTo.count({task, inst})) {
+                    gateBlocked.insert(tile);
+                    return q.end();
+                }
+                uint64_t global_min = tileMins.empty()
+                                          ? ~0ull
+                                          : *tileMins.begin();
+                if (!inFlight.empty())
+                    global_min = std::min(global_min,
+                                          *inFlight.begin());
+                bool blocked = false;
+                for (size_t pi = 0; pi < parentsOf[task].size();
+                     ++pi) {
+                    auto [ptask, cross] = parentsOf[task][pi];
+                    if (cross && inst == 0)
+                        continue;   // Bootstrap always delivers.
+                    uint64_t pinst = inst - (cross ? 1 : 0);
+                    bool have = false;
+                    for (const DescPtr &d : it->second.descs) {
+                        if (d->src == ptask) {
+                            have = true;
+                            break;
+                        }
+                    }
+                    if (have)
+                        continue;
+                    uint32_t ptile = prog.tasks[ptask].tile;
+                    if (findBundle(ptile, ptask, pinst) !=
+                        aq[ptile].end()) {
+                        blocked = true;   // Producer queued: wait.
+                        break;
+                    }
+                    // Not queued, not in flight: skip-predicted
+                    // parents are speculated away immediately;
+                    // deliver-predicted parents are waited for, but
+                    // only for a bounded window — past it we
+                    // speculate with the stale value and let a late
+                    // arrival abort us (the paper's optimistic bet).
+                    bool strong = parentPred[task][pi] >= 3;
+                    if (parentPred[task][pi] >= 2 &&
+                        global_min <= ts(ptask, pinst) &&
+                        (strong ||
+                         now < it->second.firstArrival +
+                                   cfg.deliverWaitCycles)) {
+                        if (!strong) {
+                            Event ev;
+                            ev.time = it->second.firstArrival +
+                                      cfg.deliverWaitCycles;
+                            ev.type = Event::Type::Retry;
+                            ev.tile = tile;
+                            events.push(ev);
+                        }
+                        blocked = true;
+                        break;
+                    }
+                }
+                if (blocked) {
+                    gateBlocked.insert(tile);
+                    return q.end();
+                }
+            }
+            return it;
+        }
+
+        // DASH: dispatch complete bundles, preferring those within
+        // the merge window; completing beyond it models an eviction.
+        uint32_t scanned = 0;
+        auto first_beyond = q.end();
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            TaskId task = std::get<1>(it->first);
+            bool complete =
+                it->second.descs.size() >=
+                prog.tasks[task].numParents;
+            if (complete) {
+                if (scanned < cfg.mergeEntries)
+                    return it;
+                first_beyond = it;
+                break;
+            }
+            ++scanned;
+        }
+        if (first_beyond != q.end()) {
+            stats.inc("mergeEvictions");
+            return first_beyond;
+        }
+        return q.end();
+    }
+
+    // =====================================================================
+    // Event handlers
+    // =====================================================================
+
+    void
+    onDescArrive(uint32_t tile, const DescPtr &d)
+    {
+        auto fit = inFlight.find(d->ts);
+        if (fit != inFlight.end())
+            inFlight.erase(fit);
+        auto tit2 = inFlightTo.find({d->dst, d->inst});
+        if (tit2 != inFlightTo.end() && --tit2->second == 0)
+            inFlightTo.erase(tit2);
+        if (d->state == Desc::St::Cancelled)
+            return;
+        stats.inc("descsArrived");
+
+        if (cfg.selective) {
+            // Conflict detection (Sec 5.2).
+            auto tit = tcq[tile].find({d->dst, d->inst});
+            if (tit != tcq[tile].end()) {
+                abortInstance(tile, {d->dst, d->inst}, "late-arg");
+                // Train the skip predictor: this parent delivers.
+                for (size_t pi = 0; pi < parentsOf[d->dst].size();
+                     ++pi) {
+                    if (parentsOf[d->dst][pi].first == d->src)
+                        parentPred[d->dst][pi] = 3;
+                }
+            }
+            if (d->kind == PushKind::War) {
+                // Conflict-checked, then discarded.
+                d->state = Desc::St::Cancelled;
+                stats.inc("warDiscarded");
+                trySchedule(tile);
+                return;
+            }
+        }
+        enqueue(tile, d);
+        trySchedule(tile);
+    }
+
+    void
+    onCoreFree(const Event &ev)
+    {
+        auto it = tcq[ev.tile].find({ev.task, ev.inst});
+        if (it != tcq[ev.tile].end() &&
+            it->second.epoch == ev.epoch) {
+            it->second.completed = true;
+            if (!cfg.selective)
+                commitEntry(ev.tile, it);
+        }
+        trySchedule(ev.tile);
+    }
+
+    /** Finalize one entry: record outputs, account committed time. */
+    void
+    commitEntry(uint32_t tile,
+                std::map<InstKey, TcqEntry>::iterator it)
+    {
+        TcqEntry &e = it->second;
+        for (auto &[idx, val] : e.outputs) {
+            if (e.inst < designCycles)
+                finalOutputs[{e.inst, idx}] = val;
+        }
+        busyCommitted += e.duration;
+        busyUnresolved -= e.duration;
+        stats.inc("tasksCommitted");
+        if (trace)
+            std::fprintf(stderr, "[%llu] commit T%u/%llu\n",
+                         (unsigned long long)now, e.task,
+                         (unsigned long long)e.inst);
+        tcq[tile].erase(it);
+    }
+
+    void
+    onVtRound()
+    {
+        stats.inc("commitRounds");
+
+        // GVT over AQ, TCQ, in-flight, and uninjected stimulus.
+        uint64_t g = ~0ull;
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            if (cfg.prioritized) {
+                if (!aq[t].empty()) {
+                    auto &key = aq[t].begin()->first;
+                    g = std::min(g, ts(std::get<1>(key),
+                                       std::get<2>(key)));
+                }
+            } else {
+                // Unordered mode: keys are arrival order, so scan.
+                for (const auto &[key, b] : aq[t])
+                    g = std::min(g, ts(std::get<1>(key),
+                                       std::get<2>(key)));
+            }
+            for (const auto &[k, e] : tcq[t]) {
+                if (!e.completed || cfg.selective)
+                    g = std::min(g, e.ts);
+            }
+        }
+        if (!inFlight.empty())
+            g = std::min(g, *inFlight.begin());
+        if (injectedUpTo < designCycles)
+            g = std::min(g, prog.cycleDepth * injectedUpTo);
+
+        // Bulk commit (SASH).
+        if (cfg.selective) {
+            for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+                for (auto it = tcq[t].begin(); it != tcq[t].end();) {
+                    if (it->second.completed && it->second.ts <= g) {
+                        auto next = std::next(it);
+                        commitEntry(t, it);
+                        it = next;
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+        }
+
+        // Stimulus top-up within the run-ahead window.
+        uint64_t gvt_cycle = g == ~0ull ? designCycles
+                                        : g / prog.cycleDepth;
+        lastGvtCycle = gvt_cycle;
+        uint64_t target = std::min<uint64_t>(
+            designCycles, gvt_cycle + cfg.stimulusWindow);
+        while (injectedUpTo < target)
+            injectStimulus(injectedUpTo++);
+
+        // Occupancy sampling (time-weighted by uniform rounds).
+        uint64_t aq_total = 0, tcq_total = 0, foot = 0;
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            aq_total += aq[t].size();
+            tcq_total += tcq[t].size();
+            for (const auto &[k, b] : aq[t])
+                foot += b.bytes();
+        }
+        stats.sample("aqOccupancy",
+                     static_cast<double>(aq_total) / cfg.numTiles);
+        stats.sample("tcqOccupancy",
+                     static_cast<double>(tcq_total) / cfg.numTiles);
+        stats.sample("footprintBytes",
+                     static_cast<double>(foot) + 16.0 *
+                         static_cast<double>(inFlight.size()));
+
+        for (uint32_t t = 0; t < cfg.numTiles; ++t)
+            trySchedule(t);
+
+        if (g >= prog.cycleDepth * designCycles &&
+            injectedUpTo >= designCycles) {
+            done = true;
+            return;
+        }
+        Event ev;
+        ev.time = now + cfg.vtIntervalCycles;
+        ev.type = Event::Type::VtRound;
+        events.push(ev);
+    }
+
+    void
+    injectStimulus(uint64_t cycle)
+    {
+        const auto &cur = frame(cycle);
+        const auto *prev = cycle > 0 ? &frame(cycle - 1) : nullptr;
+        for (TaskId t : activatedTasks) {
+            bool fire = true;
+            if (cfg.selective && cycle > 1) {
+                if (taskInputs[t].empty()) {
+                    fire = false;   // Constant-register bootstrap.
+                } else {
+                    fire = false;
+                    for (auto &[node, idx] : taskInputs[t]) {
+                        if ((*prev)[idx] != cur[idx]) {
+                            fire = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if (!fire)
+                continue;
+            auto d = std::make_shared<Desc>();
+            d->dst = t;
+            d->inst = cycle;
+            d->kind = PushKind::Value;
+            d->stimulus = true;
+            d->bytes = 16 + 8 * static_cast<uint32_t>(
+                                    taskInputs[t].size());
+            d->ts = ts(t, cycle);
+            Event ev;
+            ev.time = now + 1;
+            ev.type = Event::Type::DescArrive;
+            ev.tile = prog.tasks[t].tile;
+            ev.desc = d;
+            inFlight.insert(d->ts);
+            ++inFlightTo[{d->dst, d->inst}];
+            events.push(ev);
+            stats.inc("stimulusDescs");
+        }
+    }
+
+    /** Cycle-0 bootstrap: cross-cycle edges carry register inits. */
+    void
+    bootstrap()
+    {
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes) {
+                if (!p.crossCycle)
+                    continue;
+                auto d = std::make_shared<Desc>();
+                d->dst = p.dst;
+                d->inst = 0;
+                d->kind = p.kind;
+                d->bytes = p.bytes();
+                d->ts = ts(p.dst, 0);
+                for (NodeId v : p.values) {
+                    uint64_t init = 0;
+                    if (nl.node(v).op == Op::Reg)
+                        init = nl.regs()[nl.regIndex(v)].init;
+                    d->values.emplace_back(v, init);
+                }
+                Event ev;
+                ev.time = 1;
+                ev.type = Event::Type::DescArrive;
+                ev.tile = prog.tasks[p.dst].tile;
+                ev.desc = d;
+                d->src = t.id;
+                inFlight.insert(d->ts);
+                ++inFlightTo[{d->dst, d->inst}];
+                events.push(ev);
+            }
+        }
+    }
+
+    // =====================================================================
+    // Main loop
+    // =====================================================================
+
+    RunResult
+    run(Stimulus &stimulus, uint64_t design_cycles)
+    {
+        stim = &stimulus;
+        designCycles = design_cycles;
+        bootstrap();
+
+        Event vt;
+        vt.time = cfg.vtIntervalCycles;
+        vt.type = Event::Type::VtRound;
+        events.push(vt);
+
+        uint64_t processed = 0;
+        while (!events.empty() && !done) {
+            Event ev = events.top();
+            events.pop();
+            ASH_ASSERT(ev.time >= now, "time went backwards");
+            now = ev.time;
+            ++processed;
+            ASH_ASSERT(processed < 4000000000ull, "runaway simulation");
+            switch (ev.type) {
+              case Event::Type::DescArrive:
+                onDescArrive(ev.tile, ev.desc);
+                break;
+              case Event::Type::CoreFree:
+                onCoreFree(ev);
+                break;
+              case Event::Type::VtRound:
+                onVtRound();
+                break;
+              case Event::Type::Retry:
+                trySchedule(ev.tile);
+                break;
+            }
+            if (cfg.selective)
+                wakeGateBlocked();
+        }
+        ASH_ASSERT(done, "simulation deadlocked at cycle %llu",
+                   static_cast<unsigned long long>(now));
+
+        RunResult result;
+        result.chipCycles = now;
+        result.designCycles = designCycles;
+
+        // Assemble the output trace, carrying skipped cycles forward.
+        size_t n_out = nl.outputs().size();
+        result.outputs.assign(designCycles,
+                              refsim::OutputFrame(n_out, 0));
+        for (uint64_t c = 0; c < designCycles; ++c) {
+            for (size_t o = 0; o < n_out; ++o) {
+                auto it = finalOutputs.find(
+                    {c, static_cast<uint32_t>(o)});
+                if (it != finalOutputs.end())
+                    result.outputs[c][o] = it->second;
+                else if (c > 0)
+                    result.outputs[c][o] = result.outputs[c - 1][o];
+            }
+        }
+
+        // Core-cycle breakdown.
+        uint64_t total_core_cycles =
+            now * cfg.numTiles * cfg.coresPerTile;
+        uint64_t busy = busyCommitted + busyAborted + busyUnresolved;
+        stats.set("coreCyclesCommitted",
+                  busyCommitted + busyUnresolved);
+        stats.set("coreCyclesAborted", busyAborted);
+        stats.set("coreCyclesIdle",
+                  total_core_cycles > busy ? total_core_cycles - busy
+                                           : 0);
+        stats.set("chipCycles", now);
+        uint64_t l1d_miss = 0, l1i_hits = 0;
+        for (auto &c : l1d)
+            l1d_miss += c->misses();
+        for (auto &c : l1i)
+            l1i_hits += c->hits();
+        stats.set("l1dMisses", l1d_miss);
+        stats.set("l1iHits", l1i_hits);
+        stats.set("nocFlitHops", noc.flitHops());
+        stats.set("nocMessages", noc.messages());
+        result.stats = std::move(stats);
+        return result;
+    }
+};
+
+AshSimulator::AshSimulator(const TaskProgram &prog,
+                           const ArchConfig &cfg)
+    : _impl(std::make_unique<Impl>(prog, cfg))
+{
+}
+
+AshSimulator::~AshSimulator() = default;
+
+RunResult
+AshSimulator::run(refsim::Stimulus &stimulus, uint64_t design_cycles)
+{
+    return _impl->run(stimulus, design_cycles);
+}
+
+} // namespace ash::core

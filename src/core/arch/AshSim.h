@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The ASH chip model: a functional + timing co-simulator of DASH
+ * (prioritized hardware task dataflow, Sec 4) and SASH (selective,
+ * speculative execution, Sec 5), with tiles, simple cores, L1/L2
+ * caches, a mesh NoC, DRAM controllers, the Task Management Unit
+ * (Argument Queue with spilling, merge window, ready-task buffer,
+ * Argument Send Buffer), the Task Commit Queue, Virtual-Time bulk
+ * commit, and task-driven instruction prefetching (Sec 6).
+ *
+ * The engine executes the compiled TaskProgram *functionally* (tasks
+ * compute real values, speculation really rolls back through undo
+ * logs), so its committed outputs can be compared bit-for-bit against
+ * the reference simulator — that equivalence is the backbone of the
+ * test suite.
+ *
+ * Documented deviation from the paper (DESIGN.md): SASH's WAR-token
+ * race on in-memory arguments is closed with version tags checked at
+ * read time (aborting the too-early writer), a conservative
+ * strengthening of the paper's conflict detection that only adds
+ * aborts.
+ */
+
+#ifndef ASH_CORE_ARCH_ASHSIM_H
+#define ASH_CORE_ARCH_ASHSIM_H
+
+#include <memory>
+
+#include "common/Stats.h"
+#include "core/compiler/TaskGraph.h"
+#include "refsim/ReferenceSimulator.h"
+#include "refsim/Stimulus.h"
+
+namespace ash::core {
+
+/** Chip configuration (defaults follow Table 3). */
+struct ArchConfig
+{
+    uint32_t numTiles = 64;
+    uint32_t coresPerTile = 4;
+    double ghz = 2.5;
+
+    // Memory hierarchy.
+    uint32_t l1iBytes = 16 * 1024;
+    uint32_t l1dBytes = 16 * 1024;
+    uint32_t l1Ways = 8;
+    uint32_t l1Latency = 2;
+    uint32_t l2Bytes = 1024 * 1024;
+    uint32_t l2Ways = 16;
+    uint32_t l2Latency = 9;
+    uint32_t lineBytes = 64;
+    uint32_t dramLatency = 120;
+    uint32_t dramCtrls = 4;
+    double dramBytesPerCycle = 16.0;   ///< Per controller.
+
+    // TMU structures.
+    uint32_t aqEntries = 512;
+    uint32_t mergeEntries = 16;
+    uint32_t tcqEntries = 512;
+    uint32_t vtIntervalCycles = 10;   ///< Virtual-Time + gate-refresh
+                                       ///< cadence (see DESIGN.md).
+    uint32_t spillPenalty = 30;        ///< Refill latency per bundle.
+    uint32_t mergeGraceCycles = 10;     ///< SASH partial-dispatch grace.
+    /**
+     * SASH: an instance missing arguments may dispatch speculatively
+     * only when its cycle is within this many simulated cycles of the
+     * global virtual time (missing-argument speculation is then
+     * "producer was skipped", which is usually right; farther ahead
+     * it is usually "producer is late", which always aborts).
+     */
+    uint32_t incompleteLookahead = 2;
+    /**
+     * SASH: how long an instance waits for a deliver-predicted but
+     * still-missing argument before optimistically dispatching with
+     * the stale value.
+     */
+    uint32_t deliverWaitCycles = 60;
+
+    // Execution model.
+    double baseCpi = 1.4;              ///< Scalar in-order, folded
+                                       ///< front-end effects.
+    uint32_t dispatchOverhead = 3;     ///< Cycles per task start.
+    uint32_t pushCost = 2;             ///< Instructions per push_args.
+
+    // Feature switches (the paper's design points).
+    bool selective = false;        ///< SASH when true, DASH when false.
+    bool prioritized = true;       ///< Timestamp order vs unordered.
+    bool prefetch = true;          ///< Task-driven i-prefetch (Sec 6).
+    bool hwDataflow = true;        ///< False: Swarm/Chronos software
+                                   ///< dataflow overheads (Sec 10.1).
+    bool sharedLlc = false;        ///< Swarm-style shared LLC.
+
+    /** Simulated-cycle run-ahead window for stimulus injection. */
+    uint32_t stimulusWindow = 8;
+
+    /**
+     * SASH: maximum simulated cycles an instance may run ahead of the
+     * global virtual time before dispatch is held back. Bounds
+     * speculative run-away of cheap self-activating chains (real
+     * hardware is bounded the same way by TCQ/AQ capacity).
+     */
+    uint32_t speculationWindow = 12;
+};
+
+/** Result of one run. */
+struct RunResult
+{
+    StatSet stats;
+    refsim::OutputTrace outputs;
+    uint64_t chipCycles = 0;
+    uint64_t designCycles = 0;
+
+    /** Simulation speed in simulated KHz (paper Table 5 metric). */
+    double
+    speedKHz(double ghz = 2.5) const
+    {
+        if (chipCycles == 0)
+            return 0.0;
+        return static_cast<double>(designCycles) * ghz * 1e6 /
+               static_cast<double>(chipCycles);
+    }
+};
+
+/** Execute a TaskProgram on the modeled ASH chip. */
+class AshSimulator
+{
+  public:
+    AshSimulator(const TaskProgram &prog, const ArchConfig &cfg);
+    ~AshSimulator();
+
+    /** Run @p design_cycles simulated cycles fed by @p stimulus. */
+    RunResult run(refsim::Stimulus &stimulus, uint64_t design_cycles);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace ash::core
+
+#endif // ASH_CORE_ARCH_ASHSIM_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Set-associative LRU cache model used for L1I, L1D, and L2 timing.
+ * Tracks tags only; data values live in the functional engine. Accesses
+ * are at cache-line granularity and return hit/miss so callers can
+ * charge the appropriate latency and propagate misses down a level.
+ */
+
+#ifndef ASH_CORE_ARCH_CACHE_H
+#define ASH_CORE_ARCH_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+
+namespace ash::core {
+
+/** Tag-only set-associative cache with LRU replacement. */
+class CacheModel
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param ways       Associativity.
+     * @param line_bytes Line size.
+     */
+    CacheModel(uint64_t size_bytes, unsigned ways, unsigned line_bytes)
+        : _ways(ways), _lineBytes(line_bytes)
+    {
+        uint64_t lines = std::max<uint64_t>(ways, size_bytes /
+                                                      line_bytes);
+        _sets = std::max<uint64_t>(1, roundUpPow2(lines / ways) / 1);
+        if (_sets * ways > lines && _sets > 1)
+            _sets /= 2;
+        _tags.assign(_sets * _ways, ~0ull);
+        _lru.assign(_sets * _ways, 0);
+    }
+
+    /**
+     * Access the line containing @p addr; returns true on hit. On a
+     * miss, the line is installed (evicting LRU).
+     */
+    bool
+    access(uint64_t addr)
+    {
+        uint64_t line = addr / _lineBytes;
+        uint64_t set = line & (_sets - 1);
+        uint64_t *tags = &_tags[set * _ways];
+        uint32_t *lru = &_lru[set * _ways];
+        ++_stamp;
+        for (unsigned w = 0; w < _ways; ++w) {
+            if (tags[w] == line) {
+                lru[w] = _stamp;
+                ++_hits;
+                return true;
+            }
+        }
+        // Miss: replace LRU way.
+        unsigned victim = 0;
+        for (unsigned w = 1; w < _ways; ++w) {
+            if (lru[w] < lru[victim])
+                victim = w;
+        }
+        tags[victim] = line;
+        lru[victim] = _stamp;
+        ++_misses;
+        return false;
+    }
+
+    uint64_t hits() const { return _hits; }
+    uint64_t misses() const { return _misses; }
+    unsigned lineBytes() const { return _lineBytes; }
+
+  private:
+    unsigned _ways;
+    unsigned _lineBytes;
+    uint64_t _sets;
+    std::vector<uint64_t> _tags;
+    std::vector<uint32_t> _lru;
+    uint32_t _stamp = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+};
+
+} // namespace ash::core
+
+#endif // ASH_CORE_ARCH_CACHE_H

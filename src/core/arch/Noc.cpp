@@ -1,0 +1,85 @@
+#include "core/arch/Noc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/Logging.h"
+
+namespace ash::core {
+
+NocModel::NocModel(uint32_t num_tiles, uint32_t flit_bytes)
+    : _flitBytes(flit_bytes)
+{
+    _dimX = static_cast<uint32_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_tiles))));
+    if (_dimX == 0)
+        _dimX = 1;
+    _dimY = (num_tiles + _dimX - 1) / _dimX;
+    // Four directed links per tile position (E, W, N, S).
+    _linkFree.assign(static_cast<size_t>(_dimX) * _dimY * 4, 0);
+}
+
+size_t
+NocModel::linkIndex(uint32_t a, bool horizontal, bool positive) const
+{
+    size_t dir = (horizontal ? 0 : 2) + (positive ? 0 : 1);
+    return static_cast<size_t>(a) * 4 + dir;
+}
+
+uint32_t
+NocModel::baseLatency(uint32_t src, uint32_t dst) const
+{
+    if (src == dst)
+        return 1;
+    uint32_t dx = tileX(src) > tileX(dst) ? tileX(src) - tileX(dst)
+                                          : tileX(dst) - tileX(src);
+    uint32_t dy = tileY(src) > tileY(dst) ? tileY(src) - tileY(dst)
+                                          : tileY(dst) - tileY(src);
+    uint32_t lat = dx + dy;
+    if (dx > 0 && dy > 0)
+        lat += 1;   // Turn penalty: 2 cycles on the turning hop.
+    return lat + 1; // Ejection.
+}
+
+uint64_t
+NocModel::send(uint32_t src, uint32_t dst, uint32_t bytes, uint64_t now)
+{
+    ++_messages;
+    uint32_t flits = std::max(1u, (bytes + _flitBytes - 1) / _flitBytes);
+    if (src == dst) {
+        _flitHops += flits;
+        return now + 1;
+    }
+
+    uint64_t t = now;
+    uint32_t x = tileX(src), y = tileY(src);
+    uint32_t tx = tileX(dst), ty = tileY(dst);
+    bool turned = false;
+    auto hop = [&](uint32_t tile, bool horizontal, bool positive,
+                   bool is_turn) {
+        uint64_t &free_at = _linkFree[linkIndex(tile, horizontal,
+                                                positive)];
+        uint64_t start = std::max(t, free_at);
+        uint64_t hop_lat = is_turn ? 2 : 1;
+        t = start + hop_lat;
+        // Wormhole serialization: the link is busy for the whole
+        // packet duration.
+        free_at = start + flits;
+        _flitHops += flits;
+    };
+    while (x != tx) {
+        bool positive = tx > x;
+        hop(y * _dimX + x, true, positive, false);
+        x = positive ? x + 1 : x - 1;
+    }
+    while (y != ty) {
+        bool positive = ty > y;
+        bool is_turn = !turned && (tileX(src) != tx);
+        turned = true;
+        hop(y * _dimX + x, false, positive, is_turn);
+        y = positive ? y + 1 : y - 1;
+    }
+    return t + 1;   // Ejection into the destination tile.
+}
+
+} // namespace ash::core

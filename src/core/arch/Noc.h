@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Mesh network-on-chip timing model (Table 3): X-Y dimension-order
+ * routing, one cycle per straight hop, two on turns, with per-link
+ * serialization modeled through link next-free times. Used for
+ * descriptor traffic between tiles and for memory traffic to the edge
+ * DRAM controllers.
+ */
+
+#ifndef ASH_CORE_ARCH_NOC_H
+#define ASH_CORE_ARCH_NOC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ash::core {
+
+/** 2D mesh connecting tiles; link contention via next-free times. */
+class NocModel
+{
+  public:
+    /**
+     * @param num_tiles   Tiles in the mesh (rounded up to a rectangle).
+     * @param flit_bytes  Payload bytes per flit.
+     */
+    NocModel(uint32_t num_tiles, uint32_t flit_bytes = 8);
+
+    /**
+     * Send @p bytes from @p src tile to @p dst tile at time @p now.
+     * Returns the arrival time; updates link occupancy and counters.
+     */
+    uint64_t send(uint32_t src, uint32_t dst, uint32_t bytes,
+                  uint64_t now);
+
+    /** Zero-load latency between two tiles (for memory modeling). */
+    uint32_t baseLatency(uint32_t src, uint32_t dst) const;
+
+    uint64_t flitHops() const { return _flitHops; }
+    uint64_t messages() const { return _messages; }
+    uint32_t dimX() const { return _dimX; }
+
+  private:
+    uint32_t tileX(uint32_t t) const { return t % _dimX; }
+    uint32_t tileY(uint32_t t) const { return t / _dimX; }
+    /** Link array index for a hop from tile a toward tile b. */
+    size_t linkIndex(uint32_t a, bool horizontal, bool positive) const;
+
+    uint32_t _dimX;
+    uint32_t _dimY;
+    uint32_t _flitBytes;
+    std::vector<uint64_t> _linkFree;
+    uint64_t _flitHops = 0;
+    uint64_t _messages = 0;
+};
+
+} // namespace ash::core
+
+#endif // ASH_CORE_ARCH_NOC_H

@@ -1,0 +1,190 @@
+#include "core/compiler/Codegen.h"
+
+#include <sstream>
+
+#include "common/Logging.h"
+
+namespace ash::core {
+
+namespace {
+
+std::string
+valueName(const rtl::Netlist &nl, rtl::NodeId id)
+{
+    std::ostringstream os;
+    const rtl::Node &n = nl.node(id);
+    switch (n.op) {
+      case rtl::Op::Input:
+        os << "in_" << nl.inputName(id);
+        break;
+      case rtl::Op::Reg:
+        os << "reg_" << nl.regs()[nl.regIndex(id)].name;
+        break;
+      default:
+        os << "v" << id;
+        break;
+    }
+    // Flatten hierarchical separators for identifier-ness.
+    std::string s = os.str();
+    for (char &c : s) {
+        if (c == '.' || c == '[' || c == ']')
+            c = '_';
+    }
+    return s;
+}
+
+const char *
+opToken(rtl::Op op)
+{
+    switch (op) {
+      case rtl::Op::And: return "&";
+      case rtl::Op::Or: return "|";
+      case rtl::Op::Xor: return "^";
+      case rtl::Op::Add: return "+";
+      case rtl::Op::Sub: return "-";
+      case rtl::Op::Mul: return "*";
+      case rtl::Op::Div: return "/";
+      case rtl::Op::Mod: return "%";
+      case rtl::Op::Shl: return "<<";
+      case rtl::Op::LShr: return ">>";
+      case rtl::Op::Eq: return "==";
+      case rtl::Op::Ne: return "!=";
+      case rtl::Op::Lt: return "<";
+      case rtl::Op::Le: return "<=";
+      case rtl::Op::Gt: return ">";
+      case rtl::Op::Ge: return ">=";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+std::string
+emitTaskCode(const TaskProgram &prog, TaskId task)
+{
+    const rtl::Netlist &nl = *prog.nl;
+    const Task &t = prog.tasks[task];
+    std::ostringstream os;
+
+    os << "// tile " << t.tile << ", depth " << t.depth << ", ~"
+       << t.cost << " instrs, " << t.numParents << " parents\n";
+    os << "void task_" << task << "(uint16_t ts";
+    for (rtl::NodeId in : t.directInputs)
+        os << ", uint64_t " << valueName(nl, in);
+    os << ") {\n";
+    for (rtl::NodeId in : t.bufferedInputs) {
+        os << "  uint64_t " << valueName(nl, in)
+           << " = mem_args[" << in << "];  // staged by DTT\n";
+    }
+
+    if (t.kind == TaskKind::Buffer) {
+        os << "  // data-transfer task: stage values for task_"
+           << t.serves << "\n";
+        for (rtl::NodeId v : t.carriedValues)
+            os << "  mem_args[" << v << "] = " << valueName(nl, v)
+               << ";\n";
+    } else if (t.kind == TaskKind::Relay) {
+        os << "  // fan-out relay\n";
+    } else {
+        for (rtl::NodeId raw : t.nodes) {
+            rtl::NodeId id = raw & ~regWriteFlag;
+            const rtl::Node &n = nl.node(id);
+            if (raw & regWriteFlag) {
+                os << "  reg_state["
+                   << nl.regs()[nl.regIndex(id)].name << "] = "
+                   << valueName(nl, nl.regs()[nl.regIndex(id)].next)
+                   << ";\n";
+                continue;
+            }
+            auto operand = [&](size_t i) {
+                rtl::NodeId o = n.operands[i];
+                if (nl.node(o).op == rtl::Op::Const) {
+                    std::ostringstream c;
+                    c << nl.node(o).imm << "ull";
+                    return c.str();
+                }
+                return valueName(nl, o);
+            };
+            switch (n.op) {
+              case rtl::Op::Input:
+              case rtl::Op::Reg:
+                break;   // Arrive as arguments.
+              case rtl::Op::MemRead:
+                os << "  uint64_t " << valueName(nl, id) << " = "
+                   << nl.memories()[n.mem].name << "[" << operand(0)
+                   << "];\n";
+                break;
+              case rtl::Op::MemWrite:
+                os << "  if (" << operand(2) << ") "
+                   << nl.memories()[n.mem].name << "[" << operand(0)
+                   << "] = " << operand(1) << ";\n";
+                break;
+              case rtl::Op::Output:
+                os << "  emit_output(\"" << nl.outputName(id)
+                   << "\", " << operand(0) << ");\n";
+                break;
+              case rtl::Op::Mux:
+                os << "  uint64_t " << valueName(nl, id) << " = "
+                   << operand(0) << " ? " << operand(1) << " : "
+                   << operand(2) << ";\n";
+                break;
+              case rtl::Op::Not:
+                os << "  uint64_t " << valueName(nl, id) << " = ~"
+                   << operand(0) << " & " << mask64(n.width)
+                   << "ull;\n";
+                break;
+              case rtl::Op::Slice:
+                os << "  uint64_t " << valueName(nl, id) << " = ("
+                   << operand(0) << " >> " << n.imm << ") & "
+                   << mask64(n.width) << "ull;\n";
+                break;
+              default:
+                if (n.operands.size() == 2) {
+                    os << "  uint64_t " << valueName(nl, id) << " = ("
+                       << operand(0) << " " << opToken(n.op) << " "
+                       << operand(1) << ") & " << mask64(n.width)
+                       << "ull;\n";
+                } else {
+                    os << "  uint64_t " << valueName(nl, id)
+                       << " = " << rtl::opName(n.op) << "(";
+                    for (size_t i = 0; i < n.operands.size(); ++i)
+                        os << (i ? ", " : "") << operand(i);
+                    os << ") & " << mask64(n.width) << "ull;\n";
+                }
+                break;
+            }
+        }
+    }
+
+    for (const Push &p : t.pushes) {
+        os << "  push_args<&task_" << p.dst << ", TILE_"
+           << prog.tasks[p.dst].tile << ">(ts"
+           << (p.crossCycle ? " + 1" : "");
+        for (rtl::NodeId v : p.values)
+            os << ", " << valueName(nl, v);
+        if (p.kind == PushKind::Raw)
+            os << ", /*RAW*/";
+        if (p.kind == PushKind::War)
+            os << ", /*WAR*/";
+        os << ");\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+programSummary(const TaskProgram &prog)
+{
+    std::ostringstream os;
+    os << "tasks: " << prog.tasks.size() << " (DTT/relay: "
+       << prog.stats.dttTasks << ")\n"
+       << "tiles: " << prog.numTiles << "\n"
+       << "cycle depth D: " << prog.cycleDepth << "\n"
+       << "descriptor edges: " << prog.stats.taskEdges << "\n"
+       << "parallelism: " << prog.stats.parallelism << "\n"
+       << "code footprint: " << prog.stats.codeFootprintBytes
+       << " bytes\n";
+    return os.str();
+}
+
+} // namespace ash::core

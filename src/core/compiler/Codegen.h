@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Task-code emission: renders a compiled task as the C++-like code the
+ * ASH compiler's final stage generates (Fig 5 of the paper). The chip
+ * model executes tasks from the in-memory TaskProgram directly; this
+ * printer exists for inspection, debugging, and the compiler-explorer
+ * example.
+ */
+
+#ifndef ASH_CORE_COMPILER_CODEGEN_H
+#define ASH_CORE_COMPILER_CODEGEN_H
+
+#include <string>
+
+#include "core/compiler/TaskGraph.h"
+
+namespace ash::core {
+
+/** Render one task as C++-like source (Fig 5 style). */
+std::string emitTaskCode(const TaskProgram &prog, TaskId task);
+
+/** Render a short human-readable summary of the whole program. */
+std::string programSummary(const TaskProgram &prog);
+
+} // namespace ash::core
+
+#endif // ASH_CORE_COMPILER_CODEGEN_H

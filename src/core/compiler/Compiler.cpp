@@ -1,0 +1,791 @@
+#include "core/compiler/Compiler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <numeric>
+
+#include "common/Logging.h"
+#include "partition/Partition.h"
+#include "rtl/Cost.h"
+
+namespace ash::core {
+
+using dfg::Dfg;
+using dfg::DfgEdge;
+using dfg::DfgNodeId;
+using dfg::EdgeKind;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace {
+
+/** Union-find over dataflow nodes used by tile contraction/coarsening. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(size_t n) : _parent(n)
+    {
+        std::iota(_parent.begin(), _parent.end(), 0u);
+    }
+
+    uint32_t
+    find(uint32_t x)
+    {
+        while (_parent[x] != x) {
+            _parent[x] = _parent[_parent[x]];
+            x = _parent[x];
+        }
+        return x;
+    }
+
+    /** Union b into a's set; returns the new root. */
+    uint32_t
+    unite(uint32_t a, uint32_t b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            _parent[b] = a;
+        return a;
+    }
+
+  private:
+    std::vector<uint32_t> _parent;
+};
+
+void
+contractMemory(const Dfg &graph, size_t mem, UnionFind &uf)
+{
+    DfgNodeId first = dfg::invalidDfgNode;
+    for (DfgNodeId i = 0; i < graph.numNodes(); ++i) {
+        const rtl::Node &node = graph.netlist().node(graph.rtlNode(i));
+        bool touches = (node.op == Op::MemRead ||
+                        node.op == Op::MemWrite) &&
+                       node.mem == mem && !graph.isRegWrite(i);
+        if (!touches)
+            continue;
+        if (first == dfg::invalidDfgNode)
+            first = i;
+        else
+            uf.unite(first, i);
+    }
+}
+
+/**
+ * Map dataflow nodes to tiles (Sec 4.3.2). Nodes that access the same
+ * memory (and, in the single-cycle graph, a register and its writer)
+ * are contracted into one partitioning vertex so they land on the same
+ * tile.
+ */
+std::vector<uint32_t>
+mapToTiles(const Dfg &graph, const CompilerOptions &opts)
+{
+    size_t n = graph.numNodes();
+    std::vector<uint32_t> tile(n, 0);
+    if (opts.numTiles <= 1)
+        return tile;
+
+    if (!opts.useMapping) {
+        // Verilator-style scatter: round-robin by node id, but keep
+        // memory groups together (a hard correctness constraint).
+        UnionFind uf(static_cast<uint32_t>(n));
+        for (size_t m = 0; m < graph.netlist().memories().size(); ++m)
+            contractMemory(graph, m, uf);
+        for (DfgNodeId i = 0; i < n; ++i) {
+            uint32_t root = uf.find(i);
+            tile[i] = root % opts.numTiles;
+        }
+        return tile;
+    }
+
+    // Contract constrained groups.
+    UnionFind uf(static_cast<uint32_t>(n));
+    for (size_t m = 0; m < graph.netlist().memories().size(); ++m)
+        contractMemory(graph, m, uf);
+    for (DfgNodeId i = 0; i < n; ++i) {
+        if (graph.isRegWrite(i)) {
+            DfgNodeId reg_node =
+                graph.dfgNode(graph.rtlNode(i));
+            uf.unite(reg_node, i);
+        }
+    }
+
+    // Dense group ids.
+    std::vector<uint32_t> group(n);
+    std::map<uint32_t, uint32_t> root_to_group;
+    for (DfgNodeId i = 0; i < n; ++i) {
+        uint32_t root = uf.find(i);
+        auto [it, fresh] = root_to_group.try_emplace(
+            root, static_cast<uint32_t>(root_to_group.size()));
+        (void)fresh;
+        group[i] = it->second;
+    }
+
+    partition::Graph pg;
+    pg.vertexWeight.assign(root_to_group.size(), 0);
+    pg.adj.resize(root_to_group.size());
+    for (DfgNodeId i = 0; i < n; ++i)
+        pg.vertexWeight[group[i]] += graph.cost(i);
+    for (const DfgEdge &e : graph.edges()) {
+        uint32_t gu = group[e.src];
+        uint32_t gv = group[e.dst];
+        if (gu == gv)
+            continue;
+        uint32_t w = e.kind == EdgeKind::Value
+                         ? 16 + (e.bits + 7) / 8
+                         : 16;
+        pg.addEdge(gu, gv, w);
+    }
+
+    partition::PartitionOptions popts;
+    popts.seed = opts.seed;
+    popts.imbalance = opts.imbalance;
+    partition::PartitionResult pr =
+        partition::partitionGraph(pg, opts.numTiles, popts);
+    for (DfgNodeId i = 0; i < n; ++i)
+        tile[i] = pr.label[group[i]];
+    return tile;
+}
+
+/**
+ * Coarsen dataflow nodes into tasks within each tile using the two
+ * provably cycle-free merge rules: (a) merge v into u when u is v's
+ * only same-cycle predecessor task; (b) merge v into u when v is u's
+ * only same-cycle successor task. Iterated to a fixpoint under the
+ * task-cost cap. Cross-cycle edges are never merged across (they
+ * become cross-cycle self-pushes only when both endpoints merge via
+ * same-cycle rules).
+ */
+std::vector<uint32_t>
+coarsen(const Dfg &graph, const std::vector<uint32_t> &tile,
+        uint32_t max_task_cost)
+{
+    size_t n = graph.numNodes();
+    UnionFind uf(static_cast<uint32_t>(n));
+    std::vector<uint64_t> cost(n);
+    std::vector<std::vector<DfgNodeId>> members(n);
+    for (DfgNodeId i = 0; i < n; ++i) {
+        cost[i] = graph.cost(i);
+        members[i] = {i};
+    }
+
+    // A merged task may expose at most this many distinct values to
+    // other tasks; this keeps the later fan-out pass convergent
+    // (3 descriptors' worth of register arguments).
+    const size_t max_external_outputs = 15;
+    auto externalOutputs = [&](uint32_t ra, uint32_t rb) {
+        size_t count = 0;
+        for (uint32_t root : {ra, rb}) {
+            for (DfgNodeId m : members[root]) {
+                bool external = false;
+                for (uint32_t ei : graph.outEdges(m)) {
+                    const DfgEdge &e = graph.edges()[ei];
+                    if (e.kind != EdgeKind::Value)
+                        continue;
+                    uint32_t rd = uf.find(e.dst);
+                    if (rd != ra && rd != rb) {
+                        external = true;
+                        break;
+                    }
+                }
+                if (external)
+                    ++count;
+            }
+        }
+        return count;
+    };
+
+    // Same-cycle edges only.
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (const DfgEdge &e : graph.edges()) {
+        if (!e.crossCycle)
+            edges.emplace_back(e.src, e.dst);
+    }
+
+    for (unsigned pass = 0; pass < 64; ++pass) {
+        // Distinct pred/succ task counts per root, with the unique
+        // neighbor remembered.
+        std::map<std::pair<uint32_t, uint32_t>, char> seen;
+        std::vector<uint32_t> pred_count(n, 0), succ_count(n, 0);
+        std::vector<uint32_t> only_pred(n, ~0u), only_succ(n, ~0u);
+        seen.clear();
+        for (auto [s, d] : edges) {
+            uint32_t rs = uf.find(s);
+            uint32_t rd = uf.find(d);
+            if (rs == rd)
+                continue;
+            if (seen.emplace(std::make_pair(rs, rd), 0).second) {
+                if (++pred_count[rd] == 1)
+                    only_pred[rd] = rs;
+                if (++succ_count[rs] == 1)
+                    only_succ[rs] = rd;
+            }
+        }
+
+        std::vector<uint8_t> dirty(n, 0);
+        size_t merges = 0;
+        for (auto [s, d] : edges) {
+            uint32_t rs = uf.find(s);
+            uint32_t rd = uf.find(d);
+            if (rs == rd || dirty[rs] || dirty[rd])
+                continue;
+            if (tile[rs] != tile[rd])
+                continue;
+            if (cost[rs] + cost[rd] > max_task_cost)
+                continue;
+            bool rule_a = pred_count[rd] == 1 && only_pred[rd] == rs;
+            bool rule_b = succ_count[rs] == 1 && only_succ[rs] == rd;
+            if (!rule_a && !rule_b)
+                continue;
+            if (externalOutputs(rs, rd) > max_external_outputs)
+                continue;
+            uint32_t root = uf.unite(rs, rd);
+            uint32_t other = root == rs ? rd : rs;
+            cost[root] += cost[other];
+            members[root].insert(members[root].end(),
+                                 members[other].begin(),
+                                 members[other].end());
+            members[other].clear();
+            dirty[rs] = dirty[rd] = 1;
+            ++merges;
+        }
+        if (merges == 0)
+            break;
+    }
+
+    std::vector<uint32_t> task_of(n);
+    for (DfgNodeId i = 0; i < n; ++i)
+        task_of[i] = uf.find(i);
+    return task_of;
+}
+
+/** Intermediate grouped inter-task link. */
+struct Link
+{
+    bool hasValue = false;
+    bool hasRaw = false;
+    bool hasWar = false;
+    std::vector<NodeId> values;
+};
+
+} // namespace
+
+void
+TaskProgram::validate() const
+{
+    std::vector<uint32_t> parents(tasks.size(), 0);
+    for (const Task &t : tasks) {
+        ASH_ASSERT(t.pushes.size() <= limits.maxPushes,
+                   "task %u has %zu pushes (limit %u)", t.id,
+                   t.pushes.size(), limits.maxPushes);
+        for (const Push &p : t.pushes) {
+            ASH_ASSERT(p.dst < tasks.size());
+            ASH_ASSERT(p.values.size() <= limits.maxRegArgValues,
+                       "push carries %zu values", p.values.size());
+            ASH_ASSERT(p.kind == PushKind::Value || p.values.empty());
+            ++parents[p.dst];
+            if (!p.crossCycle) {
+                ASH_ASSERT(t.depth < tasks[p.dst].depth,
+                           "same-cycle push %u->%u violates depth "
+                           "order (%u >= %u)", t.id, p.dst, t.depth,
+                           tasks[p.dst].depth);
+            }
+        }
+        if (t.kind == TaskKind::Buffer) {
+            ASH_ASSERT(t.serves != invalidTask);
+            ASH_ASSERT(t.tile == tasks[t.serves].tile,
+                       "buffer %u not on consumer tile", t.id);
+        }
+    }
+    for (const Task &t : tasks) {
+        uint32_t total = parents[t.id] + t.stimulusParents;
+        ASH_ASSERT(total == t.numParents,
+                   "task %u parent count mismatch (%u vs %u)", t.id,
+                   total, t.numParents);
+        ASH_ASSERT(t.numParents <= limits.maxParents,
+                   "task %u has %u parents (limit %u)", t.id,
+                   t.numParents, limits.maxParents);
+    }
+    // Memory locality: all ports of one memory on one tile.
+    std::vector<int64_t> mem_tile(nl->memories().size(), -1);
+    for (const Task &t : tasks) {
+        for (NodeId raw_id : t.nodes) {
+            NodeId id = raw_id & ~regWriteFlag;
+            const rtl::Node &node = nl->node(id);
+            if (node.op != Op::MemRead && node.op != Op::MemWrite)
+                continue;
+            if (mem_tile[node.mem] < 0)
+                mem_tile[node.mem] = t.tile;
+            ASH_ASSERT(mem_tile[node.mem] ==
+                           static_cast<int64_t>(t.tile),
+                       "memory %u split across tiles", node.mem);
+        }
+    }
+}
+
+TaskProgram
+compile(const rtl::Netlist &nl, const CompilerOptions &opts)
+{
+    auto t_start = std::chrono::steady_clock::now();
+
+    dfg::DfgOptions dopts;
+    dopts.unrolled = opts.unrolled;
+    Dfg graph(nl, dopts);
+
+    std::vector<uint32_t> node_tile = mapToTiles(graph, opts);
+    std::vector<uint32_t> task_root =
+        coarsen(graph, node_tile, opts.maxTaskCost);
+
+    TaskProgram prog;
+    prog.nl = &nl;
+    prog.numTiles = opts.numTiles;
+    prog.unrolled = opts.unrolled;
+    prog.limits = opts.limits;
+
+    // Dense task ids; nodes sorted by (depth, id) which is a valid
+    // intra-task topological order over same-cycle edges.
+    std::map<uint32_t, TaskId> root_to_task;
+    for (DfgNodeId i = 0; i < graph.numNodes(); ++i) {
+        uint32_t root = task_root[i];
+        auto [it, fresh] = root_to_task.try_emplace(
+            root, static_cast<TaskId>(root_to_task.size()));
+        if (fresh) {
+            Task t;
+            t.id = it->second;
+            t.tile = node_tile[i];
+            prog.tasks.push_back(std::move(t));
+        }
+    }
+    std::vector<std::vector<DfgNodeId>> members(prog.tasks.size());
+    for (DfgNodeId i = 0; i < graph.numNodes(); ++i)
+        members[root_to_task[task_root[i]]].push_back(i);
+    const auto &depths = graph.depths();
+    for (auto &m : members) {
+        std::sort(m.begin(), m.end(),
+                  [&](DfgNodeId a, DfgNodeId b) {
+                      if (depths[a] != depths[b])
+                          return depths[a] < depths[b];
+                      return a < b;
+                  });
+    }
+
+    prog.taskOfNode.assign(nl.numNodes(), invalidTask);
+    for (TaskId t = 0; t < prog.tasks.size(); ++t) {
+        Task &task = prog.tasks[t];
+        uint32_t node_cost = 0;
+        uint32_t code = 24;   // Task prologue/epilogue.
+        for (DfgNodeId d : members[t]) {
+            NodeId id = graph.rtlNode(d);
+            if (graph.isRegWrite(d)) {
+                task.nodes.push_back(id | regWriteFlag);
+            } else {
+                task.nodes.push_back(id);
+                prog.taskOfNode[id] = t;
+            }
+            node_cost += graph.cost(d);
+            code += rtl::nodeCodeBytes(nl.node(id)) + 4;
+            if (nl.node(id).op == Op::Input)
+                task.consumesInputs = true;
+        }
+        task.cost = std::max(1u, node_cost);
+        task.codeBytes = code;
+    }
+
+    // Group inter-task dataflow edges into links.
+    std::map<std::tuple<TaskId, TaskId, bool>, Link> links;
+    for (const DfgEdge &e : graph.edges()) {
+        TaskId ts = root_to_task[task_root[e.src]];
+        TaskId td = root_to_task[task_root[e.dst]];
+        if (ts == td && !e.crossCycle)
+            continue;   // Internal.
+        Link &link = links[{ts, td, e.crossCycle}];
+        if (e.kind == EdgeKind::Value) {
+            // The carried id is what the consumer references: the
+            // register node for cross-cycle reg edges, the producer
+            // node otherwise.
+            NodeId carried;
+            const rtl::Node &dn = nl.node(graph.rtlNode(e.dst));
+            if (dn.op == Op::Reg && e.crossCycle &&
+                !graph.isRegWrite(e.dst)) {
+                carried = graph.rtlNode(e.dst);
+            } else {
+                carried = graph.rtlNode(e.src);
+            }
+            if (std::find(link.values.begin(), link.values.end(),
+                          carried) == link.values.end())
+                link.values.push_back(carried);
+            link.hasValue = true;
+        } else if (e.kind == EdgeKind::Raw) {
+            link.hasRaw = true;
+        } else {
+            link.hasWar = true;
+        }
+    }
+
+    // Argument allocation (Sec 4.3.4): links become pushes; overflow
+    // values go through Buffer tasks (DTTs).
+    const unsigned max_vals = opts.limits.maxRegArgValues;
+    auto newBuffer = [&](TaskId serves, bool in_cross) -> TaskId {
+        Task buf;
+        buf.id = static_cast<TaskId>(prog.tasks.size());
+        buf.kind = TaskKind::Buffer;
+        buf.tile = prog.tasks[serves].tile;
+        buf.serves = serves;
+        buf.cost = 6;        // Stores + compare + push.
+        buf.codeBytes = 48;
+        (void)in_cross;
+        prog.tasks.push_back(std::move(buf));
+        return prog.tasks.back().id;
+    };
+
+    for (const auto &[key, link] : links) {
+        auto [src, dst, cross] = key;
+        Task &s = prog.tasks[src];
+        if (link.values.size() <= max_vals) {
+            Push p;
+            p.dst = dst;
+            p.crossCycle = cross;
+            if (link.hasValue) {
+                p.kind = PushKind::Value;
+                p.values = link.values;
+            } else if (link.hasRaw) {
+                p.kind = PushKind::Raw;
+            } else {
+                p.kind = PushKind::War;
+            }
+            s.pushes.push_back(std::move(p));
+            continue;
+        }
+        // Direct descriptor with the first five values; the rest ship
+        // through DTTs (Fig 9).
+        Push direct;
+        direct.dst = dst;
+        direct.crossCycle = cross;
+        direct.kind = PushKind::Value;
+        direct.values.assign(link.values.begin(),
+                             link.values.begin() + max_vals);
+        s.pushes.push_back(std::move(direct));
+        for (size_t i = max_vals; i < link.values.size();
+             i += max_vals) {
+            size_t end = std::min(link.values.size(), i + max_vals);
+            TaskId buf = newBuffer(dst, cross);
+            Task &b = prog.tasks[buf];
+            b.carriedValues.assign(link.values.begin() + i,
+                                   link.values.begin() + end);
+            // src -> DTT carries the chunk (keeps the link's flag).
+            Push to_buf;
+            to_buf.dst = buf;
+            to_buf.crossCycle = cross;
+            to_buf.kind = PushKind::Value;
+            to_buf.values = b.carriedValues;
+            prog.tasks[src].pushes.push_back(std::move(to_buf));
+            // DTT -> consumer: argumentless RAW, same cycle.
+            Push raw;
+            raw.dst = dst;
+            raw.kind = PushKind::Raw;
+            raw.crossCycle = false;
+            b.pushes.push_back(std::move(raw));
+            // consumer -> next-cycle DTT: WAR, cross cycle.
+            Push war;
+            war.dst = buf;
+            war.kind = PushKind::War;
+            war.crossCycle = true;
+            prog.tasks[dst].pushes.push_back(std::move(war));
+        }
+    }
+
+    // Fan-in: cap incoming descriptors per task with relay buffers.
+    auto countParents = [&]() {
+        std::vector<std::vector<std::pair<TaskId, size_t>>> incoming(
+            prog.tasks.size());
+        for (const Task &t : prog.tasks) {
+            for (size_t pi = 0; pi < t.pushes.size(); ++pi)
+                incoming[t.pushes[pi].dst].emplace_back(t.id, pi);
+        }
+        return incoming;
+    };
+    bool changed = true;
+    unsigned fanin_rounds = 0;
+    while (changed) {
+        changed = false;
+        ASH_ASSERT(++fanin_rounds < 1000, "fan-in failed to converge");
+        auto incoming = countParents();
+        size_t num_tasks = prog.tasks.size();
+        for (TaskId t = 0; t < num_tasks; ++t) {
+            uint32_t stim = prog.tasks[t].consumesInputs ? 1 : 0;
+            if (incoming[t].size() + stim <= opts.limits.maxParents)
+                continue;
+            changed = true;
+            // Move the highest-index parents into a relay buffer, a
+            // full buffer's worth at a time so every round makes net
+            // progress (each buffer absorbs up to maxParents-1 pushes
+            // and contributes one RAW parent back). Value/RAW pushes
+            // move first; WAR tokens are relayed only as a last
+            // resort (their conflict check then lands on the buffer,
+            // which is conservative but safe).
+            std::vector<std::pair<TaskId, size_t>> moved;
+            for (int pass = 0; pass < 2 && moved.size() < 2; ++pass) {
+                moved.clear();
+                for (auto it = incoming[t].rbegin();
+                     it != incoming[t].rend() &&
+                     moved.size() <
+                         static_cast<size_t>(opts.limits.maxParents -
+                                             1);
+                     ++it) {
+                    const Push &p =
+                        prog.tasks[it->first].pushes[it->second];
+                    if (pass == 0 && p.kind == PushKind::War)
+                        continue;
+                    moved.push_back(*it);
+                }
+            }
+            if (moved.size() < 2)
+                fatal("cannot satisfy parent limit on task %u", t);
+            TaskId buf = newBuffer(t, false);
+            Task &b = prog.tasks[buf];
+            for (auto [pt, pi] : moved) {
+                Push &p = prog.tasks[pt].pushes[pi];
+                p.dst = buf;
+                for (NodeId v : p.values) {
+                    if (std::find(b.carriedValues.begin(),
+                                  b.carriedValues.end(), v) ==
+                        b.carriedValues.end())
+                        b.carriedValues.push_back(v);
+                }
+            }
+            Push raw;
+            raw.dst = t;
+            raw.kind = PushKind::Raw;
+            raw.crossCycle = false;
+            b.pushes.push_back(std::move(raw));
+            Push war;
+            war.dst = buf;
+            war.kind = PushKind::War;
+            war.crossCycle = true;
+            prog.tasks[t].pushes.push_back(std::move(war));
+        }
+    }
+
+    // Fan-out: cap outgoing descriptors with relay tasks. Pushes are
+    // clustered (at most half the push budget per cluster, to leave
+    // headroom for WAR tokens); each cluster's pushes move to a relay.
+    // The relay receives the union of needed values: up to five
+    // directly, the rest through DTT buffers, exactly like any other
+    // consumer.
+    changed = true;
+    unsigned fanout_rounds = 0;
+    while (changed) {
+        changed = false;
+        ASH_ASSERT(++fanout_rounds < 32, "fan-out failed to converge");
+        size_t num_tasks = prog.tasks.size();
+        for (TaskId t = 0; t < num_tasks; ++t) {
+            if (prog.tasks[t].pushes.size() <= opts.limits.maxPushes)
+                continue;
+            changed = true;
+            std::vector<Push> pushes = std::move(prog.tasks[t].pushes);
+            prog.tasks[t].pushes.clear();
+            // First-fit clustering: a cluster's value union must fit
+            // in one descriptor, its size stays below the push budget
+            // so the relay itself is legal, and all members share the
+            // cross-cycle flag (a register id names *different*
+            // values on same- vs cross-cycle pushes).
+            std::vector<std::vector<Push>> clusters;
+            std::vector<std::vector<NodeId>> unions;
+            for (Push &p : pushes) {
+                bool placed = false;
+                for (size_t c = 0; c < clusters.size() && !placed;
+                     ++c) {
+                    if (clusters[c].size() + 1 >=
+                        opts.limits.maxPushes)
+                        continue;
+                    if (clusters[c].front().crossCycle != p.crossCycle)
+                        continue;
+                    std::vector<NodeId> u = unions[c];
+                    for (NodeId v : p.values) {
+                        if (std::find(u.begin(), u.end(), v) ==
+                            u.end())
+                            u.push_back(v);
+                    }
+                    if (u.size() > max_vals)
+                        continue;
+                    unions[c] = std::move(u);
+                    clusters[c].push_back(std::move(p));
+                    placed = true;
+                }
+                if (!placed) {
+                    unions.push_back(p.values);
+                    clusters.emplace_back();
+                    clusters.back().push_back(std::move(p));
+                }
+            }
+            // The coarsening bound on distinct external outputs
+            // guarantees clustering makes progress.
+            ASH_ASSERT(clusters.size() < pushes.size(),
+                       "fan-out clustering stalled on task %u "
+                       "(%zu pushes)", t, pushes.size());
+            for (size_t c = 0; c < clusters.size(); ++c) {
+                if (clusters[c].size() == 1) {
+                    prog.tasks[t].pushes.push_back(
+                        std::move(clusters[c][0]));
+                    continue;
+                }
+                Task relay;
+                TaskId relay_id =
+                    static_cast<TaskId>(prog.tasks.size());
+                relay.id = relay_id;
+                relay.kind = TaskKind::Relay;
+                std::map<uint32_t, int> votes;
+                for (const Push &p : clusters[c])
+                    ++votes[prog.tasks[p.dst].tile];
+                relay.tile = std::max_element(
+                                 votes.begin(), votes.end(),
+                                 [](auto &a, auto &b) {
+                                     return a.second < b.second;
+                                 })
+                                 ->first;
+                relay.cost = 2 + 2 * static_cast<uint32_t>(
+                                         clusters[c].size());
+                relay.codeBytes =
+                    24 + 10 * static_cast<uint32_t>(
+                                  clusters[c].size());
+                relay.carriedValues = unions[c];
+                // The relay instance is aligned to the consumers'
+                // cycle: the cross hop (if any) moves to the
+                // src->relay edge and the re-pushes become same-cycle.
+                bool cluster_cross = clusters[c].front().crossCycle;
+                relay.pushes = std::move(clusters[c]);
+                for (Push &rp : relay.pushes)
+                    rp.crossCycle = false;
+                Push to_relay;
+                to_relay.dst = relay_id;
+                to_relay.crossCycle = cluster_cross;
+                if (unions[c].empty()) {
+                    to_relay.kind = PushKind::Raw;
+                } else {
+                    to_relay.kind = PushKind::Value;
+                    to_relay.values = unions[c];
+                }
+                prog.tasks.push_back(std::move(relay));
+                prog.tasks[t].pushes.push_back(std::move(to_relay));
+            }
+        }
+    }
+
+    // Parent counts, direct/buffered input sets.
+    {
+        std::vector<uint32_t> parents(prog.tasks.size(), 0);
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes)
+                ++parents[p.dst];
+        }
+        for (Task &t : prog.tasks) {
+            t.stimulusParents = t.consumesInputs ? 1 : 0;
+            t.numParents = parents[t.id] + t.stimulusParents;
+            if (t.numParents == 0) {
+                // No dataflow parents at all (e.g. a register with a
+                // constant next-value): the engine activates it like
+                // the stimulus does.
+                t.stimulusParents = 1;
+                t.numParents = 1;
+            }
+        }
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes) {
+                if (p.kind != PushKind::Value)
+                    continue;
+                Task &d = prog.tasks[p.dst];
+                for (NodeId v : p.values) {
+                    if (std::find(d.directInputs.begin(),
+                                  d.directInputs.end(), v) ==
+                        d.directInputs.end())
+                        d.directInputs.push_back(v);
+                }
+            }
+        }
+        for (const Task &t : prog.tasks) {
+            if (t.kind != TaskKind::Buffer)
+                continue;
+            Task &d = prog.tasks[t.serves];
+            d.bufferParents.push_back(t.id);
+            for (NodeId v : t.carriedValues) {
+                if (std::find(d.bufferedInputs.begin(),
+                              d.bufferedInputs.end(), v) ==
+                    d.bufferedInputs.end())
+                    d.bufferedInputs.push_back(v);
+            }
+        }
+    }
+
+    // Prioritization (Sec 4.3.3): depth via Kahn over same-cycle
+    // pushes, ignoring WAR edges into buffers from their consumers
+    // (those are cross-cycle by construction).
+    {
+        size_t n = prog.tasks.size();
+        std::vector<uint32_t> pending(n, 0);
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes) {
+                if (!p.crossCycle)
+                    ++pending[p.dst];
+            }
+        }
+        std::vector<TaskId> frontier;
+        for (TaskId t = 0; t < n; ++t) {
+            if (pending[t] == 0)
+                frontier.push_back(t);
+        }
+        size_t processed = 0;
+        std::vector<uint64_t> cost_depth(n, 0);
+        uint64_t crit = 1;
+        while (!frontier.empty()) {
+            TaskId u = frontier.back();
+            frontier.pop_back();
+            ++processed;
+            cost_depth[u] += prog.tasks[u].cost;
+            crit = std::max(crit, cost_depth[u]);
+            for (const Push &p : prog.tasks[u].pushes) {
+                if (p.crossCycle)
+                    continue;
+                Task &d = prog.tasks[p.dst];
+                d.depth = std::max(d.depth, prog.tasks[u].depth + 1);
+                cost_depth[p.dst] = std::max(cost_depth[p.dst],
+                                             cost_depth[u]);
+                if (--pending[p.dst] == 0)
+                    frontier.push_back(p.dst);
+            }
+        }
+        ASH_ASSERT(processed == n,
+                   "task graph has a same-cycle cycle (%zu of %zu)",
+                   processed, n);
+        uint32_t max_depth = 0;
+        uint64_t total_cost = 0;
+        for (const Task &t : prog.tasks) {
+            max_depth = std::max(max_depth, t.depth);
+            total_cost += t.cost;
+        }
+        prog.cycleDepth = max_depth + 1;
+        prog.stats.parallelism =
+            static_cast<double>(total_cost) / static_cast<double>(crit);
+    }
+
+    // Statistics.
+    prog.stats.dfgNodes = graph.numNodes();
+    prog.stats.dfgEdges = graph.edges().size();
+    prog.stats.tasks = prog.tasks.size();
+    prog.stats.cycleDepth = prog.cycleDepth;
+    for (const Task &t : prog.tasks) {
+        if (t.kind != TaskKind::Normal)
+            ++prog.stats.dttTasks;
+        prog.stats.taskEdges += t.pushes.size();
+        prog.stats.codeFootprintBytes += t.codeBytes;
+    }
+    prog.stats.compileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_start)
+            .count();
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace ash::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The ASH compiler backend (Fig 7): netlist -> dataflow graph ->
+ * tile mapping -> coarsening -> prioritization -> argument allocation
+ * -> TaskProgram. The frontend (Verilog -> netlist) lives in
+ * src/verilog; this backend consumes any netlist, including ones built
+ * directly with the rtl builder API.
+ */
+
+#ifndef ASH_CORE_COMPILER_COMPILER_H
+#define ASH_CORE_COMPILER_COMPILER_H
+
+#include "core/compiler/TaskGraph.h"
+#include "dfg/Dfg.h"
+#include "rtl/Netlist.h"
+
+namespace ash::core {
+
+/** Backend options. */
+struct CompilerOptions
+{
+    uint32_t numTiles = 64;
+
+    /** Use the unrolled dataflow graph (Sec 4.3.1). */
+    bool unrolled = true;
+
+    /**
+     * Coarsening cap: maximum instructions per task. Smaller caps give
+     * more, finer tasks (the Fig 3 sweep varies this).
+     */
+    uint32_t maxTaskCost = 48;
+
+    /**
+     * Use the partitioner to map nodes to tiles minimizing cut
+     * (Sec 4.3.2). When false, tasks are scattered round-robin, which
+     * models Verilator's locality-oblivious mapping (Fig 18).
+     */
+    bool useMapping = true;
+
+    HwLimits limits;
+    uint64_t seed = 1;
+    double imbalance = 0.10;
+};
+
+/** Compile @p nl into a task program for @p opts.numTiles tiles. */
+TaskProgram compile(const rtl::Netlist &nl, const CompilerOptions &opts);
+
+} // namespace ash::core
+
+#endif // ASH_CORE_COMPILER_COMPILER_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The compiled task program shared by the ASH compiler and the ASH
+ * chip model. A TaskProgram is DASH/SASH "machine code": fine-grained
+ * tasks mapped to tiles, connected by descriptor pushes (the
+ * push_args interface of Sec 4.1), with timestamps assigned per
+ * Sec 4.3.3 and argument-allocation transforms per Sec 4.3.4 already
+ * applied (DTTs, fan-in/fan-out relays, WAR edges).
+ */
+
+#ifndef ASH_CORE_COMPILER_TASKGRAPH_H
+#define ASH_CORE_COMPILER_TASKGRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfg/Dfg.h"
+#include "rtl/Netlist.h"
+
+namespace ash::core {
+
+using TaskId = uint32_t;
+constexpr TaskId invalidTask = ~0u;
+
+/**
+ * Marker bit for entries of Task::nodes that denote the synthetic
+ * register-store operation of the single-cycle graph: the entry is
+ * (regNodeId | regWriteFlag) and stores the register's next value into
+ * tile-local register state.
+ */
+constexpr rtl::NodeId regWriteFlag = 1u << 31;
+
+/** Hardware limits from the paper's implementation (Sec 4.1, 4.3.4). */
+struct HwLimits
+{
+    unsigned maxRegArgValues = 5;   ///< 64-bit register args/descriptor.
+    unsigned maxParents = 8;        ///< Incoming descriptors per task.
+    unsigned maxPushes = 8;         ///< Outgoing descriptors per task.
+};
+
+/** Kinds of descriptor a task pushes. */
+enum class PushKind : uint8_t {
+    Value,   ///< Carries up to five 64-bit values in register args.
+    Raw,     ///< Argumentless read-after-write ordering token.
+    War,     ///< Argumentless write-after-read token (SASH discards).
+};
+
+/** One push_args a task performs each time it executes. */
+struct Push
+{
+    TaskId dst = invalidTask;
+    PushKind kind = PushKind::Value;
+    bool crossCycle = false;     ///< Consumer instance is at cycle+1.
+    /**
+     * RTL nodes whose values ride in register args. For a Reg node id,
+     * the pushed value is the register's next-value (computed this
+     * cycle, consumed as the register's value next cycle).
+     */
+    std::vector<rtl::NodeId> values;
+
+    /** Descriptor size on the NoC: metadata + payload. */
+    uint32_t
+    bytes() const
+    {
+        return 16 + 8 * static_cast<uint32_t>(values.size());
+    }
+};
+
+/** Task role. */
+enum class TaskKind : uint8_t {
+    Normal,   ///< Evaluates IR nodes.
+    Buffer,   ///< DTT / fan-in relay: spills values to consumer-tile
+              ///< memory and sends an argumentless RAW token.
+    Relay,    ///< Fan-out relay: re-pushes received values.
+};
+
+/** One compiled task. */
+struct Task
+{
+    TaskId id = invalidTask;
+    TaskKind kind = TaskKind::Normal;
+    uint32_t tile = 0;
+    uint32_t depth = 0;          ///< d: same-cycle chain depth.
+    uint32_t cost = 1;           ///< Instructions per execution.
+    uint32_t codeBytes = 16;     ///< Instruction footprint.
+    uint32_t numParents = 0;     ///< Incoming descriptors per cycle.
+
+    /** IR nodes evaluated, in a valid intra-task order (Normal only). */
+    std::vector<rtl::NodeId> nodes;
+
+    /** External values consumed via direct descriptors. */
+    std::vector<rtl::NodeId> directInputs;
+    /** External values read from tile memory (written by Buffers). */
+    std::vector<rtl::NodeId> bufferedInputs;
+    /** Buffer tasks feeding this task (parents of kind Buffer). */
+    std::vector<TaskId> bufferParents;
+
+    /** For Buffer/Relay tasks: the values they stage or re-push. */
+    std::vector<rtl::NodeId> carriedValues;
+    /** For Buffer tasks: the consumer they serve. */
+    TaskId serves = invalidTask;
+
+    /** Descriptors pushed on each execution. */
+    std::vector<Push> pushes;
+
+    /** True when the task evaluates design Input nodes (stimulus). */
+    bool consumesInputs = false;
+    /** True when any of its parents is the stimulus activation. */
+    uint32_t stimulusParents = 0;
+};
+
+/** Compilation statistics (Table 4 columns). */
+struct CompileStats
+{
+    uint64_t dfgNodes = 0;
+    uint64_t dfgEdges = 0;
+    uint64_t tasks = 0;
+    uint64_t dttTasks = 0;        ///< Buffer+Relay tasks.
+    uint64_t taskEdges = 0;       ///< Total descriptor pushes.
+    double parallelism = 0.0;     ///< Task-graph cost / critical path.
+    uint64_t codeFootprintBytes = 0;
+    double compileSeconds = 0.0;
+    uint64_t cycleDepth = 0;      ///< D.
+};
+
+/** The complete compiled program. */
+struct TaskProgram
+{
+    const rtl::Netlist *nl = nullptr;
+    uint32_t numTiles = 1;
+    bool unrolled = true;
+    uint32_t cycleDepth = 1;     ///< D: timestamps advance D per cycle.
+    HwLimits limits;
+    std::vector<Task> tasks;
+    CompileStats stats;
+
+    /** Producing task of each RTL node (invalidTask for constants). */
+    std::vector<TaskId> taskOfNode;
+
+    /**
+     * Timestamp of a task instance (Sec 4.3.3):
+     * ts = D * cycle + depth.
+     */
+    uint64_t
+    timestamp(TaskId t, uint64_t cycle) const
+    {
+        return cycleDepth * cycle + tasks[t].depth;
+    }
+
+    /** Validate structural invariants; panics on violation. */
+    void validate() const;
+};
+
+} // namespace ash::core
+
+#endif // ASH_CORE_COMPILER_TASKGRAPH_H

@@ -1,0 +1,555 @@
+#include "designs/Designs.h"
+
+#include <sstream>
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+#include "common/Random.h"
+#include "verilog/Compile.h"
+
+namespace ash::designs {
+
+namespace {
+
+// NTT parameters: a classic negacyclic-friendly NTT prime and a
+// primitive root. 7681 = 15 * 2^9 + 1; ord(17) = 7680.
+constexpr uint64_t kNttP = 7681;
+constexpr uint64_t kNttG = 17;
+constexpr unsigned kNttW = 13;
+
+uint64_t
+powMod(uint64_t base, uint64_t exp, uint64_t mod)
+{
+    uint64_t result = 1;
+    base %= mod;
+    while (exp) {
+        if (exp & 1)
+            result = result * base % mod;
+        base = base * base % mod;
+        exp >>= 1;
+    }
+    return result;
+}
+
+unsigned
+bitReverse(unsigned value, unsigned bits)
+{
+    unsigned out = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+        out = (out << 1) | (value & 1);
+        value >>= 1;
+    }
+    return out;
+}
+
+/** Deterministic per-(cycle, lane) pseudo-random value. */
+uint64_t
+hashCycle(uint64_t cycle, uint64_t lane, uint64_t salt)
+{
+    uint64_t z = cycle * 0x9e3779b97f4a7c15ull + lane * 0xbf58476d1ce4e5b9ull +
+                 salt;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+class LambdaStimulus : public refsim::Stimulus
+{
+  public:
+    using Fn = std::function<void(uint64_t, std::vector<uint64_t> &)>;
+    explicit LambdaStimulus(Fn fn) : _fn(std::move(fn)) {}
+    void
+    apply(uint64_t cycle, std::vector<uint64_t> &in) override
+    {
+        _fn(cycle, in);
+    }
+
+  private:
+    Fn _fn;
+};
+
+std::function<refsim::StimulusPtr()>
+stimulusFactory(LambdaStimulus::Fn fn)
+{
+    return [fn]() {
+        return std::make_shared<LambdaStimulus>(fn);
+    };
+}
+
+} // namespace
+
+uint64_t
+nttModulus()
+{
+    return kNttP;
+}
+
+std::vector<uint64_t>
+referenceNtt(const std::vector<uint64_t> &input)
+{
+    size_t n = input.size();
+    unsigned bits = log2Exact(n);
+    uint64_t omega = powMod(kNttG, (kNttP - 1) / n, kNttP);
+
+    std::vector<uint64_t> a(n);
+    for (size_t i = 0; i < n; ++i)
+        a[i] = input[bitReverse(static_cast<unsigned>(i), bits)] %
+               kNttP;
+    for (unsigned s = 0; s < bits; ++s) {
+        size_t m = 1ull << (s + 1);
+        uint64_t wm = powMod(omega, n / m, kNttP);
+        for (size_t k = 0; k < n; k += m) {
+            uint64_t w = 1;
+            for (size_t j = 0; j < m / 2; ++j) {
+                uint64_t t = w * a[k + j + m / 2] % kNttP;
+                uint64_t u = a[k + j];
+                a[k + j] = (u + t) % kNttP;
+                a[k + j + m / 2] = (u + kNttP - t) % kNttP;
+                w = w * wm % kNttP;
+            }
+        }
+    }
+    return a;
+}
+
+Design
+makeNtt(unsigned points)
+{
+    ASH_ASSERT(points >= 4 && points <= 256 &&
+               (points & (points - 1)) == 0,
+               "NTT points must be a power of two in [4,256]");
+    unsigned bits = log2Exact(points);
+    uint64_t omega = powMod(kNttG, (kNttP - 1) / points, kNttP);
+
+    std::ostringstream v;
+    v << "// Generated " << points << "-point NTT pipeline, mod "
+      << kNttP << "\n";
+    v << "module bfly #(parameter TW = 1)\n"
+      << "  (input [" << kNttW - 1 << ":0] a, input [" << kNttW - 1
+      << ":0] b,\n"
+      << "   output [" << kNttW - 1 << ":0] x, output [" << kNttW - 1
+      << ":0] y);\n"
+      << "  wire [31:0] bw;\n"
+      << "  assign bw = b;\n"
+      << "  wire [31:0] t32 = (bw * TW) % " << kNttP << ";\n"
+      << "  wire [" << kNttW - 1 << ":0] t = t32[" << kNttW - 1
+      << ":0];\n"
+      << "  wire [" << kNttW << ":0] aw;\n"
+      << "  assign aw = a;\n"
+      << "  wire [" << kNttW << ":0] s = aw + t;\n"
+      << "  assign x = (s >= " << kNttP << ") ? (s - " << kNttP
+      << ") : s;\n"
+      << "  wire [" << kNttW << ":0] d = (aw + " << kNttP
+      << ") - t;\n"
+      << "  assign y = (d >= " << kNttP << ") ? (d - " << kNttP
+      << ") : d;\n"
+      << "endmodule\n\n";
+
+    v << "module ntt_top(input clk";
+    for (unsigned i = 0; i < points; ++i)
+        v << ",\n  input [" << kNttW - 1 << ":0] x" << i;
+    for (unsigned i = 0; i < points; ++i)
+        v << ",\n  output [" << kNttW - 1 << ":0] y" << i;
+    v << ");\n";
+
+    // Stage 0 registers latch bit-reversed inputs.
+    for (unsigned i = 0; i < points; ++i)
+        v << "  reg [" << kNttW - 1 << ":0] st0_r" << i << ";\n";
+    v << "  always_ff @(posedge clk) begin\n";
+    for (unsigned i = 0; i < points; ++i)
+        v << "    st0_r" << i << " <= x" << bitReverse(i, bits)
+          << ";\n";
+    v << "  end\n";
+
+    for (unsigned s = 0; s < bits; ++s) {
+        unsigned m = 1u << (s + 1);
+        uint64_t wm = powMod(omega, points / m, kNttP);
+        // Butterflies: stage s consumes st{s}_r*, produces st{s}_w*.
+        for (unsigned i = 0; i < points; ++i)
+            v << "  wire [" << kNttW - 1 << ":0] st" << s << "_w" << i
+              << ";\n";
+        for (unsigned k = 0; k < points; k += m) {
+            uint64_t w = 1;
+            for (unsigned j = 0; j < m / 2; ++j) {
+                unsigned hi = k + j;
+                unsigned lo = k + j + m / 2;
+                v << "  bfly #(.TW(" << w << ")) bf_" << s << "_" << hi
+                  << " (.a(st" << s << "_r" << hi << "), .b(st" << s
+                  << "_r" << lo << "), .x(st" << s << "_w" << hi
+                  << "), .y(st" << s << "_w" << lo << "));\n";
+                w = w * wm % kNttP;
+            }
+        }
+        // Pipeline registers into the next stage.
+        for (unsigned i = 0; i < points; ++i)
+            v << "  reg [" << kNttW - 1 << ":0] st" << s + 1 << "_r"
+              << i << ";\n";
+        v << "  always_ff @(posedge clk) begin\n";
+        for (unsigned i = 0; i < points; ++i)
+            v << "    st" << s + 1 << "_r" << i << " <= st" << s
+              << "_w" << i << ";\n";
+        v << "  end\n";
+    }
+    for (unsigned i = 0; i < points; ++i)
+        v << "  assign y" << i << " = st" << bits << "_r" << i
+          << ";\n";
+    v << "endmodule\n";
+
+    Design d;
+    d.name = "ntt";
+    d.top = "ntt_top";
+    d.verilog = v.str();
+    unsigned n = points;
+    d.makeStimulus = stimulusFactory(
+        [n](uint64_t cycle, std::vector<uint64_t> &in) {
+            // in[0] is clk; inputs follow in declaration order.
+            for (unsigned i = 0; i < n; ++i)
+                in[1 + i] = hashCycle(cycle, i, 0x17) % kNttP;
+        });
+    return d;
+}
+
+Design
+makeChronosPe(unsigned pes)
+{
+    ASH_ASSERT(pes >= 2 && pes <= 256);
+    std::ostringstream v;
+    v << "// Generated Chronos-style graph-accelerator PE grid ("
+      << pes << " PEs)\n";
+    v << R"(
+module pe #(parameter ID = 0)
+  (input clk,
+   input in_valid, input [5:0] in_node, input [15:0] in_dist,
+   output out_valid, output [5:0] out_node, output [15:0] out_dist,
+   output [15:0] probe);
+  reg [15:0] dist [0:63];
+  reg [5:0] q_node [0:7];
+  reg [15:0] q_dist [0:7];
+  reg [2:0] head;
+  reg [2:0] tail;
+  reg [3:0] count;
+  reg [15:0] last_write;
+  wire empty = count == 4'd0;
+  wire full = count >= 4'd8;
+  wire pop = !empty;
+  wire push = in_valid && !full;
+  wire [5:0] cur_node = q_node[head];
+  wire [15:0] cur_dist = q_dist[head];
+  wire [15:0] old_dist = dist[cur_node];
+  wire improve = pop && ((cur_dist < old_dist) || (old_dist == 16'd0));
+  always_ff @(posedge clk) begin
+    if (push) begin
+      q_node[tail] <= in_node;
+      q_dist[tail] <= in_dist;
+      tail <= tail + 3'd1;
+    end
+    if (pop)
+      head <= head + 3'd1;
+    count <= (count + (push ? 4'd1 : 4'd0)) - (pop ? 4'd1 : 4'd0);
+    if (improve)
+      dist[cur_node] <= cur_dist;
+    if (improve)
+      last_write <= cur_dist ^ {10'd0, cur_node};
+  end
+  assign out_valid = improve;
+  assign out_node = cur_node ^ 6'd1;
+  assign out_dist = cur_dist + {10'd0, cur_node[5:0]} + 16'd3;
+  assign probe = last_write;
+endmodule
+)";
+    v << "\nmodule pe_top(input clk, input [" << pes - 1
+      << ":0] inj_valid, input [5:0] inj_node, input [15:0] inj_dist,\n"
+      << "  output [15:0] checksum, output any_update);\n";
+    for (unsigned i = 0; i < pes; ++i) {
+        unsigned prev = (i + pes - 1) % pes;
+        v << "  wire ov" << i << "; wire [5:0] on" << i
+          << "; wire [15:0] od" << i << "; wire [15:0] pr" << i
+          << ";\n";
+        v << "  wire iv" << i << " = inj_valid[" << i << "] | ov"
+          << prev << ";\n"
+          << "  wire [5:0] in_n" << i << " = inj_valid[" << i
+          << "] ? inj_node : on" << prev << ";\n"
+          << "  wire [15:0] in_d" << i << " = inj_valid[" << i
+          << "] ? inj_dist : od" << prev << ";\n";
+    }
+    for (unsigned i = 0; i < pes; ++i) {
+        v << "  pe #(.ID(" << i << ")) u_pe" << i << " (.clk(clk), "
+          << ".in_valid(iv" << i << "), .in_node(in_n" << i
+          << "), .in_dist(in_d" << i << "), .out_valid(ov" << i
+          << "), .out_node(on" << i << "), .out_dist(od" << i
+          << "), .probe(pr" << i << "));\n";
+    }
+    v << "  assign checksum = ";
+    for (unsigned i = 0; i < pes; ++i)
+        v << (i ? " ^ " : "") << "pr" << i;
+    v << ";\n  assign any_update = ";
+    for (unsigned i = 0; i < pes; ++i)
+        v << (i ? " | " : "") << "ov" << i;
+    v << ";\nendmodule\n";
+
+    Design d;
+    d.name = "chronos_pe";
+    d.top = "pe_top";
+    d.verilog = v.str();
+    unsigned n = pes;
+    d.makeStimulus = stimulusFactory(
+        [n](uint64_t cycle, std::vector<uint64_t> &in) {
+            // Bursty, sparse task injection: most cycles are idle so
+            // the shared injection buses stay quiet, matching the
+            // low activity factors of graph accelerators.
+            bool burst = cycle % 8 < 2;
+            uint64_t mask = 0;
+            if (burst) {
+                for (unsigned i = 0; i < n; ++i) {
+                    if (hashCycle(cycle, i, 0x9e) % 100 < 8)
+                        mask |= 1ull << (i % 64);
+                }
+            }
+            in[1] = mask;
+            if (mask) {
+                in[2] = hashCycle(cycle, 101, 0x9e) % 64;
+                in[3] = hashCycle(cycle, 202, 0x9e) % 50000 + 1;
+            }
+        });
+    return d;
+}
+
+namespace {
+
+/** Tiny 16-bit ISA assembler for the manycore and GPU kernels. */
+uint16_t
+asmIns(unsigned op, unsigned rd, unsigned rs1, unsigned imm7)
+{
+    return static_cast<uint16_t>((op & 7) << 13 | (rd & 7) << 10 |
+                                 (rs1 & 7) << 7 | (imm7 & 0x7f));
+}
+
+/** ROM as an always_comb case table. */
+void
+emitRom(std::ostringstream &v, const std::vector<uint16_t> &program,
+        const char *pc_name, const char *out_name, unsigned pc_bits)
+{
+    v << "  reg [15:0] " << out_name << ";\n"
+      << "  always_comb begin\n    case (" << pc_name << ")\n";
+    for (size_t i = 0; i < program.size(); ++i) {
+        v << "      " << pc_bits << "'d" << i << ": " << out_name
+          << " = 16'd" << program[i] << ";\n";
+    }
+    v << "      default: " << out_name << " = 16'd"
+      << asmIns(7, 0, 0, 0) << ";\n    endcase\n  end\n";
+}
+
+} // namespace
+
+Design
+makeChronosRv(unsigned cores)
+{
+    ASH_ASSERT(cores >= 2 && cores <= 64);
+    // Kernel: accumulate a rolling sum through data memory with a
+    // loop: r1 += r2; mem[r2] = r1; r4 = mem[r2]; r1 ^= r4 >> 1;
+    // r2 += 1; branch back while r2 != r3; then reset r2.
+    std::vector<uint16_t> prog = {
+        asmIns(0, 3, 3, 24),   // 0: addi r3, r3, 24  (loop bound)
+        asmIns(0, 2, 2, 1),    // 1: addi r2, r2, 1
+        asmIns(1, 1, 1, 2 << 4),   // 2: add r1, r1, r2
+        asmIns(4, 1, 2, 0),    // 3: st mem[r2] = r1
+        asmIns(3, 4, 2, 0),    // 4: ld r4 = mem[r2]
+        asmIns(6, 4, 4, 1),    // 5: sll r4 = r4 << 1
+        asmIns(2, 1, 1, 4 << 4),   // 6: xor r1, r1, r4
+        asmIns(5, 3, 2, 0x7a), // 7: bne r2,r3 -> pc += -6
+        asmIns(0, 2, 0, 0),    // 8: addi r2, r0, 0
+        asmIns(7, 0, 0, 0),    // 9: jmp 0
+    };
+
+    std::ostringstream v;
+    v << "// Generated Chronos-style RISC manycore (" << cores
+      << " cores)\n";
+    v << "module rvcore(input clk, input en, input [15:0] id,\n"
+      << "              output [15:0] sig);\n"
+      << "  reg [7:0] pc;\n"
+      << "  reg [15:0] rf [0:7];\n"
+      << "  reg [15:0] dmem [0:31];\n";
+    emitRom(v, prog, "pc", "instr", 8);
+    v << R"(
+  wire [2:0] op = instr[15:13];
+  wire [2:0] rd = instr[12:10];
+  wire [2:0] rs1 = instr[9:7];
+  wire [2:0] rs2 = instr[6:4];
+  wire [6:0] imm = instr[6:0];
+  wire [15:0] v1 = rf[rs1];
+  wire [15:0] v2 = rf[rs2];
+  wire [15:0] vd = rf[rd];
+  wire [15:0] addr = v1 + {9'd0, imm};
+  wire [15:0] mem_rd = dmem[addr[4:0]];
+  always_ff @(posedge clk) begin
+    if (en) begin
+      pc <= pc + 8'd1;
+      case (op)
+        3'd0: rf[rd] <= v1 + {9'd0, imm};
+        3'd1: rf[rd] <= v1 + v2;
+        3'd2: rf[rd] <= (v1 ^ v2) + id;
+        3'd3: rf[rd] <= mem_rd;
+        3'd4: dmem[addr[4:0]] <= vd;
+        3'd5: begin
+          if (v1 != vd)
+            pc <= pc + {{9{imm[6]}}, imm};
+        end
+        3'd6: rf[rd] <= v1 << imm[3:0];
+        3'd7: pc <= {1'd0, imm};
+      endcase
+    end
+  end
+  assign sig = rf[1] ^ {8'd0, pc};
+endmodule
+)";
+    v << "\nmodule rv_top(input clk, input [" << cores - 1
+      << ":0] en, output [15:0] checksum);\n";
+    for (unsigned i = 0; i < cores; ++i) {
+        v << "  wire [15:0] sig" << i << ";\n"
+          << "  rvcore u_c" << i << " (.clk(clk), .en(en[" << i
+          << "]), .id(16'd" << (i * 37 + 5) << "), .sig(sig" << i
+          << "));\n";
+    }
+    v << "  assign checksum = ";
+    for (unsigned i = 0; i < cores; ++i)
+        v << (i ? " ^ " : "") << "sig" << i;
+    v << ";\nendmodule\n";
+
+    Design d;
+    d.name = "chronos_rv";
+    d.top = "rv_top";
+    d.verilog = v.str();
+    unsigned n = cores;
+    d.makeStimulus = stimulusFactory(
+        [n](uint64_t cycle, std::vector<uint64_t> &in) {
+            // ~15% duty cycle per core, staggered phases.
+            uint64_t mask = 0;
+            for (unsigned i = 0; i < n; ++i) {
+                if ((cycle + i * 3) % 7 == 0)
+                    mask |= 1ull << i;
+            }
+            in[1] = mask;
+        });
+    return d;
+}
+
+Design
+makeVortex(unsigned warps, unsigned lanes)
+{
+    ASH_ASSERT(warps >= 2 && warps <= 64 && lanes >= 1 && lanes <= 16);
+    // SIMT kernel: a vector-add-style loop over lane-private memory.
+    std::vector<uint16_t> prog = {
+        asmIns(0, 2, 2, 1),    // 0: addi r2, r2, 1   (index)
+        asmIns(3, 3, 2, 0),    // 1: ld r3 = mem[r2]
+        asmIns(0, 4, 2, 8),    // 2: addi r4 = r2 + 8
+        asmIns(3, 5, 4, 0),    // 3: ld r5 = mem[r4]
+        asmIns(1, 6, 3, 5 << 4),   // 4: add r6 = r3 + r5
+        asmIns(4, 6, 2, 16),   // 5: st mem[r2+16] = r6
+        asmIns(2, 1, 1, 6 << 4),   // 6: xor r1 ^= r6 (plus id)
+        asmIns(7, 0, 0, 0),    // 7: jmp 0
+    };
+
+    std::ostringstream v;
+    v << "// Generated Vortex-style SIMT array (" << warps
+      << " warps x " << lanes << " lanes)\n";
+    v << "module lane(input clk, input issue,\n"
+      << "            input [2:0] op, input [2:0] rd, input [2:0] rs1,\n"
+      << "            input [2:0] rs2, input [6:0] imm,\n"
+      << "            input [15:0] id, output [15:0] sig);\n"
+      << "  reg [15:0] rf [0:7];\n"
+      << "  reg [15:0] dmem [0:31];\n"
+      << R"(
+  wire [15:0] v1 = rf[rs1];
+  wire [15:0] v2 = rf[rs2];
+  wire [15:0] vd = rf[rd];
+  wire [15:0] addr = v1 + {9'd0, imm};
+  wire [15:0] mem_rd = dmem[addr[4:0]];
+  always_ff @(posedge clk) begin
+    if (issue) begin
+      case (op)
+        3'd0: rf[rd] <= v1 + {9'd0, imm};
+        3'd1: rf[rd] <= v1 + v2;
+        3'd2: rf[rd] <= (v1 ^ v2) + id;
+        3'd3: rf[rd] <= mem_rd;
+        3'd4: dmem[addr[4:0]] <= vd;
+        3'd6: rf[rd] <= v1 << imm[3:0];
+        default: rf[rd] <= v1;
+      endcase
+    end
+  end
+  assign sig = rf[1];
+endmodule
+)";
+    v << "\nmodule warpunit #(parameter WID = 0, parameter LANES = "
+      << lanes << ")\n"
+      << "  (input clk, input run, output [15:0] sig);\n"
+      << "  reg [3:0] pc;\n";
+    emitRom(v, prog, "pc", "instr", 4);
+    v << "  wire [2:0] op = instr[15:13];\n"
+      << "  wire [2:0] rd = instr[12:10];\n"
+      << "  wire [2:0] rs1 = instr[9:7];\n"
+      << "  wire [2:0] rs2 = instr[6:4];\n"
+      << "  wire [6:0] imm = instr[6:0];\n"
+      << "  always_ff @(posedge clk) begin\n"
+      << "    if (run) begin\n"
+      << "      if (op == 3'd7) pc <= {1'd0, imm[2:0]};\n"
+      << "      else pc <= pc + 4'd1;\n"
+      << "    end\n"
+      << "  end\n";
+    for (unsigned l = 0; l < lanes; ++l) {
+        v << "  wire [15:0] lsig" << l << ";\n"
+          << "  lane u_l" << l
+          << " (.clk(clk), .issue(run), .op(op), .rd(rd), .rs1(rs1), "
+          << ".rs2(rs2), .imm(imm), .id(16'd"
+          << "0 + " << (l * 97 + 13) << " + WID), .sig(lsig" << l
+          << "));\n";
+    }
+    v << "  assign sig = ";
+    for (unsigned l = 0; l < lanes; ++l)
+        v << (l ? " ^ " : "") << "lsig" << l;
+    v << ";\nendmodule\n";
+
+    v << "\nmodule vx_top(input clk, input [" << warps - 1
+      << ":0] run, output [15:0] checksum);\n";
+    for (unsigned w = 0; w < warps; ++w) {
+        v << "  wire [15:0] wsig" << w << ";\n"
+          << "  warpunit #(.WID(" << w * 11 << ")) u_w" << w
+          << " (.clk(clk), .run(run[" << w << "]), .sig(wsig" << w
+          << "));\n";
+    }
+    v << "  assign checksum = ";
+    for (unsigned w = 0; w < warps; ++w)
+        v << (w ? " ^ " : "") << "wsig" << w;
+    v << ";\nendmodule\n";
+
+    Design d;
+    d.name = "vortex";
+    d.top = "vx_top";
+    d.verilog = v.str();
+    unsigned nw = warps;
+    d.makeStimulus = stimulusFactory(
+        [nw](uint64_t cycle, std::vector<uint64_t> &in) {
+            // Round-robin single-issue with occasional stall cycles,
+            // like a warp scheduler with mostly-blocked warps.
+            if (cycle % 16 == 15)
+                return;   // Stall: nothing issues.
+            in[1] = 1ull << (cycle % nw);
+        });
+    return d;
+}
+
+std::vector<Design>
+allDesigns(const DesignScale &scale)
+{
+    return {makeVortex(scale.warps, scale.lanes),
+            makeChronosPe(scale.pes), makeChronosRv(scale.rvCores),
+            makeNtt(scale.nttPoints)};
+}
+
+rtl::Netlist
+compileDesign(const Design &design)
+{
+    return verilog::compileVerilog(design.verilog, design.top);
+}
+
+} // namespace ash::designs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Benchmark hardware designs (Table 4 substitutes). Each generator
+ * emits parametric synthesizable Verilog exercising the same
+ * structure and activity profile as the paper's design, plus a
+ * deterministic testbench stimulus:
+ *
+ *  - ntt: a real N-point number-theoretic-transform pipeline with
+ *    modular butterflies and per-stage registers (CraterLake-style,
+ *    ~100% activity).
+ *  - chronos_pe: a grid of graph-update processing elements with
+ *    task FIFOs and distance memories (sparse task arrivals, ~15-20%
+ *    activity).
+ *  - chronos_rv: a manycore of tiny 16-bit RISC cores with ROM
+ *    programs, register files and data memories, duty-cycled enables
+ *    (~15% activity).
+ *  - vortex: a SIMT GPU-like array: warp scheduler + per-lane ALUs
+ *    and register files; one warp issues per cycle so activity is
+ *    roughly 1/warps (~7%).
+ */
+
+#ifndef ASH_DESIGNS_DESIGNS_H
+#define ASH_DESIGNS_DESIGNS_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "refsim/Stimulus.h"
+#include "rtl/Netlist.h"
+
+namespace ash::designs {
+
+/** One benchmark design: source plus testbench. */
+struct Design
+{
+    std::string name;
+    std::string verilog;
+    std::string top;
+    /** Fresh deterministic stimulus (pure function of cycle). */
+    std::function<refsim::StimulusPtr()> makeStimulus;
+};
+
+/** Scale knob: 1 = default bench size (thousands of DFG nodes). */
+struct DesignScale
+{
+    unsigned nttPoints = 32;       ///< Power of two, <= 256.
+    unsigned pes = 36;             ///< Chronos/PE processing elements.
+    unsigned rvCores = 16;         ///< Chronos/RV cores.
+    unsigned warps = 14;           ///< Vortex warps.
+    unsigned lanes = 4;            ///< Vortex lanes per warp.
+};
+
+Design makeNtt(unsigned points = 32);
+Design makeChronosPe(unsigned pes = 36);
+Design makeChronosRv(unsigned cores = 16);
+Design makeVortex(unsigned warps = 14, unsigned lanes = 4);
+
+/** The four paper designs at the given scale. */
+std::vector<Design> allDesigns(const DesignScale &scale = {});
+
+/** Compile a design's Verilog to a validated netlist. */
+rtl::Netlist compileDesign(const Design &design);
+
+/**
+ * Reference NTT of @p input (size = points) modulo the generator's
+ * prime, for validating the ntt design against textbook math.
+ */
+std::vector<uint64_t> referenceNtt(const std::vector<uint64_t> &input);
+
+/** The NTT modulus used by makeNtt. */
+uint64_t nttModulus();
+
+} // namespace ash::designs
+
+#endif // ASH_DESIGNS_DESIGNS_H

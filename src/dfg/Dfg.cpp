@@ -1,0 +1,163 @@
+#include "dfg/Dfg.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+#include "rtl/Cost.h"
+
+namespace ash::dfg {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+Dfg::Dfg(const rtl::Netlist &netlist, const DfgOptions &opts)
+    : _nl(netlist), _unrolled(opts.unrolled)
+{
+    // Nodes: everything except constants (folded into consumers).
+    _dfgOf.assign(_nl.numNodes(), invalidDfgNode);
+    for (NodeId id = 0; id < _nl.numNodes(); ++id) {
+        if (_nl.node(id).op == Op::Const)
+            continue;
+        _dfgOf[id] = static_cast<DfgNodeId>(_rtlOf.size());
+        _rtlOf.push_back(id);
+        uint32_t c = std::max(1u, rtl::nodeCost(_nl.node(id)));
+        _cost.push_back(c);
+    }
+
+    _outEdges.resize(_rtlOf.size());
+    _inEdges.resize(_rtlOf.size());
+
+    // Value edges from operand relations.
+    for (DfgNodeId n = 0; n < _rtlOf.size(); ++n) {
+        const Node &node = _nl.node(_rtlOf[n]);
+        for (NodeId oper : node.operands) {
+            DfgNodeId src = _dfgOf[oper];
+            if (src == invalidDfgNode)
+                continue;   // Constant operand.
+            addEdge(src, n, EdgeKind::Value, _nl.node(oper).width,
+                    false);
+        }
+    }
+
+    // Registers.
+    for (const rtl::RegInfo &reg : _nl.regs()) {
+        DfgNodeId reg_node = _dfgOf[reg.node];
+        DfgNodeId producer = _dfgOf[reg.next];
+        if (_unrolled) {
+            // The paper's unrolled graph: the next-value producer at
+            // cycle c feeds the register node at cycle c+1.
+            if (producer != invalidDfgNode) {
+                addEdge(producer, reg_node, EdgeKind::Value,
+                        _nl.node(reg.node).width, true);
+            }
+            // Constant next (rare): the engine re-injects the constant
+            // each cycle; no edge needed.
+        } else {
+            // Single-cycle graph: the register lives in memory. A
+            // synthetic RegWrite node stores the next value; WAR edges
+            // order it after the (distributing) register read, and a
+            // cross-cycle RAW edge orders next-cycle reads after it.
+            DfgNodeId writer = static_cast<DfgNodeId>(_rtlOf.size());
+            _rtlOf.push_back(reg.node);
+            _cost.push_back(1);
+            _outEdges.emplace_back();
+            _inEdges.emplace_back();
+            _isRegWrite.resize(_rtlOf.size(), 0);
+            _isRegWrite[writer] = 1;
+            if (producer != invalidDfgNode) {
+                addEdge(producer, writer, EdgeKind::Value,
+                        _nl.node(reg.node).width, false);
+            }
+            addEdge(reg_node, writer, EdgeKind::War, 0, false);
+            addEdge(writer, reg_node, EdgeKind::Raw, 0, true);
+        }
+    }
+    _isRegWrite.resize(_rtlOf.size(), 0);
+
+    // Memory ordering edges.
+    for (size_t m = 0; m < _nl.memories().size(); ++m) {
+        const rtl::MemInfo &mem = _nl.memories()[m];
+        std::vector<DfgNodeId> reads;
+        for (NodeId id = 0; id < _nl.numNodes(); ++id) {
+            const Node &node = _nl.node(id);
+            if (node.op == Op::MemRead && node.mem == m)
+                reads.push_back(_dfgOf[id]);
+        }
+        if (mem.writePorts.empty())
+            continue;   // ROM: no ordering needed.
+        DfgNodeId first_port = _dfgOf[mem.writePorts.front()];
+        for (DfgNodeId read : reads)
+            addEdge(read, first_port, EdgeKind::War, 0, false);
+        for (size_t p = 0; p + 1 < mem.writePorts.size(); ++p) {
+            addEdge(_dfgOf[mem.writePorts[p]],
+                    _dfgOf[mem.writePorts[p + 1]], EdgeKind::Raw, 0,
+                    false);
+        }
+        DfgNodeId last_port = _dfgOf[mem.writePorts.back()];
+        for (DfgNodeId read : reads)
+            addEdge(last_port, read, EdgeKind::Raw, 0, true);
+    }
+
+    for (uint32_t c : _cost)
+        _totalCost += c;
+
+    computeDepths();
+}
+
+void
+Dfg::addEdge(DfgNodeId src, DfgNodeId dst, EdgeKind kind, uint8_t bits,
+             bool cross)
+{
+    ASH_ASSERT(src < _rtlOf.size() && dst < _rtlOf.size());
+    if (src == dst)
+        return;   // Self-loop (e.g. reg holding itself): implicit.
+    uint32_t e = static_cast<uint32_t>(_edges.size());
+    _edges.push_back(DfgEdge{src, dst, kind, bits, cross});
+    _outEdges[src].push_back(e);
+    _inEdges[dst].push_back(e);
+}
+
+void
+Dfg::computeDepths()
+{
+    // Kahn over same-cycle edges; depth = longest unit chain, and the
+    // critical path is the cost-weighted longest chain.
+    size_t n = _rtlOf.size();
+    _depth.assign(n, 0);
+    std::vector<uint64_t> cost_depth(n, 0);
+    std::vector<uint32_t> pending(n, 0);
+    for (const DfgEdge &e : _edges) {
+        if (!e.crossCycle)
+            ++pending[e.dst];
+    }
+    std::vector<DfgNodeId> frontier;
+    for (DfgNodeId i = 0; i < n; ++i) {
+        if (pending[i] == 0) {
+            cost_depth[i] = _cost[i];
+            frontier.push_back(i);
+        }
+    }
+    size_t processed = 0;
+    while (!frontier.empty()) {
+        DfgNodeId u = frontier.back();
+        frontier.pop_back();
+        ++processed;
+        _critCost = std::max(_critCost, cost_depth[u]);
+        for (uint32_t ei : _outEdges[u]) {
+            const DfgEdge &e = _edges[ei];
+            if (e.crossCycle)
+                continue;
+            _depth[e.dst] = std::max(_depth[e.dst], _depth[u] + 1);
+            cost_depth[e.dst] = std::max(cost_depth[e.dst],
+                                         cost_depth[u] + _cost[e.dst]);
+            if (--pending[e.dst] == 0)
+                frontier.push_back(e.dst);
+        }
+    }
+    ASH_ASSERT(processed == n,
+               "same-cycle dataflow edges form a cycle (%zu of %zu)",
+               processed, n);
+}
+
+} // namespace ash::dfg

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Dataflow-graph extraction from the RTL netlist (Sec 2.1, Sec 4.3.1).
+ *
+ * Every netlist node except constants becomes a dataflow node; operand
+ * relations become edges carrying the producer's bit width. Two graph
+ * forms are supported:
+ *
+ *  - Single-cycle: register values live in memory; the register-update
+ *    node is ordered after all readers with WAR edges, and no edges
+ *    cross cycle boundaries. This is the representation conventional
+ *    simulators use, and it serializes across cycles.
+ *  - Unrolled (the paper's contribution): registers become cross-cycle
+ *    dataflow edges, removing WAR hazards and letting consecutive
+ *    simulated cycles overlap.
+ *
+ * Memory ordering is encoded with dataflow edges in both forms: reads
+ * precede same-cycle writes (WAR), write ports are chained in priority
+ * order, and writes precede next-cycle reads (RAW, cross-cycle).
+ */
+
+#ifndef ASH_DFG_DFG_H
+#define ASH_DFG_DFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rtl/Netlist.h"
+
+namespace ash::dfg {
+
+/** Dense dataflow node index. */
+using DfgNodeId = uint32_t;
+constexpr DfgNodeId invalidDfgNode = ~0u;
+
+/** Edge kinds distinguish value-carrying edges from ordering edges. */
+enum class EdgeKind : uint8_t {
+    Value,   ///< Carries the producer node's value.
+    War,     ///< Write-after-read ordering; no payload.
+    Raw,     ///< Read-after-write memory ordering; no payload.
+};
+
+/** One dataflow edge. */
+struct DfgEdge
+{
+    DfgNodeId src;
+    DfgNodeId dst;
+    EdgeKind kind;
+    uint8_t bits;        ///< Payload width (0 for ordering edges).
+    bool crossCycle;     ///< Producer cycle c feeds consumer cycle c+1.
+};
+
+/** Construction options. */
+struct DfgOptions
+{
+    /** Build the unrolled graph (registers as cross-cycle edges). */
+    bool unrolled = true;
+};
+
+/** The task-formation substrate: nodes, edges, depths, parallelism. */
+class Dfg
+{
+  public:
+    Dfg(const rtl::Netlist &netlist, const DfgOptions &opts = {});
+
+    const rtl::Netlist &netlist() const { return _nl; }
+    bool unrolled() const { return _unrolled; }
+
+    size_t numNodes() const { return _rtlOf.size(); }
+    const std::vector<DfgEdge> &edges() const { return _edges; }
+
+    /** RTL node backing a dataflow node. */
+    rtl::NodeId rtlNode(DfgNodeId id) const { return _rtlOf[id]; }
+    /** Dataflow node for an RTL node (invalid for constants). */
+    DfgNodeId dfgNode(rtl::NodeId id) const { return _dfgOf[id]; }
+    /**
+     * True for the synthetic register-store nodes that only exist in
+     * the single-cycle graph (rtlNode() then names the register).
+     */
+    bool isRegWrite(DfgNodeId id) const { return _isRegWrite[id]; }
+
+    /** Instruction cost of a node (>=1 so scheduling is meaningful). */
+    uint32_t cost(DfgNodeId id) const { return _cost[id]; }
+    uint64_t totalCost() const { return _totalCost; }
+
+    /** Outgoing / incoming edge indices per node. */
+    const std::vector<uint32_t> &outEdges(DfgNodeId id) const
+    { return _outEdges[id]; }
+    const std::vector<uint32_t> &inEdges(DfgNodeId id) const
+    { return _inEdges[id]; }
+
+    /**
+     * Depth of each node: longest-cost chain of same-cycle edges from
+     * a cycle-start source, measured in nodes.
+     */
+    const std::vector<uint32_t> &depths() const { return _depth; }
+
+    /** Critical path cost through same-cycle edges (instructions). */
+    uint64_t criticalPathCost() const { return _critCost; }
+
+    /** totalCost / criticalPathCost: the available parallelism. */
+    double
+    parallelism() const
+    {
+        return _critCost ? static_cast<double>(_totalCost) /
+                               static_cast<double>(_critCost)
+                         : 0.0;
+    }
+
+  private:
+    void addEdge(DfgNodeId src, DfgNodeId dst, EdgeKind kind,
+                 uint8_t bits, bool cross);
+    void computeDepths();
+
+    const rtl::Netlist &_nl;
+    bool _unrolled;
+    std::vector<rtl::NodeId> _rtlOf;
+    std::vector<DfgNodeId> _dfgOf;
+    std::vector<uint8_t> _isRegWrite;
+    std::vector<uint32_t> _cost;
+    std::vector<DfgEdge> _edges;
+    std::vector<std::vector<uint32_t>> _outEdges;
+    std::vector<std::vector<uint32_t>> _inEdges;
+    std::vector<uint32_t> _depth;
+    uint64_t _totalCost = 0;
+    uint64_t _critCost = 0;
+};
+
+} // namespace ash::dfg
+
+#endif // ASH_DFG_DFG_H

@@ -1,0 +1,65 @@
+#include "model/EnergyArea.h"
+
+namespace ash::model {
+
+EnergyBreakdown
+computeEnergy(const StatSet &stats, uint32_t cores, double cacheMB,
+              double seconds, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    auto mj = [](double pj) { return pj * 1e-9; };
+
+    e.coresMj = mj(static_cast<double>(stats.get("instrs")) * p.instrPj);
+
+    double l1 = static_cast<double>(stats.get("l1dAccesses") +
+                                    stats.get("l1iAccesses"));
+    double l2 = static_cast<double>(stats.get("l2Accesses"));
+    e.cachesMj = mj(l1 * p.l1AccessPj + l2 * p.l2AccessPj +
+                    static_cast<double>(stats.get("dramBytes")) *
+                        p.dramBytePj);
+
+    double tmu_ops = static_cast<double>(
+        stats.get("descsSent") + stats.get("descsArrived") +
+        stats.get("descsConsumed") + stats.get("stimulusDescs"));
+    double commits = static_cast<double>(stats.get("tasksCommitted") +
+                                         stats.get("aborts"));
+    e.tmuMj = mj(tmu_ops * p.tmuOpPj + commits * p.commitPj);
+
+    e.nocMj = mj(static_cast<double>(stats.get("nocFlitHops")) *
+                 p.nocFlitHopPj);
+
+    double static_w = cores * p.staticWattsPerCore +
+                      cacheMB * p.staticWattsPerMBCache;
+    e.staticMj = static_w * seconds * 1e3;
+    return e;
+}
+
+std::vector<AreaRow>
+ashArea(uint32_t cores, uint32_t tiles, double l2MBPerTile)
+{
+    // Table 2 calibration: 256 scaled Atom-class cores = 45.1 mm^2,
+    // 64 x 1 MB L2 = 39.3 mm^2, 4 memory controllers + PHY = 25.0,
+    // 64 SASH TMUs = 5.6.
+    std::vector<AreaRow> rows;
+    rows.push_back({"cores", cores * (45.1 / 256.0)});
+    rows.push_back({"L2 caches", tiles * l2MBPerTile * (39.3 / 64.0)});
+    rows.push_back({"mem ctrl + PHY", 25.0});
+    rows.push_back({"SASH TMUs", tiles * (5.6 / 64.0)});
+    double total = 0.0;
+    for (const AreaRow &r : rows)
+        total += r.mm2;
+    rows.push_back({"total", total});
+    return rows;
+}
+
+double
+zen2Area(uint32_t cores)
+{
+    // A Zen 2 CCD (8 cores + L3) is ~74 mm^2 at 7 nm; a 32-core
+    // Threadripper uses 4 CCDs plus an I/O die (~125 mm^2 at 12 nm,
+    // counted at half weight for the 7 nm comparison).
+    double ccds = cores / 8.0;
+    return ccds * 74.0 + 62.0;
+}
+
+} // namespace ash::model

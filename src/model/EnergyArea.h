@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Analytic energy and area models (the McPAT / FinCACTI / yosys
+ * substitutes; Sec 7 and Fig 13). Energy is computed from the event
+ * counters the simulators collect (instructions, cache accesses, DRAM
+ * traffic, NoC flit-hops, TMU operations) plus static power over the
+ * run's duration. Per-event energies are 7 nm-class estimates chosen
+ * so the paper's Fig 13 split (cores and caches dominate; TMU small;
+ * NoC visible for descriptor-heavy runs) is preserved.
+ */
+
+#ifndef ASH_MODEL_ENERGYAREA_H
+#define ASH_MODEL_ENERGYAREA_H
+
+#include <string>
+#include <vector>
+
+#include "common/Stats.h"
+
+namespace ash::model {
+
+/** Per-event energies in picojoules and static power in watts. */
+struct EnergyParams
+{
+    double instrPj = 18.0;         ///< Per executed instruction.
+    double l1AccessPj = 8.0;
+    double l2AccessPj = 28.0;
+    double dramBytePj = 20.0;
+    double nocFlitHopPj = 5.0;
+    double tmuOpPj = 6.0;          ///< Per descriptor enqueue/merge.
+    double commitPj = 3.0;         ///< Per committed/aborted task.
+    double staticWattsPerCore = 0.02;
+    double staticWattsPerMBCache = 0.06;
+};
+
+/** Energy breakdown in millijoules, Fig 13 categories. */
+struct EnergyBreakdown
+{
+    double staticMj = 0.0;
+    double coresMj = 0.0;
+    double cachesMj = 0.0;
+    double tmuMj = 0.0;
+    double nocMj = 0.0;
+
+    double
+    totalMj() const
+    {
+        return staticMj + coresMj + cachesMj + tmuMj + nocMj;
+    }
+};
+
+/**
+ * Compute the energy breakdown from a simulator's stats.
+ *
+ * @param stats     Event counters from AshSimulator / baseline runs.
+ * @param cores     Number of cores in the modeled system.
+ * @param cacheMB   Total on-chip cache capacity.
+ * @param seconds   Wall-clock duration of the modeled run.
+ */
+EnergyBreakdown computeEnergy(const StatSet &stats, uint32_t cores,
+                              double cacheMB, double seconds,
+                              const EnergyParams &p = {});
+
+/** One row of the Table 2 area breakdown. */
+struct AreaRow
+{
+    std::string component;
+    double mm2;
+};
+
+/**
+ * Area of an ASH chip in mm^2 at 7 nm (Table 2 model): scaled Atom-
+ * class cores, SRAM macros for L2, DDR5 controllers and PHY, and the
+ * synthesized SASH TMU state (45 KB/tile).
+ */
+std::vector<AreaRow> ashArea(uint32_t cores, uint32_t tiles,
+                             double l2MBPerTile);
+
+/** Area of a Zen2-class multicore for the 3x comparison (Sec 9.1). */
+double zen2Area(uint32_t cores);
+
+} // namespace ash::model
+
+#endif // ASH_MODEL_ENERGYAREA_H

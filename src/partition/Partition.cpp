@@ -1,0 +1,354 @@
+#include "partition/Partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/Logging.h"
+#include "common/Random.h"
+
+namespace ash::partition {
+
+void
+Graph::addEdge(uint32_t u, uint32_t v, uint32_t w)
+{
+    ASH_ASSERT(u < adj.size() && v < adj.size());
+    if (u == v)
+        return;
+    for (auto &[n, ew] : adj[u]) {
+        if (n == v) {
+            ew += w;
+            for (auto &[m, ew2] : adj[v]) {
+                if (m == u) {
+                    ew2 += w;
+                    break;
+                }
+            }
+            return;
+        }
+    }
+    adj[u].emplace_back(v, w);
+    adj[v].emplace_back(u, w);
+}
+
+uint64_t
+cutWeight(const Graph &graph, const std::vector<uint32_t> &label)
+{
+    uint64_t cut = 0;
+    for (size_t u = 0; u < graph.adj.size(); ++u) {
+        for (const auto &[v, w] : graph.adj[u]) {
+            if (u < v && label[u] != label[v])
+                cut += w;
+        }
+    }
+    return cut;
+}
+
+namespace {
+
+/** One level of the multilevel hierarchy. */
+struct Level
+{
+    Graph graph;
+    std::vector<uint32_t> coarseOf;   ///< Fine vertex -> coarse vertex.
+};
+
+/** Heavy-edge matching coarsening; returns the coarser level. */
+Level
+coarsen(const Graph &g, Rng &rng)
+{
+    size_t n = g.numVertices();
+    std::vector<uint32_t> match(n, ~0u);
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    // Shuffle visit order for robustness.
+    for (size_t i = n; i > 1; --i)
+        std::swap(order[i - 1], order[rng.below(i)]);
+
+    for (uint32_t u : order) {
+        if (match[u] != ~0u)
+            continue;
+        uint32_t best = ~0u;
+        uint32_t best_w = 0;
+        for (const auto &[v, w] : g.adj[u]) {
+            if (match[v] == ~0u && w > best_w) {
+                best = v;
+                best_w = w;
+            }
+        }
+        if (best != ~0u) {
+            match[u] = best;
+            match[best] = u;
+        } else {
+            match[u] = u;
+        }
+    }
+
+    Level level;
+    level.coarseOf.assign(n, ~0u);
+    uint32_t next = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+        if (level.coarseOf[u] != ~0u)
+            continue;
+        level.coarseOf[u] = next;
+        if (match[u] != u)
+            level.coarseOf[match[u]] = next;
+        ++next;
+    }
+
+    level.graph.vertexWeight.assign(next, 0);
+    level.graph.adj.resize(next);
+    for (uint32_t u = 0; u < n; ++u)
+        level.graph.vertexWeight[level.coarseOf[u]] +=
+            g.vertexWeight[u];
+    for (uint32_t u = 0; u < n; ++u) {
+        for (const auto &[v, w] : g.adj[u]) {
+            if (u < v)
+                level.graph.addEdge(level.coarseOf[u],
+                                    level.coarseOf[v], w);
+        }
+    }
+    return level;
+}
+
+/**
+ * Greedy region growing: seed k vertices, repeatedly assign the
+ * unassigned vertex with the strongest connection to the lightest
+ * growable partition.
+ */
+std::vector<uint32_t>
+initialPartition(const Graph &g, uint32_t k, uint64_t max_weight,
+                 Rng &rng)
+{
+    size_t n = g.numVertices();
+    std::vector<uint32_t> label(n, ~0u);
+    std::vector<uint64_t> weight(k, 0);
+
+    // Round-robin greedy: iterate vertices in a BFS order from random
+    // seeds, assigning each to the least-loaded partition among those
+    // it has affinity to (or globally least-loaded when none).
+    std::vector<uint32_t> order;
+    order.reserve(n);
+    std::vector<uint8_t> visited(n, 0);
+    std::vector<uint32_t> queue;
+    for (size_t start = 0; order.size() < n; ++start) {
+        uint32_t s = static_cast<uint32_t>(rng.below(n));
+        while (visited[s])
+            s = (s + 1) % static_cast<uint32_t>(n);
+        queue.push_back(s);
+        visited[s] = 1;
+        size_t head = order.size();
+        order.push_back(s);
+        while (head < order.size()) {
+            uint32_t u = order[head++];
+            for (const auto &[v, w] : g.adj[u]) {
+                (void)w;
+                if (!visited[v]) {
+                    visited[v] = 1;
+                    order.push_back(v);
+                }
+            }
+        }
+        queue.clear();
+    }
+
+    for (uint32_t u : order) {
+        // Affinity per partition.
+        std::vector<uint64_t> affinity(k, 0);
+        for (const auto &[v, w] : g.adj[u]) {
+            if (label[v] != ~0u)
+                affinity[label[v]] += w;
+        }
+        uint32_t best = 0;
+        double best_score = -1e300;
+        for (uint32_t p = 0; p < k; ++p) {
+            if (weight[p] + g.vertexWeight[u] > max_weight &&
+                weight[p] > 0)
+                continue;
+            double score = static_cast<double>(affinity[p]) -
+                           1e-6 * static_cast<double>(weight[p]);
+            if (score > best_score) {
+                best_score = score;
+                best = p;
+            }
+        }
+        if (best_score == -1e300) {
+            // Everything full: pick the lightest.
+            best = static_cast<uint32_t>(
+                std::min_element(weight.begin(), weight.end()) -
+                weight.begin());
+        }
+        label[u] = best;
+        weight[best] += g.vertexWeight[u];
+    }
+    return label;
+}
+
+/**
+ * Force every partition under the weight cap by evicting vertices
+ * from overweight partitions into the lightest fitting one, breaking
+ * the fewest connections possible.
+ */
+void
+rebalance(const Graph &g, uint32_t k, std::vector<uint32_t> &label,
+          uint64_t max_weight)
+{
+    size_t n = g.numVertices();
+    std::vector<uint64_t> weight(k, 0);
+    for (size_t u = 0; u < n; ++u)
+        weight[label[u]] += g.vertexWeight[u];
+
+    for (unsigned guard = 0; guard < 4 * n + 16; ++guard) {
+        uint32_t heavy = static_cast<uint32_t>(
+            std::max_element(weight.begin(), weight.end()) -
+            weight.begin());
+        if (weight[heavy] <= max_weight)
+            break;
+        // Pick the vertex in the heavy partition with the least
+        // internal connectivity.
+        uint32_t victim = ~0u;
+        uint64_t best_conn = ~0ull;
+        for (uint32_t u = 0; u < n; ++u) {
+            if (label[u] != heavy)
+                continue;
+            uint64_t internal = 0;
+            for (const auto &[v, w] : g.adj[u]) {
+                if (label[v] == heavy)
+                    internal += w;
+            }
+            if (internal < best_conn) {
+                best_conn = internal;
+                victim = u;
+            }
+        }
+        if (victim == ~0u)
+            break;
+        uint32_t lightest = static_cast<uint32_t>(
+            std::min_element(weight.begin(), weight.end()) -
+            weight.begin());
+        label[victim] = lightest;
+        weight[heavy] -= g.vertexWeight[victim];
+        weight[lightest] += g.vertexWeight[victim];
+    }
+}
+
+/** Greedy boundary refinement: move vertices with positive gain. */
+void
+refine(const Graph &g, uint32_t k, std::vector<uint32_t> &label,
+       uint64_t max_weight, unsigned passes)
+{
+    size_t n = g.numVertices();
+    rebalance(g, k, label, max_weight);
+    std::vector<uint64_t> weight(k, 0);
+    for (size_t u = 0; u < n; ++u)
+        weight[label[u]] += g.vertexWeight[u];
+
+    std::vector<uint64_t> conn(k, 0);
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        bool moved = false;
+        for (uint32_t u = 0; u < n; ++u) {
+            if (g.adj[u].empty())
+                continue;
+            std::fill(conn.begin(), conn.end(), 0);
+            bool boundary = false;
+            for (const auto &[v, w] : g.adj[u]) {
+                conn[label[v]] += w;
+                if (label[v] != label[u])
+                    boundary = true;
+            }
+            if (!boundary)
+                continue;
+            uint32_t from = label[u];
+            uint32_t best = from;
+            int64_t best_gain = 0;
+            for (uint32_t p = 0; p < k; ++p) {
+                if (p == from)
+                    continue;
+                if (weight[p] + g.vertexWeight[u] > max_weight)
+                    continue;
+                int64_t gain = static_cast<int64_t>(conn[p]) -
+                               static_cast<int64_t>(conn[from]);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best = p;
+                }
+            }
+            if (best != from) {
+                label[u] = best;
+                weight[from] -= g.vertexWeight[u];
+                weight[best] += g.vertexWeight[u];
+                moved = true;
+            }
+        }
+        if (!moved)
+            break;
+    }
+}
+
+} // namespace
+
+PartitionResult
+partitionGraph(const Graph &graph, uint32_t k,
+               const PartitionOptions &opts)
+{
+    ASH_ASSERT(k >= 1);
+    size_t n = graph.numVertices();
+    PartitionResult result;
+    if (k == 1 || n == 0) {
+        result.label.assign(n, 0);
+        uint64_t total = 0;
+        for (uint32_t w : graph.vertexWeight)
+            total += w;
+        result.maxPartWeight = result.minPartWeight = total;
+        return result;
+    }
+
+    uint64_t total = 0;
+    for (uint32_t w : graph.vertexWeight)
+        total += w;
+    uint64_t max_weight = static_cast<uint64_t>(
+        (static_cast<double>(total) / k) * (1.0 + opts.imbalance)) + 1;
+
+    Rng rng(opts.seed);
+
+    // Build the multilevel hierarchy.
+    std::vector<Level> levels;
+    const Graph *current = &graph;
+    size_t target = std::max<size_t>(static_cast<size_t>(k) * 16, 128);
+    while (current->numVertices() > target) {
+        Level level = coarsen(*current, rng);
+        if (level.graph.numVertices() >
+            current->numVertices() * 95 / 100)
+            break;   // Matching stalled.
+        levels.push_back(std::move(level));
+        current = &levels.back().graph;
+    }
+
+    std::vector<uint32_t> label =
+        initialPartition(*current, k, max_weight, rng);
+    refine(*current, k, label, max_weight, opts.refinePasses);
+
+    // Project back up, refining at each level.
+    for (size_t li = levels.size(); li-- > 0;) {
+        const Level &level = levels[li];
+        const Graph &fine =
+            li == 0 ? graph : levels[li - 1].graph;
+        std::vector<uint32_t> fine_label(fine.numVertices());
+        for (size_t u = 0; u < fine.numVertices(); ++u)
+            fine_label[u] = label[level.coarseOf[u]];
+        label = std::move(fine_label);
+        refine(fine, k, label, max_weight, opts.refinePasses);
+    }
+
+    result.label = std::move(label);
+    result.cutWeight = cutWeight(graph, result.label);
+    std::vector<uint64_t> weight(k, 0);
+    for (size_t u = 0; u < n; ++u)
+        weight[result.label[u]] += graph.vertexWeight[u];
+    result.maxPartWeight = *std::max_element(weight.begin(),
+                                             weight.end());
+    result.minPartWeight = *std::min_element(weight.begin(),
+                                             weight.end());
+    return result;
+}
+
+} // namespace ash::partition

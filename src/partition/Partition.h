@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multilevel k-way graph partitioner — the from-scratch METIS
+ * substitute used to map dataflow nodes to tiles (Sec 4.3.2). Minimizes
+ * the weighted edge cut while keeping per-partition vertex weight
+ * within a balance tolerance. Same algorithm family as METIS:
+ * heavy-edge-matching coarsening, greedy region-growing initial
+ * partition, and boundary refinement at every level.
+ */
+
+#ifndef ASH_PARTITION_PARTITION_H
+#define ASH_PARTITION_PARTITION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ash::partition {
+
+/** Undirected weighted graph in adjacency-list form. */
+struct Graph
+{
+    /** Per-vertex weight (e.g. instruction cost). */
+    std::vector<uint32_t> vertexWeight;
+    /** adj[v] = (neighbor, edge weight); must be symmetric. */
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj;
+
+    size_t numVertices() const { return vertexWeight.size(); }
+
+    /** Add an undirected edge (accumulates weight on duplicates). */
+    void addEdge(uint32_t u, uint32_t v, uint32_t w);
+};
+
+/** Partitioning options. */
+struct PartitionOptions
+{
+    double imbalance = 0.10;   ///< Max partition weight over average.
+    uint64_t seed = 1;
+    unsigned refinePasses = 8;
+};
+
+/** Result: labels plus quality metrics. */
+struct PartitionResult
+{
+    std::vector<uint32_t> label;     ///< Partition id per vertex.
+    uint64_t cutWeight = 0;          ///< Sum of cut edge weights.
+    uint64_t maxPartWeight = 0;
+    uint64_t minPartWeight = 0;
+};
+
+/**
+ * Partition @p graph into @p k parts. k == 1 returns all-zero labels.
+ */
+PartitionResult partitionGraph(const Graph &graph, uint32_t k,
+                               const PartitionOptions &opts = {});
+
+/** Recompute the cut weight of a labeling (for tests). */
+uint64_t cutWeight(const Graph &graph,
+                   const std::vector<uint32_t> &label);
+
+} // namespace ash::partition
+
+#endif // ASH_PARTITION_PARTITION_H

@@ -1,0 +1,162 @@
+#include "refsim/ReferenceSimulator.h"
+
+#include "common/Logging.h"
+#include "rtl/Cost.h"
+#include "rtl/Eval.h"
+
+namespace ash::refsim {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+ReferenceSimulator::ReferenceSimulator(const rtl::Netlist &netlist)
+    : _nl(netlist), _order(netlist.topoOrder()),
+      _values(netlist.numNodes(), 0), _prevValues(netlist.numNodes(), 0),
+      _changed(netlist.numNodes(), 0),
+      _inputBuffer(netlist.inputs().size(), 0)
+{
+    reset();
+    for (NodeId id = 0; id < _nl.numNodes(); ++id)
+        _totalCost += rtl::nodeCost(_nl.node(id));
+}
+
+void
+ReferenceSimulator::reset()
+{
+    _cycle = 0;
+    _activeCostSum = 0.0;
+    std::fill(_values.begin(), _values.end(), 0);
+    std::fill(_prevValues.begin(), _prevValues.end(), 0);
+    std::fill(_changed.begin(), _changed.end(), 0);
+    _regState.clear();
+    for (const rtl::RegInfo &reg : _nl.regs())
+        _regState.push_back(reg.init);
+    _memState.clear();
+    for (const rtl::MemInfo &mem : _nl.memories()) {
+        std::vector<uint64_t> contents(mem.depth, 0);
+        for (size_t i = 0; i < mem.init.size(); ++i)
+            contents[i] = mem.init[i];
+        _memState.push_back(std::move(contents));
+    }
+}
+
+void
+ReferenceSimulator::step(Stimulus &stimulus)
+{
+    std::fill(_inputBuffer.begin(), _inputBuffer.end(), 0);
+    stimulus.apply(_cycle, _inputBuffer);
+
+    _prevValues = _values;
+
+    // Seed sources, then evaluate combinational logic in levelized
+    // order (phase 1 of the two-phase clocking scheme).
+    for (size_t i = 0; i < _nl.inputs().size(); ++i) {
+        _values[_nl.inputs()[i]] = truncate(
+            _inputBuffer[i], _nl.node(_nl.inputs()[i]).width);
+    }
+    uint64_t scratch[8];
+    for (NodeId id : _order) {
+        const Node &n = _nl.node(id);
+        switch (n.op) {
+          case Op::Input:
+            break;                // Seeded above.
+          case Op::Const:
+            _values[id] = n.imm;
+            break;
+          case Op::Reg:
+            _values[id] = _regState[_nl.regIndex(id)];
+            break;
+          case Op::MemRead: {
+            const auto &contents = _memState[n.mem];
+            uint64_t addr = _values[n.operands[0]];
+            _values[id] = addr < contents.size() ? contents[addr] : 0;
+            break;
+          }
+          case Op::MemWrite:
+            break;                // Effects applied at the clock edge.
+          default: {
+            ASH_ASSERT(n.operands.size() <= 8,
+                       "node with >8 operands needs Concat splitting");
+            for (size_t i = 0; i < n.operands.size(); ++i)
+                scratch[i] = _values[n.operands[i]];
+            _values[id] = rtl::evalCombOp(n, _nl, scratch);
+            break;
+          }
+        }
+    }
+
+    // Change tracking and activity accounting.
+    uint64_t active_cost = 0;
+    for (NodeId id = 0; id < _nl.numNodes(); ++id) {
+        _changed[id] = _values[id] != _prevValues[id];
+    }
+    for (NodeId id = 0; id < _nl.numNodes(); ++id) {
+        const Node &n = _nl.node(id);
+        if (n.isSource())
+            continue;
+        bool input_changed = false;
+        for (NodeId oper : n.operands) {
+            if (_changed[oper]) {
+                input_changed = true;
+                break;
+            }
+        }
+        if (input_changed)
+            active_cost += rtl::nodeCost(n);
+    }
+    if (_totalCost > 0)
+        _activeCostSum += static_cast<double>(active_cost) /
+                          static_cast<double>(_totalCost);
+
+    // Phase 2: clock edge. Latch registers, apply memory writes in
+    // port order (later ports win on same-address conflicts).
+    std::vector<uint64_t> next_regs(_regState.size());
+    for (size_t i = 0; i < _nl.regs().size(); ++i)
+        next_regs[i] = _values[_nl.regs()[i].next];
+    _regState = std::move(next_regs);
+
+    for (size_t m = 0; m < _nl.memories().size(); ++m) {
+        for (NodeId port : _nl.memories()[m].writePorts) {
+            const Node &n = _nl.node(port);
+            if (!_values[n.operands[2]])
+                continue;
+            uint64_t addr = _values[n.operands[0]];
+            if (addr < _memState[m].size())
+                _memState[m][addr] = _values[n.operands[1]];
+        }
+    }
+
+    ++_cycle;
+}
+
+OutputFrame
+ReferenceSimulator::outputFrame() const
+{
+    OutputFrame frame;
+    frame.reserve(_nl.outputs().size());
+    for (NodeId id : _nl.outputs())
+        frame.push_back(_values[id]);
+    return frame;
+}
+
+OutputTrace
+ReferenceSimulator::run(Stimulus &stimulus, uint64_t cycles)
+{
+    OutputTrace trace;
+    trace.reserve(cycles);
+    for (uint64_t c = 0; c < cycles; ++c) {
+        step(stimulus);
+        trace.push_back(outputFrame());
+    }
+    return trace;
+}
+
+double
+ReferenceSimulator::activityFactor() const
+{
+    return _cycle == 0 ? 0.0
+                       : _activeCostSum / static_cast<double>(_cycle);
+}
+
+} // namespace ash::refsim

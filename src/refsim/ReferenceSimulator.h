@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Full-evaluation reference simulator: the golden functional model and
+ * the execution substrate of the "Verilator" baselines. Each call to
+ * step() evaluates every combinational node in levelized order, then
+ * commits registers and memory writes at the clock edge (two-phase
+ * synchronous semantics). It also measures per-node activity, which
+ * feeds the selective-execution analyses (Fig 3c, Table 4).
+ */
+
+#ifndef ASH_REFSIM_REFERENCESIMULATOR_H
+#define ASH_REFSIM_REFERENCESIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "refsim/Stimulus.h"
+#include "rtl/Netlist.h"
+
+namespace ash::refsim {
+
+/** Per-cycle output snapshot: entry i is Netlist::outputs()[i]. */
+using OutputFrame = std::vector<uint64_t>;
+/** Output values over a whole run, one frame per cycle. */
+using OutputTrace = std::vector<OutputFrame>;
+
+/** Levelized full-evaluation simulator over an rtl::Netlist. */
+class ReferenceSimulator
+{
+  public:
+    explicit ReferenceSimulator(const rtl::Netlist &netlist);
+
+    /** Simulate one cycle, pulling inputs from @p stimulus. */
+    void step(Stimulus &stimulus);
+
+    /** Run @p cycles cycles, recording outputs each cycle. */
+    OutputTrace run(Stimulus &stimulus, uint64_t cycles);
+
+    /** Current value of any node (post-step). */
+    uint64_t value(rtl::NodeId id) const { return _values[id]; }
+
+    /** Current output frame. */
+    OutputFrame outputFrame() const;
+
+    /** Cycles simulated so far. */
+    uint64_t cycle() const { return _cycle; }
+
+    /**
+     * Change flags from the most recent step(): entry per node, true if
+     * the node's value differs from the previous cycle.
+     */
+    const std::vector<uint8_t> &changedLastCycle() const
+    { return _changed; }
+
+    /**
+     * Activity factor accumulated over the run: fraction of total node
+     * cost belonging to nodes whose *inputs* changed that cycle (the
+     * work a perfectly selective simulator must still do).
+     */
+    double activityFactor() const;
+
+    /** Reset registers, memories, and counters to time zero. */
+    void reset();
+
+  private:
+    const rtl::Netlist &_nl;
+    std::vector<rtl::NodeId> _order;      ///< Levelized evaluation order.
+    std::vector<uint64_t> _values;        ///< Current value per node.
+    std::vector<uint64_t> _prevValues;    ///< Previous-cycle values.
+    std::vector<uint8_t> _changed;        ///< Per-node change flag.
+    std::vector<uint64_t> _regState;      ///< Architectural register state.
+    std::vector<std::vector<uint64_t>> _memState;
+    std::vector<uint64_t> _inputBuffer;
+    uint64_t _cycle = 0;
+    double _activeCostSum = 0.0;          ///< Sum over cycles.
+    uint64_t _totalCost = 0;              ///< Per-cycle total node cost.
+};
+
+} // namespace ash::refsim
+
+#endif // ASH_REFSIM_REFERENCESIMULATOR_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Testbench stimulus interface. An RTL simulation feeds inputs each
+ * simulated cycle (Sec 2.1); a Stimulus produces those inputs. The same
+ * Stimulus object drives the reference simulator, the baselines, and
+ * the ASH chip model, which is what lets us check output equivalence.
+ */
+
+#ifndef ASH_REFSIM_STIMULUS_H
+#define ASH_REFSIM_STIMULUS_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ash::refsim {
+
+/** Supplies design input values for each simulated cycle. */
+class Stimulus
+{
+  public:
+    virtual ~Stimulus() = default;
+
+    /**
+     * Fill @p input_values for @p cycle. Entry i corresponds to
+     * Netlist::inputs()[i]. The vector arrives sized and zeroed.
+     * Implementations must be deterministic functions of the cycle
+     * number so different simulators can replay the same stimulus.
+     */
+    virtual void apply(uint64_t cycle,
+                       std::vector<uint64_t> &input_values) = 0;
+};
+
+/** Stimulus that holds every input at zero. */
+class ZeroStimulus : public Stimulus
+{
+  public:
+    void apply(uint64_t, std::vector<uint64_t> &) override {}
+};
+
+using StimulusPtr = std::shared_ptr<Stimulus>;
+
+} // namespace ash::refsim
+
+#endif // ASH_REFSIM_STIMULUS_H

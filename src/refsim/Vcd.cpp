@@ -1,0 +1,94 @@
+#include "refsim/Vcd.h"
+
+#include "common/Logging.h"
+
+namespace ash::refsim {
+
+namespace {
+
+/** Short printable-ASCII identifier for signal index @p i. */
+std::string
+vcdId(size_t i)
+{
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + i % 94));
+        i /= 94;
+    } while (i);
+    return id;
+}
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        if (c == ' ')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(const rtl::Netlist &nl, std::ostream &out,
+                     const std::string &scope)
+    : _nl(nl), _out(out)
+{
+    _out << "$timescale 1ns $end\n$scope module " << scope
+         << " $end\n";
+    size_t index = 0;
+    auto declare = [&](const std::string &name, rtl::NodeId node,
+                       unsigned width) {
+        Signal sig;
+        sig.name = sanitize(name);
+        sig.id = vcdId(index++);
+        sig.node = node;
+        sig.width = width;
+        _out << "$var wire " << width << " " << sig.id << " "
+             << sig.name << " $end\n";
+        _signals.push_back(std::move(sig));
+    };
+    for (rtl::NodeId id : nl.inputs())
+        declare(nl.inputName(id), id, nl.node(id).width);
+    for (rtl::NodeId id : nl.outputs())
+        declare(nl.outputName(id), id, nl.node(id).width);
+    for (const rtl::RegInfo &reg : nl.regs())
+        declare(reg.name, reg.node, nl.node(reg.node).width);
+    _out << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::emitValue(const Signal &sig, uint64_t value)
+{
+    if (sig.width == 1) {
+        _out << (value & 1) << sig.id << "\n";
+        return;
+    }
+    _out << "b";
+    bool leading = true;
+    for (int bit = static_cast<int>(sig.width) - 1; bit >= 0; --bit) {
+        int v = (value >> bit) & 1;
+        if (v == 0 && leading && bit != 0)
+            continue;   // VCD allows dropped leading zeros.
+        leading = false;
+        _out << v;
+    }
+    _out << " " << sig.id << "\n";
+}
+
+void
+VcdWriter::sample(const ReferenceSimulator &sim, uint64_t cycle)
+{
+    _out << "#" << cycle << "\n";
+    for (Signal &sig : _signals) {
+        uint64_t value = sim.value(sig.node);
+        if (sig.first || value != sig.last) {
+            emitValue(sig, value);
+            sig.last = value;
+            sig.first = false;
+        }
+    }
+}
+
+} // namespace ash::refsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * VCD (Value Change Dump) waveform writing for the reference
+ * simulator — the standard debugging output of RTL simulators, so the
+ * reproduction is usable as an actual simulator: run a design, open
+ * the wave in GTKWave.
+ */
+
+#ifndef ASH_REFSIM_VCD_H
+#define ASH_REFSIM_VCD_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "refsim/ReferenceSimulator.h"
+
+namespace ash::refsim {
+
+/**
+ * Streams design inputs, outputs, and registers of a
+ * ReferenceSimulator run into VCD format.
+ */
+class VcdWriter
+{
+  public:
+    /**
+     * @param nl  The design (must outlive the writer).
+     * @param out Stream receiving VCD text (must outlive the writer).
+     * @param scope Module scope name in the dump.
+     */
+    VcdWriter(const rtl::Netlist &nl, std::ostream &out,
+              const std::string &scope = "top");
+
+    /**
+     * Record the state of @p sim after a step. Call once per
+     * simulated cycle, in order.
+     */
+    void sample(const ReferenceSimulator &sim, uint64_t cycle);
+
+  private:
+    struct Signal
+    {
+        std::string name;
+        std::string id;      ///< VCD identifier code.
+        rtl::NodeId node;
+        unsigned width;
+        uint64_t last = ~0ull;
+        bool first = true;
+    };
+
+    void emitValue(const Signal &sig, uint64_t value);
+
+    const rtl::Netlist &_nl;
+    std::ostream &_out;
+    std::vector<Signal> _signals;
+};
+
+} // namespace ash::refsim
+
+#endif // ASH_REFSIM_VCD_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-node cost model. The ASH compiler and all timing models measure
+ * work in "host instructions": the number of instructions a compiled
+ * simulator would execute to evaluate one IR node (Sec 4.3.2 estimates
+ * node cost as the number of instructions within it). Code footprint is
+ * derived from the same model.
+ */
+
+#ifndef ASH_RTL_COST_H
+#define ASH_RTL_COST_H
+
+#include "rtl/Netlist.h"
+
+namespace ash::rtl {
+
+/** Instructions to evaluate @p n once. */
+inline uint32_t
+nodeCost(const Node &n)
+{
+    switch (n.op) {
+      case Op::Input:
+      case Op::Const:
+      case Op::Reg:
+        return 0;          // Sources: value already in a register/arg.
+      case Op::Mul:
+        return 3;
+      case Op::Div:
+      case Op::Mod:
+        return 12;
+      case Op::Mux:
+        return 2;          // Compare + conditional move.
+      case Op::Concat:
+        return static_cast<uint32_t>(2 * n.operands.size() - 1);
+      case Op::MemRead:
+      case Op::MemWrite:
+        return 4;          // Address arithmetic + load/store + mask.
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+        return 2;
+      case Op::Output:
+        return 1;
+      default:
+        return 1;          // Single ALU instruction.
+    }
+}
+
+/**
+ * Code bytes the generated simulator spends on @p n (x86-64-like
+ * density: ~4.5 bytes/instruction plus per-node addressing overhead).
+ */
+inline uint32_t
+nodeCodeBytes(const Node &n)
+{
+    uint32_t instrs = nodeCost(n);
+    return instrs == 0 ? 0 : instrs * 5 + 8;
+}
+
+} // namespace ash::rtl
+
+#endif // ASH_RTL_COST_H

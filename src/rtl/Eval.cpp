@@ -1,0 +1,100 @@
+#include "rtl/Eval.h"
+
+#include "common/Logging.h"
+
+namespace ash::rtl {
+
+uint64_t
+evalCombOp(const Node &n, const Netlist &nl, const uint64_t *operand)
+{
+    auto ow = [&](size_t i) { return nl.node(n.operands[i]).width; };
+    uint64_t result = 0;
+    switch (n.op) {
+      case Op::And: result = operand[0] & operand[1]; break;
+      case Op::Or: result = operand[0] | operand[1]; break;
+      case Op::Xor: result = operand[0] ^ operand[1]; break;
+      case Op::Not: result = ~operand[0]; break;
+      case Op::Add: result = operand[0] + operand[1]; break;
+      case Op::Sub: result = operand[0] - operand[1]; break;
+      case Op::Mul: result = operand[0] * operand[1]; break;
+      case Op::Div:
+        // Verilog semantics for division by zero are X; we define 0
+        // (documented subset semantics, two-state logic).
+        result = operand[1] ? operand[0] / operand[1] : 0;
+        break;
+      case Op::Mod:
+        result = operand[1] ? operand[0] % operand[1] : 0;
+        break;
+      case Op::Shl:
+        result = operand[1] >= n.width ? 0 : operand[0] << operand[1];
+        break;
+      case Op::LShr:
+        result = operand[1] >= ow(0) ? 0 : operand[0] >> operand[1];
+        break;
+      case Op::AShr: {
+        int64_t v = signExtend(operand[0], ow(0));
+        uint64_t sh = operand[1] >= ow(0) ? ow(0) - 1 : operand[1];
+        result = static_cast<uint64_t>(v >> sh);
+        break;
+      }
+      case Op::Eq: result = operand[0] == operand[1]; break;
+      case Op::Ne: result = operand[0] != operand[1]; break;
+      case Op::Lt: result = operand[0] < operand[1]; break;
+      case Op::Le: result = operand[0] <= operand[1]; break;
+      case Op::Gt: result = operand[0] > operand[1]; break;
+      case Op::Ge: result = operand[0] >= operand[1]; break;
+      case Op::SLt:
+        result = signExtend(operand[0], ow(0)) <
+                 signExtend(operand[1], ow(1));
+        break;
+      case Op::SLe:
+        result = signExtend(operand[0], ow(0)) <=
+                 signExtend(operand[1], ow(1));
+        break;
+      case Op::SGt:
+        result = signExtend(operand[0], ow(0)) >
+                 signExtend(operand[1], ow(1));
+        break;
+      case Op::SGe:
+        result = signExtend(operand[0], ow(0)) >=
+                 signExtend(operand[1], ow(1));
+        break;
+      case Op::Mux:
+        result = operand[0] ? operand[1] : operand[2];
+        break;
+      case Op::Concat: {
+        // Operands are MSB-first.
+        for (size_t i = 0; i < n.operands.size(); ++i) {
+            result = (result << ow(i)) | truncate(operand[i], ow(i));
+        }
+        break;
+      }
+      case Op::Slice:
+        result = operand[0] >> n.imm;
+        break;
+      case Op::ZExt:
+        result = operand[0];
+        break;
+      case Op::SExt:
+        result = static_cast<uint64_t>(signExtend(operand[0], ow(0)));
+        break;
+      case Op::RedAnd:
+        result = truncate(operand[0], ow(0)) == mask64(ow(0));
+        break;
+      case Op::RedOr:
+        result = operand[0] != 0;
+        break;
+      case Op::RedXor:
+        result = __builtin_parityll(operand[0]);
+        break;
+      case Op::Output:
+        result = operand[0];
+        break;
+      default:
+        panic("evalCombOp: node kind %s needs external state",
+              opName(n.op));
+    }
+    return truncate(result, n.width);
+}
+
+} // namespace ash::rtl

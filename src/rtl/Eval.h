@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Pure-value evaluation of combinational IR nodes. Shared by the
+ * reference simulator and by the functional side of the ASH chip model
+ * so both execute identical semantics (this is what makes the
+ * end-to-end equivalence tests meaningful).
+ */
+
+#ifndef ASH_RTL_EVAL_H
+#define ASH_RTL_EVAL_H
+
+#include <cstdint>
+
+#include "rtl/Netlist.h"
+
+namespace ash::rtl {
+
+/**
+ * Evaluate a combinational node given its operand values (already
+ * truncated to their widths). Not valid for sources, MemRead, or
+ * MemWrite, which need external state.
+ *
+ * @param n        The node to evaluate.
+ * @param nl       The owning netlist (for operand widths).
+ * @param operand  Operand values, in operand order.
+ * @return The result, truncated to n.width bits.
+ */
+uint64_t evalCombOp(const Node &n, const Netlist &nl,
+                    const uint64_t *operand);
+
+} // namespace ash::rtl
+
+#endif // ASH_RTL_EVAL_H

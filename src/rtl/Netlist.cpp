@@ -1,0 +1,360 @@
+#include "rtl/Netlist.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+#include "rtl/Cost.h"
+
+namespace ash::rtl {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Input: return "Input";
+      case Op::Const: return "Const";
+      case Op::Reg: return "Reg";
+      case Op::And: return "And";
+      case Op::Or: return "Or";
+      case Op::Xor: return "Xor";
+      case Op::Not: return "Not";
+      case Op::Add: return "Add";
+      case Op::Sub: return "Sub";
+      case Op::Mul: return "Mul";
+      case Op::Div: return "Div";
+      case Op::Mod: return "Mod";
+      case Op::Shl: return "Shl";
+      case Op::LShr: return "LShr";
+      case Op::AShr: return "AShr";
+      case Op::Eq: return "Eq";
+      case Op::Ne: return "Ne";
+      case Op::Lt: return "Lt";
+      case Op::Le: return "Le";
+      case Op::Gt: return "Gt";
+      case Op::Ge: return "Ge";
+      case Op::SLt: return "SLt";
+      case Op::SLe: return "SLe";
+      case Op::SGt: return "SGt";
+      case Op::SGe: return "SGe";
+      case Op::Mux: return "Mux";
+      case Op::Concat: return "Concat";
+      case Op::Slice: return "Slice";
+      case Op::ZExt: return "ZExt";
+      case Op::SExt: return "SExt";
+      case Op::RedAnd: return "RedAnd";
+      case Op::RedOr: return "RedOr";
+      case Op::RedXor: return "RedXor";
+      case Op::MemRead: return "MemRead";
+      case Op::MemWrite: return "MemWrite";
+      case Op::Output: return "Output";
+    }
+    return "?";
+}
+
+NodeId
+Netlist::pushNode(Node n)
+{
+    NodeId id = static_cast<NodeId>(_nodes.size());
+    _nodes.push_back(std::move(n));
+    _regIndexOf.push_back(~0u);
+    return id;
+}
+
+NodeId
+Netlist::addInput(const std::string &name, unsigned width)
+{
+    ASH_ASSERT(width >= 1 && width <= maxSignalWidth);
+    Node n;
+    n.op = Op::Input;
+    n.width = static_cast<uint8_t>(width);
+    NodeId id = pushNode(std::move(n));
+    _inputs.push_back(id);
+    _inputNames.push_back(name);
+    return id;
+}
+
+NodeId
+Netlist::addConst(unsigned width, uint64_t value)
+{
+    ASH_ASSERT(width >= 1 && width <= maxSignalWidth);
+    Node n;
+    n.op = Op::Const;
+    n.width = static_cast<uint8_t>(width);
+    n.imm = truncate(value, width);
+    return pushNode(std::move(n));
+}
+
+NodeId
+Netlist::addReg(const std::string &name, unsigned width, uint64_t init)
+{
+    ASH_ASSERT(width >= 1 && width <= maxSignalWidth);
+    Node n;
+    n.op = Op::Reg;
+    n.width = static_cast<uint8_t>(width);
+    n.imm = truncate(init, width);
+    NodeId id = pushNode(std::move(n));
+    _regIndexOf[id] = static_cast<uint32_t>(_regs.size());
+    RegInfo info;
+    info.node = id;
+    info.init = truncate(init, width);
+    info.name = name;
+    _regs.push_back(std::move(info));
+    return id;
+}
+
+void
+Netlist::setRegNext(NodeId reg, NodeId next)
+{
+    ASH_ASSERT(reg < _nodes.size() && _nodes[reg].op == Op::Reg);
+    ASH_ASSERT(next < _nodes.size());
+    ASH_ASSERT(_nodes[next].width == _nodes[reg].width,
+               "register '%s': next width %u != reg width %u",
+               _regs[_regIndexOf[reg]].name.c_str(), _nodes[next].width,
+               _nodes[reg].width);
+    _regs[_regIndexOf[reg]].next = next;
+}
+
+NodeId
+Netlist::addOp(Op op, unsigned width, std::vector<NodeId> operands,
+               uint64_t imm)
+{
+    ASH_ASSERT(width <= maxSignalWidth);
+    Node n;
+    n.op = op;
+    n.width = static_cast<uint8_t>(width);
+    n.imm = imm;
+    n.operands = std::move(operands);
+    for (NodeId oper : n.operands)
+        ASH_ASSERT(oper < _nodes.size(), "operand out of range");
+    NodeId id = pushNode(std::move(n));
+    checkWidths(_nodes[id], id);
+    return id;
+}
+
+MemId
+Netlist::addMemory(const std::string &name, unsigned width, uint32_t depth)
+{
+    ASH_ASSERT(width >= 1 && width <= maxSignalWidth);
+    ASH_ASSERT(depth >= 1);
+    MemInfo info;
+    info.name = name;
+    info.width = static_cast<uint8_t>(width);
+    info.depth = depth;
+    _memories.push_back(std::move(info));
+    return static_cast<MemId>(_memories.size() - 1);
+}
+
+void
+Netlist::setMemoryInit(MemId mem, std::vector<uint64_t> init)
+{
+    ASH_ASSERT(mem < _memories.size());
+    ASH_ASSERT(init.size() <= _memories[mem].depth);
+    for (uint64_t &v : init)
+        v = truncate(v, _memories[mem].width);
+    _memories[mem].init = std::move(init);
+}
+
+NodeId
+Netlist::addMemRead(MemId mem, NodeId addr)
+{
+    ASH_ASSERT(mem < _memories.size());
+    Node n;
+    n.op = Op::MemRead;
+    n.width = _memories[mem].width;
+    n.mem = mem;
+    n.operands = {addr};
+    return pushNode(std::move(n));
+}
+
+NodeId
+Netlist::addMemWrite(MemId mem, NodeId addr, NodeId data, NodeId enable)
+{
+    ASH_ASSERT(mem < _memories.size());
+    ASH_ASSERT(_nodes[data].width == _memories[mem].width,
+               "memory '%s': write data width %u != mem width %u",
+               _memories[mem].name.c_str(), _nodes[data].width,
+               _memories[mem].width);
+    ASH_ASSERT(_nodes[enable].width == 1);
+    Node n;
+    n.op = Op::MemWrite;
+    n.width = 0;
+    n.mem = mem;
+    n.operands = {addr, data, enable};
+    NodeId id = pushNode(std::move(n));
+    _memories[mem].writePorts.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::addOutput(const std::string &name, NodeId value)
+{
+    ASH_ASSERT(value < _nodes.size());
+    Node n;
+    n.op = Op::Output;
+    n.width = _nodes[value].width;
+    n.operands = {value};
+    NodeId id = pushNode(std::move(n));
+    _outputs.push_back(id);
+    _outputNames.push_back(name);
+    return id;
+}
+
+const std::string &
+Netlist::inputName(NodeId id) const
+{
+    for (size_t i = 0; i < _inputs.size(); ++i) {
+        if (_inputs[i] == id)
+            return _inputNames[i];
+    }
+    panic("node %u is not an input", id);
+}
+
+const std::string &
+Netlist::outputName(NodeId id) const
+{
+    for (size_t i = 0; i < _outputs.size(); ++i) {
+        if (_outputs[i] == id)
+            return _outputNames[i];
+    }
+    panic("node %u is not an output", id);
+}
+
+size_t
+Netlist::regIndex(NodeId id) const
+{
+    ASH_ASSERT(id < _nodes.size() && _nodes[id].op == Op::Reg);
+    return _regIndexOf[id];
+}
+
+void
+Netlist::checkWidths(const Node &n, NodeId id) const
+{
+    auto w = [&](size_t i) { return _nodes[n.operands[i]].width; };
+    auto expectOperands = [&](size_t count) {
+        ASH_ASSERT(n.operands.size() == count,
+                   "%s node %u: expected %zu operands, got %zu",
+                   opName(n.op), id, count, n.operands.size());
+    };
+    switch (n.op) {
+      case Op::And: case Op::Or: case Op::Xor:
+      case Op::Add: case Op::Sub: case Op::Mul:
+      case Op::Div: case Op::Mod:
+        expectOperands(2);
+        ASH_ASSERT(w(0) == n.width && w(1) == n.width,
+                   "%s node %u: operand widths %u,%u vs result %u",
+                   opName(n.op), id, w(0), w(1), n.width);
+        break;
+      case Op::Not:
+        expectOperands(1);
+        ASH_ASSERT(w(0) == n.width);
+        break;
+      case Op::Shl: case Op::LShr: case Op::AShr:
+        expectOperands(2);
+        ASH_ASSERT(w(0) == n.width);
+        break;
+      case Op::Eq: case Op::Ne:
+      case Op::Lt: case Op::Le: case Op::Gt: case Op::Ge:
+      case Op::SLt: case Op::SLe: case Op::SGt: case Op::SGe:
+        expectOperands(2);
+        ASH_ASSERT(n.width == 1 && w(0) == w(1));
+        break;
+      case Op::Mux:
+        expectOperands(3);
+        ASH_ASSERT(w(0) == 1 && w(1) == n.width && w(2) == n.width);
+        break;
+      case Op::Concat: {
+        ASH_ASSERT(!n.operands.empty());
+        unsigned total = 0;
+        for (size_t i = 0; i < n.operands.size(); ++i)
+            total += w(i);
+        ASH_ASSERT(total == n.width,
+                   "Concat node %u: operand widths sum %u != %u", id,
+                   total, n.width);
+        break;
+      }
+      case Op::Slice:
+        expectOperands(1);
+        ASH_ASSERT(n.imm + n.width <= w(0),
+                   "Slice node %u: [%u +: %u] out of %u-bit operand", id,
+                   static_cast<unsigned>(n.imm), n.width, w(0));
+        break;
+      case Op::ZExt: case Op::SExt:
+        expectOperands(1);
+        ASH_ASSERT(w(0) <= n.width);
+        break;
+      case Op::RedAnd: case Op::RedOr: case Op::RedXor:
+        expectOperands(1);
+        ASH_ASSERT(n.width == 1);
+        break;
+      case Op::MemRead:
+        expectOperands(1);
+        break;
+      case Op::MemWrite:
+        expectOperands(3);
+        break;
+      case Op::Output:
+        expectOperands(1);
+        break;
+      case Op::Input: case Op::Const: case Op::Reg:
+        expectOperands(0);
+        break;
+    }
+}
+
+std::vector<NodeId>
+Netlist::topoOrder() const
+{
+    // Kahn's algorithm over combinational edges. Sources (Input, Const,
+    // Reg) have no operands, so they seed the frontier.
+    std::vector<uint32_t> pending(_nodes.size());
+    std::vector<std::vector<NodeId>> users(_nodes.size());
+    for (NodeId id = 0; id < _nodes.size(); ++id) {
+        pending[id] = static_cast<uint32_t>(_nodes[id].operands.size());
+        for (NodeId oper : _nodes[id].operands)
+            users[oper].push_back(id);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(_nodes.size());
+    std::vector<NodeId> frontier;
+    for (NodeId id = 0; id < _nodes.size(); ++id) {
+        if (pending[id] == 0)
+            frontier.push_back(id);
+    }
+    while (!frontier.empty()) {
+        NodeId id = frontier.back();
+        frontier.pop_back();
+        order.push_back(id);
+        for (NodeId user : users[id]) {
+            if (--pending[user] == 0)
+                frontier.push_back(user);
+        }
+    }
+    if (order.size() != _nodes.size())
+        fatal("combinational cycle detected in netlist (%zu of %zu nodes "
+              "ordered)", order.size(), _nodes.size());
+    return order;
+}
+
+void
+Netlist::validate() const
+{
+    for (const RegInfo &reg : _regs) {
+        if (reg.next == invalidNode)
+            fatal("register '%s' has no next-value driver",
+                  reg.name.c_str());
+    }
+    // topoOrder() fatals on combinational cycles.
+    (void)topoOrder();
+}
+
+uint64_t
+Netlist::totalCost() const
+{
+    uint64_t total = 0;
+    for (const Node &n : _nodes)
+        total += nodeCost(n);
+    return total;
+}
+
+} // namespace ash::rtl

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The RTL netlist intermediate representation. This is ASH's equivalent
+ * of the dataflow-style IR Verilator produces from Verilog (Sec 2.1):
+ * a directed graph of combinational operation nodes plus clocked
+ * registers and synchronous-write / asynchronous-read memories. The
+ * Verilog frontend lowers into this IR; the reference simulator, the
+ * dataflow-graph layer, and the ASH compiler all consume it.
+ *
+ * All values are 1-64 bits wide and carried in uint64_t words; the
+ * frontend rejects wider signals (documented subset restriction).
+ */
+
+#ifndef ASH_RTL_NETLIST_H
+#define ASH_RTL_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/BitUtils.h"
+
+namespace ash::rtl {
+
+/** Index of a node within its Netlist. */
+using NodeId = uint32_t;
+/** Index of a memory within its Netlist. */
+using MemId = uint32_t;
+
+constexpr NodeId invalidNode = ~0u;
+
+/** Operation kinds. Source nodes have no operands. */
+enum class Op : uint8_t {
+    // Sources.
+    Input,   ///< Design input; value supplied by the stimulus each cycle.
+    Const,   ///< Constant; value in Node::imm.
+    Reg,     ///< Clocked register; current value, next set via setRegNext.
+
+    // Bitwise / logical.
+    And, Or, Xor, Not,
+    // Arithmetic (unsigned two's complement within width).
+    Add, Sub, Mul, Div, Mod,
+    // Shifts: operand 0 shifted by operand 1.
+    Shl, LShr, AShr,
+    // Comparisons (1-bit results). S-prefixed are signed.
+    Eq, Ne, Lt, Le, Gt, Ge, SLt, SLe, SGt, SGe,
+    // Ternary select: operands are (sel, ifTrue, ifFalse).
+    Mux,
+    // Concatenation: operands MSB-first; width is the sum of widths.
+    Concat,
+    // Bit slice: operand 0, least significant bit in Node::imm.
+    Slice,
+    // Width extension.
+    ZExt, SExt,
+    // Reductions to 1 bit.
+    RedAnd, RedOr, RedXor,
+
+    // Memory ports. Reads are combinational (see the memory state of
+    // the start of the cycle); writes apply at the clock edge.
+    MemRead,   ///< operands: (addr); Node::mem names the memory.
+    MemWrite,  ///< operands: (addr, data, enable); a sink node.
+
+    // Design output: operand 0 is the driven value; a sink node.
+    Output,
+};
+
+/** Printable op name. */
+const char *opName(Op op);
+
+/** Number of distinct Op values (for table sizing). */
+constexpr size_t numOps = static_cast<size_t>(Op::Output) + 1;
+
+/** One IR node. */
+struct Node
+{
+    Op op = Op::Const;
+    uint8_t width = 1;          ///< Result width in bits (0 for sinks).
+    MemId mem = ~0u;            ///< Memory id for MemRead/MemWrite.
+    uint64_t imm = 0;           ///< Const value / Slice lsb / Reg init.
+    std::vector<NodeId> operands;
+
+    bool
+    isSource() const
+    {
+        return op == Op::Input || op == Op::Const || op == Op::Reg;
+    }
+    bool isSink() const { return op == Op::MemWrite || op == Op::Output; }
+};
+
+/** Register bookkeeping: the Reg node and the node driving its next value. */
+struct RegInfo
+{
+    NodeId node = invalidNode;
+    NodeId next = invalidNode;   ///< Value latched at each clock edge.
+    uint64_t init = 0;
+    std::string name;
+};
+
+/** Memory bookkeeping. */
+struct MemInfo
+{
+    std::string name;
+    uint8_t width = 1;
+    uint32_t depth = 0;
+    std::vector<uint64_t> init;          ///< Optional initial contents.
+    std::vector<NodeId> writePorts;      ///< MemWrite nodes, port order.
+};
+
+/**
+ * A flattened synchronous design: one implicit clock, combinational
+ * nodes, registers, and memories. Built either by the Verilog frontend
+ * or directly through this builder API (see examples/custom_circuit).
+ */
+class Netlist
+{
+  public:
+    /// @name Builder interface
+    /// @{
+    NodeId addInput(const std::string &name, unsigned width);
+    NodeId addConst(unsigned width, uint64_t value);
+    NodeId addReg(const std::string &name, unsigned width,
+                  uint64_t init = 0);
+    /** Connect the value latched into @p reg at each clock edge. */
+    void setRegNext(NodeId reg, NodeId next);
+    /** Add a combinational operation; width rules are validated. */
+    NodeId addOp(Op op, unsigned width, std::vector<NodeId> operands,
+                 uint64_t imm = 0);
+    MemId addMemory(const std::string &name, unsigned width,
+                    uint32_t depth);
+    /** Set initial memory contents (size must be <= depth). */
+    void setMemoryInit(MemId mem, std::vector<uint64_t> init);
+    NodeId addMemRead(MemId mem, NodeId addr);
+    NodeId addMemWrite(MemId mem, NodeId addr, NodeId data, NodeId enable);
+    NodeId addOutput(const std::string &name, NodeId value);
+    /// @}
+
+    /// @name Queries
+    /// @{
+    const Node &node(NodeId id) const { return _nodes[id]; }
+    size_t numNodes() const { return _nodes.size(); }
+    const std::vector<NodeId> &inputs() const { return _inputs; }
+    const std::vector<NodeId> &outputs() const { return _outputs; }
+    const std::vector<RegInfo> &regs() const { return _regs; }
+    const std::vector<MemInfo> &memories() const { return _memories; }
+    const std::string &inputName(NodeId id) const;
+    const std::string &outputName(NodeId id) const;
+    /** Register index of a Reg node. */
+    size_t regIndex(NodeId id) const;
+    /// @}
+
+    /**
+     * Check structural invariants: operand widths, acyclic combinational
+     * logic, every register driven. Calls ash::fatal() on violations.
+     */
+    void validate() const;
+
+    /**
+     * Topological order over all nodes (sources first, sinks last).
+     * Fails if combinational logic is cyclic.
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Sum of per-node instruction costs (see Cost.h). */
+    uint64_t totalCost() const;
+
+  private:
+    NodeId pushNode(Node n);
+    void checkWidths(const Node &n, NodeId id) const;
+
+    std::vector<Node> _nodes;
+    std::vector<NodeId> _inputs;
+    std::vector<NodeId> _outputs;
+    std::vector<RegInfo> _regs;
+    std::vector<MemInfo> _memories;
+    std::vector<std::string> _inputNames;   // parallel to _inputs
+    std::vector<std::string> _outputNames;  // parallel to _outputs
+    std::vector<uint32_t> _regIndexOf;      // node id -> reg index
+};
+
+} // namespace ash::rtl
+
+#endif // ASH_RTL_NETLIST_H

@@ -1,0 +1,102 @@
+#include "rtl/Transform.h"
+
+#include <vector>
+
+#include "common/Logging.h"
+
+namespace ash::rtl {
+
+Netlist
+pruneDead(const Netlist &nl)
+{
+    // Mark live nodes: DFS from outputs, memory write ports, and every
+    // register's next-value. Inputs and registers themselves are
+    // always kept so the design interface is preserved.
+    std::vector<uint8_t> live(nl.numNodes(), 0);
+    std::vector<NodeId> stack;
+    auto mark = [&](NodeId id) {
+        if (!live[id]) {
+            live[id] = 1;
+            stack.push_back(id);
+        }
+    };
+    for (NodeId id : nl.outputs())
+        mark(id);
+    for (const RegInfo &reg : nl.regs()) {
+        mark(reg.node);
+        mark(reg.next);
+    }
+    for (const MemInfo &mem : nl.memories()) {
+        for (NodeId port : mem.writePorts)
+            mark(port);
+    }
+    for (NodeId id : nl.inputs())
+        mark(id);
+    while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        for (NodeId oper : nl.node(id).operands)
+            mark(oper);
+    }
+
+    // Rebuild in original order with an id remap.
+    Netlist out;
+    std::vector<NodeId> remap(nl.numNodes(), invalidNode);
+
+    // Memories first (ids are independent of nodes).
+    for (const MemInfo &mem : nl.memories()) {
+        MemId m = out.addMemory(mem.name, mem.width, mem.depth);
+        if (!mem.init.empty())
+            out.setMemoryInit(m, mem.init);
+    }
+
+    for (NodeId id = 0; id < nl.numNodes(); ++id) {
+        if (!live[id])
+            continue;
+        const Node &n = nl.node(id);
+        switch (n.op) {
+          case Op::Input:
+            remap[id] = out.addInput(nl.inputName(id), n.width);
+            break;
+          case Op::Const:
+            remap[id] = out.addConst(n.width, n.imm);
+            break;
+          case Op::Reg: {
+            const RegInfo &reg = nl.regs()[nl.regIndex(id)];
+            remap[id] = out.addReg(reg.name, n.width, reg.init);
+            break;
+          }
+          case Op::MemRead:
+            remap[id] = out.addMemRead(n.mem, remap[n.operands[0]]);
+            break;
+          case Op::MemWrite:
+            remap[id] = out.addMemWrite(n.mem, remap[n.operands[0]],
+                                        remap[n.operands[1]],
+                                        remap[n.operands[2]]);
+            break;
+          case Op::Output:
+            remap[id] = out.addOutput(nl.outputName(id),
+                                      remap[n.operands[0]]);
+            break;
+          default: {
+            std::vector<NodeId> opers;
+            opers.reserve(n.operands.size());
+            for (NodeId oper : n.operands) {
+                ASH_ASSERT(remap[oper] != invalidNode,
+                           "operand of live node is dead");
+                opers.push_back(remap[oper]);
+            }
+            remap[id] = out.addOp(n.op, n.width, std::move(opers),
+                                  n.imm);
+            break;
+          }
+        }
+    }
+
+    for (const RegInfo &reg : nl.regs())
+        out.setRegNext(remap[reg.node], remap[reg.next]);
+
+    return out;
+}
+
+} // namespace ash::rtl

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Netlist transforms. Currently: dead-node elimination, which removes
+ * nodes unreachable from any sink (outputs, register next-values,
+ * memory writes). The elaborator's constant folding leaves dead scratch
+ * nodes behind; pruning keeps simulated cost honest.
+ */
+
+#ifndef ASH_RTL_TRANSFORM_H
+#define ASH_RTL_TRANSFORM_H
+
+#include "rtl/Netlist.h"
+
+namespace ash::rtl {
+
+/** Copy @p nl keeping only nodes live w.r.t. its sinks and inputs. */
+Netlist pruneDead(const Netlist &nl);
+
+} // namespace ash::rtl
+
+#endif // ASH_RTL_TRANSFORM_H

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Abstract syntax tree for the Verilog subset. The parser produces one
+ * Module per `module ... endmodule`; the elaborator flattens the module
+ * hierarchy and lowers to the rtl::Netlist IR.
+ *
+ * Supported subset (documented in README):
+ *  - ANSI-style module headers with parameters and input/output ports
+ *  - wire / reg / logic declarations, vectors up to 64 bits, one
+ *    unpacked dimension (memories)
+ *  - parameter / localparam, genvar + generate-for with begin:label
+ *  - continuous assign (whole-signal LHS)
+ *  - always_comb / always @(*) with blocking assigns
+ *  - always_ff / always @(posedge clk) with nonblocking assigns
+ *  - if/else, case with default, for loops with elaboration-constant
+ *    bounds, begin/end blocks
+ *  - full expression grammar: arithmetic, bitwise, logical, reduction,
+ *    shifts, comparisons, ternary, concatenation, replication, bit and
+ *    part selects (constant and variable index, +: form)
+ *  - module instantiation with named or positional connections and
+ *    parameter overrides
+ * Unsupported (rejected with diagnostics): 4-state values, signed
+ * arithmetic, tasks/functions, initial blocks, multiple clocks or
+ * negedge logic, delays, strings, hierarchical references.
+ */
+
+#ifndef ASH_VERILOG_AST_H
+#define ASH_VERILOG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ash::verilog {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind : uint8_t {
+        Number,    ///< value/width/sized
+        Ident,     ///< text
+        Unary,     ///< op + children[0]
+        Binary,    ///< op + children[0,1]
+        Ternary,   ///< children[0]?children[1]:children[2]
+        Concat,    ///< {a, b, ...} children MSB-first
+        Repl,      ///< {N{expr}}: children[0]=count, children[1]=expr
+        Index,     ///< base[idx]: text=base, children[0]=idx
+        RangeSel,  ///< base[msb:lsb]: text=base, children[0,1]
+        PartSel,   ///< base[lo +: W]: text=base, children[0]=lo, [1]=W
+    };
+
+    /** Operator spellings for Unary/Binary, e.g. "+", "&&", "~|". */
+    Kind kind;
+    std::string op;
+    std::string text;
+    uint64_t value = 0;
+    unsigned width = 0;
+    bool sized = false;
+    int line = 0;
+    std::vector<ExprPtr> children;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One target of a procedural assignment. */
+struct LValue
+{
+    std::string name;
+    ExprPtr index;       ///< Bit/element select (memories); may be null.
+    ExprPtr rangeMsb;    ///< Constant part select; may be null.
+    ExprPtr rangeLsb;
+    ExprPtr partLo;      ///< +: part select base; may be null.
+    ExprPtr partWidth;
+};
+
+/** Procedural statement. */
+struct Stmt
+{
+    enum class Kind : uint8_t {
+        Block,        ///< begin ... end: stmts
+        If,           ///< cond; thenStmt; elseStmt (may be null)
+        Case,         ///< selector; items; defaultStmt (may be null)
+        Assign,       ///< lhs = rhs (blocking) or lhs <= rhs
+        For,          ///< loop var init/cond/step + body
+    };
+
+    struct CaseItem
+    {
+        std::vector<ExprPtr> labels;
+        StmtPtr body;
+    };
+
+    Kind kind;
+    int line = 0;
+
+    // Block.
+    std::vector<StmtPtr> stmts;
+    // If / Case selector.
+    ExprPtr cond;
+    StmtPtr thenStmt;
+    StmtPtr elseStmt;
+    // Case.
+    std::vector<CaseItem> caseItems;
+    StmtPtr defaultStmt;
+    // Assign.
+    LValue lhs;
+    ExprPtr rhs;
+    bool nonblocking = false;
+    // For.
+    std::string loopVar;
+    ExprPtr forInit;
+    ExprPtr forCond;
+    ExprPtr forStep;
+    StmtPtr forBody;
+};
+
+/** Signal kind as declared. */
+enum class NetKind : uint8_t { Wire, Reg, Logic, Integer, Genvar };
+
+/** One declared name (possibly a vector and/or memory). */
+struct Decl
+{
+    NetKind kind = NetKind::Wire;
+    std::string name;
+    ExprPtr msb;          ///< Packed range [msb:lsb]; null for scalars.
+    ExprPtr lsb;
+    ExprPtr memLeft;      ///< Unpacked range [l:r]; null unless memory.
+    ExprPtr memRight;
+    ExprPtr init;         ///< Declaration assignment (wires only).
+    int line = 0;
+};
+
+/** Port direction. */
+enum class PortDir : uint8_t { Input, Output };
+
+/** ANSI header port. */
+struct Port
+{
+    PortDir dir = PortDir::Input;
+    Decl decl;
+};
+
+/** Parameter declaration (header or body). */
+struct ParamDecl
+{
+    std::string name;
+    ExprPtr value;        ///< Default value.
+    bool local = false;
+    int line = 0;
+};
+
+struct Item;
+using ItemPtr = std::unique_ptr<Item>;
+
+/** Module body item. */
+struct Item
+{
+    enum class Kind : uint8_t {
+        Decl,          ///< Net/reg/integer/genvar declaration(s).
+        Param,         ///< parameter / localparam.
+        Assign,        ///< Continuous assign.
+        AlwaysComb,
+        AlwaysFF,
+        Instance,
+        GenerateFor,
+    };
+
+    Kind kind;
+    int line = 0;
+
+    // Decl.
+    std::vector<Decl> decls;
+    // Param.
+    ParamDecl param;
+    // Assign: lhs must be a whole signal.
+    LValue assignLhs;
+    ExprPtr assignRhs;
+    // Always blocks.
+    StmtPtr body;
+    std::string clockName;   ///< Sensitivity signal for always_ff.
+    // Instance.
+    std::string moduleName;
+    std::string instName;
+    std::vector<std::pair<std::string, ExprPtr>> paramOverrides;
+    std::vector<std::pair<std::string, ExprPtr>> connections;
+    bool positionalConns = false;
+    // GenerateFor.
+    std::string genVar;
+    ExprPtr genInit;
+    ExprPtr genCond;
+    ExprPtr genStep;
+    std::string genLabel;
+    std::vector<ItemPtr> genBody;
+};
+
+/** One parsed module. */
+struct Module
+{
+    std::string name;
+    std::vector<ParamDecl> params;
+    std::vector<Port> ports;
+    std::vector<ItemPtr> items;
+    int line = 0;
+};
+
+/** A parsed source file: one or more modules. */
+struct SourceUnit
+{
+    std::vector<Module> modules;
+};
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_AST_H

@@ -1,0 +1,20 @@
+#include "verilog/Compile.h"
+
+#include "rtl/Transform.h"
+#include "verilog/Elaborator.h"
+#include "verilog/Parser.h"
+
+namespace ash::verilog {
+
+rtl::Netlist
+compileVerilog(const std::string &source, const std::string &top,
+               const std::map<std::string, int64_t> &params)
+{
+    SourceUnit unit = parse(source);
+    rtl::Netlist raw = elaborate(unit, top, params);
+    rtl::Netlist pruned = rtl::pruneDead(raw);
+    pruned.validate();
+    return pruned;
+}
+
+} // namespace ash::verilog

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * One-call Verilog-to-netlist driver: lex, parse, elaborate, prune.
+ * This is the frontend half of the ASH compiler (Fig 7's "Verilator
+ * IR" stage); the backend passes live in src/core/compiler.
+ */
+
+#ifndef ASH_VERILOG_COMPILE_H
+#define ASH_VERILOG_COMPILE_H
+
+#include <map>
+#include <string>
+
+#include "rtl/Netlist.h"
+
+namespace ash::verilog {
+
+/**
+ * Compile Verilog source text to a flat, validated, pruned netlist.
+ *
+ * @param source Verilog source (may contain multiple modules).
+ * @param top    Top-level module name.
+ * @param params Parameter overrides for the top module.
+ */
+rtl::Netlist compileVerilog(
+    const std::string &source, const std::string &top,
+    const std::map<std::string, int64_t> &params = {});
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_COMPILE_H

@@ -1,0 +1,1487 @@
+#include "verilog/Elaborator.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "common/Logging.h"
+#include "rtl/Eval.h"
+
+namespace ash::verilog {
+
+using rtl::Netlist;
+using rtl::NodeId;
+using rtl::Op;
+using rtl::invalidNode;
+
+namespace {
+
+/** Name-resolution scope; chains inside one module, not across. */
+struct Scope
+{
+    const Scope *parent = nullptr;
+    std::map<std::string, std::string> names;   ///< local -> flat name
+    std::map<std::string, int64_t> consts;      ///< params, genvars
+
+    const std::string *
+    lookupName(const std::string &n) const
+    {
+        for (const Scope *s = this; s; s = s->parent) {
+            auto it = s->names.find(n);
+            if (it != s->names.end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+
+    const int64_t *
+    lookupConst(const std::string &n) const
+    {
+        for (const Scope *s = this; s; s = s->parent) {
+            auto it = s->consts.find(n);
+            if (it != s->consts.end())
+                return &it->second;
+        }
+        return nullptr;
+    }
+};
+
+/** How a flat signal gets its value. */
+struct Driver
+{
+    enum class Kind : uint8_t {
+        None,        ///< Undriven (error if read).
+        Input,       ///< Top-level design input.
+        Assign,      ///< Continuous assign RHS.
+        Block,       ///< Target of an always_comb block.
+        Alias,       ///< Same value as another flat signal.
+        ParentExpr,  ///< Instance input port: expression in parent scope.
+        Zero,        ///< Unconnected instance input.
+    };
+    Kind kind = Kind::None;
+    const Expr *expr = nullptr;
+    const Scope *scope = nullptr;
+    size_t blockIdx = 0;
+    std::string alias;
+    int line = 0;
+};
+
+/** A flattened always block. */
+struct FlatBlock
+{
+    const Stmt *body = nullptr;
+    const Scope *scope = nullptr;
+    bool isFF = false;
+    std::vector<std::string> targets;   ///< Flat non-memory target names.
+    int line = 0;
+    bool done = false;                  ///< Comb block already synthesized.
+};
+
+/** A flattened signal. */
+struct FlatSignal
+{
+    std::string name;
+    unsigned width = 1;
+    bool isMem = false;
+    uint32_t depth = 0;
+    rtl::MemId memId = ~0u;
+    bool isReg = false;                 ///< Assigned by an always_ff.
+    Driver driver;
+    size_t ffBlock = ~size_t(0);        ///< Owning FF block, if isReg.
+};
+
+/** Elaboration engine. */
+class Elaborator
+{
+  public:
+    Elaborator(const SourceUnit &unit)
+    {
+        for (const Module &m : unit.modules) {
+            if (_modules.count(m.name))
+                fatal("duplicate module '%s'", m.name.c_str());
+            _modules[m.name] = &m;
+        }
+    }
+
+    Netlist
+    run(const std::string &top,
+        const std::map<std::string, int64_t> &top_params)
+    {
+        auto it = _modules.find(top);
+        if (it == _modules.end())
+            fatal("top module '%s' not found", top.c_str());
+
+        flattenModule(*it->second, "", top_params, /*is_top=*/true, {});
+
+        // Phase B0: create IR sources eagerly: inputs, registers,
+        // memories. These anchor lazy driver resolution.
+        for (auto &[name, sig] : _signals) {
+            if (sig.isMem) {
+                sig.memId = _nl.addMemory(name, sig.width, sig.depth);
+            }
+        }
+        for (const std::string &name : _topInputs) {
+            FlatSignal &sig = signal(name);
+            _nodeOf[name] = _nl.addInput(name, sig.width);
+        }
+        for (auto &[name, sig] : _signals) {
+            if (sig.isReg)
+                _nodeOf[name] = _nl.addReg(name, sig.width, 0);
+        }
+
+        // Phase C: sequential blocks define register next-values and
+        // memory writes. (Reads inside recursively pull comb logic.)
+        for (size_t b = 0; b < _blocks.size(); ++b) {
+            if (_blocks[b].isFF)
+                synthFFBlock(b);
+        }
+
+        // Outputs last: pull any remaining logic.
+        for (const std::string &name : _topOutputs)
+            _nl.addOutput(name, signalNode(name));
+
+        return std::move(_nl);
+    }
+
+  private:
+    // =====================================================================
+    // Phase 1: flattening
+    // =====================================================================
+
+    Scope *
+    newScope(const Scope *parent)
+    {
+        _scopes.emplace_back();
+        _scopes.back().parent = parent;
+        return &_scopes.back();
+    }
+
+    FlatSignal &
+    signal(const std::string &flat_name)
+    {
+        auto it = _signals.find(flat_name);
+        ASH_ASSERT(it != _signals.end(), "unknown flat signal '%s'",
+                   flat_name.c_str());
+        return it->second;
+    }
+
+    /** Declare one flat signal. */
+    FlatSignal &
+    declareSignal(const std::string &flat_name, unsigned width,
+                  bool is_mem, uint32_t depth, int line)
+    {
+        if (_signals.count(flat_name))
+            fatal("line %d: duplicate signal '%s'", line,
+                  flat_name.c_str());
+        if (width < 1 || width > maxSignalWidth)
+            fatal("line %d: signal '%s' has unsupported width %u "
+                  "(1..64)", line, flat_name.c_str(), width);
+        FlatSignal sig;
+        sig.name = flat_name;
+        sig.width = width;
+        sig.isMem = is_mem;
+        sig.depth = depth;
+        return _signals.emplace(flat_name, std::move(sig)).first->second;
+    }
+
+    unsigned
+    declWidth(const Decl &decl, const Scope &scope)
+    {
+        if (!decl.msb)
+            return 1;
+        int64_t msb = evalConst(*decl.msb, scope, nullptr);
+        int64_t lsb = evalConst(*decl.lsb, scope, nullptr);
+        if (lsb != 0 || msb < 0)
+            fatal("line %d: only [N:0] packed ranges are supported "
+                  "('%s' has [%lld:%lld])", decl.line, decl.name.c_str(),
+                  static_cast<long long>(msb),
+                  static_cast<long long>(lsb));
+        return static_cast<unsigned>(msb + 1);
+    }
+
+    /**
+     * Flatten one module instantiation.
+     *
+     * @param mod       Module AST.
+     * @param prefix    Hierarchical prefix ("" for top, "u0." below).
+     * @param params    Resolved parameter values.
+     * @param is_top    True only for the top module.
+     * @param port_conn For non-top: port name -> (expr, parent scope);
+     *                  expr may be null for unconnected ports.
+     */
+    struct PortBinding
+    {
+        const Expr *expr = nullptr;
+        const Scope *scope = nullptr;
+    };
+
+    void
+    flattenModule(const Module &mod, const std::string &prefix,
+                  const std::map<std::string, int64_t> &params,
+                  bool is_top,
+                  const std::map<std::string, PortBinding> &port_conn)
+    {
+        if (++_instanceCount > 200000)
+            fatal("design explodes past 200k module instances; "
+                  "check recursive instantiation");
+        // Generate prefixes do not cross module boundaries.
+        std::vector<std::string> saved_gen = std::move(_genPrefix);
+        _genPrefix.clear();
+        Scope *scope = newScope(nullptr);
+
+        // Header parameters: defaults overridden by caller bindings.
+        for (const ParamDecl &p : mod.params) {
+            auto it = params.find(p.name);
+            if (it != params.end() && !p.local) {
+                scope->consts[p.name] = it->second;
+            } else {
+                if (!p.value)
+                    fatal("parameter '%s' of module '%s' has no value",
+                          p.name.c_str(), mod.name.c_str());
+                scope->consts[p.name] = evalConst(*p.value, *scope,
+                                                  nullptr);
+            }
+        }
+
+        // Ports become flat signals.
+        for (const Port &port : mod.ports) {
+            unsigned width = declWidth(port.decl, *scope);
+            std::string flat = prefix + port.decl.name;
+            FlatSignal &sig = declareSignal(flat, width, false, 0,
+                                            port.decl.line);
+            scope->names[port.decl.name] = flat;
+            if (port.dir == PortDir::Input) {
+                if (is_top) {
+                    sig.driver.kind = Driver::Kind::Input;
+                    _topInputs.push_back(flat);
+                } else {
+                    auto it = port_conn.find(port.decl.name);
+                    if (it == port_conn.end() || !it->second.expr) {
+                        warn("input port '%s' unconnected; tied to 0",
+                             flat.c_str());
+                        sig.driver.kind = Driver::Kind::Zero;
+                    } else {
+                        sig.driver.kind = Driver::Kind::ParentExpr;
+                        sig.driver.expr = it->second.expr;
+                        sig.driver.scope = it->second.scope;
+                    }
+                }
+            } else if (is_top) {
+                _topOutputs.push_back(flat);
+            }
+        }
+
+        // Body items.
+        flattenItems(mod.items, prefix, scope, mod, is_top, port_conn);
+
+        // Non-top output ports: bind parent wire as alias to the child
+        // port signal.
+        if (!is_top) {
+            for (const Port &port : mod.ports) {
+                if (port.dir != PortDir::Output)
+                    continue;
+                auto it = port_conn.find(port.decl.name);
+                if (it == port_conn.end() || !it->second.expr)
+                    continue;   // Unconnected output: fine.
+                const Expr &conn = *it->second.expr;
+                if (conn.kind != Expr::Kind::Ident)
+                    fatal("line %d: instance output '%s' must connect "
+                          "to a plain signal", conn.line,
+                          port.decl.name.c_str());
+                const std::string *parent_flat =
+                    it->second.scope->lookupName(conn.text);
+                if (!parent_flat)
+                    fatal("line %d: unknown signal '%s' in output "
+                          "connection", conn.line, conn.text.c_str());
+                FlatSignal &parent_sig = signal(*parent_flat);
+                if (parent_sig.driver.kind != Driver::Kind::None)
+                    fatal("line %d: signal '%s' has multiple drivers",
+                          conn.line, parent_flat->c_str());
+                parent_sig.driver.kind = Driver::Kind::Alias;
+                parent_sig.driver.alias = prefix + port.decl.name;
+            }
+        }
+        _genPrefix = std::move(saved_gen);
+    }
+
+    void
+    flattenItems(const std::vector<ItemPtr> &items,
+                 const std::string &prefix, Scope *scope,
+                 const Module &mod, bool is_top,
+                 const std::map<std::string, PortBinding> &port_conn)
+    {
+        for (const ItemPtr &item : items)
+            flattenItem(*item, prefix, scope, mod, is_top, port_conn);
+    }
+
+    void
+    flattenItem(const Item &item, const std::string &prefix,
+                Scope *scope, const Module &mod, bool is_top,
+                const std::map<std::string, PortBinding> &port_conn)
+    {
+        switch (item.kind) {
+          case Item::Kind::Param:
+            scope->consts[item.param.name] =
+                evalConst(*item.param.value, *scope, nullptr);
+            break;
+
+          case Item::Kind::Decl:
+            for (const Decl &decl : item.decls) {
+                if (decl.kind == NetKind::Genvar ||
+                    decl.kind == NetKind::Integer) {
+                    // Elaboration-time variables; bound by loops.
+                    continue;
+                }
+                unsigned width = declWidth(decl, *scope);
+                bool is_mem = decl.memLeft != nullptr;
+                uint32_t depth = 0;
+                if (is_mem) {
+                    int64_t l = evalConst(*decl.memLeft, *scope, nullptr);
+                    int64_t r = evalConst(*decl.memRight, *scope,
+                                          nullptr);
+                    if (l > r)
+                        std::swap(l, r);
+                    if (l != 0)
+                        fatal("line %d: memory '%s' must be [0:N-1]",
+                              decl.line, decl.name.c_str());
+                    depth = static_cast<uint32_t>(r + 1);
+                }
+                std::string flat = prefix + uniqueLocal(scope,
+                                                        decl.name);
+                declareSignal(flat, width, is_mem, depth, decl.line);
+                scope->names[decl.name] = flat;
+                if (decl.init) {
+                    if (is_mem)
+                        fatal("line %d: memory initializers are not "
+                              "supported", decl.line);
+                    FlatSignal &sig = signal(flat);
+                    sig.driver.kind = Driver::Kind::Assign;
+                    sig.driver.expr = decl.init.get();
+                    sig.driver.scope = scope;
+                    sig.driver.line = decl.line;
+                }
+            }
+            break;
+
+          case Item::Kind::Assign: {
+            if (item.assignLhs.index || item.assignLhs.rangeMsb ||
+                item.assignLhs.partLo)
+                fatal("line %d: continuous assign targets must be "
+                      "whole signals", item.line);
+            const std::string *flat =
+                scope->lookupName(item.assignLhs.name);
+            if (!flat)
+                fatal("line %d: unknown assign target '%s'", item.line,
+                      item.assignLhs.name.c_str());
+            FlatSignal &sig = signal(*flat);
+            if (sig.driver.kind != Driver::Kind::None)
+                fatal("line %d: signal '%s' has multiple drivers",
+                      item.line, flat->c_str());
+            sig.driver.kind = Driver::Kind::Assign;
+            sig.driver.expr = item.assignRhs.get();
+            sig.driver.scope = scope;
+            sig.driver.line = item.line;
+            break;
+          }
+
+          case Item::Kind::AlwaysComb:
+          case Item::Kind::AlwaysFF: {
+            FlatBlock block;
+            block.body = item.body.get();
+            block.scope = scope;
+            block.isFF = item.kind == Item::Kind::AlwaysFF;
+            block.line = item.line;
+            collectTargets(*item.body, *scope, block.isFF,
+                           block.targets);
+            size_t idx = _blocks.size();
+            for (const std::string &target : block.targets) {
+                FlatSignal &sig = signal(target);
+                if (block.isFF) {
+                    if (sig.isReg)
+                        fatal("line %d: register '%s' assigned from "
+                              "multiple always_ff blocks", item.line,
+                              target.c_str());
+                    if (sig.driver.kind != Driver::Kind::None)
+                        fatal("line %d: signal '%s' has multiple "
+                              "drivers", item.line, target.c_str());
+                    sig.isReg = true;
+                    sig.ffBlock = idx;
+                } else {
+                    if (sig.driver.kind != Driver::Kind::None)
+                        fatal("line %d: signal '%s' has multiple "
+                              "drivers", item.line, target.c_str());
+                    sig.driver.kind = Driver::Kind::Block;
+                    sig.driver.blockIdx = idx;
+                }
+            }
+            _blocks.push_back(std::move(block));
+            break;
+          }
+
+          case Item::Kind::Instance: {
+            auto mod_it = _modules.find(item.moduleName);
+            if (mod_it == _modules.end())
+                fatal("line %d: unknown module '%s'", item.line,
+                      item.moduleName.c_str());
+            const Module &child = *mod_it->second;
+
+            // Parameter bindings.
+            std::map<std::string, int64_t> child_params;
+            for (size_t i = 0; i < item.paramOverrides.size(); ++i) {
+                const auto &[pname, pexpr] = item.paramOverrides[i];
+                std::string resolved = pname;
+                if (!pname.empty() && pname[0] == '#') {
+                    size_t pos = std::stoul(pname.substr(1));
+                    if (pos >= child.params.size())
+                        fatal("line %d: too many positional parameters",
+                              item.line);
+                    resolved = child.params[pos].name;
+                }
+                child_params[resolved] = evalConst(*pexpr, *scope,
+                                                   nullptr);
+            }
+
+            // Port bindings.
+            std::map<std::string, PortBinding> child_conn;
+            for (size_t i = 0; i < item.connections.size(); ++i) {
+                const auto &[pname, pexpr] = item.connections[i];
+                std::string resolved = pname;
+                if (item.positionalConns) {
+                    if (i >= child.ports.size())
+                        fatal("line %d: too many positional "
+                              "connections", item.line);
+                    resolved = child.ports[i].decl.name;
+                }
+                child_conn[resolved] =
+                    PortBinding{pexpr.get(), scope};
+            }
+
+            std::string child_prefix =
+                prefix + uniqueLocal(scope, item.instName) + ".";
+            flattenModule(child, child_prefix, child_params,
+                          /*is_top=*/false, child_conn);
+            break;
+          }
+
+          case Item::Kind::GenerateFor: {
+            int64_t var = evalConst(*item.genInit, *scope, nullptr);
+            size_t guard = 0;
+            while (true) {
+                Scope probe;
+                probe.parent = scope;
+                probe.consts[item.genVar] = var;
+                if (!evalConst(*item.genCond, probe, nullptr))
+                    break;
+                if (++guard > 100000)
+                    fatal("line %d: generate-for exceeds 100000 "
+                          "iterations", item.line);
+                Scope *iter_scope = newScope(scope);
+                iter_scope->consts[item.genVar] = var;
+                std::string label = item.genLabel.empty()
+                                        ? std::string("gen")
+                                        : item.genLabel;
+                // Compose with any enclosing generate iteration so
+                // nested loops get distinct names.
+                std::string outer =
+                    _genPrefix.empty() ? "" : _genPrefix.back();
+                std::string iter_prefix = outer + label + "[" +
+                                          std::to_string(var) + "].";
+                // Declarations inside get the iteration prefix via
+                // uniqueLocal name mapping in iter_scope.
+                _genPrefix.push_back(iter_prefix);
+                flattenItems(item.genBody, prefix, iter_scope, mod,
+                             is_top, port_conn);
+                _genPrefix.pop_back();
+                var = evalConst(*item.genStep, probe, nullptr);
+            }
+            break;
+          }
+        }
+    }
+
+    /**
+     * Produce the local name used to build a flat name. Inside a
+     * generate iteration, declarations get the iteration prefix so
+     * per-iteration copies are distinct.
+     */
+    std::string
+    uniqueLocal(Scope *, const std::string &name)
+    {
+        if (_genPrefix.empty())
+            return name;
+        return _genPrefix.back() + name;
+    }
+
+    /** Collect procedural assignment targets (non-memory signals). */
+    void
+    collectTargets(const Stmt &stmt, const Scope &scope, bool is_ff,
+                   std::vector<std::string> &out)
+    {
+        switch (stmt.kind) {
+          case Stmt::Kind::Block:
+            for (const StmtPtr &s : stmt.stmts)
+                collectTargets(*s, scope, is_ff, out);
+            break;
+          case Stmt::Kind::If:
+            collectTargets(*stmt.thenStmt, scope, is_ff, out);
+            if (stmt.elseStmt)
+                collectTargets(*stmt.elseStmt, scope, is_ff, out);
+            break;
+          case Stmt::Kind::Case:
+            for (const auto &item : stmt.caseItems)
+                collectTargets(*item.body, scope, is_ff, out);
+            if (stmt.defaultStmt)
+                collectTargets(*stmt.defaultStmt, scope, is_ff, out);
+            break;
+          case Stmt::Kind::For:
+            collectTargets(*stmt.forBody, scope, is_ff, out);
+            break;
+          case Stmt::Kind::Assign: {
+            const std::string *flat = scope.lookupName(stmt.lhs.name);
+            if (!flat) {
+                // May be a loop variable; those never become signals.
+                return;
+            }
+            FlatSignal &sig = signal(*flat);
+            if (sig.isMem) {
+                if (!is_ff)
+                    fatal("line %d: memory '%s' may only be written "
+                          "from always_ff", stmt.line, flat->c_str());
+                return;   // Memory writes are not scalar targets.
+            }
+            if (std::find(out.begin(), out.end(), *flat) == out.end())
+                out.push_back(*flat);
+            break;
+          }
+        }
+    }
+
+    // =====================================================================
+    // Constant evaluation
+    // =====================================================================
+
+    int64_t
+    evalConst(const Expr &e, const Scope &scope,
+              const std::map<std::string, int64_t> *locals)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return static_cast<int64_t>(e.value);
+          case Expr::Kind::Ident: {
+            if (locals) {
+                auto it = locals->find(e.text);
+                if (it != locals->end())
+                    return it->second;
+            }
+            if (const int64_t *v = scope.lookupConst(e.text))
+                return *v;
+            fatal("line %d: '%s' is not an elaboration-time constant",
+                  e.line, e.text.c_str());
+          }
+          case Expr::Kind::Unary: {
+            int64_t v = evalConst(*e.children[0], scope, locals);
+            if (e.op == "-") return -v;
+            if (e.op == "+") return v;
+            if (e.op == "~") return ~v;
+            if (e.op == "!") return v == 0;
+            fatal("line %d: unary '%s' not allowed in constants",
+                  e.line, e.op.c_str());
+          }
+          case Expr::Kind::Binary: {
+            int64_t a = evalConst(*e.children[0], scope, locals);
+            int64_t b = evalConst(*e.children[1], scope, locals);
+            if (e.op == "+") return a + b;
+            if (e.op == "-") return a - b;
+            if (e.op == "*") return a * b;
+            if (e.op == "/") return b ? a / b : 0;
+            if (e.op == "%") return b ? a % b : 0;
+            if (e.op == "<<") return a << b;
+            if (e.op == ">>")
+                return static_cast<int64_t>(
+                    static_cast<uint64_t>(a) >> b);
+            if (e.op == ">>>") return a >> b;
+            if (e.op == "<") return a < b;
+            if (e.op == "<=") return a <= b;
+            if (e.op == ">") return a > b;
+            if (e.op == ">=") return a >= b;
+            if (e.op == "==") return a == b;
+            if (e.op == "!=") return a != b;
+            if (e.op == "&") return a & b;
+            if (e.op == "|") return a | b;
+            if (e.op == "^") return a ^ b;
+            if (e.op == "&&") return a && b;
+            if (e.op == "||") return a || b;
+            fatal("line %d: binary '%s' not allowed in constants",
+                  e.line, e.op.c_str());
+          }
+          case Expr::Kind::Ternary:
+            return evalConst(*e.children[0], scope, locals)
+                       ? evalConst(*e.children[1], scope, locals)
+                       : evalConst(*e.children[2], scope, locals);
+          default:
+            fatal("line %d: expression not allowed in constants",
+                  e.line);
+        }
+    }
+
+    /** Try constant evaluation; nullopt if not a constant. */
+    std::optional<int64_t>
+    tryConst(const Expr &e, const Scope &scope,
+             const std::map<std::string, int64_t> *locals)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return static_cast<int64_t>(e.value);
+          case Expr::Kind::Ident: {
+            if (locals) {
+                auto it = locals->find(e.text);
+                if (it != locals->end())
+                    return it->second;
+            }
+            if (const int64_t *v = scope.lookupConst(e.text))
+                return *v;
+            return std::nullopt;
+          }
+          case Expr::Kind::Unary: {
+            auto v = tryConst(*e.children[0], scope, locals);
+            if (!v)
+                return std::nullopt;
+            if (e.op == "-") return -*v;
+            if (e.op == "+") return *v;
+            if (e.op == "~") return ~*v;
+            if (e.op == "!") return *v == 0;
+            return std::nullopt;
+          }
+          case Expr::Kind::Binary: {
+            auto a = tryConst(*e.children[0], scope, locals);
+            auto b = tryConst(*e.children[1], scope, locals);
+            if (!a || !b)
+                return std::nullopt;
+            return evalConst(e, scope, locals);
+          }
+          case Expr::Kind::Ternary: {
+            auto c = tryConst(*e.children[0], scope, locals);
+            if (!c)
+                return std::nullopt;
+            return tryConst(*e.children[*c ? 1 : 2], scope, locals);
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+
+    // =====================================================================
+    // Phase 2: driver synthesis
+    // =====================================================================
+
+    /** IR node for the current value of a flat signal. */
+    NodeId
+    signalNode(const std::string &flat_name)
+    {
+        auto memo = _nodeOf.find(flat_name);
+        if (memo != _nodeOf.end())
+            return memo->second;
+        if (_inProgress.count(flat_name))
+            fatal("combinational loop through signal '%s'",
+                  flat_name.c_str());
+        _inProgress.insert(flat_name);
+
+        FlatSignal &sig = signal(flat_name);
+        ASH_ASSERT(!sig.isMem, "memory '%s' read as scalar",
+                   flat_name.c_str());
+        NodeId node = invalidNode;
+        switch (sig.driver.kind) {
+          case Driver::Kind::Input:
+          case Driver::Kind::None:
+            if (sig.driver.kind == Driver::Kind::None) {
+                warn("signal '%s' is undriven; tied to 0",
+                     flat_name.c_str());
+                node = _nl.addConst(sig.width, 0);
+            } else {
+                panic("input '%s' should have been pre-created",
+                      flat_name.c_str());
+            }
+            break;
+          case Driver::Kind::Zero:
+            node = _nl.addConst(sig.width, 0);
+            break;
+          case Driver::Kind::Assign:
+          case Driver::Kind::ParentExpr:
+            node = resize(synthExpr(*sig.driver.expr, *sig.driver.scope,
+                                    nullptr),
+                          sig.width);
+            break;
+          case Driver::Kind::Alias:
+            node = signalNode(sig.driver.alias);
+            break;
+          case Driver::Kind::Block:
+            synthCombBlock(sig.driver.blockIdx);
+            _inProgress.erase(flat_name);
+            memo = _nodeOf.find(flat_name);
+            ASH_ASSERT(memo != _nodeOf.end(),
+                       "comb block failed to define '%s'",
+                       flat_name.c_str());
+            return memo->second;
+        }
+        _inProgress.erase(flat_name);
+        _nodeOf[flat_name] = node;
+        return node;
+    }
+
+    /** Zero-extend or truncate @p node to @p width. */
+    NodeId
+    resize(NodeId node, unsigned width)
+    {
+        unsigned w = _nl.node(node).width;
+        if (w == width)
+            return node;
+        if (w < width)
+            return addOp(Op::ZExt, width, {node});
+        return addOp(Op::Slice, width, {node}, 0);
+    }
+
+    /** 1-bit boolean view of @p node. */
+    NodeId
+    toBool(NodeId node)
+    {
+        if (_nl.node(node).width == 1)
+            return node;
+        return addOp(Op::RedOr, 1, {node});
+    }
+
+    /** addOp with local constant folding. */
+    NodeId
+    addOp(Op op, unsigned width, std::vector<NodeId> operands,
+          uint64_t imm = 0)
+    {
+        bool all_const = !operands.empty();
+        for (NodeId n : operands) {
+            if (_nl.node(n).op != Op::Const) {
+                all_const = false;
+                break;
+            }
+        }
+        if (all_const && op != Op::MemRead && op != Op::MemWrite &&
+            operands.size() <= 8) {
+            uint64_t vals[8];
+            for (size_t i = 0; i < operands.size(); ++i)
+                vals[i] = _nl.node(operands[i]).imm;
+            // Build a scratch node to evaluate, then fold.
+            NodeId tmp = _nl.addOp(op, width, operands, imm);
+            uint64_t folded = rtl::evalCombOp(_nl.node(tmp), _nl, vals);
+            // The scratch node stays in the netlist but is dead; the
+            // final prune pass removes it.
+            return _nl.addConst(width, folded);
+        }
+        return _nl.addOp(op, width, std::move(operands), imm);
+    }
+
+    /** Mux with constant-select folding. */
+    NodeId
+    makeMux(NodeId sel, NodeId if_true, NodeId if_false)
+    {
+        if (if_true == if_false)
+            return if_true;
+        if (_nl.node(sel).op == Op::Const)
+            return _nl.node(sel).imm ? if_true : if_false;
+        unsigned w = _nl.node(if_true).width;
+        ASH_ASSERT(_nl.node(if_false).width == w);
+        return addOp(Op::Mux, w, {sel, if_true, if_false});
+    }
+
+    /** Concat that respects the evaluator's 8-operand limit. */
+    NodeId
+    makeConcat(std::vector<NodeId> parts)
+    {
+        ASH_ASSERT(!parts.empty());
+        if (parts.size() == 1)
+            return parts[0];
+        while (parts.size() > 4) {
+            std::vector<NodeId> next;
+            for (size_t i = 0; i < parts.size(); i += 4) {
+                size_t n = std::min<size_t>(4, parts.size() - i);
+                if (n == 1) {
+                    next.push_back(parts[i]);
+                    continue;
+                }
+                unsigned w = 0;
+                std::vector<NodeId> group;
+                for (size_t j = 0; j < n; ++j) {
+                    group.push_back(parts[i + j]);
+                    w += _nl.node(parts[i + j]).width;
+                }
+                next.push_back(addOp(Op::Concat, w, std::move(group)));
+            }
+            parts = std::move(next);
+        }
+        unsigned w = 0;
+        for (NodeId p : parts)
+            w += _nl.node(p).width;
+        return addOp(Op::Concat, w, std::move(parts));
+    }
+
+    /**
+     * Procedural synthesis context: maps flat signal names to their
+     * current value nodes within a block walk. Reads fall back through
+     * the owner's readFallback.
+     */
+    struct ProcCtx
+    {
+        /**
+         * In always_comb: the current value of each target (blocking
+         * semantics). In always_ff: the *next* value under
+         * construction (nonblocking semantics).
+         */
+        std::map<std::string, NodeId> vals;
+        /**
+         * always_ff only: values forwarded by *blocking* assignments;
+         * reads consult this first, then fall back to the old
+         * (pre-edge) signal value. Nonblocking assignments do not
+         * appear here, matching Verilog read-old semantics.
+         */
+        std::map<std::string, NodeId> reads;
+        bool isFF = false;
+        std::map<std::string, int64_t> locals;   ///< Loop variables.
+    };
+
+    /**
+     * Synthesize an expression.
+     *
+     * @param e      Expression AST.
+     * @param scope  Name scope.
+     * @param proc   Active procedural context (may be null); supplies
+     *               blocking-assignment values and loop variables.
+     */
+    NodeId
+    synthExpr(const Expr &e, const Scope &scope, ProcCtx *proc)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Number:
+            return _nl.addConst(e.sized ? e.width
+                                        : std::max(32u, bitsFor(e.value)),
+                                e.value);
+
+          case Expr::Kind::Ident: {
+            if (proc) {
+                auto it = proc->locals.find(e.text);
+                if (it != proc->locals.end())
+                    return _nl.addConst(32,
+                                        static_cast<uint64_t>(
+                                            it->second));
+            }
+            if (const int64_t *v = scope.lookupConst(e.text))
+                return _nl.addConst(32, static_cast<uint64_t>(*v));
+            return readSignal(e.text, scope, proc, e.line);
+          }
+
+          case Expr::Kind::Index: {
+            const std::string *flat = scope.lookupName(e.text);
+            if (!flat)
+                fatal("line %d: unknown signal '%s'", e.line,
+                      e.text.c_str());
+            FlatSignal &sig = signal(*flat);
+            if (sig.isMem) {
+                NodeId addr = synthExpr(*e.children[0], scope, proc);
+                return _nl.addMemRead(sig.memId, addr);
+            }
+            NodeId base = readSignal(e.text, scope, proc, e.line);
+            auto idx_const = tryConst(*e.children[0], scope,
+                                      proc ? &proc->locals : nullptr);
+            if (idx_const) {
+                if (*idx_const < 0 ||
+                    static_cast<uint64_t>(*idx_const) >= sig.width)
+                    fatal("line %d: bit index %lld out of range for "
+                          "'%s'", e.line,
+                          static_cast<long long>(*idx_const),
+                          e.text.c_str());
+                return addOp(Op::Slice, 1, {base},
+                             static_cast<uint64_t>(*idx_const));
+            }
+            NodeId idx = synthExpr(*e.children[0], scope, proc);
+            NodeId shifted = addOp(Op::LShr, sig.width,
+                                   {base, idx});
+            return addOp(Op::Slice, 1, {shifted}, 0);
+          }
+
+          case Expr::Kind::RangeSel: {
+            int64_t msb = evalConstProc(*e.children[0], scope, proc);
+            int64_t lsb = evalConstProc(*e.children[1], scope, proc);
+            if (msb < lsb || lsb < 0)
+                fatal("line %d: bad part select [%lld:%lld]", e.line,
+                      static_cast<long long>(msb),
+                      static_cast<long long>(lsb));
+            NodeId base = readSignal(e.text, scope, proc, e.line);
+            unsigned width = static_cast<unsigned>(msb - lsb + 1);
+            if (lsb + width > _nl.node(base).width)
+                fatal("line %d: part select [%lld:%lld] exceeds width "
+                      "of '%s'", e.line, static_cast<long long>(msb),
+                      static_cast<long long>(lsb), e.text.c_str());
+            return addOp(Op::Slice, width, {base},
+                         static_cast<uint64_t>(lsb));
+          }
+
+          case Expr::Kind::PartSel: {
+            int64_t width = evalConstProc(*e.children[1], scope, proc);
+            if (width < 1 || width > 64)
+                fatal("line %d: bad +: width %lld", e.line,
+                      static_cast<long long>(width));
+            NodeId base = readSignal(e.text, scope, proc, e.line);
+            auto lo_const = tryConst(*e.children[0], scope,
+                                     proc ? &proc->locals : nullptr);
+            if (lo_const) {
+                if (*lo_const < 0 ||
+                    *lo_const + width > _nl.node(base).width)
+                    fatal("line %d: +: select out of range", e.line);
+                return addOp(Op::Slice, static_cast<unsigned>(width),
+                             {base}, static_cast<uint64_t>(*lo_const));
+            }
+            NodeId lo = synthExpr(*e.children[0], scope, proc);
+            NodeId shifted = addOp(Op::LShr, _nl.node(base).width,
+                                   {base, lo});
+            return addOp(Op::Slice, static_cast<unsigned>(width),
+                         {shifted}, 0);
+          }
+
+          case Expr::Kind::Unary: {
+            NodeId x = synthExpr(*e.children[0], scope, proc);
+            unsigned w = _nl.node(x).width;
+            if (e.op == "+")
+                return x;
+            if (e.op == "-")
+                return addOp(Op::Sub, w, {_nl.addConst(w, 0), x});
+            if (e.op == "~")
+                return addOp(Op::Not, w, {x});
+            if (e.op == "!")
+                return addOp(Op::Eq, 1, {x, _nl.addConst(w, 0)});
+            if (e.op == "&")
+                return addOp(Op::RedAnd, 1, {x});
+            if (e.op == "|")
+                return addOp(Op::RedOr, 1, {x});
+            if (e.op == "^")
+                return addOp(Op::RedXor, 1, {x});
+            if (e.op == "~&")
+                return addOp(Op::Not, 1, {addOp(Op::RedAnd, 1, {x})});
+            if (e.op == "~|")
+                return addOp(Op::Not, 1, {addOp(Op::RedOr, 1, {x})});
+            if (e.op == "~^")
+                return addOp(Op::Not, 1, {addOp(Op::RedXor, 1, {x})});
+            fatal("line %d: unary '%s' unsupported", e.line,
+                  e.op.c_str());
+          }
+
+          case Expr::Kind::Binary: {
+            NodeId a = synthExpr(*e.children[0], scope, proc);
+            NodeId b = synthExpr(*e.children[1], scope, proc);
+            unsigned wa = _nl.node(a).width;
+            unsigned wb = _nl.node(b).width;
+            unsigned w = std::max(wa, wb);
+            auto bin = [&](Op op) {
+                return addOp(op, w, {resize(a, w), resize(b, w)});
+            };
+            auto cmp = [&](Op op) {
+                return addOp(op, 1, {resize(a, w), resize(b, w)});
+            };
+            if (e.op == "+") return bin(Op::Add);
+            if (e.op == "-") return bin(Op::Sub);
+            if (e.op == "*") return bin(Op::Mul);
+            if (e.op == "/") return bin(Op::Div);
+            if (e.op == "%") return bin(Op::Mod);
+            if (e.op == "&") return bin(Op::And);
+            if (e.op == "|") return bin(Op::Or);
+            if (e.op == "^") return bin(Op::Xor);
+            if (e.op == "~^")
+                return addOp(Op::Not, w, {bin(Op::Xor)});
+            if (e.op == "<<") return addOp(Op::Shl, wa, {a, b});
+            if (e.op == ">>") return addOp(Op::LShr, wa, {a, b});
+            if (e.op == ">>>") return addOp(Op::AShr, wa, {a, b});
+            if (e.op == "<") return cmp(Op::Lt);
+            if (e.op == "<=") return cmp(Op::Le);
+            if (e.op == ">") return cmp(Op::Gt);
+            if (e.op == ">=") return cmp(Op::Ge);
+            if (e.op == "==") return cmp(Op::Eq);
+            if (e.op == "!=") return cmp(Op::Ne);
+            if (e.op == "&&")
+                return addOp(Op::And, 1, {toBool(a), toBool(b)});
+            if (e.op == "||")
+                return addOp(Op::Or, 1, {toBool(a), toBool(b)});
+            fatal("line %d: binary '%s' unsupported", e.line,
+                  e.op.c_str());
+          }
+
+          case Expr::Kind::Ternary: {
+            NodeId cond = toBool(synthExpr(*e.children[0], scope,
+                                           proc));
+            NodeId t = synthExpr(*e.children[1], scope, proc);
+            NodeId f = synthExpr(*e.children[2], scope, proc);
+            unsigned w = std::max(_nl.node(t).width,
+                                  _nl.node(f).width);
+            return makeMux(cond, resize(t, w), resize(f, w));
+          }
+
+          case Expr::Kind::Concat: {
+            std::vector<NodeId> parts;
+            unsigned total = 0;
+            for (const ExprPtr &child : e.children) {
+                NodeId p = synthExpr(*child, scope, proc);
+                total += _nl.node(p).width;
+                parts.push_back(p);
+            }
+            if (total > maxSignalWidth)
+                fatal("line %d: concatenation width %u exceeds 64",
+                      e.line, total);
+            return makeConcat(std::move(parts));
+          }
+
+          case Expr::Kind::Repl: {
+            int64_t count = evalConstProc(*e.children[0], scope, proc);
+            if (count < 1)
+                fatal("line %d: replication count must be positive",
+                      e.line);
+            NodeId unit = synthExpr(*e.children[1], scope, proc);
+            unsigned total =
+                static_cast<unsigned>(count) * _nl.node(unit).width;
+            if (total > maxSignalWidth)
+                fatal("line %d: replication width %u exceeds 64",
+                      e.line, total);
+            std::vector<NodeId> parts(static_cast<size_t>(count),
+                                      unit);
+            return makeConcat(std::move(parts));
+          }
+        }
+        panic("unreachable expression kind");
+    }
+
+    int64_t
+    evalConstProc(const Expr &e, const Scope &scope, ProcCtx *proc)
+    {
+        return evalConst(e, scope, proc ? &proc->locals : nullptr);
+    }
+
+    /** Read a signal by local name inside an expression. */
+    NodeId
+    readSignal(const std::string &name, const Scope &scope,
+               ProcCtx *proc, int line)
+    {
+        const std::string *flat = scope.lookupName(name);
+        if (!flat)
+            fatal("line %d: unknown signal '%s'", line, name.c_str());
+        if (proc) {
+            const auto &fwd = proc->isFF ? proc->reads : proc->vals;
+            auto it = fwd.find(*flat);
+            if (it != fwd.end()) {
+                if (it->second == invalidNode)
+                    fatal("line %d: '%s' read before assignment in "
+                          "always_comb", line, flat->c_str());
+                return it->second;
+            }
+        }
+        FlatSignal &sig = signal(*flat);
+        if (sig.isMem)
+            fatal("line %d: memory '%s' must be read with an index",
+                  line, flat->c_str());
+        return signalNode(*flat);
+    }
+
+    // --- procedural walks -----------------------------------------------
+
+    /** Pending memory write discovered during an FF walk. */
+    struct MemWriteRec
+    {
+        rtl::MemId mem;
+        NodeId addr;
+        NodeId data;
+        NodeId enable;
+    };
+
+    /** Shared walk for comb and ff blocks. */
+    struct WalkState
+    {
+        ProcCtx ctx;
+        NodeId pathCond = invalidNode;   ///< FF only; invalid = always.
+    };
+
+    void
+    synthCombBlock(size_t block_idx)
+    {
+        FlatBlock &block = _blocks[block_idx];
+        if (block.done)
+            return;
+        block.done = true;
+
+        WalkState state;
+        for (const std::string &target : block.targets)
+            state.ctx.vals[target] = invalidNode;
+        std::vector<MemWriteRec> writes;   // Unused for comb.
+        walkStmt(*block.body, *block.scope, state, /*is_ff=*/false,
+                 writes);
+        for (const std::string &target : block.targets) {
+            NodeId node = state.ctx.vals[target];
+            if (node == invalidNode)
+                fatal("line %d: '%s' is not assigned on all paths of "
+                      "always_comb (latch inferred)", block.line,
+                      target.c_str());
+            _nodeOf[target] = resize(node, signal(target).width);
+        }
+    }
+
+    void
+    synthFFBlock(size_t block_idx)
+    {
+        FlatBlock &block = _blocks[block_idx];
+        WalkState state;
+        state.ctx.isFF = true;
+        // Register targets start at their old (held) value.
+        for (const std::string &target : block.targets)
+            state.ctx.vals[target] = _nodeOf.at(target);
+        std::vector<MemWriteRec> writes;
+        walkStmt(*block.body, *block.scope, state, /*is_ff=*/true,
+                 writes);
+        for (const std::string &target : block.targets) {
+            FlatSignal &sig = signal(target);
+            _nl.setRegNext(_nodeOf.at(target),
+                           resize(state.ctx.vals[target], sig.width));
+        }
+        for (const MemWriteRec &w : writes) {
+            NodeId enable = w.enable == invalidNode
+                                ? _nl.addConst(1, 1)
+                                : w.enable;
+            _nl.addMemWrite(w.mem, w.addr, w.data, enable);
+        }
+    }
+
+    /** AND two path conditions (either may be invalid = true). */
+    NodeId
+    andCond(NodeId a, NodeId b)
+    {
+        if (a == invalidNode)
+            return b;
+        if (b == invalidNode)
+            return a;
+        return addOp(Op::And, 1, {a, b});
+    }
+
+    void
+    walkStmt(const Stmt &stmt, const Scope &scope, WalkState &state,
+             bool is_ff, std::vector<MemWriteRec> &writes)
+    {
+        switch (stmt.kind) {
+          case Stmt::Kind::Block:
+            for (const StmtPtr &s : stmt.stmts)
+                walkStmt(*s, scope, state, is_ff, writes);
+            break;
+
+          case Stmt::Kind::Assign:
+            walkAssign(stmt, scope, state, is_ff, writes);
+            break;
+
+          case Stmt::Kind::If: {
+            NodeId cond = toBool(synthExpr(*stmt.cond, scope,
+                                           &state.ctx));
+            WalkState then_state = state;
+            then_state.pathCond = is_ff ? andCond(state.pathCond, cond)
+                                        : invalidNode;
+            walkStmt(*stmt.thenStmt, scope, then_state, is_ff, writes);
+
+            WalkState else_state = state;
+            if (stmt.elseStmt) {
+                NodeId ncond = addOp(Op::Not, 1, {cond});
+                else_state.pathCond =
+                    is_ff ? andCond(state.pathCond, ncond)
+                          : invalidNode;
+                walkStmt(*stmt.elseStmt, scope, else_state, is_ff,
+                         writes);
+            }
+            joinStates(state, cond, then_state, else_state, stmt.line);
+            break;
+          }
+
+          case Stmt::Kind::Case: {
+            NodeId sel = synthExpr(*stmt.cond, scope, &state.ctx);
+            walkCaseChain(stmt, 0, sel, scope, state, is_ff, writes);
+            break;
+          }
+
+          case Stmt::Kind::For: {
+            std::map<std::string, int64_t> &locals = state.ctx.locals;
+            auto saved = locals.find(stmt.loopVar) != locals.end()
+                             ? std::optional<int64_t>(
+                                   locals[stmt.loopVar])
+                             : std::nullopt;
+            locals[stmt.loopVar] =
+                evalConst(*stmt.forInit, scope, &locals);
+            size_t guard = 0;
+            while (evalConst(*stmt.forCond, scope, &locals)) {
+                if (++guard > 1000000)
+                    fatal("line %d: for loop exceeds 1000000 "
+                          "iterations", stmt.line);
+                walkStmt(*stmt.forBody, scope, state, is_ff, writes);
+                locals[stmt.loopVar] =
+                    evalConst(*stmt.forStep, scope, &locals);
+            }
+            if (saved)
+                locals[stmt.loopVar] = *saved;
+            else
+                locals.erase(stmt.loopVar);
+            break;
+          }
+        }
+    }
+
+    /** Lower a case statement to a priority if-chain, item @p i first. */
+    void
+    walkCaseChain(const Stmt &stmt, size_t i, NodeId sel,
+                  const Scope &scope, WalkState &state, bool is_ff,
+                  std::vector<MemWriteRec> &writes)
+    {
+        if (i == stmt.caseItems.size()) {
+            if (stmt.defaultStmt)
+                walkStmt(*stmt.defaultStmt, scope, state, is_ff,
+                         writes);
+            return;
+        }
+        const Stmt::CaseItem &item = stmt.caseItems[i];
+        unsigned sel_w = _nl.node(sel).width;
+        NodeId match = invalidNode;
+        for (const ExprPtr &label : item.labels) {
+            NodeId lab = resize(synthExpr(*label, scope, &state.ctx),
+                                sel_w);
+            NodeId eq = addOp(Op::Eq, 1, {sel, lab});
+            match = match == invalidNode ? eq
+                                         : addOp(Op::Or, 1,
+                                                 {match, eq});
+        }
+        WalkState then_state = state;
+        then_state.pathCond =
+            is_ff ? andCond(state.pathCond, match) : invalidNode;
+        walkStmt(*item.body, scope, then_state, is_ff, writes);
+
+        WalkState else_state = state;
+        if (is_ff) {
+            NodeId nmatch = addOp(Op::Not, 1, {match});
+            else_state.pathCond = andCond(state.pathCond, nmatch);
+        }
+        walkCaseChain(stmt, i + 1, sel, scope, else_state, is_ff,
+                      writes);
+        joinStates(state, match, then_state, else_state, stmt.line);
+    }
+
+    /** Merge branch states back into @p state with mux joins. */
+    void
+    joinStates(WalkState &state, NodeId cond,
+               const WalkState &then_state, const WalkState &else_state,
+               int line)
+    {
+        for (auto &[name, incoming] : state.ctx.vals) {
+            NodeId t = then_state.ctx.vals.at(name);
+            NodeId e = else_state.ctx.vals.at(name);
+            if (t == e) {
+                incoming = t;
+                continue;
+            }
+            if (t == invalidNode || e == invalidNode)
+                fatal("line %d: '%s' assigned on only one branch "
+                      "before being read (latch inferred)", line,
+                      name.c_str());
+            unsigned w = std::max(_nl.node(t).width,
+                                  _nl.node(e).width);
+            incoming = makeMux(cond, resize(t, w), resize(e, w));
+        }
+        if (!state.ctx.isFF)
+            return;
+        // Join blocking-assignment forwards. Keys missing on one side
+        // fall back to the incoming forward or the old signal value.
+        std::map<std::string, NodeId> joined = state.ctx.reads;
+        std::set<std::string> keys;
+        for (const auto &[k, v] : then_state.ctx.reads)
+            keys.insert(k);
+        for (const auto &[k, v] : else_state.ctx.reads)
+            keys.insert(k);
+        for (const std::string &k : keys) {
+            auto side = [&](const WalkState &s) -> NodeId {
+                auto it = s.ctx.reads.find(k);
+                if (it != s.ctx.reads.end())
+                    return it->second;
+                return signalNode(k);
+            };
+            NodeId t = side(then_state);
+            NodeId e = side(else_state);
+            if (t == e) {
+                joined[k] = t;
+                continue;
+            }
+            unsigned w = std::max(_nl.node(t).width,
+                                  _nl.node(e).width);
+            joined[k] = makeMux(cond, resize(t, w), resize(e, w));
+        }
+        state.ctx.reads = std::move(joined);
+    }
+
+    void
+    walkAssign(const Stmt &stmt, const Scope &scope, WalkState &state,
+               bool is_ff, std::vector<MemWriteRec> &writes)
+    {
+        const std::string *flat = scope.lookupName(stmt.lhs.name);
+        if (!flat) {
+            // Assignment to a loop/elaboration variable.
+            auto it = state.ctx.locals.find(stmt.lhs.name);
+            if (it != state.ctx.locals.end()) {
+                it->second = evalConst(*stmt.rhs, scope,
+                                       &state.ctx.locals);
+                return;
+            }
+            fatal("line %d: unknown assignment target '%s'", stmt.line,
+                  stmt.lhs.name.c_str());
+        }
+        FlatSignal &sig = signal(*flat);
+
+        if (sig.isMem) {
+            if (!is_ff)
+                fatal("line %d: memory writes allowed only in "
+                      "always_ff", stmt.line);
+            if (!stmt.lhs.index)
+                fatal("line %d: memory '%s' must be written with an "
+                      "index", stmt.line, flat->c_str());
+            NodeId addr = synthExpr(*stmt.lhs.index, scope,
+                                    &state.ctx);
+            NodeId data = resize(synthExpr(*stmt.rhs, scope,
+                                           &state.ctx),
+                                 sig.width);
+            writes.push_back({sig.memId, addr, data, state.pathCond});
+            return;
+        }
+
+        if (is_ff && !stmt.nonblocking) {
+            // Blocking assign in always_ff: we support it with the
+            // same next-value semantics (reads below in the block see
+            // the new value via ctx.vals).
+        }
+        if (!is_ff && stmt.nonblocking)
+            fatal("line %d: nonblocking assignment in always_comb",
+                  stmt.line);
+
+        NodeId rhs = synthExpr(*stmt.rhs, scope, &state.ctx);
+
+        auto current = [&]() -> NodeId {
+            auto it = state.ctx.vals.find(*flat);
+            NodeId cur = it != state.ctx.vals.end() ? it->second
+                                                    : signalNode(*flat);
+            if (cur == invalidNode)
+                fatal("line %d: partial assignment to '%s' before a "
+                      "full assignment", stmt.line, flat->c_str());
+            return cur;
+        };
+
+        NodeId result;
+        if (stmt.lhs.rangeMsb) {
+            int64_t msb = evalConstProc(*stmt.lhs.rangeMsb, scope,
+                                        &state.ctx);
+            int64_t lsb = evalConstProc(*stmt.lhs.rangeLsb, scope,
+                                        &state.ctx);
+            result = insertBits(current(), sig.width,
+                                static_cast<unsigned>(lsb),
+                                static_cast<unsigned>(msb - lsb + 1),
+                                rhs, stmt.line);
+        } else if (stmt.lhs.partLo) {
+            int64_t width = evalConstProc(*stmt.lhs.partWidth, scope,
+                                          &state.ctx);
+            auto lo_const = tryConst(*stmt.lhs.partLo, scope,
+                                     &state.ctx.locals);
+            if (lo_const) {
+                result = insertBits(current(), sig.width,
+                                    static_cast<unsigned>(*lo_const),
+                                    static_cast<unsigned>(width), rhs,
+                                    stmt.line);
+            } else {
+                NodeId lo = synthExpr(*stmt.lhs.partLo, scope,
+                                      &state.ctx);
+                result = insertBitsDyn(current(), sig.width, lo,
+                                       static_cast<unsigned>(width),
+                                       rhs);
+            }
+        } else if (stmt.lhs.index) {
+            auto idx_const = tryConst(*stmt.lhs.index, scope,
+                                      &state.ctx.locals);
+            if (idx_const) {
+                result = insertBits(current(), sig.width,
+                                    static_cast<unsigned>(*idx_const),
+                                    1, rhs, stmt.line);
+            } else {
+                NodeId idx = synthExpr(*stmt.lhs.index, scope,
+                                       &state.ctx);
+                result = insertBitsDyn(current(), sig.width, idx, 1,
+                                       rhs);
+            }
+        } else {
+            result = resize(rhs, sig.width);
+        }
+        state.ctx.vals[*flat] = result;
+        if (is_ff && !stmt.nonblocking)
+            state.ctx.reads[*flat] = result;
+    }
+
+    /** Insert @p value into bits [lsb, lsb+width) of @p base. */
+    NodeId
+    insertBits(NodeId base, unsigned base_w, unsigned lsb,
+               unsigned width, NodeId value, int line)
+    {
+        if (lsb + width > base_w)
+            fatal("line %d: bit insert [%u +: %u] exceeds width %u",
+                  line, lsb, width, base_w);
+        if (width == base_w)
+            return resize(value, base_w);
+        uint64_t mask = mask64(width) << lsb;
+        NodeId cleared = addOp(Op::And, base_w,
+                               {base, _nl.addConst(base_w, ~mask)});
+        NodeId shifted = addOp(
+            Op::Shl, base_w,
+            {resize(value, base_w), _nl.addConst(32, lsb)});
+        NodeId masked = addOp(Op::And, base_w,
+                              {shifted, _nl.addConst(base_w, mask)});
+        return addOp(Op::Or, base_w, {cleared, masked});
+    }
+
+    /** Insert with a dynamic bit offset. */
+    NodeId
+    insertBitsDyn(NodeId base, unsigned base_w, NodeId lsb,
+                  unsigned width, NodeId value)
+    {
+        NodeId mask = addOp(
+            Op::Shl, base_w,
+            {_nl.addConst(base_w, mask64(width)), lsb});
+        NodeId cleared = addOp(Op::And, base_w,
+                               {base, addOp(Op::Not, base_w, {mask})});
+        NodeId shifted = addOp(Op::Shl, base_w,
+                               {resize(value, base_w), lsb});
+        NodeId masked = addOp(Op::And, base_w, {shifted, mask});
+        return addOp(Op::Or, base_w, {cleared, masked});
+    }
+
+    // --- state -----------------------------------------------------------
+
+    std::map<std::string, const Module *> _modules;
+    std::deque<Scope> _scopes;
+    std::map<std::string, FlatSignal> _signals;
+    std::vector<FlatBlock> _blocks;
+    std::vector<std::string> _topInputs;
+    std::vector<std::string> _topOutputs;
+    std::vector<std::string> _genPrefix;
+    size_t _instanceCount = 0;
+
+    Netlist _nl;
+    std::map<std::string, NodeId> _nodeOf;
+    std::set<std::string> _inProgress;
+};
+
+} // namespace
+
+Netlist
+elaborate(const SourceUnit &unit, const std::string &top,
+          const std::map<std::string, int64_t> &top_params)
+{
+    Elaborator elab(unit);
+    return elab.run(top, top_params);
+}
+
+} // namespace ash::verilog

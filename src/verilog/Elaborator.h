@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Elaboration: turns a parsed module hierarchy into a flat rtl::Netlist.
+ *
+ * Works in three phases:
+ *  1. Flatten — recursively expand instances and generate-for loops,
+ *     binding parameters and building hierarchical signal names.
+ *  2. Driver synthesis — resolve each flat signal's driver on demand
+ *     (continuous assigns, always_comb blocks, instance port bindings),
+ *     lowering expressions and procedural control flow to IR nodes.
+ *     Registers break cycles; genuine combinational loops are detected
+ *     and reported.
+ *  3. Sequential synthesis — process always_ff blocks into register
+ *     next-values (mux-join semantics for partial assignment) and
+ *     memory write ports with path-condition enables.
+ */
+
+#ifndef ASH_VERILOG_ELABORATOR_H
+#define ASH_VERILOG_ELABORATOR_H
+
+#include <map>
+#include <string>
+
+#include "rtl/Netlist.h"
+#include "verilog/Ast.h"
+
+namespace ash::verilog {
+
+/**
+ * Elaborate @p top from @p unit into a netlist.
+ *
+ * @param unit       Parsed modules (all referenced modules must be here).
+ * @param top        Name of the top-level module.
+ * @param top_params Parameter overrides for the top module.
+ */
+rtl::Netlist elaborate(const SourceUnit &unit, const std::string &top,
+                       const std::map<std::string, int64_t> &top_params =
+                           {});
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_ELABORATOR_H

@@ -1,0 +1,365 @@
+#include "verilog/Lexer.h"
+
+#include <cctype>
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+
+namespace ash::verilog {
+
+const char *
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::Eof: return "end of file";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::Semi: return ";";
+      case Tok::Comma: return ",";
+      case Tok::Colon: return ":";
+      case Tok::Dot: return ".";
+      case Tok::Hash: return "#";
+      case Tok::At: return "@";
+      case Tok::Question: return "?";
+      case Tok::Assign: return "=";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::Amp: return "&";
+      case Tok::Pipe: return "|";
+      case Tok::Caret: return "^";
+      case Tok::Tilde: return "~";
+      case Tok::AmpAmp: return "&&";
+      case Tok::PipePipe: return "||";
+      case Tok::Bang: return "!";
+      case Tok::Lt: return "<";
+      case Tok::Gt: return ">";
+      case Tok::Ge: return ">=";
+      case Tok::EqEq: return "==";
+      case Tok::NotEq: return "!=";
+      case Tok::Shl: return "<<";
+      case Tok::Shr: return ">>";
+      case Tok::AShr: return ">>>";
+      case Tok::LtEq: return "<=";
+      case Tok::PlusColon: return "+:";
+      case Tok::TildeAmp: return "~&";
+      case Tok::TildePipe: return "~|";
+      case Tok::TildeCaret: return "~^";
+    }
+    return "?";
+}
+
+namespace {
+
+struct Cursor
+{
+    const std::string &src;
+    const std::string &file;
+    size_t pos = 0;
+    int line = 1;
+
+    bool done() const { return pos >= src.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+    }
+    char
+    advance()
+    {
+        char c = src[pos++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+unsigned
+digitValue(char c, unsigned base, Cursor &cur)
+{
+    unsigned v;
+    if (c >= '0' && c <= '9')
+        v = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+        v = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+        v = static_cast<unsigned>(c - 'A' + 10);
+    else if (c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?')
+        fatal("%s:%d: x/z digits are not supported (two-state subset)",
+              cur.file.c_str(), cur.line);
+    else
+        fatal("%s:%d: invalid digit '%c'", cur.file.c_str(), cur.line, c);
+    if (v >= base)
+        fatal("%s:%d: digit '%c' out of range for base %u",
+              cur.file.c_str(), cur.line, c, base);
+    return v;
+}
+
+/** Lex digits (underscores allowed) in @p base into a 64-bit value. */
+uint64_t
+lexDigits(Cursor &cur, unsigned base)
+{
+    uint64_t value = 0;
+    bool any = false;
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == '_') {
+            cur.advance();
+            continue;
+        }
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '?')
+            break;
+        value = value * base + digitValue(c, base, cur);
+        cur.advance();
+        any = true;
+    }
+    if (!any)
+        fatal("%s:%d: expected digits", cur.file.c_str(), cur.line);
+    return value;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, const std::string &filename)
+{
+    Cursor cur{source, filename};
+    std::vector<Token> out;
+
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = cur.line;
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/'))
+                cur.advance();
+            if (cur.done())
+                fatal("%s:%d: unterminated block comment",
+                      filename.c_str(), cur.line);
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        if (c == '`') {
+            // Preprocessor directives: skip the rest of the line
+            // (`timescale, `default_nettype). Macros are unsupported.
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+
+        int tok_line = cur.line;
+        if (isIdentStart(c)) {
+            std::string text;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                text.push_back(cur.advance());
+            Token t;
+            t.kind = Tok::Ident;
+            t.text = std::move(text);
+            t.line = tok_line;
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            Token t;
+            t.kind = Tok::Number;
+            t.line = tok_line;
+            uint64_t prefix = 0;
+            bool have_prefix = false;
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                prefix = lexDigits(cur, 10);
+                have_prefix = true;
+            }
+            if (cur.peek() == '\'') {
+                cur.advance();
+                char base_char = cur.peek();
+                if (base_char == 's' || base_char == 'S') {
+                    cur.advance();
+                    base_char = cur.peek();
+                }
+                unsigned base;
+                switch (base_char) {
+                  case 'b': case 'B': base = 2; break;
+                  case 'o': case 'O': base = 8; break;
+                  case 'd': case 'D': base = 10; break;
+                  case 'h': case 'H': base = 16; break;
+                  default:
+                    fatal("%s:%d: invalid literal base '%c'",
+                          filename.c_str(), cur.line, base_char);
+                }
+                cur.advance();
+                t.value = lexDigits(cur, base);
+                if (have_prefix) {
+                    if (prefix == 0 || prefix > maxSignalWidth)
+                        fatal("%s:%d: literal width %llu out of range "
+                              "(1..64)", filename.c_str(), tok_line,
+                              static_cast<unsigned long long>(prefix));
+                    t.width = static_cast<unsigned>(prefix);
+                    t.sized = true;
+                    t.value = truncate(t.value, t.width);
+                }
+            } else {
+                t.value = prefix;
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        cur.advance();
+        switch (c) {
+          case '(': push(Tok::LParen); break;
+          case ')': push(Tok::RParen); break;
+          case '[': push(Tok::LBracket); break;
+          case ']': push(Tok::RBracket); break;
+          case '{': push(Tok::LBrace); break;
+          case '}': push(Tok::RBrace); break;
+          case ';': push(Tok::Semi); break;
+          case ',': push(Tok::Comma); break;
+          case ':': push(Tok::Colon); break;
+          case '.': push(Tok::Dot); break;
+          case '#': push(Tok::Hash); break;
+          case '@': push(Tok::At); break;
+          case '?': push(Tok::Question); break;
+          case '+':
+            if (cur.peek() == ':') {
+                cur.advance();
+                push(Tok::PlusColon);
+            } else {
+                push(Tok::Plus);
+            }
+            break;
+          case '-': push(Tok::Minus); break;
+          case '*': push(Tok::Star); break;
+          case '/': push(Tok::Slash); break;
+          case '%': push(Tok::Percent); break;
+          case '~':
+            if (cur.peek() == '&') {
+                cur.advance();
+                push(Tok::TildeAmp);
+            } else if (cur.peek() == '|') {
+                cur.advance();
+                push(Tok::TildePipe);
+            } else if (cur.peek() == '^') {
+                cur.advance();
+                push(Tok::TildeCaret);
+            } else {
+                push(Tok::Tilde);
+            }
+            break;
+          case '^':
+            if (cur.peek() == '~') {
+                cur.advance();
+                push(Tok::TildeCaret);
+            } else {
+                push(Tok::Caret);
+            }
+            break;
+          case '&':
+            if (cur.peek() == '&') {
+                cur.advance();
+                push(Tok::AmpAmp);
+            } else {
+                push(Tok::Amp);
+            }
+            break;
+          case '|':
+            if (cur.peek() == '|') {
+                cur.advance();
+                push(Tok::PipePipe);
+            } else {
+                push(Tok::Pipe);
+            }
+            break;
+          case '!':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(Tok::NotEq);
+            } else {
+                push(Tok::Bang);
+            }
+            break;
+          case '=':
+            if (cur.peek() == '=') {
+                cur.advance();
+                push(Tok::EqEq);
+            } else {
+                push(Tok::Assign);
+            }
+            break;
+          case '<':
+            if (cur.peek() == '<') {
+                cur.advance();
+                push(Tok::Shl);
+            } else if (cur.peek() == '=') {
+                cur.advance();
+                push(Tok::LtEq);
+            } else {
+                push(Tok::Lt);
+            }
+            break;
+          case '>':
+            if (cur.peek() == '>' && cur.peek(1) == '>') {
+                cur.advance();
+                cur.advance();
+                push(Tok::AShr);
+            } else if (cur.peek() == '>') {
+                cur.advance();
+                push(Tok::Shr);
+            } else if (cur.peek() == '=') {
+                cur.advance();
+                push(Tok::Ge);
+            } else {
+                push(Tok::Gt);
+            }
+            break;
+          default:
+            fatal("%s:%d: unexpected character '%c'", filename.c_str(),
+                  tok_line, c);
+        }
+    }
+
+    Token eof;
+    eof.kind = Tok::Eof;
+    eof.line = cur.line;
+    out.push_back(std::move(eof));
+    return out;
+}
+
+} // namespace ash::verilog

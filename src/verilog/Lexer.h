@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Lexer for the Verilog subset. Handles identifiers, sized and unsized
+ * integer literals (binary/octal/decimal/hex), all supported operators,
+ * and both comment styles. Two-state values only: x/z digits are
+ * rejected (documented subset restriction).
+ */
+
+#ifndef ASH_VERILOG_LEXER_H
+#define ASH_VERILOG_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "verilog/Token.h"
+
+namespace ash::verilog {
+
+/** Tokenize @p source; calls ash::fatal() on lexical errors. */
+std::vector<Token> lex(const std::string &source,
+                       const std::string &filename = "<input>");
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_LEXER_H

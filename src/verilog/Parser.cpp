@@ -1,0 +1,803 @@
+#include "verilog/Parser.h"
+
+#include <optional>
+
+#include "common/Logging.h"
+#include "verilog/Lexer.h"
+
+namespace ash::verilog {
+
+ExprPtr
+cloneExpr(const Expr &e)
+{
+    auto out = std::make_unique<Expr>();
+    out->kind = e.kind;
+    out->op = e.op;
+    out->text = e.text;
+    out->value = e.value;
+    out->width = e.width;
+    out->sized = e.sized;
+    out->line = e.line;
+    for (const auto &child : e.children)
+        out->children.push_back(cloneExpr(*child));
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser state. */
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, std::string filename)
+        : _toks(std::move(tokens)), _file(std::move(filename))
+    {
+    }
+
+    SourceUnit
+    parseUnit()
+    {
+        SourceUnit unit;
+        while (!at(Tok::Eof)) {
+            expectKeyword("module");
+            unit.modules.push_back(parseModule());
+        }
+        return unit;
+    }
+
+  private:
+    // --- token helpers -------------------------------------------------
+
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = _pos + ahead;
+        return i < _toks.size() ? _toks[i] : _toks.back();
+    }
+    bool at(Tok kind) const { return peek().kind == kind; }
+    bool
+    atKeyword(const char *kw) const
+    {
+        return at(Tok::Ident) && peek().text == kw;
+    }
+    const Token &
+    advance()
+    {
+        const Token &t = _toks[_pos];
+        if (_pos + 1 < _toks.size())
+            ++_pos;
+        return t;
+    }
+    bool
+    accept(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+    bool
+    acceptKeyword(const char *kw)
+    {
+        if (!atKeyword(kw))
+            return false;
+        advance();
+        return true;
+    }
+    const Token &
+    expect(Tok kind, const char *context)
+    {
+        if (!at(kind)) {
+            fatal("%s:%d: expected '%s' %s, got '%s'", _file.c_str(),
+                  peek().line, tokName(kind), context,
+                  at(Tok::Ident) ? peek().text.c_str()
+                                 : tokName(peek().kind));
+        }
+        return advance();
+    }
+    void
+    expectKeyword(const char *kw)
+    {
+        if (!atKeyword(kw)) {
+            fatal("%s:%d: expected '%s', got '%s'", _file.c_str(),
+                  peek().line, kw,
+                  at(Tok::Ident) ? peek().text.c_str()
+                                 : tokName(peek().kind));
+        }
+        advance();
+    }
+    std::string
+    expectIdent(const char *context)
+    {
+        return expect(Tok::Ident, context).text;
+    }
+
+    [[noreturn]] void
+    syntaxError(const char *what)
+    {
+        fatal("%s:%d: %s (near '%s')", _file.c_str(), peek().line, what,
+              at(Tok::Ident) ? peek().text.c_str()
+                             : tokName(peek().kind));
+    }
+
+    // --- expressions ----------------------------------------------------
+
+    ExprPtr
+    makeExpr(Expr::Kind kind)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = peek().line;
+        return e;
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        if (at(Tok::Number)) {
+            const Token &t = advance();
+            auto e = makeExpr(Expr::Kind::Number);
+            e->value = t.value;
+            e->width = t.width;
+            e->sized = t.sized;
+            e->line = t.line;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = parseExpr();
+            expect(Tok::RParen, "to close parenthesized expression");
+            return e;
+        }
+        if (at(Tok::LBrace))
+            return parseConcat();
+        if (at(Tok::Ident)) {
+            const Token &t = advance();
+            std::string name = t.text;
+            if (name == "$signed" || name == "$unsigned") {
+                // Pass-through: the subset is unsigned-only; $signed is
+                // rejected to avoid silent misinterpretation.
+                fatal("%s:%d: %s is not supported (unsigned-only "
+                      "subset)", _file.c_str(), t.line, name.c_str());
+            }
+            if (!at(Tok::LBracket)) {
+                auto e = makeExpr(Expr::Kind::Ident);
+                e->text = name;
+                e->line = t.line;
+                return e;
+            }
+            advance(); // '['
+            ExprPtr first = parseExpr();
+            if (accept(Tok::Colon)) {
+                ExprPtr lsb = parseExpr();
+                expect(Tok::RBracket, "to close part select");
+                auto e = makeExpr(Expr::Kind::RangeSel);
+                e->text = name;
+                e->line = t.line;
+                e->children.push_back(std::move(first));
+                e->children.push_back(std::move(lsb));
+                return e;
+            }
+            if (accept(Tok::PlusColon)) {
+                ExprPtr width = parseExpr();
+                expect(Tok::RBracket, "to close indexed part select");
+                auto e = makeExpr(Expr::Kind::PartSel);
+                e->text = name;
+                e->line = t.line;
+                e->children.push_back(std::move(first));
+                e->children.push_back(std::move(width));
+                return e;
+            }
+            expect(Tok::RBracket, "to close index");
+            auto e = makeExpr(Expr::Kind::Index);
+            e->text = name;
+            e->line = t.line;
+            e->children.push_back(std::move(first));
+            return e;
+        }
+        syntaxError("expected expression");
+    }
+
+    ExprPtr
+    parseConcat()
+    {
+        int line = peek().line;
+        expect(Tok::LBrace, "to open concatenation");
+        ExprPtr first = parseExpr();
+        if (at(Tok::LBrace)) {
+            // Replication {N{...}}.
+            ExprPtr inner = parseConcat();
+            expect(Tok::RBrace, "to close replication");
+            auto e = makeExpr(Expr::Kind::Repl);
+            e->line = line;
+            e->children.push_back(std::move(first));
+            e->children.push_back(std::move(inner));
+            return e;
+        }
+        auto e = makeExpr(Expr::Kind::Concat);
+        e->line = line;
+        e->children.push_back(std::move(first));
+        while (accept(Tok::Comma))
+            e->children.push_back(parseExpr());
+        expect(Tok::RBrace, "to close concatenation");
+        return e;
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        struct UnaryOp { Tok tok; const char *spelling; };
+        static const UnaryOp ops[] = {
+            {Tok::Bang, "!"}, {Tok::Tilde, "~"}, {Tok::Minus, "-"},
+            {Tok::Plus, "+"}, {Tok::Amp, "&"}, {Tok::Pipe, "|"},
+            {Tok::Caret, "^"}, {Tok::TildeAmp, "~&"},
+            {Tok::TildePipe, "~|"}, {Tok::TildeCaret, "~^"},
+        };
+        for (const UnaryOp &op : ops) {
+            if (at(op.tok)) {
+                int line = peek().line;
+                advance();
+                auto e = makeExpr(Expr::Kind::Unary);
+                e->op = op.spelling;
+                e->line = line;
+                e->children.push_back(parseUnary());
+                return e;
+            }
+        }
+        return parsePrimary();
+    }
+
+    /** Binary operator precedence; higher binds tighter. */
+    static int
+    binaryPrec(Tok kind)
+    {
+        switch (kind) {
+          case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+          case Tok::Plus: case Tok::Minus: return 9;
+          case Tok::Shl: case Tok::Shr: case Tok::AShr: return 8;
+          case Tok::Lt: case Tok::LtEq: case Tok::Gt: case Tok::Ge:
+            return 7;
+          case Tok::EqEq: case Tok::NotEq: return 6;
+          case Tok::Amp: return 5;
+          case Tok::Caret: case Tok::TildeCaret: return 4;
+          case Tok::Pipe: return 3;
+          case Tok::AmpAmp: return 2;
+          case Tok::PipePipe: return 1;
+          default: return 0;
+        }
+    }
+
+    static const char *
+    binarySpelling(Tok kind)
+    {
+        switch (kind) {
+          case Tok::Star: return "*";
+          case Tok::Slash: return "/";
+          case Tok::Percent: return "%";
+          case Tok::Plus: return "+";
+          case Tok::Minus: return "-";
+          case Tok::Shl: return "<<";
+          case Tok::Shr: return ">>";
+          case Tok::AShr: return ">>>";
+          case Tok::Lt: return "<";
+          case Tok::LtEq: return "<=";
+          case Tok::Gt: return ">";
+          case Tok::Ge: return ">=";
+          case Tok::EqEq: return "==";
+          case Tok::NotEq: return "!=";
+          case Tok::Amp: return "&";
+          case Tok::Caret: return "^";
+          case Tok::TildeCaret: return "~^";
+          case Tok::Pipe: return "|";
+          case Tok::AmpAmp: return "&&";
+          case Tok::PipePipe: return "||";
+          default: return "?";
+        }
+    }
+
+    ExprPtr
+    parseBinary(int min_prec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            int prec = binaryPrec(peek().kind);
+            if (prec == 0 || prec < min_prec)
+                break;
+            Tok op = peek().kind;
+            int line = peek().line;
+            advance();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto e = makeExpr(Expr::Kind::Binary);
+            e->op = binarySpelling(op);
+            e->line = line;
+            e->children.push_back(std::move(lhs));
+            e->children.push_back(std::move(rhs));
+            lhs = std::move(e);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseExpr()
+    {
+        ExprPtr cond = parseBinary(1);
+        if (!accept(Tok::Question))
+            return cond;
+        ExprPtr then_val = parseExpr();
+        expect(Tok::Colon, "in ternary expression");
+        ExprPtr else_val = parseExpr();
+        auto e = makeExpr(Expr::Kind::Ternary);
+        e->children.push_back(std::move(cond));
+        e->children.push_back(std::move(then_val));
+        e->children.push_back(std::move(else_val));
+        return e;
+    }
+
+    // --- statements -----------------------------------------------------
+
+    LValue
+    parseLValue()
+    {
+        LValue lv;
+        lv.name = expectIdent("as assignment target");
+        if (accept(Tok::LBracket)) {
+            ExprPtr first = parseExpr();
+            if (accept(Tok::Colon)) {
+                lv.rangeMsb = std::move(first);
+                lv.rangeLsb = parseExpr();
+            } else if (accept(Tok::PlusColon)) {
+                lv.partLo = std::move(first);
+                lv.partWidth = parseExpr();
+            } else {
+                lv.index = std::move(first);
+            }
+            expect(Tok::RBracket, "to close target select");
+        }
+        return lv;
+    }
+
+    StmtPtr
+    makeStmt(Stmt::Kind kind)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = peek().line;
+        return s;
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        if (acceptKeyword("begin")) {
+            auto s = makeStmt(Stmt::Kind::Block);
+            if (accept(Tok::Colon))
+                expectIdent("as block label");
+            while (!atKeyword("end"))
+                s->stmts.push_back(parseStmt());
+            advance(); // end
+            return s;
+        }
+        if (acceptKeyword("if")) {
+            auto s = makeStmt(Stmt::Kind::If);
+            expect(Tok::LParen, "after 'if'");
+            s->cond = parseExpr();
+            expect(Tok::RParen, "after if condition");
+            s->thenStmt = parseStmt();
+            if (acceptKeyword("else"))
+                s->elseStmt = parseStmt();
+            return s;
+        }
+        if (atKeyword("case") || atKeyword("casez")) {
+            if (atKeyword("casez"))
+                fatal("%s:%d: casez is not supported (two-state subset)",
+                      _file.c_str(), peek().line);
+            advance();
+            auto s = makeStmt(Stmt::Kind::Case);
+            expect(Tok::LParen, "after 'case'");
+            s->cond = parseExpr();
+            expect(Tok::RParen, "after case selector");
+            while (!atKeyword("endcase")) {
+                if (acceptKeyword("default")) {
+                    accept(Tok::Colon);
+                    if (s->defaultStmt)
+                        fatal("%s:%d: duplicate default case",
+                              _file.c_str(), peek().line);
+                    s->defaultStmt = parseStmt();
+                    continue;
+                }
+                Stmt::CaseItem item;
+                item.labels.push_back(parseExpr());
+                while (accept(Tok::Comma))
+                    item.labels.push_back(parseExpr());
+                expect(Tok::Colon, "after case label");
+                item.body = parseStmt();
+                s->caseItems.push_back(std::move(item));
+            }
+            advance(); // endcase
+            return s;
+        }
+        if (acceptKeyword("for")) {
+            auto s = makeStmt(Stmt::Kind::For);
+            expect(Tok::LParen, "after 'for'");
+            // Optional 'int'/'integer' loop-var declaration.
+            if (atKeyword("int") || atKeyword("integer"))
+                advance();
+            s->loopVar = expectIdent("as loop variable");
+            expect(Tok::Assign, "in for initializer");
+            s->forInit = parseExpr();
+            expect(Tok::Semi, "after for initializer");
+            s->forCond = parseExpr();
+            expect(Tok::Semi, "after for condition");
+            std::string step_var = expectIdent("in for step");
+            if (step_var != s->loopVar)
+                fatal("%s:%d: for step must assign the loop variable",
+                      _file.c_str(), peek().line);
+            expect(Tok::Assign, "in for step");
+            s->forStep = parseExpr();
+            expect(Tok::RParen, "after for header");
+            s->forBody = parseStmt();
+            return s;
+        }
+        // Assignment statement.
+        auto s = makeStmt(Stmt::Kind::Assign);
+        s->lhs = parseLValue();
+        if (accept(Tok::LtEq)) {
+            s->nonblocking = true;
+        } else {
+            expect(Tok::Assign, "in assignment");
+        }
+        s->rhs = parseExpr();
+        expect(Tok::Semi, "after assignment");
+        return s;
+    }
+
+    // --- declarations and module items -----------------------------------
+
+    /** Parse "[msb:lsb]" if present into @p decl. */
+    void
+    parsePackedRange(Decl &decl)
+    {
+        if (accept(Tok::LBracket)) {
+            decl.msb = parseExpr();
+            expect(Tok::Colon, "in packed range");
+            decl.lsb = parseExpr();
+            expect(Tok::RBracket, "to close packed range");
+        }
+    }
+
+    NetKind
+    parseNetKind()
+    {
+        if (acceptKeyword("wire"))
+            return NetKind::Wire;
+        if (acceptKeyword("reg"))
+            return NetKind::Reg;
+        if (acceptKeyword("logic"))
+            return NetKind::Logic;
+        if (acceptKeyword("integer") || acceptKeyword("int"))
+            return NetKind::Integer;
+        if (acceptKeyword("genvar"))
+            return NetKind::Genvar;
+        syntaxError("expected net kind");
+    }
+
+    /** Parse declarations after the kind keyword has been consumed. */
+    std::vector<Decl>
+    parseDeclBodies(NetKind kind)
+    {
+        std::vector<Decl> decls;
+        Decl proto;
+        proto.kind = kind;
+        proto.line = peek().line;
+        parsePackedRange(proto);
+        while (true) {
+            Decl d;
+            d.kind = kind;
+            d.line = peek().line;
+            if (proto.msb) {
+                d.msb = cloneExpr(*proto.msb);
+                d.lsb = cloneExpr(*proto.lsb);
+            }
+            d.name = expectIdent("in declaration");
+            if (accept(Tok::LBracket)) {
+                d.memLeft = parseExpr();
+                expect(Tok::Colon, "in unpacked range");
+                d.memRight = parseExpr();
+                expect(Tok::RBracket, "to close unpacked range");
+            }
+            if (accept(Tok::Assign))
+                d.init = parseExpr();
+            decls.push_back(std::move(d));
+            if (!accept(Tok::Comma))
+                break;
+        }
+        expect(Tok::Semi, "after declaration");
+        return decls;
+    }
+
+    ParamDecl
+    parseParamBody(bool local)
+    {
+        ParamDecl p;
+        p.local = local;
+        p.line = peek().line;
+        // Optional type/range noise: parameter [31:0] N = 4; or
+        // parameter int N = 4;
+        if (atKeyword("int") || atKeyword("integer"))
+            advance();
+        if (accept(Tok::LBracket)) {
+            parseExpr();
+            expect(Tok::Colon, "in parameter range");
+            parseExpr();
+            expect(Tok::RBracket, "to close parameter range");
+        }
+        p.name = expectIdent("as parameter name");
+        expect(Tok::Assign, "in parameter declaration");
+        p.value = parseExpr();
+        return p;
+    }
+
+    ItemPtr
+    makeItem(Item::Kind kind)
+    {
+        auto item = std::make_unique<Item>();
+        item->kind = kind;
+        item->line = peek().line;
+        return item;
+    }
+
+    ItemPtr
+    parseAlways()
+    {
+        bool is_ff = false;
+        bool is_comb = false;
+        std::string clock;
+        if (acceptKeyword("always_comb")) {
+            is_comb = true;
+        } else if (acceptKeyword("always_ff")) {
+            is_ff = true;
+        } else {
+            expectKeyword("always");
+        }
+        if (!is_comb) {
+            if (accept(Tok::At)) {
+                expect(Tok::LParen, "after '@'");
+                if (accept(Tok::Star)) {
+                    is_comb = true;
+                } else if (acceptKeyword("posedge")) {
+                    is_ff = true;
+                    clock = expectIdent("as clock name");
+                } else if (acceptKeyword("negedge")) {
+                    fatal("%s:%d: negedge clocks are not supported",
+                          _file.c_str(), peek().line);
+                } else {
+                    fatal("%s:%d: only @(*) and @(posedge clk) "
+                          "sensitivity lists are supported",
+                          _file.c_str(), peek().line);
+                }
+                expect(Tok::RParen, "to close sensitivity list");
+            } else if (is_ff) {
+                expect(Tok::At, "after always_ff");
+            } else {
+                fatal("%s:%d: plain 'always' needs a sensitivity list",
+                      _file.c_str(), peek().line);
+            }
+        }
+        auto item = makeItem(is_ff ? Item::Kind::AlwaysFF
+                                   : Item::Kind::AlwaysComb);
+        item->clockName = clock;
+        item->body = parseStmt();
+        return item;
+    }
+
+    ItemPtr
+    parseInstance(std::string module_name)
+    {
+        auto item = makeItem(Item::Kind::Instance);
+        item->moduleName = std::move(module_name);
+        if (accept(Tok::Hash)) {
+            expect(Tok::LParen, "after '#'");
+            if (at(Tok::Dot)) {
+                while (accept(Tok::Dot)) {
+                    std::string pname = expectIdent("as parameter name");
+                    expect(Tok::LParen, "in parameter override");
+                    item->paramOverrides.emplace_back(pname, parseExpr());
+                    expect(Tok::RParen, "to close parameter override");
+                    if (!accept(Tok::Comma))
+                        break;
+                }
+            } else {
+                // Positional parameter overrides.
+                size_t index = 0;
+                do {
+                    item->paramOverrides.emplace_back(
+                        "#" + std::to_string(index++), parseExpr());
+                } while (accept(Tok::Comma));
+            }
+            expect(Tok::RParen, "to close parameter overrides");
+        }
+        item->instName = expectIdent("as instance name");
+        expect(Tok::LParen, "to open port connections");
+        if (at(Tok::Dot)) {
+            while (accept(Tok::Dot)) {
+                std::string pname = expectIdent("as port name");
+                expect(Tok::LParen, "in port connection");
+                ExprPtr conn;
+                if (!at(Tok::RParen))
+                    conn = parseExpr();
+                expect(Tok::RParen, "to close port connection");
+                item->connections.emplace_back(pname, std::move(conn));
+                if (!accept(Tok::Comma))
+                    break;
+            }
+        } else if (!at(Tok::RParen)) {
+            item->positionalConns = true;
+            size_t index = 0;
+            do {
+                item->connections.emplace_back(
+                    "#" + std::to_string(index++), parseExpr());
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "to close port connections");
+        expect(Tok::Semi, "after instance");
+        return item;
+    }
+
+    ItemPtr
+    parseGenerateFor()
+    {
+        auto item = makeItem(Item::Kind::GenerateFor);
+        expectKeyword("for");
+        expect(Tok::LParen, "after 'for'");
+        if (atKeyword("genvar"))
+            advance();
+        item->genVar = expectIdent("as genvar");
+        expect(Tok::Assign, "in generate-for initializer");
+        item->genInit = parseExpr();
+        expect(Tok::Semi, "after generate-for initializer");
+        item->genCond = parseExpr();
+        expect(Tok::Semi, "after generate-for condition");
+        std::string step_var = expectIdent("in generate-for step");
+        if (step_var != item->genVar)
+            fatal("%s:%d: generate-for step must assign the genvar",
+                  _file.c_str(), peek().line);
+        expect(Tok::Assign, "in generate-for step");
+        item->genStep = parseExpr();
+        expect(Tok::RParen, "after generate-for header");
+        expectKeyword("begin");
+        if (accept(Tok::Colon))
+            item->genLabel = expectIdent("as generate label");
+        while (!atKeyword("end"))
+            item->genBody.push_back(parseItem());
+        advance(); // end
+        return item;
+    }
+
+    ItemPtr
+    parseItem()
+    {
+        if (atKeyword("wire") || atKeyword("reg") || atKeyword("logic") ||
+            atKeyword("integer") || atKeyword("int") ||
+            atKeyword("genvar")) {
+            auto item = makeItem(Item::Kind::Decl);
+            NetKind kind = parseNetKind();
+            item->decls = parseDeclBodies(kind);
+            return item;
+        }
+        if (atKeyword("parameter") || atKeyword("localparam")) {
+            bool local = atKeyword("localparam");
+            advance();
+            auto item = makeItem(Item::Kind::Param);
+            item->param = parseParamBody(local);
+            expect(Tok::Semi, "after parameter");
+            return item;
+        }
+        if (acceptKeyword("assign")) {
+            auto item = makeItem(Item::Kind::Assign);
+            item->assignLhs = parseLValue();
+            expect(Tok::Assign, "in continuous assign");
+            item->assignRhs = parseExpr();
+            expect(Tok::Semi, "after continuous assign");
+            return item;
+        }
+        if (atKeyword("always") || atKeyword("always_comb") ||
+            atKeyword("always_ff")) {
+            return parseAlways();
+        }
+        if (acceptKeyword("generate")) {
+            ItemPtr item = parseGenerateFor();
+            expectKeyword("endgenerate");
+            return item;
+        }
+        if (atKeyword("for"))
+            return parseGenerateFor();
+        if (atKeyword("initial"))
+            fatal("%s:%d: initial blocks are not supported; use case "
+                  "tables for ROMs", _file.c_str(), peek().line);
+        if (at(Tok::Ident)) {
+            std::string name = advance().text;
+            return parseInstance(std::move(name));
+        }
+        syntaxError("expected module item");
+    }
+
+    Module
+    parseModule()
+    {
+        Module mod;
+        mod.line = peek().line;
+        mod.name = expectIdent("as module name");
+        if (accept(Tok::Hash)) {
+            expect(Tok::LParen, "after '#'");
+            while (!at(Tok::RParen)) {
+                bool local = false;
+                if (acceptKeyword("parameter")) {
+                    // fine
+                } else if (acceptKeyword("localparam")) {
+                    local = true;
+                }
+                mod.params.push_back(parseParamBody(local));
+                if (!accept(Tok::Comma))
+                    break;
+            }
+            expect(Tok::RParen, "to close parameter list");
+        }
+        expect(Tok::LParen, "to open port list");
+        PortDir dir = PortDir::Input;
+        NetKind kind = NetKind::Wire;
+        bool first = true;
+        while (!at(Tok::RParen)) {
+            bool explicit_dir = false;
+            if (acceptKeyword("input")) {
+                dir = PortDir::Input;
+                explicit_dir = true;
+            } else if (acceptKeyword("output")) {
+                dir = PortDir::Output;
+                explicit_dir = true;
+            } else if (first) {
+                fatal("%s:%d: ANSI-style port lists are required",
+                      _file.c_str(), peek().line);
+            }
+            if (explicit_dir) {
+                kind = NetKind::Wire;
+                if (atKeyword("wire") || atKeyword("reg") ||
+                    atKeyword("logic"))
+                    kind = parseNetKind();
+            }
+            Port port;
+            port.dir = dir;
+            port.decl.kind = kind;
+            port.decl.line = peek().line;
+            if (explicit_dir)
+                parsePackedRange(port.decl);
+            else if (!mod.ports.empty() && mod.ports.back().decl.msb) {
+                port.decl.msb = cloneExpr(*mod.ports.back().decl.msb);
+                port.decl.lsb = cloneExpr(*mod.ports.back().decl.lsb);
+            }
+            port.decl.name = expectIdent("as port name");
+            mod.ports.push_back(std::move(port));
+            first = false;
+            if (!accept(Tok::Comma))
+                break;
+        }
+        expect(Tok::RParen, "to close port list");
+        expect(Tok::Semi, "after module header");
+        while (!atKeyword("endmodule"))
+            mod.items.push_back(parseItem());
+        advance(); // endmodule
+        return mod;
+    }
+
+    std::vector<Token> _toks;
+    std::string _file;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+SourceUnit
+parse(const std::string &source, const std::string &filename)
+{
+    Parser parser(lex(source, filename), filename);
+    return parser.parseUnit();
+}
+
+} // namespace ash::verilog

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Recursive-descent parser for the Verilog subset (see Ast.h for the
+ * supported grammar).
+ */
+
+#ifndef ASH_VERILOG_PARSER_H
+#define ASH_VERILOG_PARSER_H
+
+#include <string>
+
+#include "verilog/Ast.h"
+
+namespace ash::verilog {
+
+/** Parse @p source into modules; calls ash::fatal() on syntax errors. */
+SourceUnit parse(const std::string &source,
+                 const std::string &filename = "<input>");
+
+/** Deep-copy an expression tree. */
+ExprPtr cloneExpr(const Expr &e);
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_PARSER_H

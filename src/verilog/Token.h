@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Token definitions for the Verilog-subset lexer.
+ */
+
+#ifndef ASH_VERILOG_TOKEN_H
+#define ASH_VERILOG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ash::verilog {
+
+/** Token kinds. Punctuation tokens are named after their spelling. */
+enum class Tok : uint8_t {
+    Eof,
+    Ident,        ///< Identifier or keyword (text in Token::text).
+    Number,       ///< Integer literal (value/width in the token).
+
+    // Punctuation and operators.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Comma, Colon, Dot, Hash, At, Question,
+    Assign,       ///< =
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde,
+    AmpAmp, PipePipe, Bang,
+    Lt, Gt, Ge, EqEq, NotEq,
+    Shl, Shr, AShr,            ///< << >> >>>
+    LtEq,                       ///< <= (nonblocking assign or less-equal)
+    PlusColon,                  ///< +: (indexed part select)
+    TildeAmp, TildePipe, TildeCaret, ///< reduction nand/nor/xnor
+};
+
+/** One lexed token with source position. */
+struct Token
+{
+    Tok kind = Tok::Eof;
+    std::string text;        ///< Identifier text.
+    uint64_t value = 0;      ///< Numeric value.
+    unsigned width = 0;      ///< Literal width; 0 when unsized.
+    bool sized = false;      ///< True for sized literals like 8'hFF.
+    int line = 0;
+};
+
+/** Printable name for diagnostics. */
+const char *tokName(Tok kind);
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_TOKEN_H

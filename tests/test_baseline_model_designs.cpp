@@ -1,0 +1,225 @@
+/** @file Tests for the baseline simulator, energy/area models, and
+ *  benchmark design generators. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/Baseline.h"
+#include "designs/Designs.h"
+#include "model/EnergyArea.h"
+#include "refsim/ReferenceSimulator.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash {
+namespace {
+
+rtl::Netlist
+mixedNetlist()
+{
+    return verilog::compileVerilog(test::mixedFixture(), "top");
+}
+
+// ---------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------
+
+TEST(Baseline, SerialSpeedPositive)
+{
+    rtl::Netlist nl = mixedNetlist();
+    auto result = baseline::runBaseline(
+        nl, baseline::simBaselineHost(1));
+    EXPECT_GT(result.speedKHz, 0.0);
+    EXPECT_GT(result.cyclesPerDesignCycle, 0.0);
+    EXPECT_GT(result.tasks, 0u);
+}
+
+TEST(Baseline, Deterministic)
+{
+    designs::Design d = designs::makeChronosRv(4);
+    rtl::Netlist nl = designs::compileDesign(d);
+    auto a = baseline::runBaseline(nl, baseline::simBaselineHost(4));
+    auto b = baseline::runBaseline(nl, baseline::simBaselineHost(4));
+    EXPECT_DOUBLE_EQ(a.cyclesPerDesignCycle, b.cyclesPerDesignCycle);
+}
+
+TEST(Baseline, ParallelSpeedupIsLimited)
+{
+    // The whole point of Sec 2.2: parallel Verilator speedups are
+    // modest. More threads must not be worse than 0.5x serial, nor
+    // magically super-linear.
+    designs::Design d = designs::makeVortex(6, 2);
+    rtl::Netlist nl = designs::compileDesign(d);
+    double serial = baseline::runBaseline(
+                        nl, baseline::simBaselineHost(1), 300)
+                        .speedKHz;
+    double best = 0;
+    for (uint32_t t : {2u, 4u, 8u, 16u}) {
+        best = std::max(best,
+                        baseline::runBaseline(
+                            nl, baseline::simBaselineHost(t), 300)
+                            .speedKHz);
+    }
+    EXPECT_GT(best, serial * 0.5);
+    EXPECT_LT(best, serial * 16.0);
+}
+
+TEST(Baseline, FinerTasksRaiseParallelism)
+{
+    rtl::Netlist nl = mixedNetlist();
+    auto fine = baseline::runBaseline(
+        nl, baseline::simBaselineHost(1), 4);
+    auto coarse = baseline::runBaseline(
+        nl, baseline::simBaselineHost(1), 4000);
+    EXPECT_GE(fine.tasks, coarse.tasks);
+    EXPECT_GE(fine.parallelism, coarse.parallelism * 0.9);
+}
+
+TEST(Baseline, Zen2PresetSane)
+{
+    baseline::HostConfig zen = baseline::zen2Host(32);
+    EXPECT_EQ(zen.threads, 32u);
+    EXPECT_GT(zen.ghz, 3.0);
+    EXPECT_GT(zen.llcBytes, 64ull * 1024 * 1024);
+}
+
+// ---------------------------------------------------------------------
+// Energy / area
+// ---------------------------------------------------------------------
+
+TEST(Model, AreaTable2Calibration)
+{
+    auto rows = model::ashArea(256, 64, 1.0);
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_EQ(rows.back().component, "total");
+    EXPECT_NEAR(rows.back().mm2, 115.0, 1.0);
+    EXPECT_NEAR(rows[0].mm2, 45.1, 0.1);
+    EXPECT_NEAR(rows[1].mm2, 39.3, 0.1);
+    EXPECT_NEAR(rows[3].mm2, 5.6, 0.1);
+}
+
+TEST(Model, AshSmallerThanZen2)
+{
+    auto rows = model::ashArea(256, 64, 1.0);
+    double ash = rows.back().mm2;
+    double zen = model::zen2Area(32);
+    EXPECT_GT(zen / ash, 2.5);   // "3x less area" (Sec 9.1).
+}
+
+TEST(Model, EnergyBreakdownPositive)
+{
+    StatSet stats;
+    stats.inc("instrs", 1000000);
+    stats.inc("l1dAccesses", 200000);
+    stats.inc("l2Accesses", 20000);
+    stats.inc("dramBytes", 64000);
+    stats.inc("nocFlitHops", 500000);
+    stats.inc("descsSent", 100000);
+    stats.inc("tasksCommitted", 50000);
+    auto e = model::computeEnergy(stats, 256, 64.0, 1e-3);
+    EXPECT_GT(e.coresMj, 0.0);
+    EXPECT_GT(e.cachesMj, 0.0);
+    EXPECT_GT(e.tmuMj, 0.0);
+    EXPECT_GT(e.nocMj, 0.0);
+    EXPECT_GT(e.staticMj, 0.0);
+    EXPECT_NEAR(e.totalMj(), e.staticMj + e.coresMj + e.cachesMj +
+                                 e.tmuMj + e.nocMj,
+                1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Benchmark designs
+// ---------------------------------------------------------------------
+
+TEST(Designs, AllCompileAndValidate)
+{
+    for (const auto &d : designs::allDesigns()) {
+        rtl::Netlist nl = designs::compileDesign(d);
+        EXPECT_GT(nl.numNodes(), 500u) << d.name;
+        EXPECT_FALSE(nl.outputs().empty()) << d.name;
+    }
+}
+
+TEST(Designs, ActivityFactorsMatchProfile)
+{
+    auto all = designs::allDesigns();
+    std::map<std::string, double> activity;
+    for (const auto &d : all) {
+        rtl::Netlist nl = designs::compileDesign(d);
+        refsim::ReferenceSimulator sim(nl);
+        auto stim = d.makeStimulus();
+        sim.run(*stim, 200);
+        activity[d.name] = sim.activityFactor();
+    }
+    EXPECT_LT(activity["vortex"], 0.12);       // Paper: 7.1%.
+    EXPECT_LT(activity["chronos_rv"], 0.25);   // Paper: 15.0%.
+    EXPECT_GT(activity["ntt"], 0.90);          // Paper: 97%.
+    EXPECT_LT(activity["chronos_pe"], 0.6);    // Moderate.
+    // Relative order: NTT is by far the most active; vortex least.
+    EXPECT_GT(activity["ntt"], activity["chronos_pe"]);
+    EXPECT_GT(activity["chronos_pe"], activity["vortex"]);
+}
+
+TEST(Designs, NttMatchesTextbookMath)
+{
+    designs::Design d = designs::makeNtt(16);
+    rtl::Netlist nl = designs::compileDesign(d);
+    refsim::ReferenceSimulator sim(nl);
+    auto stim = d.makeStimulus();
+    auto trace = sim.run(*stim, 10);
+
+    std::vector<uint64_t> frame(nl.inputs().size(), 0);
+    stim->apply(0, frame);
+    std::vector<uint64_t> input(frame.begin() + 1, frame.end());
+    auto want = designs::referenceNtt(input);
+    // Pipeline latency: input register + log2(16) stages = 5.
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(trace[5][i], want[i]) << "point " << i;
+    // And the next beat follows one cycle later.
+    stim->apply(1, frame);
+    std::vector<uint64_t> input1(frame.begin() + 1, frame.end());
+    auto want1 = designs::referenceNtt(input1);
+    for (size_t i = 0; i < want1.size(); ++i)
+        EXPECT_EQ(trace[6][i], want1[i]) << "point " << i;
+}
+
+TEST(Designs, StimulusDeterministic)
+{
+    designs::Design d = designs::makeChronosPe(9);
+    auto s1 = d.makeStimulus();
+    auto s2 = d.makeStimulus();
+    rtl::Netlist nl = designs::compileDesign(d);
+    for (uint64_t c : {0ull, 7ull, 100ull}) {
+        std::vector<uint64_t> a(nl.inputs().size(), 0);
+        std::vector<uint64_t> b(nl.inputs().size(), 0);
+        s1->apply(c, a);
+        s2->apply(c, b);
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Designs, ScaleKnobChangesSize)
+{
+    rtl::Netlist small =
+        designs::compileDesign(designs::makeNtt(8));
+    rtl::Netlist large =
+        designs::compileDesign(designs::makeNtt(64));
+    EXPECT_GT(large.numNodes(), small.numNodes() * 4);
+}
+
+TEST(Designs, RvCoresMakeProgress)
+{
+    designs::Design d = designs::makeChronosRv(2);
+    rtl::Netlist nl = designs::compileDesign(d);
+    refsim::ReferenceSimulator sim(nl);
+    auto stim = d.makeStimulus();
+    auto trace = sim.run(*stim, 120);
+    // The checksum output must take multiple distinct values (cores
+    // execute their ROM programs).
+    std::set<uint64_t> values;
+    for (const auto &frame : trace)
+        values.insert(frame[0]);
+    EXPECT_GT(values.size(), 10u);
+}
+
+} // namespace
+} // namespace ash

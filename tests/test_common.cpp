@@ -1,0 +1,233 @@
+/** @file Unit tests for the common infrastructure. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/BitUtils.h"
+#include "common/BoundedHeap.h"
+#include "common/Logging.h"
+#include "common/Random.h"
+#include "common/Stats.h"
+#include "common/Table.h"
+
+namespace ash {
+namespace {
+
+TEST(BitUtils, Mask64)
+{
+    EXPECT_EQ(mask64(0), 0u);
+    EXPECT_EQ(mask64(1), 1u);
+    EXPECT_EQ(mask64(8), 0xffu);
+    EXPECT_EQ(mask64(63), 0x7fffffffffffffffull);
+    EXPECT_EQ(mask64(64), ~0ull);
+}
+
+TEST(BitUtils, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+    EXPECT_EQ(truncate(~0ull, 64), ~0ull);
+}
+
+TEST(BitUtils, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(1, 1), -1);
+    EXPECT_EQ(signExtend(0, 1), 0);
+    EXPECT_EQ(signExtend(0xffff, 16), -1);
+}
+
+TEST(BitUtils, BitsFor)
+{
+    EXPECT_EQ(bitsFor(0), 1u);
+    EXPECT_EQ(bitsFor(1), 1u);
+    EXPECT_EQ(bitsFor(2), 2u);
+    EXPECT_EQ(bitsFor(255), 8u);
+    EXPECT_EQ(bitsFor(256), 9u);
+    EXPECT_EQ(bitsFor(~0ull), 64u);
+}
+
+TEST(BitUtils, CeilDivAndPow2)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(roundUpPow2(5), 8u);
+    EXPECT_EQ(log2Exact(64), 6u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.range(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Stats, CountersAndSamples)
+{
+    StatSet s;
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.get("a"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.sample("x", 2.0);
+    s.sample("x", 4.0);
+    EXPECT_DOUBLE_EQ(s.accum("x").mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.accum("x").minValue, 2.0);
+    EXPECT_DOUBLE_EQ(s.accum("x").maxValue, 4.0);
+}
+
+TEST(Stats, Merge)
+{
+    StatSet a, b;
+    a.inc("n", 3);
+    b.inc("n", 4);
+    a.sample("v", 1.0);
+    b.sample("v", 3.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("n"), 7u);
+    EXPECT_DOUBLE_EQ(a.accum("v").mean(), 2.0);
+}
+
+TEST(Stats, Geomean)
+{
+    double vals[] = {1.0, 100.0};
+    EXPECT_NEAR(geomean(vals, 2), 10.0, 1e-9);
+    double one[] = {7.0};
+    EXPECT_NEAR(geomean(one, 1), 7.0, 1e-9);
+    EXPECT_EQ(geomean(nullptr, 0), 0.0);
+}
+
+TEST(BoundedHeap, OrderedPop)
+{
+    BoundedHeap<int> heap(16);
+    for (int v : {5, 3, 9, 1, 7})
+        heap.push(v);
+    std::vector<int> out;
+    while (!heap.empty())
+        out.push_back(heap.pop());
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(BoundedHeap, ExtractWorst)
+{
+    BoundedHeap<int> heap(8);
+    for (int v : {4, 8, 2, 6})
+        heap.push(v);
+    EXPECT_EQ(heap.extractWorst(), 8);
+    EXPECT_EQ(heap.top(), 2);
+    EXPECT_EQ(heap.size(), 3u);
+}
+
+TEST(BoundedHeap, RemoveIf)
+{
+    BoundedHeap<int> heap(16);
+    for (int v = 0; v < 10; ++v)
+        heap.push(v);
+    size_t removed = heap.removeIf([](int v) { return v % 2 == 0; });
+    EXPECT_EQ(removed, 5u);
+    std::vector<int> out;
+    while (!heap.empty())
+        out.push_back(heap.pop());
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    for (int v : out)
+        EXPECT_EQ(v % 2, 1);
+}
+
+/** Property: heap pops match a sorted reference under random ops. */
+TEST(BoundedHeap, RandomOpsMatchReference)
+{
+    Rng rng(123);
+    BoundedHeap<uint64_t> heap(64);
+    std::vector<uint64_t> ref;
+    for (int step = 0; step < 2000; ++step) {
+        if (!heap.full() && (ref.empty() || rng.chance(0.6))) {
+            uint64_t v = rng.below(1000);
+            heap.push(v);
+            ref.push_back(v);
+        } else {
+            auto it = std::min_element(ref.begin(), ref.end());
+            EXPECT_EQ(heap.pop(), *it);
+            ref.erase(it);
+        }
+    }
+}
+
+TEST(TextTable, AlignmentAndArity)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, Formatters)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::integer(42), "42");
+    EXPECT_EQ(TextTable::speedup(2.5), "2.5x");
+    EXPECT_EQ(TextTable::percent(0.174), "17.4%");
+    EXPECT_EQ(TextTable::bytes(512), "512B");
+    EXPECT_EQ(TextTable::bytes(2048), "2.0KB");
+    EXPECT_EQ(TextTable::bytes(3 * 1024 * 1024), "3.0MB");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom %d", 42), FatalError);
+    try {
+        fatal("value %d", 7);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value 7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ash

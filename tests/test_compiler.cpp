@@ -1,0 +1,218 @@
+/** @file Tests for the ASH compiler backend (task formation). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/compiler/Compiler.h"
+#include "designs/Designs.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash::core {
+namespace {
+
+rtl::Netlist
+mixedNetlist()
+{
+    return verilog::compileVerilog(test::mixedFixture(), "top");
+}
+
+TEST(Compiler, EveryNodeInExactlyOneTask)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions opts;
+    opts.numTiles = 4;
+    TaskProgram prog = compile(nl, opts);
+
+    std::set<rtl::NodeId> seen;
+    for (const Task &t : prog.tasks) {
+        for (rtl::NodeId raw : t.nodes) {
+            if (raw & regWriteFlag)
+                continue;
+            EXPECT_TRUE(seen.insert(raw).second)
+                << "node " << raw << " in two tasks";
+        }
+    }
+    for (rtl::NodeId i = 0; i < nl.numNodes(); ++i) {
+        if (nl.node(i).op == rtl::Op::Const)
+            continue;
+        EXPECT_TRUE(seen.count(i)) << "node " << i << " unassigned";
+        EXPECT_NE(prog.taskOfNode[i], invalidTask);
+    }
+}
+
+TEST(Compiler, LimitsRespected)
+{
+    rtl::Netlist nl = mixedNetlist();
+    for (uint32_t tiles : {1u, 2u, 8u}) {
+        CompilerOptions opts;
+        opts.numTiles = tiles;
+        TaskProgram prog = compile(nl, opts);
+        for (const Task &t : prog.tasks) {
+            EXPECT_LE(t.pushes.size(), prog.limits.maxPushes);
+            EXPECT_LE(t.numParents, prog.limits.maxParents);
+            for (const Push &p : t.pushes)
+                EXPECT_LE(p.values.size(),
+                          prog.limits.maxRegArgValues);
+            EXPECT_LT(t.tile, tiles);
+        }
+    }
+}
+
+TEST(Compiler, TightLimitsForceFanTrees)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions opts;
+    opts.numTiles = 8;
+    opts.maxTaskCost = 2;          // Tiny tasks: many edges.
+    opts.limits.maxParents = 4;    // Force fan-in buffers.
+    opts.limits.maxPushes = 4;     // Force fan-out relays.
+    opts.limits.maxRegArgValues = 2;
+    TaskProgram prog = compile(nl, opts);   // validate() runs inside.
+    size_t buffers = 0, relays = 0;
+    for (const Task &t : prog.tasks) {
+        buffers += t.kind == TaskKind::Buffer;
+        relays += t.kind == TaskKind::Relay;
+    }
+    EXPECT_GT(buffers + relays, 0u);
+}
+
+TEST(Compiler, CoarseningReducesTasks)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions fine;
+    fine.numTiles = 1;
+    fine.maxTaskCost = 1;
+    CompilerOptions coarse;
+    coarse.numTiles = 1;
+    coarse.maxTaskCost = 1000;
+    TaskProgram fine_prog = compile(nl, fine);
+    TaskProgram coarse_prog = compile(nl, coarse);
+    EXPECT_GT(fine_prog.tasks.size(), coarse_prog.tasks.size());
+    // Finer tasks expose at least as much parallelism.
+    EXPECT_GE(fine_prog.stats.parallelism,
+              coarse_prog.stats.parallelism * 0.9);
+}
+
+TEST(Compiler, TimestampsRespectDepths)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions opts;
+    opts.numTiles = 4;
+    TaskProgram prog = compile(nl, opts);
+    EXPECT_GE(prog.cycleDepth, 1u);
+    for (const Task &t : prog.tasks) {
+        EXPECT_LT(t.depth, prog.cycleDepth);
+        EXPECT_EQ(prog.timestamp(t.id, 3),
+                  3 * prog.cycleDepth + t.depth);
+    }
+}
+
+TEST(Compiler, MemoryLocalityHolds)
+{
+    // validate() enforces this; compile a memory-heavy design.
+    designs::Design d = designs::makeChronosRv(4);
+    rtl::Netlist nl = designs::compileDesign(d);
+    CompilerOptions opts;
+    opts.numTiles = 8;
+    TaskProgram prog = compile(nl, opts);   // Panics on violation.
+    std::vector<int64_t> mem_tile(nl.memories().size(), -1);
+    for (const Task &t : prog.tasks) {
+        for (rtl::NodeId raw : t.nodes) {
+            const rtl::Node &n = nl.node(raw & ~regWriteFlag);
+            if (n.op == rtl::Op::MemRead ||
+                n.op == rtl::Op::MemWrite) {
+                if (mem_tile[n.mem] < 0)
+                    mem_tile[n.mem] = t.tile;
+                EXPECT_EQ(mem_tile[n.mem],
+                          static_cast<int64_t>(t.tile));
+            }
+        }
+    }
+}
+
+TEST(Compiler, MappingReducesCutVsScatter)
+{
+    designs::Design d = designs::makeVortex(6, 2);
+    rtl::Netlist nl = designs::compileDesign(d);
+    CompilerOptions mapped;
+    mapped.numTiles = 8;
+    mapped.useMapping = true;
+    CompilerOptions scattered = mapped;
+    scattered.useMapping = false;
+
+    auto crossTileBytes = [](const TaskProgram &prog) {
+        uint64_t bytes = 0;
+        for (const Task &t : prog.tasks) {
+            for (const Push &p : t.pushes) {
+                if (prog.tasks[p.dst].tile != t.tile)
+                    bytes += p.bytes();
+            }
+        }
+        return bytes;
+    };
+    uint64_t with_map = crossTileBytes(compile(nl, mapped));
+    uint64_t without = crossTileBytes(compile(nl, scattered));
+    EXPECT_LT(with_map, without);
+}
+
+TEST(Compiler, StatsPopulated)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions opts;
+    opts.numTiles = 4;
+    TaskProgram prog = compile(nl, opts);
+    EXPECT_GT(prog.stats.dfgNodes, 0u);
+    EXPECT_GT(prog.stats.dfgEdges, 0u);
+    EXPECT_EQ(prog.stats.tasks, prog.tasks.size());
+    EXPECT_GT(prog.stats.taskEdges, 0u);
+    EXPECT_GT(prog.stats.parallelism, 0.0);
+    EXPECT_GT(prog.stats.codeFootprintBytes, 0u);
+    EXPECT_GE(prog.stats.compileSeconds, 0.0);
+}
+
+TEST(Compiler, SingleCycleModeCompiles)
+{
+    rtl::Netlist nl = mixedNetlist();
+    CompilerOptions opts;
+    opts.numTiles = 2;
+    opts.unrolled = false;
+    TaskProgram prog = compile(nl, opts);
+    size_t reg_writes = 0;
+    for (const Task &t : prog.tasks) {
+        for (rtl::NodeId raw : t.nodes)
+            reg_writes += (raw & regWriteFlag) != 0;
+    }
+    EXPECT_EQ(reg_writes, nl.regs().size());
+}
+
+class CompilerDesignSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CompilerDesignSweep, AllDesignsValidate)
+{
+    auto [design_idx, tiles] = GetParam();
+    designs::DesignScale scale;
+    scale.nttPoints = 16;
+    scale.pes = 9;
+    scale.rvCores = 4;
+    scale.warps = 4;
+    scale.lanes = 2;
+    auto all = designs::allDesigns(scale);
+    rtl::Netlist nl = designs::compileDesign(all[design_idx]);
+    CompilerOptions opts;
+    opts.numTiles = static_cast<uint32_t>(tiles);
+    TaskProgram prog = compile(nl, opts);   // validate() inside.
+    EXPECT_GT(prog.tasks.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompilerDesignSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 4, 16)));
+
+} // namespace
+} // namespace ash::core

@@ -1,0 +1,231 @@
+/** @file Tests for the dataflow-graph layer and the partitioner. */
+
+#include <gtest/gtest.h>
+
+#include "common/Random.h"
+#include "dfg/Dfg.h"
+#include "designs/Designs.h"
+#include "partition/Partition.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash {
+namespace {
+
+rtl::Netlist
+mixedNetlist()
+{
+    return verilog::compileVerilog(test::mixedFixture(), "top");
+}
+
+TEST(Dfg, ExcludesConstants)
+{
+    rtl::Netlist nl = mixedNetlist();
+    dfg::Dfg graph(nl);
+    size_t consts = 0;
+    for (rtl::NodeId i = 0; i < nl.numNodes(); ++i) {
+        if (nl.node(i).op == rtl::Op::Const) {
+            ++consts;
+            EXPECT_EQ(graph.dfgNode(i), dfg::invalidDfgNode);
+        }
+    }
+    EXPECT_EQ(graph.numNodes() + consts, nl.numNodes());
+}
+
+TEST(Dfg, UnrolledRegistersAreCrossCycleEdges)
+{
+    rtl::Netlist nl = mixedNetlist();
+    dfg::Dfg unrolled(nl, {.unrolled = true});
+    size_t cross_value = 0;
+    for (const dfg::DfgEdge &e : unrolled.edges()) {
+        if (e.crossCycle && e.kind == dfg::EdgeKind::Value)
+            ++cross_value;
+    }
+    // One cross edge per register with a non-constant next value.
+    EXPECT_EQ(cross_value, nl.regs().size());
+    for (dfg::DfgNodeId i = 0; i < unrolled.numNodes(); ++i)
+        EXPECT_FALSE(unrolled.isRegWrite(i));
+}
+
+TEST(Dfg, SingleCycleHasRegWriteNodes)
+{
+    rtl::Netlist nl = mixedNetlist();
+    dfg::Dfg single(nl, {.unrolled = false});
+    dfg::Dfg unrolled(nl, {.unrolled = true});
+    EXPECT_EQ(single.numNodes(),
+              unrolled.numNodes() + nl.regs().size());
+    size_t reg_writes = 0;
+    for (dfg::DfgNodeId i = 0; i < single.numNodes(); ++i)
+        reg_writes += single.isRegWrite(i);
+    EXPECT_EQ(reg_writes, nl.regs().size());
+}
+
+TEST(Dfg, UnrollingHelpsPipelinedDesigns)
+{
+    // The paper's Sec 4.3.1 claim: turning registers into cross-cycle
+    // edges removes WAR hazards; on a deep pipeline the single-cycle
+    // graph's synthetic register-store nodes and WAR edges lengthen
+    // the critical path relative to the unrolled form.
+    rtl::Netlist nl =
+        designs::compileDesign(designs::makeNtt(16));
+    dfg::Dfg single(nl, {.unrolled = false});
+    dfg::Dfg unrolled(nl, {.unrolled = true});
+    EXPECT_LE(unrolled.criticalPathCost(),
+              single.criticalPathCost());
+    EXPECT_GE(unrolled.parallelism(), single.parallelism() * 0.95);
+}
+
+TEST(Dfg, DepthsRespectEdges)
+{
+    rtl::Netlist nl = mixedNetlist();
+    dfg::Dfg graph(nl);
+    for (const dfg::DfgEdge &e : graph.edges()) {
+        if (!e.crossCycle) {
+            EXPECT_LT(graph.depths()[e.src], graph.depths()[e.dst]);
+        }
+    }
+}
+
+TEST(Dfg, MemoryOrderingEdgesPresent)
+{
+    rtl::Netlist nl = mixedNetlist();
+    ASSERT_FALSE(nl.memories().empty());
+    dfg::Dfg graph(nl);
+    size_t war = 0, raw_cross = 0;
+    for (const dfg::DfgEdge &e : graph.edges()) {
+        if (e.kind == dfg::EdgeKind::War)
+            ++war;
+        if (e.kind == dfg::EdgeKind::Raw && e.crossCycle)
+            ++raw_cross;
+    }
+    EXPECT_GT(war, 0u);        // Reads ordered before writes.
+    EXPECT_GT(raw_cross, 0u);  // Writes ordered before next reads.
+}
+
+TEST(Dfg, TotalCostPositive)
+{
+    rtl::Netlist nl = mixedNetlist();
+    dfg::Dfg graph(nl);
+    EXPECT_GT(graph.totalCost(), 0u);
+    EXPECT_GT(graph.criticalPathCost(), 0u);
+    EXPECT_GE(graph.totalCost(), graph.criticalPathCost());
+}
+
+// ---------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------
+
+partition::Graph
+randomGraph(size_t n, size_t edges, uint64_t seed)
+{
+    partition::Graph g;
+    g.vertexWeight.assign(n, 1);
+    g.adj.resize(n);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i)
+        g.vertexWeight[i] = 1 + static_cast<uint32_t>(rng.below(8));
+    for (size_t e = 0; e < edges; ++e) {
+        uint32_t u = static_cast<uint32_t>(rng.below(n));
+        uint32_t v = static_cast<uint32_t>(rng.below(n));
+        if (u != v)
+            g.addEdge(u, v, 1 + static_cast<uint32_t>(rng.below(10)));
+    }
+    return g;
+}
+
+TEST(Partition, SinglePartitionTrivial)
+{
+    partition::Graph g = randomGraph(50, 100, 1);
+    auto result = partition::partitionGraph(g, 1);
+    EXPECT_EQ(result.cutWeight, 0u);
+    for (uint32_t label : result.label)
+        EXPECT_EQ(label, 0u);
+}
+
+TEST(Partition, TwoCliquesWithBridge)
+{
+    // Two 8-cliques joined by one light edge: the cut must be the
+    // bridge.
+    partition::Graph g;
+    g.vertexWeight.assign(16, 1);
+    g.adj.resize(16);
+    for (int c = 0; c < 2; ++c) {
+        for (int i = 0; i < 8; ++i) {
+            for (int j = i + 1; j < 8; ++j)
+                g.addEdge(c * 8 + i, c * 8 + j, 100);
+        }
+    }
+    g.addEdge(3, 11, 1);
+    auto result = partition::partitionGraph(g, 2);
+    EXPECT_EQ(result.cutWeight, 1u);
+    EXPECT_NE(result.label[0], result.label[8]);
+    for (int i = 1; i < 8; ++i) {
+        EXPECT_EQ(result.label[i], result.label[0]);
+        EXPECT_EQ(result.label[8 + i], result.label[8]);
+    }
+}
+
+TEST(Partition, CutWeightMatchesLabels)
+{
+    partition::Graph g = randomGraph(200, 600, 7);
+    auto result = partition::partitionGraph(g, 4);
+    EXPECT_EQ(result.cutWeight, partition::cutWeight(g, result.label));
+}
+
+TEST(Partition, Deterministic)
+{
+    partition::Graph g = randomGraph(150, 400, 11);
+    auto a = partition::partitionGraph(g, 8);
+    auto b = partition::partitionGraph(g, 8);
+    EXPECT_EQ(a.label, b.label);
+}
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PartitionSweep, BalanceAndValidity)
+{
+    auto [k, seed] = GetParam();
+    partition::Graph g = randomGraph(300, 900,
+                                     static_cast<uint64_t>(seed));
+    partition::PartitionOptions opts;
+    opts.seed = static_cast<uint64_t>(seed);
+    auto result = partition::partitionGraph(
+        g, static_cast<uint32_t>(k), opts);
+
+    uint64_t total = 0;
+    uint32_t max_vertex = 0;
+    for (uint32_t w : g.vertexWeight) {
+        total += w;
+        max_vertex = std::max(max_vertex, w);
+    }
+    for (uint32_t label : result.label)
+        EXPECT_LT(label, static_cast<uint32_t>(k));
+    // Each partition stays within tolerance (plus one vertex of
+    // slack for atomicity).
+    double cap = (static_cast<double>(total) / k) * 1.35 + max_vertex;
+    EXPECT_LE(static_cast<double>(result.maxPartWeight), cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionSweep,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Partition, RefinementBeatsRandomByALot)
+{
+    partition::Graph g = randomGraph(400, 1600, 21);
+    auto result = partition::partitionGraph(g, 8);
+    // Random labeling cut, for scale.
+    Rng rng(5);
+    std::vector<uint32_t> random_labels(g.numVertices());
+    for (auto &l : random_labels)
+        l = static_cast<uint32_t>(rng.below(8));
+    uint64_t random_cut = partition::cutWeight(g, random_labels);
+    EXPECT_LT(result.cutWeight, random_cut);
+}
+
+} // namespace
+} // namespace ash

@@ -1,0 +1,231 @@
+/** @file Unit tests for the RTL netlist IR and transforms. */
+
+#include <gtest/gtest.h>
+
+#include "common/Logging.h"
+#include "refsim/ReferenceSimulator.h"
+#include "rtl/Cost.h"
+#include "rtl/Eval.h"
+#include "rtl/Netlist.h"
+#include "rtl/Transform.h"
+#include "tests/TestUtil.h"
+
+namespace ash::rtl {
+namespace {
+
+TEST(Netlist, BuilderBasics)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId b = nl.addInput("b", 8);
+    NodeId sum = nl.addOp(Op::Add, 8, {a, b});
+    nl.addOutput("y", sum);
+    EXPECT_EQ(nl.inputs().size(), 2u);
+    EXPECT_EQ(nl.outputs().size(), 1u);
+    EXPECT_EQ(nl.inputName(a), "a");
+    EXPECT_EQ(nl.outputName(nl.outputs()[0]), "y");
+    nl.validate();
+}
+
+TEST(Netlist, RegisterRoundTrip)
+{
+    Netlist nl;
+    NodeId r = nl.addReg("r", 4, 5);
+    NodeId one = nl.addConst(4, 1);
+    NodeId next = nl.addOp(Op::Add, 4, {r, one});
+    nl.setRegNext(r, next);
+    nl.addOutput("y", r);
+    nl.validate();
+    EXPECT_EQ(nl.regs()[0].init, 5u);
+    EXPECT_EQ(nl.regIndex(r), 0u);
+}
+
+TEST(Netlist, UndrivenRegisterFails)
+{
+    Netlist nl;
+    nl.addReg("r", 4, 0);
+    EXPECT_THROW(nl.validate(), FatalError);
+}
+
+TEST(Netlist, ConstTruncation)
+{
+    Netlist nl;
+    NodeId c = nl.addConst(4, 0x1f);
+    EXPECT_EQ(nl.node(c).imm, 0xfu);
+}
+
+TEST(Netlist, MemoryPorts)
+{
+    Netlist nl;
+    MemId m = nl.addMemory("m", 16, 32);
+    NodeId addr = nl.addInput("addr", 5);
+    NodeId data = nl.addInput("data", 16);
+    NodeId en = nl.addInput("en", 1);
+    nl.addMemWrite(m, addr, data, en);
+    NodeId rd = nl.addMemRead(m, addr);
+    nl.addOutput("q", rd);
+    nl.validate();
+    EXPECT_EQ(nl.memories()[0].writePorts.size(), 1u);
+    EXPECT_EQ(nl.node(rd).width, 16);
+}
+
+TEST(Netlist, TopoOrderRespectsOperands)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId x = nl.addOp(Op::Not, 8, {a});
+    NodeId y = nl.addOp(Op::Add, 8, {x, a});
+    nl.addOutput("o", y);
+    auto order = nl.topoOrder();
+    auto pos = [&](NodeId n) {
+        return std::find(order.begin(), order.end(), n) -
+               order.begin();
+    };
+    EXPECT_LT(pos(a), pos(x));
+    EXPECT_LT(pos(x), pos(y));
+}
+
+TEST(EvalCombOp, Arithmetic)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId b = nl.addInput("b", 8);
+    uint64_t ops[2] = {200, 100};
+    auto run = [&](Op op, unsigned w = 8) {
+        Node n;
+        n.op = op;
+        n.width = static_cast<uint8_t>(w);
+        n.operands = {a, b};
+        return evalCombOp(n, nl, ops);
+    };
+    EXPECT_EQ(run(Op::Add), (200 + 100) & 0xff);
+    EXPECT_EQ(run(Op::Sub), 100u);
+    EXPECT_EQ(run(Op::Mul), (200 * 100) & 0xff);
+    EXPECT_EQ(run(Op::Div), 2u);
+    EXPECT_EQ(run(Op::Mod), 0u);
+    EXPECT_EQ(run(Op::Lt, 1), 0u);
+    EXPECT_EQ(run(Op::Gt, 1), 1u);
+}
+
+TEST(EvalCombOp, DivByZeroIsZero)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId b = nl.addInput("b", 8);
+    uint64_t ops[2] = {7, 0};
+    Node n;
+    n.op = Op::Div;
+    n.width = 8;
+    n.operands = {a, b};
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0u);
+    n.op = Op::Mod;
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0u);
+}
+
+TEST(EvalCombOp, SignedCompare)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId b = nl.addInput("b", 8);
+    uint64_t ops[2] = {0xff /* -1 */, 1};
+    Node n;
+    n.op = Op::SLt;
+    n.width = 1;
+    n.operands = {a, b};
+    EXPECT_EQ(evalCombOp(n, nl, ops), 1u);
+    n.op = Op::Lt;
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0u);
+}
+
+TEST(EvalCombOp, ShiftsSaturate)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 8);
+    NodeId b = nl.addInput("b", 8);
+    uint64_t ops[2] = {0x81, 9};
+    Node n;
+    n.op = Op::Shl;
+    n.width = 8;
+    n.operands = {a, b};
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0u);
+    n.op = Op::LShr;
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0u);
+    n.op = Op::AShr;
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0xffu);   // Sign fill.
+}
+
+TEST(EvalCombOp, ConcatMsbFirst)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 4);
+    NodeId b = nl.addInput("b", 4);
+    uint64_t ops[2] = {0xA, 0x5};
+    Node n;
+    n.op = Op::Concat;
+    n.width = 8;
+    n.operands = {a, b};
+    EXPECT_EQ(evalCombOp(n, nl, ops), 0xA5u);
+}
+
+TEST(EvalCombOp, Reductions)
+{
+    Netlist nl;
+    NodeId a = nl.addInput("a", 4);
+    uint64_t all_ones[1] = {0xF};
+    uint64_t some[1] = {0x6};
+    Node n;
+    n.width = 1;
+    n.operands = {a};
+    n.op = Op::RedAnd;
+    EXPECT_EQ(evalCombOp(n, nl, all_ones), 1u);
+    EXPECT_EQ(evalCombOp(n, nl, some), 0u);
+    n.op = Op::RedOr;
+    EXPECT_EQ(evalCombOp(n, nl, some), 1u);
+    n.op = Op::RedXor;
+    EXPECT_EQ(evalCombOp(n, nl, some), 0u);   // Two bits set.
+}
+
+TEST(Cost, SourcesAreFree)
+{
+    Node n;
+    n.op = Op::Input;
+    EXPECT_EQ(nodeCost(n), 0u);
+    n.op = Op::Mul;
+    EXPECT_GT(nodeCost(n), 1u);
+    EXPECT_GT(nodeCodeBytes(n), 0u);
+}
+
+TEST(Transform, PruneDeadPreservesBehavior)
+{
+    rtl::Netlist nl =
+        verilog::compileVerilog(ash::test::mixedFixture(), "top");
+    // compileVerilog already prunes; add a dead node and re-prune.
+    NodeId a = nl.addInput("unused", 8);
+    nl.addOp(Op::Not, 8, {a});
+    rtl::Netlist pruned = pruneDead(nl);
+    EXPECT_LE(pruned.numNodes(), nl.numNodes());
+
+    refsim::ReferenceSimulator before(nl);
+    refsim::ReferenceSimulator after(pruned);
+    ash::test::FnStimulus s1(ash::test::mixedStimulus(1));
+    ash::test::FnStimulus s2(ash::test::mixedStimulus(1));
+    auto t1 = before.run(s1, 30);
+    auto t2 = after.run(s2, 30);
+    ASSERT_EQ(t1.size(), t2.size());
+    for (size_t c = 0; c < t1.size(); ++c)
+        EXPECT_EQ(t1[c], t2[c]) << "cycle " << c;
+}
+
+TEST(Transform, PruneKeepsInterface)
+{
+    rtl::Netlist nl;
+    nl.addInput("in", 8);
+    NodeId c = nl.addConst(8, 3);
+    nl.addOutput("out", c);
+    rtl::Netlist pruned = pruneDead(nl);
+    EXPECT_EQ(pruned.inputs().size(), 1u);
+    EXPECT_EQ(pruned.outputs().size(), 1u);
+}
+
+} // namespace
+} // namespace ash::rtl

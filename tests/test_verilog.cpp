@@ -1,0 +1,538 @@
+/** @file Tests for the Verilog frontend: lexer, parser, elaborator. */
+
+#include <gtest/gtest.h>
+
+#include "common/Logging.h"
+#include "refsim/ReferenceSimulator.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+#include "verilog/Lexer.h"
+#include "verilog/Parser.h"
+
+namespace ash::verilog {
+namespace {
+
+using ash::test::FnStimulus;
+using ash::test::evalExpr;
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+TEST(Lexer, BasicTokens)
+{
+    auto toks = lex("module foo; endmodule");
+    ASSERT_EQ(toks.size(), 5u);   // module foo ; endmodule EOF
+    EXPECT_EQ(toks[0].text, "module");
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, Tok::Semi);
+    EXPECT_EQ(toks[4].kind, Tok::Eof);
+}
+
+TEST(Lexer, SizedLiterals)
+{
+    auto toks = lex("8'hFF 4'b1010 16'd100 'd7 12");
+    EXPECT_EQ(toks[0].value, 0xFFu);
+    EXPECT_EQ(toks[0].width, 8u);
+    EXPECT_TRUE(toks[0].sized);
+    EXPECT_EQ(toks[1].value, 0xAu);
+    EXPECT_EQ(toks[2].value, 100u);
+    EXPECT_EQ(toks[3].value, 7u);
+    EXPECT_FALSE(toks[3].sized);
+    EXPECT_EQ(toks[4].value, 12u);
+}
+
+TEST(Lexer, UnderscoresInLiterals)
+{
+    auto toks = lex("16'hAB_CD 1_000");
+    EXPECT_EQ(toks[0].value, 0xABCDu);
+    EXPECT_EQ(toks[1].value, 1000u);
+}
+
+TEST(Lexer, Comments)
+{
+    auto toks = lex("a // line comment\n/* block\ncomment */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    auto toks = lex("<= >= == != << >> >>> && || +: ~& ~| ~^");
+    Tok expect[] = {Tok::LtEq, Tok::Ge, Tok::EqEq, Tok::NotEq,
+                    Tok::Shl, Tok::Shr, Tok::AShr, Tok::AmpAmp,
+                    Tok::PipePipe, Tok::PlusColon, Tok::TildeAmp,
+                    Tok::TildePipe, Tok::TildeCaret};
+    for (size_t i = 0; i < std::size(expect); ++i)
+        EXPECT_EQ(toks[i].kind, expect[i]) << i;
+}
+
+TEST(Lexer, RejectsXZ)
+{
+    EXPECT_THROW(lex("4'b10x0"), FatalError);
+    EXPECT_THROW(lex("4'bzzzz"), FatalError);
+}
+
+TEST(Lexer, LineNumbers)
+{
+    auto toks = lex("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+// ---------------------------------------------------------------------
+// Parser structure
+// ---------------------------------------------------------------------
+
+TEST(Parser, ModuleHeader)
+{
+    auto unit = parse(R"(
+module m #(parameter W = 4, parameter D = 2)
+  (input clk, input [W-1:0] a, output reg [W-1:0] q);
+endmodule
+)");
+    ASSERT_EQ(unit.modules.size(), 1u);
+    const Module &m = unit.modules[0];
+    EXPECT_EQ(m.name, "m");
+    EXPECT_EQ(m.params.size(), 2u);
+    ASSERT_EQ(m.ports.size(), 3u);
+    EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+    EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+    EXPECT_EQ(m.ports[2].decl.kind, NetKind::Reg);
+}
+
+TEST(Parser, RejectsInitialBlocks)
+{
+    EXPECT_THROW(parse("module m(input a); initial a = 0; endmodule"),
+                 FatalError);
+}
+
+TEST(Parser, RejectsCasez)
+{
+    EXPECT_THROW(
+        parse("module m(input a, output b);\n"
+              "always_comb casez (a) 1'b1: b = 1; endcase\nendmodule"),
+        FatalError);
+}
+
+TEST(Parser, SharedRangeDeclarations)
+{
+    auto unit = parse(
+        "module m(input clk); wire [7:0] a, b, c; endmodule");
+    const Item &item = *unit.modules[0].items[0];
+    ASSERT_EQ(item.decls.size(), 3u);
+    for (const Decl &d : item.decls)
+        EXPECT_NE(d.msb, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Expression semantics through elaboration + reference simulation
+// ---------------------------------------------------------------------
+
+struct ExprCase
+{
+    const char *expr;
+    uint64_t a, b, c;
+    uint64_t expect;
+};
+
+class ExprSemantics : public ::testing::TestWithParam<ExprCase>
+{
+};
+
+TEST_P(ExprSemantics, Evaluates)
+{
+    const ExprCase &tc = GetParam();
+    EXPECT_EQ(evalExpr(tc.expr, tc.a, tc.b, tc.c), tc.expect)
+        << tc.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprSemantics,
+    ::testing::Values(
+        ExprCase{"a + b", 30000, 40000, 0, (30000 + 40000) & 0xffff},
+        ExprCase{"a - b", 5, 7, 0, uint64_t(5 - 7) & 0xffff},
+        ExprCase{"a * b", 300, 300, 0, (300 * 300) & 0xffff},
+        ExprCase{"a / b", 100, 7, 0, 14},
+        ExprCase{"a % b", 100, 7, 0, 2},
+        ExprCase{"a / b", 5, 0, 0, 0},
+        ExprCase{"-a", 1, 0, 0, 0xffff},
+        ExprCase{"a + b * c", 1, 2, 3, 7}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitwise, ExprSemantics,
+    ::testing::Values(
+        ExprCase{"a & b", 0xF0F0, 0xFF00, 0, 0xF000},
+        ExprCase{"a | b", 0xF0F0, 0x0F00, 0, 0xFFF0},
+        ExprCase{"a ^ b", 0xFFFF, 0x00FF, 0, 0xFF00},
+        ExprCase{"~a", 0x00FF, 0, 0, 0xFF00},
+        ExprCase{"a ^ ~b", 1, 1, 0, 0xffff},
+        ExprCase{"a << b", 1, 4, 0, 16},
+        ExprCase{"a >> b", 0x8000, 15, 0, 1},
+        ExprCase{"a >>> b", 0x8000, 31, 0, 0xffff}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CompareLogic, ExprSemantics,
+    ::testing::Values(
+        ExprCase{"a < b", 3, 4, 0, 1}, ExprCase{"a <= b", 4, 4, 0, 1},
+        ExprCase{"a > b", 4, 3, 0, 1},
+        ExprCase{"a >= b", 3, 4, 0, 0},
+        ExprCase{"a == b", 9, 9, 0, 1},
+        ExprCase{"a != b", 9, 9, 0, 0},
+        ExprCase{"a && b", 2, 0, 0, 0},
+        ExprCase{"a || b", 0, 5, 0, 1},
+        ExprCase{"!a", 0, 0, 0, 1},
+        ExprCase{"a ? b : c", 1, 10, 20, 10},
+        ExprCase{"a ? b : c", 0, 10, 20, 20}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SelectConcat, ExprSemantics,
+    ::testing::Values(
+        ExprCase{"a[3:0]", 0xABCD, 0, 0, 0xD},
+        ExprCase{"a[15:12]", 0xABCD, 0, 0, 0xA},
+        ExprCase{"a[b]", 0x0010, 4, 0, 1},
+        ExprCase{"a[b +: 4]", 0xABCD, 4, 0, 0xC},
+        ExprCase{"{a[7:0], b[7:0]}", 0x00AA, 0x00BB, 0, 0xAABB},
+        ExprCase{"{4{a[3:0]}}", 0x000A, 0, 0, 0xAAAA},
+        ExprCase{"&a[3:0]", 0xF, 0, 0, 1},
+        ExprCase{"|a", 0, 0, 0, 0},
+        ExprCase{"^a", 0x3, 0, 0, 0},
+        ExprCase{"~&a[1:0]", 3, 0, 0, 0},
+        ExprCase{"~|a", 0, 0, 0, 1}));
+
+// ---------------------------------------------------------------------
+// Elaboration behavior
+// ---------------------------------------------------------------------
+
+TEST(Elaborator, ParameterizedInstancesAndGenerate)
+{
+    const char *src = R"(
+module stage #(parameter INC = 1)
+  (input [15:0] d, output [15:0] q);
+  assign q = d + INC;
+endmodule
+
+module top #(parameter N = 4)(input clk, input [15:0] x,
+                              output [15:0] y);
+  assign y = s3;
+  wire [15:0] s0, s1, s2, s3;
+  stage #(.INC(1)) u0(.d(x), .q(s0));
+  stage #(.INC(2)) u1(.d(s0), .q(s1));
+  stage #(.INC(3)) u2(.d(s1), .q(s2));
+  stage #(.INC(4)) u3(.d(s2), .q(s3));
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 100;
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 110u);   // 100+1+2+3+4
+}
+
+static uint64_t
+evalExprTop(const char *src, uint64_t x)
+{
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([=](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = x;
+    });
+    sim.step(stim);
+    return sim.outputFrame()[0];
+}
+
+TEST(Elaborator, GenerateForAdderTree)
+{
+    // Each generate iteration contributes one shifted copy of x;
+    // per-iteration wires must elaborate to distinct signals.
+    const char *src = R"(
+module top #(parameter N = 4)(input clk, input [15:0] x,
+                              output [15:0] y);
+  wire [15:0] part0;
+  wire [15:0] part1;
+  wire [15:0] part2;
+  wire [15:0] part3;
+  genvar i;
+  generate for (i = 0; i < N; i = i + 1) begin : g
+    wire [15:0] shifted;
+    assign shifted = x >> i;
+  end endgenerate
+  assign part0 = g0_probe;
+  wire [15:0] g0_probe;
+  assign g0_probe = x;
+  assign part1 = x >> 1;
+  assign part2 = x >> 2;
+  assign part3 = x >> 3;
+  assign y = part0 + part1 + part2 + part3;
+endmodule
+)";
+    EXPECT_EQ(evalExprTop(src, 16), 16u + 8 + 4 + 2);
+}
+
+TEST(Elaborator, GenerateForInstances)
+{
+    const char *src = R"(
+module inc(input [15:0] d, output [15:0] q);
+  assign q = d + 16'd1;
+endmodule
+
+module top(input clk, input [15:0] x, output [15:0] y0,
+           output [15:0] y1, output [15:0] y2);
+  wire [15:0] q0, q1, q2;
+  inc u0(.d(x), .q(q0));
+  inc u1(.d(q0), .q(q1));
+  inc u2(.d(q1), .q(q2));
+  assign y0 = q0;
+  assign y1 = q1;
+  assign y2 = q2;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 7;
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 8u);
+    EXPECT_EQ(sim.outputFrame()[1], 9u);
+    EXPECT_EQ(sim.outputFrame()[2], 10u);
+}
+
+TEST(Elaborator, NonblockingReadsOldValue)
+{
+    // Classic register swap: with nonblocking semantics both swap.
+    const char *src = R"(
+module top(input clk, output [7:0] ya, output [7:0] yb);
+  reg [7:0] a;
+  reg [7:0] b;
+  reg started;
+  always_ff @(posedge clk) begin
+    if (!started) begin
+      a <= 8'd1;
+      b <= 8'd2;
+      started <= 1'b1;
+    end else begin
+      a <= b;
+      b <= a;
+    end
+  end
+  assign ya = a;
+  assign yb = b;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    refsim::ZeroStimulus stim;
+    sim.step(stim);   // init
+    sim.step(stim);   // swap 1
+    sim.step(stim);   // swap 2 -> visible values from swap 1
+    EXPECT_EQ(sim.value(nl.outputs()[0]), 2u);
+    EXPECT_EQ(sim.value(nl.outputs()[1]), 1u);
+    sim.step(stim);
+    EXPECT_EQ(sim.value(nl.outputs()[0]), 1u);
+    EXPECT_EQ(sim.value(nl.outputs()[1]), 2u);
+}
+
+TEST(Elaborator, BlockingForwardsInsideFF)
+{
+    const char *src = R"(
+module top(input clk, input [7:0] x, output [7:0] y);
+  reg [7:0] r;
+  reg [7:0] tmp;
+  always_ff @(posedge clk) begin
+    tmp = x + 8'd1;       // blocking: visible below
+    r <= tmp + 8'd1;
+  end
+  assign y = r;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 10;
+    });
+    sim.step(stim);
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 12u);
+}
+
+TEST(Elaborator, ForLoopUnrolling)
+{
+    const char *src = R"(
+module top(input clk, input [15:0] x, output [15:0] y);
+  reg [15:0] acc;
+  integer i;
+  always_comb begin
+    acc = 16'd0;
+    for (i = 0; i < 4; i = i + 1)
+      acc = acc + (x >> i);
+  end
+  assign y = acc;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 8;
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 8u + 4 + 2 + 1);
+}
+
+TEST(Elaborator, CasePriorityAndDefault)
+{
+    const char *src = R"(
+module top(input clk, input [1:0] s, output [7:0] y);
+  reg [7:0] r;
+  always_comb begin
+    case (s)
+      2'd0, 2'd1: r = 8'd10;
+      2'd2: r = 8'd20;
+      default: r = 8'd30;
+    endcase
+  end
+  assign y = r;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    for (uint64_t s = 0; s < 4; ++s) {
+        refsim::ReferenceSimulator sim(nl);
+        FnStimulus stim([=](uint64_t, std::vector<uint64_t> &in) {
+            in[1] = s;
+        });
+        sim.step(stim);
+        uint64_t expect = s <= 1 ? 10 : s == 2 ? 20 : 30;
+        EXPECT_EQ(sim.outputFrame()[0], expect) << s;
+    }
+}
+
+TEST(Elaborator, LatchDetection)
+{
+    const char *src = R"(
+module top(input clk, input s, output [7:0] y);
+  reg [7:0] r;
+  always_comb begin
+    if (s) r = 8'd1;
+  end
+  assign y = r;
+endmodule
+)";
+    EXPECT_THROW(compileVerilog(src, "top"), FatalError);
+}
+
+TEST(Elaborator, MultipleDriversRejected)
+{
+    const char *src = R"(
+module top(input clk, input a, output y);
+  wire w;
+  assign w = a;
+  assign w = !a;
+  assign y = w;
+endmodule
+)";
+    EXPECT_THROW(compileVerilog(src, "top"), FatalError);
+}
+
+TEST(Elaborator, CombLoopRejected)
+{
+    const char *src = R"(
+module top(input clk, input a, output y);
+  wire p, q;
+  assign p = q & a;
+  assign q = p | a;
+  assign y = q;
+endmodule
+)";
+    EXPECT_THROW(compileVerilog(src, "top"), FatalError);
+}
+
+TEST(Elaborator, MemoryWriteEnableAndPriority)
+{
+    const char *src = R"(
+module top(input clk, input [3:0] waddr, input [7:0] wdata,
+           input we, input [3:0] raddr, output [7:0] q);
+  reg [7:0] mem [0:15];
+  always_ff @(posedge clk) begin
+    if (we) mem[waddr] <= wdata;
+    if (we && waddr == 4'd0) mem[waddr] <= wdata + 8'd1;
+  end
+  assign q = mem[raddr];
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    // Cycle 0: write 50 to addr 0 (second port wins: 51).
+    // Cycle 1: read addr 0.
+    FnStimulus stim([](uint64_t c, std::vector<uint64_t> &in) {
+        if (c == 0) {
+            in[1] = 0;    // waddr
+            in[2] = 50;   // wdata
+            in[3] = 1;    // we
+        }
+        in[4] = 0;   // raddr
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 0u);   // Read-old semantics.
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 51u);  // Port priority.
+}
+
+TEST(Elaborator, PartSelectAssignment)
+{
+    const char *src = R"(
+module top(input clk, input [15:0] x, output [15:0] y);
+  reg [15:0] r;
+  always_comb begin
+    r = 16'd0;
+    r[7:0] = x[15:8];
+    r[15] = x[0];
+  end
+  assign y = r;
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 0xAB01;
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 0x80ABu);
+}
+
+TEST(Elaborator, UnconnectedInputWarnsAndTiesZero)
+{
+    const char *src = R"(
+module child(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = a + b;
+endmodule
+module top(input clk, input [7:0] x, output [7:0] y);
+  child u(.a(x), .y(y));
+endmodule
+)";
+    rtl::Netlist nl = compileVerilog(src, "top");
+    refsim::ReferenceSimulator sim(nl);
+    FnStimulus stim([](uint64_t, std::vector<uint64_t> &in) {
+        in[1] = 9;
+    });
+    sim.step(stim);
+    EXPECT_EQ(sim.outputFrame()[0], 9u);
+}
+
+TEST(Elaborator, WidthExtensionOnAssign)
+{
+    EXPECT_EQ(evalExpr("a[3:0]", 0xFFFF, 0, 0, 16), 0xFu);
+    // Narrow expr zero-extends into wider LHS.
+    EXPECT_EQ(evalExpr("a[0]", 1, 0, 0, 16), 1u);
+}
+
+TEST(Elaborator, SignedUnsupported)
+{
+    EXPECT_THROW(evalExpr("$signed(a)", 1), FatalError);
+}
+
+} // namespace
+} // namespace ash::verilog
