@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_bench_common.dir/BenchCommon.cpp.o"
+  "CMakeFiles/ash_bench_common.dir/BenchCommon.cpp.o.d"
+  "libash_bench_common.a"
+  "libash_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_merge_unit.dir/fig14_merge_unit.cpp.o"
+  "CMakeFiles/fig14_merge_unit.dir/fig14_merge_unit.cpp.o.d"
+  "fig14_merge_unit"
+  "fig14_merge_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_merge_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

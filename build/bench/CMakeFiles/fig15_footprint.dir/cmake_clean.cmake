@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_footprint.dir/fig15_footprint.cpp.o"
+  "CMakeFiles/fig15_footprint.dir/fig15_footprint.cpp.o.d"
+  "fig15_footprint"
+  "fig15_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_prefetch.dir/fig16_prefetch.cpp.o"
+  "CMakeFiles/fig16_prefetch.dir/fig16_prefetch.cpp.o.d"
+  "fig16_prefetch"
+  "fig16_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

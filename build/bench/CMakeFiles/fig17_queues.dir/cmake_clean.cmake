@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_queues.dir/fig17_queues.cpp.o"
+  "CMakeFiles/fig17_queues.dir/fig17_queues.cpp.o.d"
+  "fig17_queues"
+  "fig17_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_factor.dir/fig18_factor.cpp.o"
+  "CMakeFiles/fig18_factor.dir/fig18_factor.cpp.o.d"
+  "fig18_factor"
+  "fig18_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

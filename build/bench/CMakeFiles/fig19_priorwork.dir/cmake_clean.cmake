@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_priorwork.dir/fig19_priorwork.cpp.o"
+  "CMakeFiles/fig19_priorwork.dir/fig19_priorwork.cpp.o.d"
+  "fig19_priorwork"
+  "fig19_priorwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_priorwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

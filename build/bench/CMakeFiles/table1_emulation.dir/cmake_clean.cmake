@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_emulation.dir/table1_emulation.cpp.o"
+  "CMakeFiles/table1_emulation.dir/table1_emulation.cpp.o.d"
+  "table1_emulation"
+  "table1_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

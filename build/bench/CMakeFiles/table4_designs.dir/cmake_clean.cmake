@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_designs.dir/table4_designs.cpp.o"
+  "CMakeFiles/table4_designs.dir/table4_designs.cpp.o.d"
+  "table4_designs"
+  "table4_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_speeds.cpp" "bench/CMakeFiles/table5_speeds.dir/table5_speeds.cpp.o" "gcc" "bench/CMakeFiles/table5_speeds.dir/table5_speeds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ash_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/ash_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ash_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/ash_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsim/CMakeFiles/ash_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ash_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ash_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ash_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

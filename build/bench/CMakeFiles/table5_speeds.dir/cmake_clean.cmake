@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speeds.dir/table5_speeds.cpp.o"
+  "CMakeFiles/table5_speeds.dir/table5_speeds.cpp.o.d"
+  "table5_speeds"
+  "table5_speeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_baseline.dir/Baseline.cpp.o"
+  "CMakeFiles/ash_baseline.dir/Baseline.cpp.o.d"
+  "libash_baseline.a"
+  "libash_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

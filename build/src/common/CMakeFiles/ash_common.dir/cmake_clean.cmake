@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_common.dir/Logging.cpp.o"
+  "CMakeFiles/ash_common.dir/Logging.cpp.o.d"
+  "CMakeFiles/ash_common.dir/Stats.cpp.o"
+  "CMakeFiles/ash_common.dir/Stats.cpp.o.d"
+  "CMakeFiles/ash_common.dir/Table.cpp.o"
+  "CMakeFiles/ash_common.dir/Table.cpp.o.d"
+  "libash_common.a"
+  "libash_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_core.dir/arch/AshSim.cpp.o"
+  "CMakeFiles/ash_core.dir/arch/AshSim.cpp.o.d"
+  "CMakeFiles/ash_core.dir/arch/Noc.cpp.o"
+  "CMakeFiles/ash_core.dir/arch/Noc.cpp.o.d"
+  "CMakeFiles/ash_core.dir/compiler/Codegen.cpp.o"
+  "CMakeFiles/ash_core.dir/compiler/Codegen.cpp.o.d"
+  "CMakeFiles/ash_core.dir/compiler/Compiler.cpp.o"
+  "CMakeFiles/ash_core.dir/compiler/Compiler.cpp.o.d"
+  "libash_core.a"
+  "libash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/Designs.cpp" "src/designs/CMakeFiles/ash_designs.dir/Designs.cpp.o" "gcc" "src/designs/CMakeFiles/ash_designs.dir/Designs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verilog/CMakeFiles/ash_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsim/CMakeFiles/ash_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ash_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_designs.dir/Designs.cpp.o"
+  "CMakeFiles/ash_designs.dir/Designs.cpp.o.d"
+  "libash_designs.a"
+  "libash_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_dfg.dir/Dfg.cpp.o"
+  "CMakeFiles/ash_dfg.dir/Dfg.cpp.o.d"
+  "libash_dfg.a"
+  "libash_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_model.dir/EnergyArea.cpp.o"
+  "CMakeFiles/ash_model.dir/EnergyArea.cpp.o.d"
+  "libash_model.a"
+  "libash_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_partition.dir/Partition.cpp.o"
+  "CMakeFiles/ash_partition.dir/Partition.cpp.o.d"
+  "libash_partition.a"
+  "libash_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/refsim/ReferenceSimulator.cpp" "src/refsim/CMakeFiles/ash_refsim.dir/ReferenceSimulator.cpp.o" "gcc" "src/refsim/CMakeFiles/ash_refsim.dir/ReferenceSimulator.cpp.o.d"
+  "/root/repo/src/refsim/Vcd.cpp" "src/refsim/CMakeFiles/ash_refsim.dir/Vcd.cpp.o" "gcc" "src/refsim/CMakeFiles/ash_refsim.dir/Vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/ash_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

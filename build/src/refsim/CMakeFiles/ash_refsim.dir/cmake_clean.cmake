@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_refsim.dir/ReferenceSimulator.cpp.o"
+  "CMakeFiles/ash_refsim.dir/ReferenceSimulator.cpp.o.d"
+  "CMakeFiles/ash_refsim.dir/Vcd.cpp.o"
+  "CMakeFiles/ash_refsim.dir/Vcd.cpp.o.d"
+  "libash_refsim.a"
+  "libash_refsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_refsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/Eval.cpp" "src/rtl/CMakeFiles/ash_rtl.dir/Eval.cpp.o" "gcc" "src/rtl/CMakeFiles/ash_rtl.dir/Eval.cpp.o.d"
+  "/root/repo/src/rtl/Netlist.cpp" "src/rtl/CMakeFiles/ash_rtl.dir/Netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/ash_rtl.dir/Netlist.cpp.o.d"
+  "/root/repo/src/rtl/Transform.cpp" "src/rtl/CMakeFiles/ash_rtl.dir/Transform.cpp.o" "gcc" "src/rtl/CMakeFiles/ash_rtl.dir/Transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

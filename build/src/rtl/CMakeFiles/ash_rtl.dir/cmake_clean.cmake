@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_rtl.dir/Eval.cpp.o"
+  "CMakeFiles/ash_rtl.dir/Eval.cpp.o.d"
+  "CMakeFiles/ash_rtl.dir/Netlist.cpp.o"
+  "CMakeFiles/ash_rtl.dir/Netlist.cpp.o.d"
+  "CMakeFiles/ash_rtl.dir/Transform.cpp.o"
+  "CMakeFiles/ash_rtl.dir/Transform.cpp.o.d"
+  "libash_rtl.a"
+  "libash_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

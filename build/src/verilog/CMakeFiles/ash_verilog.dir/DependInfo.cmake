@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/Compile.cpp" "src/verilog/CMakeFiles/ash_verilog.dir/Compile.cpp.o" "gcc" "src/verilog/CMakeFiles/ash_verilog.dir/Compile.cpp.o.d"
+  "/root/repo/src/verilog/Elaborator.cpp" "src/verilog/CMakeFiles/ash_verilog.dir/Elaborator.cpp.o" "gcc" "src/verilog/CMakeFiles/ash_verilog.dir/Elaborator.cpp.o.d"
+  "/root/repo/src/verilog/Lexer.cpp" "src/verilog/CMakeFiles/ash_verilog.dir/Lexer.cpp.o" "gcc" "src/verilog/CMakeFiles/ash_verilog.dir/Lexer.cpp.o.d"
+  "/root/repo/src/verilog/Parser.cpp" "src/verilog/CMakeFiles/ash_verilog.dir/Parser.cpp.o" "gcc" "src/verilog/CMakeFiles/ash_verilog.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/ash_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_verilog.dir/Compile.cpp.o"
+  "CMakeFiles/ash_verilog.dir/Compile.cpp.o.d"
+  "CMakeFiles/ash_verilog.dir/Elaborator.cpp.o"
+  "CMakeFiles/ash_verilog.dir/Elaborator.cpp.o.d"
+  "CMakeFiles/ash_verilog.dir/Lexer.cpp.o"
+  "CMakeFiles/ash_verilog.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ash_verilog.dir/Parser.cpp.o"
+  "CMakeFiles/ash_verilog.dir/Parser.cpp.o.d"
+  "libash_verilog.a"
+  "libash_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_model_designs.cpp" "tests/CMakeFiles/ash_tests.dir/test_baseline_model_designs.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_baseline_model_designs.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/ash_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/ash_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_dfg_partition.cpp" "tests/CMakeFiles/ash_tests.dir/test_dfg_partition.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_dfg_partition.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/ash_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_fuzz_equivalence.cpp" "tests/CMakeFiles/ash_tests.dir/test_fuzz_equivalence.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_fuzz_equivalence.cpp.o.d"
+  "/root/repo/tests/test_refsim.cpp" "tests/CMakeFiles/ash_tests.dir/test_refsim.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_refsim.cpp.o.d"
+  "/root/repo/tests/test_rtl.cpp" "tests/CMakeFiles/ash_tests.dir/test_rtl.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_rtl.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/ash_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/ash_tests.dir/test_verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ash_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/ash_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ash_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/verilog/CMakeFiles/ash_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/refsim/CMakeFiles/ash_refsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ash_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ash_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/ash_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ash_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

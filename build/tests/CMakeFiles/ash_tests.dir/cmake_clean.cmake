@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ash_tests.dir/test_baseline_model_designs.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_baseline_model_designs.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_common.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_compiler.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_compiler.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_dfg_partition.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_dfg_partition.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_engine.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_engine.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_fuzz_equivalence.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_fuzz_equivalence.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_refsim.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_refsim.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_rtl.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_rtl.cpp.o.d"
+  "CMakeFiles/ash_tests.dir/test_verilog.cpp.o"
+  "CMakeFiles/ash_tests.dir/test_verilog.cpp.o.d"
+  "ash_tests"
+  "ash_tests.pdb"
+  "ash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
