@@ -64,4 +64,29 @@ banner(const std::string &title)
     std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+bool
+init(const std::string &name, int &argc, char **argv)
+{
+    obs::Report::global().setName(name);
+    return obs::Report::global().parseArgs(argc, argv);
+}
+
+void
+record(const std::string &key, double value)
+{
+    obs::Report::global().record(key, value);
+}
+
+void
+recordStats(const std::string &scope, const StatSet &stats)
+{
+    obs::Report::global().recordStats(scope, stats);
+}
+
+int
+finish()
+{
+    return obs::Report::global().finish();
+}
+
 } // namespace ash::bench

@@ -20,6 +20,7 @@
 #include "core/arch/AshSim.h"
 #include "core/compiler/Compiler.h"
 #include "designs/Designs.h"
+#include "obs/Report.h"
 #include "refsim/ReferenceSimulator.h"
 
 namespace ash::bench {
@@ -66,6 +67,26 @@ double gmeanOf(const std::vector<double> &values);
 
 /** Print a header line for a bench. */
 void banner(const std::string &title);
+
+/**
+ * Standard bench entry point: names the run's report and parses the
+ * common observability flags (--stats-json, --trace, --trace-events),
+ * compacting argv down to the bench's own arguments. Returns false on
+ * a malformed command line; the bench should `return 1` in that case.
+ */
+bool init(const std::string &name, int &argc, char **argv);
+
+/** Record one headline number into the run report. */
+void record(const std::string &key, double value);
+
+/** Merge a simulator StatSet into the report under @p scope. */
+void recordStats(const std::string &scope, const StatSet &stats);
+
+/**
+ * Standard bench exit: writes the stats JSON and/or trace file when
+ * requested. Use as `return bench::finish();`.
+ */
+int finish();
 
 } // namespace ash::bench
 

@@ -14,8 +14,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig03_granularity", argc, argv))
+        return 1;
     bench::banner("Figure 3: task granularity sweep (chronos_pe)");
 
     auto &entry = bench::DesignSet::standard().entries()[1];
@@ -90,11 +92,17 @@ main()
                       TextTable::speedup(best_khz / serial_khz, 2),
                       TextTable::percent(active_cost /
                                          std::max(1.0, total_cost))});
+        const std::string key = "cap" + std::to_string(cap);
+        bench::record("parallelism." + key, prog.stats.parallelism);
+        bench::record("par_speedup." + key, best_khz / serial_khz);
+        bench::record("activity." + key,
+                      active_cost / std::max(1.0, total_cost));
     }
+    bench::recordStats("refsim", ref.stats());
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shapes: parallelism grows as tasks shrink "
                 "(3a); parallel speedup peaks at moderate counts and "
                 "stays in the low single digits (3b); activity drops "
                 "only once tasks are small (3c).\n");
-    return 0;
+    return bench::finish();
 }

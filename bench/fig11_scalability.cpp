@@ -12,8 +12,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig11_scalability", argc, argv))
+        return 1;
     bench::banner("Figure 11: scalability, speedup over 1-core "
                   "serial simulation");
 
@@ -45,6 +47,14 @@ main()
                  TextTable::speedup(base_khz / serial_khz, 1),
                  TextTable::speedup(dash_khz / serial_khz, 1),
                  TextTable::speedup(sash_khz / serial_khz, 1)});
+            const std::string key = entry.design.name + ".c" +
+                                    std::to_string(cores);
+            bench::record("speedup.baseline." + key,
+                          base_khz / serial_khz);
+            bench::record("speedup.dash." + key,
+                          dash_khz / serial_khz);
+            bench::record("speedup.sash." + key,
+                          sash_khz / serial_khz);
         }
         std::printf("-- %s (activity %.0f%%) --\n%s\n",
                     entry.design.name.c_str(), entry.activity * 100,
@@ -53,5 +63,5 @@ main()
     std::printf("Expected shape (paper Fig 11): DASH/SASH keep "
                 "scaling with cores while the baseline saturates "
                 "early; SASH leads where activity is low.\n");
-    return 0;
+    return bench::finish();
 }

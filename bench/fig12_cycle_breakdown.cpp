@@ -11,8 +11,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig12_cycle_breakdown", argc, argv))
+        return 1;
     bench::banner("Figure 12: SASH core-cycle breakdown");
 
     for (auto &entry : bench::DesignSet::standard().entries()) {
@@ -40,6 +42,14 @@ main()
                                     static_cast<double>(
                                         one_tile_total),
                                 2)});
+            const std::string key = entry.design.name + ".c" +
+                                    std::to_string(tiles * 4);
+            bench::record("frac_committed." + key,
+                          static_cast<double>(committed) / total);
+            bench::record("frac_aborted." + key,
+                          static_cast<double>(aborted) / total);
+            bench::record("frac_idle." + key,
+                          static_cast<double>(idle) / total);
         }
         std::printf("-- %s --\n%s\n", entry.design.name.c_str(),
                     table.toString().c_str());
@@ -48,5 +58,5 @@ main()
                 "dominates everywhere, aborts stay small, and idle "
                 "grows at the largest sizes for low-activity "
                 "designs.\n");
-    return 0;
+    return bench::finish();
 }

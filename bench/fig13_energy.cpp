@@ -15,8 +15,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig13_energy", argc, argv))
+        return 1;
     bench::banner("Figure 13: energy breakdown at 256 cores "
                   "(normalized to the baseline total)");
 
@@ -58,6 +60,9 @@ main()
                           pct(e.nocMj),
                           TextTable::percent(e.totalMj() /
                                              base_total)});
+            bench::record("energy_norm." + entry.design.name + "." +
+                              c.name,
+                          e.totalMj() / base_total);
         }
         std::printf("-- %s --\n%s\n", entry.design.name.c_str(),
                     table.toString().c_str());
@@ -65,5 +70,5 @@ main()
     std::printf("Expected shape (paper Fig 13): DASH uses less energy "
                 "than the baseline; SASH reduces it further except on "
                 "NTT; TMU energy stays small.\n");
-    return 0;
+    return bench::finish();
 }

@@ -11,8 +11,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig14_merge_unit", argc, argv))
+        return 1;
     bench::banner("Figure 14: DASH merge-unit capacity sensitivity");
 
     auto &designs = bench::DesignSet::standard().entries();
@@ -44,10 +46,11 @@ main()
         std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
         table.addRow({label, buf,
                       TextTable::integer(evictions[size])});
+        bench::record("speed_change_pct." + label, pct);
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 14): a 16-entry merge "
                 "window is within a few percent of unbounded; small "
                 "windows cost a little.\n");
-    return 0;
+    return bench::finish();
 }

@@ -11,8 +11,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig15_footprint", argc, argv))
+        return 1;
     bench::banner("Figure 15: in-flight argument footprint, "
                   "prioritized vs unordered dataflow (DASH)");
 
@@ -43,11 +45,14 @@ main()
         table.addRow({entry.design.name, TextTable::num(okb, 1),
                       TextTable::num(ukb, 1),
                       TextTable::speedup(blowup, 1)});
+        bench::record("footprint_blowup." + entry.design.name,
+                      blowup);
     }
     std::printf("%s", table.toString().c_str());
+    bench::record("footprint_blowup.gmean", bench::gmeanOf(blowups));
     std::printf("\ngmean blowup: %.1fx (paper: 16.8x gmean, up to "
                 "47x)\nExpected shape: unordered execution keeps an "
                 "order of magnitude more arguments alive.\n",
                 bench::gmeanOf(blowups));
-    return 0;
+    return bench::finish();
 }

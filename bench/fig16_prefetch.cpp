@@ -11,8 +11,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig16_prefetch", argc, argv))
+        return 1;
     bench::banner("Figure 16: task-driven instruction prefetching "
                   "speedup (SASH)");
 
@@ -34,10 +36,13 @@ main()
         }
         table.addRow({TextTable::integer(tiles * 4),
                       TextTable::speedup(bench::gmeanOf(ratios), 2)});
+        bench::record("prefetch_speedup.c" +
+                          std::to_string(tiles * 4),
+                      bench::gmeanOf(ratios));
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 16): prefetching helps "
                 "at every size and most at small systems where less "
                 "code fits on chip.\n");
-    return 0;
+    return bench::finish();
 }

@@ -11,8 +11,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig17_queues", argc, argv))
+        return 1;
     bench::banner("Figure 17: average AQ / TCQ occupancy per tile "
                   "(64-tile SASH, 512 entries each)");
 
@@ -25,10 +27,16 @@ main()
              TextTable::num(res.stats.accum("tcqOccupancy").mean(),
                             1),
              TextTable::integer(res.stats.get("aqSpills"))});
+        const std::string &d = entry.design.name;
+        bench::record("aq_avg." + d,
+                      res.stats.accum("aqOccupancy").mean());
+        bench::record("tcq_avg." + d,
+                      res.stats.accum("tcqOccupancy").mean());
+        bench::recordStats(d, res.stats);
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 17): occupancies sit "
                 "comfortably below the 512-entry capacity and spills "
                 "are rare or absent.\n");
-    return 0;
+    return bench::finish();
 }

@@ -14,8 +14,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig18_factor", argc, argv))
+        return 1;
     bench::banner("Figure 18: factor analysis, gmean speedup over "
                   "best parallel baseline");
 
@@ -57,13 +59,16 @@ main()
 
     TextTable table({"configuration", "gmean speedup"});
     table.addRow({"parallel baseline", "1.0x"});
-    for (const Step &step : steps)
+    for (const Step &step : steps) {
         table.addRow({step.name,
                       TextTable::speedup(
                           bench::gmeanOf(ratios[step.name]), 1)});
+        bench::record(std::string("gmean_speedup.") + step.name,
+                      bench::gmeanOf(ratios[step.name]));
+    }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 18): each step adds a "
                 "substantial gain, with unrolling and mapping "
                 "enabling dataflow hardware to pull away.\n");
-    return 0;
+    return bench::finish();
 }

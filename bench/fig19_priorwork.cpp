@@ -14,8 +14,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("fig19_priorwork", argc, argv))
+        return 1;
     bench::banner("Figure 19: prior speculative architectures vs "
                   "DASH/SASH (speedup over best parallel baseline)");
 
@@ -69,11 +71,13 @@ main()
         }
         row.push_back(TextTable::speedup(bench::gmeanOf(ratios), 1));
         table.addRow(row);
+        bench::record(std::string("gmean_speedup.") + c.name,
+                      bench::gmeanOf(ratios));
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 19): software-dataflow "
                 "Swarm/Chronos variants land far below DASH/SASH; "
                 "hardware dataflow support is what makes RTL "
                 "simulation scale.\n");
-    return 0;
+    return bench::finish();
 }

@@ -39,8 +39,10 @@ duration(double seconds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("table1_emulation", argc, argv))
+        return 1;
     bench::banner("Table 1: simulation vs FPGA emulation "
                   "(chronos_pe-like design)");
 
@@ -85,9 +87,12 @@ main()
                       TextTable::num(r.khz, 1) + " KHz", total(1e6),
                       total(1e9), total(1e12)});
     }
+    bench::record("compile_s", compile_s);
+    bench::record("khz.sw_sim", sw_khz);
+    bench::record("khz.sash", sash_khz);
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape: SASH compiles in seconds-to-minutes "
                 "like software simulation (vs hours for FPGAs) and "
                 "closes most of the speed gap to emulation.\n");
-    return 0;
+    return bench::finish();
 }

@@ -12,8 +12,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("table2_area", argc, argv))
+        return 1;
     bench::banner("Table 2: ASH area breakdown (256 cores, 64 tiles, "
                   "1 MB L2/tile, 7 nm)");
 
@@ -27,5 +29,8 @@ main()
     double zen = model::zen2Area(32);
     std::printf("\n32-core Zen2-class CPU: %.1f mm^2 -> ASH uses "
                 "%.1fx less area (paper: ~3x)\n", zen, zen / ash);
-    return 0;
+    bench::record("area_mm2.ash", ash);
+    bench::record("area_mm2.zen2_32c", zen);
+    bench::record("area_ratio", zen / ash);
+    return bench::finish();
 }

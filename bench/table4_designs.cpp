@@ -14,8 +14,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("table4_designs", argc, argv))
+        return 1;
     bench::banner("Table 4: benchmark design characteristics");
 
     TextTable table({"design", "nodes", "edges", "tasks", "%DTTs",
@@ -47,11 +49,18 @@ main()
              TextTable::num(serial.cyclesPerDesignCycle, 0),
              TextTable::bytes(prog.stats.codeFootprintBytes),
              TextTable::num(compile_s, 2) + "s"});
+        const std::string &d = entry.design.name;
+        bench::record("tasks." + d,
+                      static_cast<double>(prog.stats.tasks));
+        bench::record("parallelism." + d, prog.stats.parallelism);
+        bench::record("activity." + d, entry.activity);
+        bench::record("serial_cyc_per_cyc." + d,
+                      serial.cyclesPerDesignCycle);
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Table 4): NTT is the "
                 "smallest and most active design; the GPU-like design "
                 "has the lowest activity; DTT share is highest for "
                 "memory-rich designs.\n");
-    return 0;
+    return bench::finish();
 }

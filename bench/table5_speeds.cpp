@@ -13,8 +13,10 @@
 using namespace ash;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!bench::init("table5_speeds", argc, argv))
+        return 1;
     bench::banner("Table 5: simulation speeds (KHz) and speedups");
 
     auto &designs = bench::DesignSet::standard().entries();
@@ -61,12 +63,25 @@ main()
 
         core::TaskProgram prog = bench::compileFor(nl, 64);
         core::ArchConfig dcfg;
-        dash.push_back(
-            bench::runAsh(prog, entry.design, dcfg).speedKHz());
+        core::RunResult dres = bench::runAsh(prog, entry.design, dcfg);
+        dash.push_back(dres.speedKHz());
         core::ArchConfig scfg;
         scfg.selective = true;
-        sash.push_back(
-            bench::runAsh(prog, entry.design, scfg).speedKHz());
+        core::RunResult sres = bench::runAsh(prog, entry.design, scfg);
+        sash.push_back(sres.speedKHz());
+
+        const std::string &d = entry.design.name;
+        bench::record("khz.zen2_serial." + d, zen1.back());
+        bench::record("khz.zen2_best." + d, zenb.back());
+        bench::record("khz.baseline_serial." + d, base1.back());
+        bench::record("khz.baseline_best." + d, baseb.back());
+        bench::record("khz.dash." + d, dash.back());
+        bench::record("khz.sash." + d, sash.back());
+        bench::record("speedup.sash_vs_zen2." + d,
+                      sash.back() / zenb.back());
+        bench::record("speedup.sash_vs_baseline." + d,
+                      sash.back() / baseb.back());
+        bench::recordStats("sash." + d, sres.stats);
     }
 
     addRow("Zen2 t=1", zen1);
@@ -93,9 +108,21 @@ main()
     speedups(zenb);
     speedups(baseb);
 
+    auto ratios = [](const std::vector<double> &a,
+                     const std::vector<double> &b) {
+        std::vector<double> r;
+        for (size_t i = 0; i < a.size(); ++i)
+            r.push_back(a[i] / b[i]);
+        return r;
+    };
+    bench::record("speedup.sash_vs_zen2.gmean",
+                  bench::gmeanOf(ratios(sash, zenb)));
+    bench::record("speedup.sash_vs_baseline.gmean",
+                  bench::gmeanOf(ratios(sash, baseb)));
+
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Table 5): DASH and SASH beat "
                 "both baselines by large factors; SASH's edge over "
                 "DASH tracks (1 - activity), vanishing on NTT.\n");
-    return 0;
+    return bench::finish();
 }

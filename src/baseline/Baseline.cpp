@@ -6,6 +6,7 @@
 #include "common/Logging.h"
 #include "core/arch/Cache.h"
 #include "core/compiler/Compiler.h"
+#include "obs/Trace.h"
 
 namespace ash::baseline {
 
@@ -172,6 +173,10 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
         return static_cast<uint64_t>(time);
     };
 
+    // Task-size distribution of the static schedule (Fig 3's axis).
+    for (const Task &t : prog.tasks)
+        stats.hist("taskCost", t.cost);
+
     // Model warm_cycles design cycles; the first is warmup.
     double total = 0.0;
     uint64_t measured = 0;
@@ -179,22 +184,43 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
         double cycle_time = 0.0;
         for (uint32_t w = 0; w < waves; ++w) {
             uint64_t worst = 0;
+            uint64_t wave_sum = 0;
             for (uint32_t th = 0; th < host.threads; ++th) {
                 uint64_t sum = 0;
                 for (const Task *t : schedule[w][th])
                     sum += taskTime(*t, th, cycle);
+                // Trace each thread's share of the wave as one slab
+                // on that thread's track (pid 0 = the host machine).
+                ASH_OBS_EVENT(obs::EventKind::BaselineWave,
+                              static_cast<uint64_t>(total +
+                                                    cycle_time),
+                              static_cast<uint32_t>(sum), 0,
+                              static_cast<uint16_t>(th), w, cycle);
+                wave_sum += sum;
                 worst = std::max(worst, sum);
             }
             bool wave_empty = wave_tasks[w].empty();
+            if (!wave_empty && worst > 0) {
+                stats.hist("waveLength", worst);
+                // Imbalance: slowest thread vs mean over threads.
+                stats.sample("waveImbalance",
+                             static_cast<double>(worst) *
+                                 host.threads /
+                                 static_cast<double>(wave_sum));
+            }
             cycle_time += static_cast<double>(worst);
-            if (!wave_empty && host.threads > 1)
+            if (!wave_empty && host.threads > 1) {
                 cycle_time += host.barrierCycles;
+                stats.inc("barriers");
+            }
         }
         if (cycle >= 2) {   // Skip cold-cache warmup.
             total += cycle_time;
             ++measured;
         }
     }
+    stats.set("llcMisses", llc.misses());
+    stats.set("llcHits", llc.hits());
 
     result.cyclesPerDesignCycle = measured ? total / measured : 0.0;
     result.speedKHz = result.cyclesPerDesignCycle > 0

@@ -1,0 +1,389 @@
+#include "common/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ash {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------
+
+void
+JsonWriter::indent()
+{
+    if (!_pretty)
+        return;
+    _out << '\n';
+    for (size_t i = 0; i < _stack.size(); ++i)
+        _out << "  ";
+}
+
+void
+JsonWriter::separate()
+{
+    if (_pendingKey) {
+        _pendingKey = false;
+        return;   // Value completes the "key": prefix already emitted.
+    }
+    if (_stack.empty())
+        return;
+    if (_stack.back().any)
+        _out << ',';
+    _stack.back().any = true;
+    indent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    _out << '{';
+    _stack.push_back({'o'});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bool any = !_stack.empty() && _stack.back().any;
+    _stack.pop_back();
+    if (any)
+        indent();
+    _out << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    _out << '[';
+    _stack.push_back({'a'});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bool any = !_stack.empty() && _stack.back().any;
+    _stack.pop_back();
+    if (any)
+        indent();
+    _out << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    _out << '"' << jsonEscape(k) << "\": ";
+    _pendingKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    _out << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    if (!std::isfinite(v)) {
+        // JSON has no Inf/NaN; emit null so consumers see "absent".
+        _out << "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    _out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    _out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    _out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    _out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    _out << "null";
+    return *this;
+}
+
+// ---------------------------------------------------------------------
+// Validator
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent JSON checker over a raw character range. */
+struct JsonChecker
+{
+    const char *p;
+    const char *end;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " at offset %zd",
+                      static_cast<ptrdiff_t>(p - begin));
+        err = msg + buf;
+        return false;
+    }
+
+    const char *begin;
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (static_cast<size_t>(end - p) < n ||
+            std::string(p, p + n) != word)
+            return fail(std::string("bad literal, expected ") + word);
+        p += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (static_cast<unsigned char>(*p) < 0x20)
+                return fail("raw control character in string");
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"': case '\\': case '/': case 'b': case 'f':
+                  case 'n': case 'r': case 't':
+                    ++p;
+                    break;
+                  case 'u':
+                    ++p;
+                    for (int i = 0; i < 4; ++i, ++p) {
+                        if (p >= end || !std::isxdigit(
+                                static_cast<unsigned char>(*p)))
+                            return fail("bad \\u escape");
+                    }
+                    break;
+                  default:
+                    return fail("bad escape character");
+                }
+            } else {
+                ++p;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;   // Closing quote.
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        const char *digits = p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+            ++p;
+        if (p == start || (*start == '-' && p == start + 1))
+            return fail("expected number");
+        if (p - digits > 1 && *digits == '0')
+            return fail("leading zero in number");
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return fail("bad fraction");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return fail("bad exponent");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        return true;
+    }
+
+    bool
+    value(int depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                if (!string())
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonValid(const std::string &text, std::string *err)
+{
+    JsonChecker c{text.data(), text.data() + text.size(), {},
+                  text.data()};
+    if (!c.value(0)) {
+        if (err)
+            *err = c.err;
+        return false;
+    }
+    c.skipWs();
+    if (c.p != c.end) {
+        if (err)
+            *err = "trailing garbage after JSON value";
+        return false;
+    }
+    return true;
+}
+
+} // namespace ash

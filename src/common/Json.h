@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal JSON emission and validation. JsonWriter is a streaming
+ * writer with automatic comma/nesting management used by StatSet,
+ * the event tracer, and the bench report exporter; jsonValid() is a
+ * dependency-free recursive-descent checker used by tests and by the
+ * exporters' self-checks. No DOM: the repo only ever writes JSON and
+ * verifies shape, it never consumes foreign JSON.
+ */
+
+#ifndef ASH_COMMON_JSON_H
+#define ASH_COMMON_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ash {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Validate that @p text is one complete JSON value. Returns true on
+ * success; otherwise false with a position-annotated message in
+ * @p err (when non-null).
+ */
+bool jsonValid(const std::string &text, std::string *err = nullptr);
+
+/**
+ * Streaming JSON writer. Push objects/arrays with the begin/end
+ * pairs, emit members with key() + value() or the kv() shorthands;
+ * commas and
+ * indentation are handled automatically. The result is always
+ * syntactically valid as long as begin/end calls are balanced.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(bool pretty = true) : _pretty(pretty) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a member inside an object; follow with a value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(uint32_t v) { return value(uint64_t(v)); }
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    JsonWriter &kv(const std::string &k, const std::string &v)
+    { return key(k).value(v); }
+    JsonWriter &kv(const std::string &k, const char *v)
+    { return key(k).value(v); }
+    JsonWriter &kv(const std::string &k, double v)
+    { return key(k).value(v); }
+    JsonWriter &kv(const std::string &k, uint64_t v)
+    { return key(k).value(v); }
+    JsonWriter &kv(const std::string &k, int64_t v)
+    { return key(k).value(v); }
+    JsonWriter &kv(const std::string &k, uint32_t v)
+    { return key(k).value(uint64_t(v)); }
+    JsonWriter &kv(const std::string &k, int v)
+    { return key(k).value(int64_t(v)); }
+    JsonWriter &kv(const std::string &k, bool v)
+    { return key(k).value(v); }
+
+    /** Finished document; begin/end must be balanced by now. */
+    std::string str() const { return _out.str(); }
+
+  private:
+    void separate();
+    void indent();
+
+    std::ostringstream _out;
+    /** One frame per open container: 'o'/'a' and members-emitted. */
+    struct Frame { char kind; bool any = false; };
+    std::vector<Frame> _stack;
+    bool _pretty;
+    bool _pendingKey = false;
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_JSON_H

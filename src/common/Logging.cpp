@@ -9,6 +9,9 @@ namespace {
 
 LogLevel globalLevel = LogLevel::Normal;
 
+LogCycleProvider cycleProvider = nullptr;
+const void *cycleProviderCtx = nullptr;
+
 std::string
 vformat(const char *fmt, va_list ap)
 {
@@ -22,6 +25,27 @@ vformat(const char *fmt, va_list ap)
     }
     va_end(ap2);
     return out;
+}
+
+/** "[WARN]" or "[WARN @c1234]" per the Logging.h contract. */
+std::string
+prefix(const char *tag)
+{
+    char buf[48];
+    if (cycleProvider) {
+        std::snprintf(buf, sizeof(buf), "[%s @c%llu]", tag,
+                      (unsigned long long)cycleProvider(
+                          cycleProviderCtx));
+    } else {
+        std::snprintf(buf, sizeof(buf), "[%s]", tag);
+    }
+    return buf;
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s %s\n", prefix(tag).c_str(), msg.c_str());
 }
 
 } // namespace
@@ -39,13 +63,20 @@ logLevel()
 }
 
 void
+setLogCycleProvider(LogCycleProvider fn, const void *ctx)
+{
+    cycleProvider = fn;
+    cycleProviderCtx = fn ? ctx : nullptr;
+}
+
+void
 fatal(const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("FATAL", msg);
     throw FatalError(msg);
 }
 
@@ -56,7 +87,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("PANIC", msg);
     std::abort();
 }
 
@@ -68,8 +99,9 @@ panicAssert(const char *cond, const char *file, int line,
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d%s%s\n",
-                 cond, file, line, msg.empty() ? "" : ": ", msg.c_str());
+    std::fprintf(stderr, "%s assertion '%s' failed at %s:%d%s%s\n",
+                 prefix("PANIC").c_str(), cond, file, line,
+                 msg.empty() ? "" : ": ", msg.c_str());
     std::abort();
 }
 
@@ -82,7 +114,7 @@ warn(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit("WARN", msg);
 }
 
 void
@@ -94,7 +126,7 @@ inform(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit("INFO", msg);
 }
 
 void
@@ -106,7 +138,7 @@ debugLog(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    emit("DEBUG", msg);
 }
 
 } // namespace ash

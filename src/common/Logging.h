@@ -12,6 +12,7 @@
 #define ASH_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace ash {
@@ -24,6 +25,35 @@ void setLogLevel(LogLevel level);
 
 /** Current global verbosity. */
 LogLevel logLevel();
+
+/**
+ * Structured log prefix: every message carries a level tag, and —
+ * when a running simulator has registered its clock — the current
+ * simulated cycle, so interleaved output is greppable and
+ * attributable:
+ *
+ *   [WARN] message              (no simulation running)
+ *   [WARN @c1234] message       (1234 = simulated chip cycle)
+ *
+ * A simulator installs its monotonic cycle counter for the duration
+ * of a run via setLogCycleProvider(); passing nullptr (or letting
+ * LogCycleScope destruct) removes it.
+ */
+using LogCycleProvider = uint64_t (*)(const void *ctx);
+
+/** Install @p fn/@p ctx as the sim-cycle source; nullptr clears. */
+void setLogCycleProvider(LogCycleProvider fn, const void *ctx);
+
+/** RAII installer/remover for the log cycle provider. */
+class LogCycleScope
+{
+  public:
+    LogCycleScope(LogCycleProvider fn, const void *ctx)
+    { setLogCycleProvider(fn, ctx); }
+    ~LogCycleScope() { setLogCycleProvider(nullptr, nullptr); }
+    LogCycleScope(const LogCycleScope &) = delete;
+    LogCycleScope &operator=(const LogCycleScope &) = delete;
+};
 
 /**
  * Report an unrecoverable user-level error (bad input, bad config) and

@@ -1,9 +1,86 @@
 #include "common/Stats.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "common/Json.h"
+#include "common/Logging.h"
+
 namespace ash {
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+unsigned
+Histogram::bucketOf(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    unsigned b = static_cast<unsigned>(64 - __builtin_clzll(v));
+    // The top bucket absorbs [2^62, UINT64_MAX] so values with the
+    // high bit set cannot index past the array.
+    return std::min(b, kBuckets - 1);
+}
+
+uint64_t
+Histogram::bucketLow(unsigned b)
+{
+    if (b == 0)
+        return 0;
+    return 1ull << (b - 1);
+}
+
+uint64_t
+Histogram::bucketHigh(unsigned b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= kBuckets - 1)
+        return ~0ull;
+    return (1ull << b) - 1;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        minValue = other.minValue;
+        maxValue = other.maxValue;
+    } else {
+        minValue = std::min(minValue, other.minValue);
+        maxValue = std::max(maxValue, other.maxValue);
+    }
+    count += other.count;
+    sum += other.sum;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+uint64_t
+Histogram::percentileUpperBound(double p) const
+{
+    if (count == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(count)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank)
+            return std::min(bucketHigh(b), maxValue);
+    }
+    return maxValue;
+}
+
+// ---------------------------------------------------------------------
+// StatSet
+// ---------------------------------------------------------------------
 
 void
 StatSet::inc(const std::string &name, uint64_t delta)
@@ -38,6 +115,19 @@ StatSet::accum(const std::string &name) const
 }
 
 void
+StatSet::hist(const std::string &name, uint64_t value)
+{
+    _hists[name].record(value);
+}
+
+Histogram
+StatSet::histogram(const std::string &name) const
+{
+    auto it = _hists.find(name);
+    return it == _hists.end() ? Histogram{} : it->second;
+}
+
+void
 StatSet::merge(const StatSet &other)
 {
     for (const auto &[name, value] : other._counters)
@@ -55,6 +145,31 @@ StatSet::merge(const StatSet &other)
             mine.maxValue = std::max(mine.maxValue, acc.maxValue);
         }
     }
+    for (const auto &[name, h] : other._hists)
+        _hists[name].merge(h);
+}
+
+void
+StatSet::mergeScoped(const std::string &prefix, const StatSet &other)
+{
+    if (prefix.empty()) {
+        merge(other);
+        return;
+    }
+    StatSet renamed;
+    for (const auto &[name, value] : other._counters)
+        renamed._counters[prefix + "." + name] = value;
+    for (const auto &[name, acc] : other._accums)
+        renamed._accums[prefix + "." + name] = acc;
+    for (const auto &[name, h] : other._hists)
+        renamed._hists[prefix + "." + name] = h;
+    merge(renamed);
+}
+
+StatScope
+StatSet::scope(const std::string &prefix)
+{
+    return StatScope(*this, prefix);
 }
 
 void
@@ -62,6 +177,7 @@ StatSet::clear()
 {
     _counters.clear();
     _accums.clear();
+    _hists.clear();
 }
 
 std::string
@@ -75,7 +191,65 @@ StatSet::toString() const
            << ", min=" << acc.minValue << ", max=" << acc.maxValue
            << ")\n";
     }
+    for (const auto &[name, h] : _hists) {
+        os << name << " = hist mean " << h.mean() << " (n=" << h.count
+           << ", min=" << h.minValue << ", max=" << h.maxValue
+           << ", p50<=" << h.percentileUpperBound(0.5)
+           << ", p99<=" << h.percentileUpperBound(0.99) << ")\n";
+    }
     return os.str();
+}
+
+std::string
+StatSet::toJson(bool pretty) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : _counters)
+        w.kv(name, value);
+    w.endObject();
+
+    w.key("accumulators").beginObject();
+    for (const auto &[name, acc] : _accums) {
+        w.key(name).beginObject();
+        w.kv("count", acc.count);
+        w.kv("sum", acc.sum);
+        w.kv("min", acc.minValue);
+        w.kv("max", acc.maxValue);
+        w.kv("mean", acc.mean());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : _hists) {
+        w.key(name).beginObject();
+        w.kv("count", h.count);
+        w.kv("sum", h.sum);
+        w.kv("min", h.minValue);
+        w.kv("max", h.maxValue);
+        w.kv("mean", h.mean());
+        w.kv("p50", h.percentileUpperBound(0.5));
+        w.kv("p99", h.percentileUpperBound(0.99));
+        w.key("buckets").beginArray();
+        for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            w.beginArray();
+            w.value(Histogram::bucketLow(b));
+            w.value(Histogram::bucketHigh(b));
+            w.value(h.buckets[b]);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    return w.str();
 }
 
 double
@@ -84,9 +258,17 @@ geomean(const double *values, size_t n)
     if (n == 0)
         return 0.0;
     double logSum = 0.0;
-    for (size_t i = 0; i < n; ++i)
+    size_t used = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (!(values[i] > 0.0)) {
+            warn("geomean: skipping non-positive value %g "
+                 "(input %zu of %zu)", values[i], i, n);
+            continue;
+        }
         logSum += std::log(values[i]);
-    return std::exp(logSum / static_cast<double>(n));
+        ++used;
+    }
+    return used ? std::exp(logSum / static_cast<double>(used)) : 0.0;
 }
 
 } // namespace ash

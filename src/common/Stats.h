@@ -1,13 +1,19 @@
 /**
  * @file
  * Lightweight named statistics used by every simulator component. A
- * StatSet owns scalar counters and averaging accumulators and can render
- * itself for debugging. Benches read individual stats by name.
+ * StatSet owns scalar counters, averaging accumulators, and
+ * log2-bucketed histograms, and can render itself for debugging or
+ * export the whole set as JSON. Names are hierarchical by dotted
+ * convention ("tile3.l1d.misses"); scope() returns a prefixing proxy
+ * and mergeScoped() grafts one set under a prefix of another, which is
+ * how per-tile and per-run stats roll up into one machine-readable
+ * report. Benches read individual stats by name.
  */
 
 #ifndef ASH_COMMON_STATS_H
 #define ASH_COMMON_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -40,7 +46,62 @@ struct Accumulator
     double mean() const { return count ? sum / count : 0.0; }
 };
 
-/** A named collection of counters and accumulators. */
+/**
+ * Power-of-two-bucketed histogram of a nonnegative integer quantity
+ * (task lengths, queue depths, abort distances). Bucket 0 holds the
+ * value 0; bucket b >= 1 holds values in [2^(b-1), 2^b). Fixed 64
+ * buckets cover the whole uint64_t range, so record() never saturates
+ * or allocates — cheap enough for per-event hot paths.
+ */
+struct Histogram
+{
+    static constexpr unsigned kBuckets = 64;
+
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t minValue = 0;
+    uint64_t maxValue = 0;
+    std::array<uint64_t, kBuckets> buckets{};
+
+    /** Bucket index holding @p v. */
+    static unsigned bucketOf(uint64_t v);
+    /** Smallest value belonging to bucket @p b. */
+    static uint64_t bucketLow(unsigned b);
+    /** Largest value belonging to bucket @p b. */
+    static uint64_t bucketHigh(unsigned b);
+
+    void
+    record(uint64_t v)
+    {
+        if (count == 0) {
+            minValue = maxValue = v;
+        } else {
+            if (v < minValue)
+                minValue = v;
+            if (v > maxValue)
+                maxValue = v;
+        }
+        ++count;
+        sum += v;
+        ++buckets[bucketOf(v)];
+    }
+
+    void merge(const Histogram &other);
+
+    double mean() const
+    { return count ? static_cast<double>(sum) /
+                         static_cast<double>(count) : 0.0; }
+
+    /**
+     * Upper bound of the bucket containing the @p p quantile
+     * (0 < p <= 1), i.e. an upper estimate of the p-th percentile.
+     */
+    uint64_t percentileUpperBound(double p) const;
+};
+
+class StatScope;
+
+/** A named collection of counters, accumulators, and histograms. */
 class StatSet
 {
   public:
@@ -59,8 +120,28 @@ class StatSet
     /** Accumulator by name; returns an empty accumulator if absent. */
     Accumulator accum(const std::string &name) const;
 
-    /** Merge all counters and accumulators from @p other into this. */
+    /** Record @p value into the histogram named @p name. */
+    void hist(const std::string &name, uint64_t value);
+
+    /** Histogram by name; returns an empty histogram if absent. */
+    Histogram histogram(const std::string &name) const;
+
+    /** Merge all counters, accumulators, and histograms from @p other. */
     void merge(const StatSet &other);
+
+    /**
+     * Merge @p other with every name rewritten to "prefix.name" —
+     * e.g. mergeScoped("tile3", s) files s's "l1d.misses" under
+     * "tile3.l1d.misses". Empty prefix degrades to merge().
+     */
+    void mergeScoped(const std::string &prefix, const StatSet &other);
+
+    /**
+     * A write-through proxy prefixing every name with "prefix.".
+     * Scopes nest: scope("tile3").scope("l1d").inc("misses") touches
+     * "tile3.l1d.misses" of this set.
+     */
+    StatScope scope(const std::string &prefix);
 
     /** Reset everything to zero. */
     void clear();
@@ -68,17 +149,57 @@ class StatSet
     /** Render all stats, one "name = value" line each. */
     std::string toString() const;
 
+    /**
+     * The whole set as a JSON object with "counters",
+     * "accumulators", and "histograms" members. Histograms list only
+     * occupied buckets as [low, high, count] triples.
+     */
+    std::string toJson(bool pretty = true) const;
+
     const std::map<std::string, uint64_t> &counters() const
     { return _counters; }
     const std::map<std::string, Accumulator> &accumulators() const
     { return _accums; }
+    const std::map<std::string, Histogram> &histograms() const
+    { return _hists; }
 
   private:
     std::map<std::string, uint64_t> _counters;
     std::map<std::string, Accumulator> _accums;
+    std::map<std::string, Histogram> _hists;
 };
 
-/** Geometric mean of a sequence of positive values. */
+/** Prefixing proxy returned by StatSet::scope(); see there. */
+class StatScope
+{
+  public:
+    StatScope(StatSet &set, std::string prefix)
+        : _set(&set), _prefix(std::move(prefix)) {}
+
+    void inc(const std::string &name, uint64_t delta = 1)
+    { _set->inc(_prefix + "." + name, delta); }
+    void set(const std::string &name, uint64_t value)
+    { _set->set(_prefix + "." + name, value); }
+    void sample(const std::string &name, double value)
+    { _set->sample(_prefix + "." + name, value); }
+    void hist(const std::string &name, uint64_t value)
+    { _set->hist(_prefix + "." + name, value); }
+
+    StatScope scope(const std::string &sub) const
+    { return StatScope(*_set, _prefix + "." + sub); }
+
+    const std::string &prefix() const { return _prefix; }
+
+  private:
+    StatSet *_set;
+    std::string _prefix;
+};
+
+/**
+ * Geometric mean of a sequence of positive values. Zero or negative
+ * inputs are undefined for a geomean; they are warned about and
+ * skipped rather than silently poisoning the result with -inf/NaN.
+ */
 double geomean(const double *values, size_t n);
 
 } // namespace ash

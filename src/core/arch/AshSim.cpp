@@ -10,6 +10,7 @@
 #include "common/Logging.h"
 #include "core/arch/Cache.h"
 #include "core/arch/Noc.h"
+#include "obs/Trace.h"
 #include "rtl/Eval.h"
 
 namespace ash::core {
@@ -97,6 +98,8 @@ struct TcqEntry
     uint64_t epoch = 0;
     bool completed = false;
     uint64_t duration = 0;
+    uint64_t dispatchedAt = 0;   ///< Chip cycle of dispatch.
+    uint32_t core = 0;           ///< Core it ran on (observability).
     std::vector<DescPtr> consumed;
     std::vector<DescPtr> sent;
     std::vector<UndoRec> undo;
@@ -177,6 +180,11 @@ struct AshSimulator::Impl
 
     StatSet stats;
     uint64_t lastSample = 0;
+
+    // Per-tile rollup counters, folded into hierarchical scoped
+    // stats ("tile3.commits") once at end of run so the hot paths
+    // stay string-free.
+    std::vector<uint64_t> tileDispatches, tileCommits, tileAborts;
 
     Impl(const TaskProgram &p, const ArchConfig &c)
         : prog(p), cfg(c), nl(*p.nl), noc(c.numTiles)
@@ -265,6 +273,9 @@ struct AshSimulator::Impl
             regState[r].val = nl.regs()[r].init;
 
         // Hardware structures.
+        tileDispatches.assign(cfg.numTiles, 0);
+        tileCommits.assign(cfg.numTiles, 0);
+        tileAborts.assign(cfg.numTiles, 0);
         coreFreeAt.assign(cfg.numTiles,
                           std::vector<uint64_t>(cfg.coresPerTile, 0));
         aq.resize(cfg.numTiles);
@@ -324,6 +335,8 @@ struct AshSimulator::Impl
                              bytes / cfg.dramBytesPerCycle) + 1;
         stats.inc("dramAccesses");
         stats.inc("dramBytes", bytes);
+        ASH_OBS_EVENT(obs::EventKind::DramAccess, at, 0, tile, 0,
+                      ctrl, bytes);
         return cfg.dramLatency + queue + 8;   // 8: mesh to edge.
     }
 
@@ -334,6 +347,8 @@ struct AshSimulator::Impl
         stats.inc("l1dAccesses");
         if (coreL1d(tile, core).access(addr))
             return cfg.l1Latency;
+        ASH_OBS_EVENT(obs::EventKind::L1dMiss, at, 0, tile,
+                      static_cast<uint16_t>(core), addr, 0);
         uint64_t lat = cfg.l1Latency;
         uint32_t home = cfg.sharedLlc
                             ? static_cast<uint32_t>(
@@ -344,6 +359,8 @@ struct AshSimulator::Impl
         stats.inc("l2Accesses");
         if (l2[home]->access(addr))
             return lat + cfg.l2Latency;
+        ASH_OBS_EVENT(obs::EventKind::L2Miss, at, 0, home, 0, addr,
+                      0);
         return lat + cfg.l2Latency + dramAccess(tile, at,
                                                 cfg.lineBytes);
     }
@@ -361,17 +378,28 @@ struct AshSimulator::Impl
             if (coreL1i(tile, core).access(addr))
                 continue;
             stats.inc("l1iMisses");
+            ASH_OBS_EVENT(obs::EventKind::L1iMiss, at, 0, tile,
+                          static_cast<uint16_t>(core), addr, t.id);
             uint64_t miss = cfg.l2Latency;
             stats.inc("l2Accesses");
             if (!l2[tile]->access(addr)) {
                 stats.inc("l2iMisses");
+                ASH_OBS_EVENT(obs::EventKind::L2Miss, at, 0, tile, 0,
+                              addr, t.id);
                 miss += dramAccess(tile, at, cfg.lineBytes);
             }
             stall += miss;
         }
         // Task-driven prefetching (Sec 6) hides nearly all of the
         // fetch latency behind the previous task's execution.
-        return cfg.prefetch ? stall / 16 : stall;
+        if (cfg.prefetch) {
+            if (stall > 0)
+                ASH_OBS_EVENT(obs::EventKind::Prefetch, at, 0, tile,
+                              static_cast<uint16_t>(core), t.id,
+                              stall - stall / 16);
+            return stall / 16;
+        }
+        return stall;
     }
 
     // =====================================================================
@@ -450,6 +478,10 @@ struct AshSimulator::Impl
                     worst->second.spilled = true;
                     stats.inc("aqSpills");
                     stats.inc("dramBytes", worst->second.bytes());
+                    ASH_OBS_EVENT(obs::EventKind::AqSpill, now, 0,
+                                  tile, 0,
+                                  std::get<1>(worst->first),
+                                  std::get<2>(worst->first));
                 }
             }
         }
@@ -465,6 +497,8 @@ struct AshSimulator::Impl
         it->second.lastArrival = now;
         if (it->second.firstArrival == ~0ull)
             it->second.firstArrival = now;
+        ASH_OBS_EVENT(obs::EventKind::TmuEnqueue, now, 0, tile, 0,
+                      d->dst, d->inst);
         updateTileMin(tile);
     }
 
@@ -484,6 +518,8 @@ struct AshSimulator::Impl
         descs.erase(pos);
         if (descs.empty())
             aq[tile].erase(it);
+        ASH_OBS_EVENT(obs::EventKind::TmuDequeue, now, 0, tile, 0,
+                      d->dst, d->inst);
         updateTileMin(tile);
     }
 
@@ -523,6 +559,13 @@ struct AshSimulator::Impl
         tcq[tile].erase(it);
         stats.inc("aborts");
         stats.inc(std::string("aborts.") + reason);
+        // Abort distance: how long this instance had been running
+        // (speculatively) before the rollback caught it.
+        stats.hist("abortDistance", now - entry.dispatchedAt);
+        ++tileAborts[tile];
+        ASH_OBS_EVENT(obs::EventKind::TaskAbort, now, 0, tile,
+                      static_cast<uint16_t>(entry.core), entry.task,
+                      entry.inst, obs::abortCauseOf(reason));
         busyAborted += entry.duration;
         busyUnresolved -= entry.duration;
 
@@ -878,6 +921,8 @@ struct AshSimulator::Impl
         entry.inst = inst;
         entry.ts = ts(task, inst);
         entry.epoch = ++epochCounter;
+        entry.dispatchedAt = now;
+        entry.core = core;
 
         if (cfg.selective) {
             for (size_t pi = 0; pi < parentsOf[task].size(); ++pi) {
@@ -1011,6 +1056,12 @@ struct AshSimulator::Impl
         stats.inc("instrs", instr);
         stats.inc("descsConsumed", arrived);
         stats.inc("descsFiltered", filtered);
+        stats.hist("taskLength", duration);
+        stats.hist("bundleDescs", arrived);
+        ++tileDispatches[tile];
+        ASH_OBS_EVENT(obs::EventKind::TaskDispatch, now,
+                      static_cast<uint32_t>(duration), tile,
+                      static_cast<uint16_t>(core), task, inst);
 
         coreFreeAt[tile][core] = now + duration;
         Event ev;
@@ -1388,6 +1439,9 @@ struct AshSimulator::Impl
         busyCommitted += e.duration;
         busyUnresolved -= e.duration;
         stats.inc("tasksCommitted");
+        ++tileCommits[tile];
+        ASH_OBS_EVENT(obs::EventKind::TaskCommit, now, 0, tile,
+                      static_cast<uint16_t>(e.core), e.task, e.inst);
         if (trace)
             std::fprintf(stderr, "[%llu] commit T%u/%llu\n",
                          (unsigned long long)now, e.task,
@@ -1399,6 +1453,8 @@ struct AshSimulator::Impl
     onVtRound()
     {
         stats.inc("commitRounds");
+        ASH_OBS_EVENT(obs::EventKind::VtCommitRound, now, 0, 0, 0,
+                      lastGvtCycle, 0);
 
         // GVT over AQ, TCQ, in-flight, and uninjected stimulus.
         uint64_t g = ~0ull;
@@ -1457,6 +1513,8 @@ struct AshSimulator::Impl
             for (const auto &[k, b] : aq[t])
                 foot += b.bytes();
         }
+        stats.hist("aqDepth", aq_total);
+        stats.hist("tcqDepth", tcq_total);
         stats.sample("aqOccupancy",
                      static_cast<double>(aq_total) / cfg.numTiles);
         stats.sample("tcqOccupancy",
@@ -1518,6 +1576,8 @@ struct AshSimulator::Impl
             ++inFlightTo[{d->dst, d->inst}];
             events.push(ev);
             stats.inc("stimulusDescs");
+            ASH_OBS_EVENT(obs::EventKind::Stimulus, now, 0, ev.tile,
+                          0, t, cycle);
         }
     }
 
@@ -1563,6 +1623,13 @@ struct AshSimulator::Impl
     {
         stim = &stimulus;
         designCycles = design_cycles;
+        // Stamp log output with the simulated chip cycle while the
+        // run is in progress.
+        LogCycleScope logCycle(
+            [](const void *ctx) {
+                return static_cast<const Impl *>(ctx)->now;
+            },
+            this);
         bootstrap();
 
         Event vt;
@@ -1637,6 +1704,35 @@ struct AshSimulator::Impl
         stats.set("l1iHits", l1i_hits);
         stats.set("nocFlitHops", noc.flitHops());
         stats.set("nocMessages", noc.messages());
+
+        // Per-tile rollups under hierarchical scoped names; done once
+        // here so the hot paths above never touch string keys per
+        // tile.
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            StatScope tileScope =
+                stats.scope("tile" + std::to_string(t));
+            tileScope.set("dispatches", tileDispatches[t]);
+            tileScope.set("commits", tileCommits[t]);
+            tileScope.set("aborts", tileAborts[t]);
+            uint64_t tl1d_m = 0, tl1d_h = 0, tl1i_m = 0, tl1i_h = 0;
+            for (uint32_t c = 0; c < cfg.coresPerTile; ++c) {
+                tl1d_m += coreL1d(t, c).misses();
+                tl1d_h += coreL1d(t, c).hits();
+                tl1i_m += coreL1i(t, c).misses();
+                tl1i_h += coreL1i(t, c).hits();
+            }
+            StatScope l1dScope = tileScope.scope("l1d");
+            l1dScope.set("misses", tl1d_m);
+            l1dScope.set("hits", tl1d_h);
+            StatScope l1iScope = tileScope.scope("l1i");
+            l1iScope.set("misses", tl1i_m);
+            l1iScope.set("hits", tl1i_h);
+            StatScope l2Scope = tileScope.scope("l2");
+            l2Scope.set("misses", l2[t]->misses());
+            l2Scope.set("hits", l2[t]->hits());
+            l2Scope.set("evictions", l2[t]->evictions());
+        }
+
         result.stats = std::move(stats);
         return result;
     }

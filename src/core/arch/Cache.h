@@ -63,6 +63,9 @@ class CacheModel
             if (lru[w] < lru[victim])
                 victim = w;
         }
+        if (tags[victim] != ~0ull)
+            ++_evictions;   // A valid line was displaced (capacity
+                            // or conflict), not a cold fill.
         tags[victim] = line;
         lru[victim] = _stamp;
         ++_misses;
@@ -71,7 +74,25 @@ class CacheModel
 
     uint64_t hits() const { return _hits; }
     uint64_t misses() const { return _misses; }
+    uint64_t evictions() const { return _evictions; }
+    uint64_t accesses() const { return _hits + _misses; }
+    double missRate() const
+    {
+        uint64_t n = accesses();
+        return n ? static_cast<double>(_misses) /
+                       static_cast<double>(n) : 0.0;
+    }
     unsigned lineBytes() const { return _lineBytes; }
+
+    /** Record hit/miss/eviction counters into @p scope. */
+    template <typename Scope>
+    void
+    reportStats(Scope scope) const
+    {
+        scope.set("hits", _hits);
+        scope.set("misses", _misses);
+        scope.set("evictions", _evictions);
+    }
 
   private:
     unsigned _ways;
@@ -82,6 +103,7 @@ class CacheModel
     uint32_t _stamp = 0;
     uint64_t _hits = 0;
     uint64_t _misses = 0;
+    uint64_t _evictions = 0;
 };
 
 } // namespace ash::core

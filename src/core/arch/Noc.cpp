@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/Logging.h"
+#include "obs/Trace.h"
 
 namespace ash::core {
 
@@ -48,6 +49,8 @@ NocModel::send(uint32_t src, uint32_t dst, uint32_t bytes, uint64_t now)
     uint32_t flits = std::max(1u, (bytes + _flitBytes - 1) / _flitBytes);
     if (src == dst) {
         _flitHops += flits;
+        ASH_OBS_EVENT(obs::EventKind::NocSend, now, 1, src, 0, dst,
+                      bytes);
         return now + 1;
     }
 
@@ -79,7 +82,11 @@ NocModel::send(uint32_t src, uint32_t dst, uint32_t bytes, uint64_t now)
         hop(y * _dimX + x, false, positive, is_turn);
         y = positive ? y + 1 : y - 1;
     }
-    return t + 1;   // Ejection into the destination tile.
+    uint64_t arrive = t + 1;   // Ejection into the destination tile.
+    ASH_OBS_EVENT(obs::EventKind::NocSend, now,
+                  static_cast<uint32_t>(arrive - now), src, 0, dst,
+                  bytes);
+    return arrive;
 }
 
 } // namespace ash::core

@@ -1,0 +1,165 @@
+#include "obs/Report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/Json.h"
+#include "common/Logging.h"
+#include "obs/Trace.h"
+
+namespace ash::obs {
+
+Report &
+Report::global()
+{
+    static Report report;
+    return report;
+}
+
+bool
+Report::parseArgs(int &argc, char **argv)
+{
+    auto usage = [&]() {
+        std::fprintf(stderr,
+                     "usage: %s [--stats-json <path>] "
+                     "[--trace <path>] [--trace-events <n>]\n",
+                     argc > 0 ? argv[0] : "bench");
+        return false;
+    };
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto takeValue = [&](const char *&dst) {
+            if (i + 1 >= argc)
+                return false;
+            dst = argv[++i];
+            return true;
+        };
+        const char *val = nullptr;
+        if (std::strcmp(arg, "--stats-json") == 0) {
+            if (!takeValue(val))
+                return usage();
+            _statsJsonPath = val;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (!takeValue(val))
+                return usage();
+            _tracePath = val;
+        } else if (std::strcmp(arg, "--trace-events") == 0) {
+            if (!takeValue(val))
+                return usage();
+            long n = std::atol(val);
+            if (n <= 0)
+                return usage();
+            Tracer::global().setCapacityPerTile(
+                static_cast<size_t>(n));
+        } else {
+            argv[out++] = argv[i];   // Not ours; keep for the bench.
+        }
+    }
+    argc = out;
+
+    if (!_tracePath.empty())
+        Tracer::setEnabled(true);
+    return true;
+}
+
+void
+Report::record(const std::string &key, double value)
+{
+    _results[key] = value;
+}
+
+double
+Report::get(const std::string &key) const
+{
+    auto it = _results.find(key);
+    return it == _results.end()
+               ? std::numeric_limits<double>::quiet_NaN()
+               : it->second;
+}
+
+void
+Report::recordStats(const std::string &scope, const StatSet &stats)
+{
+    _stats.mergeScoped(scope, stats);
+}
+
+std::string
+Report::toJson(bool pretty) const
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.kv("bench", _name);
+    w.key("results").beginObject();
+    for (const auto &[key, value] : _results)
+        w.kv(key, value);
+    w.endObject();
+    w.endObject();
+    std::string head = w.str();
+
+    // Graft the StatSet's own JSON in as the "stats" member rather
+    // than re-walking it here; both writers emit balanced documents,
+    // so the splice point is the final '}'.
+    std::string stats_doc = _stats.toJson(pretty);
+    size_t cut = head.rfind('}');
+    std::string out = head.substr(0, cut);
+    out += pretty ? ",\n  \"stats\": " : ",\"stats\": ";
+    out += stats_doc;
+    out += head.substr(cut);
+    return out;
+}
+
+int
+Report::finish() const
+{
+    int rc = 0;
+    if (!_statsJsonPath.empty()) {
+        std::string doc = toJson();
+        std::string err;
+        if (!jsonValid(doc, &err)) {
+            // A malformed report is a bug in the exporters, not in
+            // the caller; surface it loudly but still write the file
+            // for post-mortem.
+            warn("stats JSON failed self-validation: %s", err.c_str());
+            rc = 1;
+        }
+        std::FILE *f = std::fopen(_statsJsonPath.c_str(), "w");
+        if (!f) {
+            warn("cannot write stats JSON to %s",
+                 _statsJsonPath.c_str());
+            rc = 1;
+        } else {
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            if (std::fclose(f) != 0)
+                rc = 1;
+            else
+                inform("wrote stats JSON: %s", _statsJsonPath.c_str());
+        }
+    }
+    if (!_tracePath.empty()) {
+        const Tracer &tracer = Tracer::global();
+        if (!tracer.exportChromeJson(_tracePath)) {
+            warn("cannot write trace to %s", _tracePath.c_str());
+            rc = 1;
+        } else {
+            inform("wrote trace: %s (%zu events, %llu dropped) — "
+                   "open in chrome://tracing or ui.perfetto.dev",
+                   _tracePath.c_str(), tracer.eventCount(),
+                   (unsigned long long)tracer.droppedCount());
+        }
+    }
+    return rc;
+}
+
+void
+Report::clear()
+{
+    _results.clear();
+    _stats.clear();
+}
+
+} // namespace ash::obs

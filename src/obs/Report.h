@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Machine-readable run reporting for the bench binaries: a process-
+ * wide registry of named numeric results plus merged StatSets, the
+ * shared --stats-json/--trace command-line convention, and the JSON
+ * exporter that seeds the repo's BENCH_*.json perf trajectory.
+ *
+ * A bench calls parseArgs() once at startup (which also arms the
+ * event tracer when --trace is given), record()s its headline numbers
+ * as it computes them, recordStats() any per-run StatSets worth
+ * keeping, and finish()es at exit to write the requested files.
+ */
+
+#ifndef ASH_OBS_REPORT_H
+#define ASH_OBS_REPORT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/Stats.h"
+
+namespace ash::obs {
+
+/** Process-wide result registry and exporter; see file header. */
+class Report
+{
+  public:
+    static Report &global();
+
+    /**
+     * Parse and consume the common observability flags:
+     *
+     *   --stats-json <path>   write the result/stat report as JSON
+     *   --trace <path>        enable event tracing, write Chrome JSON
+     *   --trace-events <n>    tracer ring capacity per tile
+     *
+     * Unknown arguments are left in place (argc/argv are compacted to
+     * the survivors) so benches can layer their own flags. Returns
+     * false and prints usage on a malformed invocation (a known flag
+     * missing its value).
+     */
+    bool parseArgs(int &argc, char **argv);
+
+    /** Name stamped into the report ("bench" member). */
+    void setName(const std::string &name) { _name = name; }
+    const std::string &name() const { return _name; }
+
+    /** Record one named numeric result, e.g. ("speedup.sash_vs_zen2.gcd", 12.3). */
+    void record(const std::string &key, double value);
+
+    /** Recorded value or NaN when absent. */
+    double get(const std::string &key) const;
+
+    /** Merge @p stats under @p scope into the report's StatSet. */
+    void recordStats(const std::string &scope, const StatSet &stats);
+
+    const std::map<std::string, double> &results() const
+    { return _results; }
+    StatSet &stats() { return _stats; }
+
+    bool statsJsonRequested() const { return !_statsJsonPath.empty(); }
+    bool traceRequested() const { return !_tracePath.empty(); }
+    const std::string &statsJsonPath() const { return _statsJsonPath; }
+    const std::string &tracePath() const { return _tracePath; }
+
+    /** The whole report as one JSON document. */
+    std::string toJson(bool pretty = true) const;
+
+    /**
+     * Write the stats JSON and/or trace file if requested; returns 0
+     * on success (including "nothing requested"), 1 on I/O failure.
+     * Intended as `return obs::Report::global().finish();`.
+     */
+    int finish() const;
+
+    /** Drop all recorded results and stats (paths/name kept). */
+    void clear();
+
+  private:
+    std::string _name = "bench";
+    std::string _statsJsonPath;
+    std::string _tracePath;
+    std::map<std::string, double> _results;
+    StatSet _stats;
+};
+
+} // namespace ash::obs
+
+#endif // ASH_OBS_REPORT_H

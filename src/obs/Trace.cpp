@@ -1,0 +1,225 @@
+#include "obs/Trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/Json.h"
+
+namespace ash::obs {
+
+AbortCause
+abortCauseOf(const char *reason)
+{
+    if (!reason)
+        return AbortCause::None;
+    if (std::strcmp(reason, "late-arg") == 0)
+        return AbortCause::LateArg;
+    if (std::strcmp(reason, "read-version") == 0)
+        return AbortCause::ReadVersion;
+    if (std::strcmp(reason, "cascade") == 0)
+        return AbortCause::Cascade;
+    if (std::strcmp(reason, "same-task-order") == 0)
+        return AbortCause::SameTaskOrder;
+    return AbortCause::Other;
+}
+
+const char *
+kindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::TaskDispatch:  return "task.dispatch";
+      case EventKind::TaskCommit:    return "task.commit";
+      case EventKind::TaskAbort:     return "task.abort";
+      case EventKind::TmuEnqueue:    return "tmu.enqueue";
+      case EventKind::TmuDequeue:    return "tmu.dequeue";
+      case EventKind::AqSpill:       return "tmu.spill";
+      case EventKind::NocSend:       return "noc.send";
+      case EventKind::L1iMiss:       return "cache.l1i_miss";
+      case EventKind::L1dMiss:       return "cache.l1d_miss";
+      case EventKind::L2Miss:        return "cache.l2_miss";
+      case EventKind::DramAccess:    return "mem.dram";
+      case EventKind::Prefetch:      return "cache.prefetch";
+      case EventKind::Stimulus:      return "stimulus.inject";
+      case EventKind::VtCommitRound: return "vt.round";
+      case EventKind::RefCycle:      return "refsim.cycle";
+      case EventKind::BaselineWave:  return "baseline.wave";
+    }
+    return "unknown";
+}
+
+const char *
+causeName(AbortCause c)
+{
+    switch (c) {
+      case AbortCause::None:          return "none";
+      case AbortCause::LateArg:       return "late-arg";
+      case AbortCause::ReadVersion:   return "read-version";
+      case AbortCause::Cascade:       return "cascade";
+      case AbortCause::SameTaskOrder: return "same-task-order";
+      case AbortCause::Other:         return "other";
+    }
+    return "unknown";
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setCapacityPerTile(size_t cap)
+{
+    _capPerTile = cap == 0 ? 1 : cap;
+}
+
+Tracer::Ring &
+Tracer::ringFor(uint32_t tile)
+{
+    if (tile >= _rings.size())
+        _rings.resize(tile + 1);
+    return _rings[tile];
+}
+
+void
+Tracer::record(const TraceEvent &e)
+{
+    Ring &ring = ringFor(e.tile);
+    if (ring.buf.size() < _capPerTile) {
+        ring.buf.push_back(e);
+        return;
+    }
+    // Full: overwrite the oldest (ring order starts at `next`).
+    ring.buf[ring.next] = e;
+    ring.next = (ring.next + 1) % ring.buf.size();
+    ring.wrapped = true;
+    ++_dropped;
+}
+
+size_t
+Tracer::eventCount() const
+{
+    size_t n = 0;
+    for (const Ring &r : _rings)
+        n += r.buf.size();
+    return n;
+}
+
+int
+Tracer::maxTile() const
+{
+    for (size_t i = _rings.size(); i-- > 0;) {
+        if (!_rings[i].buf.empty())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Tracer::clear()
+{
+    _rings.clear();
+    _dropped = 0;
+}
+
+void
+Tracer::appendRing(const Ring &ring,
+                   std::vector<TraceEvent> &out) const
+{
+    if (!ring.wrapped) {
+        out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+        return;
+    }
+    out.insert(out.end(), ring.buf.begin() + ring.next,
+               ring.buf.end());
+    out.insert(out.end(), ring.buf.begin(),
+               ring.buf.begin() + ring.next);
+}
+
+std::string
+Tracer::toChromeJson() const
+{
+    // Chrome trace_event "JSON object format": the viewer groups by
+    // (pid, tid); we map pid <- tile and tid <- core so each tile is
+    // one process lane with one track per core. ts/dur are in
+    // microseconds; one simulated cycle is exported as 1 us.
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.kv("droppedEvents", _dropped);
+    w.key("traceEvents").beginArray();
+
+    char name[96];
+    for (size_t tile = 0; tile < _rings.size(); ++tile) {
+        if (_rings[tile].buf.empty())
+            continue;
+        // Name the process lane after the tile.
+        std::snprintf(name, sizeof(name), "tile%zu", tile);
+        w.beginObject();
+        w.kv("ph", "M");
+        w.kv("pid", static_cast<uint64_t>(tile));
+        w.kv("name", "process_name");
+        w.key("args").beginObject().kv("name", name).endObject();
+        w.endObject();
+
+        std::vector<TraceEvent> events;
+        appendRing(_rings[tile], events);
+        for (const TraceEvent &e : events) {
+            const bool complete =
+                e.kind == EventKind::TaskDispatch ||
+                e.kind == EventKind::NocSend ||
+                e.kind == EventKind::BaselineWave ||
+                e.kind == EventKind::RefCycle;
+            const bool task_event =
+                e.kind == EventKind::TaskDispatch ||
+                e.kind == EventKind::TaskCommit ||
+                e.kind == EventKind::TaskAbort;
+            w.beginObject();
+            // Keep names to the fixed taxonomy so name-based queries
+            // aggregate; per-event identity lives in args.
+            w.kv("name", kindName(e.kind));
+            w.kv("cat", kindName(e.kind));
+            w.kv("ph", complete ? "X" : "i");
+            if (!complete)
+                w.kv("s", "t");   // Instant scoped to its thread.
+            w.kv("ts", e.ts);
+            if (complete)
+                w.kv("dur", static_cast<uint64_t>(e.dur));
+            w.kv("pid", static_cast<uint64_t>(e.tile));
+            w.kv("tid", static_cast<uint64_t>(e.core));
+            w.key("args").beginObject();
+            if (task_event) {
+                w.kv("task", e.arg0);
+                w.kv("inst", e.arg1);
+            } else {
+                w.kv("arg0", e.arg0);
+                w.kv("arg1", e.arg1);
+            }
+            if (e.kind == EventKind::TaskAbort)
+                w.kv("cause",
+                     causeName(static_cast<AbortCause>(e.cause)));
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+Tracer::exportChromeJson(const std::string &path) const
+{
+    std::string doc = toChromeJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+    bool ok = written == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    return ok;
+}
+
+} // namespace ash::obs

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * ash_obs event tracer: a low-overhead, compile-out-able recorder of
+ * typed per-tile simulation events (task dispatch/commit/abort, TMU
+ * queue traffic, NoC sends, cache misses, prefetches) with an
+ * exporter to Chrome trace_event JSON, so timelines open directly in
+ * chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Design constraints, in priority order:
+ *  1. Zero cost when compiled out: building with -DASH_OBS_TRACE=0
+ *     turns every ASH_OBS_EVENT() into ((void)0).
+ *  2. Near-zero cost when compiled in but disabled (the default):
+ *     one inline check of a plain bool; no call, no allocation.
+ *  3. Bounded memory when enabled: events land in fixed-capacity
+ *     per-tile ring buffers; overflow overwrites the oldest events of
+ *     that tile and is counted, never reallocated.
+ *
+ * The simulators are single-threaded, and the tracer inherits that
+ * assumption: record() is not thread-safe.
+ *
+ * Timestamps are simulated chip cycles; the exporter maps one cycle
+ * to one microsecond so Perfetto's time axis reads directly in
+ * cycles.
+ */
+
+#ifndef ASH_OBS_TRACE_H
+#define ASH_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/** Compile-time master switch; see file header. */
+#ifndef ASH_OBS_TRACE
+#define ASH_OBS_TRACE 1
+#endif
+
+namespace ash::obs {
+
+/** Event taxonomy (DESIGN.md "Observability" documents each). */
+enum class EventKind : uint8_t {
+    TaskDispatch,   ///< Task instance starts executing (has duration).
+    TaskCommit,     ///< Instance committed (instant).
+    TaskAbort,      ///< Instance aborted; cause in TraceEvent::cause.
+    TmuEnqueue,     ///< Descriptor enqueued into a tile's AQ.
+    TmuDequeue,     ///< Descriptor removed from an AQ (cancel/abort).
+    AqSpill,        ///< AQ overflow spilled a bundle to DRAM.
+    NocSend,        ///< Message traversing the mesh (has duration).
+    L1iMiss,        ///< Instruction fetch missed L1I.
+    L1dMiss,        ///< Data access missed L1D.
+    L2Miss,         ///< Access missed the tile's L2.
+    DramAccess,     ///< Access reached a DRAM controller.
+    Prefetch,       ///< Task-driven instruction prefetch issued.
+    Stimulus,       ///< Stimulus descriptor injected.
+    VtCommitRound,  ///< Virtual-Time bulk-commit round (instant).
+    RefCycle,       ///< Reference simulator evaluated one cycle.
+    BaselineWave,   ///< Baseline executed one depth wave (duration).
+};
+
+/** Why a speculative instance was rolled back. */
+enum class AbortCause : uint8_t {
+    None = 0,
+    LateArg,        ///< Argument arrived after speculative dispatch.
+    ReadVersion,    ///< Read-time version-tag conflict.
+    Cascade,        ///< Parent rollback cancelled a consumed input.
+    SameTaskOrder,  ///< Older instance of the same task dispatched.
+    Other,
+};
+
+/** Map an engine-internal reason string to an AbortCause. */
+AbortCause abortCauseOf(const char *reason);
+/** Short printable names for export. */
+const char *kindName(EventKind k);
+const char *causeName(AbortCause c);
+
+/** One recorded event; fixed-size POD kept small for ring storage. */
+struct TraceEvent
+{
+    uint64_t ts = 0;        ///< Start time, simulated chip cycles.
+    uint64_t arg0 = 0;      ///< Kind-specific (task id, address, ...).
+    uint64_t arg1 = 0;      ///< Kind-specific (instance, bytes, ...).
+    uint32_t dur = 0;       ///< Duration in cycles; 0 = instant.
+    uint32_t tile = 0;      ///< Originating tile (exporter "pid").
+    uint16_t core = 0;      ///< Core within tile (exporter "tid").
+    EventKind kind = EventKind::TaskDispatch;
+    uint8_t cause = 0;      ///< AbortCause for TaskAbort, else 0.
+};
+
+/**
+ * The process-wide tracer. Everything funnels through global() so
+ * instrumentation points don't need plumbing; benches enable it from
+ * --trace, export, and clear between runs if they want per-run files.
+ */
+class Tracer
+{
+  public:
+    static Tracer &global();
+
+    /** Hot-path guard; inline, branch-predictable, no call. */
+    static bool enabled() { return _sEnabled; }
+
+    /** Turn recording on/off (off drops events, keeps buffers). */
+    static void setEnabled(bool on) { _sEnabled = on; }
+
+    /** Ring capacity per tile (events); applies on next record. */
+    void setCapacityPerTile(size_t cap);
+    size_t capacityPerTile() const { return _capPerTile; }
+
+    /** Append one event to its tile's ring. */
+    void record(const TraceEvent &e);
+
+    /** Total events currently buffered across all tiles. */
+    size_t eventCount() const;
+    /** Events overwritten due to ring wrap since the last clear(). */
+    uint64_t droppedCount() const { return _dropped; }
+    /** Highest tile index seen so far, or -1 if none. */
+    int maxTile() const;
+
+    /** Drop all buffered events (capacity and enable state kept). */
+    void clear();
+
+    /**
+     * Buffered events of all tiles as one Chrome trace_event JSON
+     * document ({"traceEvents": [...], ...}).
+     */
+    std::string toChromeJson() const;
+
+    /** Write toChromeJson() to @p path; returns false on I/O error. */
+    bool exportChromeJson(const std::string &path) const;
+
+  private:
+    /** Fixed-capacity overwrite-oldest ring of one tile's events. */
+    struct Ring
+    {
+        std::vector<TraceEvent> buf;
+        size_t next = 0;     ///< Insertion slot once buf is full.
+        bool wrapped = false;
+    };
+
+    Ring &ringFor(uint32_t tile);
+    void appendRing(const Ring &ring, std::vector<TraceEvent> &out)
+        const;
+
+    std::vector<Ring> _rings;   ///< Indexed by tile.
+    size_t _capPerTile = 1 << 15;
+    uint64_t _dropped = 0;
+
+    static inline bool _sEnabled = false;
+};
+
+/** Convenience builder used by the instrumentation macro. */
+inline TraceEvent
+makeEvent(EventKind kind, uint64_t ts, uint32_t dur, uint32_t tile,
+          uint16_t core, uint64_t arg0, uint64_t arg1,
+          AbortCause cause = AbortCause::None)
+{
+    TraceEvent e;
+    e.ts = ts;
+    e.dur = dur;
+    e.tile = tile;
+    e.core = core;
+    e.kind = kind;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.cause = static_cast<uint8_t>(cause);
+    return e;
+}
+
+} // namespace ash::obs
+
+/**
+ * Instrumentation point. Arguments are those of obs::makeEvent() and
+ * are NOT evaluated unless tracing is compiled in and enabled, so
+ * call sites may pass mildly expensive expressions.
+ */
+#if ASH_OBS_TRACE
+#define ASH_OBS_EVENT(...)                                             \
+    do {                                                               \
+        if (::ash::obs::Tracer::enabled()) {                           \
+            ::ash::obs::Tracer::global().record(                       \
+                ::ash::obs::makeEvent(__VA_ARGS__));                   \
+        }                                                              \
+    } while (0)
+#else
+#define ASH_OBS_EVENT(...) ((void)0)
+#endif
+
+#endif // ASH_OBS_TRACE_H

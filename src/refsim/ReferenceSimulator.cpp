@@ -1,6 +1,7 @@
 #include "refsim/ReferenceSimulator.h"
 
 #include "common/Logging.h"
+#include "obs/Trace.h"
 #include "rtl/Cost.h"
 #include "rtl/Eval.h"
 
@@ -26,6 +27,7 @@ ReferenceSimulator::reset()
 {
     _cycle = 0;
     _activeCostSum = 0.0;
+    _stats.clear();
     std::fill(_values.begin(), _values.end(), 0);
     std::fill(_prevValues.begin(), _prevValues.end(), 0);
     std::fill(_changed.begin(), _changed.end(), 0);
@@ -88,8 +90,10 @@ ReferenceSimulator::step(Stimulus &stimulus)
 
     // Change tracking and activity accounting.
     uint64_t active_cost = 0;
+    uint64_t changed_nodes = 0;
     for (NodeId id = 0; id < _nl.numNodes(); ++id) {
         _changed[id] = _values[id] != _prevValues[id];
+        changed_nodes += _changed[id];
     }
     for (NodeId id = 0; id < _nl.numNodes(); ++id) {
         const Node &n = _nl.node(id);
@@ -109,6 +113,17 @@ ReferenceSimulator::step(Stimulus &stimulus)
         _activeCostSum += static_cast<double>(active_cost) /
                           static_cast<double>(_totalCost);
 
+    _stats.inc("cycles");
+    _stats.inc("nodesEvaluated", _order.size());
+    _stats.inc("nodesChanged", changed_nodes);
+    _stats.hist("changedNodes", changed_nodes);
+    if (_totalCost > 0)
+        _stats.sample("activeCostFrac",
+                      static_cast<double>(active_cost) /
+                          static_cast<double>(_totalCost));
+    ASH_OBS_EVENT(obs::EventKind::RefCycle, _cycle, 1, 0, 0,
+                  changed_nodes, active_cost);
+
     // Phase 2: clock edge. Latch registers, apply memory writes in
     // port order (later ports win on same-address conflicts).
     std::vector<uint64_t> next_regs(_regState.size());
@@ -122,8 +137,10 @@ ReferenceSimulator::step(Stimulus &stimulus)
             if (!_values[n.operands[2]])
                 continue;
             uint64_t addr = _values[n.operands[0]];
-            if (addr < _memState[m].size())
+            if (addr < _memState[m].size()) {
                 _memState[m][addr] = _values[n.operands[1]];
+                _stats.inc("memWrites");
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/Stats.h"
 #include "refsim/Stimulus.h"
 #include "rtl/Netlist.h"
 
@@ -62,6 +63,13 @@ class ReferenceSimulator
     /** Reset registers, memories, and counters to time zero. */
     void reset();
 
+    /**
+     * Run statistics: cycles, nodesEvaluated, nodesChanged,
+     * memWrites counters and a per-cycle "activeCostFrac" sample
+     * (plus a changedNodes histogram). Cleared by reset().
+     */
+    const StatSet &stats() const { return _stats; }
+
   private:
     const rtl::Netlist &_nl;
     std::vector<rtl::NodeId> _order;      ///< Levelized evaluation order.
@@ -74,6 +82,7 @@ class ReferenceSimulator
     uint64_t _cycle = 0;
     double _activeCostSum = 0.0;          ///< Sum over cycles.
     uint64_t _totalCost = 0;              ///< Per-cycle total node cost.
+    StatSet _stats;
 };
 
 } // namespace ash::refsim

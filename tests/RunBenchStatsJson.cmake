@@ -1,0 +1,38 @@
+# ctest driver: run a bench with --stats-json and check the output is
+# valid-looking JSON that carries the per-design speedup results.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DOUT=<json path> -P RunBenchStatsJson.cmake
+
+execute_process(COMMAND "${BENCH}" --stats-json "${OUT}"
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with ${rc}")
+endif()
+
+if(NOT EXISTS "${OUT}")
+    message(FATAL_ERROR "${BENCH} did not write ${OUT}")
+endif()
+file(READ "${OUT}" doc)
+
+foreach(needle
+        "\"bench\": \"table5_speeds\""
+        "\"results\""
+        "\"speedup.sash_vs_zen2."
+        "\"speedup.sash_vs_baseline.gmean\""
+        "\"stats\""
+        "\"histograms\"")
+    string(FIND "${doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "stats JSON is missing ${needle}")
+    endif()
+endforeach()
+
+# Crude structural check: the document must open and close an object.
+string(STRIP "${doc}" doc)
+string(SUBSTRING "${doc}" 0 1 first)
+string(LENGTH "${doc}" len)
+math(EXPR last_idx "${len} - 1")
+string(SUBSTRING "${doc}" ${last_idx} 1 last)
+if(NOT first STREQUAL "{" OR NOT last STREQUAL "}")
+    message(FATAL_ERROR "stats JSON is not one object")
+endif()

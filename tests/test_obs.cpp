@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the observability layer: histogram bucketing, the JSON
+ * writer/validator, StatSet export and scoped merging, the bench
+ * report registry, and an end-to-end trace smoke test that runs the
+ * chip model with tracing enabled and checks the exported Chrome
+ * trace_event file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/Json.h"
+#include "common/Stats.h"
+#include "core/arch/AshSim.h"
+#include "core/compiler/Compiler.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash {
+namespace {
+
+TEST(Histogram, BucketBoundaries)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+    EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 63u);
+
+    // Every bucket's [low, high] range must map back to itself.
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketLow(b)), b);
+        EXPECT_EQ(Histogram::bucketOf(Histogram::bucketHigh(b)), b);
+    }
+}
+
+TEST(Histogram, RecordAndSummaries)
+{
+    Histogram h;
+    for (uint64_t v : {0ull, 1ull, 5ull, 5ull, 100ull})
+        h.record(v);
+    EXPECT_EQ(h.count, 5u);
+    EXPECT_EQ(h.sum, 111u);
+    EXPECT_EQ(h.minValue, 0u);
+    EXPECT_EQ(h.maxValue, 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 111.0 / 5.0);
+    EXPECT_EQ(h.buckets[0], 1u);                     // The zero.
+    EXPECT_EQ(h.buckets[Histogram::bucketOf(5)], 2u);
+
+    // p50 lands in the bucket of 5 ([4,7]); p100's bucket bound
+    // ([64,127]) is tightened to the observed max.
+    EXPECT_EQ(h.percentileUpperBound(0.5), 7u);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 100u);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a, b;
+    a.record(3);
+    a.record(9);
+    b.record(0);
+    b.record(200);
+    a.merge(b);
+    EXPECT_EQ(a.count, 4u);
+    EXPECT_EQ(a.sum, 212u);
+    EXPECT_EQ(a.minValue, 0u);
+    EXPECT_EQ(a.maxValue, 200u);
+    EXPECT_EQ(a.buckets[0], 1u);
+    EXPECT_EQ(a.buckets[Histogram::bucketOf(200)], 1u);
+}
+
+TEST(Json, WriterProducesValidDocuments)
+{
+    JsonWriter w(/*pretty=*/true);
+    w.beginObject();
+    w.kv("str", "a \"quoted\" string\nwith control\x01 chars");
+    w.kv("int", uint64_t{42});
+    w.kv("neg", -7.25);
+    w.key("arr").beginArray().value(uint64_t{1}).value("two")
+        .endArray();
+    w.key("empty").beginObject().endObject();
+    w.endObject();
+    std::string err;
+    EXPECT_TRUE(jsonValid(w.str(), &err)) << err << "\n" << w.str();
+}
+
+TEST(Json, ValidatorRejectsMalformed)
+{
+    EXPECT_TRUE(jsonValid("{\"a\": [1, 2.5e3, null, true, \"x\"]}"));
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("{\"a\": 1,}"));
+    EXPECT_FALSE(jsonValid("{\"a\": 1} trailing"));
+    EXPECT_FALSE(jsonValid("{'a': 1}"));
+    EXPECT_FALSE(jsonValid("{\"a\": 01}"));
+}
+
+TEST(StatSet, ToJsonShapeAndValidity)
+{
+    StatSet s;
+    s.inc("tile0.commits", 10);
+    s.sample("occupancy", 3.5);
+    s.sample("occupancy", 4.5);
+    s.hist("taskLength", 12);
+    s.hist("taskLength", 40);
+
+    std::string doc = s.toJson();
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+
+    // Shape: the three sections and the recorded names are present.
+    EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+    EXPECT_NE(doc.find("\"accumulators\""), std::string::npos);
+    EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tile0.commits\": 10"), std::string::npos);
+    EXPECT_NE(doc.find("\"occupancy\""), std::string::npos);
+    EXPECT_NE(doc.find("\"taskLength\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+    EXPECT_NE(doc.find("\"buckets\""), std::string::npos);
+}
+
+TEST(StatSet, ScopedWritesAndMerge)
+{
+    StatSet s;
+    StatScope tile = s.scope("tile3");
+    tile.inc("commits", 2);
+    tile.scope("l1d").inc("misses", 5);
+    EXPECT_EQ(s.get("tile3.commits"), 2u);
+    EXPECT_EQ(s.get("tile3.l1d.misses"), 5u);
+
+    StatSet run;
+    run.inc("aborts", 7);
+    run.sample("occ", 1.0);
+    run.hist("len", 8);
+    s.mergeScoped("sash.gcd", run);
+    EXPECT_EQ(s.get("sash.gcd.aborts"), 7u);
+    EXPECT_EQ(s.accum("sash.gcd.occ").count, 1u);
+    EXPECT_EQ(s.histogram("sash.gcd.len").count, 1u);
+
+    // Merging twice accumulates rather than overwriting.
+    s.mergeScoped("sash.gcd", run);
+    EXPECT_EQ(s.get("sash.gcd.aborts"), 14u);
+}
+
+TEST(Geomean, SkipsNonPositiveValuesWithWarning)
+{
+    const double ok[] = {2.0, 8.0};
+    EXPECT_DOUBLE_EQ(geomean(ok, 2), 4.0);
+
+    testing::internal::CaptureStderr();
+    const double mixed[] = {2.0, 0.0, 8.0};
+    double g = geomean(mixed, 3);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_DOUBLE_EQ(g, 4.0);   // The zero is skipped, not -inf.
+    EXPECT_NE(err.find("geomean"), std::string::npos);
+    EXPECT_NE(err.find("[WARN"), std::string::npos);
+
+    const double none[] = {0.0, -1.0};
+    testing::internal::CaptureStderr();
+    EXPECT_DOUBLE_EQ(geomean(none, 2), 0.0);
+    testing::internal::GetCapturedStderr();
+}
+
+TEST(Report, RecordsAndExportsSpeedups)
+{
+    obs::Report report;
+    report.setName("table5_speeds");
+    report.record("speedup.sash_vs_zen2.gcd", 12.5);
+    report.record("speedup.sash_vs_zen2.gmean", 10.0);
+    EXPECT_DOUBLE_EQ(report.get("speedup.sash_vs_zen2.gcd"), 12.5);
+    EXPECT_TRUE(std::isnan(report.get("missing")));
+
+    StatSet run;
+    run.inc("aborts", 3);
+    report.recordStats("sash.gcd", run);
+
+    std::string doc = report.toJson();
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err << "\n" << doc;
+    EXPECT_NE(doc.find("\"bench\": \"table5_speeds\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"speedup.sash_vs_zen2.gcd\": 12.5"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"sash.gcd.aborts\": 3"), std::string::npos);
+}
+
+TEST(Report, ParseArgsConsumesKnownFlagsOnly)
+{
+    obs::Report report;
+    const char *raw[] = {"bench",  "--stats-json", "out.json",
+                         "--mine", "--trace-events", "128",
+                         "value"};
+    char *argv[7];
+    for (int i = 0; i < 7; ++i)
+        argv[i] = const_cast<char *>(raw[i]);
+    int argc = 7;
+    EXPECT_TRUE(report.parseArgs(argc, argv));
+    EXPECT_EQ(argc, 3);
+    EXPECT_STREQ(argv[1], "--mine");
+    EXPECT_STREQ(argv[2], "value");
+    EXPECT_EQ(report.statsJsonPath(), "out.json");
+    EXPECT_FALSE(report.traceRequested());
+
+    // A known flag with no value is a usage error.
+    const char *bad[] = {"bench", "--trace"};
+    char *bargv[2];
+    for (int i = 0; i < 2; ++i)
+        bargv[i] = const_cast<char *>(bad[i]);
+    int bargc = 2;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(report.parseArgs(bargc, bargv));
+    testing::internal::GetCapturedStderr();
+}
+
+/** Run the 4-tile chip model with tracing on; check the export. */
+TEST(Tracer, ChipRunProducesValidChromeTrace)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    core::CompilerOptions copts;
+    copts.numTiles = 4;
+    copts.maxTaskCost = 8;
+    core::TaskProgram prog = core::compile(nl, copts);
+    core::ArchConfig acfg;
+    acfg.numTiles = 4;
+    acfg.coresPerTile = 2;
+    acfg.selective = true;
+    core::AshSimulator sim(prog, acfg);
+    test::FnStimulus stim(test::mixedStimulus(1));
+    sim.run(stim, 30);
+
+    tracer.setEnabled(false);
+    EXPECT_GT(tracer.eventCount(), 0u);
+    EXPECT_GE(tracer.maxTile(), 1);   // Activity beyond tile 0.
+
+    std::string path =
+        testing::TempDir() + "/ash_obs_trace_test.json";
+    ASSERT_TRUE(tracer.exportChromeJson(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string doc;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        doc.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    std::string err;
+    ASSERT_TRUE(jsonValid(doc, &err)) << err;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(doc.find("\"task.dispatch\""), std::string::npos);
+    EXPECT_NE(doc.find("\"task.commit\""), std::string::npos);
+    // Dispatches on at least two distinct tiles (pids).
+    bool tile0 = doc.find("\"name\": \"tile0\"") != std::string::npos;
+    bool tile1 = doc.find("\"name\": \"tile1\"") != std::string::npos;
+    EXPECT_TRUE(tile0 && tile1) << "expected >=2 tiles with events";
+
+    tracer.clear();
+}
+
+/** With the tracer disabled, instrumented runs record nothing. */
+TEST(Tracer, DisabledRecordsNothing)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.setEnabled(false);
+
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    core::CompilerOptions copts;
+    copts.numTiles = 2;
+    core::TaskProgram prog = core::compile(nl, copts);
+    core::ArchConfig acfg;
+    acfg.numTiles = 2;
+    core::AshSimulator sim(prog, acfg);
+    test::FnStimulus stim(test::mixedStimulus(2));
+    sim.run(stim, 10);
+
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops)
+{
+    obs::Tracer tracer;
+    tracer.setCapacityPerTile(4);
+    for (uint64_t i = 0; i < 10; ++i)
+        tracer.record(obs::makeEvent(obs::EventKind::TaskDispatch, i,
+                                     1, /*tile=*/0, 0, i, 0));
+    EXPECT_EQ(tracer.eventCount(), 4u);
+    EXPECT_EQ(tracer.droppedCount(), 6u);
+    // The survivors are the newest four: ts 6..9.
+    std::string doc = tracer.toChromeJson();
+    EXPECT_EQ(doc.find("\"ts\": 5"), std::string::npos);
+    EXPECT_NE(doc.find("\"ts\": 9"), std::string::npos);
+}
+
+} // namespace
+} // namespace ash
