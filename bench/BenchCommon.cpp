@@ -1,8 +1,25 @@
 #include "BenchCommon.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <mutex>
+
+#include "common/Logging.h"
+#include "exec/ThreadPool.h"
 
 namespace ash::bench {
+
+namespace {
+
+/** Parsed --jobs value; 0 = auto (hardware concurrency). */
+unsigned gJobs = 0;
+
+/** Jobs that exhausted their retries across all sweeps this run. */
+size_t gSweepFailures = 0;
+
+} // namespace
 
 DesignSet &
 DesignSet::standard()
@@ -29,7 +46,49 @@ compileFor(const rtl::Netlist &nl, uint32_t tiles,
 {
     core::CompilerOptions opts = base;
     opts.numTiles = tiles;
-    return core::compile(nl, opts);
+
+    // Memoize on netlist identity plus every option that shapes the
+    // program. Sweeps hit the same (design, tiles) point from many
+    // configs (fig19 asks for each design's 64-tile program six
+    // times), so concurrent requesters share one compilation through
+    // a future: the first caller compiles, the rest block on it.
+    using Cached = std::shared_ptr<const core::TaskProgram>;
+    static std::mutex cacheMutex;
+    static std::map<std::string, std::shared_future<Cached>> cache;
+
+    char key[192];
+    std::snprintf(key, sizeof(key),
+                  "%p|%u|%d|%u|%d|%u|%u|%u|%llu|%.9g",
+                  static_cast<const void *>(&nl), tiles,
+                  opts.unrolled ? 1 : 0, opts.maxTaskCost,
+                  opts.useMapping ? 1 : 0,
+                  opts.limits.maxRegArgValues, opts.limits.maxParents,
+                  opts.limits.maxPushes,
+                  (unsigned long long)opts.seed, opts.imbalance);
+
+    std::promise<Cached> promise;
+    std::shared_future<Cached> future;
+    bool compile_here = false;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            future = promise.get_future().share();
+            cache.emplace(key, future);
+            compile_here = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (compile_here) {
+        try {
+            promise.set_value(std::make_shared<const core::TaskProgram>(
+                core::compile(nl, opts)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return *future.get();   // Rethrows a failed compilation.
 }
 
 core::RunResult
@@ -68,25 +127,83 @@ bool
 init(const std::string &name, int &argc, char **argv)
 {
     obs::Report::global().setName(name);
-    return obs::Report::global().parseArgs(argc, argv);
+    if (!obs::Report::global().parseArgs(argc, argv))
+        return false;
+
+    // Our own flag: --jobs <n> (n >= 1; 0 or absent = auto). Unknown
+    // arguments stay in place for the bench, as in parseArgs().
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "usage: %s [--jobs <n>]\n",
+                             argc > 0 ? argv[0] : "bench");
+                return false;
+            }
+            char *end = nullptr;
+            long n = std::strtol(argv[++i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n < 0) {
+                std::fprintf(stderr, "--jobs wants n >= 0, got %s\n",
+                             argv[i]);
+                return false;
+            }
+            gJobs = static_cast<unsigned>(n);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return true;
+}
+
+unsigned
+jobs()
+{
+    return gJobs != 0 ? gJobs : exec::hardwareConcurrency();
+}
+
+exec::SweepOptions
+sweepOptions()
+{
+    exec::SweepOptions opts;
+    opts.jobs = jobs();
+    return opts;
+}
+
+void
+runSweep(exec::SweepRunner &sweep)
+{
+    gSweepFailures += sweep.run().size();
 }
 
 void
 record(const std::string &key, double value)
 {
-    obs::Report::global().record(key, value);
+    if (exec::JobContext *job = exec::JobContext::current())
+        job->record(key, value);
+    else
+        obs::Report::global().record(key, value);
 }
 
 void
 recordStats(const std::string &scope, const StatSet &stats)
 {
-    obs::Report::global().recordStats(scope, stats);
+    if (exec::JobContext *job = exec::JobContext::current())
+        job->recordStats(scope, stats);
+    else
+        obs::Report::global().recordStats(scope, stats);
 }
 
 int
 finish()
 {
-    return obs::Report::global().finish();
+    int rc = obs::Report::global().finish();
+    if (gSweepFailures != 0) {
+        warn("%zu sweep job(s) failed; exiting nonzero",
+             gSweepFailures);
+        return 1;
+    }
+    return rc;
 }
 
 } // namespace ash::bench

@@ -2,8 +2,17 @@
  * @file
  * Shared infrastructure for the paper-reproduction benchmark binaries.
  * Each bench regenerates one table or figure of the paper; this header
- * provides the standard design set, cached compilation, and run
- * helpers so the benches stay declarative.
+ * provides the standard design set, cached compilation, run helpers,
+ * and the host-parallel sweep plumbing (ash_exec) so the benches stay
+ * declarative.
+ *
+ * Parallel sweeps: every bench accepts `--jobs N` (default: host
+ * hardware concurrency). A sweep bench builds an exec::SweepRunner
+ * from sweepOptions(), adds one job per independent (design, config,
+ * system) point, and calls runSweep(); record()/recordStats() made
+ * inside a job body are staged per job and merged in submission
+ * order, so tables and --stats-json output are byte-identical at any
+ * job count. Printing must stay on the main thread, after runSweep().
  */
 
 #ifndef ASH_BENCH_BENCHCOMMON_H
@@ -20,6 +29,7 @@
 #include "core/arch/AshSim.h"
 #include "core/compiler/Compiler.h"
 #include "designs/Designs.h"
+#include "exec/SweepRunner.h"
 #include "obs/Report.h"
 #include "refsim/ReferenceSimulator.h"
 
@@ -28,7 +38,15 @@ namespace ash::bench {
 /** Number of simulated design cycles per timing run. */
 constexpr uint64_t kRunCycles = 60;
 
-/** The four benchmark designs with compiled netlists (cached). */
+/**
+ * The four benchmark designs with compiled netlists (cached).
+ *
+ * Concurrency contract: the set is built once, under the C++ magic-
+ * static lock, on first use — benches construct their sweep from
+ * standard() on the main thread, so the warm-up reference runs never
+ * race. During a sweep, jobs only READ entries (netlists are shared
+ * immutable inputs; makeStimulus() returns a fresh per-job stimulus).
+ */
 class DesignSet
 {
   public:
@@ -48,7 +66,13 @@ class DesignSet
     std::vector<Entry> _entries;
 };
 
-/** Compile a netlist for a tile count (cached per call site). */
+/**
+ * Compile a netlist for a tile count, memoized process-wide on
+ * (netlist identity, tiles, options). Concurrent jobs requesting the
+ * same program share one compilation; the others block on its result.
+ * The netlist must outlive the process cache — DesignSet entries
+ * qualify; stack-local netlists should call core::compile directly.
+ */
 core::TaskProgram compileFor(const rtl::Netlist &nl, uint32_t tiles,
                              const core::CompilerOptions &base = {});
 
@@ -70,13 +94,32 @@ void banner(const std::string &title);
 
 /**
  * Standard bench entry point: names the run's report and parses the
- * common observability flags (--stats-json, --trace, --trace-events),
- * compacting argv down to the bench's own arguments. Returns false on
- * a malformed command line; the bench should `return 1` in that case.
+ * common flags (--stats-json, --trace, --trace-events from obs, plus
+ * --jobs <n>), compacting argv down to the bench's own arguments.
+ * Returns false on a malformed command line; the bench should
+ * `return 1` in that case.
  */
 bool init(const std::string &name, int &argc, char **argv);
 
-/** Record one headline number into the run report. */
+/** Resolved worker count: --jobs value, default hw concurrency. */
+unsigned jobs();
+
+/** Sweep options honoring the parsed --jobs flag. */
+exec::SweepOptions sweepOptions();
+
+/**
+ * Run a sweep to its merge barrier. Failed jobs are reported by
+ * exec::SweepRunner as a structured warning block and remembered so
+ * finish() exits nonzero, but the bench keeps going and still emits
+ * whatever completed.
+ */
+void runSweep(exec::SweepRunner &sweep);
+
+/**
+ * Record one headline number into the run report. Inside a sweep job
+ * this stages into the job's context (deterministic merge at the
+ * barrier); outside it records directly.
+ */
 void record(const std::string &key, double value);
 
 /** Merge a simulator StatSet into the report under @p scope. */
@@ -84,7 +127,8 @@ void recordStats(const std::string &scope, const StatSet &stats);
 
 /**
  * Standard bench exit: writes the stats JSON and/or trace file when
- * requested. Use as `return bench::finish();`.
+ * requested. Returns nonzero if that fails or any sweep job failed.
+ * Use as `return bench::finish();`.
  */
 int finish();
 

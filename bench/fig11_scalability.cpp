@@ -3,8 +3,15 @@
  * Figure 11 reproduction: speedup of the baseline, DASH, and SASH
  * over serial simulation as the system grows from 4 to 256 cores
  * (1 to 64 tiles, 4 cores each).
+ *
+ * The 4 designs x 5 tile counts x 3 systems grid is 60 independent
+ * simulations; they fan out across host threads as ash_exec sweep
+ * jobs (one per design/tile-count point, plus one serial-reference
+ * job per design) and the tables are printed from the merged results,
+ * so output is identical at any --jobs count.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "BenchCommon.h"
@@ -19,42 +26,79 @@ main(int argc, char **argv)
     bench::banner("Figure 11: scalability, speedup over 1-core "
                   "serial simulation");
 
-    const uint32_t tile_counts[] = {1, 4, 16, 32, 64};
+    constexpr std::array<uint32_t, 5> tile_counts{1, 4, 16, 32, 64};
 
-    for (auto &entry : bench::DesignSet::standard().entries()) {
-        const rtl::Netlist &nl = entry.netlist;
-        double serial_khz = baseline::runBaseline(
-                                nl, baseline::simBaselineHost(1))
-                                .speedKHz;
+    auto &designs = bench::DesignSet::standard().entries();
 
+    struct Cell
+    {
+        double base = 0.0;
+        double dash = 0.0;
+        double sash = 0.0;
+    };
+    std::vector<double> serial(designs.size(), 0.0);
+    std::vector<std::array<Cell, tile_counts.size()>> cells(
+        designs.size());
+
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        const std::string &name = designs[di].design.name;
+        sweep.add("fig11/" + name + "/serial",
+                  [&, di](exec::JobContext &) {
+                      serial[di] =
+                          baseline::runBaseline(
+                              designs[di].netlist,
+                              baseline::simBaselineHost(1))
+                              .speedKHz;
+                  });
+        for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+            uint32_t tiles = tile_counts[ti];
+            sweep.add("fig11/" + name + "/t" + std::to_string(tiles),
+                      [&, di, ti, tiles](exec::JobContext &) {
+                          auto &entry = designs[di];
+                          const rtl::Netlist &nl = entry.netlist;
+                          Cell c;
+                          c.base = baseline::runBaseline(
+                                       nl, baseline::simBaselineHost(
+                                               tiles * 4))
+                                       .speedKHz;
+                          core::TaskProgram prog =
+                              bench::compileFor(nl, tiles);
+                          core::ArchConfig dcfg;
+                          c.dash = bench::runAsh(prog, entry.design,
+                                                 dcfg)
+                                       .speedKHz();
+                          core::ArchConfig scfg;
+                          scfg.selective = true;
+                          c.sash = bench::runAsh(prog, entry.design,
+                                                 scfg)
+                                       .speedKHz();
+                          cells[di][ti] = c;
+                      });
+        }
+    }
+    bench::runSweep(sweep);
+
+    for (size_t di = 0; di < designs.size(); ++di) {
+        auto &entry = designs[di];
+        double serial_khz = serial[di];
         TextTable table({"cores", "baseline", "DASH", "SASH"});
-        for (uint32_t tiles : tile_counts) {
-            uint32_t cores = tiles * 4;
-            double base_khz = baseline::runBaseline(
-                                  nl,
-                                  baseline::simBaselineHost(cores))
-                                  .speedKHz;
-            core::TaskProgram prog = bench::compileFor(nl, tiles);
-            core::ArchConfig dcfg;
-            double dash_khz =
-                bench::runAsh(prog, entry.design, dcfg).speedKHz();
-            core::ArchConfig scfg;
-            scfg.selective = true;
-            double sash_khz =
-                bench::runAsh(prog, entry.design, scfg).speedKHz();
+        for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+            uint32_t cores = tile_counts[ti] * 4;
+            const Cell &c = cells[di][ti];
             table.addRow(
                 {TextTable::integer(cores),
-                 TextTable::speedup(base_khz / serial_khz, 1),
-                 TextTable::speedup(dash_khz / serial_khz, 1),
-                 TextTable::speedup(sash_khz / serial_khz, 1)});
+                 TextTable::speedup(c.base / serial_khz, 1),
+                 TextTable::speedup(c.dash / serial_khz, 1),
+                 TextTable::speedup(c.sash / serial_khz, 1)});
             const std::string key = entry.design.name + ".c" +
                                     std::to_string(cores);
             bench::record("speedup.baseline." + key,
-                          base_khz / serial_khz);
+                          c.base / serial_khz);
             bench::record("speedup.dash." + key,
-                          dash_khz / serial_khz);
+                          c.dash / serial_khz);
             bench::record("speedup.sash." + key,
-                          sash_khz / serial_khz);
+                          c.sash / serial_khz);
         }
         std::printf("-- %s (activity %.0f%%) --\n%s\n",
                     entry.design.name.c_str(), entry.activity * 100,

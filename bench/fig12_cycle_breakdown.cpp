@@ -1,9 +1,13 @@
 /**
  * @file
  * Figure 12 reproduction: breakdown of aggregate core cycles for SASH
- * (committed / aborted / idle) as the system scales.
+ * (committed / aborted / idle) as the system scales. Each
+ * (design, tile-count) point is one ash_exec sweep job; the per-point
+ * fractions are recorded from inside the job (staged, merged in
+ * submission order) and the tables are printed after the barrier.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "BenchCommon.h"
@@ -17,41 +21,71 @@ main(int argc, char **argv)
         return 1;
     bench::banner("Figure 12: SASH core-cycle breakdown");
 
-    for (auto &entry : bench::DesignSet::standard().entries()) {
+    constexpr std::array<uint32_t, 5> tile_counts{1, 4, 16, 32, 64};
+
+    auto &designs = bench::DesignSet::standard().entries();
+
+    struct Cell
+    {
+        uint64_t committed = 0;
+        uint64_t aborted = 0;
+        uint64_t idle = 0;
+
+        uint64_t total() const { return committed + aborted + idle; }
+    };
+    std::vector<std::array<Cell, tile_counts.size()>> cells(
+        designs.size());
+
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+            uint32_t tiles = tile_counts[ti];
+            sweep.add("fig12/" + designs[di].design.name + "/t" +
+                          std::to_string(tiles),
+                      [&, di, ti, tiles](exec::JobContext &) {
+                          auto res = bench::runAshAt(designs[di],
+                                                     tiles, true);
+                          Cell c;
+                          c.committed = res.stats.get(
+                              "coreCyclesCommitted");
+                          c.aborted =
+                              res.stats.get("coreCyclesAborted");
+                          c.idle = res.stats.get("coreCyclesIdle");
+                          cells[di][ti] = c;
+                          const std::string key =
+                              designs[di].design.name + ".c" +
+                              std::to_string(tiles * 4);
+                          double total = static_cast<double>(
+                              c.total());
+                          bench::record("frac_committed." + key,
+                                        c.committed / total);
+                          bench::record("frac_aborted." + key,
+                                        c.aborted / total);
+                          bench::record("frac_idle." + key,
+                                        c.idle / total);
+                      });
+        }
+    }
+    bench::runSweep(sweep);
+
+    for (size_t di = 0; di < designs.size(); ++di) {
         TextTable table({"cores", "committed", "aborted", "idle",
                          "agg cycles vs 4-core"});
-        uint64_t one_tile_total = 0;
-        for (uint32_t tiles : {1u, 4u, 16u, 32u, 64u}) {
-            auto res = bench::runAshAt(entry, tiles, true);
-            uint64_t committed =
-                res.stats.get("coreCyclesCommitted");
-            uint64_t aborted = res.stats.get("coreCyclesAborted");
-            uint64_t idle = res.stats.get("coreCyclesIdle");
-            uint64_t total = committed + aborted + idle;
-            if (tiles == 1)
-                one_tile_total = total;
+        uint64_t one_tile_total = cells[di][0].total();
+        for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+            const Cell &c = cells[di][ti];
+            double total = static_cast<double>(c.total());
             table.addRow(
-                {TextTable::integer(tiles * 4),
-                 TextTable::percent(static_cast<double>(committed) /
-                                    total),
-                 TextTable::percent(static_cast<double>(aborted) /
-                                    total),
-                 TextTable::percent(static_cast<double>(idle) /
-                                    total),
-                 TextTable::num(static_cast<double>(total) /
-                                    static_cast<double>(
-                                        one_tile_total),
+                {TextTable::integer(tile_counts[ti] * 4),
+                 TextTable::percent(c.committed / total),
+                 TextTable::percent(c.aborted / total),
+                 TextTable::percent(c.idle / total),
+                 TextTable::num(total / static_cast<double>(
+                                            one_tile_total),
                                 2)});
-            const std::string key = entry.design.name + ".c" +
-                                    std::to_string(tiles * 4);
-            bench::record("frac_committed." + key,
-                          static_cast<double>(committed) / total);
-            bench::record("frac_aborted." + key,
-                          static_cast<double>(aborted) / total);
-            bench::record("frac_idle." + key,
-                          static_cast<double>(idle) / total);
         }
-        std::printf("-- %s --\n%s\n", entry.design.name.c_str(),
+        std::printf("-- %s --\n%s\n",
+                    designs[di].design.name.c_str(),
                     table.toString().c_str());
     }
     std::printf("Expected shape (paper Fig 12): committed work "

@@ -5,14 +5,37 @@
  * DASH, and SASH. The baseline is modeled as the same chip running
  * software dataflow through a shared LLC (our proxy for the paper's
  * best-thread-count multicore; documented substitution).
+ *
+ * Each (design, config) point is one ash_exec sweep job; the
+ * normalization to the baseline total and all printing happen after
+ * the merge barrier. The three configs of a design share the same
+ * compiled program through the compileFor cache.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "BenchCommon.h"
 #include "model/EnergyArea.h"
 
 using namespace ash;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    bool selective;
+    bool hwDataflow;
+    bool sharedLlc;
+};
+
+constexpr Config kConfigs[] = {{"Base", false, false, true},
+                               {"DASH", false, true, false},
+                               {"SASH", true, true, false}};
+constexpr size_t kNumConfigs = 3;
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -22,46 +45,52 @@ main(int argc, char **argv)
     bench::banner("Figure 13: energy breakdown at 256 cores "
                   "(normalized to the baseline total)");
 
-    for (auto &entry : bench::DesignSet::standard().entries()) {
-        core::TaskProgram prog =
-            bench::compileFor(entry.netlist, 64);
+    auto &designs = bench::DesignSet::standard().entries();
+    std::vector<std::array<model::EnergyBreakdown, kNumConfigs>>
+        energy(designs.size());
 
-        struct Config
-        {
-            const char *name;
-            bool selective;
-            bool hwDataflow;
-            bool sharedLlc;
-        };
-        Config configs[] = {{"Base", false, false, true},
-                            {"DASH", false, true, false},
-                            {"SASH", true, true, false}};
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+            sweep.add("fig13/" + designs[di].design.name + "/" +
+                          kConfigs[ci].name,
+                      [&, di, ci](exec::JobContext &) {
+                          auto &entry = designs[di];
+                          core::TaskProgram prog =
+                              bench::compileFor(entry.netlist, 64);
+                          core::ArchConfig cfg;
+                          cfg.selective = kConfigs[ci].selective;
+                          cfg.hwDataflow = kConfigs[ci].hwDataflow;
+                          cfg.sharedLlc = kConfigs[ci].sharedLlc;
+                          auto res = bench::runAsh(
+                              prog, entry.design, cfg);
+                          double seconds =
+                              static_cast<double>(res.chipCycles) /
+                              2.5e9;
+                          energy[di][ci] = model::computeEnergy(
+                              res.stats, 256, 64.0, seconds);
+                      });
+        }
+    }
+    bench::runSweep(sweep);
 
+    for (size_t di = 0; di < designs.size(); ++di) {
+        auto &entry = designs[di];
         TextTable table({"config", "static", "cores", "caches",
                          "TMU", "NoC", "total (norm)"});
-        double base_total = 0;
-        for (const Config &c : configs) {
-            core::ArchConfig cfg;
-            cfg.selective = c.selective;
-            cfg.hwDataflow = c.hwDataflow;
-            cfg.sharedLlc = c.sharedLlc;
-            auto res = bench::runAsh(prog, entry.design, cfg);
-            double seconds =
-                static_cast<double>(res.chipCycles) / 2.5e9;
-            auto e = model::computeEnergy(res.stats, 256, 64.0,
-                                          seconds);
-            if (base_total == 0)
-                base_total = e.totalMj();
+        double base_total = energy[di][0].totalMj();
+        for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+            const auto &e = energy[di][ci];
             auto pct = [&](double mj) {
                 return TextTable::percent(mj / base_total);
             };
-            table.addRow({c.name, pct(e.staticMj), pct(e.coresMj),
-                          pct(e.cachesMj), pct(e.tmuMj),
-                          pct(e.nocMj),
+            table.addRow({kConfigs[ci].name, pct(e.staticMj),
+                          pct(e.coresMj), pct(e.cachesMj),
+                          pct(e.tmuMj), pct(e.nocMj),
                           TextTable::percent(e.totalMj() /
                                              base_total)});
             bench::record("energy_norm." + entry.design.name + "." +
-                              c.name,
+                              kConfigs[ci].name,
                           e.totalMj() / base_total);
         }
         std::printf("-- %s --\n%s\n", entry.design.name.c_str(),

@@ -1,9 +1,13 @@
 /**
  * @file
  * Figure 16 reproduction: speedup from task-driven instruction
- * prefetching (Sec 6) on SASH across system sizes.
+ * prefetching (Sec 6) on SASH across system sizes. Each
+ * (tile count, design) point — a prefetch-on/prefetch-off pair of
+ * runs — is one ash_exec sweep job; gmeans are taken after the merge
+ * barrier.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "BenchCommon.h"
@@ -18,27 +22,48 @@ main(int argc, char **argv)
     bench::banner("Figure 16: task-driven instruction prefetching "
                   "speedup (SASH)");
 
-    TextTable table({"cores", "gmean speedup from prefetching"});
-    for (uint32_t tiles : {1u, 4u, 16u, 64u}) {
-        std::vector<double> ratios;
-        for (auto &entry : bench::DesignSet::standard().entries()) {
-            core::TaskProgram prog =
-                bench::compileFor(entry.netlist, tiles);
-            core::ArchConfig on;
-            on.selective = true;
-            core::ArchConfig off = on;
-            off.prefetch = false;
-            double with =
-                bench::runAsh(prog, entry.design, on).speedKHz();
-            double without =
-                bench::runAsh(prog, entry.design, off).speedKHz();
-            ratios.push_back(with / without);
+    constexpr std::array<uint32_t, 4> tile_counts{1, 4, 16, 64};
+
+    auto &designs = bench::DesignSet::standard().entries();
+    std::vector<std::vector<double>> ratios(
+        tile_counts.size(), std::vector<double>(designs.size(), 0.0));
+
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+        uint32_t tiles = tile_counts[ti];
+        for (size_t di = 0; di < designs.size(); ++di) {
+            sweep.add("fig16/t" + std::to_string(tiles) + "/" +
+                          designs[di].design.name,
+                      [&, ti, di, tiles](exec::JobContext &) {
+                          auto &entry = designs[di];
+                          core::TaskProgram prog = bench::compileFor(
+                              entry.netlist, tiles);
+                          core::ArchConfig on;
+                          on.selective = true;
+                          core::ArchConfig off = on;
+                          off.prefetch = false;
+                          double with = bench::runAsh(prog,
+                                                      entry.design,
+                                                      on)
+                                            .speedKHz();
+                          double without = bench::runAsh(
+                                               prog, entry.design,
+                                               off)
+                                               .speedKHz();
+                          ratios[ti][di] = with / without;
+                      });
         }
-        table.addRow({TextTable::integer(tiles * 4),
-                      TextTable::speedup(bench::gmeanOf(ratios), 2)});
+    }
+    bench::runSweep(sweep);
+
+    TextTable table({"cores", "gmean speedup from prefetching"});
+    for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+        table.addRow({TextTable::integer(tile_counts[ti] * 4),
+                      TextTable::speedup(bench::gmeanOf(ratios[ti]),
+                                         2)});
         bench::record("prefetch_speedup.c" +
-                          std::to_string(tiles * 4),
-                      bench::gmeanOf(ratios));
+                          std::to_string(tile_counts[ti] * 4),
+                      bench::gmeanOf(ratios[ti]));
     }
     std::printf("%s", table.toString().c_str());
     std::printf("\nExpected shape (paper Fig 16): prefetching helps "

@@ -5,6 +5,10 @@
  * single-cycle graph (+hw df), the unrolled dataflow graph (+unroll),
  * partition-aware mapping and coarsening (+mapping = DASH), and
  * selective execution (+selective = SASH).
+ *
+ * One ash_exec sweep job per design for the best-baseline search and
+ * one per (design, step) point; ratios, gmeans, and printing happen
+ * after the merge barrier.
  */
 
 #include <cstdio>
@@ -12,6 +16,24 @@
 #include "BenchCommon.h"
 
 using namespace ash;
+
+namespace {
+
+struct Step
+{
+    const char *name;
+    bool unrolled;
+    bool mapping;
+    bool selective;
+};
+
+constexpr Step kSteps[] = {{"+hw df", false, false, false},
+                           {"+unroll", true, false, false},
+                           {"+mapping (DASH)", true, true, false},
+                           {"+selective (SASH)", true, true, true}};
+constexpr size_t kNumSteps = 4;
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -21,45 +43,54 @@ main(int argc, char **argv)
     bench::banner("Figure 18: factor analysis, gmean speedup over "
                   "best parallel baseline");
 
-    struct Step
-    {
-        const char *name;
-        bool unrolled;
-        bool mapping;
-        bool selective;
-    };
-    Step steps[] = {{"+hw df", false, false, false},
-                    {"+unroll", true, false, false},
-                    {"+mapping (DASH)", true, true, false},
-                    {"+selective (SASH)", true, true, true}};
+    auto &designs = bench::DesignSet::standard().entries();
+    std::vector<double> best_base(designs.size(), 0.0);
+    std::vector<std::array<double, kNumSteps>> khz(designs.size());
 
-    std::map<std::string, std::vector<double>> ratios;
-    for (auto &entry : bench::DesignSet::standard().entries()) {
-        const rtl::Netlist &nl = entry.netlist;
-        double best_base = 0;
-        for (uint32_t t : {4u, 16u, 64u, 128u})
-            best_base = std::max(
-                best_base, baseline::runBaseline(
-                               nl, baseline::simBaselineHost(t))
-                               .speedKHz);
-
-        for (const Step &step : steps) {
-            core::CompilerOptions copts;
-            copts.unrolled = step.unrolled;
-            copts.useMapping = step.mapping;
-            core::TaskProgram prog =
-                bench::compileFor(nl, 64, copts);
-            core::ArchConfig cfg;
-            cfg.selective = step.selective;
-            double khz =
-                bench::runAsh(prog, entry.design, cfg).speedKHz();
-            ratios[step.name].push_back(khz / best_base);
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        const std::string &name = designs[di].design.name;
+        sweep.add("fig18/" + name + "/baseline",
+                  [&, di](exec::JobContext &) {
+                      double best = 0;
+                      for (uint32_t t : {4u, 16u, 64u, 128u})
+                          best = std::max(
+                              best,
+                              baseline::runBaseline(
+                                  designs[di].netlist,
+                                  baseline::simBaselineHost(t))
+                                  .speedKHz);
+                      best_base[di] = best;
+                  });
+        for (size_t si = 0; si < kNumSteps; ++si) {
+            sweep.add("fig18/" + name + "/" + kSteps[si].name,
+                      [&, di, si](exec::JobContext &) {
+                          auto &entry = designs[di];
+                          core::CompilerOptions copts;
+                          copts.unrolled = kSteps[si].unrolled;
+                          copts.useMapping = kSteps[si].mapping;
+                          core::TaskProgram prog = bench::compileFor(
+                              entry.netlist, 64, copts);
+                          core::ArchConfig cfg;
+                          cfg.selective = kSteps[si].selective;
+                          khz[di][si] = bench::runAsh(prog,
+                                                      entry.design,
+                                                      cfg)
+                                            .speedKHz();
+                      });
         }
     }
+    bench::runSweep(sweep);
+
+    std::map<std::string, std::vector<double>> ratios;
+    for (size_t di = 0; di < designs.size(); ++di)
+        for (size_t si = 0; si < kNumSteps; ++si)
+            ratios[kSteps[si].name].push_back(khz[di][si] /
+                                              best_base[di]);
 
     TextTable table({"configuration", "gmean speedup"});
     table.addRow({"parallel baseline", "1.0x"});
-    for (const Step &step : steps) {
+    for (const Step &step : kSteps) {
         table.addRow({step.name,
                       TextTable::speedup(
                           bench::gmeanOf(ratios[step.name]), 1)});

@@ -5,13 +5,39 @@
  * software selective execution (+SE) versus DASH and SASH, as
  * speedups over the best parallel baseline. Swarm-like systems use a
  * shared coherent LLC; Chronos-like systems use tile-private caches.
+ *
+ * One ash_exec sweep job per design for the best-baseline search and
+ * one per (config, design) point. All six configs of a design reuse
+ * the same 64-tile program through the compileFor cache, so the
+ * parallel sweep also compiles each design exactly once.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "BenchCommon.h"
 
 using namespace ash;
+
+namespace {
+
+struct Config
+{
+    const char *name;
+    bool hwDataflow;
+    bool sharedLlc;
+    bool selective;
+};
+
+constexpr Config kConfigs[] = {{"Swarm+DF", false, true, false},
+                               {"Swarm+SE", false, true, true},
+                               {"Chronos+DF", false, false, false},
+                               {"Chronos+SE", false, false, true},
+                               {"DASH", true, false, false},
+                               {"SASH", true, false, true}};
+constexpr size_t kNumConfigs = 6;
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -21,57 +47,61 @@ main(int argc, char **argv)
     bench::banner("Figure 19: prior speculative architectures vs "
                   "DASH/SASH (speedup over best parallel baseline)");
 
-    struct Config
-    {
-        const char *name;
-        bool hwDataflow;
-        bool sharedLlc;
-        bool selective;
-    };
-    Config configs[] = {{"Swarm+DF", false, true, false},
-                        {"Swarm+SE", false, true, true},
-                        {"Chronos+DF", false, false, false},
-                        {"Chronos+SE", false, false, true},
-                        {"DASH", true, false, false},
-                        {"SASH", true, false, true}};
+    auto &designs = bench::DesignSet::standard().entries();
 
     std::vector<std::string> header = {"system"};
-    auto &designs = bench::DesignSet::standard().entries();
     for (auto &e : designs)
         header.push_back(e.design.name);
     header.push_back("gmean");
     TextTable table(header);
 
-    std::vector<double> base_khz;
-    for (auto &entry : designs) {
-        double best = 0;
-        for (uint32_t t : {4u, 16u, 64u, 128u})
-            best = std::max(best,
-                            baseline::runBaseline(
-                                entry.netlist,
-                                baseline::simBaselineHost(t))
-                                .speedKHz);
-        base_khz.push_back(best);
-    }
+    std::vector<double> base_khz(designs.size(), 0.0);
+    std::vector<std::array<double, kNumConfigs>> khz(designs.size());
 
-    for (const Config &c : configs) {
-        std::vector<std::string> row = {c.name};
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < designs.size(); ++di) {
+        const std::string &name = designs[di].design.name;
+        sweep.add("fig19/" + name + "/baseline",
+                  [&, di](exec::JobContext &) {
+                      double best = 0;
+                      for (uint32_t t : {4u, 16u, 64u, 128u})
+                          best = std::max(
+                              best,
+                              baseline::runBaseline(
+                                  designs[di].netlist,
+                                  baseline::simBaselineHost(t))
+                                  .speedKHz);
+                      base_khz[di] = best;
+                  });
+        for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+            sweep.add("fig19/" + name + "/" + kConfigs[ci].name,
+                      [&, di, ci](exec::JobContext &) {
+                          core::TaskProgram prog = bench::compileFor(
+                              designs[di].netlist, 64);
+                          core::ArchConfig cfg;
+                          cfg.hwDataflow = kConfigs[ci].hwDataflow;
+                          cfg.sharedLlc = kConfigs[ci].sharedLlc;
+                          cfg.selective = kConfigs[ci].selective;
+                          khz[di][ci] =
+                              bench::runAsh(prog,
+                                            designs[di].design, cfg)
+                                  .speedKHz();
+                      });
+        }
+    }
+    bench::runSweep(sweep);
+
+    for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+        std::vector<std::string> row = {kConfigs[ci].name};
         std::vector<double> ratios;
-        for (size_t i = 0; i < designs.size(); ++i) {
-            core::TaskProgram prog =
-                bench::compileFor(designs[i].netlist, 64);
-            core::ArchConfig cfg;
-            cfg.hwDataflow = c.hwDataflow;
-            cfg.sharedLlc = c.sharedLlc;
-            cfg.selective = c.selective;
-            double khz = bench::runAsh(prog, designs[i].design, cfg)
-                             .speedKHz();
-            ratios.push_back(khz / base_khz[i]);
+        for (size_t di = 0; di < designs.size(); ++di) {
+            ratios.push_back(khz[di][ci] / base_khz[di]);
             row.push_back(TextTable::speedup(ratios.back(), 1));
         }
         row.push_back(TextTable::speedup(bench::gmeanOf(ratios), 1));
         table.addRow(row);
-        bench::record(std::string("gmean_speedup.") + c.name,
+        bench::record(std::string("gmean_speedup.") +
+                          kConfigs[ci].name,
                       bench::gmeanOf(ratios));
     }
     std::printf("%s", table.toString().c_str());

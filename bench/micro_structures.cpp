@@ -2,15 +2,20 @@
  * @file
  * google-benchmark microbenchmarks for the key data structures and
  * hot paths: the AQ priority heap, the cache model, the NoC, node
- * evaluation, the partitioner, and end-to-end Verilog compilation.
+ * evaluation, the partitioner, end-to-end Verilog compilation, and
+ * the ash_exec thread-pool dispatch path.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
 
 #include "common/BoundedHeap.h"
 #include "common/Random.h"
 #include "core/arch/Cache.h"
 #include "core/arch/Noc.h"
+#include "exec/SweepRunner.h"
+#include "exec/ThreadPool.h"
 #include "partition/Partition.h"
 #include "rtl/Eval.h"
 #include "verilog/Compile.h"
@@ -109,5 +114,70 @@ endmodule
             verilog::compileVerilog(src, "top"));
 }
 BENCHMARK(BM_CompileVerilog)->Unit(benchmark::kMicrosecond);
+
+/**
+ * Per-task dispatch overhead of the work-stealing pool: submit+run
+ * a batch of trivial tasks and wait. Time per iteration / batch size
+ * is the round-trip cost of one submit through the shared-mutex
+ * deques — the number that must stay far below the milliseconds a
+ * real sweep job takes. Arg is the worker-thread count.
+ */
+static void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    constexpr int kBatch = 256;
+    exec::ThreadPool pool(
+        static_cast<unsigned>(state.range(0)));
+    std::atomic<uint64_t> sink{0};
+    for (auto _ : state) {
+        for (int i = 0; i < kBatch; ++i)
+            pool.submit([&] {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * Sweep scaling shape: a fixed bundle of CPU-bound jobs (spin loops
+ * sized like a small simulation kernel) through SweepRunner at
+ * several worker counts. On a multi-core host the per-iteration time
+ * should drop roughly linearly with the arg until it hits the core
+ * count; on a 1-core host it stays flat, which bounds the framework's
+ * own overhead.
+ */
+static void
+BM_SweepRunnerScaling(benchmark::State &state)
+{
+    constexpr int kJobs = 8;
+    for (auto _ : state) {
+        exec::SweepOptions opts;
+        opts.jobs = static_cast<unsigned>(state.range(0));
+        exec::SweepRunner sweep(opts);
+        std::atomic<uint64_t> sink{0};
+        for (int j = 0; j < kJobs; ++j)
+            sweep.add("micro/job" + std::to_string(j),
+                      [&sink](exec::JobContext &ctx) {
+                          uint64_t acc = ctx.seed();
+                          for (int i = 0; i < 200000; ++i)
+                              acc = acc * 6364136223846793005ull +
+                                    1442695040888963407ull;
+                          sink.fetch_add(
+                              acc, std::memory_order_relaxed);
+                      });
+        sweep.run();
+        benchmark::DoNotOptimize(sink.load());
+    }
+    state.SetItemsProcessed(state.iterations() * kJobs);
+}
+BENCHMARK(BM_SweepRunnerScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

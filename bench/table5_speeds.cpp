@@ -4,6 +4,11 @@
  * commercial host (serial and best thread count), the simulated
  * multicore baseline (serial and best), and 256-core DASH and SASH,
  * with SASH's speedups over both baselines.
+ *
+ * Each design contributes three ash_exec sweep jobs — the Zen2 host
+ * runs, the simulated-baseline runs, and the DASH/SASH pair (which
+ * shares one compiled program) — and all recording and printing
+ * happens after the merge barrier.
  */
 
 #include <cstdio>
@@ -36,52 +41,76 @@ main(int argc, char **argv)
         table.addRow(row);
     };
 
-    std::vector<double> zen1, zenb, base1, baseb, dash, sash;
-    for (auto &entry : designs) {
-        const rtl::Netlist &nl = entry.netlist;
-        zen1.push_back(baseline::runBaseline(
-                           nl, baseline::zen2Host(1))
-                           .speedKHz);
-        double best = 0;
-        for (uint32_t t : {2u, 4u, 8u, 16u, 32u})
-            best = std::max(best,
-                            baseline::runBaseline(
-                                nl, baseline::zen2Host(t))
-                                .speedKHz);
-        zenb.push_back(best);
+    size_t n = designs.size();
+    std::vector<double> zen1(n), zenb(n), base1(n), baseb(n),
+        dash(n), sash(n);
+    std::vector<StatSet> sash_stats(n);
 
-        base1.push_back(baseline::runBaseline(
-                            nl, baseline::simBaselineHost(1))
-                            .speedKHz);
-        best = 0;
-        for (uint32_t t : {4u, 16u, 64u, 128u})
-            best = std::max(best,
-                            baseline::runBaseline(
-                                nl, baseline::simBaselineHost(t))
-                                .speedKHz);
-        baseb.push_back(best);
+    exec::SweepRunner sweep(bench::sweepOptions());
+    for (size_t di = 0; di < n; ++di) {
+        const std::string &name = designs[di].design.name;
+        sweep.add("table5/" + name + "/zen2",
+                  [&, di](exec::JobContext &) {
+                      const rtl::Netlist &nl = designs[di].netlist;
+                      zen1[di] = baseline::runBaseline(
+                                     nl, baseline::zen2Host(1))
+                                     .speedKHz;
+                      double best = 0;
+                      for (uint32_t t : {2u, 4u, 8u, 16u, 32u})
+                          best = std::max(
+                              best, baseline::runBaseline(
+                                        nl, baseline::zen2Host(t))
+                                        .speedKHz);
+                      zenb[di] = best;
+                  });
+        sweep.add("table5/" + name + "/baseline",
+                  [&, di](exec::JobContext &) {
+                      const rtl::Netlist &nl = designs[di].netlist;
+                      base1[di] = baseline::runBaseline(
+                                      nl,
+                                      baseline::simBaselineHost(1))
+                                      .speedKHz;
+                      double best = 0;
+                      for (uint32_t t : {4u, 16u, 64u, 128u})
+                          best = std::max(
+                              best,
+                              baseline::runBaseline(
+                                  nl, baseline::simBaselineHost(t))
+                                  .speedKHz);
+                      baseb[di] = best;
+                  });
+        sweep.add("table5/" + name + "/ash",
+                  [&, di](exec::JobContext &) {
+                      auto &entry = designs[di];
+                      core::TaskProgram prog =
+                          bench::compileFor(entry.netlist, 64);
+                      core::ArchConfig dcfg;
+                      dash[di] = bench::runAsh(prog, entry.design,
+                                               dcfg)
+                                     .speedKHz();
+                      core::ArchConfig scfg;
+                      scfg.selective = true;
+                      core::RunResult sres =
+                          bench::runAsh(prog, entry.design, scfg);
+                      sash[di] = sres.speedKHz();
+                      sash_stats[di] = sres.stats;
+                  });
+    }
+    bench::runSweep(sweep);
 
-        core::TaskProgram prog = bench::compileFor(nl, 64);
-        core::ArchConfig dcfg;
-        core::RunResult dres = bench::runAsh(prog, entry.design, dcfg);
-        dash.push_back(dres.speedKHz());
-        core::ArchConfig scfg;
-        scfg.selective = true;
-        core::RunResult sres = bench::runAsh(prog, entry.design, scfg);
-        sash.push_back(sres.speedKHz());
-
-        const std::string &d = entry.design.name;
-        bench::record("khz.zen2_serial." + d, zen1.back());
-        bench::record("khz.zen2_best." + d, zenb.back());
-        bench::record("khz.baseline_serial." + d, base1.back());
-        bench::record("khz.baseline_best." + d, baseb.back());
-        bench::record("khz.dash." + d, dash.back());
-        bench::record("khz.sash." + d, sash.back());
+    for (size_t di = 0; di < n; ++di) {
+        const std::string &d = designs[di].design.name;
+        bench::record("khz.zen2_serial." + d, zen1[di]);
+        bench::record("khz.zen2_best." + d, zenb[di]);
+        bench::record("khz.baseline_serial." + d, base1[di]);
+        bench::record("khz.baseline_best." + d, baseb[di]);
+        bench::record("khz.dash." + d, dash[di]);
+        bench::record("khz.sash." + d, sash[di]);
         bench::record("speedup.sash_vs_zen2." + d,
-                      sash.back() / zenb.back());
+                      sash[di] / zenb[di]);
         bench::record("speedup.sash_vs_baseline." + d,
-                      sash.back() / baseb.back());
-        bench::recordStats("sash." + d, sres.stats);
+                      sash[di] / baseb[di]);
+        bench::recordStats("sash." + d, sash_stats[di]);
     }
 
     addRow("Zen2 t=1", zen1);

@@ -1,16 +1,29 @@
 #include "common/Logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace ash {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Normal;
+std::atomic<LogLevel> globalLevel{LogLevel::Normal};
 
-LogCycleProvider cycleProvider = nullptr;
-const void *cycleProviderCtx = nullptr;
+// Per-thread: each concurrently running simulation stamps its own
+// cycle, and sweep workers carry their job id.
+thread_local LogCycleProvider cycleProvider = nullptr;
+thread_local const void *cycleProviderCtx = nullptr;
+thread_local int64_t logJobId = -1;
+
+/** Serializes emission so concurrent jobs never split a line. */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -27,17 +40,21 @@ vformat(const char *fmt, va_list ap)
     return out;
 }
 
-/** "[WARN]" or "[WARN @c1234]" per the Logging.h contract. */
+/** "[WARN]", "[WARN @c1234]", or "[WARN j3 @c1234]" per Logging.h. */
 std::string
 prefix(const char *tag)
 {
-    char buf[48];
+    char job[24] = "";
+    if (logJobId >= 0)
+        std::snprintf(job, sizeof(job), " j%lld",
+                      (long long)logJobId);
+    char buf[72];
     if (cycleProvider) {
-        std::snprintf(buf, sizeof(buf), "[%s @c%llu]", tag,
+        std::snprintf(buf, sizeof(buf), "[%s%s @c%llu]", tag, job,
                       (unsigned long long)cycleProvider(
                           cycleProviderCtx));
     } else {
-        std::snprintf(buf, sizeof(buf), "[%s]", tag);
+        std::snprintf(buf, sizeof(buf), "[%s%s]", tag, job);
     }
     return buf;
 }
@@ -45,7 +62,9 @@ prefix(const char *tag)
 void
 emit(const char *tag, const std::string &msg)
 {
-    std::fprintf(stderr, "%s %s\n", prefix(tag).c_str(), msg.c_str());
+    std::string pfx = prefix(tag);
+    std::lock_guard<std::mutex> lock(emitMutex());
+    std::fprintf(stderr, "%s %s\n", pfx.c_str(), msg.c_str());
 }
 
 } // namespace
@@ -67,6 +86,12 @@ setLogCycleProvider(LogCycleProvider fn, const void *ctx)
 {
     cycleProvider = fn;
     cycleProviderCtx = fn ? ctx : nullptr;
+}
+
+void
+setLogJobId(int64_t id)
+{
+    logJobId = id;
 }
 
 void
@@ -99,9 +124,13 @@ panicAssert(const char *cond, const char *file, int line,
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "%s assertion '%s' failed at %s:%d%s%s\n",
-                 prefix("PANIC").c_str(), cond, file, line,
-                 msg.empty() ? "" : ": ", msg.c_str());
+    {
+        std::lock_guard<std::mutex> lock(emitMutex());
+        std::fprintf(stderr,
+                     "%s assertion '%s' failed at %s:%d%s%s\n",
+                     prefix("PANIC").c_str(), cond, file, line,
+                     msg.empty() ? "" : ": ", msg.c_str());
+    }
     std::abort();
 }
 

@@ -6,6 +6,17 @@
  * (bugs in ASH itself), fatal() for user-caused conditions the library
  * cannot recover from (bad Verilog, invalid configuration), and warn() /
  * inform() for status messages that never stop execution.
+ *
+ * Thread safety (required by the ash_exec host-parallel sweeps):
+ * emission is serialized under one mutex so concurrent jobs never
+ * split or interleave within a "[LEVEL ...]" line; the simulated-cycle
+ * provider and the job id are thread_local, so every line is stamped
+ * with the cycle of the simulation running on THAT thread and — on
+ * sweep worker threads — the id of the job that produced it:
+ *
+ *   [WARN] message              (main thread, no simulation running)
+ *   [WARN @c1234] message       (main thread, cycle 1234)
+ *   [WARN j3 @c1234] message    (sweep job #3, cycle 1234)
  */
 
 #ifndef ASH_COMMON_LOGGING_H
@@ -30,19 +41,25 @@ LogLevel logLevel();
  * Structured log prefix: every message carries a level tag, and —
  * when a running simulator has registered its clock — the current
  * simulated cycle, so interleaved output is greppable and
- * attributable:
- *
- *   [WARN] message              (no simulation running)
- *   [WARN @c1234] message       (1234 = simulated chip cycle)
+ * attributable (see the file header for the exact forms).
  *
  * A simulator installs its monotonic cycle counter for the duration
  * of a run via setLogCycleProvider(); passing nullptr (or letting
- * LogCycleScope destruct) removes it.
+ * LogCycleScope destruct) removes it. The provider is thread_local:
+ * concurrent simulations on different threads each stamp their own
+ * cycle.
  */
 using LogCycleProvider = uint64_t (*)(const void *ctx);
 
-/** Install @p fn/@p ctx as the sim-cycle source; nullptr clears. */
+/** Install @p fn/@p ctx as this thread's sim-cycle source. */
 void setLogCycleProvider(LogCycleProvider fn, const void *ctx);
+
+/**
+ * Tag this thread's log lines with sweep job @p id ("j<id>" in the
+ * prefix); -1 removes the tag. Installed by exec::SweepRunner around
+ * each job so interleaved worker output stays attributable.
+ */
+void setLogJobId(int64_t id);
 
 /** RAII installer/remover for the log cycle provider. */
 class LogCycleScope

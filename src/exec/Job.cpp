@@ -1,0 +1,72 @@
+#include "exec/Job.h"
+
+#include "obs/Trace.h"
+
+namespace ash::exec {
+
+namespace {
+
+thread_local JobContext *tlsCurrent = nullptr;
+
+} // namespace
+
+namespace detail {
+
+/** Internal: SweepRunner installs/clears the thread's job. */
+void
+setCurrentJob(JobContext *ctx)
+{
+    tlsCurrent = ctx;
+}
+
+} // namespace detail
+
+uint64_t
+stableSeed(const std::string &name)
+{
+    // FNV-1a 64-bit: stable across platforms and standard libraries,
+    // which is the whole point — the seed must depend only on the
+    // job key.
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : name) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+JobContext::JobContext(std::string name, size_t index)
+    : _name(std::move(name)), _index(index),
+      _seed(stableSeed(_name)), _rng(_seed)
+{
+}
+
+JobContext::~JobContext() = default;
+
+JobContext *
+JobContext::current()
+{
+    return tlsCurrent;
+}
+
+void
+JobContext::beginAttempt(int attempt)
+{
+    _attempt = attempt;
+    _records.clear();
+    _stats.clear();
+    // Distinct but deterministic stream per attempt: a retried job
+    // must not replay the exact failure-correlated stream, yet two
+    // hosts retrying the same job must agree.
+    _rng.reseed(_seed + 0x9e3779b97f4a7c15ull *
+                            static_cast<uint64_t>(attempt));
+    if (obs::Tracer::enabled()) {
+        _tracer = std::make_unique<obs::Tracer>();
+        _tracer->setCapacityPerTile(
+            obs::Tracer::process().capacityPerTile());
+    } else {
+        _tracer.reset();
+    }
+}
+
+} // namespace ash::exec

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The ash_exec job model. A job is one independent unit of a sweep —
+ * typically one (design, config, system) simulation — identified by a
+ * stable, human-readable key such as "fig11/gcd/t16". Everything a
+ * job needs for deterministic parallel execution hangs off its
+ * JobContext:
+ *
+ *  - a per-job RNG seeded from the key (stableSeed), so random
+ *    behavior depends only on WHICH job runs, never on which thread
+ *    runs it or in what order;
+ *  - per-job staging for bench results (record / recordStats) and —
+ *    when event tracing is enabled — a private obs::Tracer, all merged
+ *    into the process-wide report in SUBMISSION order at the sweep
+ *    barrier, so exported output is byte-identical at any job count;
+ *  - the attempt counter for SweepRunner's bounded retry.
+ *
+ * JobContext::current() exposes the running job to shared substrate
+ * (bench::record routes through it; Logging prefixes worker lines
+ * with the job id).
+ */
+
+#ifndef ASH_EXEC_JOB_H
+#define ASH_EXEC_JOB_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/Random.h"
+#include "common/Stats.h"
+
+namespace ash::obs {
+class Tracer;
+}
+
+namespace ash::exec {
+
+/** FNV-1a hash of @p name; the deterministic per-job seed root. */
+uint64_t stableSeed(const std::string &name);
+
+/** One job that exhausted its retry budget. */
+struct JobFailure
+{
+    std::string job;     ///< Job key.
+    size_t index = 0;    ///< Submission index within the sweep.
+    int attempts = 0;    ///< Attempts consumed (== maxAttempts).
+    std::string error;   ///< what() of the last exception.
+};
+
+/** Per-job execution state; see file header. */
+class JobContext
+{
+  public:
+    // Out of line: _tracer's pointee type is incomplete here.
+    JobContext(std::string name, size_t index);
+    ~JobContext();
+
+    const std::string &name() const { return _name; }
+    size_t index() const { return _index; }
+
+    /** 0-based attempt; > 0 only on SweepRunner retries. */
+    int attempt() const { return _attempt; }
+
+    /** Stable seed root: depends only on the job key. */
+    uint64_t seed() const { return _seed; }
+
+    /**
+     * Per-job RNG. Reseeded at the start of every attempt from
+     * seed() and the attempt number, so a retry replays a
+     * deterministic (but distinct) stream.
+     */
+    Rng &rng() { return _rng; }
+
+    /** Stage one named result; applied in submission order. */
+    void
+    record(const std::string &key, double value)
+    {
+        _records.emplace_back(key, value);
+    }
+
+    /** Stage a StatSet merge under @p scope. */
+    void
+    recordStats(const std::string &scope, const StatSet &stats)
+    {
+        _stats.emplace_back(scope, stats);
+    }
+
+    /**
+     * The job running on this thread, or nullptr outside a sweep.
+     * Worker-thread substrate (bench::record, Logging) routes
+     * through this.
+     */
+    static JobContext *current();
+
+  private:
+    friend class SweepRunner;
+
+    /** Reset staging + RNG for attempt @p attempt. */
+    void beginAttempt(int attempt);
+
+    std::string _name;
+    size_t _index;
+    uint64_t _seed;
+    Rng _rng;
+    int _attempt = 0;
+    std::vector<std::pair<std::string, double>> _records;
+    std::vector<std::pair<std::string, StatSet>> _stats;
+    std::unique_ptr<obs::Tracer> _tracer;   ///< Only while tracing.
+};
+
+namespace detail {
+
+/** Internal: SweepRunner installs/clears the thread's job. */
+void setCurrentJob(JobContext *ctx);
+
+} // namespace detail
+
+} // namespace ash::exec
+
+#endif // ASH_EXEC_JOB_H

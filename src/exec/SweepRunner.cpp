@@ -1,0 +1,126 @@
+#include "exec/SweepRunner.h"
+
+#include <algorithm>
+
+#include "common/Logging.h"
+#include "exec/ThreadPool.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
+
+namespace ash::exec {
+
+SweepRunner::SweepRunner(SweepOptions opts) : _opts(opts) {}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::add(std::string name,
+                 std::function<void(JobContext &)> body)
+{
+    ASH_ASSERT(!_ran, "SweepRunner::add after run()");
+    _jobs.push_back({std::move(name), std::move(body)});
+}
+
+unsigned
+SweepRunner::resolvedJobs() const
+{
+    return _opts.jobs != 0 ? _opts.jobs : hardwareConcurrency();
+}
+
+void
+SweepRunner::executeJob(size_t i)
+{
+    JobContext &ctx = *_contexts[i];
+    const int max_attempts = std::max(1, _opts.maxAttempts);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        ctx.beginAttempt(attempt);
+        detail::setCurrentJob(&ctx);
+        setLogJobId(static_cast<int64_t>(i));
+        if (ctx._tracer)
+            obs::Tracer::setThreadActive(ctx._tracer.get());
+
+        std::string err;
+        try {
+            _jobs[i].body(ctx);
+        } catch (const std::exception &e) {
+            err = e.what();
+        } catch (...) {
+            err = "unknown exception";
+        }
+
+        obs::Tracer::setThreadActive(nullptr);
+        setLogJobId(-1);
+        detail::setCurrentJob(nullptr);
+
+        if (err.empty())
+            return;
+        if (attempt + 1 < max_attempts) {
+            warn("job '%s' attempt %d/%d failed: %s — retrying",
+                 ctx.name().c_str(), attempt + 1, max_attempts,
+                 err.c_str());
+            continue;
+        }
+        auto failure = std::make_unique<JobFailure>();
+        failure->job = ctx.name();
+        failure->index = i;
+        failure->attempts = max_attempts;
+        failure->error = err;
+        _failureSlots[i] = std::move(failure);
+    }
+}
+
+const std::vector<JobFailure> &
+SweepRunner::run()
+{
+    ASH_ASSERT(!_ran, "SweepRunner::run called twice");
+    _ran = true;
+
+    _contexts.reserve(_jobs.size());
+    for (size_t i = 0; i < _jobs.size(); ++i)
+        _contexts.push_back(
+            std::make_unique<JobContext>(_jobs[i].name, i));
+    _failureSlots.resize(_jobs.size());
+
+    const unsigned threads = std::min<size_t>(
+        resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
+    if (threads <= 1) {
+        // Single-job mode runs inline on the caller's thread — same
+        // JobContext plumbing, no thread handoff, so `--jobs 1` is
+        // also the zero-risk fallback path.
+        for (size_t i = 0; i < _jobs.size(); ++i)
+            executeJob(i);
+    } else {
+        ThreadPool pool(threads);
+        for (size_t i = 0; i < _jobs.size(); ++i)
+            pool.submit([this, i] { executeJob(i); });
+        pool.wait();
+    }
+
+    // Merge barrier: apply every job's staged output in submission
+    // order, so the report (and its JSON) is independent of both the
+    // completion order and the job count.
+    obs::Report &report = obs::Report::global();
+    for (size_t i = 0; i < _contexts.size(); ++i) {
+        JobContext &ctx = *_contexts[i];
+        for (const auto &[key, value] : ctx._records)
+            report.record(key, value);
+        for (const auto &[scope, stats] : ctx._stats)
+            report.recordStats(scope, stats);
+        if (ctx._tracer)
+            obs::Tracer::process().mergeFrom(*ctx._tracer);
+        if (_failureSlots[i])
+            _failures.push_back(*_failureSlots[i]);
+    }
+
+    if (!_failures.empty()) {
+        warn("ash_exec sweep: %zu of %zu jobs FAILED:",
+             _failures.size(), _jobs.size());
+        for (const JobFailure &f : _failures)
+            warn("  job '%s' (#%zu) failed after %d attempt%s: %s",
+                 f.job.c_str(), f.index, f.attempts,
+                 f.attempts == 1 ? "" : "s", f.error.c_str());
+    }
+    return _failures;
+}
+
+} // namespace ash::exec

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * SweepRunner: deterministic fan-out of independent sweep jobs across
+ * host threads. The contract that makes `--jobs N` safe for the
+ * benches:
+ *
+ *  1. DETERMINISM — each job sees a JobContext whose RNG is seeded
+ *     from the job key alone; job-side record()/recordStats()/trace
+ *     output is staged privately and merged into obs::Report /
+ *     obs::Tracer in SUBMISSION order at the run() barrier. Stdout
+ *     printing stays on the caller's thread after run() returns.
+ *     Result: tables and --stats-json bytes are identical for any
+ *     job count, including 1.
+ *
+ *  2. FAILURE ISOLATION — an exception thrown by a job body is
+ *     captured, the job is retried up to maxAttempts times with a
+ *     clean staging area, and a job that exhausts its budget becomes
+ *     a JobFailure entry in a structured report instead of tearing
+ *     down the whole bench. Other jobs always run to completion.
+ *
+ * Typical use:
+ *
+ *   exec::SweepRunner sweep(bench::sweepOptions());
+ *   sweep.add("fig11/gcd/t16", [&](exec::JobContext &ctx) { ... });
+ *   ...
+ *   sweep.run();                 // fan out, barrier, ordered merge
+ *   for (auto &f : sweep.failures()) ...
+ */
+
+#ifndef ASH_EXEC_SWEEPRUNNER_H
+#define ASH_EXEC_SWEEPRUNNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/Job.h"
+
+namespace ash::exec {
+
+/** Knobs for one sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means hardwareConcurrency(). */
+    unsigned jobs = 0;
+
+    /** Total tries per job (1 = no retry). */
+    int maxAttempts = 2;
+};
+
+/** Deterministic parallel sweep executor; see file header. */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    /**
+     * Enqueue one job. @p name must be unique and stable across
+     * runs — it keys the job's RNG seed and labels its log lines and
+     * failure entries.
+     */
+    void add(std::string name, std::function<void(JobContext &)> body);
+
+    /** Jobs enqueued so far. */
+    size_t jobCount() const { return _jobs.size(); }
+
+    /** Resolved worker-thread count this sweep will use. */
+    unsigned resolvedJobs() const;
+
+    /**
+     * Run every job, wait for all of them (the merge barrier), then
+     * apply each job's staged results in submission order and log a
+     * structured failure report for any job that exhausted its
+     * retries. Returns failures() for convenience. May be called
+     * once.
+     */
+    const std::vector<JobFailure> &run();
+
+    /** Failures from the completed run (submission order). */
+    const std::vector<JobFailure> &failures() const
+    { return _failures; }
+
+  private:
+    struct PendingJob
+    {
+        std::string name;
+        std::function<void(JobContext &)> body;
+    };
+
+    /** Run job @p i with retry; never throws. */
+    void executeJob(size_t i);
+
+    SweepOptions _opts;
+    std::vector<PendingJob> _jobs;
+    std::vector<std::unique_ptr<JobContext>> _contexts;
+    std::vector<std::unique_ptr<JobFailure>> _failureSlots;
+    std::vector<JobFailure> _failures;
+    bool _ran = false;
+};
+
+} // namespace ash::exec
+
+#endif // ASH_EXEC_SWEEPRUNNER_H

@@ -1,0 +1,117 @@
+#include "exec/ThreadPool.h"
+
+namespace ash::exec {
+
+namespace {
+
+/** Worker identity for same-pool nested submits. */
+thread_local ThreadPool *tlsPool = nullptr;
+thread_local unsigned tlsWorker = 0;
+
+} // namespace
+
+unsigned
+hardwareConcurrency()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareConcurrency();
+    _deques.resize(threads);
+    _threads.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _idleCv.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (tlsPool == this) {
+            // Nested fan-out: keep it local and LIFO so the freshest
+            // (cache-warm) work runs first; thieves take the oldest.
+            _deques[tlsWorker].push_front(std::move(fn));
+        } else {
+            _deques[_nextDeque].push_back(std::move(fn));
+            _nextDeque = (_nextDeque + 1) % _deques.size();
+        }
+        ++_inFlight;
+    }
+    _idleCv.notify_one();
+}
+
+bool
+ThreadPool::popTask(unsigned self, std::function<void()> &out)
+{
+    if (!_deques[self].empty()) {
+        out = std::move(_deques[self].front());
+        _deques[self].pop_front();
+        return true;
+    }
+    for (size_t k = 1; k < _deques.size(); ++k) {
+        size_t victim = (self + k) % _deques.size();
+        if (!_deques[victim].empty()) {
+            out = std::move(_deques[victim].back());
+            _deques[victim].pop_back();
+            ++_steals;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    tlsPool = this;
+    tlsWorker = self;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        std::function<void()> task;
+        if (popTask(self, task)) {
+            lock.unlock();
+            task();
+            task = nullptr;   // Destroy captures outside the lock.
+            lock.lock();
+            if (--_inFlight == 0)
+                _doneCv.notify_all();
+            continue;
+        }
+        // Drain-on-shutdown: only exit once no task is available.
+        if (_stop)
+            return;
+        _idleCv.wait(lock);
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _doneCv.wait(lock, [this] { return _inFlight == 0; });
+}
+
+uint64_t
+ThreadPool::stealCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _steals;
+}
+
+} // namespace ash::exec

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Host-parallel work-stealing thread pool for ash_exec. One pool owns
+ * N worker threads, each with its own deque: owners push and pop at
+ * the front (LIFO, cache-warm), idle workers steal from the back of a
+ * victim's deque (FIFO, oldest work first). Tasks submitted from
+ * outside the pool are distributed round-robin; tasks submitted from
+ * inside a worker (nested fan-out) land on that worker's own deque.
+ *
+ * Locking granularity: a single pool mutex guards all deques and the
+ * idle/done condition variables. ash_exec jobs are whole simulations
+ * (milliseconds to seconds), so dispatch is far off the critical path;
+ * micro_structures tracks the per-dispatch overhead to keep it honest.
+ *
+ * Shutdown semantics: the destructor DRAINS — every task submitted
+ * before destruction runs to completion before the workers join. Tasks
+ * must not throw (SweepRunner catches per-job exceptions before the
+ * pool sees them) and must not call wait() from inside a task.
+ */
+
+#ifndef ASH_EXEC_THREADPOOL_H
+#define ASH_EXEC_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ash::exec {
+
+/** Number of host hardware threads (always >= 1). */
+unsigned hardwareConcurrency();
+
+/** Work-stealing thread pool; see file header for semantics. */
+class ThreadPool
+{
+  public:
+    /** @p threads == 0 means hardwareConcurrency(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p fn; runs on some worker thread. Must not throw. */
+    void submit(std::function<void()> fn);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned threadCount() const
+    { return static_cast<unsigned>(_deques.size()); }
+
+    /** Tasks executed by a worker that did not own them. */
+    uint64_t stealCount() const;
+
+  private:
+    void workerLoop(unsigned self);
+
+    /**
+     * Pop the next task for worker @p self (own front, else steal
+     * from a victim's back). Caller must hold _mutex. Returns false
+     * when every deque is empty.
+     */
+    bool popTask(unsigned self, std::function<void()> &out);
+
+    std::vector<std::deque<std::function<void()>>> _deques;
+    std::vector<std::thread> _threads;
+    mutable std::mutex _mutex;
+    std::condition_variable _idleCv;   ///< Workers sleep here.
+    std::condition_variable _doneCv;   ///< wait() sleeps here.
+    uint64_t _inFlight = 0;   ///< Queued + running, under _mutex.
+    uint64_t _steals = 0;     ///< Under _mutex.
+    unsigned _nextDeque = 0;  ///< Round-robin target, under _mutex.
+    bool _stop = false;       ///< Under _mutex.
+};
+
+} // namespace ash::exec
+
+#endif // ASH_EXEC_THREADPOOL_H

@@ -70,12 +70,14 @@ Report::parseArgs(int &argc, char **argv)
 void
 Report::record(const std::string &key, double value)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _results[key] = value;
 }
 
 double
 Report::get(const std::string &key) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     auto it = _results.find(key);
     return it == _results.end()
                ? std::numeric_limits<double>::quiet_NaN()
@@ -85,12 +87,14 @@ Report::get(const std::string &key) const
 void
 Report::recordStats(const std::string &scope, const StatSet &stats)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _stats.mergeScoped(scope, stats);
 }
 
 std::string
 Report::toJson(bool pretty) const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     JsonWriter w(pretty);
     w.beginObject();
     w.kv("bench", _name);
@@ -158,6 +162,7 @@ Report::finish() const
 void
 Report::clear()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _results.clear();
     _stats.clear();
 }

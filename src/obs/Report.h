@@ -9,6 +9,14 @@
  * event tracer when --trace is given), record()s its headline numbers
  * as it computes them, recordStats() any per-run StatSets worth
  * keeping, and finish()es at exit to write the requested files.
+ *
+ * Concurrency: record()/recordStats() are serialized under a mutex,
+ * so stray direct calls from sweep worker threads are safe; the
+ * supported parallel path, though, is the per-job staging in
+ * exec::JobContext (bench::record routes there automatically), whose
+ * merge barrier applies jobs in submission order. Either way the
+ * exported JSON is independent of job completion order: results and
+ * stats live in sorted maps, so key order never depends on timing.
  */
 
 #ifndef ASH_OBS_REPORT_H
@@ -16,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/Stats.h"
@@ -83,6 +92,7 @@ class Report
     std::string _tracePath;
     std::map<std::string, double> _results;
     StatSet _stats;
+    mutable std::mutex _mutex;   ///< Guards _results and _stats.
 };
 
 } // namespace ash::obs

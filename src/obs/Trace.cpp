@@ -61,11 +61,29 @@ causeName(AbortCause c)
     return "unknown";
 }
 
+namespace {
+
+thread_local Tracer *tlsActiveTracer = nullptr;
+
+} // namespace
+
 Tracer &
-Tracer::global()
+Tracer::process()
 {
     static Tracer tracer;
     return tracer;
+}
+
+Tracer &
+Tracer::global()
+{
+    return tlsActiveTracer ? *tlsActiveTracer : process();
+}
+
+void
+Tracer::setThreadActive(Tracer *t)
+{
+    tlsActiveTracer = t;
 }
 
 void
@@ -121,6 +139,19 @@ Tracer::clear()
 {
     _rings.clear();
     _dropped = 0;
+}
+
+void
+Tracer::mergeFrom(const Tracer &other)
+{
+    std::vector<TraceEvent> events;
+    for (const Ring &ring : other._rings) {
+        events.clear();
+        appendRing(ring, events);
+        for (const TraceEvent &e : events)
+            record(e);
+    }
+    _dropped += other._dropped;
 }
 
 void

@@ -15,8 +15,13 @@
  *     per-tile ring buffers; overflow overwrites the oldest events of
  *     that tile and is counted, never reallocated.
  *
- * The simulators are single-threaded, and the tracer inherits that
- * assumption: record() is not thread-safe.
+ * Each simulator instance is single-threaded, and a Tracer INSTANCE
+ * inherits that assumption: record() is not thread-safe. Host-
+ * parallel sweeps (src/exec) stay safe through per-thread redirect:
+ * global() returns the thread's active tracer when one is installed
+ * (setThreadActive), so every concurrent job records into its own
+ * private buffers, which the sweep's merge barrier folds into the
+ * process tracer in submission order (mergeFrom).
  *
  * Timestamps are simulated chip cycles; the exporter maps one cycle
  * to one microsecond so Perfetto's time axis reads directly in
@@ -26,6 +31,7 @@
 #ifndef ASH_OBS_TRACE_H
 #define ASH_OBS_TRACE_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -94,13 +100,32 @@ struct TraceEvent
 class Tracer
 {
   public:
+    /**
+     * The tracer instrumentation points should record into: this
+     * thread's active tracer if one is installed (parallel sweep
+     * jobs), else the process-wide tracer.
+     */
     static Tracer &global();
 
+    /** The process-wide tracer, ignoring any thread redirect. */
+    static Tracer &process();
+
+    /** Redirect this thread's global() to @p t; nullptr restores. */
+    static void setThreadActive(Tracer *t);
+
     /** Hot-path guard; inline, branch-predictable, no call. */
-    static bool enabled() { return _sEnabled; }
+    static bool
+    enabled()
+    {
+        return _sEnabled.load(std::memory_order_relaxed);
+    }
 
     /** Turn recording on/off (off drops events, keeps buffers). */
-    static void setEnabled(bool on) { _sEnabled = on; }
+    static void
+    setEnabled(bool on)
+    {
+        _sEnabled.store(on, std::memory_order_relaxed);
+    }
 
     /** Ring capacity per tile (events); applies on next record. */
     void setCapacityPerTile(size_t cap);
@@ -118,6 +143,16 @@ class Tracer
 
     /** Drop all buffered events (capacity and enable state kept). */
     void clear();
+
+    /**
+     * Append @p other's buffered events into this tracer's rings,
+     * tile by tile in @p other's ring order, honoring this tracer's
+     * capacity; dropped counts accumulate. The sweep merge barrier
+     * uses this to fold per-job tracers into the process tracer in
+     * submission order, reproducing what a sequential run would have
+     * recorded.
+     */
+    void mergeFrom(const Tracer &other);
 
     /**
      * Buffered events of all tiles as one Chrome trace_event JSON
@@ -145,7 +180,7 @@ class Tracer
     size_t _capPerTile = 1 << 15;
     uint64_t _dropped = 0;
 
-    static inline bool _sEnabled = false;
+    static inline std::atomic<bool> _sEnabled{false};
 };
 
 /** Convenience builder used by the instrumentation macro. */

@@ -1,0 +1,51 @@
+# ctest driver: the ash_exec determinism contract, end to end. Run a
+# sweep bench twice — serial (--jobs 1) and parallel (--jobs 8) — and
+# require byte-identical stdout AND byte-identical --stats-json. Any
+# completion-order dependence in the merge barrier, record staging, or
+# table printing shows up here as a diff.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P RunJobsDeterminism.cmake
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Same JSON filename both times so the "wrote stats JSON: <path>" log
+# line cannot excuse a stdout difference.
+set(json "${WORKDIR}/det_stats.json")
+
+execute_process(COMMAND "${BENCH}" --jobs 1 --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_serial
+                ERROR_VARIABLE err_serial)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs 1 exited with ${rc}:\n${err_serial}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/det_stats_j1.json")
+file(WRITE "${WORKDIR}/det_stdout_j1.txt" "${out_serial}")
+
+execute_process(COMMAND "${BENCH}" --jobs 8 --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_parallel
+                ERROR_VARIABLE err_parallel)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs 8 exited with ${rc}:\n${err_parallel}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/det_stats_j8.json")
+file(WRITE "${WORKDIR}/det_stdout_j8.txt" "${out_parallel}")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/det_stdout_j1.txt"
+                        "${WORKDIR}/det_stdout_j8.txt"
+                RESULT_VARIABLE stdout_rc)
+if(NOT stdout_rc EQUAL 0)
+    message(FATAL_ERROR "stdout differs between --jobs 1 and --jobs 8 "
+                        "(${WORKDIR}/det_stdout_j{1,8}.txt)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/det_stats_j1.json"
+                        "${WORKDIR}/det_stats_j8.json"
+                RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between --jobs 1 and "
+                        "--jobs 8 (${WORKDIR}/det_stats_j{1,8}.json)")
+endif()

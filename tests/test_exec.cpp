@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Unit tests for the ash_exec subsystem: the work-stealing ThreadPool
+ * (completion, multi-thread participation, stealing, drain-on-destroy)
+ * and SweepRunner's determinism contract (stable per-job RNG,
+ * submission-order merge into obs::Report, exception capture with
+ * bounded retry, failure isolation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/SweepRunner.h"
+#include "exec/ThreadPool.h"
+#include "obs/Report.h"
+
+namespace ash::exec {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, HardwareConcurrencyDefaultIsPositive)
+{
+    EXPECT_GE(hardwareConcurrency(), 1u);
+    ThreadPool pool;
+    EXPECT_EQ(pool.threadCount(), hardwareConcurrency());
+}
+
+TEST(ThreadPool, MultipleWorkersParticipate)
+{
+    // Four tasks that all block until four distinct threads have
+    // arrived: only possible if four workers run concurrently.
+    constexpr int kThreads = 4;
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    std::set<std::thread::id> ids;
+
+    ThreadPool pool(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        pool.submit([&] {
+            std::unique_lock<std::mutex> lock(m);
+            ids.insert(std::this_thread::get_id());
+            if (++arrived == kThreads)
+                cv.notify_all();
+            else
+                cv.wait(lock, [&] { return arrived == kThreads; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(ids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(ThreadPool, IdleWorkerStealsNestedWork)
+{
+    // A parent task fills its own deque with nested submits, then
+    // blocks until some OTHER worker has run one of them. The only
+    // way forward is a steal.
+    std::mutex m;
+    std::condition_variable cv;
+    bool nested_ran_elsewhere = false;
+    std::atomic<int> nested_done{0};
+
+    ThreadPool pool(2);
+    pool.submit([&] {
+        std::thread::id self = std::this_thread::get_id();
+        for (int i = 0; i < 4; ++i) {
+            pool.submit([&, self] {
+                if (std::this_thread::get_id() != self) {
+                    std::lock_guard<std::mutex> lock(m);
+                    nested_ran_elsewhere = true;
+                    cv.notify_all();
+                }
+                nested_done.fetch_add(1);
+            });
+        }
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return nested_ran_elsewhere; });
+    });
+    pool.wait();
+    EXPECT_EQ(nested_done.load(), 4);
+    EXPECT_TRUE(nested_ran_elsewhere);
+    EXPECT_GE(pool.stealCount(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                done.fetch_add(1);
+            });
+        // No wait(): destruction must finish the backlog.
+    }
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(StableSeed, DependsOnlyOnKey)
+{
+    EXPECT_EQ(stableSeed("fig11/gcd/t16"), stableSeed("fig11/gcd/t16"));
+    EXPECT_NE(stableSeed("fig11/gcd/t16"), stableSeed("fig11/gcd/t32"));
+    EXPECT_NE(stableSeed(""), stableSeed("a"));
+}
+
+/** Per-job RNG draws for a 6-job sweep at the given worker count. */
+static std::vector<uint64_t>
+rngDraws(unsigned workers)
+{
+    std::vector<uint64_t> draws(6);
+    SweepOptions opts;
+    opts.jobs = workers;
+    SweepRunner sweep(opts);
+    for (size_t i = 0; i < draws.size(); ++i)
+        sweep.add("rng/job" + std::to_string(i),
+                  [&draws, i](JobContext &ctx) {
+                      draws[i] = ctx.rng().next();
+                  });
+    sweep.run();
+    return draws;
+}
+
+TEST(SweepRunner, RngStreamIndependentOfWorkerCount)
+{
+    auto serial = rngDraws(1);
+    auto parallel = rngDraws(8);
+    EXPECT_EQ(serial, parallel);
+    // And distinct across jobs (keys differ).
+    std::set<uint64_t> unique(serial.begin(), serial.end());
+    EXPECT_EQ(unique.size(), serial.size());
+}
+
+TEST(SweepRunner, MergesStagedRecordsInSubmissionOrder)
+{
+    obs::Report::global().clear();
+    SweepOptions opts;
+    opts.jobs = 4;
+    SweepRunner sweep(opts);
+    // Every job writes the same key; submission order must win, so
+    // the last-submitted job's value survives any completion order.
+    for (int i = 0; i < 8; ++i)
+        sweep.add("merge/job" + std::to_string(i),
+                  [i](JobContext &ctx) {
+                      // Stagger completion so later submissions tend
+                      // to finish first without the merge contract.
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(8 - i));
+                      ctx.record("merge.winner", i);
+                  });
+    sweep.run();
+    EXPECT_EQ(sweep.failures().size(), 0u);
+    EXPECT_EQ(obs::Report::global().get("merge.winner"), 7.0);
+    obs::Report::global().clear();
+}
+
+TEST(SweepRunner, MergesStagedStatsAtBarrier)
+{
+    obs::Report::global().clear();
+    SweepOptions opts;
+    opts.jobs = 2;
+    SweepRunner sweep(opts);
+    for (int i = 0; i < 4; ++i)
+        sweep.add("stats/job" + std::to_string(i),
+                  [](JobContext &ctx) {
+                      StatSet s;
+                      s.inc("events", 5);
+                      ctx.recordStats("sweep", s);
+                  });
+    sweep.run();
+    EXPECT_EQ(obs::Report::global().stats().get("sweep.events"), 20u);
+    obs::Report::global().clear();
+}
+
+TEST(SweepRunner, RetriesFailedJobOnce)
+{
+    std::atomic<int> attempts{0};
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.maxAttempts = 2;
+    SweepRunner sweep(opts);
+    sweep.add("retry/flaky", [&](JobContext &ctx) {
+        attempts.fetch_add(1);
+        if (ctx.attempt() == 0)
+            throw std::runtime_error("transient");
+    });
+    sweep.run();
+    EXPECT_EQ(attempts.load(), 2);
+    EXPECT_EQ(sweep.failures().size(), 0u);
+}
+
+TEST(SweepRunner, ReportsExhaustedJobAndIsolatesOthers)
+{
+    std::atomic<int> ok_jobs{0};
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.maxAttempts = 3;
+    SweepRunner sweep(opts);
+    sweep.add("fail/always", [](JobContext &) {
+        throw std::runtime_error("deterministic bug");
+    });
+    for (int i = 0; i < 6; ++i)
+        sweep.add("fail/ok" + std::to_string(i),
+                  [&](JobContext &) { ok_jobs.fetch_add(1); });
+    const auto &failures = sweep.run();
+    EXPECT_EQ(ok_jobs.load(), 6);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].job, "fail/always");
+    EXPECT_EQ(failures[0].index, 0u);
+    EXPECT_EQ(failures[0].attempts, 3);
+    EXPECT_NE(failures[0].error.find("deterministic bug"),
+              std::string::npos);
+}
+
+TEST(SweepRunner, RetryReplaysDistinctButDeterministicRng)
+{
+    // Attempt 0 and attempt 1 must draw different streams, and a
+    // re-run of the whole sweep must reproduce both exactly.
+    auto run_once = [](uint64_t &first, uint64_t &second) {
+        SweepOptions opts;
+        opts.jobs = 2;
+        opts.maxAttempts = 2;
+        SweepRunner sweep(opts);
+        sweep.add("rngretry/job", [&](JobContext &ctx) {
+            if (ctx.attempt() == 0) {
+                first = ctx.rng().next();
+                throw std::runtime_error("force retry");
+            }
+            second = ctx.rng().next();
+        });
+        sweep.run();
+    };
+    uint64_t a1 = 0, a2 = 0, b1 = 0, b2 = 0;
+    run_once(a1, a2);
+    run_once(b1, b2);
+    EXPECT_NE(a1, a2);
+    EXPECT_EQ(a1, b1);
+    EXPECT_EQ(a2, b2);
+}
+
+TEST(SweepRunner, CurrentJobVisibleInsideBodyOnly)
+{
+    EXPECT_EQ(JobContext::current(), nullptr);
+    SweepOptions opts;
+    opts.jobs = 2;
+    SweepRunner sweep(opts);
+    std::atomic<bool> saw_self{false};
+    sweep.add("ctx/self", [&](JobContext &ctx) {
+        saw_self = JobContext::current() == &ctx;
+    });
+    sweep.run();
+    EXPECT_TRUE(saw_self.load());
+    EXPECT_EQ(JobContext::current(), nullptr);
+}
+
+TEST(SweepRunner, SerialFallbackRunsInline)
+{
+    // jobs=1 must run on the calling thread (no pool), preserving
+    // submission order exactly.
+    std::vector<int> order;
+    std::thread::id main_id = std::this_thread::get_id();
+    bool all_on_main = true;
+    SweepOptions opts;
+    opts.jobs = 1;
+    SweepRunner sweep(opts);
+    for (int i = 0; i < 5; ++i)
+        sweep.add("serial/job" + std::to_string(i),
+                  [&, i](JobContext &) {
+                      order.push_back(i);
+                      all_on_main &=
+                          std::this_thread::get_id() == main_id;
+                  });
+    sweep.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_TRUE(all_on_main);
+}
+
+} // namespace
+} // namespace ash::exec

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/Random.h"
+#include "exec/SweepRunner.h"
 #include "refsim/Vcd.h"
 #include "tests/TestUtil.h"
 
@@ -133,14 +134,10 @@ randomNetlist(uint64_t seed)
     return nl;
 }
 
-class FuzzEquivalence
-    : public ::testing::TestWithParam<std::tuple<int, bool>>
+/** One equivalence check; runs on whatever sweep thread gets it. */
+void
+checkSeed(int seed, bool selective)
 {
-};
-
-TEST_P(FuzzEquivalence, RandomCircuitMatchesReference)
-{
-    auto [seed, selective] = GetParam();
     rtl::Netlist nl = randomNetlist(static_cast<uint64_t>(seed));
 
     auto stim_fn = [seed = seed](uint64_t cycle,
@@ -160,10 +157,30 @@ TEST_P(FuzzEquivalence, RandomCircuitMatchesReference)
     test::expectEquivalent(nl, ref_stim, ash_stim, 30, copts, acfg);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Seeds, FuzzEquivalence,
-    ::testing::Combine(::testing::Range(1, 13),
-                       ::testing::Bool()));
+// The seed sweep fans out through exec::SweepRunner, the same path
+// the benches use for --jobs: 12 seeds x {DASH, SASH} as independent
+// jobs. GoogleTest expectations are thread-safe on pthreads, so
+// failing seeds are reported individually; an escaped exception
+// (e.g. a validate() panic) would surface as a JobFailure instead of
+// tearing down the test binary.
+TEST(FuzzEquivalence, SeedSweepMatchesReference)
+{
+    exec::SweepOptions opts;
+    opts.maxAttempts = 1;   // Nothing here is transient; no retry.
+    exec::SweepRunner sweep(opts);
+    for (int seed = 1; seed <= 12; ++seed)
+        for (bool selective : {false, true})
+            sweep.add("fuzz/s" + std::to_string(seed) +
+                          (selective ? "/sash" : "/dash"),
+                      [seed, selective](exec::JobContext &) {
+                          checkSeed(seed, selective);
+                      });
+    const auto &failures = sweep.run();
+    for (const auto &f : failures)
+        ADD_FAILURE() << "job " << f.job
+                      << " threw: " << f.error;
+    EXPECT_EQ(failures.size(), 0u);
+}
 
 TEST(Vcd, DumpsWellFormedWaveform)
 {
