@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Wall-clock perf harness for the three cycle-level engines: the
+ * reference simulator, the multicore Baseline timing model, and the
+ * ASH chip model (DASH and SASH). Unlike the table/figure benches,
+ * which report *simulated* speeds, this bench times the host
+ * execution of each engine over the bundled designs and writes
+ * BENCH_hostperf.json with simulated-cycles/sec and ns per evaluated
+ * design node — the repo's perf trajectory record.
+ *
+ * Methodology: each engine×design cell runs `--repeats` times (fresh
+ * simulator each run, same deterministic stimulus) and reports the
+ * best wall time, which is the stable statistic on a shared/1-core
+ * host. A warm-up run per design populates the compile cache first
+ * so compilation never pollutes the timings.
+ *
+ * Flags: --cycles N (simulated design cycles per run, default 2000),
+ * --repeats N (default 3), --out PATH (default BENCH_hostperf.json),
+ * plus the common bench flags.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "BenchCommon.h"
+#include "common/Json.h"
+
+using namespace ash;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Cell
+{
+    std::string engine;
+    std::string design;
+    double wallSec = 0.0;     ///< Best-of-repeats wall time.
+    double simKhz = 0.0;      ///< Simulated design-cycles / sec / 1e3.
+    double nsPerNode = 0.0;   ///< Wall ns per evaluated design node.
+};
+
+/** Best-of-N wall time of @p body (which must do one full run). */
+template <typename Fn>
+double
+bestWallSec(unsigned repeats, Fn &&body)
+{
+    double best = 0.0;
+    for (unsigned r = 0; r < repeats; ++r) {
+        auto t0 = Clock::now();
+        body();
+        std::chrono::duration<double> dt = Clock::now() - t0;
+        if (r == 0 || dt.count() < best)
+            best = dt.count();
+    }
+    return best;
+}
+
+Cell
+makeCell(const std::string &engine, const std::string &design,
+         double wall_sec, uint64_t cycles, uint64_t nodes)
+{
+    Cell c;
+    c.engine = engine;
+    c.design = design;
+    c.wallSec = wall_sec;
+    c.simKhz = cycles / wall_sec / 1e3;
+    c.nsPerNode =
+        wall_sec * 1e9 / (double(cycles) * double(nodes));
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (!bench::init("host_perf", argc, argv))
+        return 1;
+
+    uint64_t cycles = 2000;
+    unsigned repeats = 3;
+    std::string out = "BENCH_hostperf.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc)
+            cycles = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--repeats") == 0 &&
+                 i + 1 < argc)
+            repeats = unsigned(std::strtoul(argv[++i], nullptr, 10));
+        else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[++i];
+    }
+
+    bench::banner("Host wall-clock performance (engine x design)");
+    std::printf("%-10s %-12s %12s %12s %12s\n", "engine", "design",
+                "wall-ms", "sim-KHz", "ns/node");
+
+    std::vector<Cell> cells;
+    for (auto &entry : bench::DesignSet::standard().entries()) {
+        const std::string &name = entry.design.name;
+        uint64_t nodes = entry.netlist.topoOrder().size();
+
+        // Warm the compile cache outside the timed region; the 16-
+        // tile program serves both ASH modes.
+        core::TaskProgram prog =
+            bench::compileFor(entry.netlist, 16);
+
+        auto time_engine = [&](const std::string &engine,
+                               uint64_t engine_cycles,
+                               auto &&run_once) {
+            double wall = bestWallSec(repeats, run_once);
+            cells.push_back(
+                makeCell(engine, name, wall, engine_cycles, nodes));
+            const Cell &c = cells.back();
+            std::printf("%-10s %-12s %12.2f %12.1f %12.2f\n",
+                        engine.c_str(), name.c_str(), c.wallSec * 1e3,
+                        c.simKhz, c.nsPerNode);
+            bench::record("khz." + engine + "." + name, c.simKhz);
+            bench::record("nspernode." + engine + "." + name,
+                          c.nsPerNode);
+        };
+
+        // The Baseline is a one-shot timing analysis whose host cost
+        // scales with its warm window, not the requested horizon.
+        uint64_t base_cycles = std::min<uint64_t>(cycles, 200);
+
+        time_engine("refsim", cycles, [&] {
+            refsim::ReferenceSimulator sim(entry.netlist);
+            auto stim = entry.design.makeStimulus();
+            sim.run(*stim, cycles);
+        });
+        time_engine("baseline", base_cycles, [&] {
+            baseline::runBaseline(entry.netlist,
+                                  baseline::zen2Host(32), 2000,
+                                  uint32_t(base_cycles));
+        });
+        time_engine("dash", cycles, [&] {
+            core::ArchConfig cfg;
+            cfg.selective = false;
+            bench::runAsh(prog, entry.design, cfg, cycles);
+        });
+        time_engine("sash", cycles, [&] {
+            core::ArchConfig cfg;
+            cfg.selective = true;
+            bench::runAsh(prog, entry.design, cfg, cycles);
+        });
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("bench", "host_perf");
+    w.kv("cycles", cycles);
+    w.kv("repeats", uint64_t(repeats));
+    w.key("cells").beginArray();
+    for (const Cell &c : cells) {
+        w.beginObject();
+        w.kv("engine", c.engine);
+        w.kv("design", c.design);
+        w.kv("wall_sec", c.wallSec);
+        w.kv("sim_khz", c.simKhz);
+        w.kv("ns_per_node", c.nsPerNode);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::ofstream f(out);
+    f << w.str() << "\n";
+    if (!f) {
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("\nwrote %s\n", out.c_str());
+    return bench::finish();
+}

@@ -9,9 +9,17 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
 
 #include "common/BoundedHeap.h"
+#include "common/EventHeap.h"
 #include "common/Random.h"
+#include "common/SlotAllocator.h"
+#include "common/SortedPool.h"
 #include "core/arch/Cache.h"
 #include "core/arch/Noc.h"
 #include "exec/SweepRunner.h"
@@ -35,6 +43,173 @@ BM_BoundedHeapPushPop(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BoundedHeapPushPop);
+
+/**
+ * Dense slot-indexed state vs a node-keyed unordered_map: the access
+ * pattern of the engine's per-task argument buffers. Keys are sparse
+ * node ids; the slot variant pays one precomputed indirection into a
+ * flat array, the map variant hashes on every read/write.
+ */
+static void
+BM_DenseSlotState(benchmark::State &state)
+{
+    constexpr size_t kKeys = 64;
+    SlotAllocator slots;
+    std::vector<uint32_t> keys;
+    Rng rng(7);
+    while (keys.size() < kKeys) {
+        uint32_t k = static_cast<uint32_t>(rng.below(1 << 20));
+        if (slots.add(k) == keys.size())
+            keys.push_back(k);
+    }
+    std::vector<uint64_t> state_arr(slots.size(), 0);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        uint32_t k = keys[i++ % kKeys];
+        uint64_t &v = state_arr[slots.slot(k)];
+        benchmark::DoNotOptimize(v);
+        v += k;
+    }
+}
+BENCHMARK(BM_DenseSlotState);
+
+static void
+BM_UnorderedMapState(benchmark::State &state)
+{
+    constexpr size_t kKeys = 64;
+    std::vector<uint32_t> keys;
+    std::unordered_map<uint32_t, uint64_t> m;
+    Rng rng(7);
+    while (keys.size() < kKeys) {
+        uint32_t k = static_cast<uint32_t>(rng.below(1 << 20));
+        if (m.emplace(k, 0).second)
+            keys.push_back(k);
+    }
+    uint64_t i = 0;
+    for (auto _ : state) {
+        uint32_t k = keys[i++ % kKeys];
+        uint64_t &v = m[k];
+        benchmark::DoNotOptimize(v);
+        v += k;
+    }
+}
+BENCHMARK(BM_UnorderedMapState);
+
+/**
+ * The TMU queue churn pattern — emplace a keyed entry holding a
+ * vector payload, push into it, erase the minimum — as served by the
+ * pooled sorted index vs std::map. The pool recycles the payload
+ * vector's heap allocation; the map frees and reallocates it on
+ * every insert/erase cycle.
+ */
+static void
+BM_PooledQueueChurn(benchmark::State &state)
+{
+    using Key = std::tuple<uint64_t, uint32_t, uint64_t>;
+    SortedPool<Key, std::vector<uint64_t>> pool;
+    Rng rng(11);
+    uint64_t t = 0;
+    for (int i = 0; i < 32; ++i) {
+        auto [it, fresh] =
+            pool.emplace(Key{rng.below(1000), i, t++});
+        it->second.clear();
+        it->second.push_back(t);
+    }
+    for (auto _ : state) {
+        auto [it, fresh] =
+            pool.emplace(Key{rng.below(1000), 99, t++});
+        if (fresh)
+            it->second.clear();
+        for (int i = 0; i < 8; ++i)
+            it->second.push_back(t + i);
+        benchmark::DoNotOptimize(pool.begin()->second.size());
+        pool.erase(pool.begin());
+    }
+}
+BENCHMARK(BM_PooledQueueChurn);
+
+static void
+BM_StdMapQueueChurn(benchmark::State &state)
+{
+    using Key = std::tuple<uint64_t, uint32_t, uint64_t>;
+    std::map<Key, std::vector<uint64_t>> q;
+    Rng rng(11);
+    uint64_t t = 0;
+    for (int i = 0; i < 32; ++i)
+        q[Key{rng.below(1000), static_cast<uint32_t>(i), t++}]
+            .push_back(t);
+    for (auto _ : state) {
+        auto [it, fresh] =
+            q.emplace(Key{rng.below(1000), 99, t++},
+                      std::vector<uint64_t>{});
+        for (int i = 0; i < 8; ++i)
+            it->second.push_back(t + i);
+        benchmark::DoNotOptimize(q.begin()->second.size());
+        q.erase(q.begin());
+    }
+}
+BENCHMARK(BM_StdMapQueueChurn);
+
+/**
+ * Event scheduling with fat payloads: the indexed heap sifts 16-byte
+ * handles and parks the payload; the textbook alternative (as
+ * std::priority_queue did in the engines) sifts the whole event,
+ * shared_ptr refcounts included.
+ */
+struct FatEvent
+{
+    uint64_t time = 0;
+    uint64_t a = 0, b = 0, c = 0;
+    std::shared_ptr<int> payload;
+    bool operator>(const FatEvent &o) const { return time > o.time; }
+};
+
+static void
+BM_EventHeapPushPop(benchmark::State &state)
+{
+    EventHeap<FatEvent> heap;
+    Rng rng(13);
+    auto p = std::make_shared<int>(7);
+    for (int i = 0; i < 256; ++i) {
+        FatEvent e;
+        e.time = rng.below(1 << 20);
+        e.payload = p;
+        heap.push(e.time, std::move(e));
+    }
+    for (auto _ : state) {
+        FatEvent e;
+        e.time = rng.below(1 << 20);
+        e.payload = p;
+        heap.push(e.time, std::move(e));
+        benchmark::DoNotOptimize(heap.pop());
+    }
+}
+BENCHMARK(BM_EventHeapPushPop);
+
+static void
+BM_PriorityQueuePushPop(benchmark::State &state)
+{
+    std::priority_queue<FatEvent, std::vector<FatEvent>,
+                        std::greater<FatEvent>> heap;
+    Rng rng(13);
+    auto p = std::make_shared<int>(7);
+    for (int i = 0; i < 256; ++i) {
+        FatEvent e;
+        e.time = rng.below(1 << 20);
+        e.payload = p;
+        heap.push(std::move(e));
+    }
+    for (auto _ : state) {
+        FatEvent e;
+        e.time = rng.below(1 << 20);
+        e.payload = p;
+        heap.push(std::move(e));
+        FatEvent out = heap.top();
+        heap.pop();
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_PriorityQueuePushPop);
 
 static void
 BM_CacheAccess(benchmark::State &state)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Indexed event heap: a time-ordered priority queue that keeps the
+ * (potentially fat) event payloads parked in a recycled slot pool and
+ * heapifies only 16-byte {time, slot, seq} handles. Replaces
+ * `std::priority_queue<Event>` in the cycle-level engines, where
+ * sifting used to move whole Event structs — including a shared_ptr
+ * whose refcount churned on every swap.
+ *
+ * Determinism: with TiePolicy::Compat the heap uses std::push_heap /
+ * std::pop_heap with a time-only comparator — the exact algorithms
+ * and comparator std::priority_queue ran over full events — so the
+ * pop order, including the layout-dependent order of equal-time
+ * events, is bit-identical to the seed engine's. TiePolicy::Fifo
+ * breaks equal-time ties by insertion sequence instead, which is the
+ * saner contract for new code but NOT what the seed engines shipped.
+ */
+
+#ifndef ASH_COMMON_EVENTHEAP_H
+#define ASH_COMMON_EVENTHEAP_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/Logging.h"
+
+namespace ash {
+
+enum class TiePolicy : uint8_t {
+    Compat,   ///< Equal-time order = std::priority_queue's (layout).
+    Fifo,     ///< Equal-time order = insertion order.
+};
+
+template <typename Payload, TiePolicy Policy = TiePolicy::Compat>
+class EventHeap
+{
+  public:
+    size_t size() const { return _handles.size(); }
+    bool empty() const { return _handles.empty(); }
+
+    /** Earliest pending time; heap must be nonempty. */
+    uint64_t
+    topTime() const
+    {
+        ASH_ASSERT(!empty());
+        return _handles.front().time;
+    }
+
+    /** Payload of the earliest event; heap must be nonempty. */
+    const Payload &
+    top() const
+    {
+        ASH_ASSERT(!empty());
+        return _pool[_handles.front().slot];
+    }
+
+    void
+    push(uint64_t time, Payload payload)
+    {
+        uint32_t slot;
+        if (!_free.empty()) {
+            slot = _free.back();
+            _free.pop_back();
+            _pool[slot] = std::move(payload);
+        } else {
+            slot = static_cast<uint32_t>(_pool.size());
+            _pool.push_back(std::move(payload));
+        }
+        _handles.push_back(Handle{time, slot, _seq++});
+        std::push_heap(_handles.begin(), _handles.end(), after);
+    }
+
+    /** Remove and return the earliest event's payload. */
+    Payload
+    pop()
+    {
+        ASH_ASSERT(!empty());
+        std::pop_heap(_handles.begin(), _handles.end(), after);
+        Handle h = _handles.back();
+        _handles.pop_back();
+        _free.push_back(h.slot);
+        return std::move(_pool[h.slot]);
+    }
+
+    void
+    clear()
+    {
+        _handles.clear();
+        _pool.clear();
+        _free.clear();
+        _seq = 0;
+    }
+
+  private:
+    struct Handle
+    {
+        uint64_t time;
+        uint32_t slot;
+        uint32_t seq;
+    };
+
+    /**
+     * Heap "less": true when @p a belongs farther from the top than
+     * @p b. Compat compares times only (equal-time order then falls
+     * out of the heap algorithms, matching std::priority_queue with
+     * a time-only operator>); Fifo additionally pops lower sequence
+     * numbers first among equal times.
+     */
+    static bool
+    after(const Handle &a, const Handle &b)
+    {
+        if (a.time != b.time)
+            return a.time > b.time;
+        if (Policy == TiePolicy::Fifo)
+            return a.seq > b.seq;
+        return false;
+    }
+
+    std::vector<Handle> _handles;   ///< Binary heap of light handles.
+    std::vector<Payload> _pool;     ///< Parked payloads, never sifted.
+    std::vector<uint32_t> _free;    ///< Recyclable pool slots.
+    uint32_t _seq = 0;
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_EVENTHEAP_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dense slot allocator: assigns consecutive small integers to sparse
+ * uint32 keys (node ids) so per-key hot state can live in flat arrays
+ * instead of hash maps. The compiler runs one of these per task to
+ * emit the argument/buffer slot maps the engines index at runtime;
+ * first-come first-served assignment makes slot ids a pure function
+ * of the (deterministic) insertion order.
+ */
+
+#ifndef ASH_COMMON_SLOTALLOCATOR_H
+#define ASH_COMMON_SLOTALLOCATOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ash {
+
+class SlotAllocator
+{
+  public:
+    static constexpr uint32_t npos = ~0u;
+
+    /** Slot of @p key, assigning the next dense id if unseen. */
+    uint32_t
+    add(uint32_t key)
+    {
+        if (key >= _slotOf.size())
+            _slotOf.resize(key + 1, npos);
+        if (_slotOf[key] == npos) {
+            _slotOf[key] = static_cast<uint32_t>(_keys.size());
+            _keys.push_back(key);
+        }
+        return _slotOf[key];
+    }
+
+    /** Slot of @p key, or npos when it was never added. */
+    uint32_t
+    slot(uint32_t key) const
+    {
+        return key < _slotOf.size() ? _slotOf[key] : npos;
+    }
+
+    /** Keys in slot order (slot i holds key keys()[i]). */
+    const std::vector<uint32_t> &keys() const { return _keys; }
+
+    /** Number of slots assigned. */
+    size_t size() const { return _keys.size(); }
+
+  private:
+    std::vector<uint32_t> _slotOf;   ///< key -> slot, npos = none.
+    std::vector<uint32_t> _keys;     ///< slot -> key.
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_SLOTALLOCATOR_H

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * SortedPool: a std::map replacement for the TMU queues (AQ, TCQ)
+ * that keeps values in a recycled slot pool and maintains key order
+ * through a small sorted index of {key, slot} entries. Lookups are
+ * binary searches over a contiguous array instead of red-black-tree
+ * pointer chases, and erase/insert recycle the value slots, so
+ * Bundle/TcqEntry allocations (descriptor vectors, undo logs) are
+ * reused across epochs instead of freed and reallocated per dispatch.
+ *
+ * Determinism: iteration visits strictly ascending keys — exactly
+ * std::map's order — so bulk commits, spill victim selection
+ * (largest key = std::prev(end())) and younger-first abort scans
+ * (upper_bound) behave identically to the seed engine.
+ *
+ * Recycling contract: emplace() hands back the value slot in
+ * whatever state its previous occupant left it (capacity intact,
+ * contents stale). Call sites must reset every live field — which
+ * the TMU does anyway when it fills a fresh Bundle/TcqEntry — and
+ * must treat the value as dead after erase().
+ *
+ * Iterators are positions in the sorted index: any insert or erase
+ * invalidates them (unlike std::map's node-stable iterators), except
+ * that erase() returns the next position exactly like std::map.
+ */
+
+#ifndef ASH_COMMON_SORTEDPOOL_H
+#define ASH_COMMON_SORTEDPOOL_H
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/Logging.h"
+
+namespace ash {
+
+template <typename Key, typename Value>
+class SortedPool
+{
+    struct Entry
+    {
+        Key key;
+        uint32_t slot;
+    };
+
+  public:
+    /** What dereferencing an iterator yields (map-style names). */
+    struct Ref
+    {
+        const Key &first;
+        Value &second;
+    };
+
+    class iterator
+    {
+      public:
+        iterator() = default;
+        iterator(SortedPool *owner, size_t pos)
+            : _owner(owner), _pos(pos)
+        {
+        }
+
+        Ref
+        operator*() const
+        {
+            const Entry &e = _owner->_index[_pos];
+            return Ref{e.key, _owner->_pool[e.slot]};
+        }
+
+        /** Arrow proxy so it->first / it->second work. */
+        struct Arrow
+        {
+            Ref ref;
+            Ref *operator->() { return &ref; }
+        };
+        Arrow operator->() const { return Arrow{**this}; }
+
+        iterator &
+        operator++()
+        {
+            ++_pos;
+            return *this;
+        }
+        iterator &
+        operator--()
+        {
+            --_pos;
+            return *this;
+        }
+        bool
+        operator==(const iterator &o) const
+        {
+            return _pos == o._pos;
+        }
+        bool
+        operator!=(const iterator &o) const
+        {
+            return _pos != o._pos;
+        }
+
+        size_t pos() const { return _pos; }
+
+      private:
+        friend class SortedPool;
+        SortedPool *_owner = nullptr;
+        size_t _pos = 0;
+    };
+
+    size_t size() const { return _index.size(); }
+    bool empty() const { return _index.empty(); }
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, _index.size()); }
+
+    iterator
+    find(const Key &key)
+    {
+        size_t pos = lowerPos(key);
+        if (pos < _index.size() && _index[pos].key == key)
+            return iterator(this, pos);
+        return end();
+    }
+
+    iterator
+    lower_bound(const Key &key)
+    {
+        return iterator(this, lowerPos(key));
+    }
+
+    size_t
+    count(const Key &key) const
+    {
+        size_t pos = lowerPos(key);
+        return pos < _index.size() && _index[pos].key == key ? 1 : 0;
+    }
+
+    iterator
+    upper_bound(const Key &key)
+    {
+        size_t pos = lowerPos(key);
+        if (pos < _index.size() && _index[pos].key == key)
+            ++pos;
+        return iterator(this, pos);
+    }
+
+    /**
+     * Find-or-create @p key. On creation the mapped value is a
+     * recycled slot with stale contents (see the recycling contract
+     * above); the bool is true exactly when the key was inserted.
+     */
+    std::pair<iterator, bool>
+    emplace(const Key &key)
+    {
+        size_t pos = lowerPos(key);
+        if (pos < _index.size() && _index[pos].key == key)
+            return {iterator(this, pos), false};
+        uint32_t slot;
+        if (!_free.empty()) {
+            slot = _free.back();
+            _free.pop_back();
+        } else {
+            slot = static_cast<uint32_t>(_pool.size());
+            _pool.emplace_back();
+        }
+        _index.insert(_index.begin() + pos, Entry{key, slot});
+        return {iterator(this, pos), true};
+    }
+
+    /** Erase by position; returns the following position. */
+    iterator
+    erase(iterator it)
+    {
+        ASH_ASSERT(it._pos < _index.size());
+        _free.push_back(_index[it._pos].slot);
+        _index.erase(_index.begin() + it._pos);
+        return iterator(this, it._pos);
+    }
+
+    size_t
+    erase(const Key &key)
+    {
+        iterator it = find(key);
+        if (it == end())
+            return 0;
+        erase(it);
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        for (const Entry &e : _index)
+            _free.push_back(e.slot);
+        _index.clear();
+    }
+
+    /** Number of pooled value slots ever allocated (for tests). */
+    size_t poolCapacity() const { return _pool.size(); }
+
+  private:
+    size_t
+    lowerPos(const Key &key) const
+    {
+        return std::lower_bound(_index.begin(), _index.end(), key,
+                                [](const Entry &e, const Key &k) {
+                                    return e.key < k;
+                                }) -
+               _index.begin();
+    }
+
+    std::vector<Entry> _index;    ///< Sorted by key, ascending.
+    std::vector<Value> _pool;     ///< Slot storage, recycled.
+    std::vector<uint32_t> _free;  ///< Free slot list (LIFO).
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_SORTEDPOOL_H

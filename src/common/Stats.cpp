@@ -128,6 +128,30 @@ StatSet::histogram(const std::string &name) const
 }
 
 void
+StatSet::addHistogram(const std::string &name, const Histogram &h)
+{
+    if (h.count == 0)
+        return;
+    _hists[name].merge(h);
+}
+
+void
+StatSet::addAccum(const std::string &name, const Accumulator &acc)
+{
+    if (acc.count == 0)
+        return;
+    Accumulator &mine = _accums[name];
+    if (mine.count == 0) {
+        mine = acc;
+        return;
+    }
+    mine.count += acc.count;
+    mine.sum += acc.sum;
+    mine.minValue = std::min(mine.minValue, acc.minValue);
+    mine.maxValue = std::max(mine.maxValue, acc.maxValue);
+}
+
+void
 StatSet::merge(const StatSet &other)
 {
     for (const auto &[name, value] : other._counters)

@@ -123,6 +123,16 @@ class StatSet
     /** Record @p value into the histogram named @p name. */
     void hist(const std::string &name, uint64_t value);
 
+    /**
+     * Merge a locally-accumulated histogram into the one named
+     * @p name (no-op when @p h is empty). Lets hot paths record into
+     * a plain Histogram member and fold it in once at end of run.
+     */
+    void addHistogram(const std::string &name, const Histogram &h);
+
+    /** Accumulator analogue of addHistogram() (no-op when empty). */
+    void addAccum(const std::string &name, const Accumulator &acc);
+
     /** Histogram by name; returns an empty histogram if absent. */
     Histogram histogram(const std::string &name) const;
 

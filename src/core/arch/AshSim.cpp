@@ -1,13 +1,13 @@
 #include "core/arch/AshSim.h"
 
 #include <algorithm>
-#include <functional>
 #include <map>
-#include <queue>
 #include <set>
 #include <unordered_map>
 
+#include "common/EventHeap.h"
 #include "common/Logging.h"
+#include "common/SortedPool.h"
 #include "core/arch/Cache.h"
 #include "core/arch/Noc.h"
 #include "obs/Trace.h"
@@ -47,22 +47,30 @@ struct Bundle
     std::vector<DescPtr> descs;
     uint64_t firstArrival = ~0ull;
     uint64_t lastArrival = 0;
+    /**
+     * Running sum of the queued descriptors' bytes, maintained by
+     * enqueue/unqueue so the per-round footprint sampling does not
+     * walk every descriptor of every bundle.
+     */
+    uint32_t byteSum = 0;
     bool spilled = false;
 
     uint32_t
     bytes() const
     {
-        uint32_t b = 0;
-        for (const DescPtr &d : descs)
-            b += d->bytes;
-        return b;
+        return byteSum;
     }
 };
 
 /** AQ priority key: (priority, task, instance). */
 using AqKey = std::tuple<uint64_t, TaskId, uint64_t>;
 
-/** One undo-log record (eager versioning, Sec 5.2). */
+/**
+ * One undo-log record (eager versioning, Sec 5.2). Plain data: the
+ * variable-length Filter payload lives in the owning TcqEntry's
+ * undoPayload buffer (recycled with the entry) at [payloadOff,
+ * payloadOff + payloadLen), so logging an undo never allocates.
+ */
 struct UndoRec
 {
     enum class Kind : uint8_t {
@@ -73,12 +81,14 @@ struct UndoRec
         LastVals,  ///< Input-argument buffer.
     };
     Kind kind;
+    bool existed = true;
     uint32_t a = 0;          ///< mem / reg idx / buffer task / task.
-    uint64_t b = 0;          ///< addr / node / push index.
+    uint64_t b = 0;          ///< addr / state slot / push index.
     uint64_t oldVal = 0;
     uint64_t oldTag = 0;
-    bool existed = true;
-    std::vector<uint64_t> oldVec;   ///< Filter payload.
+    TaskId oldWriter = invalidTask;
+    uint32_t payloadOff = 0;
+    uint32_t payloadLen = 0;
 };
 
 /** Versioned value: tag = writer instance + 1 (0 = initial state). */
@@ -103,6 +113,7 @@ struct TcqEntry
     std::vector<DescPtr> consumed;
     std::vector<DescPtr> sent;
     std::vector<UndoRec> undo;
+    std::vector<uint64_t> undoPayload;   ///< Filter undo values.
     std::vector<std::pair<uint32_t, uint64_t>> outputs; ///< (idx, val).
 };
 
@@ -141,11 +152,10 @@ struct AshSimulator::Impl
     std::vector<uint64_t> codeBase;       ///< Per-task code address.
     std::vector<uint64_t> memBase;        ///< Per design memory.
     std::vector<int64_t> regConstNext;    ///< -1 or constant value.
-    std::unordered_map<NodeId, uint32_t> inputIdxOf;
+    std::vector<uint32_t> inputIdxOf;     ///< Node -> input idx, ~0u.
 
     // --- timing state ---
-    std::priority_queue<Event, std::vector<Event>,
-                        std::greater<Event>> events;
+    EventHeap<Event> events;
     uint64_t now = 0;
     NocModel noc;
     std::vector<std::vector<uint64_t>> coreFreeAt;   // [tile][core]
@@ -157,19 +167,38 @@ struct AshSimulator::Impl
     uint64_t busyCommitted = 0, busyAborted = 0, busyUnresolved = 0;
 
     // --- TMU state ---
-    std::vector<std::map<AqKey, Bundle>> aq;         // per tile
-    std::vector<std::map<InstKey, TcqEntry>> tcq;    // per tile
+    using AqIter = SortedPool<AqKey, Bundle>::iterator;
+    using TcqIter = SortedPool<InstKey, TcqEntry>::iterator;
+    std::vector<SortedPool<AqKey, Bundle>> aq;       // per tile
+    std::vector<SortedPool<InstKey, TcqEntry>> tcq;  // per tile
     std::multiset<uint64_t> inFlight;
     uint64_t aqSeq = 0;
 
     // --- functional state ---
     std::vector<std::vector<Versioned>> memData;
     std::vector<Versioned> regState;
-    std::vector<std::unordered_map<NodeId, Versioned>> bufMem;
+    /** Buffer-task staging memory, [task][carriedValues slot]. */
+    std::vector<std::vector<Versioned>> bufMem;
+    std::vector<std::vector<uint8_t>> bufMemValid;
     std::vector<std::vector<std::vector<uint64_t>>> filters; // task,push
     std::vector<std::vector<uint8_t>> filterValid;
-    std::vector<std::unordered_map<NodeId, uint64_t>> lastVals;
+    /** Last-value argument buffers, [task][directInputs slot]. */
+    std::vector<std::vector<uint64_t>> lastVals;
+    std::vector<std::vector<uint8_t>> lastValsValid;
     std::map<std::pair<uint64_t, uint32_t>, uint64_t> finalOutputs;
+
+    // --- dispatch scratch (one dispatch at a time; recycled) ---
+    /**
+     * Node-indexed value arrays for the instance currently executing,
+     * validated by stamp == the instance's dispatch epoch. Replaces
+     * the per-dispatch local/recv hash maps.
+     */
+    std::vector<uint64_t> localVal, localStamp;
+    std::vector<uint64_t> recvVal, recvStamp;
+    std::vector<NodeId> recvNodes;      ///< Recv set, arrival order.
+    std::vector<uint64_t> bufVals;      ///< Buffer-task staging temp.
+    Bundle dispatchBundle;              ///< Swapped out of the AQ.
+    TcqEntry dispatchEntry;             ///< Swapped into the TCQ.
 
     // --- stimulus ---
     Stimulus *stim = nullptr;
@@ -186,6 +215,42 @@ struct AshSimulator::Impl
     // stay string-free.
     std::vector<uint64_t> tileDispatches, tileCommits, tileAborts;
 
+    /**
+     * Hot-path statistics, accumulated in plain members and folded
+     * into `stats` once at end of run. The string-keyed StatSet maps
+     * cost a lookup (and often a heap string) per call; at tens of
+     * millions of events per run that was several percent of wall
+     * time. Folding preserves the exact key set the per-event calls
+     * would have created: a key is emitted iff its call site was
+     * reached, which the guards in foldHotStats() reconstruct.
+     */
+    struct HotStats
+    {
+        uint64_t tasksExecuted = 0, tasksCommitted = 0;
+        uint64_t instrs = 0;
+        uint64_t descsConsumed = 0, descsFiltered = 0;
+        uint64_t descsSent = 0, descBytes = 0, descsArrived = 0;
+        uint64_t warDiscarded = 0, stimulusDescs = 0;
+        uint64_t l1dAccesses = 0, l1iAccesses = 0, l1iMisses = 0;
+        uint64_t l2Accesses = 0, l2iMisses = 0;
+        uint64_t dramAccesses = 0, dramBytes = 0;
+        uint64_t aqSpills = 0;
+        uint64_t tcqFullStalls = 0, mergeEvictions = 0;
+        uint64_t commitRounds = 0;
+        uint64_t cancelMessages = 0, aborts = 0;
+        Histogram taskLength, bundleDescs, abortDistance;
+        Histogram aqDepth, tcqDepth;
+        Accumulator aqOccupancy, tcqOccupancy, footprintBytes;
+    } hot;
+
+    /**
+     * Per-tile count of bundles whose descriptor count has reached
+     * the destination task's parent count. Lets the DASH scheduler
+     * skip its AQ scan entirely when nothing is dispatchable — by far
+     * the common case, since every arrival and VT round re-polls.
+     */
+    std::vector<uint32_t> aqComplete;
+
     Impl(const TaskProgram &p, const ArchConfig &c)
         : prog(p), cfg(c), nl(*p.nl), noc(c.numTiles)
     {
@@ -200,10 +265,18 @@ struct AshSimulator::Impl
         filters.resize(nt);
         filterValid.resize(nt);
         lastVals.resize(nt);
+        lastValsValid.resize(nt);
         bufMem.resize(nt);
+        bufMemValid.resize(nt);
         codeBase.resize(nt);
 
+        localVal.assign(nl.numNodes(), 0);
+        localStamp.assign(nl.numNodes(), 0);
+        recvVal.assign(nl.numNodes(), 0);
+        recvStamp.assign(nl.numNodes(), 0);
+
         // Map input nodes to stimulus indices.
+        inputIdxOf.assign(nl.numNodes(), ~0u);
         for (size_t i = 0; i < nl.inputs().size(); ++i)
             inputIdxOf[nl.inputs()[i]] = static_cast<uint32_t>(i);
         const auto &input_idx = inputIdxOf;
@@ -217,6 +290,10 @@ struct AshSimulator::Impl
             code_addr += (t.codeBytes + 63) & ~63ull;
             filters[t.id].resize(t.pushes.size());
             filterValid[t.id].assign(t.pushes.size(), 0);
+            bufMem[t.id].resize(t.carriedValues.size());
+            bufMemValid[t.id].assign(t.carriedValues.size(), 0);
+            lastVals[t.id].assign(t.directInputs.size(), 0);
+            lastValsValid[t.id].assign(t.directInputs.size(), 0);
             for (NodeId raw : t.nodes) {
                 NodeId id = raw & ~regWriteFlag;
                 if (!(raw & regWriteFlag) &&
@@ -279,6 +356,7 @@ struct AshSimulator::Impl
         coreFreeAt.assign(cfg.numTiles,
                           std::vector<uint64_t>(cfg.coresPerTile, 0));
         aq.resize(cfg.numTiles);
+        aqComplete.assign(cfg.numTiles, 0);
         tileMinTs.assign(cfg.numTiles, ~0ull);
         for (uint32_t t = 0; t < cfg.numTiles; ++t)
             tileMins.insert(~0ull);
@@ -319,6 +397,42 @@ struct AshSimulator::Impl
         return frames[cycle];
     }
 
+    /** Dense argument slot of @p id in task @p t, or ~0u if none. */
+    uint32_t
+    argSlot(TaskId t, NodeId id) const
+    {
+        const auto &m = prog.tasks[t].argSlotOf;
+        auto it = std::lower_bound(
+            m.begin(), m.end(), id,
+            [](const std::pair<NodeId, uint32_t> &e, NodeId n) {
+                return e.first < n;
+            });
+        if (it != m.end() && it->first == id)
+            return it->second;
+        return ~0u;
+    }
+
+    /** Buffered-input staging slot of @p id, or nullptr if none. */
+    const BufSlotRef *
+    bufRef(TaskId t, NodeId id) const
+    {
+        const auto &m = prog.tasks[t].bufSlotOf;
+        auto it = std::lower_bound(m.begin(), m.end(), id,
+                                   [](const BufSlotRef &e, NodeId n) {
+                                       return e.node < n;
+                                   });
+        if (it != m.end() && it->node == id)
+            return &*it;
+        return nullptr;
+    }
+
+    void
+    pushEvent(Event ev)
+    {
+        uint64_t time = ev.time;
+        events.push(time, std::move(ev));
+    }
+
     CacheModel &coreL1i(uint32_t tile, uint32_t core)
     { return *l1i[tile * cfg.coresPerTile + core]; }
     CacheModel &coreL1d(uint32_t tile, uint32_t core)
@@ -333,8 +447,8 @@ struct AshSimulator::Impl
         dramFree[ctrl] = std::max(dramFree[ctrl], at) +
                          static_cast<uint64_t>(
                              bytes / cfg.dramBytesPerCycle) + 1;
-        stats.inc("dramAccesses");
-        stats.inc("dramBytes", bytes);
+        ++hot.dramAccesses;
+        hot.dramBytes += bytes;
         ASH_OBS_EVENT(obs::EventKind::DramAccess, at, 0, tile, 0,
                       ctrl, bytes);
         return cfg.dramLatency + queue + 8;   // 8: mesh to edge.
@@ -344,7 +458,7 @@ struct AshSimulator::Impl
     uint64_t
     dataAccess(uint32_t tile, uint32_t core, uint64_t addr, uint64_t at)
     {
-        stats.inc("l1dAccesses");
+        ++hot.l1dAccesses;
         if (coreL1d(tile, core).access(addr))
             return cfg.l1Latency;
         ASH_OBS_EVENT(obs::EventKind::L1dMiss, at, 0, tile,
@@ -356,7 +470,7 @@ struct AshSimulator::Impl
                             : tile;
         if (cfg.sharedLlc && home != tile)
             lat += 2 * noc.baseLatency(tile, home);
-        stats.inc("l2Accesses");
+        ++hot.l2Accesses;
         if (l2[home]->access(addr))
             return lat + cfg.l2Latency;
         ASH_OBS_EVENT(obs::EventKind::L2Miss, at, 0, home, 0, addr,
@@ -374,16 +488,16 @@ struct AshSimulator::Impl
                          cfg.lineBytes;
         for (uint32_t i = 0; i < lines; ++i) {
             uint64_t addr = codeBase[t.id] + i * cfg.lineBytes;
-            stats.inc("l1iAccesses");
+            ++hot.l1iAccesses;
             if (coreL1i(tile, core).access(addr))
                 continue;
-            stats.inc("l1iMisses");
+            ++hot.l1iMisses;
             ASH_OBS_EVENT(obs::EventKind::L1iMiss, at, 0, tile,
                           static_cast<uint16_t>(core), addr, t.id);
             uint64_t miss = cfg.l2Latency;
-            stats.inc("l2Accesses");
+            ++hot.l2Accesses;
             if (!l2[tile]->access(addr)) {
-                stats.inc("l2iMisses");
+                ++hot.l2iMisses;
                 ASH_OBS_EVENT(obs::EventKind::L2Miss, at, 0, tile, 0,
                               addr, t.id);
                 miss += dramAccess(tile, at, cfg.lineBytes);
@@ -412,10 +526,9 @@ struct AshSimulator::Impl
      * dispatched too early; abort them so the restored value is
      * consistent (see file header).
      */
+    template <typename Reload>
     uint64_t
-    readVersioned(Versioned *cell,
-                  std::function<Versioned *()> reload,
-                  uint64_t max_tag)
+    readVersioned(Versioned *cell, Reload reload, uint64_t max_tag)
     {
         unsigned guard = 0;
         while (cell && cell->tag > max_tag) {
@@ -448,7 +561,7 @@ struct AshSimulator::Impl
     }
 
     /** Find a bundle by instance (priority is recomputable). */
-    std::map<AqKey, Bundle>::iterator
+    AqIter
     findBundle(uint32_t tile, TaskId t, uint64_t inst)
     {
         if (cfg.prioritized)
@@ -469,15 +582,21 @@ struct AshSimulator::Impl
         auto it = findBundle(tile, d->dst, d->inst);
         if (it == aq[tile].end()) {
             uint64_t prio = cfg.prioritized ? d->ts : ++aqSeq;
-            it = aq[tile].emplace(aqKey(d->dst, d->inst, prio),
-                                  Bundle{}).first;
+            it = aq[tile].emplace(aqKey(d->dst, d->inst, prio)).first;
+            // The pooled bundle slot is recycled: reset live fields.
+            it->second.descs.clear();
+            it->second.firstArrival = ~0ull;
+            it->second.lastArrival = 0;
+            it->second.byteSum = 0;
+            it->second.spilled = false;
             if (aq[tile].size() > cfg.aqEntries) {
                 // Spill the highest-priority-key bundle (Sec 4.2).
-                auto worst = std::prev(aq[tile].end());
+                auto worst = aq[tile].end();
+                --worst;
                 if (!worst->second.spilled) {
                     worst->second.spilled = true;
-                    stats.inc("aqSpills");
-                    stats.inc("dramBytes", worst->second.bytes());
+                    ++hot.aqSpills;
+                    hot.dramBytes += worst->second.bytes();
                     ASH_OBS_EVENT(obs::EventKind::AqSpill, now, 0,
                                   tile, 0,
                                   std::get<1>(worst->first),
@@ -494,6 +613,16 @@ struct AshSimulator::Impl
                          it->second.descs.size() + 1);
         d->state = Desc::St::Queued;
         it->second.descs.push_back(d);
+        it->second.byteSum += d->bytes;
+        {
+            // Completeness-count maintenance: this push either
+            // created the bundle or grew it by one, so the count
+            // crosses the threshold iff the new size just reached it.
+            size_t sz = it->second.descs.size();
+            uint32_t need = prog.tasks[d->dst].numParents;
+            if (sz >= need && (sz == 1 || sz == need))
+                ++aqComplete[tile];
+        }
         it->second.lastArrival = now;
         if (it->second.firstArrival == ~0ull)
             it->second.firstArrival = now;
@@ -515,6 +644,14 @@ struct AshSimulator::Impl
             std::fprintf(stderr, "[%llu] unqueue T%u/%llu src=T%u\n",
                          (unsigned long long)now, d->dst,
                          (unsigned long long)d->inst, d->src);
+        {
+            size_t sz = descs.size();
+            uint32_t need = prog.tasks[d->dst].numParents;
+            // Complete before, and gone or below threshold after.
+            if (sz >= need && !(sz - 1 > 0 && sz - 1 >= need))
+                --aqComplete[tile];
+        }
+        it->second.byteSum -= d->bytes;
         descs.erase(pos);
         if (descs.empty())
             aq[tile].erase(it);
@@ -557,11 +694,11 @@ struct AshSimulator::Impl
 
         TcqEntry entry = std::move(it->second);
         tcq[tile].erase(it);
-        stats.inc("aborts");
+        ++hot.aborts;
         stats.inc(std::string("aborts.") + reason);
         // Abort distance: how long this instance had been running
         // (speculatively) before the rollback caught it.
-        stats.hist("abortDistance", now - entry.dispatchedAt);
+        hot.abortDistance.record(now - entry.dispatchedAt);
         ++tileAborts[tile];
         ASH_OBS_EVENT(obs::EventKind::TaskAbort, now, 0, tile,
                       static_cast<uint16_t>(entry.core), entry.task,
@@ -577,12 +714,12 @@ struct AshSimulator::Impl
             switch (d->state) {
               case Desc::St::InFlight:
                 d->state = Desc::St::Cancelled;
-                stats.inc("cancelMessages");
+                ++hot.cancelMessages;
                 break;
               case Desc::St::Queued:
                 unqueue(dst_tile, d);
                 d->state = Desc::St::Cancelled;
-                stats.inc("cancelMessages");
+                ++hot.cancelMessages;
                 break;
               case Desc::St::Consumed:
                 abortInstance(dst_tile, {d->dst, d->inst}, "cascade");
@@ -592,7 +729,7 @@ struct AshSimulator::Impl
                     unqueue(dst_tile, d);
                     d->state = Desc::St::Cancelled;
                 }
-                stats.inc("cancelMessages");
+                ++hot.cancelMessages;
                 break;
               case Desc::St::Cancelled:
                 break;
@@ -615,37 +752,41 @@ struct AshSimulator::Impl
                                  (unsigned long long)entry.inst);
                 memData[u->a][u->b] =
                     Versioned{u->oldVal, u->oldTag,
-                              static_cast<TaskId>(u->existed
-                                                      ? u->oldVec[0]
-                                                      : invalidTask)};
+                              u->existed ? u->oldWriter : invalidTask};
                 break;
               case UndoRec::Kind::RegState:
                 regState[u->a] =
                     Versioned{u->oldVal, u->oldTag,
-                              static_cast<TaskId>(u->existed
-                                                      ? u->oldVec[0]
-                                                      : invalidTask)};
+                              u->existed ? u->oldWriter : invalidTask};
                 break;
-              case UndoRec::Kind::BufMem:
+              case UndoRec::Kind::BufMem: {
+                uint32_t slot = static_cast<uint32_t>(u->b);
                 if (u->existed) {
-                    bufMem[u->a][static_cast<NodeId>(u->b)] =
-                        Versioned{u->oldVal, u->oldTag,
-                                  static_cast<TaskId>(u->oldVec[0])};
+                    bufMem[u->a][slot] =
+                        Versioned{u->oldVal, u->oldTag, u->oldWriter};
+                    bufMemValid[u->a][slot] = 1;
                 } else {
-                    bufMem[u->a].erase(static_cast<NodeId>(u->b));
+                    bufMemValid[u->a][slot] = 0;
                 }
                 break;
+              }
               case UndoRec::Kind::Filter:
-                filters[u->a][u->b] = u->oldVec;
+                filters[u->a][u->b].assign(
+                    entry.undoPayload.begin() + u->payloadOff,
+                    entry.undoPayload.begin() + u->payloadOff +
+                        u->payloadLen);
                 filterValid[u->a][u->b] = u->existed;
                 break;
-              case UndoRec::Kind::LastVals:
-                if (u->existed)
-                    lastVals[u->a][static_cast<NodeId>(u->b)] =
-                        u->oldVal;
-                else
-                    lastVals[u->a].erase(static_cast<NodeId>(u->b));
+              case UndoRec::Kind::LastVals: {
+                uint32_t slot = static_cast<uint32_t>(u->b);
+                if (u->existed) {
+                    lastVals[u->a][slot] = u->oldVal;
+                    lastValsValid[u->a][slot] = 1;
+                } else {
+                    lastValsValid[u->a][slot] = 0;
+                }
                 break;
+              }
             }
         }
 
@@ -669,22 +810,45 @@ struct AshSimulator::Impl
         ev.time = now + 1;
         ev.type = Event::Type::Retry;
         ev.tile = tile;
-        events.push(ev);
+        pushEvent(std::move(ev));
     }
 
     // =====================================================================
     // Functional execution
     // =====================================================================
 
+    /**
+     * Execution context of the instance currently dispatching. Local
+     * and received values live in the global node-indexed arrays
+     * (localVal/recvVal), validated by stamp == this context's
+     * dispatch epoch — dispatch is not re-entrant, so one set of
+     * arrays serves every execution without per-dispatch clearing.
+     */
     struct Ctx
     {
         TaskId task;
         uint64_t inst;
-        std::unordered_map<NodeId, uint64_t> local;
-        std::unordered_map<NodeId, uint64_t> recv;
+        uint64_t stamp = 0;
         TcqEntry *entry = nullptr;
         uint64_t dataStallLines = 0;
     };
+
+    void
+    setLocal(const Ctx &ctx, NodeId id, uint64_t v)
+    {
+        localVal[id] = v;
+        localStamp[id] = ctx.stamp;
+    }
+
+    void
+    setRecv(const Ctx &ctx, NodeId id, uint64_t v)
+    {
+        if (recvStamp[id] != ctx.stamp) {
+            recvStamp[id] = ctx.stamp;
+            recvNodes.push_back(id);
+        }
+        recvVal[id] = v;   // Last write wins, as with the old map.
+    }
 
     uint64_t
     regNextValue(Ctx &ctx, size_t reg_idx)
@@ -699,15 +863,13 @@ struct AshSimulator::Impl
     uint64_t
     resolve(Ctx &ctx, NodeId id)
     {
-        auto lit = ctx.local.find(id);
-        if (lit != ctx.local.end())
-            return lit->second;
+        if (localStamp[id] == ctx.stamp)
+            return localVal[id];
         const rtl::Node &n = nl.node(id);
         if (n.op == Op::Const)
             return n.imm;
-        auto rit = ctx.recv.find(id);
-        if (rit != ctx.recv.end())
-            return rit->second;
+        if (recvStamp[id] == ctx.stamp)
+            return recvVal[id];
         if (n.op == Op::Input)
             return frame(ctx.inst)[inputIndex(id)];
         if (n.op == Op::Reg) {
@@ -726,28 +888,26 @@ struct AshSimulator::Impl
             }
             // Fall through to lastVals / zero below.
         }
-        // Buffered inputs (DTT / fan-in staging memory).
-        const Task &t = prog.tasks[ctx.task];
-        for (TaskId buf : t.bufferParents) {
-            const auto &carried = prog.tasks[buf].carriedValues;
-            if (std::find(carried.begin(), carried.end(), id) ==
-                carried.end())
-                continue;
+        // Buffered inputs (DTT / fan-in staging memory). The compiler
+        // resolved which buffer parent stages each node (first parent
+        // wins, matching the historical scan) into bufSlotOf.
+        if (const BufSlotRef *br = bufRef(ctx.task, id)) {
             ++ctx.dataStallLines;
+            TaskId buf = br->bufTask;
+            uint32_t slot = br->slot;
             auto find_cell = [&]() -> Versioned * {
-                auto mit = bufMem[buf].find(id);
-                return mit == bufMem[buf].end() ? nullptr
-                                                : &mit->second;
+                return bufMemValid[buf][slot] ? &bufMem[buf][slot]
+                                              : nullptr;
             };
             Versioned *cell = find_cell();
-            if (!cell)
-                break;   // Never staged yet: old-value path below.
-            return readVersioned(cell, find_cell, ctx.inst + 1);
+            // Never staged yet: old-value path below.
+            if (cell)
+                return readVersioned(cell, find_cell, ctx.inst + 1);
         }
         if (cfg.selective) {
-            auto vit = lastVals[ctx.task].find(id);
-            if (vit != lastVals[ctx.task].end())
-                return vit->second;
+            uint32_t slot = argSlot(ctx.task, id);
+            if (slot != ~0u && lastValsValid[ctx.task][slot])
+                return lastVals[ctx.task][slot];
             return 0;   // Speculative cold read; aborts repair it.
         }
         panic("DASH: value %u missing for task %u inst %llu", id,
@@ -757,25 +917,26 @@ struct AshSimulator::Impl
     uint32_t
     inputIndex(NodeId id) const
     {
-        auto it = inputIdxOf.find(id);
-        ASH_ASSERT(it != inputIdxOf.end(), "node %u is not an input",
-                   id);
-        return it->second;
+        uint32_t idx = inputIdxOf[id];
+        ASH_ASSERT(idx != ~0u, "node %u is not an input", id);
+        return idx;
     }
 
     void
     logLastVal(Ctx &ctx, NodeId id, uint64_t val)
     {
-        auto &lv = lastVals[ctx.task];
-        auto it = lv.find(id);
+        uint32_t slot = argSlot(ctx.task, id);
+        ASH_ASSERT(slot != ~0u, "node %u has no arg slot in task %u",
+                   id, ctx.task);
         UndoRec u;
         u.kind = UndoRec::Kind::LastVals;
         u.a = ctx.task;
-        u.b = id;
-        u.existed = it != lv.end();
-        u.oldVal = u.existed ? it->second : 0;
-        ctx.entry->undo.push_back(std::move(u));
-        lv[id] = val;
+        u.b = slot;
+        u.existed = lastValsValid[ctx.task][slot] != 0;
+        u.oldVal = u.existed ? lastVals[ctx.task][slot] : 0;
+        ctx.entry->undo.push_back(u);
+        lastVals[ctx.task][slot] = val;
+        lastValsValid[ctx.task][slot] = 1;
     }
 
     /** Execute the task body; fills ctx.local, pushes undo records. */
@@ -794,8 +955,8 @@ struct AshSimulator::Impl
                 u.a = static_cast<uint32_t>(r);
                 u.oldVal = regState[r].val;
                 u.oldTag = regState[r].tag;
-                u.oldVec = {regState[r].writer};
-                ctx.entry->undo.push_back(std::move(u));
+                u.oldWriter = regState[r].writer;
+                ctx.entry->undo.push_back(u);
                 regState[r] = Versioned{v, ctx.inst + 1, ctx.task};
                 ++ctx.dataStallLines;
                 continue;
@@ -803,10 +964,10 @@ struct AshSimulator::Impl
             const rtl::Node &n = nl.node(raw);
             switch (n.op) {
               case Op::Input:
-                ctx.local[raw] = frame(ctx.inst)[inputIndex(raw)];
+                setLocal(ctx, raw, frame(ctx.inst)[inputIndex(raw)]);
                 break;
               case Op::Reg:
-                ctx.local[raw] = resolve(ctx, raw);
+                setLocal(ctx, raw, resolve(ctx, raw));
                 break;
               case Op::MemRead: {
                 uint64_t addr = resolve(ctx, n.operands[0]);
@@ -818,7 +979,7 @@ struct AshSimulator::Impl
                                       [&]() { return &mem[addr]; },
                                       ctx.inst);
                 }
-                ctx.local[raw] = v;
+                setLocal(ctx, raw, v);
                 break;
               }
               case Op::MemWrite: {
@@ -844,8 +1005,8 @@ struct AshSimulator::Impl
                     u.oldVal = cell.val;
                     u.oldTag = cell.tag;
                     u.existed = true;
-                    u.oldVec = {cell.writer};
-                    ctx.entry->undo.push_back(std::move(u));
+                    u.oldWriter = cell.writer;
+                    ctx.entry->undo.push_back(u);
                     cell = Versioned{data, ctx.inst + 1, ctx.task};
                 }
                 break;
@@ -858,7 +1019,7 @@ struct AshSimulator::Impl
               default: {
                 for (size_t i = 0; i < n.operands.size(); ++i)
                     scratch[i] = resolve(ctx, n.operands[i]);
-                ctx.local[raw] = rtl::evalCombOp(n, nl, scratch);
+                setLocal(ctx, raw, rtl::evalCombOp(n, nl, scratch));
                 break;
               }
             }
@@ -879,9 +1040,8 @@ struct AshSimulator::Impl
             NodeId next = nl.regs()[nl.regIndex(id)].next;
             if (nl.node(next).op == Op::Const)
                 return nl.node(next).imm;
-            auto nit = ctx.local.find(next);
-            if (nit != ctx.local.end())
-                return nit->second;
+            if (localStamp[next] == ctx.stamp)
+                return localVal[next];
             return resolve(ctx, next);
         }
         return resolve(ctx, id);
@@ -893,13 +1053,23 @@ struct AshSimulator::Impl
 
     /** Dispatch one AQ bundle on a core; returns execution duration. */
     void
-    dispatch(uint32_t tile, uint32_t core,
-             std::map<AqKey, Bundle>::iterator bit)
+    dispatch(uint32_t tile, uint32_t core, AqIter bit)
     {
         TaskId task = std::get<1>(bit->first);
         uint64_t inst = std::get<2>(bit->first);
         const Task &t = prog.tasks[task];
-        Bundle bundle = std::move(bit->second);
+        // Swap the bundle's contents into the dispatch scratch so the
+        // AQ pool slot keeps (and the scratch recycles) its vector
+        // capacity; dispatch is never re-entered, so one scratch
+        // bundle suffices.
+        Bundle &bundle = dispatchBundle;
+        bundle.descs.clear();
+        bundle.descs.swap(bit->second.descs);
+        bundle.firstArrival = bit->second.firstArrival;
+        bundle.lastArrival = bit->second.lastArrival;
+        bundle.spilled = bit->second.spilled;
+        if (bundle.descs.size() >= t.numParents)
+            --aqComplete[tile];
         aq[tile].erase(bit);
         updateTileMin(tile);
 
@@ -916,13 +1086,22 @@ struct AshSimulator::Impl
                 abortInstance(tile, *k, "same-task-order");
         }
 
-        TcqEntry entry;
+        // Build into the recycled scratch entry; its vectors keep the
+        // capacity a previous (committed) entry grew.
+        TcqEntry &entry = dispatchEntry;
         entry.task = task;
         entry.inst = inst;
         entry.ts = ts(task, inst);
         entry.epoch = ++epochCounter;
+        entry.completed = false;
+        entry.duration = 0;
         entry.dispatchedAt = now;
         entry.core = core;
+        entry.consumed.clear();
+        entry.sent.clear();
+        entry.undo.clear();
+        entry.undoPayload.clear();
+        entry.outputs.clear();
 
         if (cfg.selective) {
             for (size_t pi = 0; pi < parentsOf[task].size(); ++pi) {
@@ -947,18 +1126,20 @@ struct AshSimulator::Impl
         Ctx ctx;
         ctx.task = task;
         ctx.inst = inst;
+        ctx.stamp = entry.epoch;
         ctx.entry = &entry;
+        recvNodes.clear();
         uint32_t arrived = 0;
         for (const DescPtr &d : bundle.descs) {
             d->state = Desc::St::Consumed;
             ++arrived;
             for (auto &[node, val] : d->values)
-                ctx.recv[node] = val;
+                setRecv(ctx, node, val);
             entry.consumed.push_back(d);
         }
         if (cfg.selective) {
-            for (auto &[node, val] : ctx.recv)
-                logLastVal(ctx, node, val);
+            for (NodeId node : recvNodes)
+                logLastVal(ctx, node, recvVal[node]);
         }
 
         // Functional execution.
@@ -974,12 +1155,12 @@ struct AshSimulator::Impl
                     got_raw = true;
             }
             bool all_same = true;
-            std::vector<uint64_t> vals;
-            for (NodeId v : t.carriedValues) {
-                uint64_t val = resolve(ctx, v);
-                vals.push_back(val);
-                auto it = bufMem[task].find(v);
-                if (it == bufMem[task].end() || it->second.val != val)
+            bufVals.clear();
+            for (size_t i = 0; i < t.carriedValues.size(); ++i) {
+                uint64_t val = resolve(ctx, t.carriedValues[i]);
+                bufVals.push_back(val);
+                if (!bufMemValid[task][i] ||
+                    bufMem[task][i].val != val)
                     all_same = false;
             }
             if (trace)
@@ -988,26 +1169,23 @@ struct AshSimulator::Impl
                              "raw=%d recv=%zu\n",
                              (unsigned long long)now, task,
                              (unsigned long long)inst, all_same,
-                             got_raw, ctx.recv.size());
+                             got_raw, recvNodes.size());
             if (!(cfg.selective && all_same && !got_raw)) {
                 for (size_t i = 0; i < t.carriedValues.size(); ++i) {
-                    NodeId v = t.carriedValues[i];
-                    auto it = bufMem[task].find(v);
                     UndoRec u;
                     u.kind = UndoRec::Kind::BufMem;
                     u.a = task;
-                    u.b = v;
-                    u.existed = it != bufMem[task].end();
+                    u.b = i;
+                    u.existed = bufMemValid[task][i] != 0;
                     if (u.existed) {
-                        u.oldVal = it->second.val;
-                        u.oldTag = it->second.tag;
-                        u.oldVec = {it->second.writer};
-                    } else {
-                        u.oldVec = {invalidTask};
+                        u.oldVal = bufMem[task][i].val;
+                        u.oldTag = bufMem[task][i].tag;
+                        u.oldWriter = bufMem[task][i].writer;
                     }
-                    entry.undo.push_back(std::move(u));
-                    bufMem[task][v] =
-                        Versioned{vals[i], inst + 1, task};
+                    entry.undo.push_back(u);
+                    bufMem[task][i] =
+                        Versioned{bufVals[i], inst + 1, task};
+                    bufMemValid[task][i] = 1;
                     ++ctx.dataStallLines;
                 }
                 sendPushes(tile, entry, ctx, sent_pushes, filtered,
@@ -1052,12 +1230,12 @@ struct AshSimulator::Impl
         entry.duration = duration;
         busyUnresolved += duration;
 
-        stats.inc("tasksExecuted");
-        stats.inc("instrs", instr);
-        stats.inc("descsConsumed", arrived);
-        stats.inc("descsFiltered", filtered);
-        stats.hist("taskLength", duration);
-        stats.hist("bundleDescs", arrived);
+        ++hot.tasksExecuted;
+        hot.instrs += instr;
+        hot.descsConsumed += arrived;
+        hot.descsFiltered += filtered;
+        hot.taskLength.record(duration);
+        hot.bundleDescs.record(arrived);
         ++tileDispatches[tile];
         ASH_OBS_EVENT(obs::EventKind::TaskDispatch, now,
                       static_cast<uint32_t>(duration), tile,
@@ -1072,18 +1250,20 @@ struct AshSimulator::Impl
         ev.task = task;
         ev.inst = inst;
         ev.epoch = entry.epoch;
-        events.push(ev);
+        pushEvent(std::move(ev));
 
         if (trace)
             std::fprintf(stderr, "[%llu] dispatch T%u/%llu dur=%llu\n",
                          (unsigned long long)now, task,
                          (unsigned long long)inst,
                          (unsigned long long)entry.duration);
-        auto [tit, fresh] = tcq[tile].emplace(InstKey{task, inst},
-                                              std::move(entry));
+        // Swap scratch and pool slot: the slot receives this entry,
+        // the scratch inherits the (stale) previous occupant's vector
+        // capacities for the next dispatch.
+        auto [tit, fresh] = tcq[tile].emplace(InstKey{task, inst});
         ASH_ASSERT(fresh, "double dispatch of task %u inst %llu",
                    task, static_cast<unsigned long long>(inst));
-        (void)tit;
+        std::swap(tit->second, dispatchEntry);
     }
 
     bool trace = getenv("ASH_TRACE") != nullptr;
@@ -1102,7 +1282,22 @@ struct AshSimulator::Impl
      * repaired by the speculation machinery.
      */
     std::vector<std::vector<uint8_t>> parentPred;
-    std::map<InstKey, uint32_t> inFlightTo;
+    /**
+     * In-flight descriptor counts per destination instance. Only ever
+     * probed point-wise (never iterated), so a hash map serves; the
+     * instance index is small, leaving the task id room in the high
+     * bits.
+     */
+    struct InstKeyHash
+    {
+        size_t
+        operator()(const InstKey &k) const
+        {
+            return std::hash<uint64_t>()(
+                (static_cast<uint64_t>(k.first) << 40) ^ k.second);
+        }
+    };
+    std::unordered_map<InstKey, uint32_t, InstKeyHash> inFlightTo;
     std::vector<uint64_t> tileMinTs;    ///< Min queued ts per tile.
     std::multiset<uint64_t> tileMins;   ///< All per-tile minima.
     std::set<uint32_t> gateBlocked;     ///< Tiles waiting on the gate.
@@ -1141,7 +1336,7 @@ struct AshSimulator::Impl
             ev.time = now + 1;
             ev.type = Event::Type::Retry;
             ev.tile = tile;
-            events.push(ev);
+            pushEvent(std::move(ev));
         }
         gateBlocked.clear();
     }
@@ -1180,9 +1375,17 @@ struct AshSimulator::Impl
                 u.kind = UndoRec::Kind::Filter;
                 u.a = ctx.task;
                 u.b = pi;
-                u.oldVec = filters[ctx.task][pi];
+                // Old filter values go into the entry's pooled undo
+                // payload buffer instead of a per-record vector.
+                const auto &prev_f = filters[ctx.task][pi];
+                u.payloadOff = static_cast<uint32_t>(
+                    ctx.entry->undoPayload.size());
+                u.payloadLen = static_cast<uint32_t>(prev_f.size());
+                ctx.entry->undoPayload.insert(
+                    ctx.entry->undoPayload.end(), prev_f.begin(),
+                    prev_f.end());
                 u.existed = filterValid[ctx.task][pi];
-                ctx.entry->undo.push_back(std::move(u));
+                ctx.entry->undo.push_back(u);
                 auto &f = filters[ctx.task][pi];
                 f.clear();
                 for (auto &[n, v] : payload)
@@ -1206,15 +1409,15 @@ struct AshSimulator::Impl
             ++inFlightTo[{d->dst, d->inst}];
             entry.sent.push_back(d);
             ++sent;
-            stats.inc("descsSent");
-            stats.inc("descBytes", d->bytes);
+            ++hot.descsSent;
+            hot.descBytes += d->bytes;
 
             Event ev;
             ev.time = arrive;
             ev.type = Event::Type::DescArrive;
             ev.tile = dst_tile;
-            ev.desc = d;
-            events.push(ev);
+            ev.desc = std::move(d);
+            pushEvent(std::move(ev));
         }
     }
 
@@ -1239,7 +1442,7 @@ struct AshSimulator::Impl
                 return;
             if (cfg.selective &&
                 tcq[tile].size() >= cfg.tcqEntries) {
-                stats.inc("tcqFullStalls");
+                ++hot.tcqFullStalls;
                 return;
             }
 
@@ -1251,7 +1454,7 @@ struct AshSimulator::Impl
     }
 
     /** Choose the next bundle to dispatch, or end() if none. */
-    std::map<AqKey, Bundle>::iterator
+    AqIter
     pickBundle(uint32_t tile)
     {
         auto &q = aq[tile];
@@ -1281,7 +1484,7 @@ struct AshSimulator::Impl
                               cfg.mergeGraceCycles;
                     ev.type = Event::Type::Retry;
                     ev.tile = tile;
-                    events.push(ev);
+                    pushEvent(std::move(ev));
                     return q.end();
                 }
                 if (inFlightTo.count({task, inst})) {
@@ -1334,7 +1537,7 @@ struct AshSimulator::Impl
                                       cfg.deliverWaitCycles;
                             ev.type = Event::Type::Retry;
                             ev.tile = tile;
-                            events.push(ev);
+                            pushEvent(std::move(ev));
                         }
                         blocked = true;
                         break;
@@ -1350,6 +1553,11 @@ struct AshSimulator::Impl
 
         // DASH: dispatch complete bundles, preferring those within
         // the merge window; completing beyond it models an eviction.
+        // The maintained completeness count short-circuits the scan
+        // when nothing is dispatchable (the common case: the tile is
+        // re-polled on every arrival and VT round).
+        if (aqComplete[tile] == 0)
+            return q.end();
         uint32_t scanned = 0;
         auto first_beyond = q.end();
         for (auto it = q.begin(); it != q.end(); ++it) {
@@ -1366,7 +1574,7 @@ struct AshSimulator::Impl
             ++scanned;
         }
         if (first_beyond != q.end()) {
-            stats.inc("mergeEvictions");
+            ++hot.mergeEvictions;
             return first_beyond;
         }
         return q.end();
@@ -1387,7 +1595,7 @@ struct AshSimulator::Impl
             inFlightTo.erase(tit2);
         if (d->state == Desc::St::Cancelled)
             return;
-        stats.inc("descsArrived");
+        ++hot.descsArrived;
 
         if (cfg.selective) {
             // Conflict detection (Sec 5.2).
@@ -1404,7 +1612,7 @@ struct AshSimulator::Impl
             if (d->kind == PushKind::War) {
                 // Conflict-checked, then discarded.
                 d->state = Desc::St::Cancelled;
-                stats.inc("warDiscarded");
+                ++hot.warDiscarded;
                 trySchedule(tile);
                 return;
             }
@@ -1426,10 +1634,14 @@ struct AshSimulator::Impl
         trySchedule(ev.tile);
     }
 
-    /** Finalize one entry: record outputs, account committed time. */
-    void
-    commitEntry(uint32_t tile,
-                std::map<InstKey, TcqEntry>::iterator it)
+    /**
+     * Finalize one entry: record outputs, account committed time.
+     * Returns the position after the erased entry. The entry is
+     * erased in place — its vectors stay in the pool slot, capacity
+     * intact, for the next dispatch to recycle.
+     */
+    TcqIter
+    commitEntry(uint32_t tile, TcqIter it)
     {
         TcqEntry &e = it->second;
         for (auto &[idx, val] : e.outputs) {
@@ -1438,7 +1650,7 @@ struct AshSimulator::Impl
         }
         busyCommitted += e.duration;
         busyUnresolved -= e.duration;
-        stats.inc("tasksCommitted");
+        ++hot.tasksCommitted;
         ++tileCommits[tile];
         ASH_OBS_EVENT(obs::EventKind::TaskCommit, now, 0, tile,
                       static_cast<uint16_t>(e.core), e.task, e.inst);
@@ -1446,13 +1658,13 @@ struct AshSimulator::Impl
             std::fprintf(stderr, "[%llu] commit T%u/%llu\n",
                          (unsigned long long)now, e.task,
                          (unsigned long long)e.inst);
-        tcq[tile].erase(it);
+        return tcq[tile].erase(it);
     }
 
     void
     onVtRound()
     {
-        stats.inc("commitRounds");
+        ++hot.commitRounds;
         ASH_OBS_EVENT(obs::EventKind::VtCommitRound, now, 0, 0, 0,
                       lastGvtCycle, 0);
 
@@ -1485,13 +1697,10 @@ struct AshSimulator::Impl
         if (cfg.selective) {
             for (uint32_t t = 0; t < cfg.numTiles; ++t) {
                 for (auto it = tcq[t].begin(); it != tcq[t].end();) {
-                    if (it->second.completed && it->second.ts <= g) {
-                        auto next = std::next(it);
-                        commitEntry(t, it);
-                        it = next;
-                    } else {
+                    if (it->second.completed && it->second.ts <= g)
+                        it = commitEntry(t, it);
+                    else
                         ++it;
-                    }
                 }
             }
         }
@@ -1513,15 +1722,15 @@ struct AshSimulator::Impl
             for (const auto &[k, b] : aq[t])
                 foot += b.bytes();
         }
-        stats.hist("aqDepth", aq_total);
-        stats.hist("tcqDepth", tcq_total);
-        stats.sample("aqOccupancy",
-                     static_cast<double>(aq_total) / cfg.numTiles);
-        stats.sample("tcqOccupancy",
-                     static_cast<double>(tcq_total) / cfg.numTiles);
-        stats.sample("footprintBytes",
-                     static_cast<double>(foot) + 16.0 *
-                         static_cast<double>(inFlight.size()));
+        hot.aqDepth.record(aq_total);
+        hot.tcqDepth.record(tcq_total);
+        hot.aqOccupancy.sample(
+            static_cast<double>(aq_total) / cfg.numTiles);
+        hot.tcqOccupancy.sample(
+            static_cast<double>(tcq_total) / cfg.numTiles);
+        hot.footprintBytes.sample(
+            static_cast<double>(foot) + 16.0 *
+                static_cast<double>(inFlight.size()));
 
         for (uint32_t t = 0; t < cfg.numTiles; ++t)
             trySchedule(t);
@@ -1534,7 +1743,7 @@ struct AshSimulator::Impl
         Event ev;
         ev.time = now + cfg.vtIntervalCycles;
         ev.type = Event::Type::VtRound;
-        events.push(ev);
+        pushEvent(std::move(ev));
     }
 
     void
@@ -1574,8 +1783,8 @@ struct AshSimulator::Impl
             ev.desc = d;
             inFlight.insert(d->ts);
             ++inFlightTo[{d->dst, d->inst}];
-            events.push(ev);
-            stats.inc("stimulusDescs");
+            pushEvent(std::move(ev));
+            ++hot.stimulusDescs;
             ASH_OBS_EVENT(obs::EventKind::Stimulus, now, 0, ev.tile,
                           0, t, cycle);
         }
@@ -1609,9 +1818,63 @@ struct AshSimulator::Impl
                 d->src = t.id;
                 inFlight.insert(d->ts);
                 ++inFlightTo[{d->dst, d->inst}];
-                events.push(ev);
+                pushEvent(std::move(ev));
             }
         }
+    }
+
+    /**
+     * Fold the raw hot-path statistics into the string-keyed StatSet.
+     * The guards reproduce the per-event key-creation semantics
+     * exactly: a counter key appears iff its original call site was
+     * reached at least once (some sites pass a delta that can be
+     * zero, e.g. descsFiltered under DASH, so those fold whenever a
+     * dispatch happened, even with total 0). Histogram/accumulator
+     * folds are no-ops when never recorded.
+     */
+    void
+    foldHotStats()
+    {
+        auto fold = [&](const char *name, uint64_t v) {
+            if (v)
+                stats.inc(name, v);
+        };
+        if (hot.tasksExecuted) {
+            stats.inc("tasksExecuted", hot.tasksExecuted);
+            stats.inc("instrs", hot.instrs);
+            stats.inc("descsConsumed", hot.descsConsumed);
+            stats.inc("descsFiltered", hot.descsFiltered);
+        }
+        fold("tasksCommitted", hot.tasksCommitted);
+        if (hot.descsSent) {
+            stats.inc("descsSent", hot.descsSent);
+            stats.inc("descBytes", hot.descBytes);
+        }
+        fold("descsArrived", hot.descsArrived);
+        fold("warDiscarded", hot.warDiscarded);
+        fold("stimulusDescs", hot.stimulusDescs);
+        fold("l1dAccesses", hot.l1dAccesses);
+        fold("l1iAccesses", hot.l1iAccesses);
+        fold("l1iMisses", hot.l1iMisses);
+        fold("l2Accesses", hot.l2Accesses);
+        fold("l2iMisses", hot.l2iMisses);
+        fold("dramAccesses", hot.dramAccesses);
+        if (hot.dramAccesses || hot.aqSpills)
+            stats.inc("dramBytes", hot.dramBytes);
+        fold("aqSpills", hot.aqSpills);
+        fold("tcqFullStalls", hot.tcqFullStalls);
+        fold("mergeEvictions", hot.mergeEvictions);
+        fold("commitRounds", hot.commitRounds);
+        fold("cancelMessages", hot.cancelMessages);
+        fold("aborts", hot.aborts);
+        stats.addHistogram("taskLength", hot.taskLength);
+        stats.addHistogram("bundleDescs", hot.bundleDescs);
+        stats.addHistogram("abortDistance", hot.abortDistance);
+        stats.addHistogram("aqDepth", hot.aqDepth);
+        stats.addHistogram("tcqDepth", hot.tcqDepth);
+        stats.addAccum("aqOccupancy", hot.aqOccupancy);
+        stats.addAccum("tcqOccupancy", hot.tcqOccupancy);
+        stats.addAccum("footprintBytes", hot.footprintBytes);
     }
 
     // =====================================================================
@@ -1635,12 +1898,11 @@ struct AshSimulator::Impl
         Event vt;
         vt.time = cfg.vtIntervalCycles;
         vt.type = Event::Type::VtRound;
-        events.push(vt);
+        pushEvent(std::move(vt));
 
         uint64_t processed = 0;
         while (!events.empty() && !done) {
-            Event ev = events.top();
-            events.pop();
+            Event ev = events.pop();
             ASH_ASSERT(ev.time >= now, "time went backwards");
             now = ev.time;
             ++processed;
@@ -1664,6 +1926,7 @@ struct AshSimulator::Impl
         }
         ASH_ASSERT(done, "simulation deadlocked at cycle %llu",
                    static_cast<unsigned long long>(now));
+        foldHotStats();
 
         RunResult result;
         result.chipCycles = now;

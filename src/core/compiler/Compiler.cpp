@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/Logging.h"
+#include "common/SlotAllocator.h"
 #include "partition/Partition.h"
 #include "rtl/Cost.h"
 
@@ -690,30 +691,65 @@ compile(const rtl::Netlist &nl, const CompilerOptions &opts)
                 t.numParents = 1;
             }
         }
+        // Direct inputs double as the argument-buffer slot map: slot
+        // ids are assigned densely in first-arrival order (what the
+        // old find-based dedup produced), so directInputs[slot] is
+        // the node held in slot `slot`.
+        std::vector<SlotAllocator> arg_slots(prog.tasks.size());
         for (const Task &t : prog.tasks) {
             for (const Push &p : t.pushes) {
                 if (p.kind != PushKind::Value)
                     continue;
                 Task &d = prog.tasks[p.dst];
                 for (NodeId v : p.values) {
-                    if (std::find(d.directInputs.begin(),
-                                  d.directInputs.end(), v) ==
-                        d.directInputs.end())
+                    if (arg_slots[p.dst].add(v) ==
+                        d.directInputs.size())
                         d.directInputs.push_back(v);
                 }
             }
         }
+        std::vector<SlotAllocator> buffered(prog.tasks.size());
         for (const Task &t : prog.tasks) {
             if (t.kind != TaskKind::Buffer)
                 continue;
             Task &d = prog.tasks[t.serves];
             d.bufferParents.push_back(t.id);
             for (NodeId v : t.carriedValues) {
-                if (std::find(d.bufferedInputs.begin(),
-                              d.bufferedInputs.end(), v) ==
-                    d.bufferedInputs.end())
+                if (buffered[t.serves].add(v) ==
+                    d.bufferedInputs.size())
                     d.bufferedInputs.push_back(v);
             }
+        }
+
+        // Emit the engine-facing slot maps, sorted by node for
+        // binary-search lookup. Buffered slots resolve the historical
+        // "scan bufferParents in order, first carrier wins" rule at
+        // compile time.
+        for (Task &d : prog.tasks) {
+            d.argSlotOf.reserve(d.directInputs.size());
+            for (uint32_t s = 0;
+                 s < static_cast<uint32_t>(d.directInputs.size());
+                 ++s)
+                d.argSlotOf.emplace_back(d.directInputs[s], s);
+            std::sort(d.argSlotOf.begin(), d.argSlotOf.end());
+
+            SlotAllocator seen;
+            for (TaskId buf : d.bufferParents) {
+                const auto &carried =
+                    prog.tasks[buf].carriedValues;
+                for (uint32_t s = 0;
+                     s < static_cast<uint32_t>(carried.size()); ++s) {
+                    if (seen.slot(carried[s]) != SlotAllocator::npos)
+                        continue;   // An earlier parent carries it.
+                    seen.add(carried[s]);
+                    d.bufSlotOf.push_back(
+                        BufSlotRef{carried[s], buf, s});
+                }
+            }
+            std::sort(d.bufSlotOf.begin(), d.bufSlotOf.end(),
+                      [](const BufSlotRef &a, const BufSlotRef &b) {
+                          return a.node < b.node;
+                      });
         }
     }
 

@@ -75,6 +75,19 @@ enum class TaskKind : uint8_t {
     Relay,    ///< Fan-out relay: re-pushes received values.
 };
 
+/**
+ * Compiler-resolved buffered-input reference: the value of @p node is
+ * staged by buffer task @p bufTask in its carriedValues slot @p slot.
+ * When several buffer parents carry the same node, the first parent
+ * (bufferParents order) wins, matching the engine's historical scan.
+ */
+struct BufSlotRef
+{
+    rtl::NodeId node = rtl::invalidNode;
+    TaskId bufTask = invalidTask;
+    uint32_t slot = 0;
+};
+
 /** One compiled task. */
 struct Task
 {
@@ -95,6 +108,19 @@ struct Task
     std::vector<rtl::NodeId> bufferedInputs;
     /** Buffer tasks feeding this task (parents of kind Buffer). */
     std::vector<TaskId> bufferParents;
+
+    /**
+     * Dense argument-buffer slot map: (node, slot) sorted by node,
+     * where slot is the node's position in directInputs. The engine
+     * keeps per-task argument state (last-value buffers) in flat
+     * arrays indexed by these slots instead of node-keyed hash maps.
+     */
+    std::vector<std::pair<rtl::NodeId, uint32_t>> argSlotOf;
+    /**
+     * Buffered-input slot map, sorted by node: where each buffered
+     * value lives (which buffer parent, which carriedValues slot).
+     */
+    std::vector<BufSlotRef> bufSlotOf;
 
     /** For Buffer/Relay tasks: the values they stage or re-push. */
     std::vector<rtl::NodeId> carriedValues;

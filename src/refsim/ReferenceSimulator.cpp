@@ -17,9 +17,62 @@ ReferenceSimulator::ReferenceSimulator(const rtl::Netlist &netlist)
       _changed(netlist.numNodes(), 0),
       _inputBuffer(netlist.inputs().size(), 0)
 {
+    buildProgram();
     reset();
     for (NodeId id = 0; id < _nl.numNodes(); ++id)
         _totalCost += rtl::nodeCost(_nl.node(id));
+}
+
+void
+ReferenceSimulator::buildProgram()
+{
+    size_t n = _nl.numNodes();
+
+    _program.reserve(_order.size());
+    for (NodeId id : _order) {
+        const Node &node = _nl.node(id);
+        ASH_ASSERT(node.op == Op::Concat || node.operands.size() <= 8,
+                   "node with >8 operands needs Concat splitting");
+        EvalInst inst;
+        inst.op = node.op;
+        inst.width = node.width;
+        inst.numOperands =
+            static_cast<uint16_t>(node.operands.size());
+        inst.dst = id;
+        inst.aux = 0;
+        inst.opBase = static_cast<uint32_t>(_operandIdx.size());
+        inst.imm = node.imm;
+        if (node.op == Op::Reg)
+            inst.aux = static_cast<uint32_t>(_nl.regIndex(id));
+        else if (node.op == Op::MemRead)
+            inst.aux = node.mem;
+        for (NodeId oper : node.operands) {
+            _operandIdx.push_back(oper);
+            _operandWidth.push_back(_nl.node(oper).width);
+        }
+        _program.push_back(inst);
+    }
+
+    // CSR fanout graph (consumer = any node listing the producer as
+    // an operand; duplicates kept, the per-cycle stamp dedups) and
+    // the per-node cost cache driving activity accounting.
+    _cost.resize(n);
+    _fanoutBase.assign(n + 1, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        _cost[id] = static_cast<uint32_t>(rtl::nodeCost(_nl.node(id)));
+        for (NodeId oper : _nl.node(id).operands)
+            ++_fanoutBase[oper + 1];
+    }
+    for (size_t i = 1; i <= n; ++i)
+        _fanoutBase[i] += _fanoutBase[i - 1];
+    _fanoutList.resize(_fanoutBase[n]);
+    std::vector<uint32_t> fill(_fanoutBase.begin(),
+                               _fanoutBase.end() - 1);
+    for (NodeId id = 0; id < n; ++id)
+        for (NodeId oper : _nl.node(id).operands)
+            _fanoutList[fill[oper]++] = id;
+
+    _activeStamp.assign(n, 0);
 }
 
 void
@@ -31,9 +84,12 @@ ReferenceSimulator::reset()
     std::fill(_values.begin(), _values.end(), 0);
     std::fill(_prevValues.begin(), _prevValues.end(), 0);
     std::fill(_changed.begin(), _changed.end(), 0);
+    std::fill(_activeStamp.begin(), _activeStamp.end(), 0);
+    _stampGen = 0;
     _regState.clear();
     for (const rtl::RegInfo &reg : _nl.regs())
         _regState.push_back(reg.init);
+    _regScratch.assign(_regState.size(), 0);
     _memState.clear();
     for (const rtl::MemInfo &mem : _nl.memories()) {
         std::vector<uint64_t> contents(mem.depth, 0);
@@ -49,65 +105,152 @@ ReferenceSimulator::step(Stimulus &stimulus)
     std::fill(_inputBuffer.begin(), _inputBuffer.end(), 0);
     stimulus.apply(_cycle, _inputBuffer);
 
-    _prevValues = _values;
+    // Double buffer: the old current values become the previous-cycle
+    // snapshot; every slot of the new current buffer is rewritten
+    // below except MemWrite sinks, which are never written and stay 0
+    // in both buffers, so no copy is needed.
+    std::swap(_values, _prevValues);
 
     // Seed sources, then evaluate combinational logic in levelized
-    // order (phase 1 of the two-phase clocking scheme).
+    // order (phase 1 of the two-phase clocking scheme) off the
+    // pre-decoded SoA program.
     for (size_t i = 0; i < _nl.inputs().size(); ++i) {
         _values[_nl.inputs()[i]] = truncate(
             _inputBuffer[i], _nl.node(_nl.inputs()[i]).width);
     }
-    uint64_t scratch[8];
-    for (NodeId id : _order) {
-        const Node &n = _nl.node(id);
-        switch (n.op) {
+    uint64_t *vals = _values.data();
+    const uint32_t *opIdx = _operandIdx.data();
+    const uint8_t *opW = _operandWidth.data();
+    for (const EvalInst &inst : _program) {
+        const uint32_t *ops = opIdx + inst.opBase;
+        const uint8_t *ows = opW + inst.opBase;
+        auto in = [&](size_t i) { return vals[ops[i]]; };
+        uint64_t result = 0;
+        switch (inst.op) {
           case Op::Input:
-            break;                // Seeded above.
+            continue;             // Seeded above.
           case Op::Const:
-            _values[id] = n.imm;
-            break;
+            vals[inst.dst] = inst.imm;
+            continue;
           case Op::Reg:
-            _values[id] = _regState[_nl.regIndex(id)];
-            break;
+            vals[inst.dst] = _regState[inst.aux];
+            continue;
           case Op::MemRead: {
-            const auto &contents = _memState[n.mem];
-            uint64_t addr = _values[n.operands[0]];
-            _values[id] = addr < contents.size() ? contents[addr] : 0;
-            break;
+            const auto &contents = _memState[inst.aux];
+            uint64_t addr = in(0);
+            vals[inst.dst] =
+                addr < contents.size() ? contents[addr] : 0;
+            continue;
           }
           case Op::MemWrite:
-            break;                // Effects applied at the clock edge.
-          default: {
-            ASH_ASSERT(n.operands.size() <= 8,
-                       "node with >8 operands needs Concat splitting");
-            for (size_t i = 0; i < n.operands.size(); ++i)
-                scratch[i] = _values[n.operands[i]];
-            _values[id] = rtl::evalCombOp(n, _nl, scratch);
+            continue;             // Effects applied at the clock edge.
+
+          case Op::And: result = in(0) & in(1); break;
+          case Op::Or: result = in(0) | in(1); break;
+          case Op::Xor: result = in(0) ^ in(1); break;
+          case Op::Not: result = ~in(0); break;
+          case Op::Add: result = in(0) + in(1); break;
+          case Op::Sub: result = in(0) - in(1); break;
+          case Op::Mul: result = in(0) * in(1); break;
+          case Op::Div:
+            // Division by zero is X in Verilog; we define 0
+            // (documented subset semantics, two-state logic).
+            result = in(1) ? in(0) / in(1) : 0;
+            break;
+          case Op::Mod:
+            result = in(1) ? in(0) % in(1) : 0;
+            break;
+          case Op::Shl:
+            result = in(1) >= inst.width ? 0 : in(0) << in(1);
+            break;
+          case Op::LShr:
+            result = in(1) >= ows[0] ? 0 : in(0) >> in(1);
+            break;
+          case Op::AShr: {
+            int64_t v = signExtend(in(0), ows[0]);
+            uint64_t sh = in(1) >= ows[0] ? ows[0] - 1u : in(1);
+            result = static_cast<uint64_t>(v >> sh);
             break;
           }
+          case Op::Eq: result = in(0) == in(1); break;
+          case Op::Ne: result = in(0) != in(1); break;
+          case Op::Lt: result = in(0) < in(1); break;
+          case Op::Le: result = in(0) <= in(1); break;
+          case Op::Gt: result = in(0) > in(1); break;
+          case Op::Ge: result = in(0) >= in(1); break;
+          case Op::SLt:
+            result = signExtend(in(0), ows[0]) <
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SLe:
+            result = signExtend(in(0), ows[0]) <=
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SGt:
+            result = signExtend(in(0), ows[0]) >
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SGe:
+            result = signExtend(in(0), ows[0]) >=
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::Mux:
+            result = in(0) ? in(1) : in(2);
+            break;
+          case Op::Concat: {
+            // Operands are MSB-first.
+            for (size_t i = 0; i < inst.numOperands; ++i)
+                result = (result << ows[i]) | truncate(in(i), ows[i]);
+            break;
+          }
+          case Op::Slice:
+            result = in(0) >> inst.imm;
+            break;
+          case Op::ZExt:
+            result = in(0);
+            break;
+          case Op::SExt:
+            result =
+                static_cast<uint64_t>(signExtend(in(0), ows[0]));
+            break;
+          case Op::RedAnd:
+            result = truncate(in(0), ows[0]) == mask64(ows[0]);
+            break;
+          case Op::RedOr:
+            result = in(0) != 0;
+            break;
+          case Op::RedXor:
+            result = __builtin_parityll(in(0));
+            break;
+          case Op::Output:
+            result = in(0);
+            break;
         }
+        vals[inst.dst] = truncate(result, inst.width);
     }
 
-    // Change tracking and activity accounting.
+    // Change tracking and activity accounting, fused into one pass:
+    // a node's cost is active iff any of its operands changed, so
+    // walking each changed node's fanout (stamp-deduped) visits
+    // exactly the nodes the operand scan used to find.
     uint64_t active_cost = 0;
     uint64_t changed_nodes = 0;
+    uint32_t stamp = ++_stampGen;
+    const uint64_t *prev = _prevValues.data();
     for (NodeId id = 0; id < _nl.numNodes(); ++id) {
-        _changed[id] = _values[id] != _prevValues[id];
-        changed_nodes += _changed[id];
-    }
-    for (NodeId id = 0; id < _nl.numNodes(); ++id) {
-        const Node &n = _nl.node(id);
-        if (n.isSource())
+        uint8_t changed = vals[id] != prev[id];
+        _changed[id] = changed;
+        if (!changed)
             continue;
-        bool input_changed = false;
-        for (NodeId oper : n.operands) {
-            if (_changed[oper]) {
-                input_changed = true;
-                break;
+        ++changed_nodes;
+        for (uint32_t f = _fanoutBase[id]; f < _fanoutBase[id + 1];
+             ++f) {
+            uint32_t consumer = _fanoutList[f];
+            if (_activeStamp[consumer] != stamp) {
+                _activeStamp[consumer] = stamp;
+                active_cost += _cost[consumer];
             }
         }
-        if (input_changed)
-            active_cost += rtl::nodeCost(n);
     }
     if (_totalCost > 0)
         _activeCostSum += static_cast<double>(active_cost) /
@@ -124,12 +267,13 @@ ReferenceSimulator::step(Stimulus &stimulus)
     ASH_OBS_EVENT(obs::EventKind::RefCycle, _cycle, 1, 0, 0,
                   changed_nodes, active_cost);
 
-    // Phase 2: clock edge. Latch registers, apply memory writes in
-    // port order (later ports win on same-address conflicts).
-    std::vector<uint64_t> next_regs(_regState.size());
+    // Phase 2: clock edge. Latch registers (through the reused
+    // scratch buffer; every entry is overwritten), apply memory
+    // writes in port order (later ports win on same-address
+    // conflicts).
     for (size_t i = 0; i < _nl.regs().size(); ++i)
-        next_regs[i] = _values[_nl.regs()[i].next];
-    _regState = std::move(next_regs);
+        _regScratch[i] = _values[_nl.regs()[i].next];
+    std::swap(_regState, _regScratch);
 
     for (size_t m = 0; m < _nl.memories().size(); ++m) {
         for (NodeId port : _nl.memories()[m].writePorts) {
@@ -177,3 +321,4 @@ ReferenceSimulator::activityFactor() const
 }
 
 } // namespace ash::refsim
+

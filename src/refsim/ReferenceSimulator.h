@@ -6,6 +6,13 @@
  * commits registers and memory writes at the clock edge (two-phase
  * synchronous semantics). It also measures per-node activity, which
  * feeds the selective-execution analyses (Fig 3c, Table 4).
+ *
+ * Hot-path layout: the constructor pre-decodes the netlist into a
+ * structure-of-arrays eval program (EvalInst records over a
+ * contiguous operand-index/width pool) so the per-cycle loop never
+ * touches Node's operand vectors or chases the netlist for widths,
+ * and builds a CSR fanout graph with cached per-node costs so change
+ * tracking is one pass driven by what actually changed.
  */
 
 #ifndef ASH_REFSIM_REFERENCESIMULATOR_H
@@ -71,14 +78,44 @@ class ReferenceSimulator
     const StatSet &stats() const { return _stats; }
 
   private:
+    /**
+     * One pre-decoded evaluation step (SoA program, levelized
+     * order). Operand value indices and widths live in the shared
+     * _operandIdx/_operandWidth pools at [opBase, opBase+numOperands).
+     * aux is the register index (Reg) or memory id (MemRead).
+     */
+    struct EvalInst
+    {
+        rtl::Op op;
+        uint8_t width;
+        uint16_t numOperands;
+        uint32_t dst;
+        uint32_t aux;
+        uint32_t opBase;
+        uint64_t imm;
+    };
+
+    void buildProgram();
+
     const rtl::Netlist &_nl;
     std::vector<rtl::NodeId> _order;      ///< Levelized evaluation order.
     std::vector<uint64_t> _values;        ///< Current value per node.
     std::vector<uint64_t> _prevValues;    ///< Previous-cycle values.
     std::vector<uint8_t> _changed;        ///< Per-node change flag.
     std::vector<uint64_t> _regState;      ///< Architectural register state.
+    std::vector<uint64_t> _regScratch;    ///< Next-state staging (reused).
     std::vector<std::vector<uint64_t>> _memState;
     std::vector<uint64_t> _inputBuffer;
+
+    std::vector<EvalInst> _program;       ///< One inst per _order entry.
+    std::vector<uint32_t> _operandIdx;    ///< Pooled operand value ids.
+    std::vector<uint8_t> _operandWidth;   ///< Pooled operand widths.
+    std::vector<uint32_t> _fanoutBase;    ///< CSR row starts (n+1).
+    std::vector<uint32_t> _fanoutList;    ///< CSR consumer node ids.
+    std::vector<uint32_t> _cost;          ///< Cached rtl::nodeCost.
+    std::vector<uint32_t> _activeStamp;   ///< Cycle stamp per node.
+    uint32_t _stampGen = 0;
+
     uint64_t _cycle = 0;
     double _activeCostSum = 0.0;          ///< Sum over cycles.
     uint64_t _totalCost = 0;              ///< Per-cycle total node cost.

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Golden stats regression tests: the optimized AshSim hot path (dense
+ * state slots, pooled TMU queues, indexed event heap) must reproduce
+ * the seed engine's timing-visible behavior EXACTLY, not just its
+ * committed outputs. These tests pin the key `--stats-json` metrics
+ * (commits, aborts, executed tasks, chip cycles, sent descriptors) of
+ * deterministic runs to the values recorded from the seed build; any
+ * drift means a container swap changed iteration order, event
+ * tie-breaks, or allocation-visible behavior, which the fuzz
+ * equivalence sweep alone would not catch (outputs can match while
+ * timing diverges).
+ *
+ * To re-capture after an intentional behavioral change, run with
+ * ASH_GOLDEN_PRINT=1 and paste the emitted table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/arch/AshSim.h"
+#include "core/compiler/Compiler.h"
+#include "designs/Designs.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash::core {
+namespace {
+
+using test::FnStimulus;
+
+/** The pinned metrics of one deterministic run. */
+struct Golden
+{
+    const char *name;
+    uint64_t tasksCommitted;
+    uint64_t tasksExecuted;
+    uint64_t aborts;
+    uint64_t chipCycles;
+    uint64_t descsSent;
+};
+
+void
+checkGolden(const Golden &g, const RunResult &res)
+{
+    if (std::getenv("ASH_GOLDEN_PRINT")) {
+        std::printf("GOLDEN {\"%s\", %lluull, %lluull, %lluull, "
+                    "%lluull, %lluull},\n",
+                    g.name,
+                    (unsigned long long)res.stats.get("tasksCommitted"),
+                    (unsigned long long)res.stats.get("tasksExecuted"),
+                    (unsigned long long)res.stats.get("aborts"),
+                    (unsigned long long)res.chipCycles,
+                    (unsigned long long)res.stats.get("descsSent"));
+        return;
+    }
+    EXPECT_EQ(res.stats.get("tasksCommitted"), g.tasksCommitted)
+        << g.name << ": tasksCommitted drifted";
+    EXPECT_EQ(res.stats.get("tasksExecuted"), g.tasksExecuted)
+        << g.name << ": tasksExecuted drifted";
+    EXPECT_EQ(res.stats.get("aborts"), g.aborts)
+        << g.name << ": aborts drifted";
+    EXPECT_EQ(res.chipCycles, g.chipCycles)
+        << g.name << ": chipCycles drifted";
+    EXPECT_EQ(res.stats.get("descsSent"), g.descsSent)
+        << g.name << ": descsSent drifted";
+}
+
+RunResult
+runMixed(bool selective, uint32_t tiles, uint64_t seed,
+         uint64_t cycles)
+{
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    CompilerOptions copts;
+    copts.numTiles = tiles;
+    ArchConfig acfg;
+    acfg.numTiles = tiles;
+    acfg.coresPerTile = 2;
+    acfg.selective = selective;
+    TaskProgram prog = compile(nl, copts);
+    AshSimulator sim(prog, acfg);
+    FnStimulus stim(test::mixedStimulus(seed));
+    return sim.run(stim, cycles);
+}
+
+RunResult
+runDesign(int design, bool selective, uint32_t tiles, uint64_t cycles)
+{
+    designs::DesignScale scale;
+    scale.nttPoints = 16;
+    scale.pes = 9;
+    scale.rvCores = 4;
+    scale.warps = 4;
+    scale.lanes = 2;
+    auto all = designs::allDesigns(scale);
+    const designs::Design &d = all[design];
+    rtl::Netlist nl = designs::compileDesign(d);
+    CompilerOptions copts;
+    copts.numTiles = tiles;
+    ArchConfig acfg;
+    acfg.numTiles = tiles;
+    acfg.selective = selective;
+    TaskProgram prog = compile(nl, copts);
+    AshSimulator sim(prog, acfg);
+    auto stim = d.makeStimulus();
+    return sim.run(*stim, cycles);
+}
+
+// Captured from the seed build (commit 183f92d). Do not update these
+// to "make the test pass" after touching the engine hot path: a
+// mismatch is the regression this suite exists to catch.
+const Golden kMixedDash{"mixed/dash/t4", 849ull, 851ull, 0ull,
+                        2570ull, 1553ull};
+const Golden kMixedSash{"mixed/sash/t4", 554ull, 626ull, 13ull,
+                        4280ull, 1223ull};
+const Golden kNttDash{"ntt16/dash/t4", 6973ull, 6981ull, 0ull,
+                      12180ull, 8911ull};
+const Golden kNttSash{"ntt16/sash/t4", 6613ull, 6670ull, 0ull,
+                      16220ull, 8528ull};
+const Golden kVortexSash{"vortex/sash/t8", 3052ull, 3626ull, 471ull,
+                         14300ull, 5884ull};
+const Golden kPeSash{"chronos_pe/sash/t4", 1667ull, 1686ull, 7ull,
+                     9750ull, 3168ull};
+
+TEST(GoldenStats, MixedDash)
+{
+    checkGolden(kMixedDash, runMixed(false, 4, 1, 50));
+}
+
+TEST(GoldenStats, MixedSash)
+{
+    checkGolden(kMixedSash, runMixed(true, 4, 1, 50));
+}
+
+TEST(GoldenStats, NttDash)
+{
+    checkGolden(kNttDash, runDesign(3, false, 4, 40));
+}
+
+TEST(GoldenStats, NttSash)
+{
+    checkGolden(kNttSash, runDesign(3, true, 4, 40));
+}
+
+TEST(GoldenStats, VortexSash)
+{
+    checkGolden(kVortexSash, runDesign(0, true, 8, 40));
+}
+
+TEST(GoldenStats, ChronosPeSash)
+{
+    checkGolden(kPeSash, runDesign(1, true, 4, 40));
+}
+
+} // namespace
+} // namespace ash::core

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the hot-path data structures backing the cycle-level
+ * engines: SlotAllocator (dense slot ids for the compiler's argument
+ * slot maps), SortedPool (the pooled std::map replacement behind the
+ * AQ/TCQ) and EventHeap (the indexed scheduler queue). The pooled
+ * structures carry the engines' determinism contract, so the tests
+ * pin iteration order, std::map-equivalent semantics, recycling
+ * behavior, and — for the event heap — bit-identical pop order
+ * against std::priority_queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/EventHeap.h"
+#include "common/Random.h"
+#include "common/SlotAllocator.h"
+#include "common/SortedPool.h"
+
+using namespace ash;
+
+// ============================================================================
+// SlotAllocator
+// ============================================================================
+
+TEST(SlotAllocator, FirstComeFirstServedDense)
+{
+    SlotAllocator s;
+    EXPECT_EQ(s.add(100), 0u);
+    EXPECT_EQ(s.add(7), 1u);
+    EXPECT_EQ(s.add(100), 0u);   // Idempotent.
+    EXPECT_EQ(s.add(55), 2u);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.slot(7), 1u);
+    EXPECT_EQ(s.slot(55), 2u);
+    EXPECT_EQ(s.slot(8), SlotAllocator::npos);
+    std::vector<uint32_t> expect = {100, 7, 55};
+    EXPECT_EQ(s.keys(), expect);
+}
+
+TEST(SlotAllocator, SparseKeys)
+{
+    SlotAllocator s;
+    EXPECT_EQ(s.add(1u << 20), 0u);
+    EXPECT_EQ(s.add(0), 1u);
+    EXPECT_EQ(s.slot(1u << 20), 0u);
+    EXPECT_EQ(s.slot(123), SlotAllocator::npos);
+}
+
+// ============================================================================
+// SortedPool
+// ============================================================================
+
+TEST(SortedPool, IterationMatchesStdMapOrder)
+{
+    SortedPool<int, int> pool;
+    std::map<int, int> ref;
+    Rng rng(42);
+    for (int i = 0; i < 200; ++i) {
+        int k = static_cast<int>(rng.below(64));
+        if (rng.below(3) == 0) {
+            pool.erase(k);
+            ref.erase(k);
+        } else {
+            auto [it, fresh] = pool.emplace(k);
+            if (fresh)
+                it->second = 0;   // Reset recycled slot.
+            it->second += i;
+            ref[k] += i;
+        }
+        ASSERT_EQ(pool.size(), ref.size());
+        auto rit = ref.begin();
+        for (auto pit = pool.begin(); pit != pool.end();
+             ++pit, ++rit) {
+            ASSERT_EQ(pit->first, rit->first);
+            ASSERT_EQ(pit->second, rit->second);
+        }
+    }
+}
+
+TEST(SortedPool, FindLowerUpperBound)
+{
+    SortedPool<int, int> pool;
+    for (int k : {10, 20, 30})
+        pool.emplace(k).first->second = k * 2;
+    EXPECT_EQ(pool.find(20)->second, 40);
+    EXPECT_EQ(pool.find(25), pool.end());
+    EXPECT_EQ(pool.lower_bound(20)->first, 20);
+    EXPECT_EQ(pool.lower_bound(21)->first, 30);
+    EXPECT_EQ(pool.upper_bound(20)->first, 30);
+    EXPECT_EQ(pool.upper_bound(30), pool.end());
+    EXPECT_EQ(pool.count(10), 1u);
+    EXPECT_EQ(pool.count(11), 0u);
+}
+
+TEST(SortedPool, EraseReturnsNextLikeStdMap)
+{
+    SortedPool<int, int> pool;
+    for (int k : {1, 2, 3, 4})
+        pool.emplace(k);
+    auto it = pool.find(2);
+    it = pool.erase(it);
+    EXPECT_EQ(it->first, 3);
+    // Erase the last element: returns end(). (Erase first — the
+    // end() position depends on the post-erase size.)
+    it = pool.erase(pool.find(4));
+    EXPECT_EQ(it, pool.end());
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+/**
+ * The recycling contract: an erased slot is reused by a later
+ * emplace with its old contents intact (capacity win), so call sites
+ * must reset live fields — and after they do, no stale state leaks.
+ * This mirrors the TCQ lifecycle: dispatch fills an entry's undo
+ * log, commit erases it in place, the next dispatch must not observe
+ * the previous instance's undo records.
+ */
+TEST(SortedPool, RecycleThenReuseNoStaleState)
+{
+    struct Entry
+    {
+        std::vector<int> undo;
+    };
+    SortedPool<int, Entry> pool;
+    auto [it, fresh] = pool.emplace(5);
+    ASSERT_TRUE(fresh);
+    it->second.undo = {1, 2, 3};
+    pool.erase(pool.find(5));
+    EXPECT_EQ(pool.poolCapacity(), 1u);
+
+    // The recycled slot hands back the stale vector...
+    auto [it2, fresh2] = pool.emplace(9);
+    ASSERT_TRUE(fresh2);
+    EXPECT_EQ(pool.poolCapacity(), 1u);   // Same slot, no new alloc.
+    EXPECT_EQ(it2->second.undo.size(), 3u);   // Stale, by contract.
+    size_t cap = it2->second.undo.capacity();
+    // ...and the engine-style reset clears it without reallocating.
+    it2->second.undo.clear();
+    EXPECT_TRUE(it2->second.undo.empty());
+    EXPECT_EQ(it2->second.undo.capacity(), cap);
+}
+
+TEST(SortedPool, ClearRecyclesAllSlots)
+{
+    SortedPool<int, int> pool;
+    for (int k = 0; k < 8; ++k)
+        pool.emplace(k);
+    EXPECT_EQ(pool.poolCapacity(), 8u);
+    pool.clear();
+    EXPECT_TRUE(pool.empty());
+    for (int k = 0; k < 8; ++k)
+        pool.emplace(k + 100);
+    EXPECT_EQ(pool.poolCapacity(), 8u);   // All reused, none grown.
+}
+
+// ============================================================================
+// EventHeap
+// ============================================================================
+
+TEST(EventHeap, PopsInTimeOrder)
+{
+    EventHeap<int, TiePolicy::Fifo> heap;
+    Rng rng(7);
+    std::vector<uint64_t> times;
+    for (int i = 0; i < 500; ++i) {
+        uint64_t t = rng.below(1000);
+        times.push_back(t);
+        heap.push(t, i);
+    }
+    std::sort(times.begin(), times.end());
+    for (uint64_t t : times) {
+        ASSERT_EQ(heap.topTime(), t);
+        heap.pop();
+    }
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, FifoPolicyBreaksTiesByInsertion)
+{
+    EventHeap<std::string, TiePolicy::Fifo> heap;
+    heap.push(5, "b");
+    heap.push(3, "a");
+    heap.push(5, "c");
+    heap.push(5, "d");
+    EXPECT_EQ(heap.pop(), "a");
+    // All time-5 events pop in insertion order.
+    EXPECT_EQ(heap.pop(), "b");
+    EXPECT_EQ(heap.pop(), "c");
+    EXPECT_EQ(heap.pop(), "d");
+}
+
+/**
+ * The determinism contract of the engines: with TiePolicy::Compat
+ * the pop order — including the layout-dependent order of equal-time
+ * events — must be bit-identical to std::priority_queue with a
+ * time-only greater-than, because chip-cycle results depend on it.
+ */
+TEST(EventHeap, CompatMatchesPriorityQueueExactly)
+{
+    struct Ev
+    {
+        uint64_t time;
+        uint32_t payload;
+        bool operator>(const Ev &o) const { return time > o.time; }
+    };
+    EventHeap<Ev, TiePolicy::Compat> heap;
+    std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> ref;
+    Rng rng(99);
+    for (int round = 0; round < 50; ++round) {
+        // Interleave bursts of pushes (with heavy time collisions)
+        // and pops, as the engine's event loop does.
+        for (int i = 0; i < 40; ++i) {
+            Ev e{rng.below(16), static_cast<uint32_t>(rng.next())};
+            heap.push(e.time, e);
+            ref.push(e);
+        }
+        for (int i = 0; i < 30 && !ref.empty(); ++i) {
+            Ev expect = ref.top();
+            ref.pop();
+            Ev got = heap.pop();
+            ASSERT_EQ(got.time, expect.time);
+            ASSERT_EQ(got.payload, expect.payload);
+        }
+    }
+    while (!ref.empty()) {
+        Ev expect = ref.top();
+        ref.pop();
+        Ev got = heap.pop();
+        ASSERT_EQ(got.time, expect.time);
+        ASSERT_EQ(got.payload, expect.payload);
+    }
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, RecyclesPayloadSlots)
+{
+    EventHeap<std::vector<int>, TiePolicy::Fifo> heap;
+    heap.push(1, std::vector<int>(100, 7));
+    heap.push(2, std::vector<int>(100, 8));
+    EXPECT_EQ(heap.pop().front(), 7);
+    // Slot freed by pop is reused for the next push.
+    heap.push(3, std::vector<int>(50, 9));
+    EXPECT_EQ(heap.pop().front(), 8);
+    EXPECT_EQ(heap.pop().front(), 9);
+    EXPECT_TRUE(heap.empty());
+}
