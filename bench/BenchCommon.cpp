@@ -1,10 +1,13 @@
 #include "BenchCommon.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <future>
 #include <mutex>
+#include <optional>
 
 #include "common/Logging.h"
 #include "exec/ThreadPool.h"
@@ -18,6 +21,41 @@ unsigned gJobs = 0;
 
 /** Jobs that exhausted their retries across all sweeps this run. */
 size_t gSweepFailures = 0;
+
+/** Parsed --checkpoint-* options; everyCycles 0 = no engine images. */
+ckpt::CheckpointOptions gCkpt;
+
+/** --resume given: restore engines and skip completed sweep jobs. */
+bool gResume = false;
+
+/** Engine-run counter for checkpoint keys outside any sweep job. */
+std::atomic<uint64_t> gMainEngineRuns{0};
+
+/**
+ * Periodic snapshotter for one engine run, or nullptr when
+ * checkpointing is off. The key must be stable across a crash and
+ * its resumed process: inside a sweep job it is the job key plus the
+ * job's deterministic engine-run index; on the main thread it is the
+ * report name plus a process-wide counter (main-thread benches run
+ * their engines in a fixed order).
+ */
+std::unique_ptr<ckpt::CheckpointManager>
+engineCheckpointer()
+{
+    if (gCkpt.everyCycles == 0 || gCkpt.dir.empty())
+        return nullptr;
+    ckpt::CheckpointOptions opts = gCkpt;
+    opts.dir = (std::filesystem::path(gCkpt.dir) / "engines").string();
+    std::string key;
+    if (exec::JobContext *job = exec::JobContext::current())
+        key = job->name() + "#r" +
+              std::to_string(job->nextEngineRun());
+    else
+        key = obs::Report::global().name() + "#r" +
+              std::to_string(gMainEngineRuns++);
+    return std::make_unique<ckpt::CheckpointManager>(std::move(opts),
+                                                     std::move(key));
+}
 
 } // namespace
 
@@ -96,9 +134,24 @@ runAsh(const core::TaskProgram &prog, const designs::Design &design,
        core::ArchConfig cfg, uint64_t cycles)
 {
     cfg.numTiles = prog.numTiles;
-    core::AshSimulator sim(prog, cfg);
     auto stim = design.makeStimulus();
-    return sim.run(*stim, cycles);
+
+    std::unique_ptr<ckpt::CheckpointManager> mgr =
+        engineCheckpointer();
+    std::optional<core::AshSimulator> sim;
+    sim.emplace(prog, cfg);
+    if (mgr && gResume) {
+        try {
+            mgr->tryRestoreLatest(*sim);
+        } catch (const ckpt::SnapshotError &e) {
+            // A failed restore leaves the engine half-written; throw
+            // it away and run from the start.
+            warn("%s for '%s'; running fresh", e.what(),
+                 mgr->keyDir().c_str());
+            sim.emplace(prog, cfg);
+        }
+    }
+    return sim->run(*stim, cycles, mgr.get());
 }
 
 core::RunResult
@@ -130,29 +183,62 @@ init(const std::string &name, int &argc, char **argv)
     if (!obs::Report::global().parseArgs(argc, argv))
         return false;
 
-    // Our own flag: --jobs <n> (n >= 1; 0 or absent = auto). Unknown
-    // arguments stay in place for the bench, as in parseArgs().
+    // Our own flags: --jobs <n> (n >= 1; 0 or absent = auto) and the
+    // checkpoint family. Unknown arguments stay in place for the
+    // bench, as in parseArgs().
+    auto usage = [&] {
+        std::fprintf(stderr,
+                     "usage: %s [--jobs <n>] "
+                     "[--checkpoint-every <cycles>] "
+                     "[--checkpoint-dir <dir>] [--checkpoint-keep "
+                     "<k>] [--resume <dir>]\n",
+                     argc > 0 ? argv[0] : "bench");
+        return false;
+    };
+    auto numArg = [&](int &i, const char *flag, long min,
+                      long &value) {
+        if (i + 1 >= argc)
+            return false;
+        char *end = nullptr;
+        value = std::strtol(argv[++i], &end, 10);
+        if (end == argv[i] || *end != '\0' || value < min) {
+            std::fprintf(stderr, "%s wants n >= %ld, got %s\n", flag,
+                         min, argv[i]);
+            return false;
+        }
+        return true;
+    };
     int out = 1;
     for (int i = 1; i < argc; ++i) {
+        long n = 0;
         if (std::strcmp(argv[i], "--jobs") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "usage: %s [--jobs <n>]\n",
-                             argc > 0 ? argv[0] : "bench");
-                return false;
-            }
-            char *end = nullptr;
-            long n = std::strtol(argv[++i], &end, 10);
-            if (end == argv[i] || *end != '\0' || n < 0) {
-                std::fprintf(stderr, "--jobs wants n >= 0, got %s\n",
-                             argv[i]);
-                return false;
-            }
+            if (!numArg(i, "--jobs", 0, n))
+                return usage();
             gJobs = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+            if (!numArg(i, "--checkpoint-every", 0, n))
+                return usage();
+            gCkpt.everyCycles = static_cast<uint64_t>(n);
+        } else if (std::strcmp(argv[i], "--checkpoint-keep") == 0) {
+            if (!numArg(i, "--checkpoint-keep", 1, n))
+                return usage();
+            gCkpt.keep = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            gCkpt.dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            gCkpt.dir = argv[++i];
+            gResume = true;
         } else {
             argv[out++] = argv[i];
         }
     }
     argc = out;
+    if (gCkpt.everyCycles != 0 && gCkpt.dir.empty())
+        gCkpt.dir = ".ash-ckpt";
     return true;
 }
 
@@ -162,11 +248,25 @@ jobs()
     return gJobs != 0 ? gJobs : exec::hardwareConcurrency();
 }
 
+const ckpt::CheckpointOptions &
+checkpointOptions()
+{
+    return gCkpt;
+}
+
+bool
+resuming()
+{
+    return gResume;
+}
+
 exec::SweepOptions
 sweepOptions()
 {
     exec::SweepOptions opts;
     opts.jobs = jobs();
+    opts.checkpointDir = gCkpt.dir;
+    opts.resume = gResume;
     return opts;
 }
 

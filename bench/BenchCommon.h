@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "baseline/Baseline.h"
+#include "ckpt/Checkpoint.h"
 #include "common/Stats.h"
 #include "common/Table.h"
 #include "core/arch/AshSim.h"
@@ -95,16 +96,32 @@ void banner(const std::string &title);
 /**
  * Standard bench entry point: names the run's report and parses the
  * common flags (--stats-json, --trace, --trace-events from obs, plus
- * --jobs <n>), compacting argv down to the bench's own arguments.
- * Returns false on a malformed command line; the bench should
- * `return 1` in that case.
+ * --jobs <n> and the checkpoint flags --checkpoint-every <cycles>,
+ * --checkpoint-dir <dir>, --checkpoint-keep <k>, --resume <dir>),
+ * compacting argv down to the bench's own arguments. Returns false
+ * on a malformed command line; the bench should `return 1` in that
+ * case.
  */
 bool init(const std::string &name, int &argc, char **argv);
 
 /** Resolved worker count: --jobs value, default hw concurrency. */
 unsigned jobs();
 
-/** Sweep options honoring the parsed --jobs flag. */
+/**
+ * Engine checkpoint options parsed from the --checkpoint-* flags.
+ * dir empty / everyCycles 0 when checkpointing is off. Engine
+ * snapshot images live under <dir>/engines/; sweep job results
+ * under <dir>/jobs/ (see exec::SweepOptions::checkpointDir).
+ */
+const ckpt::CheckpointOptions &checkpointOptions();
+
+/** True when --resume <dir> was given. */
+bool resuming();
+
+/**
+ * Sweep options honoring the parsed --jobs flag and routing
+ * --checkpoint-dir / --resume into the sweep's job persistence.
+ */
 exec::SweepOptions sweepOptions();
 
 /**

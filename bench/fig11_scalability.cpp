@@ -40,44 +40,62 @@ main(int argc, char **argv)
     std::vector<std::array<Cell, tile_counts.size()>> cells(
         designs.size());
 
+    // Jobs publish through the JobContext, so the sweep is
+    // resumable: --resume replays completed points from disk.
     exec::SweepRunner sweep(bench::sweepOptions());
     for (size_t di = 0; di < designs.size(); ++di) {
         const std::string &name = designs[di].design.name;
-        sweep.add("fig11/" + name + "/serial",
-                  [&, di](exec::JobContext &) {
-                      serial[di] =
-                          baseline::runBaseline(
-                              designs[di].netlist,
-                              baseline::simBaselineHost(1))
-                              .speedKHz;
-                  });
+        sweep.addResumable(
+            "fig11/" + name + "/serial",
+            [&, di](exec::JobContext &ctx) {
+                ctx.publish("khz",
+                            baseline::runBaseline(
+                                designs[di].netlist,
+                                baseline::simBaselineHost(1))
+                                .speedKHz);
+            });
         for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
             uint32_t tiles = tile_counts[ti];
-            sweep.add("fig11/" + name + "/t" + std::to_string(tiles),
-                      [&, di, ti, tiles](exec::JobContext &) {
-                          auto &entry = designs[di];
-                          const rtl::Netlist &nl = entry.netlist;
-                          Cell c;
-                          c.base = baseline::runBaseline(
-                                       nl, baseline::simBaselineHost(
-                                               tiles * 4))
-                                       .speedKHz;
-                          core::TaskProgram prog =
-                              bench::compileFor(nl, tiles);
-                          core::ArchConfig dcfg;
-                          c.dash = bench::runAsh(prog, entry.design,
-                                                 dcfg)
-                                       .speedKHz();
-                          core::ArchConfig scfg;
-                          scfg.selective = true;
-                          c.sash = bench::runAsh(prog, entry.design,
-                                                 scfg)
-                                       .speedKHz();
-                          cells[di][ti] = c;
-                      });
+            sweep.addResumable(
+                "fig11/" + name + "/t" + std::to_string(tiles),
+                [&, di, tiles](exec::JobContext &ctx) {
+                    auto &entry = designs[di];
+                    const rtl::Netlist &nl = entry.netlist;
+                    ctx.publish("base",
+                                baseline::runBaseline(
+                                    nl, baseline::simBaselineHost(
+                                            tiles * 4))
+                                    .speedKHz);
+                    core::TaskProgram prog =
+                        bench::compileFor(nl, tiles);
+                    core::ArchConfig dcfg;
+                    ctx.publish("dash",
+                                bench::runAsh(prog, entry.design,
+                                              dcfg)
+                                    .speedKHz());
+                    core::ArchConfig scfg;
+                    scfg.selective = true;
+                    ctx.publish("sash",
+                                bench::runAsh(prog, entry.design,
+                                              scfg)
+                                    .speedKHz());
+                });
         }
     }
     bench::runSweep(sweep);
+
+    constexpr size_t jobs_per_design = 1 + tile_counts.size();
+    for (size_t di = 0; di < designs.size(); ++di) {
+        serial[di] = sweep.job(di * jobs_per_design)
+                         .publishedValue("khz");
+        for (size_t ti = 0; ti < tile_counts.size(); ++ti) {
+            const exec::JobContext &job =
+                sweep.job(di * jobs_per_design + 1 + ti);
+            cells[di][ti] = {job.publishedValue("base"),
+                             job.publishedValue("dash"),
+                             job.publishedValue("sash")};
+        }
+    }
 
     for (size_t di = 0; di < designs.size(); ++di) {
         auto &entry = designs[di];

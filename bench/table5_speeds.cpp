@@ -46,57 +46,79 @@ main(int argc, char **argv)
         dash(n), sash(n);
     std::vector<StatSet> sash_stats(n);
 
+    // Every job publishes its results through the JobContext (no
+    // captured-slot writes), which makes them resumable: a killed
+    // sweep re-run with --resume skips completed jobs and replays
+    // their published output bit-exactly.
     exec::SweepRunner sweep(bench::sweepOptions());
     for (size_t di = 0; di < n; ++di) {
         const std::string &name = designs[di].design.name;
-        sweep.add("table5/" + name + "/zen2",
-                  [&, di](exec::JobContext &) {
-                      const rtl::Netlist &nl = designs[di].netlist;
-                      zen1[di] = baseline::runBaseline(
-                                     nl, baseline::zen2Host(1))
-                                     .speedKHz;
-                      double best = 0;
-                      for (uint32_t t : {2u, 4u, 8u, 16u, 32u})
-                          best = std::max(
-                              best, baseline::runBaseline(
-                                        nl, baseline::zen2Host(t))
-                                        .speedKHz);
-                      zenb[di] = best;
-                  });
-        sweep.add("table5/" + name + "/baseline",
-                  [&, di](exec::JobContext &) {
-                      const rtl::Netlist &nl = designs[di].netlist;
-                      base1[di] = baseline::runBaseline(
-                                      nl,
-                                      baseline::simBaselineHost(1))
-                                      .speedKHz;
-                      double best = 0;
-                      for (uint32_t t : {4u, 16u, 64u, 128u})
-                          best = std::max(
-                              best,
-                              baseline::runBaseline(
+        sweep.addResumable(
+            "table5/" + name + "/zen2",
+            [&, di](exec::JobContext &ctx) {
+                const rtl::Netlist &nl = designs[di].netlist;
+                ctx.publish("serial",
+                            baseline::runBaseline(
+                                nl, baseline::zen2Host(1))
+                                .speedKHz);
+                double best = 0;
+                for (uint32_t t : {2u, 4u, 8u, 16u, 32u})
+                    best = std::max(
+                        best, baseline::runBaseline(
+                                  nl, baseline::zen2Host(t))
+                                  .speedKHz);
+                ctx.publish("best", best);
+            });
+        sweep.addResumable(
+            "table5/" + name + "/baseline",
+            [&, di](exec::JobContext &ctx) {
+                const rtl::Netlist &nl = designs[di].netlist;
+                ctx.publish("serial",
+                            baseline::runBaseline(
+                                nl, baseline::simBaselineHost(1))
+                                .speedKHz);
+                double best = 0;
+                for (uint32_t t : {4u, 16u, 64u, 128u})
+                    best = std::max(
+                        best, baseline::runBaseline(
                                   nl, baseline::simBaselineHost(t))
                                   .speedKHz);
-                      baseb[di] = best;
-                  });
-        sweep.add("table5/" + name + "/ash",
-                  [&, di](exec::JobContext &) {
-                      auto &entry = designs[di];
-                      core::TaskProgram prog =
-                          bench::compileFor(entry.netlist, 64);
-                      core::ArchConfig dcfg;
-                      dash[di] = bench::runAsh(prog, entry.design,
-                                               dcfg)
-                                     .speedKHz();
-                      core::ArchConfig scfg;
-                      scfg.selective = true;
-                      core::RunResult sres =
-                          bench::runAsh(prog, entry.design, scfg);
-                      sash[di] = sres.speedKHz();
-                      sash_stats[di] = sres.stats;
-                  });
+                ctx.publish("best", best);
+            });
+        sweep.addResumable(
+            "table5/" + name + "/ash",
+            [&, di](exec::JobContext &ctx) {
+                auto &entry = designs[di];
+                core::TaskProgram prog =
+                    bench::compileFor(entry.netlist, 64);
+                core::ArchConfig dcfg;
+                ctx.publish("dash",
+                            bench::runAsh(prog, entry.design, dcfg)
+                                .speedKHz());
+                core::ArchConfig scfg;
+                scfg.selective = true;
+                core::RunResult sres =
+                    bench::runAsh(prog, entry.design, scfg);
+                ctx.publish("sash", sres.speedKHz());
+                ctx.publishStats("sash", sres.stats);
+            });
     }
     bench::runSweep(sweep);
+
+    for (size_t di = 0; di < n; ++di) {
+        // Jobs were added zen2, baseline, ash per design, in order.
+        const exec::JobContext &zen = sweep.job(di * 3 + 0);
+        const exec::JobContext &base = sweep.job(di * 3 + 1);
+        const exec::JobContext &ash = sweep.job(di * 3 + 2);
+        zen1[di] = zen.publishedValue("serial");
+        zenb[di] = zen.publishedValue("best");
+        base1[di] = base.publishedValue("serial");
+        baseb[di] = base.publishedValue("best");
+        dash[di] = ash.publishedValue("dash");
+        sash[di] = ash.publishedValue("sash");
+        if (const StatSet *s = ash.publishedStats("sash"))
+            sash_stats[di] = *s;
+    }
 
     for (size_t di = 0; di < n; ++di) {
         const std::string &d = designs[di].design.name;

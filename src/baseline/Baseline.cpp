@@ -47,9 +47,10 @@ simBaselineHost(uint32_t threads)
     return h;
 }
 
-BaselineResult
-runBaseline(const rtl::Netlist &nl, const HostConfig &host,
-            uint32_t max_task_cost, uint32_t warm_cycles)
+namespace {
+
+TaskProgram
+compileBaseline(const rtl::Netlist &nl, uint32_t max_task_cost)
 {
     // Verilator parallelizes the single-cycle graph: registers stay
     // in memory and cycles do not overlap.
@@ -58,74 +59,116 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
     copts.unrolled = false;
     copts.maxTaskCost = max_task_cost;
     copts.useMapping = false;
-    TaskProgram prog = core::compile(nl, copts);
+    return core::compile(nl, copts);
+}
 
-    BaselineResult result;
-    result.tasks = prog.tasks.size();
-    result.parallelism = prog.stats.parallelism;
+} // namespace
 
-    // Static wave schedule: tasks grouped by depth, LPT-packed onto
-    // threads within each wave.
-    uint32_t waves = prog.cycleDepth;
-    std::vector<std::vector<const Task *>> wave_tasks(waves);
-    for (const Task &t : prog.tasks)
-        wave_tasks[t.depth].push_back(&t);
+struct BaselineSimulator::Impl
+{
+    const rtl::Netlist &nl;
+    HostConfig host;
+    uint32_t maxTaskCost;
+    uint32_t warmCycles;
 
-    std::vector<std::vector<const Task *>> assign(host.threads);
-    std::vector<std::vector<std::vector<const Task *>>> schedule(
-        waves, std::vector<std::vector<const Task *>>(host.threads));
-    std::vector<uint32_t> thread_of(prog.tasks.size(), 0);
-    for (uint32_t w = 0; w < waves; ++w) {
-        std::sort(wave_tasks[w].begin(), wave_tasks[w].end(),
-                  [](const Task *a, const Task *b) {
-                      return a->cost > b->cost;
-                  });
-        std::vector<uint64_t> load(host.threads, 0);
-        for (const Task *t : wave_tasks[w]) {
-            uint32_t best = static_cast<uint32_t>(
-                std::min_element(load.begin(), load.end()) -
-                load.begin());
-            schedule[w][best].push_back(t);
-            thread_of[t->id] = best;
-            load[best] += t->cost;
-        }
-    }
+    // --- static schedule (rebuilt identically by the ctor) ---
+    TaskProgram prog;
+    /** [wave][thread] -> tasks, LPT-packed within each wave. */
+    std::vector<std::vector<std::vector<const Task *>>> schedule;
+    std::vector<uint8_t> waveEmpty;
+    std::vector<uint32_t> crossEdges;   ///< Per consumer task.
+    std::vector<uint64_t> codeBase;
+    std::vector<uint64_t> memBase;
 
-    // Cross-thread consumer edges pay coherence misses.
-    std::vector<uint32_t> cross_edges(prog.tasks.size(), 0);
-    for (const Task &t : prog.tasks) {
-        for (const core::Push &p : t.pushes) {
-            if (thread_of[t.id] != thread_of[p.dst])
-                ++cross_edges[p.dst];
-        }
-    }
-
-    // Per-thread cache models; one shared LLC.
+    // --- per-cycle mutable state (checkpointed) ---
     std::vector<core::CacheModel> l1is, l1ds;
-    for (uint32_t th = 0; th < host.threads; ++th) {
-        l1is.emplace_back(host.l1iBytes, host.l1Ways, host.lineBytes);
-        l1ds.emplace_back(host.l1dBytes, host.l1Ways, host.lineBytes);
-    }
-    core::CacheModel llc(host.llcBytes, host.llcWays, host.lineBytes);
-
-    // Static per-task addresses: code, private data, memory state.
-    std::vector<uint64_t> code_base(prog.tasks.size());
-    uint64_t addr = 0x40000000ull;
-    for (const Task &t : prog.tasks) {
-        code_base[t.id] = addr;
-        addr += (t.codeBytes + 63) & ~63ull;
-    }
-    std::vector<uint64_t> mem_base(nl.memories().size());
-    addr = 0x80000000ull;
-    for (size_t m = 0; m < nl.memories().size(); ++m) {
-        mem_base[m] = addr;
-        addr += (static_cast<uint64_t>(nl.memories()[m].depth) * 8 +
-                 63) & ~63ull;
-    }
-
+    core::CacheModel llc;
     StatSet stats;
-    auto taskTime = [&](const Task &t, uint32_t th,
-                        uint64_t cycle) -> uint64_t {
+    double total = 0.0;
+    uint64_t measured = 0;
+    uint64_t cycle = 0;
+
+    // Snapshot section tags.
+    enum : uint32_t { kSecState = 1, kSecStats = 2 };
+
+    Impl(const rtl::Netlist &netlist, const HostConfig &h,
+         uint32_t max_task_cost, uint32_t warm_cycles)
+        : nl(netlist), host(h), maxTaskCost(max_task_cost),
+          warmCycles(warm_cycles),
+          prog(compileBaseline(netlist, max_task_cost)),
+          llc(host.llcBytes, host.llcWays, host.lineBytes)
+    {
+        // Static wave schedule: tasks grouped by depth, LPT-packed
+        // onto threads within each wave.
+        uint32_t waves = prog.cycleDepth;
+        std::vector<std::vector<const Task *>> wave_tasks(waves);
+        for (const Task &t : prog.tasks)
+            wave_tasks[t.depth].push_back(&t);
+
+        schedule.assign(
+            waves,
+            std::vector<std::vector<const Task *>>(host.threads));
+        std::vector<uint32_t> thread_of(prog.tasks.size(), 0);
+        for (uint32_t w = 0; w < waves; ++w) {
+            std::sort(wave_tasks[w].begin(), wave_tasks[w].end(),
+                      [](const Task *a, const Task *b) {
+                          return a->cost > b->cost;
+                      });
+            std::vector<uint64_t> load(host.threads, 0);
+            for (const Task *t : wave_tasks[w]) {
+                uint32_t best = static_cast<uint32_t>(
+                    std::min_element(load.begin(), load.end()) -
+                    load.begin());
+                schedule[w][best].push_back(t);
+                thread_of[t->id] = best;
+                load[best] += t->cost;
+            }
+        }
+        waveEmpty.resize(waves);
+        for (uint32_t w = 0; w < waves; ++w)
+            waveEmpty[w] = wave_tasks[w].empty() ? 1 : 0;
+
+        // Cross-thread consumer edges pay coherence misses.
+        crossEdges.assign(prog.tasks.size(), 0);
+        for (const Task &t : prog.tasks) {
+            for (const core::Push &p : t.pushes) {
+                if (thread_of[t.id] != thread_of[p.dst])
+                    ++crossEdges[p.dst];
+            }
+        }
+
+        // Per-thread cache models; one shared LLC.
+        for (uint32_t th = 0; th < host.threads; ++th) {
+            l1is.emplace_back(host.l1iBytes, host.l1Ways,
+                              host.lineBytes);
+            l1ds.emplace_back(host.l1dBytes, host.l1Ways,
+                              host.lineBytes);
+        }
+
+        // Static per-task addresses: code, private data, mem state.
+        codeBase.resize(prog.tasks.size());
+        uint64_t addr = 0x40000000ull;
+        for (const Task &t : prog.tasks) {
+            codeBase[t.id] = addr;
+            addr += (t.codeBytes + 63) & ~63ull;
+        }
+        memBase.resize(nl.memories().size());
+        addr = 0x80000000ull;
+        for (size_t m = 0; m < nl.memories().size(); ++m) {
+            memBase[m] = addr;
+            addr += (static_cast<uint64_t>(nl.memories()[m].depth) *
+                         8 + 63) & ~63ull;
+        }
+
+        // Task-size distribution of the static schedule (Fig 3's
+        // axis).
+        for (const Task &t : prog.tasks)
+            stats.hist("taskCost", t.cost);
+    }
+
+    uint64_t
+    taskTime(const Task &t, uint32_t th, uint64_t cyc)
+    {
         uint64_t instr = t.cost + host.perTaskOverhead;
         double time = static_cast<double>(instr) * host.cpi;
 
@@ -133,7 +176,7 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
         uint32_t code_lines = (t.codeBytes + host.lineBytes - 1) /
                               host.lineBytes;
         for (uint32_t i = 0; i < code_lines; ++i) {
-            uint64_t a = code_base[t.id] + i * host.lineBytes;
+            uint64_t a = codeBase[t.id] + i * host.lineBytes;
             if (l1is[th].access(a))
                 continue;
             stats.inc("l1iMisses");
@@ -149,9 +192,9 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
             const rtl::Node &n = nl.node(id);
             if (n.op == rtl::Op::MemRead || n.op == rtl::Op::MemWrite) {
                 uint64_t depth = nl.memories()[n.mem].depth;
-                uint64_t a = mem_base[n.mem] +
-                             ((cycle * 7 + id) % std::max<uint64_t>(
-                                                     1, depth)) * 8;
+                uint64_t a = memBase[n.mem] +
+                             ((cyc * 7 + id) % std::max<uint64_t>(
+                                                   1, depth)) * 8;
                 if (!l1ds[th].access(a)) {
                     time += llc.access(a)
                                 ? host.llcLatency
@@ -168,19 +211,16 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
             }
         }
         // Cross-thread argument reads.
-        time += static_cast<double>(cross_edges[t.id]) *
+        time += static_cast<double>(crossEdges[t.id]) *
                 host.coherenceMiss;
         return static_cast<uint64_t>(time);
-    };
+    }
 
-    // Task-size distribution of the static schedule (Fig 3's axis).
-    for (const Task &t : prog.tasks)
-        stats.hist("taskCost", t.cost);
-
-    // Model warm_cycles design cycles; the first is warmup.
-    double total = 0.0;
-    uint64_t measured = 0;
-    for (uint64_t cycle = 0; cycle < warm_cycles; ++cycle) {
+    /** Model one design cycle; the first two are cache warmup. */
+    void
+    stepCycle()
+    {
+        uint32_t waves = static_cast<uint32_t>(schedule.size());
         double cycle_time = 0.0;
         for (uint32_t w = 0; w < waves; ++w) {
             uint64_t worst = 0;
@@ -199,7 +239,7 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
                 wave_sum += sum;
                 worst = std::max(worst, sum);
             }
-            bool wave_empty = wave_tasks[w].empty();
+            bool wave_empty = waveEmpty[w];
             if (!wave_empty && worst > 0) {
                 stats.hist("waveLength", worst);
                 // Imbalance: slowest thread vs mean over threads.
@@ -218,17 +258,142 @@ runBaseline(const rtl::Netlist &nl, const HostConfig &host,
             total += cycle_time;
             ++measured;
         }
+        ++cycle;
     }
-    stats.set("llcMisses", llc.misses());
-    stats.set("llcHits", llc.hits());
 
-    result.cyclesPerDesignCycle = measured ? total / measured : 0.0;
-    result.speedKHz = result.cyclesPerDesignCycle > 0
-                          ? host.ghz * 1e6 /
-                                result.cyclesPerDesignCycle
-                          : 0.0;
-    result.stats = std::move(stats);
-    return result;
+    BaselineResult
+    run(ckpt::CycleHook *hook, ckpt::Snapshotter &self)
+    {
+        while (cycle < warmCycles) {
+            stepCycle();
+            if (hook)
+                hook->onCycle(cycle, self);
+        }
+        stats.set("llcMisses", llc.misses());
+        stats.set("llcHits", llc.hits());
+
+        BaselineResult result;
+        result.tasks = prog.tasks.size();
+        result.parallelism = prog.stats.parallelism;
+        result.cyclesPerDesignCycle = measured ? total / measured
+                                               : 0.0;
+        result.speedKHz = result.cyclesPerDesignCycle > 0
+                              ? host.ghz * 1e6 /
+                                    result.cyclesPerDesignCycle
+                              : 0.0;
+        result.stats = std::move(stats);
+        return result;
+    }
+
+    /** Host model + run shape; the image layout depends on both. */
+    uint64_t
+    configHash() const
+    {
+        ckpt::Fnv f;
+        f.u64(host.threads);
+        f.f64(host.ghz);
+        f.f64(host.cpi);
+        f.u64(host.l1iBytes);
+        f.u64(host.l1dBytes);
+        f.u64(host.l1Ways);
+        f.u64(host.l1Latency);
+        f.u64(host.llcBytes);
+        f.u64(host.llcWays);
+        f.u64(host.llcLatency);
+        f.u64(host.lineBytes);
+        f.u64(host.memLatency);
+        f.u64(host.barrierCycles);
+        f.u64(host.coherenceMiss);
+        f.u64(host.perTaskOverhead);
+        f.u64(maxTaskCost);
+        f.u64(warmCycles);
+        return f.value();
+    }
+
+    void
+    saveState(ckpt::SnapshotWriter &w) const
+    {
+        w.beginSection(kSecState);
+        w.u64(cycle);
+        w.f64(total);
+        w.u64(measured);
+        llc.saveState(w);
+        for (const core::CacheModel &c : l1is)
+            c.saveState(w);
+        for (const core::CacheModel &c : l1ds)
+            c.saveState(w);
+        w.endSection();
+
+        w.beginSection(kSecStats);
+        ckpt::saveStats(w, stats);
+        w.endSection();
+    }
+
+    void
+    restoreState(ckpt::SnapshotReader &r)
+    {
+        r.section(kSecState);
+        cycle = r.u64();
+        total = r.f64();
+        measured = r.u64();
+        llc.restoreState<ckpt::SnapshotReader,
+                         ckpt::SnapshotError>(r);
+        for (core::CacheModel &c : l1is)
+            c.restoreState<ckpt::SnapshotReader,
+                           ckpt::SnapshotError>(r);
+        for (core::CacheModel &c : l1ds)
+            c.restoreState<ckpt::SnapshotReader,
+                           ckpt::SnapshotError>(r);
+        r.endSection();
+
+        r.section(kSecStats);
+        ckpt::restoreStats(r, stats);
+        r.endSection();
+    }
+};
+
+BaselineSimulator::BaselineSimulator(const rtl::Netlist &nl,
+                                     const HostConfig &host,
+                                     uint32_t max_task_cost,
+                                     uint32_t warm_cycles)
+    : _impl(std::make_unique<Impl>(nl, host, max_task_cost,
+                                   warm_cycles))
+{
+}
+
+BaselineSimulator::~BaselineSimulator() = default;
+
+BaselineResult
+BaselineSimulator::run(ckpt::CycleHook *hook)
+{
+    return _impl->run(hook, *this);
+}
+
+void
+BaselineSimulator::save(std::ostream &out) const
+{
+    ckpt::SnapshotWriter w(out, engineName(),
+                           ckpt::designFingerprint(_impl->nl),
+                           _impl->configHash());
+    _impl->saveState(w);
+}
+
+void
+BaselineSimulator::restore(std::istream &in)
+{
+    ckpt::SnapshotReader r(in);
+    r.require(engineName(), ckpt::designFingerprint(_impl->nl),
+              _impl->configHash());
+    _impl->restoreState(r);
+    r.expectEnd();
+}
+
+BaselineResult
+runBaseline(const rtl::Netlist &nl, const HostConfig &host,
+            uint32_t max_task_cost, uint32_t warm_cycles)
+{
+    BaselineSimulator sim(nl, host, max_task_cost, warm_cycles);
+    return sim.run();
 }
 
 } // namespace ash::baseline

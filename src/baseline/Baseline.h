@@ -22,6 +22,9 @@
 #ifndef ASH_BASELINE_BASELINE_H
 #define ASH_BASELINE_BASELINE_H
 
+#include <memory>
+
+#include "ckpt/Checkpoint.h"
 #include "common/Stats.h"
 #include "rtl/Netlist.h"
 
@@ -69,12 +72,49 @@ struct BaselineResult
 };
 
 /**
+ * Steppable baseline engine. Construction performs all static work
+ * (coarsening compile, wave schedule, address layout); run() then
+ * models the remaining design cycles one at a time, so the engine
+ * can checkpoint between cycles and resume mid-run.
+ */
+class BaselineSimulator : public ckpt::Snapshotter
+{
+  public:
+    /**
+     * @param max_task_cost Coarsening cap (instructions per
+     *                      macro-task); Verilator's merge level. The
+     *                      Fig 3 sweep varies this.
+     * @param warm_cycles   Design cycles to model (first two are
+     *                      cache warmup and excluded from timing).
+     */
+    BaselineSimulator(const rtl::Netlist &nl, const HostConfig &host,
+                      uint32_t max_task_cost = 2000,
+                      uint32_t warm_cycles = 30);
+    ~BaselineSimulator();
+
+    /**
+     * Model all remaining design cycles and produce the result.
+     * After a restore() this continues from the restored cycle;
+     * @p hook, when set, fires after every completed design cycle.
+     */
+    BaselineResult run(ckpt::CycleHook *hook = nullptr);
+
+    /// @name ckpt::Snapshotter
+    /// @{
+    void save(std::ostream &out) const override;
+    void restore(std::istream &in) override;
+    const char *engineName() const override { return "baseline"; }
+    /// @}
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+/**
  * Model @p warm_cycles simulated design cycles of a Verilator-style
- * compiled simulation of @p nl on @p host.
- *
- * @param max_task_cost Coarsening cap (instructions per macro-task);
- *                      Verilator's merge level. The Fig 3 sweep
- *                      varies this.
+ * compiled simulation of @p nl on @p host. Convenience wrapper over
+ * BaselineSimulator: construct and run to completion.
  */
 BaselineResult runBaseline(const rtl::Netlist &nl,
                            const HostConfig &host,

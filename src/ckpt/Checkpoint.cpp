@@ -1,0 +1,353 @@
+#include "ckpt/Checkpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/Json.h"
+#include "common/Logging.h"
+#include "obs/Trace.h"
+#include "rtl/Netlist.h"
+
+namespace fs = std::filesystem;
+
+namespace ash::ckpt {
+
+uint64_t
+Snapshotter::stateHash() const
+{
+    std::ostringstream image;
+    save(image);
+    const std::string &bytes = image.str();
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+uint64_t
+designFingerprint(const rtl::Netlist &nl)
+{
+    Fnv f;
+    f.u64(nl.numNodes());
+    for (rtl::NodeId id = 0; id < nl.numNodes(); ++id) {
+        const rtl::Node &n = nl.node(id);
+        f.u64(static_cast<uint64_t>(n.op));
+        f.u64(n.width);
+        f.u64(n.mem);
+        f.u64(n.imm);
+        f.u64(n.operands.size());
+        for (rtl::NodeId op : n.operands)
+            f.u64(op);
+    }
+    f.u64(nl.inputs().size());
+    for (rtl::NodeId id : nl.inputs()) {
+        f.u64(id);
+        f.str(nl.inputName(id));
+    }
+    f.u64(nl.outputs().size());
+    for (rtl::NodeId id : nl.outputs()) {
+        f.u64(id);
+        f.str(nl.outputName(id));
+    }
+    f.u64(nl.regs().size());
+    for (const rtl::RegInfo &r : nl.regs()) {
+        f.u64(r.node);
+        f.u64(r.next);
+        f.u64(r.init);
+        f.str(r.name);
+    }
+    f.u64(nl.memories().size());
+    for (const rtl::MemInfo &m : nl.memories()) {
+        f.str(m.name);
+        f.u64(m.width);
+        f.u64(m.depth);
+        f.u64(m.init.size());
+        for (uint64_t v : m.init)
+            f.u64(v);
+        f.u64(m.writePorts.size());
+        for (rtl::NodeId p : m.writePorts)
+            f.u64(p);
+    }
+    return f.value();
+}
+
+// ---------------------------------------------------------------------
+// CheckpointManager
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Crash injection for the kill-and-resume tests: when the
+ * ASH_CKPT_DIE_AFTER environment variable holds K > 0, the process
+ * _exit(42)s immediately after completing its K-th snapshot image
+ * write — skipping every destructor and flush, which is the closest
+ * portable approximation of SIGKILL that ctest can still sequence
+ * deterministically. Counted process-wide so parallel sweeps die
+ * once regardless of which job crosses the threshold.
+ */
+void
+maybeDieAfterWrite()
+{
+    static const long configured = [] {
+        const char *env = std::getenv("ASH_CKPT_DIE_AFTER");
+        return env ? std::atol(env) : 0L;
+    }();
+    if (configured <= 0)
+        return;
+    static std::atomic<long> writes{0};
+    if (writes.fetch_add(1) + 1 == configured) {
+        warn("ASH_CKPT_DIE_AFTER=%ld reached; simulating crash",
+             configured);
+        _exit(42);
+    }
+}
+
+/** Manifest state_hash field: 16 hex digits in a JSON string. */
+uint64_t
+parseHashHex(const JsonValue &v)
+{
+    if (!v.isString())
+        return 0;
+    return std::strtoull(v.string().c_str(), nullptr, 16);
+}
+
+} // namespace
+
+std::string
+CheckpointManager::sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                  c == '_';
+        out += ok ? c : '_';
+    }
+    return out.empty() ? std::string("run") : out;
+}
+
+CheckpointManager::CheckpointManager(CheckpointOptions opts,
+                                     std::string key)
+    : _opts(std::move(opts)), _key(std::move(key))
+{
+    ASH_ASSERT(!_opts.dir.empty(), "checkpoint dir required");
+    if (_opts.keep == 0)
+        _opts.keep = 1;
+    _keyDir = (fs::path(_opts.dir) / sanitizeKey(_key)).string();
+}
+
+std::string
+CheckpointManager::imagePath(uint64_t cycle) const
+{
+    return (fs::path(_keyDir) /
+            ("ckpt-" + std::to_string(cycle) + ".ashckpt"))
+        .string();
+}
+
+void
+CheckpointManager::writeImage(const std::string &path,
+                              const Snapshotter &sim)
+{
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError("cannot open " + tmp + " for writing");
+        sim.save(out);
+        out.flush();
+        if (!out)
+            throw SnapshotError("write failed for " + tmp);
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw SnapshotError("rename " + tmp + " -> " + path +
+                            " failed: " + ec.message());
+    maybeDieAfterWrite();
+}
+
+void
+CheckpointManager::writeManifest() const
+{
+    JsonWriter w(true);
+    w.beginObject();
+    w.kv("format", "ash-ckpt-manifest");
+    w.kv("version", kSnapshotVersion);
+    w.kv("key", _key);
+    w.kv("engine", "");   // Reserved; images carry the engine name.
+    w.kv("every_cycles", _opts.everyCycles);
+    w.key("images").beginArray();
+    for (size_t i = 0; i < _cycles.size(); ++i) {
+        w.beginObject();
+        w.kv("cycle", _cycles[i]);
+        w.kv("file", "ckpt-" + std::to_string(_cycles[i]) +
+                         ".ashckpt");
+        // As a hex STRING: JsonValue parses numbers into double,
+        // which silently rounds u64 hashes above 2^53.
+        char hash[20];
+        std::snprintf(hash, sizeof(hash), "%016llx",
+                      static_cast<unsigned long long>(_hashes[i]));
+        w.kv("state_hash", hash);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    std::string path =
+        (fs::path(_keyDir) / "manifest.json").string();
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError("cannot open " + tmp + " for writing");
+        out << w.str() << '\n';
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw SnapshotError("rename of manifest failed: " +
+                            ec.message());
+}
+
+void
+CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
+{
+    std::error_code ec;
+    fs::create_directories(_keyDir, ec);
+    if (ec)
+        throw SnapshotError("cannot create " + _keyDir + ": " +
+                            ec.message());
+
+    // Serialize once; hash and file share the same bytes.
+    std::ostringstream image;
+    sim.save(image);
+    const std::string &bytes = image.str();
+    uint64_t hash = fnv1a(bytes.data(), bytes.size());
+
+    std::string path = imagePath(cycle);
+    std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw SnapshotError("cannot open " + tmp + " for writing");
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out)
+            throw SnapshotError("write failed for " + tmp);
+    }
+    fs::rename(tmp, path, ec);
+    if (ec)
+        throw SnapshotError("rename " + tmp + " -> " + path +
+                            " failed: " + ec.message());
+
+    _cycles.push_back(cycle);
+    _hashes.push_back(hash);
+    while (_cycles.size() > _opts.keep) {
+        fs::remove(imagePath(_cycles.front()), ec);   // Best-effort.
+        _cycles.erase(_cycles.begin());
+        _hashes.erase(_hashes.begin());
+    }
+    writeManifest();
+
+    ASH_OBS_EVENT(obs::EventKind::Checkpoint, cycle, 0, 0, 0, cycle,
+                  0);
+    debugLog("checkpoint: %s @ cycle %llu (hash %016llx)",
+             path.c_str(), static_cast<unsigned long long>(cycle),
+             static_cast<unsigned long long>(hash));
+    maybeDieAfterWrite();
+}
+
+void
+CheckpointManager::onCycle(uint64_t cycle, Snapshotter &sim)
+{
+    if (_opts.everyCycles == 0 || cycle == 0)
+        return;
+    uint64_t bucket = cycle / _opts.everyCycles;
+    if (bucket <= _lastBucket)
+        return;
+    _lastBucket = bucket;
+    snapshot(cycle, sim);
+}
+
+bool
+CheckpointManager::tryRestoreLatest(Snapshotter &sim)
+{
+    std::string manifestPath =
+        (fs::path(_keyDir) / "manifest.json").string();
+    std::ifstream manifestIn(manifestPath, std::ios::binary);
+    if (!manifestIn)
+        return false;   // Nothing saved for this key yet.
+    std::stringstream buf;
+    buf << manifestIn.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(buf.str(), doc, &err))
+        throw SnapshotError("manifest " + manifestPath +
+                            " is not valid JSON: " + err);
+    if (!doc.isObject() ||
+        doc["format"].string() != "ash-ckpt-manifest")
+        throw SnapshotError("manifest " + manifestPath +
+                            " has unexpected format");
+
+    const JsonValue &images = doc["images"];
+    if (!images.isArray() || images.array().empty())
+        return false;
+
+    // Newest image last; fall back to older ones if the newest is
+    // unreadable or corrupt (e.g. the crash clipped it despite
+    // tmp+rename). A failed restore leaves @p sim partial, but the
+    // next restore overwrites every field again, so retrying an
+    // older image is safe.
+    for (size_t i = images.array().size(); i-- > 0;) {
+        const JsonValue &entry = images.at(i);
+        uint64_t cycle = entry["cycle"].asU64();
+        std::string file = entry["file"].string();
+        std::string path = (fs::path(_keyDir) / file).string();
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            warn("checkpoint image %s missing; trying older",
+                 path.c_str());
+            continue;
+        }
+        try {
+            sim.restore(in);
+            if (entry.has("state_hash") &&
+                sim.stateHash() !=
+                    parseHashHex(entry["state_hash"]))
+                throw SnapshotError(
+                    "restored state hash differs from manifest "
+                    "entry for " + path);
+        } catch (const SnapshotError &e) {
+            if (i == 0)
+                throw;   // Nothing older to fall back to.
+            warn("%s; trying older image", e.what());
+            continue;
+        }
+        _resumedCycle = cycle;
+        _lastBucket = _opts.everyCycles
+                          ? cycle / _opts.everyCycles
+                          : 0;
+        // Re-adopt the retained set so new snapshots extend it.
+        _cycles.clear();
+        _hashes.clear();
+        for (size_t j = 0; j <= i; ++j) {
+            _cycles.push_back(images.at(j)["cycle"].asU64());
+            _hashes.push_back(
+                parseHashHex(images.at(j)["state_hash"]));
+        }
+        ASH_OBS_EVENT(obs::EventKind::Checkpoint, cycle, 0, 0, 0,
+                      cycle, 1);
+        inform("resumed '%s' from checkpoint at cycle %llu",
+               _key.c_str(),
+               static_cast<unsigned long long>(cycle));
+        return true;
+    }
+    return false;
+}
+
+} // namespace ash::ckpt

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Engine-facing checkpoint interfaces and the periodic
+ * CheckpointManager. A Snapshotter is anything that can serialize
+ * its complete simulated state into the Snapshot format and restore
+ * it to a bit-identical replica; all three engines (refsim, AshSim,
+ * baseline) implement it. A CycleHook is invoked by an engine's run
+ * loop once per simulated design cycle at the engine's quiescent
+ * point — the only place a snapshot is guaranteed self-consistent.
+ *
+ * CheckpointManager implements CycleHook: every N cycles it writes
+ * <dir>/<key>/ckpt-<cycle>.ashckpt atomically (tmp + rename), prunes
+ * all but the last K images, and rewrites a manifest.json describing
+ * what is on disk, so a crashed run can restore the newest image and
+ * continue deterministically.
+ */
+
+#ifndef ASH_CKPT_CHECKPOINT_H
+#define ASH_CKPT_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/Snapshot.h"
+
+namespace ash {
+namespace rtl {
+class Netlist;
+} // namespace rtl
+
+namespace ckpt {
+
+/** An engine whose full simulated state can round-trip a Snapshot. */
+class Snapshotter
+{
+  public:
+    virtual ~Snapshotter() = default;
+
+    /** Serialize complete state; restore() must rebuild it exactly. */
+    virtual void save(std::ostream &out) const = 0;
+
+    /**
+     * Replace all state with the image in @p in. Throws
+     * SnapshotError on any mismatch or corruption; on throw the
+     * simulator must not be used further (state may be partial).
+     */
+    virtual void restore(std::istream &in) = 0;
+
+    /** Short stable engine identifier stored in the image header. */
+    virtual const char *engineName() const = 0;
+
+    /**
+     * FNV-1a over the serialized image: two engines with equal
+     * hashes hold bit-identical simulated state. Used for periodic
+     * differential checks and manifest integrity entries.
+     */
+    uint64_t stateHash() const;
+};
+
+/** Periodic callback fired by an engine run loop between cycles. */
+class CycleHook
+{
+  public:
+    virtual ~CycleHook() = default;
+
+    /** @p cycle design cycles have fully committed in @p sim. */
+    virtual void onCycle(uint64_t cycle, Snapshotter &sim) = 0;
+};
+
+/**
+ * Structural FNV-1a fingerprint of a netlist: ops, widths,
+ * operands, immediates, memories, registers, and port names. Two
+ * netlists with equal fingerprints are interchangeable for
+ * simulation, so a snapshot of one restores into the other.
+ */
+uint64_t designFingerprint(const rtl::Netlist &nl);
+
+struct CheckpointOptions
+{
+    std::string dir;           ///< Root checkpoint directory.
+    uint64_t everyCycles = 0;  ///< Snapshot period; 0 disables.
+    unsigned keep = 3;         ///< Retained images per key.
+};
+
+/**
+ * Periodic snapshotting with retention and a JSON manifest; one
+ * manager per simulation run, identified inside @p dir by @p key
+ * (e.g. the sweep job name). Also the restore entry point:
+ * tryRestoreLatest() loads the newest intact image for the key.
+ */
+class CheckpointManager : public CycleHook
+{
+  public:
+    CheckpointManager(CheckpointOptions opts, std::string key);
+
+    void onCycle(uint64_t cycle, Snapshotter &sim) override;
+
+    /**
+     * Restore @p sim from the newest manifest-listed image for this
+     * key. Returns false when no usable image exists; throws
+     * SnapshotError when an image exists but does not match @p sim.
+     * After success resumedCycle() tells where the run left off.
+     */
+    bool tryRestoreLatest(Snapshotter &sim);
+
+    uint64_t resumedCycle() const { return _resumedCycle; }
+
+    /** Directory holding this key's images and manifest. */
+    const std::string &keyDir() const { return _keyDir; }
+
+    /** Filesystem-safe mangling of a job key ('/' and co -> '_'). */
+    static std::string sanitizeKey(const std::string &key);
+
+    /**
+     * Write one snapshot image atomically (tmp + rename). Honors the
+     * ASH_CKPT_DIE_AFTER crash-injection hook; see Checkpoint.cpp.
+     */
+    static void writeImage(const std::string &path,
+                           const Snapshotter &sim);
+
+  private:
+    void snapshot(uint64_t cycle, Snapshotter &sim);
+    void writeManifest() const;
+    std::string imagePath(uint64_t cycle) const;
+
+    CheckpointOptions _opts;
+    std::string _key;
+    std::string _keyDir;
+    uint64_t _lastBucket = 0;       ///< cycle / everyCycles of last image.
+    uint64_t _resumedCycle = 0;
+    /** Cycles with on-disk images, oldest first (retention window). */
+    std::vector<uint64_t> _cycles;
+    /** stateHash of each retained image, parallel to _cycles. */
+    std::vector<uint64_t> _hashes;
+};
+
+} // namespace ckpt
+} // namespace ash
+
+#endif // ASH_CKPT_CHECKPOINT_H

@@ -1,0 +1,336 @@
+#include "ckpt/Snapshot.h"
+
+#include <array>
+
+#include "common/Logging.h"
+#include "common/Stats.h"
+
+namespace ash::ckpt {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint64_t
+fnv1a(const void *data, size_t len, uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+// ---------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(std::ostream &out,
+                               const std::string &engine,
+                               uint64_t designFingerprint,
+                               uint64_t configHash)
+    : _out(out)
+{
+    _out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+    uint32_t version = kSnapshotVersion;
+    _out.write(reinterpret_cast<const char *>(&version),
+               sizeof(version));
+    uint64_t nameLen = engine.size();
+    _out.write(reinterpret_cast<const char *>(&nameLen),
+               sizeof(nameLen));
+    _out.write(engine.data(),
+               static_cast<std::streamsize>(engine.size()));
+    _out.write(reinterpret_cast<const char *>(&designFingerprint),
+               sizeof(designFingerprint));
+    _out.write(reinterpret_cast<const char *>(&configHash),
+               sizeof(configHash));
+}
+
+void
+SnapshotWriter::beginSection(uint32_t tag)
+{
+    ASH_ASSERT(!_open, "nested snapshot section");
+    _open = true;
+    _tag = tag;
+    _section.clear();
+}
+
+void
+SnapshotWriter::raw(const void *data, size_t len)
+{
+    ASH_ASSERT(_open, "snapshot write outside a section");
+    if (len)
+        _section.append(static_cast<const char *>(data), len);
+}
+
+void
+SnapshotWriter::endSection()
+{
+    ASH_ASSERT(_open, "endSection without beginSection");
+    _open = false;
+    uint64_t len = _section.size();
+    uint32_t crc = crc32(_section.data(), _section.size());
+    _out.write(reinterpret_cast<const char *>(&_tag), sizeof(_tag));
+    _out.write(reinterpret_cast<const char *>(&len), sizeof(len));
+    _out.write(_section.data(),
+               static_cast<std::streamsize>(_section.size()));
+    _out.write(reinterpret_cast<const char *>(&crc), sizeof(crc));
+    if (!_out)
+        throw SnapshotError("write failed while emitting section");
+}
+
+// ---------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Read exactly @p len bytes or throw. */
+void
+readExact(std::istream &in, void *data, size_t len,
+          const char *what)
+{
+    in.read(static_cast<char *>(data),
+            static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in.gcount()) != len)
+        throw SnapshotError(std::string("truncated image reading ") +
+                            what);
+}
+
+} // namespace
+
+SnapshotReader::SnapshotReader(std::istream &in) : _in(in)
+{
+    char magic[sizeof(kSnapshotMagic)];
+    readExact(_in, magic, sizeof(magic), "magic");
+    if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0)
+        throw SnapshotError("bad magic; not an ASH checkpoint image");
+    readExact(_in, &_version, sizeof(_version), "version");
+    if (_version != kSnapshotVersion)
+        throw SnapshotError(
+            "unsupported snapshot version " +
+            std::to_string(_version) + " (expected " +
+            std::to_string(kSnapshotVersion) + ")");
+    uint64_t nameLen = 0;
+    readExact(_in, &nameLen, sizeof(nameLen), "engine name length");
+    if (nameLen > 256)
+        throw SnapshotError("implausible engine name length");
+    _engine.resize(nameLen);
+    if (nameLen)
+        readExact(_in, _engine.data(), nameLen, "engine name");
+    readExact(_in, &_designFingerprint, sizeof(_designFingerprint),
+              "design fingerprint");
+    readExact(_in, &_configHash, sizeof(_configHash), "config hash");
+}
+
+void
+SnapshotReader::require(const std::string &engine,
+                        uint64_t designFingerprint,
+                        uint64_t configHash) const
+{
+    if (_engine != engine)
+        throw SnapshotError("engine mismatch: image is '" + _engine +
+                            "', simulator is '" + engine + "'");
+    if (_designFingerprint != designFingerprint)
+        throw SnapshotError(
+            "design fingerprint mismatch: image was taken of a "
+            "different netlist");
+    if (_configHash != configHash)
+        throw SnapshotError(
+            "config hash mismatch: image was taken under a "
+            "different engine configuration");
+}
+
+void
+SnapshotReader::section(uint32_t tag)
+{
+    ASH_ASSERT(!_open, "nested snapshot section");
+    uint32_t fileTag = 0;
+    readExact(_in, &fileTag, sizeof(fileTag), "section tag");
+    uint64_t len = 0;
+    readExact(_in, &len, sizeof(len), "section length");
+    if (len > (1ull << 40))
+        throw SnapshotError("implausible section length");
+    _section.resize(len);
+    if (len)
+        readExact(_in, _section.data(), len, "section payload");
+    uint32_t fileCrc = 0;
+    readExact(_in, &fileCrc, sizeof(fileCrc), "section CRC");
+    uint32_t actual = crc32(_section.data(), _section.size());
+    if (fileCrc != actual)
+        throw SnapshotError("CRC mismatch in section " +
+                            std::to_string(fileTag) +
+                            "; image is corrupt");
+    if (fileTag != tag)
+        throw SnapshotError("unexpected section tag " +
+                            std::to_string(fileTag) + " (expected " +
+                            std::to_string(tag) + ")");
+    _tag = fileTag;
+    _pos = 0;
+    _open = true;
+}
+
+void
+SnapshotReader::endSection()
+{
+    ASH_ASSERT(_open, "endSection without section");
+    if (_pos != _section.size())
+        throw SnapshotError(
+            "section " + std::to_string(_tag) + " has " +
+            std::to_string(_section.size() - _pos) +
+            " unread payload bytes; layout mismatch");
+    _open = false;
+}
+
+void
+SnapshotReader::expectEnd()
+{
+    ASH_ASSERT(!_open, "expectEnd inside a section");
+    if (_in.peek() != std::istream::traits_type::eof())
+        throw SnapshotError("trailing bytes after final section");
+}
+
+void
+SnapshotReader::checkAvail(uint64_t len) const
+{
+    ASH_ASSERT(_open, "snapshot read outside a section");
+    if (len > _section.size() - _pos)
+        throw SnapshotError("section " + std::to_string(_tag) +
+                            " over-read; layout mismatch");
+}
+
+void
+SnapshotReader::raw(void *data, size_t len)
+{
+    checkAvail(len);
+    if (len)
+        std::memcpy(data, _section.data() + _pos, len);
+    _pos += len;
+}
+
+uint8_t
+SnapshotReader::u8()
+{
+    uint8_t v;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+uint32_t
+SnapshotReader::u32()
+{
+    uint32_t v;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+uint64_t
+SnapshotReader::u64()
+{
+    uint64_t v;
+    raw(&v, sizeof(v));
+    return v;
+}
+
+std::string
+SnapshotReader::str()
+{
+    uint64_t n = u64();
+    checkAvail(n);
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// StatSet IO
+// ---------------------------------------------------------------------
+
+void
+saveStats(SnapshotWriter &w, const StatSet &stats)
+{
+    w.u64(stats.counters().size());
+    for (const auto &[name, value] : stats.counters()) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u64(stats.accumulators().size());
+    for (const auto &[name, acc] : stats.accumulators()) {
+        w.str(name);
+        w.u64(acc.count);
+        w.f64(acc.sum);
+        w.f64(acc.minValue);
+        w.f64(acc.maxValue);
+    }
+    w.u64(stats.histograms().size());
+    for (const auto &[name, h] : stats.histograms()) {
+        w.str(name);
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u64(h.minValue);
+        w.u64(h.maxValue);
+        w.raw(h.buckets.data(),
+              h.buckets.size() * sizeof(h.buckets[0]));
+    }
+}
+
+void
+restoreStats(SnapshotReader &r, StatSet &out)
+{
+    out.clear();
+    uint64_t counters = r.u64();
+    for (uint64_t i = 0; i < counters; ++i) {
+        std::string name = r.str();
+        out.set(name, r.u64());
+    }
+    uint64_t accums = r.u64();
+    for (uint64_t i = 0; i < accums; ++i) {
+        std::string name = r.str();
+        Accumulator acc;
+        acc.count = r.u64();
+        acc.sum = r.f64();
+        acc.minValue = r.f64();
+        acc.maxValue = r.f64();
+        out.addAccum(name, acc);
+    }
+    uint64_t hists = r.u64();
+    for (uint64_t i = 0; i < hists; ++i) {
+        std::string name = r.str();
+        Histogram h;
+        h.count = r.u64();
+        h.sum = r.u64();
+        h.minValue = r.u64();
+        h.maxValue = r.u64();
+        r.raw(h.buckets.data(),
+              h.buckets.size() * sizeof(h.buckets[0]));
+        out.addHistogram(name, h);
+    }
+}
+
+} // namespace ash::ckpt

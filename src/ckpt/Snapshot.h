@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Versioned binary snapshot format shared by every engine's
+ * checkpoint implementation. An image is:
+ *
+ *   header:   magic "ASHCKPT1" (8 bytes)
+ *             u32 format version (kSnapshotVersion)
+ *             str engine name ("refsim", "ash", "baseline")
+ *             u64 design fingerprint (FNV-1a over netlist structure)
+ *             u64 engine-config hash (FNV-1a over config fields)
+ *   sections: zero or more of
+ *             u32 tag, u64 payload length, payload bytes, u32 CRC32
+ *
+ * All integers are little-endian fixed-width; doubles travel as
+ * their IEEE-754 bit pattern, so save/restore round-trips are exact.
+ * SnapshotWriter buffers one section at a time and emits tag/len/
+ * payload/CRC on endSection(); SnapshotReader validates the CRC of
+ * each section before any field of it can be read, and every decode
+ * error — bad magic, version or fingerprint mismatch, truncation,
+ * CRC failure, over-read — throws SnapshotError rather than
+ * producing silently wrong simulator state.
+ */
+
+#ifndef ASH_CKPT_SNAPSHOT_H
+#define ASH_CKPT_SNAPSHOT_H
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ash::ckpt {
+
+/** Bump when the section layout of any engine changes. */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** 8-byte file magic; the trailing digit is NOT the format version. */
+constexpr char kSnapshotMagic[8] = {'A', 'S', 'H', 'C',
+                                    'K', 'P', 'T', '1'};
+
+/** Structured decode/validation failure; never UB, never a crash. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error("snapshot: " + what)
+    {
+    }
+};
+
+/** CRC32 (IEEE 802.3, reflected 0xEDB88320) of @p len bytes. */
+uint32_t crc32(const void *data, size_t len);
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** One FNV-1a step chain over a byte range. */
+uint64_t fnv1a(const void *data, size_t len,
+               uint64_t seed = kFnvOffset);
+
+/** Incremental FNV-1a hasher for fingerprints and config hashes. */
+struct Fnv
+{
+    uint64_t h = kFnvOffset;
+
+    void
+    bytes(const void *data, size_t len)
+    {
+        h = fnv1a(data, len, h);
+    }
+    void
+    u64(uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    uint64_t value() const { return h; }
+};
+
+/**
+ * Streaming snapshot writer. Construct with the header fields (the
+ * header is emitted immediately), then beginSection()/field writes/
+ * endSection() per section. Sections must not nest.
+ */
+class SnapshotWriter
+{
+  public:
+    SnapshotWriter(std::ostream &out, const std::string &engine,
+                   uint64_t designFingerprint, uint64_t configHash);
+
+    void beginSection(uint32_t tag);
+    void endSection();
+
+    void
+    u8(uint8_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+    void
+    u32(uint32_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+    void
+    u64(uint64_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+    void
+    i64(int64_t v)
+    {
+        u64(static_cast<uint64_t>(v));
+    }
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+    /** Length-prefixed vector of a trivially-copyable element type. */
+    template <typename T>
+    void
+    vec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        u64(v.size());
+        raw(v.data(), v.size() * sizeof(T));
+    }
+    void raw(const void *data, size_t len);
+
+  private:
+    std::ostream &_out;
+    std::string _section;
+    uint32_t _tag = 0;
+    bool _open = false;
+};
+
+/**
+ * Snapshot reader. The constructor consumes and validates the
+ * header; sections are pulled with section(tag) — which reads the
+ * next section from the stream, checks its tag and CRC, and makes
+ * its fields readable — and closed with endSection(), which insists
+ * every payload byte was consumed (layout drift detector).
+ */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(std::istream &in);
+
+    uint32_t version() const { return _version; }
+    const std::string &engine() const { return _engine; }
+    uint64_t designFingerprint() const { return _designFingerprint; }
+    uint64_t configHash() const { return _configHash; }
+
+    /** Throw unless the header matches what the engine expects. */
+    void require(const std::string &engine,
+                 uint64_t designFingerprint, uint64_t configHash) const;
+
+    /** Open the next section; throws unless its tag is @p tag. */
+    void section(uint32_t tag);
+    /** Close the current section; throws on unread payload bytes. */
+    void endSection();
+    /** Throw unless the stream holds no further sections. */
+    void expectEnd();
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    int64_t i64() { return static_cast<int64_t>(u64()); }
+    double
+    f64()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+    bool b() { return u8() != 0; }
+    std::string str();
+    template <typename T>
+    void
+    vec(std::vector<T> &out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        uint64_t n = u64();
+        checkAvail(n * sizeof(T));
+        out.resize(n);
+        raw(out.data(), n * sizeof(T));
+    }
+    void raw(void *data, size_t len);
+
+  private:
+    void checkAvail(uint64_t len) const;
+
+    std::istream &_in;
+    uint32_t _version = 0;
+    std::string _engine;
+    uint64_t _designFingerprint = 0;
+    uint64_t _configHash = 0;
+
+    std::string _section;
+    size_t _pos = 0;
+    uint32_t _tag = 0;
+    bool _open = false;
+};
+
+} // namespace ash::ckpt
+
+namespace ash {
+class StatSet;
+namespace ckpt {
+
+/**
+ * StatSet (de)serialization shared by all engines. restoreStats()
+ * clears @p out first; the rebuilt set compares bit-identical to the
+ * saved one (set() recreates zero-valued counters, and merge-into-
+ * empty copies accumulators/histograms exactly).
+ */
+void saveStats(SnapshotWriter &w, const StatSet &stats);
+void restoreStats(SnapshotReader &r, StatSet &out);
+
+} // namespace ckpt
+} // namespace ash
+
+#endif // ASH_CKPT_SNAPSHOT_H

@@ -93,6 +93,46 @@ class EventHeap
         _seq = 0;
     }
 
+    /// @name Checkpoint support
+    ///
+    /// The heap-array layout determines Compat's equal-time pop
+    /// order, so serialization must preserve the handle array
+    /// EXACTLY — visitEntries walks it in storage order, and
+    /// restoreEntry appends in that same order without re-heapifying
+    /// (a valid heap round-trips to the identical array). Slot
+    /// numbers are NOT preserved: after() never reads the slot, so
+    /// densely renumbered slots leave pop order bit-identical.
+    /// @{
+
+    /** Visit {time, seq, payload} of every entry in array order. */
+    template <typename Fn>
+    void
+    visitEntries(Fn &&fn) const
+    {
+        for (const Handle &h : _handles)
+            fn(h.time, h.seq, _pool[h.slot]);
+    }
+
+    /**
+     * Append one entry during restore, preserving array order and
+     * the saved sequence number. Caller must feed entries in the
+     * exact visitEntries() order of the saved heap, starting from an
+     * empty/clear()ed heap, and finish with restoreSeq().
+     */
+    void
+    restoreEntry(uint64_t time, uint32_t seq, Payload payload)
+    {
+        uint32_t slot = static_cast<uint32_t>(_pool.size());
+        _pool.push_back(std::move(payload));
+        _handles.push_back(Handle{time, slot, seq});
+    }
+
+    /** Next sequence number to assign (serialize alongside entries). */
+    uint32_t nextSeq() const { return _seq; }
+    void restoreSeq(uint32_t seq) { _seq = seq; }
+
+    /// @}
+
   private:
     struct Handle
     {

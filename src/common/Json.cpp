@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ash {
 
@@ -383,6 +384,373 @@ jsonValid(const std::string &text, std::string *err)
             *err = "trailing garbage after JSON value";
         return false;
     }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// JsonValue / jsonParse
+// ---------------------------------------------------------------------
+
+namespace {
+const JsonValue kNullValue;
+} // namespace
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    if (_kind == Kind::Object) {
+        auto it = _object.find(key);
+        if (it != _object.end())
+            return it->second;
+    }
+    return kNullValue;
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    if (_kind == Kind::Array && i < _array.size())
+        return _array[i];
+    return kNullValue;
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j._kind = Kind::Bool;
+    j._bool = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j._kind = Kind::Number;
+    j._number = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j._kind = Kind::String;
+    j._string = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue j;
+    j._kind = Kind::Array;
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue j;
+    j._kind = Kind::Object;
+    return j;
+}
+
+namespace {
+
+/** Recursive-descent parser; grammar identical to JsonChecker. */
+struct JsonParser
+{
+    const char *p;
+    const char *end;
+    const char *begin;
+    std::string err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " at offset %zd",
+                      static_cast<ptrdiff_t>(p - begin));
+        err = msg + buf;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (static_cast<size_t>(end - p) < n ||
+            std::string(p, p + n) != word)
+            return fail(std::string("bad literal, expected ") + word);
+        p += n;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    hex4(uint32_t &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i, ++p) {
+            if (p >= end ||
+                !std::isxdigit(static_cast<unsigned char>(*p)))
+                return fail("bad \\u escape");
+            char c = *p;
+            uint32_t digit = c <= '9'   ? uint32_t(c - '0')
+                             : c <= 'F' ? uint32_t(c - 'A' + 10)
+                                        : uint32_t(c - 'a' + 10);
+            out = out * 16 + digit;
+        }
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        out.clear();
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        while (p < end && *p != '"') {
+            if (static_cast<unsigned char>(*p) < 0x20)
+                return fail("raw control character in string");
+            if (*p == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                switch (*p) {
+                  case '"': out += '"'; ++p; break;
+                  case '\\': out += '\\'; ++p; break;
+                  case '/': out += '/'; ++p; break;
+                  case 'b': out += '\b'; ++p; break;
+                  case 'f': out += '\f'; ++p; break;
+                  case 'n': out += '\n'; ++p; break;
+                  case 'r': out += '\r'; ++p; break;
+                  case 't': out += '\t'; ++p; break;
+                  case 'u': {
+                    ++p;
+                    uint32_t cp;
+                    if (!hex4(cp))
+                        return false;
+                    // Surrogate pair: combine when a low surrogate
+                    // immediately follows a high one.
+                    if (cp >= 0xD800 && cp <= 0xDBFF &&
+                        end - p >= 6 && p[0] == '\\' && p[1] == 'u') {
+                        const char *save = p;
+                        p += 2;
+                        uint32_t lo;
+                        if (!hex4(lo))
+                            return false;
+                        if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                                 (lo - 0xDC00);
+                        } else {
+                            p = save;   // Unpaired; keep as-is.
+                        }
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                  }
+                  default:
+                    return fail("bad escape character");
+                }
+            } else {
+                out += *p++;
+            }
+        }
+        if (p >= end)
+            return fail("unterminated string");
+        ++p;
+        return true;
+    }
+
+    bool
+    number(double &out)
+    {
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        const char *digits = p;
+        while (p < end && std::isdigit(static_cast<unsigned char>(*p)))
+            ++p;
+        if (p == start || (*start == '-' && p == start + 1))
+            return fail("expected number");
+        if (p - digits > 1 && *digits == '0')
+            return fail("leading zero in number");
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return fail("bad fraction");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end ||
+                !std::isdigit(static_cast<unsigned char>(*p)))
+                return fail("bad exponent");
+            while (p < end &&
+                   std::isdigit(static_cast<unsigned char>(*p)))
+                ++p;
+        }
+        out = std::strtod(std::string(start, p).c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    value(JsonValue &out, int depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+          case '{': {
+            ++p;
+            out = JsonValue::makeObject();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!string(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                JsonValue member;
+                if (!value(member, depth + 1))
+                    return false;
+                out.mutableObject()[key] = std::move(member);
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++p;
+            out = JsonValue::makeArray();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                JsonValue element;
+                if (!value(element, depth + 1))
+                    return false;
+                out.mutableArray().push_back(std::move(element));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+          }
+          case '"': {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = JsonValue::makeString(std::move(s));
+            return true;
+          }
+          case 't':
+            if (!literal("true"))
+                return false;
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return false;
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return false;
+            out = JsonValue();
+            return true;
+          default: {
+            double d;
+            if (!number(d))
+                return false;
+            out = JsonValue::makeNumber(d);
+            return true;
+          }
+        }
+    }
+};
+
+} // namespace
+
+bool
+jsonParse(const std::string &text, JsonValue &out, std::string *err)
+{
+    out = JsonValue();
+    JsonParser parser{text.data(), text.data() + text.size(),
+                      text.data(), {}};
+    JsonValue parsed;
+    if (!parser.value(parsed, 0)) {
+        if (err)
+            *err = parser.err;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.p != parser.end) {
+        if (err)
+            *err = "trailing garbage after JSON value";
+        return false;
+    }
+    out = std::move(parsed);
     return true;
 }
 

@@ -4,14 +4,18 @@
  * writer with automatic comma/nesting management used by StatSet,
  * the event tracer, and the bench report exporter; jsonValid() is a
  * dependency-free recursive-descent checker used by tests and by the
- * exporters' self-checks. No DOM: the repo only ever writes JSON and
- * verifies shape, it never consumes foreign JSON.
+ * exporters' self-checks. JsonValue/jsonParse() add the one consumer
+ * the checkpoint layer needs: a tiny DOM for reading back manifests
+ * that this repo itself wrote (strings, numbers, bools, nulls,
+ * arrays, objects; \u escapes are decoded to UTF-8).
  */
 
 #ifndef ASH_COMMON_JSON_H
 #define ASH_COMMON_JSON_H
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +31,69 @@ std::string jsonEscape(const std::string &s);
  * @p err (when non-null).
  */
 bool jsonValid(const std::string &text, std::string *err = nullptr);
+
+/**
+ * Parsed JSON value. A small tagged union; object member order is
+ * not preserved (std::map), which is fine for manifest lookups. All
+ * numbers are kept as double — manifests store cycle counts and
+ * retention indices well within double's 2^53 exact-integer range.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isObject() const { return _kind == Kind::Object; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isBool() const { return _kind == Kind::Bool; }
+
+    bool boolean() const { return _bool; }
+    double number() const { return _number; }
+    uint64_t asU64() const { return static_cast<uint64_t>(_number); }
+    const std::string &string() const { return _string; }
+    const std::vector<JsonValue> &array() const { return _array; }
+    const std::map<std::string, JsonValue> &object() const
+    { return _object; }
+
+    /** Object member by key, or null-kind sentinel when absent. */
+    const JsonValue &operator[](const std::string &key) const;
+    /** Array element, or null-kind sentinel when out of range. */
+    const JsonValue &at(size_t i) const;
+    bool has(const std::string &key) const
+    { return _kind == Kind::Object && _object.count(key) != 0; }
+
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    std::vector<JsonValue> &mutableArray() { return _array; }
+    std::map<std::string, JsonValue> &mutableObject()
+    { return _object; }
+
+  private:
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _array;
+    std::map<std::string, JsonValue> _object;
+};
+
+/**
+ * Parse @p text into @p out. Returns true when @p text is exactly
+ * one JSON value; otherwise false with a position-annotated message
+ * in @p err (when non-null) and @p out reset to null.
+ */
+bool jsonParse(const std::string &text, JsonValue &out,
+               std::string *err = nullptr);
 
 /**
  * Streaming JSON writer. Push objects/arrays with the begin/end

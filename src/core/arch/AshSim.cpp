@@ -1878,14 +1878,701 @@ struct AshSimulator::Impl
     }
 
     // =====================================================================
+    // Checkpointing
+    // =====================================================================
+
+    /// True once restoreState() ran: run() then resumes mid-flight
+    /// instead of bootstrapping from cycle 0.
+    bool restored = false;
+
+    // Snapshot section tags.
+    enum : uint32_t {
+        kSecDescs = 1,
+        kSecTiming = 2,
+        kSecTmu = 3,
+        kSecFunc = 4,
+        kSecStats = 5,
+    };
+
+    /**
+     * Covers everything besides the netlist (whose identity travels
+     * as the design fingerprint) that shapes both the engine's
+     * behavior and the image layout: the image stores per-task state
+     * indexed by the compiler's layout, so a differently partitioned
+     * program must be rejected even over the same netlist.
+     */
+    uint64_t
+    configHash() const
+    {
+        ckpt::Fnv f;
+        f.u64(cfg.numTiles);
+        f.u64(cfg.coresPerTile);
+        f.f64(cfg.ghz);
+        f.u64(cfg.l1iBytes);
+        f.u64(cfg.l1dBytes);
+        f.u64(cfg.l1Ways);
+        f.u64(cfg.l1Latency);
+        f.u64(cfg.l2Bytes);
+        f.u64(cfg.l2Ways);
+        f.u64(cfg.l2Latency);
+        f.u64(cfg.lineBytes);
+        f.u64(cfg.dramLatency);
+        f.u64(cfg.dramCtrls);
+        f.f64(cfg.dramBytesPerCycle);
+        f.u64(cfg.aqEntries);
+        f.u64(cfg.mergeEntries);
+        f.u64(cfg.tcqEntries);
+        f.u64(cfg.vtIntervalCycles);
+        f.u64(cfg.spillPenalty);
+        f.u64(cfg.mergeGraceCycles);
+        f.u64(cfg.incompleteLookahead);
+        f.u64(cfg.deliverWaitCycles);
+        f.f64(cfg.baseCpi);
+        f.u64(cfg.dispatchOverhead);
+        f.u64(cfg.pushCost);
+        f.u64(cfg.selective);
+        f.u64(cfg.prioritized);
+        f.u64(cfg.prefetch);
+        f.u64(cfg.hwDataflow);
+        f.u64(cfg.sharedLlc);
+        f.u64(cfg.stimulusWindow);
+        f.u64(cfg.speculationWindow);
+        f.u64(prog.numTiles);
+        f.u64(prog.unrolled);
+        f.u64(prog.cycleDepth);
+        f.u64(prog.tasks.size());
+        for (const Task &t : prog.tasks) {
+            f.u64(t.tile);
+            f.u64(t.numParents);
+            f.u64(t.nodes.size());
+            f.u64(t.pushes.size());
+            f.u64(t.directInputs.size());
+            f.u64(t.carriedValues.size());
+        }
+        return f.value();
+    }
+
+    /**
+     * Descriptors are shared: an in-flight event, an AQ bundle, and a
+     * TCQ consumed/sent list can alias the same Desc, whose state
+     * mutates through any alias (the cancel paths rely on that). The
+     * registry assigns each live Desc a dense id in deterministic
+     * order — event-heap array order, then per-tile AQ bundles, then
+     * per-tile TCQ lists — so the image stores each once and aliases
+     * survive the round trip.
+     */
+    struct DescRegistry
+    {
+        std::unordered_map<const Desc *, uint32_t> ids;
+        std::vector<const Desc *> order;
+
+        void
+        add(const DescPtr &d)
+        {
+            if (!d)
+                return;
+            auto [it, fresh] =
+                ids.emplace(d.get(),
+                            static_cast<uint32_t>(order.size()));
+            if (fresh)
+                order.push_back(d.get());
+        }
+
+        uint32_t
+        id(const DescPtr &d) const
+        {
+            return d ? ids.at(d.get()) : ~0u;
+        }
+    };
+
+    static void
+    saveDesc(ckpt::SnapshotWriter &w, const Desc &d)
+    {
+        w.u32(d.dst);
+        w.u64(d.inst);
+        w.u32(d.src);
+        w.u8(static_cast<uint8_t>(d.kind));
+        w.b(d.stimulus);
+        w.u64(d.values.size());
+        for (const auto &[node, val] : d.values) {
+            w.u32(node);
+            w.u64(val);
+        }
+        w.u32(d.bytes);
+        w.u64(d.ts);
+        w.u8(static_cast<uint8_t>(d.state));
+    }
+
+    static void
+    restoreDesc(ckpt::SnapshotReader &r, Desc &d)
+    {
+        d.dst = r.u32();
+        d.inst = r.u64();
+        d.src = r.u32();
+        d.kind = static_cast<PushKind>(r.u8());
+        d.stimulus = r.b();
+        uint64_t n = r.u64();
+        d.values.clear();
+        d.values.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+            NodeId node = r.u32();
+            uint64_t val = r.u64();
+            d.values.emplace_back(node, val);
+        }
+        d.bytes = r.u32();
+        d.ts = r.u64();
+        d.state = static_cast<Desc::St>(r.u8());
+    }
+
+    static void
+    saveHist(ckpt::SnapshotWriter &w, const Histogram &h)
+    {
+        w.u64(h.count);
+        w.u64(h.sum);
+        w.u64(h.minValue);
+        w.u64(h.maxValue);
+        w.raw(h.buckets.data(),
+              h.buckets.size() * sizeof(h.buckets[0]));
+    }
+
+    static void
+    restoreHist(ckpt::SnapshotReader &r, Histogram &h)
+    {
+        h.count = r.u64();
+        h.sum = r.u64();
+        h.minValue = r.u64();
+        h.maxValue = r.u64();
+        r.raw(h.buckets.data(),
+              h.buckets.size() * sizeof(h.buckets[0]));
+    }
+
+    static void
+    saveAccum(ckpt::SnapshotWriter &w, const Accumulator &a)
+    {
+        w.u64(a.count);
+        w.f64(a.sum);
+        w.f64(a.minValue);
+        w.f64(a.maxValue);
+    }
+
+    static void
+    restoreAccum(ckpt::SnapshotReader &r, Accumulator &a)
+    {
+        a.count = r.u64();
+        a.sum = r.f64();
+        a.minValue = r.f64();
+        a.maxValue = r.f64();
+    }
+
+    // Logically const; SortedPool iteration is non-const only.
+    void
+    saveState(ckpt::SnapshotWriter &w)
+    {
+        DescRegistry reg;
+        events.visitEntries(
+            [&](uint64_t, uint32_t, const Event &ev) {
+                reg.add(ev.desc);
+            });
+        for (uint32_t t = 0; t < cfg.numTiles; ++t)
+            for (const auto &[key, b] : aq[t])
+                for (const DescPtr &d : b.descs)
+                    reg.add(d);
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            for (const auto &[key, e] : tcq[t]) {
+                for (const DescPtr &d : e.consumed)
+                    reg.add(d);
+                for (const DescPtr &d : e.sent)
+                    reg.add(d);
+            }
+        }
+
+        w.beginSection(kSecDescs);
+        w.u64(reg.order.size());
+        for (const Desc *d : reg.order)
+            saveDesc(w, *d);
+        w.endSection();
+
+        w.beginSection(kSecTiming);
+        w.u64(events.size());
+        events.visitEntries(
+            [&](uint64_t time, uint32_t seq, const Event &ev) {
+                w.u64(time);
+                w.u32(seq);
+                w.u64(ev.time);
+                w.u8(static_cast<uint8_t>(ev.type));
+                w.u32(ev.tile);
+                w.u32(ev.core);
+                w.u32(reg.id(ev.desc));
+                w.u32(ev.task);
+                w.u64(ev.inst);
+                w.u64(ev.epoch);
+            });
+        w.u32(events.nextSeq());
+        w.u64(now);
+        noc.saveState(w);
+        for (const auto &tile_cores : coreFreeAt)
+            w.vec(tile_cores);
+        for (const auto &c : l2)
+            c->saveState(w);
+        for (const auto &c : l1i)
+            c->saveState(w);
+        for (const auto &c : l1d)
+            c->saveState(w);
+        w.vec(dramFree);
+        w.u64(epochCounter);
+        w.u64(busyCommitted);
+        w.u64(busyAborted);
+        w.u64(busyUnresolved);
+        w.u64(designCycles);
+        w.u64(injectedUpTo);
+        w.b(done);
+        w.u64(lastGvtCycle);
+        w.endSection();
+
+        w.beginSection(kSecTmu);
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            w.u64(aq[t].size());
+            for (const auto &[key, b] : aq[t]) {
+                w.u64(std::get<0>(key));
+                w.u32(std::get<1>(key));
+                w.u64(std::get<2>(key));
+                w.u64(b.descs.size());
+                for (const DescPtr &d : b.descs)
+                    w.u32(reg.id(d));
+                w.u64(b.firstArrival);
+                w.u64(b.lastArrival);
+                w.u32(b.byteSum);
+                w.b(b.spilled);
+            }
+        }
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            w.u64(tcq[t].size());
+            for (const auto &[key, e] : tcq[t]) {
+                w.u32(e.task);
+                w.u64(e.inst);
+                w.u64(e.ts);
+                w.u64(e.epoch);
+                w.b(e.completed);
+                w.u64(e.duration);
+                w.u64(e.dispatchedAt);
+                w.u32(e.core);
+                w.u64(e.consumed.size());
+                for (const DescPtr &d : e.consumed)
+                    w.u32(reg.id(d));
+                w.u64(e.sent.size());
+                for (const DescPtr &d : e.sent)
+                    w.u32(reg.id(d));
+                // Per-field, not vec(): UndoRec has padding holes
+                // that would leak nondeterministic heap bytes into
+                // the image and break state-hash comparisons.
+                w.u64(e.undo.size());
+                for (const UndoRec &u : e.undo) {
+                    w.u8(static_cast<uint8_t>(u.kind));
+                    w.b(u.existed);
+                    w.u32(u.a);
+                    w.u64(u.b);
+                    w.u64(u.oldVal);
+                    w.u64(u.oldTag);
+                    w.u32(u.oldWriter);
+                    w.u32(u.payloadOff);
+                    w.u32(u.payloadLen);
+                }
+                w.vec(e.undoPayload);
+                w.u64(e.outputs.size());
+                for (const auto &[idx, val] : e.outputs) {
+                    w.u32(idx);
+                    w.u64(val);
+                }
+            }
+        }
+        w.u64(inFlight.size());
+        for (uint64_t v : inFlight)
+            w.u64(v);
+        w.u64(aqSeq);
+        w.vec(aqComplete);
+        {
+            std::vector<std::pair<InstKey, uint32_t>> ift(
+                inFlightTo.begin(), inFlightTo.end());
+            std::sort(ift.begin(), ift.end());
+            w.u64(ift.size());
+            for (const auto &[k, n] : ift) {
+                w.u32(k.first);
+                w.u64(k.second);
+                w.u32(n);
+            }
+        }
+        for (const auto &pp : parentPred)
+            w.vec(pp);
+        w.vec(tileMinTs);
+        w.u64(gateBlocked.size());
+        for (uint32_t t : gateBlocked)
+            w.u32(t);
+        w.u64(prevGateMin);
+        w.endSection();
+
+        w.beginSection(kSecFunc);
+        for (const auto &m : memData)
+            w.vec(m);
+        w.vec(regState);
+        for (size_t t = 0; t < bufMem.size(); ++t) {
+            w.vec(bufMem[t]);
+            w.vec(bufMemValid[t]);
+        }
+        for (size_t t = 0; t < filters.size(); ++t) {
+            w.u64(filters[t].size());
+            for (const auto &fv : filters[t])
+                w.vec(fv);
+            w.vec(filterValid[t]);
+        }
+        for (size_t t = 0; t < lastVals.size(); ++t) {
+            w.vec(lastVals[t]);
+            w.vec(lastValsValid[t]);
+        }
+        w.u64(finalOutputs.size());
+        for (const auto &[k, v] : finalOutputs) {
+            w.u64(k.first);
+            w.u32(k.second);
+            w.u64(v);
+        }
+        w.endSection();
+
+        w.beginSection(kSecStats);
+        ckpt::saveStats(w, stats);
+        w.u64(lastSample);
+        w.vec(tileDispatches);
+        w.vec(tileCommits);
+        w.vec(tileAborts);
+        w.u64(hot.tasksExecuted);
+        w.u64(hot.tasksCommitted);
+        w.u64(hot.instrs);
+        w.u64(hot.descsConsumed);
+        w.u64(hot.descsFiltered);
+        w.u64(hot.descsSent);
+        w.u64(hot.descBytes);
+        w.u64(hot.descsArrived);
+        w.u64(hot.warDiscarded);
+        w.u64(hot.stimulusDescs);
+        w.u64(hot.l1dAccesses);
+        w.u64(hot.l1iAccesses);
+        w.u64(hot.l1iMisses);
+        w.u64(hot.l2Accesses);
+        w.u64(hot.l2iMisses);
+        w.u64(hot.dramAccesses);
+        w.u64(hot.dramBytes);
+        w.u64(hot.aqSpills);
+        w.u64(hot.tcqFullStalls);
+        w.u64(hot.mergeEvictions);
+        w.u64(hot.commitRounds);
+        w.u64(hot.cancelMessages);
+        w.u64(hot.aborts);
+        saveHist(w, hot.taskLength);
+        saveHist(w, hot.bundleDescs);
+        saveHist(w, hot.abortDistance);
+        saveHist(w, hot.aqDepth);
+        saveHist(w, hot.tcqDepth);
+        saveAccum(w, hot.aqOccupancy);
+        saveAccum(w, hot.tcqOccupancy);
+        saveAccum(w, hot.footprintBytes);
+        w.endSection();
+    }
+
+    void
+    restoreState(ckpt::SnapshotReader &r)
+    {
+        using ckpt::SnapshotError;
+
+        r.section(kSecDescs);
+        uint64_t ndescs = r.u64();
+        std::vector<DescPtr> table;
+        table.reserve(ndescs);
+        for (uint64_t i = 0; i < ndescs; ++i) {
+            auto d = std::make_shared<Desc>();
+            restoreDesc(r, *d);
+            table.push_back(std::move(d));
+        }
+        r.endSection();
+        auto descAt = [&](uint32_t id) -> DescPtr {
+            if (id == ~0u)
+                return nullptr;
+            if (id >= table.size())
+                throw SnapshotError("descriptor id out of range");
+            return table[id];
+        };
+
+        r.section(kSecTiming);
+        events.clear();
+        uint64_t nevents = r.u64();
+        for (uint64_t i = 0; i < nevents; ++i) {
+            uint64_t time = r.u64();
+            uint32_t seq = r.u32();
+            Event ev;
+            ev.time = r.u64();
+            ev.type = static_cast<Event::Type>(r.u8());
+            ev.tile = r.u32();
+            ev.core = r.u32();
+            ev.desc = descAt(r.u32());
+            ev.task = r.u32();
+            ev.inst = r.u64();
+            ev.epoch = r.u64();
+            events.restoreEntry(time, seq, std::move(ev));
+        }
+        events.restoreSeq(r.u32());
+        now = r.u64();
+        noc.restoreState<ckpt::SnapshotReader, SnapshotError>(r);
+        for (auto &tile_cores : coreFreeAt) {
+            r.vec(tile_cores);
+            if (tile_cores.size() != cfg.coresPerTile)
+                throw SnapshotError("core-slot count mismatch");
+        }
+        for (const auto &c : l2)
+            c->restoreState<ckpt::SnapshotReader, SnapshotError>(r);
+        for (const auto &c : l1i)
+            c->restoreState<ckpt::SnapshotReader, SnapshotError>(r);
+        for (const auto &c : l1d)
+            c->restoreState<ckpt::SnapshotReader, SnapshotError>(r);
+        r.vec(dramFree);
+        if (dramFree.size() != cfg.dramCtrls)
+            throw SnapshotError("DRAM controller count mismatch");
+        epochCounter = r.u64();
+        busyCommitted = r.u64();
+        busyAborted = r.u64();
+        busyUnresolved = r.u64();
+        designCycles = r.u64();
+        injectedUpTo = r.u64();
+        done = r.b();
+        lastGvtCycle = r.u64();
+        r.endSection();
+
+        r.section(kSecTmu);
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            aq[t].clear();
+            uint64_t n = r.u64();
+            for (uint64_t i = 0; i < n; ++i) {
+                uint64_t prio = r.u64();
+                TaskId task = r.u32();
+                uint64_t inst = r.u64();
+                auto [it, fresh] =
+                    aq[t].emplace(AqKey{prio, task, inst});
+                if (!fresh)
+                    throw SnapshotError("duplicate AQ key");
+                // Pool slots are recycled; every live field must be
+                // assigned, not merely the non-default ones.
+                Bundle &b = it->second;
+                b.descs.clear();
+                uint64_t nd = r.u64();
+                b.descs.reserve(nd);
+                for (uint64_t j = 0; j < nd; ++j)
+                    b.descs.push_back(descAt(r.u32()));
+                b.firstArrival = r.u64();
+                b.lastArrival = r.u64();
+                b.byteSum = r.u32();
+                b.spilled = r.b();
+            }
+        }
+        for (uint32_t t = 0; t < cfg.numTiles; ++t) {
+            tcq[t].clear();
+            uint64_t n = r.u64();
+            for (uint64_t i = 0; i < n; ++i) {
+                TaskId task = r.u32();
+                uint64_t inst = r.u64();
+                auto [it, fresh] =
+                    tcq[t].emplace(InstKey{task, inst});
+                if (!fresh)
+                    throw SnapshotError("duplicate TCQ key");
+                TcqEntry &e = it->second;
+                e.task = task;
+                e.inst = inst;
+                e.ts = r.u64();
+                e.epoch = r.u64();
+                e.completed = r.b();
+                e.duration = r.u64();
+                e.dispatchedAt = r.u64();
+                e.core = r.u32();
+                e.consumed.clear();
+                uint64_t nc = r.u64();
+                e.consumed.reserve(nc);
+                for (uint64_t j = 0; j < nc; ++j)
+                    e.consumed.push_back(descAt(r.u32()));
+                e.sent.clear();
+                uint64_t ns = r.u64();
+                e.sent.reserve(ns);
+                for (uint64_t j = 0; j < ns; ++j)
+                    e.sent.push_back(descAt(r.u32()));
+                e.undo.clear();
+                uint64_t nu = r.u64();
+                e.undo.reserve(nu);
+                for (uint64_t j = 0; j < nu; ++j) {
+                    UndoRec u;
+                    u.kind = static_cast<UndoRec::Kind>(r.u8());
+                    u.existed = r.b();
+                    u.a = r.u32();
+                    u.b = r.u64();
+                    u.oldVal = r.u64();
+                    u.oldTag = r.u64();
+                    u.oldWriter = r.u32();
+                    u.payloadOff = r.u32();
+                    u.payloadLen = r.u32();
+                    e.undo.push_back(u);
+                }
+                r.vec(e.undoPayload);
+                e.outputs.clear();
+                uint64_t no = r.u64();
+                e.outputs.reserve(no);
+                for (uint64_t j = 0; j < no; ++j) {
+                    uint32_t idx = r.u32();
+                    uint64_t val = r.u64();
+                    e.outputs.emplace_back(idx, val);
+                }
+            }
+        }
+        inFlight.clear();
+        uint64_t nif = r.u64();
+        for (uint64_t i = 0; i < nif; ++i)
+            inFlight.insert(inFlight.end(), r.u64());
+        aqSeq = r.u64();
+        r.vec(aqComplete);
+        if (aqComplete.size() != cfg.numTiles)
+            throw SnapshotError("AQ-complete tile count mismatch");
+        inFlightTo.clear();
+        uint64_t nift = r.u64();
+        for (uint64_t i = 0; i < nift; ++i) {
+            TaskId task = r.u32();
+            uint64_t inst = r.u64();
+            uint32_t count = r.u32();
+            inFlightTo.emplace(InstKey{task, inst}, count);
+        }
+        for (auto &pp : parentPred) {
+            size_t expect = pp.size();
+            r.vec(pp);
+            if (pp.size() != expect)
+                throw SnapshotError(
+                    "parent-predictor shape mismatch");
+        }
+        r.vec(tileMinTs);
+        if (tileMinTs.size() != cfg.numTiles)
+            throw SnapshotError("tile-minima count mismatch");
+        tileMins.clear();
+        for (uint64_t v : tileMinTs)
+            tileMins.insert(v);
+        gateBlocked.clear();
+        uint64_t ngb = r.u64();
+        for (uint64_t i = 0; i < ngb; ++i)
+            gateBlocked.insert(r.u32());
+        prevGateMin = r.u64();
+        r.endSection();
+
+        r.section(kSecFunc);
+        for (size_t m = 0; m < memData.size(); ++m) {
+            r.vec(memData[m]);
+            if (memData[m].size() != nl.memories()[m].depth)
+                throw SnapshotError("memory depth mismatch");
+        }
+        r.vec(regState);
+        if (regState.size() != nl.regs().size())
+            throw SnapshotError("register count mismatch");
+        for (size_t t = 0; t < bufMem.size(); ++t) {
+            size_t slots = prog.tasks[t].carriedValues.size();
+            r.vec(bufMem[t]);
+            r.vec(bufMemValid[t]);
+            if (bufMem[t].size() != slots ||
+                bufMemValid[t].size() != slots)
+                throw SnapshotError("buffer-slot shape mismatch");
+        }
+        for (size_t t = 0; t < filters.size(); ++t) {
+            if (r.u64() != prog.tasks[t].pushes.size())
+                throw SnapshotError("filter shape mismatch");
+            for (auto &fv : filters[t])
+                r.vec(fv);
+            r.vec(filterValid[t]);
+            if (filterValid[t].size() !=
+                prog.tasks[t].pushes.size())
+                throw SnapshotError("filter-valid shape mismatch");
+        }
+        for (size_t t = 0; t < lastVals.size(); ++t) {
+            size_t slots = prog.tasks[t].directInputs.size();
+            r.vec(lastVals[t]);
+            r.vec(lastValsValid[t]);
+            if (lastVals[t].size() != slots ||
+                lastValsValid[t].size() != slots)
+                throw SnapshotError("last-value shape mismatch");
+        }
+        finalOutputs.clear();
+        uint64_t nfo = r.u64();
+        for (uint64_t i = 0; i < nfo; ++i) {
+            uint64_t cycle = r.u64();
+            uint32_t idx = r.u32();
+            uint64_t val = r.u64();
+            finalOutputs.emplace_hint(
+                finalOutputs.end(), std::make_pair(cycle, idx), val);
+        }
+        r.endSection();
+
+        r.section(kSecStats);
+        ckpt::restoreStats(r, stats);
+        lastSample = r.u64();
+        r.vec(tileDispatches);
+        r.vec(tileCommits);
+        r.vec(tileAborts);
+        if (tileDispatches.size() != cfg.numTiles ||
+            tileCommits.size() != cfg.numTiles ||
+            tileAborts.size() != cfg.numTiles)
+            throw SnapshotError("tile-counter count mismatch");
+        hot = HotStats{};
+        hot.tasksExecuted = r.u64();
+        hot.tasksCommitted = r.u64();
+        hot.instrs = r.u64();
+        hot.descsConsumed = r.u64();
+        hot.descsFiltered = r.u64();
+        hot.descsSent = r.u64();
+        hot.descBytes = r.u64();
+        hot.descsArrived = r.u64();
+        hot.warDiscarded = r.u64();
+        hot.stimulusDescs = r.u64();
+        hot.l1dAccesses = r.u64();
+        hot.l1iAccesses = r.u64();
+        hot.l1iMisses = r.u64();
+        hot.l2Accesses = r.u64();
+        hot.l2iMisses = r.u64();
+        hot.dramAccesses = r.u64();
+        hot.dramBytes = r.u64();
+        hot.aqSpills = r.u64();
+        hot.tcqFullStalls = r.u64();
+        hot.mergeEvictions = r.u64();
+        hot.commitRounds = r.u64();
+        hot.cancelMessages = r.u64();
+        hot.aborts = r.u64();
+        restoreHist(r, hot.taskLength);
+        restoreHist(r, hot.bundleDescs);
+        restoreHist(r, hot.abortDistance);
+        restoreHist(r, hot.aqDepth);
+        restoreHist(r, hot.tcqDepth);
+        restoreAccum(r, hot.aqOccupancy);
+        restoreAccum(r, hot.tcqOccupancy);
+        restoreAccum(r, hot.footprintBytes);
+        r.endSection();
+
+        // Per-dispatch scratch: stale stamps must never collide with
+        // the resumed epoch counters, and the recycled dispatch
+        // buffers start empty (their stale contents were capacity
+        // donors only).
+        std::fill(localStamp.begin(), localStamp.end(), 0);
+        std::fill(recvStamp.begin(), recvStamp.end(), 0);
+        recvNodes.clear();
+        dispatchBundle = Bundle{};
+        dispatchEntry = TcqEntry{};
+        frames.clear();   // Regenerated lazily from the stimulus.
+        restored = true;
+    }
+
+    // =====================================================================
     // Main loop
     // =====================================================================
 
     RunResult
-    run(Stimulus &stimulus, uint64_t design_cycles)
+    run(Stimulus &stimulus, uint64_t design_cycles,
+        ckpt::CycleHook *hook, ckpt::Snapshotter &self)
     {
         stim = &stimulus;
-        designCycles = design_cycles;
         // Stamp log output with the simulated chip cycle while the
         // run is in progress.
         LogCycleScope logCycle(
@@ -1893,13 +2580,27 @@ struct AshSimulator::Impl
                 return static_cast<const Impl *>(ctx)->now;
             },
             this);
-        bootstrap();
+        if (restored) {
+            // The serialized event heap already holds the bootstrap
+            // descriptors and the pending VtRound; re-seeding either
+            // would double-inject.
+            if (design_cycles != designCycles)
+                throw ckpt::SnapshotError(
+                    "restored run expects " +
+                    std::to_string(designCycles) +
+                    " design cycles, got " +
+                    std::to_string(design_cycles));
+        } else {
+            designCycles = design_cycles;
+            bootstrap();
 
-        Event vt;
-        vt.time = cfg.vtIntervalCycles;
-        vt.type = Event::Type::VtRound;
-        pushEvent(std::move(vt));
+            Event vt;
+            vt.time = cfg.vtIntervalCycles;
+            vt.type = Event::Type::VtRound;
+            pushEvent(std::move(vt));
+        }
 
+        uint64_t hookCycle = lastGvtCycle;
         uint64_t processed = 0;
         while (!events.empty() && !done) {
             Event ev = events.pop();
@@ -1923,6 +2624,13 @@ struct AshSimulator::Impl
             }
             if (cfg.selective)
                 wakeGateBlocked();
+            // Quiescent point: the event is fully applied and the
+            // global virtual time just advanced — fire the
+            // checkpoint hook with the committed design cycle.
+            if (hook && !done && lastGvtCycle > hookCycle) {
+                hookCycle = lastGvtCycle;
+                hook->onCycle(hookCycle, self);
+            }
         }
         ASH_ASSERT(done, "simulation deadlocked at cycle %llu",
                    static_cast<unsigned long long>(now));
@@ -2010,9 +2718,29 @@ AshSimulator::AshSimulator(const TaskProgram &prog,
 AshSimulator::~AshSimulator() = default;
 
 RunResult
-AshSimulator::run(refsim::Stimulus &stimulus, uint64_t design_cycles)
+AshSimulator::run(refsim::Stimulus &stimulus, uint64_t design_cycles,
+                  ckpt::CycleHook *hook)
 {
-    return _impl->run(stimulus, design_cycles);
+    return _impl->run(stimulus, design_cycles, hook, *this);
+}
+
+void
+AshSimulator::save(std::ostream &out) const
+{
+    ckpt::SnapshotWriter w(out, engineName(),
+                           ckpt::designFingerprint(_impl->nl),
+                           _impl->configHash());
+    _impl->saveState(w);
+}
+
+void
+AshSimulator::restore(std::istream &in)
+{
+    ckpt::SnapshotReader r(in);
+    r.require(engineName(), ckpt::designFingerprint(_impl->nl),
+              _impl->configHash());
+    _impl->restoreState(r);
+    r.expectEnd();
 }
 
 } // namespace ash::core

@@ -26,6 +26,7 @@
 
 #include <memory>
 
+#include "ckpt/Checkpoint.h"
 #include "common/Stats.h"
 #include "core/compiler/TaskGraph.h"
 #include "refsim/ReferenceSimulator.h"
@@ -122,14 +123,29 @@ struct RunResult
 };
 
 /** Execute a TaskProgram on the modeled ASH chip. */
-class AshSimulator
+class AshSimulator : public ckpt::Snapshotter
 {
   public:
     AshSimulator(const TaskProgram &prog, const ArchConfig &cfg);
     ~AshSimulator();
 
-    /** Run @p design_cycles simulated cycles fed by @p stimulus. */
-    RunResult run(refsim::Stimulus &stimulus, uint64_t design_cycles);
+    /**
+     * Run @p design_cycles simulated cycles fed by @p stimulus.
+     * After a restore() the run resumes mid-flight: @p design_cycles
+     * must equal the original run's, and @p stimulus must produce
+     * the same frames. @p hook, when set, fires each time the global
+     * virtual time advances to a new committed design cycle — the
+     * engine's quiescent point between events.
+     */
+    RunResult run(refsim::Stimulus &stimulus, uint64_t design_cycles,
+                  ckpt::CycleHook *hook = nullptr);
+
+    /// @name ckpt::Snapshotter
+    /// @{
+    void save(std::ostream &out) const override;
+    void restore(std::istream &in) override;
+    const char *engineName() const override { return "ash"; }
+    /// @}
 
   private:
     struct Impl;

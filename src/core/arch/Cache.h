@@ -94,6 +94,43 @@ class CacheModel
         scope.set("evictions", _evictions);
     }
 
+    /**
+     * Serialize mutable state (tags, LRU stamps, counters) into a
+     * ckpt::SnapshotWriter section. Geometry (_ways/_sets) is
+     * re-derived from the constructor config, so a restore into a
+     * same-config cache is exact; a geometry mismatch is rejected.
+     */
+    template <typename Writer>
+    void
+    saveState(Writer &w) const
+    {
+        w.u64(_sets);
+        w.u32(_ways);
+        w.vec(_tags);
+        w.vec(_lru);
+        w.u32(_stamp);
+        w.u64(_hits);
+        w.u64(_misses);
+        w.u64(_evictions);
+    }
+
+    template <typename Reader, typename Error>
+    void
+    restoreState(Reader &r)
+    {
+        if (r.u64() != _sets || r.u32() != _ways)
+            throw Error("cache geometry mismatch");
+        r.vec(_tags);
+        r.vec(_lru);
+        _stamp = r.u32();
+        _hits = r.u64();
+        _misses = r.u64();
+        _evictions = r.u64();
+        if (_tags.size() != _sets * _ways ||
+            _lru.size() != _sets * _ways)
+            throw Error("cache tag array size mismatch");
+    }
+
   private:
     unsigned _ways;
     unsigned _lineBytes;

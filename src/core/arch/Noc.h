@@ -40,6 +40,29 @@ class NocModel
     uint64_t messages() const { return _messages; }
     uint32_t dimX() const { return _dimX; }
 
+    /** Serialize mutable state; mesh dims re-derive from config. */
+    template <typename Writer>
+    void
+    saveState(Writer &w) const
+    {
+        w.vec(_linkFree);
+        w.u64(_flitHops);
+        w.u64(_messages);
+    }
+
+    template <typename Reader, typename Error>
+    void
+    restoreState(Reader &r)
+    {
+        std::vector<uint64_t> links;
+        r.vec(links);
+        if (links.size() != _linkFree.size())
+            throw Error("NoC link array size mismatch");
+        _linkFree = std::move(links);
+        _flitHops = r.u64();
+        _messages = r.u64();
+    }
+
   private:
     uint32_t tileX(uint32_t t) const { return t % _dimX; }
     uint32_t tileY(uint32_t t) const { return t / _dimX; }

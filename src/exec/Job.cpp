@@ -49,12 +49,40 @@ JobContext::current()
     return tlsCurrent;
 }
 
+double
+JobContext::publishedValue(const std::string &key, double def) const
+{
+    // Last wins, matching what a re-run of the body would leave in a
+    // plain variable the job assigned more than once.
+    double value = def;
+    for (const auto &[k, v] : _published) {
+        if (k == key)
+            value = v;
+    }
+    return value;
+}
+
+const StatSet *
+JobContext::publishedStats(const std::string &key) const
+{
+    const StatSet *found = nullptr;
+    for (const auto &[k, s] : _pubStats) {
+        if (k == key)
+            found = &s;
+    }
+    return found;
+}
+
 void
 JobContext::beginAttempt(int attempt)
 {
     _attempt = attempt;
     _records.clear();
     _stats.clear();
+    _published.clear();
+    _pubStats.clear();
+    _engineRuns = 0;
+    _replayed = false;
     // Distinct but deterministic stream per attempt: a retried job
     // must not replay the exact failure-correlated stream, yet two
     // hosts retrying the same job must agree.

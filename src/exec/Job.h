@@ -89,6 +89,53 @@ class JobContext
     }
 
     /**
+     * Stage one published value: a result the bench reads back from
+     * the context AFTER the sweep (table cells, per-system speeds).
+     * Unlike record(), published values never reach the report — but
+     * like records they are persisted for resumable jobs, so a job
+     * skipped on --resume replays them bit-exactly.
+     */
+    void
+    publish(const std::string &key, double value)
+    {
+        _published.emplace_back(key, value);
+    }
+
+    /** Stage a published StatSet under @p key (see publish()). */
+    void
+    publishStats(const std::string &key, const StatSet &stats)
+    {
+        _pubStats.emplace_back(key, stats);
+    }
+
+    /** Published values in publish() order; read after the sweep. */
+    const std::vector<std::pair<std::string, double>> &
+    published() const
+    {
+        return _published;
+    }
+
+    /** Published value by key (last wins), or @p def when absent. */
+    double publishedValue(const std::string &key,
+                          double def = 0.0) const;
+
+    /** Published StatSet by key (last wins), or nullptr. */
+    const StatSet *publishedStats(const std::string &key) const;
+
+    /**
+     * 0-based index of the next checkpointed engine run inside this
+     * job body, reset each attempt. Keys engine snapshot directories
+     * ("<job>#r<n>"), so a resumed process — whose job body replays
+     * the same deterministic sequence of engine runs — finds each
+     * run's images under the same key as the crashed process left
+     * them.
+     */
+    uint64_t nextEngineRun() { return _engineRuns++; }
+
+    /** True when resume skipped this job and replayed its output. */
+    bool replayed() const { return _replayed; }
+
+    /**
      * The job running on this thread, or nullptr outside a sweep.
      * Worker-thread substrate (bench::record, Logging) routes
      * through this.
@@ -106,8 +153,12 @@ class JobContext
     uint64_t _seed;
     Rng _rng;
     int _attempt = 0;
+    uint64_t _engineRuns = 0;
+    bool _replayed = false;
     std::vector<std::pair<std::string, double>> _records;
     std::vector<std::pair<std::string, StatSet>> _stats;
+    std::vector<std::pair<std::string, double>> _published;
+    std::vector<std::pair<std::string, StatSet>> _pubStats;
     std::unique_ptr<obs::Tracer> _tracer;   ///< Only while tracing.
 };
 

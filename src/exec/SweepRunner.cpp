@@ -1,15 +1,85 @@
 #include "exec/SweepRunner.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "ckpt/Checkpoint.h"
+#include "common/Json.h"
 #include "common/Logging.h"
 #include "exec/ThreadPool.h"
 #include "obs/Report.h"
 #include "obs/Trace.h"
 
+namespace fs = std::filesystem;
+
 namespace ash::exec {
 
-SweepRunner::SweepRunner(SweepOptions opts) : _opts(opts) {}
+namespace {
+
+// Persisted job results reuse the ckpt Snapshot container (CRC per
+// section, structured errors): engine name "sweep-job", the job key's
+// stableSeed as the fingerprint (so a file renamed onto another job
+// is rejected), and the layout version as the config hash.
+constexpr uint32_t kSecValues = 1;
+constexpr uint32_t kSecStats = 2;
+constexpr uint64_t kResultLayout = 1;
+
+void
+writeKvs(ckpt::SnapshotWriter &w,
+         const std::vector<std::pair<std::string, double>> &kvs)
+{
+    w.u64(kvs.size());
+    for (const auto &[key, value] : kvs) {
+        w.str(key);
+        w.f64(value);
+    }
+}
+
+void
+readKvs(ckpt::SnapshotReader &r,
+        std::vector<std::pair<std::string, double>> &out)
+{
+    out.clear();
+    uint64_t n = r.u64();
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        double value = r.f64();
+        out.emplace_back(std::move(key), value);
+    }
+}
+
+void
+writeStatsList(ckpt::SnapshotWriter &w,
+               const std::vector<std::pair<std::string, StatSet>> &list)
+{
+    w.u64(list.size());
+    for (const auto &[key, stats] : list) {
+        w.str(key);
+        ckpt::saveStats(w, stats);
+    }
+}
+
+void
+readStatsList(ckpt::SnapshotReader &r,
+              std::vector<std::pair<std::string, StatSet>> &out)
+{
+    out.clear();
+    uint64_t n = r.u64();
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        StatSet stats;
+        ckpt::restoreStats(r, stats);
+        out.emplace_back(std::move(key), std::move(stats));
+    }
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions opts) : _opts(std::move(opts)) {}
 
 SweepRunner::~SweepRunner() = default;
 
@@ -18,13 +88,197 @@ SweepRunner::add(std::string name,
                  std::function<void(JobContext &)> body)
 {
     ASH_ASSERT(!_ran, "SweepRunner::add after run()");
-    _jobs.push_back({std::move(name), std::move(body)});
+    _jobs.push_back({std::move(name), std::move(body), false});
+}
+
+void
+SweepRunner::addResumable(std::string name,
+                          std::function<void(JobContext &)> body)
+{
+    ASH_ASSERT(!_ran, "SweepRunner::addResumable after run()");
+    _jobs.push_back({std::move(name), std::move(body), true});
 }
 
 unsigned
 SweepRunner::resolvedJobs() const
 {
     return _opts.jobs != 0 ? _opts.jobs : hardwareConcurrency();
+}
+
+const JobContext &
+SweepRunner::job(size_t i) const
+{
+    ASH_ASSERT(_ran, "SweepRunner::job before run()");
+    ASH_ASSERT(i < _contexts.size());
+    return *_contexts[i];
+}
+
+std::string
+SweepRunner::jobsDir() const
+{
+    return (fs::path(_opts.checkpointDir) / "jobs").string();
+}
+
+std::string
+SweepRunner::manifestPath() const
+{
+    return (fs::path(_opts.checkpointDir) / "sweep-manifest.json")
+        .string();
+}
+
+void
+SweepRunner::loadManifest()
+{
+    std::ifstream in(manifestPath());
+    if (!in)
+        return;
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(text.str(), doc, &err)) {
+        warn("sweep manifest '%s' unreadable (%s); ignoring",
+             manifestPath().c_str(), err.c_str());
+        return;
+    }
+    if (doc["format"].string() != "ash-sweep-manifest" ||
+        doc["version"].asU64() != 1) {
+        warn("sweep manifest '%s' has unknown format/version; "
+             "ignoring",
+             manifestPath().c_str());
+        return;
+    }
+    for (const JsonValue &entry : doc["completed"].array()) {
+        if (entry["job"].isString() && entry["file"].isString())
+            _manifest[entry["job"].string()] =
+                entry["file"].string();
+    }
+}
+
+void
+SweepRunner::saveManifestLocked()
+{
+    JsonWriter j;
+    j.beginObject();
+    j.kv("format", "ash-sweep-manifest");
+    j.kv("version", uint64_t(1));
+    j.key("completed").beginArray();
+    for (const auto &[jobName, file] : _manifest) {
+        j.beginObject();
+        j.kv("job", jobName);
+        j.kv("file", file);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+
+    const std::string path = manifestPath();
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+        warn("cannot write sweep manifest '%s'", tmp.c_str());
+        return;
+    }
+    out << j.str() << "\n";
+    out.flush();
+    if (!out) {
+        warn("short write on sweep manifest '%s'", tmp.c_str());
+        return;
+    }
+    out.close();
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        warn("cannot publish sweep manifest '%s': %s", path.c_str(),
+             ec.message().c_str());
+}
+
+void
+SweepRunner::persistJob(size_t i)
+{
+    // Best effort: a persistence failure costs a re-run on resume,
+    // never the sweep itself.
+    const JobContext &ctx = *_contexts[i];
+    const std::string file =
+        ckpt::CheckpointManager::sanitizeKey(ctx.name()) + ".ashjob";
+    try {
+        fs::create_directories(jobsDir());
+        const std::string path =
+            (fs::path(jobsDir()) / file).string();
+        const std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out) {
+                warn("cannot write job results '%s'", tmp.c_str());
+                return;
+            }
+            ckpt::SnapshotWriter w(out, "sweep-job",
+                                   stableSeed(ctx.name()),
+                                   kResultLayout);
+            w.beginSection(kSecValues);
+            writeKvs(w, ctx._records);
+            writeKvs(w, ctx._published);
+            w.endSection();
+            w.beginSection(kSecStats);
+            writeStatsList(w, ctx._stats);
+            writeStatsList(w, ctx._pubStats);
+            w.endSection();
+            out.flush();
+            if (!out) {
+                warn("short write on job results '%s'", tmp.c_str());
+                return;
+            }
+        }
+        fs::rename(tmp, path);
+    } catch (const fs::filesystem_error &e) {
+        warn("cannot persist job '%s': %s", ctx.name().c_str(),
+             e.what());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(_manifestMutex);
+    _manifest[ctx.name()] = "jobs/" + file;
+    saveManifestLocked();
+}
+
+bool
+SweepRunner::replayJob(size_t i)
+{
+    JobContext &ctx = *_contexts[i];
+    auto it = _manifest.find(ctx.name());
+    if (it == _manifest.end())
+        return false;
+    std::ifstream in(fs::path(_opts.checkpointDir) / it->second,
+                     std::ios::binary);
+    if (!in) {
+        warn("resume: results file for job '%s' missing; re-running",
+             ctx.name().c_str());
+        return false;
+    }
+    try {
+        ckpt::SnapshotReader r(in);
+        r.require("sweep-job", stableSeed(ctx.name()), kResultLayout);
+        r.section(kSecValues);
+        readKvs(r, ctx._records);
+        readKvs(r, ctx._published);
+        r.endSection();
+        r.section(kSecStats);
+        readStatsList(r, ctx._stats);
+        readStatsList(r, ctx._pubStats);
+        r.endSection();
+        r.expectEnd();
+    } catch (const ckpt::SnapshotError &e) {
+        warn("resume: results for job '%s' unusable (%s); re-running",
+             ctx.name().c_str(), e.what());
+        ctx._records.clear();
+        ctx._stats.clear();
+        ctx._published.clear();
+        ctx._pubStats.clear();
+        return false;
+    }
+    ctx._replayed = true;
+    return true;
 }
 
 void
@@ -52,8 +306,11 @@ SweepRunner::executeJob(size_t i)
         setLogJobId(-1);
         detail::setCurrentJob(nullptr);
 
-        if (err.empty())
+        if (err.empty()) {
+            if (_jobs[i].resumable && !_opts.checkpointDir.empty())
+                persistJob(i);
             return;
+        }
         if (attempt + 1 < max_attempts) {
             warn("job '%s' attempt %d/%d failed: %s — retrying",
                  ctx.name().c_str(), attempt + 1, max_attempts,
@@ -81,6 +338,31 @@ SweepRunner::run()
             std::make_unique<JobContext>(_jobs[i].name, i));
     _failureSlots.resize(_jobs.size());
 
+    // Resume: load the manifest whenever persistence is on (so a
+    // repeated sweep extends it rather than clobbering it), and when
+    // asked, skip manifest-completed resumable jobs by replaying
+    // their persisted output into their contexts up front.
+    std::vector<char> skip(_jobs.size(), 0);
+    if (!_opts.checkpointDir.empty())
+        loadManifest();
+    if (_opts.resume && !_manifest.empty()) {
+        if (obs::Tracer::enabled()) {
+            inform("resume: event tracing is on; re-running all "
+                   "jobs (traces cannot be replayed)");
+        } else {
+            for (size_t i = 0; i < _jobs.size(); ++i) {
+                if (_jobs[i].resumable && replayJob(i)) {
+                    skip[i] = 1;
+                    ++_skipped;
+                }
+            }
+            if (_skipped != 0)
+                inform("resume: skipping %zu of %zu completed "
+                       "job(s)",
+                       _skipped, _jobs.size());
+        }
+    }
+
     const unsigned threads = std::min<size_t>(
         resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
     if (threads <= 1) {
@@ -88,11 +370,13 @@ SweepRunner::run()
         // JobContext plumbing, no thread handoff, so `--jobs 1` is
         // also the zero-risk fallback path.
         for (size_t i = 0; i < _jobs.size(); ++i)
-            executeJob(i);
+            if (!skip[i])
+                executeJob(i);
     } else {
         ThreadPool pool(threads);
         for (size_t i = 0; i < _jobs.size(); ++i)
-            pool.submit([this, i] { executeJob(i); });
+            if (!skip[i])
+                pool.submit([this, i] { executeJob(i); });
         pool.wait();
     }
 

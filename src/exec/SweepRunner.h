@@ -18,6 +18,14 @@
  *     a JobFailure entry in a structured report instead of tearing
  *     down the whole bench. Other jobs always run to completion.
  *
+ *  3. CRASH RESUMABILITY — with SweepOptions::checkpointDir set,
+ *     every completed addResumable() job persists its staged output
+ *     to disk (atomic tmp + rename, ckpt Snapshot binary format) and
+ *     registers in a sweep manifest. A re-run with resume=true skips
+ *     those jobs and replays their persisted output at the merge
+ *     barrier, so a sweep killed mid-flight finishes with the same
+ *     report bytes as one that never died.
+ *
  * Typical use:
  *
  *   exec::SweepRunner sweep(bench::sweepOptions());
@@ -31,6 +39,8 @@
 #define ASH_EXEC_SWEEPRUNNER_H
 
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,6 +56,24 @@ struct SweepOptions
 
     /** Total tries per job (1 = no retry). */
     int maxAttempts = 2;
+
+    /**
+     * Sweep checkpoint root; empty disables job persistence. When
+     * set, every completed addResumable() job writes its staged
+     * output (records, stats, published values — exact doubles, in
+     * the ckpt Snapshot format) to <dir>/jobs/<key>.ashjob and adds
+     * itself to <dir>/sweep-manifest.json, both atomically.
+     */
+    std::string checkpointDir;
+
+    /**
+     * Skip manifest-completed resumable jobs, replaying their
+     * persisted output at the merge barrier instead of re-running
+     * the body. The report (and --stats-json) stays byte-identical
+     * to an uninterrupted run. Ignored while event tracing is
+     * enabled — a trace cannot be replayed from a results file.
+     */
+    bool resume = false;
 };
 
 /** Deterministic parallel sweep executor; see file header. */
@@ -64,6 +92,16 @@ class SweepRunner
      * failure entries.
      */
     void add(std::string name, std::function<void(JobContext &)> body);
+
+    /**
+     * Enqueue a RESUMABLE job: one whose externally visible output
+     * flows entirely through ctx.record()/recordStats()/publish()/
+     * publishStats() — no captured-reference side effects — so a
+     * completed instance found in the sweep manifest can be skipped
+     * on resume and its persisted output replayed bit-exactly.
+     */
+    void addResumable(std::string name,
+                      std::function<void(JobContext &)> body);
 
     /** Jobs enqueued so far. */
     size_t jobCount() const { return _jobs.size(); }
@@ -84,21 +122,50 @@ class SweepRunner
     const std::vector<JobFailure> &failures() const
     { return _failures; }
 
+    /**
+     * Post-run: job @p i's context, holding its records and
+     * published output (replayed from disk when the job was skipped).
+     */
+    const JobContext &job(size_t i) const;
+
+    /** Jobs the completed run skipped via the resume manifest. */
+    size_t skippedJobs() const { return _skipped; }
+
   private:
     struct PendingJob
     {
         std::string name;
         std::function<void(JobContext &)> body;
+        bool resumable = false;
     };
 
     /** Run job @p i with retry; never throws. */
     void executeJob(size_t i);
+
+    /** Best-effort: persist job @p i's staged output + manifest. */
+    void persistJob(size_t i);
+
+    /** Load job @p i's persisted output into its context. */
+    bool replayJob(size_t i);
+
+    /** Merge <checkpointDir>/sweep-manifest.json into _manifest. */
+    void loadManifest();
+
+    /** Rewrite the manifest atomically; caller holds _manifestMutex. */
+    void saveManifestLocked();
+
+    std::string jobsDir() const;
+    std::string manifestPath() const;
 
     SweepOptions _opts;
     std::vector<PendingJob> _jobs;
     std::vector<std::unique_ptr<JobContext>> _contexts;
     std::vector<std::unique_ptr<JobFailure>> _failureSlots;
     std::vector<JobFailure> _failures;
+    /** Completed job key -> results file, relative to checkpointDir. */
+    std::map<std::string, std::string> _manifest;
+    std::mutex _manifestMutex;
+    size_t _skipped = 0;
     bool _ran = false;
 };
 

@@ -43,6 +43,7 @@ kindName(EventKind k)
       case EventKind::VtCommitRound: return "vt.round";
       case EventKind::RefCycle:      return "refsim.cycle";
       case EventKind::BaselineWave:  return "baseline.wave";
+      case EventKind::Checkpoint:    return "ckpt.snapshot";
     }
     return "unknown";
 }

@@ -61,6 +61,7 @@ enum class EventKind : uint8_t {
     VtCommitRound,  ///< Virtual-Time bulk-commit round (instant).
     RefCycle,       ///< Reference simulator evaluated one cycle.
     BaselineWave,   ///< Baseline executed one depth wave (duration).
+    Checkpoint,     ///< Snapshot saved (arg0=cycle) or restored (arg1=1).
 };
 
 /** Why a speculative instance was rolled back. */

@@ -302,15 +302,98 @@ ReferenceSimulator::outputFrame() const
 }
 
 OutputTrace
-ReferenceSimulator::run(Stimulus &stimulus, uint64_t cycles)
+ReferenceSimulator::run(Stimulus &stimulus, uint64_t cycles,
+                        ckpt::CycleHook *hook)
 {
     OutputTrace trace;
     trace.reserve(cycles);
     for (uint64_t c = 0; c < cycles; ++c) {
         step(stimulus);
         trace.push_back(outputFrame());
+        if (hook)
+            hook->onCycle(_cycle, *this);
     }
     return trace;
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Section tags of the refsim snapshot layout (version 1). */
+enum : uint32_t {
+    kSecState = 1,
+    kSecStats = 2,
+};
+
+} // namespace
+
+void
+ReferenceSimulator::save(std::ostream &out) const
+{
+    // refsim has no tunable engine config: its behavior is fully
+    // determined by the netlist, so the config hash is a constant.
+    ckpt::SnapshotWriter w(out, engineName(),
+                           ckpt::designFingerprint(_nl), 0);
+
+    w.beginSection(kSecState);
+    w.u64(_cycle);
+    w.f64(_activeCostSum);
+    w.vec(_values);
+    w.vec(_prevValues);
+    w.vec(_changed);
+    w.vec(_regState);
+    w.u64(_memState.size());
+    for (const std::vector<uint64_t> &mem : _memState)
+        w.vec(mem);
+    w.endSection();
+
+    w.beginSection(kSecStats);
+    ckpt::saveStats(w, _stats);
+    w.endSection();
+}
+
+void
+ReferenceSimulator::restore(std::istream &in)
+{
+    ckpt::SnapshotReader r(in);
+    r.require(engineName(), ckpt::designFingerprint(_nl), 0);
+
+    r.section(kSecState);
+    _cycle = r.u64();
+    _activeCostSum = r.f64();
+    r.vec(_values);
+    r.vec(_prevValues);
+    r.vec(_changed);
+    r.vec(_regState);
+    if (_values.size() != _nl.numNodes() ||
+        _prevValues.size() != _nl.numNodes() ||
+        _changed.size() != _nl.numNodes() ||
+        _regState.size() != _nl.regs().size())
+        throw ckpt::SnapshotError("refsim state size mismatch");
+    uint64_t mems = r.u64();
+    if (mems != _nl.memories().size())
+        throw ckpt::SnapshotError("refsim memory count mismatch");
+    _memState.resize(mems);
+    for (size_t m = 0; m < mems; ++m) {
+        r.vec(_memState[m]);
+        if (_memState[m].size() != _nl.memories()[m].depth)
+            throw ckpt::SnapshotError("refsim memory depth mismatch");
+    }
+    r.endSection();
+
+    r.section(kSecStats);
+    ckpt::restoreStats(r, _stats);
+    r.endSection();
+    r.expectEnd();
+
+    // Per-step scratch: rebuilt by the next step(), content-free in
+    // the image. Stamps restart at zero exactly as after reset().
+    _regScratch.assign(_regState.size(), 0);
+    std::fill(_activeStamp.begin(), _activeStamp.end(), 0);
+    _stampGen = 0;
 }
 
 double

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ckpt/Checkpoint.h"
 #include "common/Stats.h"
 #include "refsim/Stimulus.h"
 #include "rtl/Netlist.h"
@@ -33,7 +34,7 @@ using OutputFrame = std::vector<uint64_t>;
 using OutputTrace = std::vector<OutputFrame>;
 
 /** Levelized full-evaluation simulator over an rtl::Netlist. */
-class ReferenceSimulator
+class ReferenceSimulator : public ckpt::Snapshotter
 {
   public:
     explicit ReferenceSimulator(const rtl::Netlist &netlist);
@@ -41,8 +42,22 @@ class ReferenceSimulator
     /** Simulate one cycle, pulling inputs from @p stimulus. */
     void step(Stimulus &stimulus);
 
-    /** Run @p cycles cycles, recording outputs each cycle. */
-    OutputTrace run(Stimulus &stimulus, uint64_t cycles);
+    /**
+     * Run @p cycles further cycles, recording outputs each cycle.
+     * After a restore() this continues from the restored cycle and
+     * the returned trace covers only the tail. @p hook, when set,
+     * fires after every completed cycle with the absolute cycle
+     * number — the refsim quiescent point is any cycle boundary.
+     */
+    OutputTrace run(Stimulus &stimulus, uint64_t cycles,
+                    ckpt::CycleHook *hook = nullptr);
+
+    /// @name ckpt::Snapshotter
+    /// @{
+    void save(std::ostream &out) const override;
+    void restore(std::istream &in) override;
+    const char *engineName() const override { return "refsim"; }
+    /// @}
 
     /** Current value of any node (post-step). */
     uint64_t value(rtl::NodeId id) const { return _values[id]; }

@@ -32,11 +32,13 @@ sanitize(const std::string &name)
 } // namespace
 
 VcdWriter::VcdWriter(const rtl::Netlist &nl, std::ostream &out,
-                     const std::string &scope)
+                     const std::string &scope, bool append)
     : _nl(nl), _out(out)
 {
-    _out << "$timescale 1ns $end\n$scope module " << scope
-         << " $end\n";
+    if (!append) {
+        _out << "$timescale 1ns $end\n$scope module " << scope
+             << " $end\n";
+    }
     size_t index = 0;
     auto declare = [&](const std::string &name, rtl::NodeId node,
                        unsigned width) {
@@ -45,8 +47,10 @@ VcdWriter::VcdWriter(const rtl::Netlist &nl, std::ostream &out,
         sig.id = vcdId(index++);
         sig.node = node;
         sig.width = width;
-        _out << "$var wire " << width << " " << sig.id << " "
-             << sig.name << " $end\n";
+        if (!append) {
+            _out << "$var wire " << width << " " << sig.id << " "
+                 << sig.name << " $end\n";
+        }
         _signals.push_back(std::move(sig));
     };
     for (rtl::NodeId id : nl.inputs())
@@ -55,7 +59,30 @@ VcdWriter::VcdWriter(const rtl::Netlist &nl, std::ostream &out,
         declare(nl.outputName(id), id, nl.node(id).width);
     for (const rtl::RegInfo &reg : nl.regs())
         declare(reg.name, reg.node, nl.node(reg.node).width);
-    _out << "$upscope $end\n$enddefinitions $end\n";
+    if (!append)
+        _out << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::saveState(ckpt::SnapshotWriter &w) const
+{
+    w.u64(_signals.size());
+    for (const Signal &sig : _signals) {
+        w.u64(sig.last);
+        w.b(sig.first);
+    }
+}
+
+void
+VcdWriter::restoreState(ckpt::SnapshotReader &r)
+{
+    uint64_t n = r.u64();
+    if (n != _signals.size())
+        throw ckpt::SnapshotError("VCD signal count mismatch");
+    for (Signal &sig : _signals) {
+        sig.last = r.u64();
+        sig.first = r.b();
+    }
 }
 
 void

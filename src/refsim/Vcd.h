@@ -28,15 +28,29 @@ class VcdWriter
      * @param nl  The design (must outlive the writer).
      * @param out Stream receiving VCD text (must outlive the writer).
      * @param scope Module scope name in the dump.
+     * @param append Resume mode: the header ($timescale/$var/
+     *        $enddefinitions) was already written by a previous
+     *        writer and must NOT be re-emitted; @p out is expected
+     *        to be an append-opened stream. Pair with
+     *        restoreState() so change-dedup state carries over and
+     *        no timestamp or value line is duplicated.
      */
     VcdWriter(const rtl::Netlist &nl, std::ostream &out,
-              const std::string &scope = "top");
+              const std::string &scope = "top", bool append = false);
 
     /**
      * Record the state of @p sim after a step. Call once per
      * simulated cycle, in order.
      */
     void sample(const ReferenceSimulator &sim, uint64_t cycle);
+
+    /**
+     * Checkpoint the writer's dedup state (per-signal last emitted
+     * value + first-sample flag) so a restored run appending to the
+     * same file continues byte-identically to an uninterrupted one.
+     */
+    void saveState(ckpt::SnapshotWriter &w) const;
+    void restoreState(ckpt::SnapshotReader &r);
 
   private:
     struct Signal

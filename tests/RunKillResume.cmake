@@ -1,0 +1,77 @@
+# ctest driver: the crash-resume contract, end to end. Run a sweep
+# bench uninterrupted to get the golden stats JSON, run it again with
+# checkpointing and ASH_CKPT_DIE_AFTER so the process _exit(42)s
+# mid-run (the portable SIGKILL stand-in), then run a third time with
+# --resume and require the resumed stats JSON and stdout to be
+# byte-identical to the uninterrupted run's.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P RunKillResume.cmake
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(json "${WORKDIR}/stats.json")
+set(ckpt "${WORKDIR}/ckpt")
+
+# 1. Uninterrupted golden run.
+execute_process(COMMAND "${BENCH}" --jobs 4 --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_golden
+                ERROR_VARIABLE err_golden)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "golden run exited with ${rc}:\n${err_golden}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/stats_golden.json")
+file(WRITE "${WORKDIR}/stdout_golden.txt" "${out_golden}")
+
+# 2. Checkpointed run, killed after the 6th snapshot image write.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASH_CKPT_DIE_AFTER=6
+                        "${BENCH}" --jobs 4 --checkpoint-every 5
+                        --checkpoint-dir "${ckpt}"
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_killed
+                ERROR_VARIABLE err_killed)
+if(NOT rc EQUAL 42)
+    message(FATAL_ERROR "crash-injected run exited with ${rc} "
+                        "(wanted 42):\n${err_killed}")
+endif()
+if(NOT EXISTS "${ckpt}")
+    message(FATAL_ERROR "killed run left no checkpoint dir ${ckpt}")
+endif()
+
+# 3. Resume and finish.
+execute_process(COMMAND "${BENCH}" --jobs 4 --resume "${ckpt}"
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_resumed
+                ERROR_VARIABLE err_resumed)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed run exited with ${rc}:\n${err_resumed}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/stats_resumed.json")
+file(WRITE "${WORKDIR}/stdout_resumed.txt" "${out_resumed}")
+
+# The resumed run must NOT have started from scratch.
+if(NOT err_resumed MATCHES "resume" AND NOT out_resumed MATCHES "resume")
+    message(FATAL_ERROR "resumed run shows no sign of resuming "
+                        "(no 'resume' in its output)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/stats_golden.json"
+                        "${WORKDIR}/stats_resumed.json"
+                RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between uninterrupted and "
+                        "resumed runs (${WORKDIR}/stats_{golden,resumed}.json)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/stdout_golden.txt"
+                        "${WORKDIR}/stdout_resumed.txt"
+                RESULT_VARIABLE stdout_rc)
+if(NOT stdout_rc EQUAL 0)
+    message(FATAL_ERROR "stdout differs between uninterrupted and "
+                        "resumed runs (${WORKDIR}/stdout_{golden,resumed}.txt)")
+endif()

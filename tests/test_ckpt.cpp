@@ -1,0 +1,784 @@
+/**
+ * @file
+ * ash_ckpt test suite: the versioned snapshot format (corruption and
+ * version-mismatch rejection, never UB), bit-identical save/restore
+ * round trips for all three engines (refsim, DASH/SASH, baseline),
+ * the periodic CheckpointManager (retention, manifest, restore), the
+ * resumable-sweep layer of ash_exec, the jsonParse() DOM the
+ * manifests depend on, and a committed golden snapshot fixture that
+ * pins the on-disk format across code changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "baseline/Baseline.h"
+#include "ckpt/Checkpoint.h"
+#include "common/Json.h"
+#include "exec/SweepRunner.h"
+#include "tests/TestUtil.h"
+
+namespace fs = std::filesystem;
+
+namespace ash {
+namespace {
+
+// ============================================================================
+// Helpers
+// ============================================================================
+
+/** Fresh, empty scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("ash_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** The mixed reg/mem/logic fixture everything here simulates. */
+rtl::Netlist
+fixtureNetlist()
+{
+    return verilog::compileVerilog(test::mixedFixture(), "top");
+}
+
+/** Hook that saves one image the first time @p cycle is reached. */
+struct SaveAt : ckpt::CycleHook
+{
+    uint64_t at;
+    uint64_t savedCycle = 0;
+    std::string image;
+    explicit SaveAt(uint64_t cycle) : at(cycle) {}
+    void
+    onCycle(uint64_t cycle, ckpt::Snapshotter &sim) override
+    {
+        if (cycle >= at && image.empty()) {
+            std::ostringstream os;
+            sim.save(os);
+            image = os.str();
+            savedCycle = cycle;
+        }
+    }
+};
+
+/** Bit-exact StatSet comparison via the shared serializer. */
+std::string
+statBytes(const StatSet &stats)
+{
+    std::ostringstream os;
+    ckpt::SnapshotWriter w(os, "stats", 0, 0);
+    w.beginSection(1);
+    ckpt::saveStats(w, stats);
+    w.endSection();
+    return os.str();
+}
+
+/** A small complete snapshot image for format-level tests. */
+std::string
+sampleImage()
+{
+    std::ostringstream os;
+    ckpt::SnapshotWriter w(os, "refsim", 0x1234, 0x5678);
+    w.beginSection(7);
+    w.u64(42);
+    w.str("hello");
+    w.f64(2.5);
+    w.endSection();
+    w.beginSection(8);
+    w.u32(9);
+    w.endSection();
+    return os.str();
+}
+
+// ============================================================================
+// Snapshot format
+// ============================================================================
+
+TEST(SnapshotFormat, RoundTripsAllFieldTypes)
+{
+    std::ostringstream os;
+    ckpt::SnapshotWriter w(os, "engine", 11, 22);
+    w.beginSection(1);
+    w.u8(200);
+    w.u32(123456);
+    w.u64(~0ull);
+    w.i64(-5);
+    w.f64(-0.1);
+    w.b(true);
+    w.str("snapshot");
+    std::vector<uint32_t> v{1, 2, 3};
+    w.vec(v);
+    w.endSection();
+
+    std::istringstream is(os.str());
+    ckpt::SnapshotReader r(is);
+    EXPECT_EQ(r.version(), ckpt::kSnapshotVersion);
+    EXPECT_EQ(r.engine(), "engine");
+    r.require("engine", 11, 22);
+    r.section(1);
+    EXPECT_EQ(r.u8(), 200);
+    EXPECT_EQ(r.u32(), 123456u);
+    EXPECT_EQ(r.u64(), ~0ull);
+    EXPECT_EQ(r.i64(), -5);
+    EXPECT_EQ(r.f64(), -0.1);
+    EXPECT_TRUE(r.b());
+    EXPECT_EQ(r.str(), "snapshot");
+    std::vector<uint32_t> got;
+    r.vec(got);
+    EXPECT_EQ(got, v);
+    r.endSection();
+    r.expectEnd();
+}
+
+TEST(SnapshotFormat, RejectsBadMagic)
+{
+    std::string img = sampleImage();
+    img[0] = 'X';
+    std::istringstream is(img);
+    EXPECT_THROW(ckpt::SnapshotReader r(is), ckpt::SnapshotError);
+}
+
+TEST(SnapshotFormat, RejectsVersionMismatch)
+{
+    std::string img = sampleImage();
+    img[8] = static_cast<char>(0xEE);   // u32 version after magic.
+    std::istringstream is(img);
+    EXPECT_THROW(ckpt::SnapshotReader r(is), ckpt::SnapshotError);
+}
+
+TEST(SnapshotFormat, RejectsCorruptedSectionPayload)
+{
+    std::string img = sampleImage();
+    // Flip one payload byte of the first section; its CRC must trip
+    // before any field is readable.
+    size_t headerEnd = 8 + 4 + 8 + 6 + 8 + 8;   // "refsim" = 6 chars.
+    img[headerEnd + 12 + 3] ^= 0x40;
+    std::istringstream is(img);
+    ckpt::SnapshotReader r(is);
+    EXPECT_THROW(r.section(7), ckpt::SnapshotError);
+}
+
+TEST(SnapshotFormat, RejectsTruncation)
+{
+    std::string img = sampleImage();
+    std::istringstream is(img.substr(0, img.size() - 9));
+    ckpt::SnapshotReader r(is);
+    r.section(7);   // First section is intact.
+    r.u64();
+    r.str();
+    r.f64();
+    r.endSection();
+    EXPECT_THROW(r.section(8), ckpt::SnapshotError);
+}
+
+TEST(SnapshotFormat, RequireChecksHeaderFields)
+{
+    std::string img = sampleImage();
+    std::istringstream is(img);
+    ckpt::SnapshotReader r(is);
+    EXPECT_THROW(r.require("ash", 0x1234, 0x5678),
+                 ckpt::SnapshotError);
+    EXPECT_THROW(r.require("refsim", 0x9999, 0x5678),
+                 ckpt::SnapshotError);
+    EXPECT_THROW(r.require("refsim", 0x1234, 0x9999),
+                 ckpt::SnapshotError);
+    r.require("refsim", 0x1234, 0x5678);
+}
+
+TEST(SnapshotFormat, EndSectionDetectsUnreadPayload)
+{
+    std::string img = sampleImage();
+    std::istringstream is(img);
+    ckpt::SnapshotReader r(is);
+    r.section(7);
+    r.u64();   // Leave the string and double unread.
+    EXPECT_THROW(r.endSection(), ckpt::SnapshotError);
+}
+
+TEST(SnapshotFormat, ExpectEndRejectsTrailingSections)
+{
+    std::string img = sampleImage();
+    std::istringstream is(img);
+    ckpt::SnapshotReader r(is);
+    r.section(7);
+    r.u64();
+    r.str();
+    r.f64();
+    r.endSection();
+    EXPECT_THROW(r.expectEnd(), ckpt::SnapshotError);
+}
+
+// ============================================================================
+// Engine round trips
+// ============================================================================
+
+TEST(EngineCkpt, RefsimResumeMatchesUninterrupted)
+{
+    rtl::Netlist nl = fixtureNetlist();
+
+    test::FnStimulus stimA(test::mixedStimulus(4));
+    refsim::ReferenceSimulator simA(nl);
+    refsim::OutputTrace golden = simA.run(stimA, 20);
+
+    // Run 8 cycles, snapshot, restore into a FRESH simulator, and
+    // run the remaining 12: the tail trace and the final state must
+    // be bit-identical to the uninterrupted run's.
+    test::FnStimulus stimB(test::mixedStimulus(4));
+    refsim::ReferenceSimulator simB(nl);
+    refsim::OutputTrace head = simB.run(stimB, 8);
+    std::ostringstream image;
+    simB.save(image);
+
+    refsim::ReferenceSimulator simC(nl);
+    std::istringstream in(image.str());
+    simC.restore(in);
+    EXPECT_EQ(simC.stateHash(), simB.stateHash());
+
+    test::FnStimulus stimC(test::mixedStimulus(4));
+    refsim::OutputTrace tail = simC.run(stimC, 12);
+
+    ASSERT_EQ(head.size() + tail.size(), golden.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        EXPECT_EQ(head[c], golden[c]) << "head cycle " << c;
+    for (size_t c = 0; c < tail.size(); ++c)
+        EXPECT_EQ(tail[c], golden[head.size() + c])
+            << "tail cycle " << c;
+    EXPECT_EQ(simC.stateHash(), simA.stateHash());
+}
+
+/** Mid-run snapshot/resume equivalence for the ASH chip model. */
+void
+checkAshResume(bool selective)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    core::CompilerOptions copts;
+    copts.numTiles = 4;
+    copts.maxTaskCost = 6;
+    core::TaskProgram prog = core::compile(nl, copts);
+    core::ArchConfig cfg;
+    cfg.numTiles = 4;
+    cfg.selective = selective;
+    constexpr uint64_t kCycles = 30;
+
+    test::FnStimulus stimA(test::mixedStimulus(4));
+    core::AshSimulator simA(prog, cfg);
+    SaveAt hook(10);
+    core::RunResult resA = simA.run(stimA, kCycles, &hook);
+    ASSERT_FALSE(hook.image.empty());
+
+    core::AshSimulator simB(prog, cfg);
+    std::istringstream in(hook.image);
+    simB.restore(in);
+    test::FnStimulus stimB(test::mixedStimulus(4));
+    core::RunResult resB = simB.run(stimB, kCycles);
+
+    EXPECT_EQ(resB.outputs, resA.outputs);
+    EXPECT_EQ(resB.chipCycles, resA.chipCycles);
+    EXPECT_EQ(resB.designCycles, resA.designCycles);
+    EXPECT_EQ(statBytes(resB.stats), statBytes(resA.stats));
+    EXPECT_EQ(simB.stateHash(), simA.stateHash());
+}
+
+TEST(EngineCkpt, DashResumeMatchesUninterrupted)
+{
+    checkAshResume(false);
+}
+
+TEST(EngineCkpt, SashResumeMatchesUninterrupted)
+{
+    checkAshResume(true);
+}
+
+TEST(EngineCkpt, AshRestoreRejectsWrongRunLength)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    core::CompilerOptions copts;
+    copts.numTiles = 4;
+    copts.maxTaskCost = 6;
+    core::TaskProgram prog = core::compile(nl, copts);
+    core::ArchConfig cfg;
+    cfg.numTiles = 4;
+
+    test::FnStimulus stimA(test::mixedStimulus(4));
+    core::AshSimulator simA(prog, cfg);
+    SaveAt hook(10);
+    simA.run(stimA, 30, &hook);
+
+    core::AshSimulator simB(prog, cfg);
+    std::istringstream in(hook.image);
+    simB.restore(in);
+    test::FnStimulus stimB(test::mixedStimulus(4));
+    EXPECT_THROW(simB.run(stimB, 40), ckpt::SnapshotError);
+}
+
+TEST(EngineCkpt, AshRestoreRejectsConfigMismatch)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    core::CompilerOptions copts;
+    copts.numTiles = 4;
+    copts.maxTaskCost = 6;
+    core::TaskProgram prog = core::compile(nl, copts);
+    core::ArchConfig cfg;
+    cfg.numTiles = 4;
+
+    test::FnStimulus stim(test::mixedStimulus(4));
+    core::AshSimulator simA(prog, cfg);
+    SaveAt hook(10);
+    simA.run(stim, 30, &hook);
+
+    core::ArchConfig other = cfg;
+    other.selective = !cfg.selective;
+    core::AshSimulator simB(prog, other);
+    std::istringstream in(hook.image);
+    EXPECT_THROW(simB.restore(in), ckpt::SnapshotError);
+}
+
+TEST(EngineCkpt, BaselineResumeMatchesUninterrupted)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    baseline::HostConfig host = baseline::simBaselineHost(4);
+
+    baseline::BaselineSimulator simA(nl, host);
+    SaveAt hook(7);
+    baseline::BaselineResult resA = simA.run(&hook);
+    ASSERT_FALSE(hook.image.empty());
+
+    baseline::BaselineSimulator simB(nl, host);
+    std::istringstream in(hook.image);
+    simB.restore(in);
+    baseline::BaselineResult resB = simB.run();
+
+    EXPECT_EQ(resB.cyclesPerDesignCycle, resA.cyclesPerDesignCycle);
+    EXPECT_EQ(resB.speedKHz, resA.speedKHz);
+    EXPECT_EQ(resB.tasks, resA.tasks);
+    EXPECT_EQ(resB.parallelism, resA.parallelism);
+    EXPECT_EQ(statBytes(resB.stats), statBytes(resA.stats));
+}
+
+TEST(EngineCkpt, StateHashIsStateSensitive)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    refsim::ReferenceSimulator a(nl), b(nl), c(nl);
+    test::FnStimulus s1(test::mixedStimulus(4));
+    test::FnStimulus s2(test::mixedStimulus(4));
+    test::FnStimulus s3(test::mixedStimulus(5));
+    a.run(s1, 10);
+    b.run(s2, 10);
+    c.run(s3, 10);
+    EXPECT_EQ(a.stateHash(), b.stateHash());
+    EXPECT_NE(a.stateHash(), c.stateHash());
+}
+
+TEST(EngineCkpt, RestoreRejectsCrossEngineImage)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    refsim::ReferenceSimulator ref(nl);
+    test::FnStimulus stim(test::mixedStimulus(4));
+    ref.run(stim, 5);
+    std::ostringstream image;
+    ref.save(image);
+
+    baseline::BaselineSimulator base(nl,
+                                     baseline::simBaselineHost(2));
+    std::istringstream in(image.str());
+    EXPECT_THROW(base.restore(in), ckpt::SnapshotError);
+}
+
+// ============================================================================
+// CheckpointManager
+// ============================================================================
+
+TEST(CheckpointManager, PeriodicRetentionManifestAndRestore)
+{
+    std::string dir = scratchDir("ckpt_mgr");
+    rtl::Netlist nl = fixtureNetlist();
+
+    test::FnStimulus stimA(test::mixedStimulus(4));
+    refsim::ReferenceSimulator simA(nl);
+    refsim::OutputTrace golden = simA.run(stimA, 30);
+
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    opts.keep = 2;
+    {
+        ckpt::CheckpointManager mgr(opts, "test/run");
+        test::FnStimulus stim(test::mixedStimulus(4));
+        refsim::ReferenceSimulator sim(nl);
+        sim.run(stim, 30, &mgr);
+
+        // keep=2: exactly the last two images survive.
+        size_t images = 0;
+        for (auto &e : fs::directory_iterator(mgr.keyDir()))
+            images += e.path().extension() == ".ashckpt";
+        EXPECT_EQ(images, 2u);
+
+        std::ifstream mf(fs::path(mgr.keyDir()) / "manifest.json");
+        ASSERT_TRUE(mf.good());
+        std::stringstream text;
+        text << mf.rdbuf();
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(jsonParse(text.str(), doc, &err)) << err;
+        EXPECT_EQ(doc["format"].string(), "ash-ckpt-manifest");
+        EXPECT_EQ(doc["key"].string(), "test/run");
+        ASSERT_EQ(doc["images"].array().size(), 2u);
+        EXPECT_EQ(doc["images"].at(0)["cycle"].asU64(), 25u);
+        EXPECT_EQ(doc["images"].at(1)["cycle"].asU64(), 30u);
+        // Hashes are hex strings: a u64 above 2^53 would be rounded
+        // by the double-backed JSON number path.
+        EXPECT_TRUE(doc["images"].at(0)["state_hash"].isString());
+    }
+
+    // Restore the newest image into a fresh simulator and finish an
+    // interrupted 40-cycle run; the tail must extend the golden run.
+    ckpt::CheckpointManager mgr(opts, "test/run");
+    refsim::ReferenceSimulator simB(nl);
+    ASSERT_TRUE(mgr.tryRestoreLatest(simB));
+    EXPECT_EQ(mgr.resumedCycle(), 30u);
+    test::FnStimulus stimB(test::mixedStimulus(4));
+    refsim::OutputTrace tail = simB.run(stimB, 5);
+    test::FnStimulus stimC(test::mixedStimulus(4));
+    refsim::OutputTrace goldenFull = simA.run(stimC, 5);
+    EXPECT_EQ(tail, goldenFull);
+}
+
+TEST(CheckpointManager, FallsBackToOlderImageOnCorruption)
+{
+    std::string dir = scratchDir("ckpt_fallback");
+    rtl::Netlist nl = fixtureNetlist();
+
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    opts.keep = 3;
+    {
+        ckpt::CheckpointManager mgr(opts, "fb");
+        test::FnStimulus stim(test::mixedStimulus(4));
+        refsim::ReferenceSimulator sim(nl);
+        sim.run(stim, 20, &mgr);
+    }
+
+    // Corrupt the newest image mid-payload.
+    fs::path newest = fs::path(dir) / "fb" / "ckpt-20.ashckpt";
+    {
+        std::fstream f(newest,
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(200);
+        char byte = 0;
+        f.read(&byte, 1);
+        f.seekp(200);
+        byte ^= 0x10;
+        f.write(&byte, 1);
+    }
+
+    ckpt::CheckpointManager mgr(opts, "fb");
+    refsim::ReferenceSimulator sim(nl);
+    ASSERT_TRUE(mgr.tryRestoreLatest(sim));
+    EXPECT_EQ(mgr.resumedCycle(), 15u);
+}
+
+TEST(CheckpointManager, ReturnsFalseWithoutImages)
+{
+    std::string dir = scratchDir("ckpt_empty");
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    ckpt::CheckpointManager mgr(opts, "none");
+    rtl::Netlist nl = fixtureNetlist();
+    refsim::ReferenceSimulator sim(nl);
+    EXPECT_FALSE(mgr.tryRestoreLatest(sim));
+}
+
+TEST(CheckpointManager, SanitizesKeys)
+{
+    EXPECT_EQ(ckpt::CheckpointManager::sanitizeKey(
+                  "table5/gcd/ash#r0"),
+              "table5_gcd_ash_r0");
+    EXPECT_EQ(ckpt::CheckpointManager::sanitizeKey(""), "run");
+}
+
+// ============================================================================
+// Resumable sweeps (ash_exec integration)
+// ============================================================================
+
+TEST(ExecResume, SkipsCompletedResumableJobs)
+{
+    std::string dir = scratchDir("exec_resume");
+    int runs = 0;
+    auto body = [&runs](exec::JobContext &ctx) {
+        ++runs;
+        ctx.publish("khz", 1.25 + static_cast<double>(ctx.index()));
+        StatSet stats;
+        stats.inc("tasks", 3 + ctx.index());
+        ctx.publishStats("stats", stats);
+    };
+
+    {
+        exec::SweepOptions opts;
+        opts.jobs = 1;
+        opts.checkpointDir = dir;
+        exec::SweepRunner sweep(opts);
+        sweep.addResumable("er/a", body);
+        sweep.addResumable("er/b", body);
+        sweep.add("er/c", body);
+        EXPECT_TRUE(sweep.run().empty());
+        EXPECT_EQ(runs, 3);
+        EXPECT_EQ(sweep.job(1).publishedValue("khz"), 2.25);
+    }
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "sweep-manifest.json"));
+    EXPECT_TRUE(fs::exists(fs::path(dir) / "jobs" / "er_a.ashjob"));
+
+    {
+        exec::SweepOptions opts;
+        opts.jobs = 1;
+        opts.checkpointDir = dir;
+        opts.resume = true;
+        exec::SweepRunner sweep(opts);
+        sweep.addResumable("er/a", body);
+        sweep.addResumable("er/b", body);
+        sweep.add("er/c", body);
+        EXPECT_TRUE(sweep.run().empty());
+        // Only the non-resumable job re-ran.
+        EXPECT_EQ(runs, 4);
+        EXPECT_EQ(sweep.skippedJobs(), 2u);
+        EXPECT_TRUE(sweep.job(0).replayed());
+        EXPECT_TRUE(sweep.job(1).replayed());
+        EXPECT_FALSE(sweep.job(2).replayed());
+        // Replayed output is bit-identical to the original run's.
+        EXPECT_EQ(sweep.job(0).publishedValue("khz"), 1.25);
+        EXPECT_EQ(sweep.job(1).publishedValue("khz"), 2.25);
+        const StatSet *stats = sweep.job(1).publishedStats("stats");
+        ASSERT_NE(stats, nullptr);
+        EXPECT_EQ(stats->get("tasks"), 4u);
+    }
+}
+
+TEST(ExecResume, CorruptResultsFileTriggersRerun)
+{
+    std::string dir = scratchDir("exec_corrupt");
+    int runs = 0;
+    auto body = [&runs](exec::JobContext &ctx) {
+        ++runs;
+        ctx.publish("v", 7.5);
+    };
+    {
+        exec::SweepOptions opts;
+        opts.jobs = 1;
+        opts.checkpointDir = dir;
+        exec::SweepRunner sweep(opts);
+        sweep.addResumable("cr/a", body);
+        sweep.run();
+        EXPECT_EQ(runs, 1);
+    }
+
+    fs::path file = fs::path(dir) / "jobs" / "cr_a.ashjob";
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekg(40);
+        char byte = 0;
+        f.read(&byte, 1);
+        f.seekp(40);
+        byte = static_cast<char>(byte ^ 0x5a);
+        f.write(&byte, 1);
+    }
+
+    exec::SweepOptions opts;
+    opts.jobs = 1;
+    opts.checkpointDir = dir;
+    opts.resume = true;
+    exec::SweepRunner sweep(opts);
+    sweep.addResumable("cr/a", body);
+    sweep.run();
+    EXPECT_EQ(runs, 2);   // Graceful: corrupt file = re-run, not UB.
+    EXPECT_EQ(sweep.skippedJobs(), 0u);
+    EXPECT_EQ(sweep.job(0).publishedValue("v"), 7.5);
+}
+
+TEST(ExecResume, FailedJobsAreNotPersisted)
+{
+    std::string dir = scratchDir("exec_failed");
+    {
+        exec::SweepOptions opts;
+        opts.jobs = 1;
+        opts.maxAttempts = 1;
+        opts.checkpointDir = dir;
+        exec::SweepRunner sweep(opts);
+        sweep.addResumable("ff/x", [](exec::JobContext &) {
+            throw std::runtime_error("boom");
+        });
+        EXPECT_EQ(sweep.run().size(), 1u);
+    }
+    // A failed job must re-run on resume, not replay a half-result.
+    int runs = 0;
+    exec::SweepOptions opts;
+    opts.jobs = 1;
+    opts.checkpointDir = dir;
+    opts.resume = true;
+    exec::SweepRunner sweep(opts);
+    sweep.addResumable("ff/x",
+                       [&runs](exec::JobContext &) { ++runs; });
+    sweep.run();
+    EXPECT_EQ(runs, 1);
+    EXPECT_EQ(sweep.skippedJobs(), 0u);
+}
+
+// ============================================================================
+// jsonParse (the DOM the manifests are read with)
+// ============================================================================
+
+TEST(JsonParse, ParsesManifestShapedDocument)
+{
+    const char *text = R"({
+      "format": "ash-sweep-manifest",
+      "version": 1,
+      "completed": [
+        {"job": "a/b", "file": "jobs/a_b.ashjob"},
+        {"job": "c", "file": "jobs/c.ashjob"}
+      ],
+      "extra": [true, false, null, -2.5e1, "A\n"]
+    })";
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(text, doc, &err)) << err;
+    EXPECT_EQ(doc["format"].string(), "ash-sweep-manifest");
+    EXPECT_EQ(doc["version"].asU64(), 1u);
+    ASSERT_EQ(doc["completed"].array().size(), 2u);
+    EXPECT_EQ(doc["completed"].at(1)["job"].string(), "c");
+    const JsonValue &extra = doc["extra"];
+    EXPECT_TRUE(extra.at(0).boolean());
+    EXPECT_FALSE(extra.at(1).boolean());
+    EXPECT_TRUE(extra.at(2).isNull());
+    EXPECT_EQ(extra.at(3).number(), -25.0);
+    EXPECT_EQ(extra.at(4).string(), "A\n");
+    // Absent keys and out-of-range indices are null sentinels.
+    EXPECT_TRUE(doc["missing"].isNull());
+    EXPECT_TRUE(extra.at(99).isNull());
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    EXPECT_FALSE(jsonParse("", v));
+    EXPECT_FALSE(jsonParse("{", v));
+    EXPECT_FALSE(jsonParse("{\"a\": }", v));
+    EXPECT_FALSE(jsonParse("[1, 2,]", v));
+    EXPECT_FALSE(jsonParse("{} trailing", v));
+    EXPECT_FALSE(jsonParse("\"unterminated", v));
+    std::string err;
+    EXPECT_FALSE(jsonParse("[1, x]", v, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("name", "a \"quoted\" key\n");
+    w.kv("count", uint64_t(123));
+    w.key("items").beginArray();
+    w.value(1.5);
+    w.value(false);
+    w.endArray();
+    w.endObject();
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(jsonParse(w.str(), doc, &err)) << err;
+    EXPECT_EQ(doc["name"].string(), "a \"quoted\" key\n");
+    EXPECT_EQ(doc["count"].asU64(), 123u);
+    EXPECT_EQ(doc["items"].at(0).number(), 1.5);
+}
+
+// ============================================================================
+// Golden snapshot fixture
+// ============================================================================
+
+/**
+ * The committed fixture pins the on-disk format: a refsim image of
+ * the mixed fixture after 10 cycles of mixedStimulus(4). Regenerate
+ * (after an INTENTIONAL format bump) with:
+ *   ASH_WRITE_GOLDEN_SNAPSHOT=1 ./ash_tests \
+ *       --gtest_filter=GoldenSnapshot.LoadsAndResumes
+ */
+std::string
+goldenPath()
+{
+    return std::string(ASH_TESTS_DIR) +
+           "/golden/refsim_mixed.ashckpt";
+}
+
+TEST(GoldenSnapshot, LoadsAndResumes)
+{
+    rtl::Netlist nl = fixtureNetlist();
+    if (std::getenv("ASH_WRITE_GOLDEN_SNAPSHOT")) {
+        refsim::ReferenceSimulator sim(nl);
+        test::FnStimulus stim(test::mixedStimulus(4));
+        sim.run(stim, 10);
+        fs::create_directories(
+            fs::path(goldenPath()).parent_path());
+        std::ofstream out(goldenPath(),
+                          std::ios::binary | std::ios::trunc);
+        sim.save(out);
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "wrote " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden fixture " << goldenPath();
+    refsim::ReferenceSimulator sim(nl);
+    sim.restore(in);
+
+    // The fixture must resume exactly where cycle 10 of the live
+    // run left off.
+    refsim::ReferenceSimulator live(nl);
+    test::FnStimulus stimLive(test::mixedStimulus(4));
+    refsim::OutputTrace golden = live.run(stimLive, 15);
+    test::FnStimulus stimTail(test::mixedStimulus(4));
+    refsim::OutputTrace tail = sim.run(stimTail, 5);
+    ASSERT_EQ(tail.size(), 5u);
+    for (size_t c = 0; c < 5; ++c)
+        EXPECT_EQ(tail[c], golden[10 + c]) << "tail cycle " << c;
+    EXPECT_EQ(sim.stateHash(), live.stateHash());
+}
+
+TEST(GoldenSnapshot, RejectsVersionMismatch)
+{
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string img = buf.str();
+    img[8] = static_cast<char>(0x7f);   // Version u32 after magic.
+    std::istringstream is(img);
+    rtl::Netlist nl = fixtureNetlist();
+    refsim::ReferenceSimulator sim(nl);
+    EXPECT_THROW(sim.restore(is), ckpt::SnapshotError);
+}
+
+TEST(GoldenSnapshot, RejectsCorruptedCrc)
+{
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string img = buf.str();
+    img[img.size() / 2] ^= 0x01;   // Payload bit flip.
+    std::istringstream is(img);
+    rtl::Netlist nl = fixtureNetlist();
+    refsim::ReferenceSimulator sim(nl);
+    EXPECT_THROW(sim.restore(is), ckpt::SnapshotError);
+}
+
+} // namespace
+} // namespace ash

@@ -250,3 +250,96 @@ TEST(EventHeap, RecyclesPayloadSlots)
     EXPECT_EQ(heap.pop().front(), 9);
     EXPECT_TRUE(heap.empty());
 }
+
+/**
+ * The two tie policies are genuinely different orders: on a
+ * tie-heavy workload both pop time-sorted sequences, but the
+ * equal-time order diverges (Compat follows heap layout, Fifo
+ * follows insertion). Guards against a refactor quietly collapsing
+ * the policies into one.
+ */
+TEST(EventHeap, CompatAndFifoDivergeOnTies)
+{
+    EventHeap<uint32_t, TiePolicy::Compat> compat;
+    EventHeap<uint32_t, TiePolicy::Fifo> fifo;
+    Rng rng(31);
+    std::vector<uint32_t> compatOrder, fifoOrder;
+    auto drain = [&](auto &heap, std::vector<uint32_t> &order,
+                     int n) {
+        uint64_t last = 0;
+        for (int i = 0; i < n && !heap.empty(); ++i) {
+            uint64_t t = heap.topTime();
+            ASSERT_GE(t, last);   // Time order always holds.
+            last = t;
+            order.push_back(heap.pop());
+        }
+    };
+    uint32_t id = 0;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 30; ++i) {
+            // Only 4 distinct times: ties everywhere.
+            uint64_t t = rng.below(4);
+            compat.push(t, id);
+            fifo.push(t, id);
+            ++id;
+        }
+        drain(compat, compatOrder, 20);
+        drain(fifo, fifoOrder, 20);
+    }
+    drain(compat, compatOrder, 1 << 20);
+    drain(fifo, fifoOrder, 1 << 20);
+    ASSERT_EQ(compatOrder.size(), fifoOrder.size());
+    // Same multiset of events, different sequence.
+    EXPECT_NE(compatOrder, fifoOrder);
+    std::vector<uint32_t> a = compatOrder, b = fifoOrder;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+/**
+ * Checkpoint round trip: rebuilding a Compat heap through
+ * visitEntries()/restoreEntry() must reproduce the exact pop order —
+ * including equal-time ties and interleaved post-restore pushes —
+ * because engine snapshots serialize their event queues this way.
+ */
+TEST(EventHeap, CheckpointRoundTripPreservesCompatTieOrder)
+{
+    EventHeap<uint32_t, TiePolicy::Compat> orig;
+    Rng rng(57);
+    // Mixed pushes and pops so the slot pool has recycled holes.
+    for (int i = 0; i < 200; ++i) {
+        orig.push(rng.below(8), static_cast<uint32_t>(i));
+        if (i % 3 == 0)
+            orig.pop();
+    }
+
+    EventHeap<uint32_t, TiePolicy::Compat> restored;
+    orig.visitEntries([&](uint64_t time, uint32_t seq,
+                          const uint32_t &payload) {
+        restored.restoreEntry(time, seq, payload);
+    });
+    restored.restoreSeq(orig.nextSeq());
+    ASSERT_EQ(restored.size(), orig.size());
+
+    // Keep exercising both heaps identically after the round trip.
+    Rng rng2(58);
+    for (int round = 0; round < 8; ++round) {
+        for (int i = 0; i < 10; ++i) {
+            uint64_t t = rng2.below(8);
+            uint32_t v = 1000 + static_cast<uint32_t>(rng2.next() %
+                                                      1000);
+            orig.push(t, v);
+            restored.push(t, v);
+        }
+        for (int i = 0; i < 15 && !orig.empty(); ++i) {
+            ASSERT_EQ(restored.topTime(), orig.topTime());
+            ASSERT_EQ(restored.pop(), orig.pop());
+        }
+    }
+    while (!orig.empty()) {
+        ASSERT_EQ(restored.topTime(), orig.topTime());
+        ASSERT_EQ(restored.pop(), orig.pop());
+    }
+    EXPECT_TRUE(restored.empty());
+}
