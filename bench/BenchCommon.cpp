@@ -11,6 +11,8 @@
 
 #include "common/Logging.h"
 #include "exec/ThreadPool.h"
+#include "guard/Divergence.h"
+#include "guard/Fault.h"
 
 namespace ash::bench {
 
@@ -28,6 +30,21 @@ ckpt::CheckpointOptions gCkpt;
 /** --resume given: restore engines and skip completed sweep jobs. */
 bool gResume = false;
 
+/** --job-deadline seconds; 0 = no per-job deadline. */
+double gJobDeadlineSec = 0.0;
+
+/** --isolate: fork each sweep job attempt into a subprocess. */
+bool gIsolate = false;
+
+/** --isolate-rss-mb: child address-space cap; 0 = unlimited. */
+uint64_t gIsolateRssMb = 0;
+
+/** --divergence-every cycles; 0 = no golden cross-check. */
+uint64_t gDivergenceEvery = 0;
+
+/** --quarantine-dir: where divergence bundles land. */
+std::string gQuarantineDir = ".ash-quarantine";
+
 /** Engine-run counter for checkpoint keys outside any sweep job. */
 std::atomic<uint64_t> gMainEngineRuns{0};
 
@@ -39,22 +56,25 @@ std::atomic<uint64_t> gMainEngineRuns{0};
  * report name plus a process-wide counter (main-thread benches run
  * their engines in a fixed order).
  */
+std::string
+nextEngineRunKey()
+{
+    if (exec::JobContext *job = exec::JobContext::current())
+        return job->name() + "#r" +
+               std::to_string(job->nextEngineRun());
+    return obs::Report::global().name() + "#r" +
+           std::to_string(gMainEngineRuns++);
+}
+
 std::unique_ptr<ckpt::CheckpointManager>
-engineCheckpointer()
+engineCheckpointer(const std::string &key)
 {
     if (gCkpt.everyCycles == 0 || gCkpt.dir.empty())
         return nullptr;
     ckpt::CheckpointOptions opts = gCkpt;
     opts.dir = (std::filesystem::path(gCkpt.dir) / "engines").string();
-    std::string key;
-    if (exec::JobContext *job = exec::JobContext::current())
-        key = job->name() + "#r" +
-              std::to_string(job->nextEngineRun());
-    else
-        key = obs::Report::global().name() + "#r" +
-              std::to_string(gMainEngineRuns++);
     return std::make_unique<ckpt::CheckpointManager>(std::move(opts),
-                                                     std::move(key));
+                                                     key);
 }
 
 } // namespace
@@ -131,13 +151,21 @@ compileFor(const rtl::Netlist &nl, uint32_t tiles,
 
 core::RunResult
 runAsh(const core::TaskProgram &prog, const designs::Design &design,
-       core::ArchConfig cfg, uint64_t cycles)
+       core::ArchConfig cfg, uint64_t cycles, const rtl::Netlist *nl)
 {
     cfg.numTiles = prog.numTiles;
     auto stim = design.makeStimulus();
 
+    bool wantCkpt = gCkpt.everyCycles != 0 && !gCkpt.dir.empty();
+    bool wantDivergence = gDivergenceEvery != 0 && nl != nullptr;
+    // One key names both the checkpoint set and any quarantine
+    // bundle, so an operator can correlate them after a bad run.
+    std::string key;
+    if (wantCkpt || wantDivergence)
+        key = nextEngineRunKey();
+
     std::unique_ptr<ckpt::CheckpointManager> mgr =
-        engineCheckpointer();
+        engineCheckpointer(key);
     std::optional<core::AshSimulator> sim;
     sim.emplace(prog, cfg);
     if (mgr && gResume) {
@@ -151,7 +179,25 @@ runAsh(const core::TaskProgram &prog, const designs::Design &design,
             sim.emplace(prog, cfg);
         }
     }
-    return sim->run(*stim, cycles, mgr.get());
+
+    guard::HookChain hooks;
+    hooks.add(mgr.get());
+    std::optional<guard::DivergenceGuard> divergence;
+    if (wantDivergence) {
+        guard::DivergenceGuard::Options dopts;
+        dopts.everyCycles = gDivergenceEvery;
+        dopts.quarantineDir = gQuarantineDir;
+        dopts.key = key;
+        divergence.emplace(
+            *nl, design.makeStimulus(),
+            [&sim](uint64_t cycle) {
+                return sim->committedFrame(cycle);
+            },
+            std::move(dopts));
+        hooks.add(&*divergence);
+    }
+    return sim->run(*stim, cycles,
+                    hooks.empty() ? nullptr : &hooks);
 }
 
 core::RunResult
@@ -161,7 +207,7 @@ runAshAt(const DesignSet::Entry &entry, uint32_t tiles, bool selective,
     core::TaskProgram prog = compileFor(entry.netlist, tiles);
     core::ArchConfig cfg;
     cfg.selective = selective;
-    return runAsh(prog, entry.design, cfg, cycles);
+    return runAsh(prog, entry.design, cfg, cycles, &entry.netlist);
 }
 
 double
@@ -191,7 +237,11 @@ init(const std::string &name, int &argc, char **argv)
                      "usage: %s [--jobs <n>] "
                      "[--checkpoint-every <cycles>] "
                      "[--checkpoint-dir <dir>] [--checkpoint-keep "
-                     "<k>] [--resume <dir>]\n",
+                     "<k>] [--resume <dir>] [--fault-plan <spec>] "
+                     "[--job-deadline <sec>] [--isolate] "
+                     "[--isolate-rss-mb <n>] "
+                     "[--divergence-every <cycles>] "
+                     "[--quarantine-dir <dir>]\n",
                      argc > 0 ? argv[0] : "bench");
         return false;
     };
@@ -209,6 +259,8 @@ init(const std::string &name, int &argc, char **argv)
         return true;
     };
     int out = 1;
+    std::string faultSpec;
+    bool faultFlagSeen = false;
     for (int i = 1; i < argc; ++i) {
         long n = 0;
         if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -232,6 +284,38 @@ init(const std::string &name, int &argc, char **argv)
                 return usage();
             gCkpt.dir = argv[++i];
             gResume = true;
+        } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            faultSpec = argv[++i];
+            faultFlagSeen = true;
+        } else if (std::strcmp(argv[i], "--job-deadline") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            gJobDeadlineSec = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' ||
+                gJobDeadlineSec < 0.0) {
+                std::fprintf(stderr,
+                             "--job-deadline wants seconds >= 0, "
+                             "got %s\n",
+                             argv[i]);
+                return usage();
+            }
+        } else if (std::strcmp(argv[i], "--isolate") == 0) {
+            gIsolate = true;
+        } else if (std::strcmp(argv[i], "--isolate-rss-mb") == 0) {
+            if (!numArg(i, "--isolate-rss-mb", 1, n))
+                return usage();
+            gIsolateRssMb = static_cast<uint64_t>(n);
+        } else if (std::strcmp(argv[i], "--divergence-every") == 0) {
+            if (!numArg(i, "--divergence-every", 0, n))
+                return usage();
+            gDivergenceEvery = static_cast<uint64_t>(n);
+        } else if (std::strcmp(argv[i], "--quarantine-dir") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            gQuarantineDir = argv[++i];
         } else {
             argv[out++] = argv[i];
         }
@@ -239,6 +323,31 @@ init(const std::string &name, int &argc, char **argv)
     argc = out;
     if (gCkpt.everyCycles != 0 && gCkpt.dir.empty())
         gCkpt.dir = ".ash-ckpt";
+
+    // Fault plan: the flag wins; ASH_FAULT is the env fallback so CI
+    // can chaos-test unmodified command lines.
+    if (!faultFlagSeen) {
+        if (const char *env = std::getenv("ASH_FAULT"))
+            faultSpec = env;
+    }
+    if (!faultSpec.empty()) {
+#if ASH_GUARD_FAULTS
+        guard::FaultPlan plan;
+        std::string perr;
+        if (!guard::FaultPlan::parse(faultSpec, plan, &perr)) {
+            std::fprintf(stderr, "bad fault plan '%s': %s\n",
+                         faultSpec.c_str(), perr.c_str());
+            return usage();
+        }
+        guard::FaultInjector::instance().arm(plan);
+        warn("fault injection armed: %s", faultSpec.c_str());
+#else
+        std::fprintf(stderr,
+                     "fault plan given but fault hooks were compiled "
+                     "out (ASH_GUARD_FAULTS_ENABLED=OFF)\n");
+        return false;
+#endif
+    }
     return true;
 }
 
@@ -267,6 +376,9 @@ sweepOptions()
     opts.jobs = jobs();
     opts.checkpointDir = gCkpt.dir;
     opts.resume = gResume;
+    opts.jobDeadlineSec = gJobDeadlineSec;
+    opts.isolate = gIsolate;
+    opts.isolateRssMb = gIsolateRssMb;
     return opts;
 }
 

@@ -77,11 +77,18 @@ class DesignSet
 core::TaskProgram compileFor(const rtl::Netlist &nl, uint32_t tiles,
                              const core::CompilerOptions &base = {});
 
-/** Run the ASH chip model; cfg.numTiles must match the program. */
+/**
+ * Run the ASH chip model; cfg.numTiles must match the program.
+ * When @p nl is given and --divergence-every is set, the run is
+ * periodically cross-checked against the reference simulator and a
+ * mismatch throws guard::DivergenceError after writing a quarantine
+ * bundle (see guard::DivergenceGuard).
+ */
 core::RunResult runAsh(const core::TaskProgram &prog,
                        const designs::Design &design,
                        core::ArchConfig cfg,
-                       uint64_t cycles = kRunCycles);
+                       uint64_t cycles = kRunCycles,
+                       const rtl::Netlist *nl = nullptr);
 
 /** Convenience: compile + run at a tile count / mode. */
 core::RunResult runAshAt(const DesignSet::Entry &entry, uint32_t tiles,
@@ -101,6 +108,20 @@ void banner(const std::string &title);
  * compacting argv down to the bench's own arguments. Returns false
  * on a malformed command line; the bench should `return 1` in that
  * case.
+ *
+ * Robustness flags (ash_guard):
+ *   --fault-plan <spec>       arm the fault injector (see
+ *                             guard::FaultPlan::parse); the ASH_FAULT
+ *                             environment variable is the fallback
+ *                             when the flag is absent
+ *   --job-deadline <sec>      per-sweep-job wall-clock deadline
+ *   --isolate                 fork each sweep job attempt into a
+ *                             rlimit-bounded subprocess
+ *   --isolate-rss-mb <n>      child address-space cap for --isolate
+ *   --divergence-every <c>    cross-check AshSim against the golden
+ *                             reference every <c> committed cycles
+ *   --quarantine-dir <dir>    where divergence bundles are written
+ *                             (default .ash-quarantine)
  */
 bool init(const std::string &name, int &argc, char **argv);
 

@@ -5,6 +5,7 @@
 
 #include "common/Logging.h"
 #include "core/arch/Cache.h"
+#include "guard/Cancel.h"
 #include "core/compiler/Compiler.h"
 #include "obs/Trace.h"
 
@@ -265,6 +266,9 @@ struct BaselineSimulator::Impl
     run(ckpt::CycleHook *hook, ckpt::Snapshotter &self)
     {
         while (cycle < warmCycles) {
+            // Cooperative cancellation (job deadlines): free when no
+            // token is installed on this thread.
+            guard::pollCancel();
             stepCycle();
             if (hook)
                 hook->onCycle(cycle, self);

@@ -1,5 +1,6 @@
 #include "ckpt/Checkpoint.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <filesystem>
@@ -9,6 +10,7 @@
 
 #include "common/Json.h"
 #include "common/Logging.h"
+#include "guard/Fault.h"
 #include "obs/Trace.h"
 #include "rtl/Netlist.h"
 
@@ -153,6 +155,7 @@ CheckpointManager::writeImage(const std::string &path,
 {
     std::string tmp = path + ".tmp";
     {
+        ASH_FAULT_POINT("ckpt.image.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             throw SnapshotError("cannot open " + tmp + " for writing");
@@ -161,6 +164,7 @@ CheckpointManager::writeImage(const std::string &path,
         if (!out)
             throw SnapshotError("write failed for " + tmp);
     }
+    ASH_FAULT_POINT("ckpt.image.rename");
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec)
@@ -200,6 +204,7 @@ CheckpointManager::writeManifest() const
         (fs::path(_keyDir) / "manifest.json").string();
     std::string tmp = path + ".tmp";
     {
+        ASH_FAULT_POINT("ckpt.manifest.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             throw SnapshotError("cannot open " + tmp + " for writing");
@@ -221,15 +226,21 @@ CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
         throw SnapshotError("cannot create " + _keyDir + ": " +
                             ec.message());
 
-    // Serialize once; hash and file share the same bytes.
+    // Serialize once; hash and file share the same bytes. The hash
+    // is taken BEFORE fault-plan corruption, so an injected bit flip
+    // in the written file is caught on restore exactly like real
+    // on-disk rot.
     std::ostringstream image;
     sim.save(image);
-    const std::string &bytes = image.str();
+    std::string bytes = image.str();
     uint64_t hash = fnv1a(bytes.data(), bytes.size());
+    if (!bytes.empty())
+        ASH_FAULT_CORRUPT("ckpt.image.bytes", &bytes[0], bytes.size());
 
     std::string path = imagePath(cycle);
     std::string tmp = path + ".tmp";
     {
+        ASH_FAULT_POINT("ckpt.image.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             throw SnapshotError("cannot open " + tmp + " for writing");
@@ -239,6 +250,7 @@ CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
         if (!out)
             throw SnapshotError("write failed for " + tmp);
     }
+    ASH_FAULT_POINT("ckpt.image.rename");
     fs::rename(tmp, path, ec);
     if (ec)
         throw SnapshotError("rename " + tmp + " -> " + path +
@@ -264,14 +276,51 @@ CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
 void
 CheckpointManager::onCycle(uint64_t cycle, Snapshotter &sim)
 {
-    if (_opts.everyCycles == 0 || cycle == 0)
+    if (_disabled || _opts.everyCycles == 0 || cycle == 0)
         return;
     uint64_t bucket = cycle / _opts.everyCycles;
     if (bucket <= _lastBucket)
         return;
     _lastBucket = bucket;
-    snapshot(cycle, sim);
+    // A checkpoint is a safety net, not a correctness requirement:
+    // losing one must not kill a healthy run. Structured failures
+    // (disk full, I/O error, injected fault) are warned about and
+    // the simulation continues; three in a row means the disk is
+    // not coming back, so stop burning serialization time on it.
+    try {
+        snapshot(cycle, sim);
+        _failStreak = 0;
+    } catch (const Error &e) {
+        ++_failStreak;
+        warn("checkpoint at cycle %llu failed (%s): %s",
+             static_cast<unsigned long long>(cycle), e.kind(),
+             e.what());
+        if (_failStreak >= 3) {
+            _disabled = true;
+            warn("checkpointing disabled for '%s' after %d "
+                 "consecutive failures; run continues without "
+                 "crash protection",
+                 _key.c_str(), _failStreak);
+        }
+    }
 }
+
+namespace {
+
+/** FNV-1a of a file's bytes; 0 when the file cannot be read. */
+uint64_t
+fileHash(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return 0;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string &bytes = buf.str();
+    return fnv1a(bytes.data(), bytes.size());
+}
+
+} // namespace
 
 bool
 CheckpointManager::tryRestoreLatest(Snapshotter &sim)
@@ -279,75 +328,148 @@ CheckpointManager::tryRestoreLatest(Snapshotter &sim)
     std::string manifestPath =
         (fs::path(_keyDir) / "manifest.json").string();
     std::ifstream manifestIn(manifestPath, std::ios::binary);
-    if (!manifestIn)
-        return false;   // Nothing saved for this key yet.
+    if (!manifestIn) {
+        // No manifest at all — but a crash between an image rename
+        // and the manifest rewrite can leave orphaned images; a
+        // directory with images and no manifest is still resumable.
+        std::error_code probe;
+        if (!fs::exists(_keyDir, probe))
+            return false;   // Nothing saved for this key yet.
+    }
+    ASH_FAULT_POINT("ckpt.manifest.read");
     std::stringstream buf;
-    buf << manifestIn.rdbuf();
+    if (manifestIn)
+        buf << manifestIn.rdbuf();
+
+    // Candidate images, oldest first.
+    struct Candidate
+    {
+        uint64_t cycle = 0;
+        std::string file;
+        bool haveHash = false;
+        uint64_t hash = 0;
+    };
+    std::vector<Candidate> cands;
 
     JsonValue doc;
     std::string err;
-    if (!jsonParse(buf.str(), doc, &err))
-        throw SnapshotError("manifest " + manifestPath +
-                            " is not valid JSON: " + err);
-    if (!doc.isObject() ||
-        doc["format"].string() != "ash-ckpt-manifest")
-        throw SnapshotError("manifest " + manifestPath +
-                            " has unexpected format");
-
-    const JsonValue &images = doc["images"];
-    if (!images.isArray() || images.array().empty())
-        return false;
+    bool usable = manifestIn && jsonParse(buf.str(), doc, &err) &&
+                  doc.isObject() &&
+                  doc["format"].string() == "ash-ckpt-manifest";
+    if (usable) {
+        const JsonValue &images = doc["images"];
+        if (!images.isArray() || images.array().empty())
+            return false;
+        for (size_t i = 0; i < images.array().size(); ++i) {
+            const JsonValue &entry = images.at(i);
+            Candidate c;
+            c.cycle = entry["cycle"].asU64();
+            c.file = entry["file"].string();
+            if (entry.has("state_hash")) {
+                c.haveHash = true;
+                c.hash = parseHashHex(entry["state_hash"]);
+            }
+            cands.push_back(std::move(c));
+        }
+    } else {
+        // Manifest missing, truncated, or corrupt: the images are
+        // the ground truth, so degrade to a directory scan instead
+        // of declaring the whole key unresumable. Restored hashes
+        // are then verified only by each image's own CRC.
+        if (manifestIn)
+            warn("manifest %s is unusable (%s); scanning %s for "
+                 "checkpoint images",
+                 manifestPath.c_str(),
+                 err.empty() ? "unexpected format" : err.c_str(),
+                 _keyDir.c_str());
+        std::error_code ec;
+        for (const auto &de : fs::directory_iterator(_keyDir, ec)) {
+            std::string name = de.path().filename().string();
+            const std::string pre = "ckpt-", suf = ".ashckpt";
+            if (name.size() <= pre.size() + suf.size() ||
+                name.compare(0, pre.size(), pre) != 0 ||
+                name.compare(name.size() - suf.size(), suf.size(),
+                             suf) != 0)
+                continue;
+            std::string digits = name.substr(
+                pre.size(), name.size() - pre.size() - suf.size());
+            if (digits.empty() ||
+                digits.find_first_not_of("0123456789") !=
+                    std::string::npos)
+                continue;
+            Candidate c;
+            c.cycle = std::strtoull(digits.c_str(), nullptr, 10);
+            c.file = name;
+            cands.push_back(std::move(c));
+        }
+        if (cands.empty())
+            return false;
+        std::sort(cands.begin(), cands.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      return a.cycle < b.cycle;
+                  });
+    }
 
     // Newest image last; fall back to older ones if the newest is
     // unreadable or corrupt (e.g. the crash clipped it despite
     // tmp+rename). A failed restore leaves @p sim partial, but the
     // next restore overwrites every field again, so retrying an
     // older image is safe.
-    for (size_t i = images.array().size(); i-- > 0;) {
-        const JsonValue &entry = images.at(i);
-        uint64_t cycle = entry["cycle"].asU64();
-        std::string file = entry["file"].string();
-        std::string path = (fs::path(_keyDir) / file).string();
+    std::vector<std::string> failures;
+    for (size_t i = cands.size(); i-- > 0;) {
+        const Candidate &cand = cands[i];
+        std::string path = (fs::path(_keyDir) / cand.file).string();
         std::ifstream in(path, std::ios::binary);
         if (!in) {
             warn("checkpoint image %s missing; trying older",
                  path.c_str());
+            failures.push_back(path + ": missing or unreadable");
             continue;
         }
         try {
             sim.restore(in);
-            if (entry.has("state_hash") &&
-                sim.stateHash() !=
-                    parseHashHex(entry["state_hash"]))
+            if (cand.haveHash && sim.stateHash() != cand.hash)
                 throw SnapshotError(
                     "restored state hash differs from manifest "
                     "entry for " + path);
         } catch (const SnapshotError &e) {
-            if (i == 0)
-                throw;   // Nothing older to fall back to.
-            warn("%s; trying older image", e.what());
+            failures.push_back(path + ": " + e.what());
+            if (i > 0)
+                warn("%s; trying older image", e.what());
             continue;
         }
-        _resumedCycle = cycle;
+        _resumedCycle = cand.cycle;
         _lastBucket = _opts.everyCycles
-                          ? cycle / _opts.everyCycles
+                          ? cand.cycle / _opts.everyCycles
                           : 0;
         // Re-adopt the retained set so new snapshots extend it.
         _cycles.clear();
         _hashes.clear();
         for (size_t j = 0; j <= i; ++j) {
-            _cycles.push_back(images.at(j)["cycle"].asU64());
-            _hashes.push_back(
-                parseHashHex(images.at(j)["state_hash"]));
+            uint64_t h = cands[j].haveHash
+                             ? cands[j].hash
+                             : fileHash((fs::path(_keyDir) /
+                                         cands[j].file)
+                                            .string());
+            _cycles.push_back(cands[j].cycle);
+            _hashes.push_back(h);
         }
-        ASH_OBS_EVENT(obs::EventKind::Checkpoint, cycle, 0, 0, 0,
-                      cycle, 1);
+        ASH_OBS_EVENT(obs::EventKind::Checkpoint, cand.cycle, 0, 0,
+                      0, cand.cycle, 1);
         inform("resumed '%s' from checkpoint at cycle %llu",
                _key.c_str(),
-               static_cast<unsigned long long>(cycle));
+               static_cast<unsigned long long>(cand.cycle));
         return true;
     }
-    return false;
+
+    // Every candidate failed: report all of them, so the operator
+    // sees the full damage instead of only the oldest image's error.
+    std::string msg = "no usable checkpoint for '" + _key +
+                      "'; tried " + std::to_string(cands.size()) +
+                      " image(s):";
+    for (const std::string &f : failures)
+        msg += "\n  " + f;
+    throw SnapshotError(msg);
 }
 
 } // namespace ash::ckpt

@@ -94,7 +94,17 @@ class CheckpointManager : public CycleHook
   public:
     CheckpointManager(CheckpointOptions opts, std::string key);
 
+    /**
+     * Snapshot when the period elapses. A failed snapshot (disk
+     * full, I/O error, injected fault) is warned about and the run
+     * continues; after three consecutive failures checkpointing is
+     * disabled for the rest of the run rather than stalling the
+     * simulation on a dead disk. Any success resets the counter.
+     */
     void onCycle(uint64_t cycle, Snapshotter &sim) override;
+
+    /** True once repeated snapshot failures disabled checkpointing. */
+    bool disabled() const { return _disabled; }
 
     /**
      * Restore @p sim from the newest manifest-listed image for this
@@ -129,6 +139,8 @@ class CheckpointManager : public CycleHook
     std::string _keyDir;
     uint64_t _lastBucket = 0;       ///< cycle / everyCycles of last image.
     uint64_t _resumedCycle = 0;
+    int _failStreak = 0;            ///< Consecutive snapshot failures.
+    bool _disabled = false;         ///< Set after 3 straight failures.
     /** Cycles with on-disk images, oldest first (retention window). */
     std::vector<uint64_t> _cycles;
     /** stateHash of each retained image, parallel to _cycles. */

@@ -28,9 +28,10 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "common/Error.h"
 
 namespace ash::ckpt {
 
@@ -42,11 +43,11 @@ constexpr char kSnapshotMagic[8] = {'A', 'S', 'H', 'C',
                                     'K', 'P', 'T', '1'};
 
 /** Structured decode/validation failure; never UB, never a crash. */
-class SnapshotError : public std::runtime_error
+class SnapshotError : public Error
 {
   public:
     explicit SnapshotError(const std::string &what)
-        : std::runtime_error("snapshot: " + what)
+        : Error("snapshot", "snapshot: " + what)
     {
     }
 };

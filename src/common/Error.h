@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Root of the recoverable ASH error hierarchy (the ash_guard failure
+ * model, DESIGN.md "Failure model & guardrails").
+ *
+ * Every structured, *recoverable* failure in the stack derives from
+ * ash::Error so that job-boundary code (exec::SweepRunner, bench
+ * drivers, the chaos harness) can catch one type and report a typed
+ * diagnostic instead of dying:
+ *
+ *   Error                  this file; carries a short kind() tag
+ *    +- FatalError          common/Logging.h   kind "fatal"
+ *    |   +- ParseError      verilog/Diag.h     kind "parse"
+ *    |   +- ElabError       verilog/Diag.h     kind "elab"
+ *    +- SnapshotError       ckpt/Snapshot.h    kind "snapshot"
+ *    +- JobError            exec/Job.h         kind "job"
+ *    +- InjectedFault       guard/Fault.h      kind "fault"
+ *    +- CancelledError      guard/Cancel.h     kind "cancel"
+ *    +- DivergenceError     guard/Divergence.h kind "divergence"
+ *
+ * Invariants: construction is cheap (no formatting at throw sites
+ * beyond the message itself), what() is a complete human-readable
+ * diagnostic, and kind() is a stable machine-checkable tag used in
+ * structured JobFailure reports. Internal invariant violations (ASH
+ * bugs) stay fatal: panic()/ASH_ASSERT still abort and are NOT part
+ * of this hierarchy.
+ */
+
+#ifndef ASH_COMMON_ERROR_H
+#define ASH_COMMON_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ash {
+
+/** Base of all recoverable ASH errors; see file header. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(std::string kind, const std::string &what)
+        : std::runtime_error(what), _kind(std::move(kind))
+    {
+    }
+
+    /** Stable short tag ("parse", "snapshot", ...) for reports. */
+    const std::string &kind() const { return _kind; }
+
+  private:
+    std::string _kind;
+};
+
+} // namespace ash
+
+#endif // ASH_COMMON_ERROR_H

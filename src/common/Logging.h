@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/Error.h"
+
 namespace ash {
 
 /** Verbosity levels for status messages. */
@@ -95,15 +97,23 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Emit a debug-priority status message to stderr. */
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Exception thrown by fatal(); carries the formatted message. */
-class FatalError : public std::exception
+/**
+ * Exception thrown by fatal(); carries the formatted message. Part
+ * of the recoverable ash::Error hierarchy (common/Error.h): a job
+ * boundary treats a FatalError as "this input/config is bad", never
+ * as "the process is doomed". Subclasses (verilog::ParseError,
+ * verilog::ElabError) refine the kind tag and add source positions.
+ */
+class FatalError : public Error
 {
   public:
-    explicit FatalError(std::string msg) : _msg(std::move(msg)) {}
-    const char *what() const noexcept override { return _msg.c_str(); }
+    explicit FatalError(const std::string &msg) : Error("fatal", msg) {}
 
-  private:
-    std::string _msg;
+  protected:
+    FatalError(std::string kind, const std::string &msg)
+        : Error(std::move(kind), msg)
+    {
+    }
 };
 
 } // namespace ash

@@ -9,6 +9,7 @@
 #include "common/Logging.h"
 #include "common/SortedPool.h"
 #include "core/arch/Cache.h"
+#include "guard/Cancel.h"
 #include "core/arch/Noc.h"
 #include "obs/Trace.h"
 #include "rtl/Eval.h"
@@ -2608,6 +2609,10 @@ struct AshSimulator::Impl
             now = ev.time;
             ++processed;
             ASH_ASSERT(processed < 4000000000ull, "runaway simulation");
+            // Cooperative cancellation (job deadlines): a TLS load
+            // and branch, amortized across 4096 events.
+            if ((processed & 4095) == 0)
+                guard::pollCancel();
             switch (ev.type) {
               case Event::Type::DescArrive:
                 onDescArrive(ev.tile, ev.desc);
@@ -2731,6 +2736,25 @@ AshSimulator::save(std::ostream &out) const
                            ckpt::designFingerprint(_impl->nl),
                            _impl->configHash());
     _impl->saveState(w);
+}
+
+refsim::OutputFrame
+AshSimulator::committedFrame(uint64_t cycle) const
+{
+    const Impl &im = *_impl;
+    size_t n_out = im.nl.outputs().size();
+    refsim::OutputFrame frame(n_out, 0);
+    if (cycle == 0)
+        return frame;
+    // finalOutputs is keyed (cycle, outIdx) in lexicographic order;
+    // a single forward walk up to the requested cycle leaves the
+    // latest committed value per output, which carries skipped
+    // cycles forward exactly like the end-of-run trace assembly.
+    uint64_t last = cycle - 1; // log is 0-based per design cycle
+    auto end = im.finalOutputs.upper_bound({last, ~uint32_t(0)});
+    for (auto it = im.finalOutputs.begin(); it != end; ++it)
+        frame[it->first.second] = it->second;
+    return frame;
 }
 
 void

@@ -140,6 +140,16 @@ class AshSimulator : public ckpt::Snapshotter
     RunResult run(refsim::Stimulus &stimulus, uint64_t design_cycles,
                   ckpt::CycleHook *hook = nullptr);
 
+    /**
+     * Output frame as committed at design cycle @p cycle (1-based:
+     * the values visible after that cycle's commit), assembled from
+     * the committed-output log with skipped cycles carried forward.
+     * Valid mid-run from a CycleHook for any cycle at or below the
+     * hook's committed cycle; used by guard::DivergenceGuard to
+     * cross-check against the reference simulator.
+     */
+    refsim::OutputFrame committedFrame(uint64_t cycle) const;
+
     /// @name ckpt::Snapshotter
     /// @{
     void save(std::ostream &out) const override;

@@ -21,6 +21,18 @@ setCurrentJob(JobContext *ctx)
 
 } // namespace detail
 
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Exception: return "exception";
+      case FailureKind::Timeout: return "timeout";
+      case FailureKind::Crash: return "crash";
+      case FailureKind::Oom: return "oom";
+    }
+    return "?";
+}
+
 uint64_t
 stableSeed(const std::string &name)
 {

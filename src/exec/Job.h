@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/Error.h"
 #include "common/Random.h"
 #include "common/Stats.h"
 
@@ -41,13 +42,39 @@ namespace ash::exec {
 /** FNV-1a hash of @p name; the deterministic per-job seed root. */
 uint64_t stableSeed(const std::string &name);
 
+/** Job-infrastructure failure (result transport, child plumbing). */
+class JobError : public Error
+{
+  public:
+    explicit JobError(const std::string &what) : Error("job", what) {}
+};
+
+/** How a failed job died (the exit cause in structured reports). */
+enum class FailureKind : uint8_t
+{
+    Exception,  ///< Job body threw (incl. ash::Error diagnostics).
+    Timeout,    ///< Wall-clock deadline: watchdog cancel / isolate kill.
+    Crash,      ///< Isolate child died on a signal or injected kill.
+    Oom,        ///< Allocation failure (bad_alloc / RSS limit).
+};
+
+/** Stable lowercase name of @p kind ("exception", "timeout", ...). */
+const char *failureKindName(FailureKind kind);
+
 /** One job that exhausted its retry budget. */
 struct JobFailure
 {
     std::string job;     ///< Job key.
     size_t index = 0;    ///< Submission index within the sweep.
-    int attempts = 0;    ///< Attempts consumed (== maxAttempts).
-    std::string error;   ///< what() of the last exception.
+    int attempts = 0;    ///< Attempts consumed (<= maxAttempts).
+    std::string error;   ///< what() of the last exception / exit cause.
+
+    FailureKind kind = FailureKind::Exception;  ///< Exit cause class.
+    /** ash::Error::kind() of the last error ("parse", "snapshot",
+     *  "fault", ...); empty for non-ash exceptions. */
+    std::string errorKind;
+    int exitSignal = 0;  ///< Isolate mode: terminating signal, if any.
+    int exitCode = 0;    ///< Isolate mode: child exit code, if exited.
 };
 
 /** Per-job execution state; see file header. */

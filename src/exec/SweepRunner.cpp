@@ -1,14 +1,24 @@
 #include "exec/SweepRunner.h"
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 #include "ckpt/Checkpoint.h"
 #include "common/Json.h"
 #include "common/Logging.h"
 #include "exec/ThreadPool.h"
+#include "guard/Cancel.h"
+#include "guard/Fault.h"
+#include "guard/Isolate.h"
+#include "guard/Watchdog.h"
 #include "obs/Report.h"
 #include "obs/Trace.h"
 
@@ -77,9 +87,46 @@ readStatsList(ckpt::SnapshotReader &r,
     }
 }
 
+/** Fault scope = the running job's key; see guard/Fault.h. */
+std::string
+currentJobScope()
+{
+    JobContext *ctx = JobContext::current();
+    return ctx ? ctx->name() : std::string();
+}
+
 } // namespace
 
-SweepRunner::SweepRunner(SweepOptions opts) : _opts(std::move(opts)) {}
+uint64_t
+retryBackoffMs(uint64_t seed, int attempt, uint64_t baseMs,
+               uint64_t capMs)
+{
+    if (baseMs == 0)
+        return 0;
+    // Bounded exponential: base * 2^attempt, saturating at the cap.
+    uint64_t delay = baseMs;
+    for (int i = 0; i < attempt && delay < capMs; ++i)
+        delay *= 2;
+    delay = std::min(delay, std::max(capMs, baseMs));
+    // Seeded jitter in [0.5, 1.0): splitmix64 of (seed, attempt) —
+    // a pure function, so every --jobs count replays the same delay.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                            (static_cast<uint64_t>(attempt) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    double frac =
+        0.5 + 0.5 * (static_cast<double>(z >> 11) *
+                     (1.0 / 9007199254740992.0));
+    return static_cast<uint64_t>(static_cast<double>(delay) * frac);
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : _opts(std::move(opts))
+{
+    // Fault decisions are attributed to the running job; the inline
+    // slot makes this idempotent and link-cycle-free.
+    guard::setFaultScopeProvider(&currentJobScope);
+}
 
 SweepRunner::~SweepRunner() = default;
 
@@ -194,26 +241,20 @@ SweepRunner::saveManifestLocked()
              ec.message().c_str());
 }
 
-void
-SweepRunner::persistJob(size_t i)
+bool
+SweepRunner::writeResultsFile(const std::string &path,
+                              const JobContext &ctx)
 {
-    // Best effort: a persistence failure costs a re-run on resume,
-    // never the sweep itself.
-    const JobContext &ctx = *_contexts[i];
-    const std::string file =
-        ckpt::CheckpointManager::sanitizeKey(ctx.name()) + ".ashjob";
+    const std::string tmp = path + ".tmp";
     try {
-        fs::create_directories(jobsDir());
-        const std::string path =
-            (fs::path(jobsDir()) / file).string();
-        const std::string tmp = path + ".tmp";
         {
             std::ofstream out(tmp,
                               std::ios::binary | std::ios::trunc);
             if (!out) {
                 warn("cannot write job results '%s'", tmp.c_str());
-                return;
+                return false;
             }
+            ASH_FAULT_POINT("exec.persist.write");
             ckpt::SnapshotWriter w(out, "sweep-job",
                                    stableSeed(ctx.name()),
                                    kResultLayout);
@@ -228,34 +269,28 @@ SweepRunner::persistJob(size_t i)
             out.flush();
             if (!out) {
                 warn("short write on job results '%s'", tmp.c_str());
-                return;
+                return false;
             }
         }
         fs::rename(tmp, path);
     } catch (const fs::filesystem_error &e) {
-        warn("cannot persist job '%s': %s", ctx.name().c_str(),
+        warn("cannot write job results '%s': %s", path.c_str(),
              e.what());
-        return;
+        return false;
+    } catch (const guard::InjectedFault &e) {
+        warn("cannot write job results '%s': %s", path.c_str(),
+             e.what());
+        return false;
     }
-    std::lock_guard<std::mutex> lock(_manifestMutex);
-    _manifest[ctx.name()] = "jobs/" + file;
-    saveManifestLocked();
+    return true;
 }
 
-bool
-SweepRunner::replayJob(size_t i)
+void
+SweepRunner::readResultsFile(const std::string &path, JobContext &ctx)
 {
-    JobContext &ctx = *_contexts[i];
-    auto it = _manifest.find(ctx.name());
-    if (it == _manifest.end())
-        return false;
-    std::ifstream in(fs::path(_opts.checkpointDir) / it->second,
-                     std::ios::binary);
-    if (!in) {
-        warn("resume: results file for job '%s' missing; re-running",
-             ctx.name().c_str());
-        return false;
-    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw JobError("job results file '" + path + "' missing");
     try {
         ckpt::SnapshotReader r(in);
         r.require("sweep-job", stableSeed(ctx.name()), kResultLayout);
@@ -268,13 +303,52 @@ SweepRunner::replayJob(size_t i)
         readStatsList(r, ctx._pubStats);
         r.endSection();
         r.expectEnd();
-    } catch (const ckpt::SnapshotError &e) {
-        warn("resume: results for job '%s' unusable (%s); re-running",
-             ctx.name().c_str(), e.what());
+    } catch (...) {
+        // Never leave half-loaded staging behind.
         ctx._records.clear();
         ctx._stats.clear();
         ctx._published.clear();
         ctx._pubStats.clear();
+        throw;
+    }
+}
+
+void
+SweepRunner::persistJob(size_t i)
+{
+    // Best effort: a persistence failure costs a re-run on resume,
+    // never the sweep itself.
+    const JobContext &ctx = *_contexts[i];
+    const std::string file =
+        ckpt::CheckpointManager::sanitizeKey(ctx.name()) + ".ashjob";
+    try {
+        fs::create_directories(jobsDir());
+    } catch (const fs::filesystem_error &e) {
+        warn("cannot persist job '%s': %s", ctx.name().c_str(),
+             e.what());
+        return;
+    }
+    if (!writeResultsFile((fs::path(jobsDir()) / file).string(), ctx))
+        return;
+    std::lock_guard<std::mutex> lock(_manifestMutex);
+    _manifest[ctx.name()] = "jobs/" + file;
+    saveManifestLocked();
+}
+
+bool
+SweepRunner::replayJob(size_t i)
+{
+    JobContext &ctx = *_contexts[i];
+    auto it = _manifest.find(ctx.name());
+    if (it == _manifest.end())
+        return false;
+    try {
+        readResultsFile(
+            (fs::path(_opts.checkpointDir) / it->second).string(),
+            ctx);
+    } catch (const Error &e) {
+        warn("resume: results for job '%s' unusable (%s); re-running",
+             ctx.name().c_str(), e.what());
         return false;
     }
     ctx._replayed = true;
@@ -293,13 +367,48 @@ SweepRunner::executeJob(size_t i)
         if (ctx._tracer)
             obs::Tracer::setThreadActive(ctx._tracer.get());
 
+        // Per-attempt cancellation: the watchdog cancels the token at
+        // the deadline and the engine run loops unwind at their next
+        // pollCancel(). The token outlives the scope below so a late
+        // watchdog fire after an ordinary throw hits dead state, not
+        // freed state.
+        guard::CancelToken token;
         std::string err;
-        try {
-            _jobs[i].body(ctx);
-        } catch (const std::exception &e) {
-            err = e.what();
-        } catch (...) {
-            err = "unknown exception";
+        std::string errKind;
+        FailureKind kind = FailureKind::Exception;
+        bool retryable = true;
+        {
+            guard::CancelScope cancelScope(&token);
+            std::optional<guard::WatchdogScope> deadline;
+            if (_watchdog && _opts.jobDeadlineSec > 0) {
+                deadline.emplace(
+                    *_watchdog, &token,
+                    std::chrono::milliseconds(static_cast<uint64_t>(
+                        _opts.jobDeadlineSec * 1000.0)),
+                    "job '" + ctx.name() + "'");
+            }
+            try {
+                ASH_FAULT_POINT("job.body");
+                ASH_FAULT_POINT("job.alloc");
+                _jobs[i].body(ctx);
+            } catch (const guard::CancelledError &e) {
+                err = e.what();
+                errKind = e.kind();
+                kind = FailureKind::Timeout;
+                // The deadline would simply expire again; retrying a
+                // timeout doubles the stall for nothing.
+                retryable = false;
+            } catch (const std::bad_alloc &) {
+                err = "out of memory (std::bad_alloc)";
+                kind = FailureKind::Oom;
+            } catch (const Error &e) {
+                err = e.what();
+                errKind = e.kind();
+            } catch (const std::exception &e) {
+                err = e.what();
+            } catch (...) {
+                err = "unknown exception";
+            }
         }
 
         obs::Tracer::setThreadActive(nullptr);
@@ -311,19 +420,311 @@ SweepRunner::executeJob(size_t i)
                 persistJob(i);
             return;
         }
-        if (attempt + 1 < max_attempts) {
-            warn("job '%s' attempt %d/%d failed: %s — retrying",
+        if (retryable && attempt + 1 < max_attempts) {
+            uint64_t delayMs =
+                retryBackoffMs(ctx.seed(), attempt,
+                               _opts.backoffBaseMs,
+                               _opts.backoffCapMs);
+            warn("job '%s' attempt %d/%d failed: %s — retrying in "
+                 "%llu ms",
                  ctx.name().c_str(), attempt + 1, max_attempts,
-                 err.c_str());
+                 err.c_str(),
+                 static_cast<unsigned long long>(delayMs));
+            if (delayMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delayMs));
             continue;
         }
         auto failure = std::make_unique<JobFailure>();
         failure->job = ctx.name();
         failure->index = i;
-        failure->attempts = max_attempts;
+        failure->attempts = retryable ? max_attempts : attempt + 1;
         failure->error = err;
+        failure->kind = kind;
+        failure->errorKind = errKind;
         _failureSlots[i] = std::move(failure);
+        return;
     }
+}
+
+void
+SweepRunner::runIsolated(const std::vector<char> &skip)
+{
+    using Clock = std::chrono::steady_clock;
+
+    // Result/error transport directory. Files are written by children
+    // with tmp + rename, read and deleted by the parent.
+    const bool tempStaging = _opts.checkpointDir.empty();
+    std::string dir =
+        tempStaging
+            ? (fs::temp_directory_path() /
+               ("ash-isolate-" + std::to_string(getpid())))
+                  .string()
+            : (fs::path(_opts.checkpointDir) / "isolate").string();
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("isolate: cannot create staging dir '%s': %s; running "
+             "jobs in-process",
+             dir.c_str(), ec.message().c_str());
+        for (size_t i = 0; i < _jobs.size(); ++i)
+            if (!skip[i])
+                executeJob(i);
+        return;
+    }
+
+    const int max_attempts = std::max(1, _opts.maxAttempts);
+    const auto deadlineMs = static_cast<uint64_t>(
+        _opts.jobDeadlineSec * 1000.0);
+
+    guard::IsolateLimits limits;
+    limits.memMb = _opts.isolateRssMb;
+    if (_opts.jobDeadlineSec > 0) {
+        // CPU-time backstop behind the wall-clock kill: catches a
+        // child that spins even if the parent itself is wedged.
+        limits.cpuSeconds = static_cast<uint64_t>(
+            _opts.jobDeadlineSec * 2.0) + 1;
+    }
+
+    struct Pending
+    {
+        size_t job;
+        int attempt;
+        Clock::time_point notBefore;
+    };
+    struct Running
+    {
+        size_t job;
+        int attempt;
+        pid_t pid;
+        Clock::time_point killAt;
+        bool haveDeadline;
+        bool killedByUs;
+        std::string resultPath;
+        std::string errPath;
+    };
+
+    std::deque<Pending> queue;
+    for (size_t i = 0; i < _jobs.size(); ++i)
+        if (!skip[i])
+            queue.push_back({i, 0, Clock::now()});
+    std::vector<Running> running;
+    const size_t slots = std::max<size_t>(
+        1, std::min<size_t>(resolvedJobs(),
+                            std::max<size_t>(_jobs.size(), 1)));
+
+    // One child attempt: runs the body, encodes the outcome in the
+    // exit code, ships results/diagnostics through files.
+    auto childBody = [this](size_t i, int attempt,
+                            const std::string &resultPath,
+                            const std::string &errPath) -> int {
+        JobContext &ctx = *_contexts[i];
+        ctx.beginAttempt(attempt);
+        detail::setCurrentJob(&ctx);
+        setLogJobId(static_cast<int64_t>(i));
+        std::string err;
+        std::string errKind;
+        int code = 0;
+        try {
+            ASH_FAULT_POINT("job.body");
+            ASH_FAULT_POINT("job.alloc");
+            _jobs[i].body(ctx);
+        } catch (const std::bad_alloc &) {
+            err = "out of memory (std::bad_alloc)";
+            errKind = "oom";
+            code = 4;
+        } catch (const Error &e) {
+            err = e.what();
+            errKind = e.kind();
+            code = 3;
+        } catch (const std::exception &e) {
+            err = e.what();
+            code = 3;
+        } catch (...) {
+            err = "unknown exception";
+            code = 3;
+        }
+        if (err.empty() && !writeResultsFile(resultPath, ctx)) {
+            err = "cannot write job results file";
+            errKind = "job";
+            code = 3;
+        }
+        if (!err.empty()) {
+            std::ofstream out(errPath,
+                              std::ios::binary | std::ios::trunc);
+            out << errKind << "\n" << err;
+        }
+        return code;
+    };
+
+    auto recordFailure = [&](size_t i, int attemptsUsed,
+                             FailureKind kind, std::string err,
+                             std::string errKind, int sig, int code) {
+        auto failure = std::make_unique<JobFailure>();
+        failure->job = _contexts[i]->name();
+        failure->index = i;
+        failure->attempts = attemptsUsed;
+        failure->error = std::move(err);
+        failure->kind = kind;
+        failure->errorKind = std::move(errKind);
+        failure->exitSignal = sig;
+        failure->exitCode = code;
+        _failureSlots[i] = std::move(failure);
+    };
+
+    // Retry (with deterministic backoff) or record the failure.
+    auto finishAttempt = [&](const Running &r, bool retryable,
+                             FailureKind kind, std::string err,
+                             std::string errKind, int sig, int code) {
+        if (retryable && r.attempt + 1 < max_attempts) {
+            uint64_t delayMs = retryBackoffMs(
+                stableSeed(_jobs[r.job].name), r.attempt,
+                _opts.backoffBaseMs, _opts.backoffCapMs);
+            warn("job '%s' attempt %d/%d failed: %s — retrying in "
+                 "%llu ms",
+                 _jobs[r.job].name.c_str(), r.attempt + 1,
+                 max_attempts, err.c_str(),
+                 static_cast<unsigned long long>(delayMs));
+            queue.push_back(
+                {r.job, r.attempt + 1,
+                 Clock::now() + std::chrono::milliseconds(delayMs)});
+            return;
+        }
+        recordFailure(r.job,
+                      retryable ? max_attempts : r.attempt + 1, kind,
+                      std::move(err), std::move(errKind), sig, code);
+    };
+
+    auto reap = [&](const Running &r, const guard::ChildStatus &st) {
+        if (r.killedByUs) {
+            finishAttempt(
+                r, /*retryable=*/false, FailureKind::Timeout,
+                "deadline of " + std::to_string(deadlineMs) +
+                    " ms exceeded; child killed",
+                "cancel", st.exited ? 0 : st.termSignal,
+                st.exited ? st.exitCode : 0);
+        } else if (!st.exited) {
+            if (st.termSignal == SIGXCPU) {
+                finishAttempt(r, /*retryable=*/false,
+                              FailureKind::Timeout,
+                              "CPU limit exceeded (SIGXCPU)", "",
+                              st.termSignal, 0);
+            } else {
+                finishAttempt(r, /*retryable=*/true,
+                              FailureKind::Crash,
+                              "child crashed: " +
+                                  guard::describeChildExit(st),
+                              "", st.termSignal, 0);
+            }
+        } else if (st.exitCode == 0) {
+            JobContext &ctx = *_contexts[r.job];
+            try {
+                readResultsFile(r.resultPath, ctx);
+                if (_jobs[r.job].resumable &&
+                    !_opts.checkpointDir.empty())
+                    persistJob(r.job);
+            } catch (const Error &e) {
+                finishAttempt(r, /*retryable=*/true,
+                              FailureKind::Exception,
+                              std::string("job results unusable: ") +
+                                  e.what(),
+                              e.kind(), 0, 0);
+            }
+        } else if (st.exitCode == 42) {
+            // The injected-kill convention (also ASH_CKPT_DIE_AFTER).
+            finishAttempt(r, /*retryable=*/true, FailureKind::Crash,
+                          "child killed (exit code 42)", "fault", 0,
+                          42);
+        } else {
+            // Structured failure: the child left kind + message in
+            // its error file.
+            std::string errKind;
+            std::string err = "child failed: " +
+                              guard::describeChildExit(st);
+            std::ifstream in(r.errPath, std::ios::binary);
+            if (in) {
+                std::getline(in, errKind);
+                std::ostringstream rest;
+                rest << in.rdbuf();
+                if (!rest.str().empty())
+                    err = rest.str();
+            }
+            finishAttempt(r, /*retryable=*/true,
+                          st.exitCode == 4 ? FailureKind::Oom
+                                           : FailureKind::Exception,
+                          std::move(err), std::move(errKind), 0,
+                          st.exitCode);
+        }
+        fs::remove(r.resultPath, ec);
+        fs::remove(r.errPath, ec);
+    };
+
+    while (!queue.empty() || !running.empty()) {
+        // Launch as many eligible attempts as slots allow.
+        auto now = Clock::now();
+        for (auto it = queue.begin();
+             it != queue.end() && running.size() < slots;) {
+            if (it->notBefore > now) {
+                ++it;
+                continue;
+            }
+            Pending p = *it;
+            it = queue.erase(it);
+            Running r;
+            r.job = p.job;
+            r.attempt = p.attempt;
+            r.resultPath = dir + "/job-" + std::to_string(p.job) +
+                           "-a" + std::to_string(p.attempt) +
+                           ".ashjob";
+            r.errPath = dir + "/job-" + std::to_string(p.job) + "-a" +
+                        std::to_string(p.attempt) + ".err";
+            fs::remove(r.resultPath, ec);
+            fs::remove(r.errPath, ec);
+            r.haveDeadline = deadlineMs > 0;
+            r.killAt = now + std::chrono::milliseconds(deadlineMs);
+            r.killedByUs = false;
+            // The body lambda only ever executes in the forked child
+            // (which owns a snapshot of this stack); the parent just
+            // gets the pid back.
+            const std::string resultPath = r.resultPath;
+            const std::string errPath = r.errPath;
+            r.pid = guard::spawnIsolated(
+                limits, [&childBody, p, resultPath, errPath]() {
+                    return childBody(p.job, p.attempt, resultPath,
+                                     errPath);
+                });
+            running.push_back(std::move(r));
+        }
+
+        // Reap finished children; enforce deadlines on live ones.
+        now = Clock::now();
+        for (size_t r = 0; r < running.size();) {
+            guard::ChildStatus st;
+            if (guard::pollChild(running[r].pid, st)) {
+                Running done = std::move(running[r]);
+                running.erase(running.begin() + r);
+                reap(done, st);
+                continue;
+            }
+            if (running[r].haveDeadline && !running[r].killedByUs &&
+                now >= running[r].killAt) {
+                warn("job '%s' exceeded its %llu ms deadline; "
+                     "killing child %d",
+                     _jobs[running[r].job].name.c_str(),
+                     static_cast<unsigned long long>(deadlineMs),
+                     static_cast<int>(running[r].pid));
+                guard::killChild(running[r].pid);
+                running[r].killedByUs = true;
+            }
+            ++r;
+        }
+        if (!running.empty() || !queue.empty())
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(2));
+    }
+
+    if (tempStaging)
+        fs::remove_all(dir, ec);
 }
 
 const std::vector<JobFailure> &
@@ -363,21 +764,44 @@ SweepRunner::run()
         }
     }
 
-    const unsigned threads = std::min<size_t>(
-        resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
-    if (threads <= 1) {
-        // Single-job mode runs inline on the caller's thread — same
-        // JobContext plumbing, no thread handoff, so `--jobs 1` is
-        // also the zero-risk fallback path.
-        for (size_t i = 0; i < _jobs.size(); ++i)
-            if (!skip[i])
-                executeJob(i);
+    bool isolate = _opts.isolate;
+    if (isolate && obs::Tracer::enabled()) {
+        // Mirrors the resume/tracing rule: a child's trace ring dies
+        // with the child, so tracing wins and isolation is skipped.
+        inform("isolate: event tracing is on; running jobs "
+               "in-process");
+        isolate = false;
+    }
+
+    if (isolate) {
+        runIsolated(skip);
     } else {
-        ThreadPool pool(threads);
-        for (size_t i = 0; i < _jobs.size(); ++i)
-            if (!skip[i])
-                pool.submit([this, i] { executeJob(i); });
-        pool.wait();
+        // In-process deadlines: one watchdog thread serves every
+        // worker; its destructor (end of this scope) joins after the
+        // pool drains, so armed entries never outlive their tokens.
+        std::optional<guard::Watchdog> watchdog;
+        if (_opts.jobDeadlineSec > 0) {
+            watchdog.emplace();
+            _watchdog = &*watchdog;
+        }
+
+        const unsigned threads = std::min<size_t>(
+            resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
+        if (threads <= 1) {
+            // Single-job mode runs inline on the caller's thread —
+            // same JobContext plumbing, no thread handoff, so
+            // `--jobs 1` is also the zero-risk fallback path.
+            for (size_t i = 0; i < _jobs.size(); ++i)
+                if (!skip[i])
+                    executeJob(i);
+        } else {
+            ThreadPool pool(threads);
+            for (size_t i = 0; i < _jobs.size(); ++i)
+                if (!skip[i])
+                    pool.submit([this, i] { executeJob(i); });
+            pool.wait();
+        }
+        _watchdog = nullptr;
     }
 
     // Merge barrier: apply every job's staged output in submission
@@ -400,9 +824,12 @@ SweepRunner::run()
         warn("ash_exec sweep: %zu of %zu jobs FAILED:",
              _failures.size(), _jobs.size());
         for (const JobFailure &f : _failures)
-            warn("  job '%s' (#%zu) failed after %d attempt%s: %s",
+            warn("  job '%s' (#%zu) failed after %d attempt%s "
+                 "[%s%s%s]: %s",
                  f.job.c_str(), f.index, f.attempts,
-                 f.attempts == 1 ? "" : "s", f.error.c_str());
+                 f.attempts == 1 ? "" : "s", failureKindName(f.kind),
+                 f.errorKind.empty() ? "" : "/",
+                 f.errorKind.c_str(), f.error.c_str());
     }
     return _failures;
 }

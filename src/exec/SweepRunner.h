@@ -46,6 +46,10 @@
 
 #include "exec/Job.h"
 
+namespace ash::guard {
+class Watchdog;
+}
+
 namespace ash::exec {
 
 /** Knobs for one sweep. */
@@ -56,6 +60,42 @@ struct SweepOptions
 
     /** Total tries per job (1 = no retry). */
     int maxAttempts = 2;
+
+    /**
+     * Per-job wall-clock deadline in seconds; 0 disables. In-process,
+     * a watchdog thread cancels the job's CancelToken at the deadline
+     * and the engine run loops unwind cooperatively; in --isolate
+     * mode the child is SIGKILLed. Either way the job becomes a
+     * structured Timeout JobFailure and is not retried (the deadline
+     * would simply expire again).
+     */
+    double jobDeadlineSec = 0.0;
+
+    /**
+     * Run each job attempt in a forked subprocess (POSIX only), so a
+     * crash, hard hang, or allocation runaway kills that child — not
+     * the sweep. Results travel back through an atomically renamed
+     * file in the ckpt Snapshot format, staged under checkpointDir
+     * (or a temp dir), and merge exactly like in-process results, so
+     * report bytes match non-isolate runs. Worker parallelism comes
+     * from concurrent children; the in-process thread pool is NOT
+     * used (forking from a multithreaded parent is unsafe). Ignored
+     * while event tracing is enabled — a child's trace ring dies with
+     * the child.
+     */
+    bool isolate = false;
+
+    /** --isolate: child address-space limit in MiB; 0 = unlimited. */
+    uint64_t isolateRssMb = 0;
+
+    /**
+     * Retry backoff: attempt k waits roughly backoffBaseMs * 2^k ms
+     * (capped at backoffCapMs), scaled by a deterministic per-
+     * (job, attempt) jitter in [0.5, 1.0] — reproducible at any
+     * --jobs count. See retryBackoffMs().
+     */
+    uint64_t backoffBaseMs = 25;
+    uint64_t backoffCapMs = 2000;
 
     /**
      * Sweep checkpoint root; empty disables job persistence. When
@@ -75,6 +115,16 @@ struct SweepOptions
      */
     bool resume = false;
 };
+
+/**
+ * Deterministic retry delay before attempt @p attempt+1 of the job
+ * with seed root @p seed (exec::stableSeed of the job key): bounded
+ * exponential backoff with seeded jitter. Pure function of its
+ * arguments — never of thread count, schedule, or wall clock — so
+ * retried sweeps stay reproducible across --jobs counts.
+ */
+uint64_t retryBackoffMs(uint64_t seed, int attempt, uint64_t baseMs,
+                        uint64_t capMs);
 
 /** Deterministic parallel sweep executor; see file header. */
 class SweepRunner
@@ -142,6 +192,16 @@ class SweepRunner
     /** Run job @p i with retry; never throws. */
     void executeJob(size_t i);
 
+    /** --isolate: fork-per-attempt dispatch loop over all jobs. */
+    void runIsolated(const std::vector<char> &skip);
+
+    /** Serialize @p ctx's staged output to @p path (tmp + rename). */
+    bool writeResultsFile(const std::string &path,
+                          const JobContext &ctx);
+
+    /** Load a results file into @p ctx; throws ash::Error on damage. */
+    void readResultsFile(const std::string &path, JobContext &ctx);
+
     /** Best-effort: persist job @p i's staged output + manifest. */
     void persistJob(size_t i);
 
@@ -167,6 +227,8 @@ class SweepRunner
     std::mutex _manifestMutex;
     size_t _skipped = 0;
     bool _ran = false;
+    /** Live only inside run(), when jobDeadlineSec > 0 in-process. */
+    guard::Watchdog *_watchdog = nullptr;
 };
 
 } // namespace ash::exec

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulator loops.
+ *
+ * A CancelToken is a one-shot, thread-safe "stop now" flag with a
+ * reason string. The sweep runner installs one per job attempt as the
+ * worker thread's *current* token; the engine run loops (AshSim,
+ * baseline, refsim) call pollCancel() at a coarse cadence, which
+ * throws CancelledError the moment anything — typically the Watchdog
+ * when a per-job deadline expires — cancels the token. Cancellation
+ * therefore unwinds through ordinary exception propagation: the
+ * engine's destructors run, the job is reported as a structured
+ * timeout JobFailure, and the sweep keeps going.
+ *
+ * Header-only by design: pollCancel() must be callable from every
+ * engine library without adding a link edge to ash_guard. The cost
+ * when no token is installed is one thread_local load and a
+ * predictable branch, so per-cycle polling in baseline/refsim and
+ * every-4096-events polling in AshSim are both free in practice.
+ */
+
+#ifndef ASH_GUARD_CANCEL_H
+#define ASH_GUARD_CANCEL_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+
+#include "common/Error.h"
+
+namespace ash::guard {
+
+/** Thrown by poll()/pollCancel() once the current token is cancelled. */
+class CancelledError : public Error
+{
+  public:
+    explicit CancelledError(const std::string &reason)
+        : Error("cancel", "cancelled: " + reason)
+    {
+    }
+};
+
+/** One-shot cancellation flag; see file header. */
+class CancelToken
+{
+  public:
+    /**
+     * Request cancellation with @p reason. First caller wins the
+     * reason; the flag itself is sticky. Safe from any thread —
+     * this is exactly what the Watchdog thread calls on expiry.
+     */
+    void
+    cancel(const std::string &reason)
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (_reason.empty())
+                _reason = reason.empty() ? "cancelled" : reason;
+        }
+        // Release pairs with the acquire in cancelled(): a poller
+        // that sees the flag also sees the reason.
+        _cancelled.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const
+    {
+        return _cancelled.load(std::memory_order_acquire);
+    }
+
+    std::string
+    reason() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _reason;
+    }
+
+    /** Throw CancelledError iff cancelled; otherwise a no-op. */
+    void
+    poll() const
+    {
+        if (cancelled())
+            throw CancelledError(reason());
+    }
+
+    /** The token installed on this thread, or nullptr. */
+    static CancelToken *
+    current()
+    {
+        return _tCurrent;
+    }
+
+    /** Install @p token (nullptr to clear) as this thread's token. */
+    static void
+    setCurrent(CancelToken *token)
+    {
+        _tCurrent = token;
+    }
+
+  private:
+    std::atomic<bool> _cancelled{false};
+    mutable std::mutex _mutex;
+    std::string _reason;
+
+    static inline thread_local CancelToken *_tCurrent = nullptr;
+};
+
+/** RAII installer for a thread's current CancelToken. */
+class CancelScope
+{
+  public:
+    explicit CancelScope(CancelToken *token)
+        : _prev(CancelToken::current())
+    {
+        CancelToken::setCurrent(token);
+    }
+    ~CancelScope() { CancelToken::setCurrent(_prev); }
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+  private:
+    CancelToken *_prev;
+};
+
+/**
+ * Cancellation poll for engine run loops: throws CancelledError when
+ * this thread's current token (if any) has been cancelled. One TLS
+ * load + branch when idle — cheap enough to call every cycle.
+ */
+inline void
+pollCancel()
+{
+    if (CancelToken *token = CancelToken::current())
+        token->poll();
+}
+
+} // namespace ash::guard
+
+#endif // ASH_GUARD_CANCEL_H

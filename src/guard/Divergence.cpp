@@ -1,0 +1,137 @@
+#include "guard/Divergence.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/Logging.h"
+#include "obs/Report.h"
+#include "obs/Trace.h"
+#include "rtl/Netlist.h"
+
+namespace fs = std::filesystem;
+
+namespace ash::guard {
+
+DivergenceGuard::DivergenceGuard(const rtl::Netlist &netlist,
+                                 refsim::StimulusPtr stimulus,
+                                 FrameFn frame, Options opts)
+    : _nl(netlist), _stimulus(std::move(stimulus)),
+      _frame(std::move(frame)), _opts(std::move(opts)),
+      _golden(netlist)
+{
+}
+
+void
+DivergenceGuard::onCycle(uint64_t cycle, ckpt::Snapshotter &sim)
+{
+    if (_opts.everyCycles == 0 || cycle == 0)
+        return;
+    // Same bucket discipline as CheckpointManager: engines fire the
+    // hook at their own quiescent cadence (AshSim batches by GVT), so
+    // "every N" means "once per N-cycle window actually crossed".
+    uint64_t bucket = cycle / _opts.everyCycles;
+    if (bucket <= _lastBucket)
+        return;
+    _lastBucket = bucket;
+
+    // The hook reports `cycle` design cycles fully committed; the
+    // newest committed frame is for cycle index cycle-1. The golden
+    // model replays its own copy of the deterministic stimulus, so
+    // after `cycle` steps its outputFrame() is that same frame.
+    while (_golden.cycle() < cycle)
+        _golden.step(*_stimulus);
+    ++_checks;
+
+    refsim::OutputFrame expect = _golden.outputFrame();
+    refsim::OutputFrame actual = _frame(cycle - 1);
+    if (expect == actual)
+        return;
+
+    std::string where =
+        writeBundle(cycle, sim, expect, actual);
+    std::ostringstream msg;
+    msg << "divergence from reference at cycle " << (cycle - 1)
+        << " (" << sim.engineName() << " vs refsim";
+    for (size_t i = 0; i < expect.size() && i < actual.size(); ++i) {
+        if (expect[i] != actual[i]) {
+            msg << "; first mismatch output '"
+                << _nl.outputName(_nl.outputs()[i]) << "' expected 0x"
+                << std::hex << expect[i] << " got 0x" << actual[i]
+                << std::dec;
+            break;
+        }
+    }
+    msg << ")";
+    if (!where.empty())
+        msg << "; quarantine bundle: " << where;
+    throw DivergenceError(msg.str());
+}
+
+std::string
+DivergenceGuard::writeBundle(uint64_t cycle, ckpt::Snapshotter &sim,
+                             const refsim::OutputFrame &expect,
+                             const refsim::OutputFrame &actual)
+{
+    if (_opts.quarantineDir.empty())
+        return "";
+
+    std::string dir =
+        _opts.quarantineDir + "/" +
+        ckpt::CheckpointManager::sanitizeKey(
+            _opts.key.empty() ? "run" : _opts.key) +
+        "-c" + std::to_string(cycle);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        warn("divergence: cannot create quarantine dir '%s': %s",
+             dir.c_str(), ec.message().c_str());
+        return "";
+    }
+
+    // Best-effort from here: the bundle must never mask the
+    // DivergenceError with a secondary I/O failure.
+    try {
+        ckpt::CheckpointManager::writeImage(dir + "/ash-state.ashckpt",
+                                            sim);
+        ckpt::CheckpointManager::writeImage(
+            dir + "/golden-state.ashckpt", _golden);
+    } catch (const Error &e) {
+        warn("divergence: bundle snapshot write failed: %s", e.what());
+    }
+
+    if (obs::Tracer::enabled())
+        obs::Tracer::global().exportChromeJson(dir + "/trace.json");
+
+    {
+        std::ofstream out(dir + "/stats.json",
+                          std::ios::binary | std::ios::trunc);
+        out << obs::Report::global().toJson(true) << "\n";
+    }
+
+    std::ofstream out(dir + "/report.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{\n";
+    out << "  \"key\": \"" << _opts.key << "\",\n";
+    out << "  \"engine\": \"" << sim.engineName() << "\",\n";
+    out << "  \"committedCycles\": " << cycle << ",\n";
+    out << "  \"divergentCycle\": " << (cycle - 1) << ",\n";
+    out << "  \"engineStateHash\": \"" << std::hex << sim.stateHash()
+        << std::dec << "\",\n";
+    out << "  \"goldenStateHash\": \"" << std::hex
+        << _golden.stateHash() << std::dec << "\",\n";
+    out << "  \"outputs\": [";
+    bool first = true;
+    for (size_t i = 0; i < expect.size() && i < actual.size(); ++i) {
+        if (expect[i] == actual[i])
+            continue;
+        out << (first ? "" : ",") << "\n    {\"name\": \""
+            << _nl.outputName(_nl.outputs()[i]) << "\", \"expect\": "
+            << expect[i] << ", \"actual\": " << actual[i] << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+    return dir;
+}
+
+} // namespace ash::guard

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Divergence guard: periodic cross-check of a fast engine (AshSim)
+ * against the golden reference simulator, with a quarantine bundle on
+ * mismatch.
+ *
+ * The guard is a ckpt::CycleHook, so it rides the same quiescent-
+ * point callback as the CheckpointManager (compose both with
+ * HookChain). Every `everyCycles` committed cycles it steps a private
+ * ReferenceSimulator — driven by its own instance of the same
+ * deterministic stimulus — up to the checked cycle and compares the
+ * golden output frame against the guarded engine's committed frame.
+ * Output-frame comparison is the cross-engine equivalence oracle this
+ * codebase already uses everywhere (the same stimulus contract that
+ * powers the equivalence tests); both engines' full stateHash()es are
+ * additionally recorded in the bundle report for forensic diffing.
+ *
+ * On mismatch the guard writes a quarantine bundle
+ *
+ *   <quarantineDir>/<sanitized key>-c<cycle>/
+ *     report.json         what diverged: cycle, per-output expected/
+ *                         actual values, both engines' stateHash()
+ *     ash-state.ashckpt   guarded engine's full snapshot at the
+ *                         divergent quiescent point
+ *     golden-state.ashckpt  reference simulator's snapshot
+ *     trace.json          obs trace ring (Chrome format), when
+ *                         tracing is enabled
+ *
+ * and throws DivergenceError, failing that job (not the process).
+ */
+
+#ifndef ASH_GUARD_DIVERGENCE_H
+#define ASH_GUARD_DIVERGENCE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/Checkpoint.h"
+#include "common/Error.h"
+#include "refsim/ReferenceSimulator.h"
+#include "refsim/Stimulus.h"
+
+namespace ash::guard {
+
+/** Thrown when the guarded engine disagrees with the reference. */
+class DivergenceError : public Error
+{
+  public:
+    explicit DivergenceError(const std::string &what)
+        : Error("divergence", what)
+    {
+    }
+};
+
+/**
+ * Fans one engine CycleHook slot out to several hooks, in order.
+ * Lets a run use checkpointing and the divergence guard at once.
+ */
+class HookChain : public ckpt::CycleHook
+{
+  public:
+    void add(ckpt::CycleHook *hook)
+    {
+        if (hook)
+            _hooks.push_back(hook);
+    }
+
+    bool empty() const { return _hooks.empty(); }
+
+    void
+    onCycle(uint64_t cycle, ckpt::Snapshotter &sim) override
+    {
+        for (ckpt::CycleHook *hook : _hooks)
+            hook->onCycle(cycle, sim);
+    }
+
+  private:
+    std::vector<ckpt::CycleHook *> _hooks;
+};
+
+/** Periodic golden cross-check; see file header. */
+class DivergenceGuard : public ckpt::CycleHook
+{
+  public:
+    struct Options
+    {
+        uint64_t everyCycles = 0;    ///< Check period; 0 disables.
+        std::string quarantineDir;   ///< Bundle root; "" = no bundle.
+        std::string key;             ///< Job key for bundle naming.
+    };
+
+    /**
+     * The guarded engine's committed outputs at an absolute cycle.
+     * Must be callable for any cycle the hook has reported committed.
+     */
+    using FrameFn = std::function<refsim::OutputFrame(uint64_t cycle)>;
+
+    /**
+     * @p netlist/@p stimulus rebuild the golden model; @p frame reads
+     * the guarded engine's committed outputs. The stimulus must be a
+     * fresh deterministic instance — the guard steps it from cycle 0.
+     */
+    DivergenceGuard(const rtl::Netlist &netlist,
+                    refsim::StimulusPtr stimulus, FrameFn frame,
+                    Options opts);
+
+    /** Checks run so far (testing/diagnostics). */
+    uint64_t checksDone() const { return _checks; }
+
+    void onCycle(uint64_t cycle, ckpt::Snapshotter &sim) override;
+
+  private:
+    std::string writeBundle(uint64_t cycle, ckpt::Snapshotter &sim,
+                            const refsim::OutputFrame &expect,
+                            const refsim::OutputFrame &actual);
+
+    const rtl::Netlist &_nl;
+    refsim::StimulusPtr _stimulus;
+    FrameFn _frame;
+    Options _opts;
+    refsim::ReferenceSimulator _golden;
+    uint64_t _lastBucket = 0;
+    uint64_t _checks = 0;
+};
+
+} // namespace ash::guard
+
+#endif // ASH_GUARD_DIVERGENCE_H

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * ash_guard deterministic fault injection. A FaultPlan is a seeded
+ * list of rules binding named *injection sites* (cold-path hooks
+ * compiled into the stack: checkpoint writes/renames, manifest reads,
+ * snapshot bytes, sweep job bodies, result persistence) to fault
+ * kinds. Arming the process-wide FaultInjector with a plan makes
+ * those sites misbehave reproducibly; the chaos tests then assert
+ * that the rest of the stack degrades gracefully.
+ *
+ * Plan spec (the --fault-plan flag / ASH_FAULT environment variable);
+ * rules are ';'-separated, parameters ':'-separated:
+ *
+ *   [seed=N;]site[@match]:kind[:param=value]...
+ *
+ *   site   injection-site name; trailing '*' matches any suffix
+ *          (sites in the tree: job.body, job.alloc, exec.persist.write,
+ *           ckpt.image.write, ckpt.image.rename, ckpt.image.bytes,
+ *           ckpt.manifest.write, ckpt.manifest.read)
+ *   match  substring of the fault scope (the sweep job key; empty
+ *          scope outside jobs); omitted = every scope
+ *   kind   error   throw guard::InjectedFault (structured I/O-style
+ *                  failure; derives ash::Error)
+ *          alloc   throw std::bad_alloc (allocation pressure)
+ *          hang    busy-wait ms= milliseconds, polling the thread's
+ *                  CancelToken so watchdogs can reap it
+ *          kill    _exit(42) — the portable SIGKILL stand-in
+ *          corrupt flip bytes= bytes of the buffer passed to
+ *                  ASH_FAULT_CORRUPT sites (CRC-detectable damage)
+ *   params prob=P   fire with probability P (deterministic, hashed)
+ *          after=N  skip the first N hits of (site, scope)
+ *          every=N  then fire every Nth hit only
+ *          count=N  stop after N fires of (site, scope)
+ *          ms=N     hang duration (default 1000)
+ *          bytes=N  corruption width (default 8)
+ *
+ * DETERMINISM — the contract that lets chaos runs diff against
+ * fault-free runs byte-for-byte: a fire decision is a pure function
+ * of (plan seed, site, scope, per-(site,scope) hit index). The scope
+ * is the sweep job key, so decisions never depend on thread count,
+ * scheduling, or wall-clock time; healthy jobs see exactly the same
+ * world at any --jobs count.
+ *
+ * COMPILE-OUT — mirrors ASH_OBS_TRACE: building with
+ * -DASH_GUARD_FAULTS_ENABLED=OFF turns every ASH_FAULT_POINT() into
+ * ((void)0). Compiled in but disarmed (the default), a site costs one
+ * inline relaxed atomic load and a predictable branch; sites live
+ * only on cold I/O and job-boundary paths, never in engine hot loops.
+ *
+ * Header-only on purpose: sites exist in layers below ash_guard
+ * (ckpt, exec), and an inline singleton keeps them free of library
+ * dependency edges.
+ */
+
+#ifndef ASH_GUARD_FAULT_H
+#define ASH_GUARD_FAULT_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "common/Error.h"
+#include "common/Logging.h"
+#include "guard/Cancel.h"
+
+/** Compile-time master switch; see file header. */
+#ifndef ASH_GUARD_FAULTS
+#define ASH_GUARD_FAULTS 1
+#endif
+
+namespace ash::guard {
+
+/** Thrown by 'error'-kind injections; a stand-in for real I/O loss. */
+class InjectedFault : public Error
+{
+  public:
+    explicit InjectedFault(const std::string &what)
+        : Error("fault", what)
+    {
+    }
+};
+
+/**
+ * Fault *scope* provider. The scope names the unit of work a fault
+ * decision is attributed to — the running sweep job's key — which is
+ * what makes decisions independent of thread count and scheduling.
+ * exec::SweepRunner registers a provider at startup; outside any job
+ * (or with no provider registered) the scope is "".
+ *
+ * An inline atomic slot rather than a direct call into ash_exec keeps
+ * this header free of library dependency edges in both directions.
+ */
+using FaultScopeProvider = std::string (*)();
+
+inline std::atomic<FaultScopeProvider> &
+faultScopeProviderSlot()
+{
+    static std::atomic<FaultScopeProvider> slot{nullptr};
+    return slot;
+}
+
+/** Register @p fn as the process-wide scope provider (nullptr clears). */
+inline void
+setFaultScopeProvider(FaultScopeProvider fn)
+{
+    faultScopeProviderSlot().store(fn, std::memory_order_release);
+}
+
+/** The current fault scope; "" outside any registered unit of work. */
+inline std::string
+currentFaultScope()
+{
+    FaultScopeProvider fn =
+        faultScopeProviderSlot().load(std::memory_order_acquire);
+    return fn ? fn() : std::string();
+}
+
+/** What a matched rule does at its site. */
+enum class FaultKind : uint8_t { Error, Alloc, Hang, Kill, Corrupt };
+
+/** One parsed plan rule; see the file-header spec. */
+struct FaultRule
+{
+    std::string site;        ///< Site name; trailing '*' = prefix.
+    std::string match;       ///< Scope substring; empty = all scopes.
+    FaultKind kind = FaultKind::Error;
+    double prob = 1.0;
+    uint64_t after = 0;
+    uint64_t every = 0;      ///< 0 = every hit past `after`.
+    uint64_t count = ~0ull;  ///< Max fires per (site, scope).
+    uint64_t ms = 1000;      ///< Hang duration.
+    uint64_t bytes = 8;      ///< Corruption width.
+};
+
+/** A seeded rule list; parse() accepts the spec format above. */
+struct FaultPlan
+{
+    uint64_t seed = 1;
+    std::vector<FaultRule> rules;
+
+    /**
+     * Parse @p spec; returns false and sets @p err on a malformed
+     * spec (unknown kind/parameter, bad number). An empty spec is a
+     * valid empty plan.
+     */
+    static bool parse(const std::string &spec, FaultPlan &out,
+                      std::string *err = nullptr);
+};
+
+/**
+ * Process-wide injection authority. arm() installs a plan and flips
+ * the inline `armed()` flag the ASH_FAULT_POINT macro checks;
+ * decision state (per-(site,scope) hit counters) lives behind a
+ * mutex — fine, every site is cold by construction.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &
+    instance()
+    {
+        static FaultInjector inj;
+        return inj;
+    }
+
+    /** Hot-path guard; inline, branch-predictable, no call. */
+    static bool
+    armed()
+    {
+        return _sArmed.load(std::memory_order_relaxed);
+    }
+
+    /** Install @p plan; empty rule lists leave the injector off. */
+    void
+    arm(FaultPlan plan)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _plan = std::move(plan);
+        _hits.clear();
+        _sArmed.store(!_plan.rules.empty(),
+                      std::memory_order_relaxed);
+    }
+
+    /** Remove the plan; every site reverts to a no-op. */
+    void
+    disarm()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _plan = FaultPlan{};
+        _hits.clear();
+        _sArmed.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * One ASH_FAULT_POINT hit: consult the plan and misbehave per the
+     * matched rule (throw, hang, kill). Returns normally when no rule
+     * fires. Scope is the running sweep job's key ("" outside jobs).
+     */
+    void
+    fire(const char *site)
+    {
+        const FaultRule *rule = decide(site, nullptr);
+        if (!rule)
+            return;
+        act(*rule, site);
+    }
+
+    /**
+     * One ASH_FAULT_CORRUPT hit: when a 'corrupt' rule fires, flip
+     * rule.bytes deterministically chosen bytes of @p data in place
+     * and return true. Non-corrupt rules act as in fire().
+     */
+    bool
+    corrupt(const char *site, void *data, size_t len)
+    {
+        uint64_t decisionHash = 0;
+        const FaultRule *rule = decide(site, &decisionHash);
+        if (!rule)
+            return false;
+        if (rule->kind != FaultKind::Corrupt) {
+            act(*rule, site);
+            return false;
+        }
+        if (len == 0)
+            return false;
+        auto *bytes = static_cast<unsigned char *>(data);
+        uint64_t h = decisionHash;
+        for (uint64_t i = 0; i < rule->bytes; ++i) {
+            h = mix(h + i);
+            bytes[h % len] ^= static_cast<unsigned char>(
+                0x01u | (h >> 32));
+        }
+        warn("fault: corrupted %llu byte(s) at site '%s'",
+             static_cast<unsigned long long>(rule->bytes), site);
+        return true;
+    }
+
+    /** Fires so far, across all sites (diagnostics, tests). */
+    uint64_t
+    firedCount() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        uint64_t n = 0;
+        for (const auto &[key, counters] : _hits)
+            n += counters.second;
+        return n;
+    }
+
+  private:
+    FaultInjector() = default;
+
+    static uint64_t
+    mix(uint64_t z)
+    {
+        // splitmix64 finalizer: the decision hash.
+        z += 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    static uint64_t
+    hashStr(const std::string &s, uint64_t h)
+    {
+        for (char c : s)
+            h = (h ^ static_cast<unsigned char>(c)) *
+                1099511628211ull;
+        return h;
+    }
+
+    static bool
+    siteMatches(const std::string &pattern, const std::string &site)
+    {
+        if (!pattern.empty() && pattern.back() == '*')
+            return site.compare(0, pattern.size() - 1, pattern, 0,
+                                pattern.size() - 1) == 0;
+        return pattern == site;
+    }
+
+    /**
+     * Count the hit and return the rule to apply, or nullptr. The
+     * decision hash (pure function of seed/site/scope/hit index) is
+     * optionally exposed for corruption-offset derivation.
+     */
+    const FaultRule *
+    decide(const char *siteCstr, uint64_t *decisionHashOut)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_plan.rules.empty())
+            return nullptr;
+        const std::string site(siteCstr);
+        const std::string scope = currentFaultScope();
+
+        for (const FaultRule &rule : _plan.rules) {
+            if (!siteMatches(rule.site, site))
+                continue;
+            if (!rule.match.empty() &&
+                scope.find(rule.match) == std::string::npos)
+                continue;
+
+            auto &[hits, fires] = _hits[site + '\0' + scope];
+            uint64_t hit = hits++;
+            if (hit < rule.after || fires >= rule.count)
+                return nullptr;
+            uint64_t idx = hit - rule.after;
+            if (rule.every > 1 && idx % rule.every != 0)
+                return nullptr;
+            uint64_t h = mix(_plan.seed ^
+                             hashStr(site, 14695981039346656037ull));
+            h = mix(h ^ hashStr(scope, 14695981039346656037ull));
+            h = mix(h ^ idx);
+            if (rule.prob < 1.0 &&
+                static_cast<double>(h >> 11) *
+                        (1.0 / 9007199254740992.0) >=
+                    rule.prob)
+                return nullptr;
+            ++fires;
+            if (decisionHashOut)
+                *decisionHashOut = h;
+            return &rule;
+        }
+        // No rule names this site: count nothing, stay silent.
+        return nullptr;
+    }
+
+    [[noreturn]] static void
+    throwInjected(const char *site)
+    {
+        throw InjectedFault(std::string("injected fault at site '") +
+                            site + "' (scope '" +
+                            currentFaultScope() + "')");
+    }
+
+    void
+    act(const FaultRule &rule, const char *site)
+    {
+        switch (rule.kind) {
+          case FaultKind::Error:
+            warn("fault: injecting error at site '%s'", site);
+            throwInjected(site);
+          case FaultKind::Alloc:
+            warn("fault: injecting allocation failure at site '%s'",
+                 site);
+            throw std::bad_alloc();
+          case FaultKind::Hang:
+            warn("fault: hanging %llu ms at site '%s'",
+                 static_cast<unsigned long long>(rule.ms), site);
+            hangFor(rule.ms);
+            return;
+          case FaultKind::Kill:
+            warn("fault: killing process at site '%s'", site);
+            _exit(42);
+          case FaultKind::Corrupt:
+            // Corruption needs a buffer; a plain fire() site cannot
+            // honor it. Loud, because the plan is likely wrong.
+            warn("fault: 'corrupt' rule matched non-buffer site "
+                 "'%s'; ignored", site);
+            return;
+        }
+    }
+
+    /** Cancellable spin-sleep so a watchdog can reap the "hang". */
+    static void hangFor(uint64_t ms);
+
+    mutable std::mutex _mutex;
+    FaultPlan _plan;
+    /** (site + NUL + scope) -> (hits, fires). */
+    std::map<std::string, std::pair<uint64_t, uint64_t>> _hits;
+
+    static inline std::atomic<bool> _sArmed{false};
+};
+
+inline void
+FaultInjector::hangFor(uint64_t ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < deadline) {
+        // Cancellable: a Watchdog that fires during the hang reaps
+        // this thread through the normal CancelledError path.
+        pollCancel();
+        auto left = deadline - Clock::now();
+        auto chunk = std::chrono::milliseconds(5);
+        std::this_thread::sleep_for(left < chunk ? left : chunk);
+    }
+    pollCancel();
+}
+
+inline bool
+FaultPlan::parse(const std::string &spec, FaultPlan &out,
+                 std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = "fault plan: " + msg;
+        return false;
+    };
+    auto parseU64 = [](const std::string &s, uint64_t &v) {
+        if (s.empty())
+            return false;
+        char *end = nullptr;
+        v = std::strtoull(s.c_str(), &end, 10);
+        return end && *end == '\0';
+    };
+
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t semi = spec.find(';', pos);
+        std::string part = spec.substr(
+            pos, semi == std::string::npos ? std::string::npos
+                                          : semi - pos);
+        pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+        if (part.empty())
+            continue;
+
+        if (part.compare(0, 5, "seed=") == 0) {
+            if (!parseU64(part.substr(5), plan.seed))
+                return fail("bad seed '" + part + "'");
+            continue;
+        }
+
+        // site[@match]:kind[:key=value]...
+        size_t colon = part.find(':');
+        if (colon == std::string::npos)
+            return fail("rule '" + part + "' missing ':kind'");
+        FaultRule rule;
+        rule.site = part.substr(0, colon);
+        if (size_t at = rule.site.find('@');
+            at != std::string::npos) {
+            rule.match = rule.site.substr(at + 1);
+            rule.site.resize(at);
+        }
+        if (rule.site.empty())
+            return fail("rule '" + part + "' has an empty site");
+
+        size_t fieldPos = colon + 1;
+        bool haveKind = false;
+        while (fieldPos <= part.size()) {
+            size_t next = part.find(':', fieldPos);
+            std::string field = part.substr(
+                fieldPos, next == std::string::npos
+                              ? std::string::npos
+                              : next - fieldPos);
+            fieldPos = next == std::string::npos ? part.size() + 1
+                                                 : next + 1;
+            if (field.empty())
+                continue;
+            size_t eq = field.find('=');
+            if (eq == std::string::npos) {
+                if (haveKind)
+                    return fail("rule '" + part +
+                                "' names two kinds");
+                if (field == "error")
+                    rule.kind = FaultKind::Error;
+                else if (field == "alloc")
+                    rule.kind = FaultKind::Alloc;
+                else if (field == "hang")
+                    rule.kind = FaultKind::Hang;
+                else if (field == "kill")
+                    rule.kind = FaultKind::Kill;
+                else if (field == "corrupt")
+                    rule.kind = FaultKind::Corrupt;
+                else
+                    return fail("unknown fault kind '" + field + "'");
+                haveKind = true;
+                continue;
+            }
+            std::string key = field.substr(0, eq);
+            std::string val = field.substr(eq + 1);
+            bool ok = true;
+            if (key == "prob") {
+                char *end = nullptr;
+                rule.prob = std::strtod(val.c_str(), &end);
+                ok = end && *end == '\0' && rule.prob >= 0.0 &&
+                     rule.prob <= 1.0;
+            } else if (key == "after") {
+                ok = parseU64(val, rule.after);
+            } else if (key == "every") {
+                ok = parseU64(val, rule.every);
+            } else if (key == "count") {
+                ok = parseU64(val, rule.count);
+            } else if (key == "ms") {
+                ok = parseU64(val, rule.ms);
+            } else if (key == "bytes") {
+                ok = parseU64(val, rule.bytes) && rule.bytes > 0;
+            } else {
+                return fail("unknown parameter '" + key +
+                            "' in rule '" + part + "'");
+            }
+            if (!ok)
+                return fail("bad value '" + val + "' for '" + key +
+                            "' in rule '" + part + "'");
+        }
+        if (!haveKind)
+            return fail("rule '" + part + "' missing a fault kind");
+        plan.rules.push_back(std::move(rule));
+    }
+
+    out = std::move(plan);
+    return true;
+}
+
+} // namespace ash::guard
+
+/**
+ * Injection site. Compiles to nothing with
+ * -DASH_GUARD_FAULTS_ENABLED=OFF; one inline flag check when armed
+ * is possible but no plan is installed.
+ */
+#if ASH_GUARD_FAULTS
+#define ASH_FAULT_POINT(site)                                          \
+    do {                                                               \
+        if (::ash::guard::FaultInjector::armed()) {                    \
+            ::ash::guard::FaultInjector::instance().fire(site);        \
+        }                                                              \
+    } while (0)
+/** Buffer-corruption site; evaluates to true when bytes were flipped. */
+#define ASH_FAULT_CORRUPT(site, data, len)                             \
+    (::ash::guard::FaultInjector::armed() &&                           \
+     ::ash::guard::FaultInjector::instance().corrupt(site, data, len))
+#else
+#define ASH_FAULT_POINT(site) ((void)0)
+#define ASH_FAULT_CORRUPT(site, data, len) (false)
+#endif
+
+#endif // ASH_GUARD_FAULT_H

@@ -1,0 +1,113 @@
+#include "guard/Isolate.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/Error.h"
+#include "common/Logging.h"
+
+namespace ash::guard {
+
+namespace {
+
+void
+applyLimit(int resource, uint64_t value, const char *what)
+{
+    struct rlimit lim;
+    lim.rlim_cur = value;
+    lim.rlim_max = value;
+    if (setrlimit(resource, &lim) != 0) {
+        // Child context: limits are best-effort hardening, not
+        // correctness; warn and keep going.
+        warn("isolate: setrlimit(%s, %llu) failed: %s", what,
+             static_cast<unsigned long long>(value), strerror(errno));
+    }
+}
+
+} // namespace
+
+pid_t
+spawnIsolated(const IsolateLimits &limits,
+              const std::function<int()> &body)
+{
+    pid_t pid = fork();
+    if (pid < 0)
+        throw Error("isolate",
+                    std::string("isolate: fork failed: ") +
+                        strerror(errno));
+    if (pid > 0)
+        return pid;
+
+    // --- child ---
+    applyLimit(RLIMIT_CORE, 0, "RLIMIT_CORE");
+    if (limits.cpuSeconds > 0)
+        applyLimit(RLIMIT_CPU, limits.cpuSeconds, "RLIMIT_CPU");
+    if (limits.memMb > 0)
+        applyLimit(RLIMIT_AS, limits.memMb * 1024ull * 1024ull,
+                   "RLIMIT_AS");
+
+    int code = 124;
+    try {
+        code = body();
+    } catch (...) {
+        // body() is expected to catch its own failures and encode
+        // them in its return value; 124 marks the escape hatch.
+    }
+    _exit(code);
+}
+
+bool
+pollChild(pid_t pid, ChildStatus &out)
+{
+    int status = 0;
+    pid_t r = waitpid(pid, &status, WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0) {
+        // ECHILD etc.: the child is gone but unobservable; report it
+        // as an abnormal exit rather than spinning forever.
+        out = ChildStatus{true, 127, 0};
+        return true;
+    }
+    if (WIFEXITED(status))
+        out = ChildStatus{true, WEXITSTATUS(status), 0};
+    else if (WIFSIGNALED(status))
+        out = ChildStatus{false, 0, WTERMSIG(status)};
+    else
+        out = ChildStatus{true, 127, 0};
+    return true;
+}
+
+void
+killChild(pid_t pid)
+{
+    if (pid > 0)
+        kill(pid, SIGKILL);
+}
+
+std::string
+describeChildExit(const ChildStatus &status)
+{
+    if (status.exited)
+        return "exit code " + std::to_string(status.exitCode);
+    std::string name;
+    switch (status.termSignal) {
+      case SIGKILL: name = "SIGKILL"; break;
+      case SIGSEGV: name = "SIGSEGV"; break;
+      case SIGABRT: name = "SIGABRT"; break;
+      case SIGBUS: name = "SIGBUS"; break;
+      case SIGXCPU: name = "SIGXCPU"; break;
+      case SIGILL: name = "SIGILL"; break;
+      case SIGFPE: name = "SIGFPE"; break;
+      default: name = "signal"; break;
+    }
+    return "signal " + std::to_string(status.termSignal) + " (" +
+           name + ")";
+}
+
+} // namespace ash::guard

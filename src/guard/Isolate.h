@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Subprocess isolation for --isolate sweeps: run one job attempt in a
+ * forked child under resource limits so a crash, runaway allocation,
+ * or hard hang kills *that child* and the parent reports a structured
+ * JobFailure instead of dying with it.
+ *
+ * These are deliberately thin POSIX helpers — fork with rlimits,
+ * non-blocking reap, SIGKILL — and policy stays in exec::SweepRunner:
+ * the runner decides what the child runs, how results travel back
+ * (tmp+rename file in Snapshot format), when a deadline has passed,
+ * and how a raw ChildStatus maps onto a FailureKind (it knows whether
+ * the SIGKILL was its own deadline kill or a genuine crash).
+ *
+ * Forking from a multithreaded process is a minefield (the child
+ * inherits only the calling thread, but every mutex — malloc's
+ * included — in whatever state other threads left it), so the sweep
+ * runner never mixes --isolate with its in-process ThreadPool: in
+ * isolate mode the single main thread forks all children, and
+ * parallelism comes from the children running concurrently.
+ */
+
+#ifndef ASH_GUARD_ISOLATE_H
+#define ASH_GUARD_ISOLATE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <sys/types.h>
+
+namespace ash::guard {
+
+/** Child resource limits; 0 means unlimited. */
+struct IsolateLimits
+{
+    uint64_t cpuSeconds = 0; ///< RLIMIT_CPU (hard hang backstop).
+    uint64_t memMb = 0;      ///< RLIMIT_AS, MiB (allocation runaway).
+};
+
+/** Raw child exit report from pollChild(). */
+struct ChildStatus
+{
+    bool exited = false;     ///< Normal exit (vs. signal).
+    int exitCode = 0;        ///< Valid when exited.
+    int termSignal = 0;      ///< Valid when !exited.
+};
+
+/**
+ * Fork a child that applies @p limits (plus RLIMIT_CORE=0 — injected
+ * crashes must not litter core files) and runs @p body; the child
+ * exits with body's return value, or 124 if body leaks an exception.
+ * Returns the child pid. Throws ash::Error("isolate") if fork fails.
+ *
+ * Call only from a context with no other live threads of our own
+ * (see file header).
+ */
+pid_t spawnIsolated(const IsolateLimits &limits,
+                    const std::function<int()> &body);
+
+/**
+ * Non-blocking reap of @p pid. True (and @p out filled) once the
+ * child is done; false while it is still running.
+ */
+bool pollChild(pid_t pid, ChildStatus &out);
+
+/** SIGKILL @p pid (deadline enforcement); idempotent. */
+void killChild(pid_t pid);
+
+/** Human-readable exit summary ("exit code 3", "signal 11 (SIGSEGV)"). */
+std::string describeChildExit(const ChildStatus &status);
+
+} // namespace ash::guard
+
+#endif // ASH_GUARD_ISOLATE_H

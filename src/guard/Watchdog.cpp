@@ -1,0 +1,92 @@
+#include "guard/Watchdog.h"
+
+#include "common/Logging.h"
+
+namespace ash::guard {
+
+Watchdog::Watchdog() : _thread([this] { serviceLoop(); }) {}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _cv.notify_all();
+    _thread.join();
+}
+
+uint64_t
+Watchdog::arm(CancelToken *token, std::chrono::milliseconds deadline,
+              const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    uint64_t id = _nextId++;
+    _entries.emplace(
+        id, Entry{token, std::chrono::steady_clock::now() + deadline,
+                  what, deadline});
+    _cv.notify_all();
+    return id;
+}
+
+bool
+Watchdog::disarm(uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.erase(id) != 0;
+}
+
+uint64_t
+Watchdog::firedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _fired;
+}
+
+void
+Watchdog::serviceLoop()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (!_shutdown) {
+        auto now = std::chrono::steady_clock::now();
+        auto nearest = std::chrono::steady_clock::time_point::max();
+
+        for (auto it = _entries.begin(); it != _entries.end();) {
+            if (it->second.deadline <= now) {
+                Entry entry = std::move(it->second);
+                it = _entries.erase(it);
+                ++_fired;
+                // Cancel outside the lock: the token's own mutex is
+                // independent, but a poller's reason() read should
+                // never contend with our bookkeeping.
+                lock.unlock();
+                warn("watchdog: deadline of %lld ms exceeded for %s;"
+                     " cancelling",
+                     static_cast<long long>(entry.budget.count()),
+                     entry.what.c_str());
+                entry.token->cancel(
+                    "deadline of " +
+                    std::to_string(entry.budget.count()) +
+                    " ms exceeded for " + entry.what);
+                lock.lock();
+                // _entries may have changed; restart the sweep.
+                it = _entries.begin();
+                now = std::chrono::steady_clock::now();
+                nearest = std::chrono::steady_clock::time_point::max();
+                continue;
+            }
+            nearest = std::min(nearest, it->second.deadline);
+            ++it;
+        }
+
+        if (_shutdown)
+            break;
+        if (nearest == std::chrono::steady_clock::time_point::max())
+            _cv.wait(lock);
+        else
+            _cv.wait_until(lock, nearest);
+    }
+}
+
+} // namespace ash::guard
+

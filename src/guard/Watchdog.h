@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Wall-clock watchdog backing per-job deadlines (--job-deadline).
+ *
+ * One background thread serves any number of armed entries. Arming
+ * associates a CancelToken with an absolute deadline; if the entry is
+ * not disarmed in time, the watchdog cancels the token with a
+ * descriptive reason and the victim thread unwinds at its next
+ * pollCancel() — cooperative, so destructors run and the job is
+ * reported as a structured timeout rather than being torn down
+ * mid-write. (The non-cooperative big hammer is --isolate, where the
+ * sweep runner SIGKILLs the forked child instead.)
+ *
+ * The service thread sleeps on a condition variable until the nearest
+ * deadline (or a state change), so an idle watchdog costs nothing and
+ * expiry latency is bounded by wakeup jitter only — well under the
+ * "reported within 2x the deadline" acceptance bound.
+ */
+
+#ifndef ASH_GUARD_WATCHDOG_H
+#define ASH_GUARD_WATCHDOG_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "guard/Cancel.h"
+
+namespace ash::guard {
+
+/** Deadline service; see file header. */
+class Watchdog
+{
+  public:
+    Watchdog();
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Watch @p token: unless disarm()ed within @p deadline, cancel it
+     * with a reason naming @p what and the budget. Returns a handle
+     * for disarm(). @p token must outlive the armed window.
+     */
+    uint64_t arm(CancelToken *token,
+                 std::chrono::milliseconds deadline,
+                 const std::string &what);
+
+    /**
+     * Stop watching @p id (e.g. the job finished in time). Idempotent;
+     * returns false if the entry already fired or never existed.
+     */
+    bool disarm(uint64_t id);
+
+    /** Deadlines fired over this watchdog's lifetime. */
+    uint64_t firedCount() const;
+
+  private:
+    void serviceLoop();
+
+    struct Entry
+    {
+        CancelToken *token;
+        std::chrono::steady_clock::time_point deadline;
+        std::string what;
+        std::chrono::milliseconds budget;
+    };
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::map<uint64_t, Entry> _entries;
+    uint64_t _nextId = 1;
+    uint64_t _fired = 0;
+    bool _shutdown = false;
+    std::thread _thread;
+};
+
+/** RAII arm/disarm around one guarded scope (a job attempt). */
+class WatchdogScope
+{
+  public:
+    WatchdogScope(Watchdog &dog, CancelToken *token,
+                  std::chrono::milliseconds deadline,
+                  const std::string &what)
+        : _dog(dog), _id(dog.arm(token, deadline, what))
+    {
+    }
+    ~WatchdogScope() { _dog.disarm(_id); }
+    WatchdogScope(const WatchdogScope &) = delete;
+    WatchdogScope &operator=(const WatchdogScope &) = delete;
+
+  private:
+    Watchdog &_dog;
+    uint64_t _id;
+};
+
+} // namespace ash::guard
+
+#endif // ASH_GUARD_WATCHDOG_H

@@ -1,6 +1,7 @@
 #include "refsim/ReferenceSimulator.h"
 
 #include "common/Logging.h"
+#include "guard/Cancel.h"
 #include "obs/Trace.h"
 #include "rtl/Cost.h"
 #include "rtl/Eval.h"
@@ -308,6 +309,9 @@ ReferenceSimulator::run(Stimulus &stimulus, uint64_t cycles,
     OutputTrace trace;
     trace.reserve(cycles);
     for (uint64_t c = 0; c < cycles; ++c) {
+        // Cooperative cancellation (job deadlines): free when no
+        // token is installed on this thread.
+        guard::pollCancel();
         step(stimulus);
         trace.push_back(outputFrame());
         if (hook)

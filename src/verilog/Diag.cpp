@@ -1,0 +1,74 @@
+#include "verilog/Diag.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace ash::verilog {
+
+namespace {
+
+/** The text of 1-based line @p line of @p source, sans newline. */
+std::string
+sourceLine(const std::string &source, int line)
+{
+    if (line <= 0)
+        return "";
+    size_t pos = 0;
+    for (int i = 1; i < line; ++i) {
+        pos = source.find('\n', pos);
+        if (pos == std::string::npos)
+            return "";
+        ++pos;
+    }
+    size_t end = source.find('\n', pos);
+    return source.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+}
+
+} // namespace
+
+void
+throwParseError(const std::string &source, SourcePos pos,
+                const std::string &message)
+{
+    std::string diag = pos.file + ":" + std::to_string(pos.line);
+    if (pos.col > 0)
+        diag += ":" + std::to_string(pos.col);
+    diag += ": " + message;
+
+    std::string text = sourceLine(source, pos.line);
+    if (!text.empty() && text.size() < 400) {
+        diag += "\n    " + text;
+        if (pos.col > 0 &&
+            static_cast<size_t>(pos.col) <= text.size() + 1) {
+            diag += "\n    ";
+            for (int i = 1; i < pos.col; ++i)
+                // Tabs must advance the caret the way they advanced
+                // the echoed source line, or the caret drifts.
+                diag += text[i - 1] == '\t' ? '\t' : ' ';
+            diag += '^';
+        }
+    }
+    throw ParseError(std::move(pos), message, diag);
+}
+
+void
+parseErrorf(const std::string &source, SourcePos pos, const char *fmt,
+            ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int len = vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::vector<char> buf(len > 0 ? len + 1 : 1, '\0');
+    if (len > 0)
+        vsnprintf(buf.data(), buf.size(), fmt, args);
+    va_end(args);
+    throwParseError(source, std::move(pos),
+                    std::string(buf.data()));
+}
+
+} // namespace ash::verilog

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Positioned diagnostics for the Verilog frontend.
+ *
+ * ParseError and ElabError refine ash::FatalError (so existing
+ * catch-FatalError callers keep working) with machine-readable
+ * position/subject accessors and — for parse errors — a
+ * caret-annotated source snippet in what():
+ *
+ *   counter.v:7:13: expected ';' after assignment, got 'endmodule'
+ *       assign q = d
+ *                   ^
+ *
+ * Frontend errors are *user-input* failures: under the ash_guard
+ * failure model they must surface as structured per-job diagnostics,
+ * never aborts, which is why every lexer/parser/elaborator rejection
+ * funnels through these types.
+ */
+
+#ifndef ASH_VERILOG_DIAG_H
+#define ASH_VERILOG_DIAG_H
+
+#include <string>
+
+#include "common/Logging.h"
+
+namespace ash::verilog {
+
+/** A 1-based source position; col 0 means "column unknown". */
+struct SourcePos
+{
+    std::string file;
+    int line = 0;
+    int col = 0;
+};
+
+/** Syntax/lex rejection with position and caret snippet; see above. */
+class ParseError : public FatalError
+{
+  public:
+    /** @p diagnostic is the complete what() text (built by callers
+     *  via throwParseError / parseErrorf); @p message the bare
+     *  position-free description. */
+    ParseError(SourcePos pos, const std::string &message,
+               const std::string &diagnostic)
+        : FatalError("parse", diagnostic), _pos(std::move(pos)),
+          _message(message)
+    {
+    }
+
+    const SourcePos &pos() const { return _pos; }
+    const std::string &file() const { return _pos.file; }
+    int line() const { return _pos.line; }
+    int col() const { return _pos.col; }
+    /** The description without position/snippet decoration. */
+    const std::string &message() const { return _message; }
+
+  private:
+    SourcePos _pos;
+    std::string _message;
+};
+
+/** Elaboration rejection naming its subject (signal, module, port). */
+class ElabError : public FatalError
+{
+  public:
+    /** @p where names the context ("module 'm'", "signal 'x'"). */
+    ElabError(std::string where, const std::string &message)
+        : FatalError("elab", where.empty()
+                                 ? message
+                                 : where + ": " + message),
+          _where(std::move(where))
+    {
+    }
+
+    const std::string &where() const { return _where; }
+
+  private:
+    std::string _where;
+};
+
+/**
+ * Compose the "file:line:col: msg" + caret-snippet diagnostic from
+ * @p source and throw ParseError. An empty @p source or out-of-range
+ * position degrades to the header line alone.
+ */
+[[noreturn]] void throwParseError(const std::string &source,
+                                  SourcePos pos,
+                                  const std::string &message);
+
+/** printf-style convenience wrapper over throwParseError. */
+[[noreturn]] void parseErrorf(const std::string &source, SourcePos pos,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace ash::verilog
+
+#endif // ASH_VERILOG_DIAG_H

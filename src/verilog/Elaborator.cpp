@@ -8,6 +8,7 @@
 
 #include "common/Logging.h"
 #include "rtl/Eval.h"
+#include "verilog/Diag.h"
 
 namespace ash::verilog {
 
@@ -162,8 +163,13 @@ class Elaborator
     signal(const std::string &flat_name)
     {
         auto it = _signals.find(flat_name);
-        ASH_ASSERT(it != _signals.end(), "unknown flat signal '%s'",
-                   flat_name.c_str());
+        // Reachable from user input (an undeclared name in an
+        // expression or port map), so this must be a recoverable
+        // diagnostic, not an assert.
+        if (it == _signals.end())
+            throw ElabError("signal '" + flat_name + "'",
+                            "unknown signal (not declared in this "
+                            "scope or any enclosing module)");
         return it->second;
     }
 
@@ -689,8 +695,12 @@ class Elaborator
         _inProgress.insert(flat_name);
 
         FlatSignal &sig = signal(flat_name);
-        ASH_ASSERT(!sig.isMem, "memory '%s' read as scalar",
-                   flat_name.c_str());
+        // Reachable from user input: a memory used without an index
+        // (e.g. as a module output or bare RHS).
+        if (sig.isMem)
+            throw ElabError("memory '" + flat_name + "'",
+                            "memory read as a scalar (missing an "
+                            "index, or used as a port/output?)");
         NodeId node = invalidNode;
         switch (sig.driver.kind) {
           case Driver::Kind::Input:
@@ -878,9 +888,12 @@ class Elaborator
 
           case Expr::Kind::Index: {
             const std::string *flat = scope.lookupName(e.text);
+            // Reachable from user input: an undeclared name indexed
+            // in an expression.
             if (!flat)
-                fatal("line %d: unknown signal '%s'", e.line,
-                      e.text.c_str());
+                throw ElabError("signal '" + e.text + "'",
+                                "line " + std::to_string(e.line) +
+                                    ": unknown signal");
             FlatSignal &sig = signal(*flat);
             if (sig.isMem) {
                 NodeId addr = synthExpr(*e.children[0], scope, proc);
@@ -1065,8 +1078,12 @@ class Elaborator
                ProcCtx *proc, int line)
     {
         const std::string *flat = scope.lookupName(name);
+        // Reachable from user input: an undeclared name read in an
+        // expression is a diagnostic, not an internal invariant.
         if (!flat)
-            fatal("line %d: unknown signal '%s'", line, name.c_str());
+            throw ElabError("signal '" + name + "'",
+                            "line " + std::to_string(line) +
+                                ": unknown signal");
         if (proc) {
             const auto &fwd = proc->isFF ? proc->reads : proc->vals;
             auto it = fwd.find(*flat);
@@ -1078,9 +1095,12 @@ class Elaborator
             }
         }
         FlatSignal &sig = signal(*flat);
+        // Reachable from user input: memories can only be read
+        // element-wise.
         if (sig.isMem)
-            fatal("line %d: memory '%s' must be read with an index",
-                  line, flat->c_str());
+            throw ElabError("memory '" + *flat + "'",
+                            "line " + std::to_string(line) +
+                                ": memory must be read with an index");
         return signalNode(*flat);
     }
 
@@ -1331,8 +1351,11 @@ class Elaborator
                                        &state.ctx.locals);
                 return;
             }
-            fatal("line %d: unknown assignment target '%s'", stmt.line,
-                  stmt.lhs.name.c_str());
+            // Reachable from user input: assigning to an undeclared
+            // name.
+            throw ElabError("signal '" + stmt.lhs.name + "'",
+                            "line " + std::to_string(stmt.line) +
+                                ": unknown assignment target");
         }
         FlatSignal &sig = signal(*flat);
 
@@ -1340,9 +1363,12 @@ class Elaborator
             if (!is_ff)
                 fatal("line %d: memory writes allowed only in "
                       "always_ff", stmt.line);
+            // Reachable from user input: element-wise writes only.
             if (!stmt.lhs.index)
-                fatal("line %d: memory '%s' must be written with an "
-                      "index", stmt.line, flat->c_str());
+                throw ElabError("memory '" + *flat + "'",
+                                "line " + std::to_string(stmt.line) +
+                                    ": memory must be written with "
+                                    "an index");
             NodeId addr = synthExpr(*stmt.lhs.index, scope,
                                     &state.ctx);
             NodeId data = resize(synthExpr(*stmt.rhs, scope,

@@ -1,9 +1,12 @@
 #include "verilog/Lexer.h"
 
 #include <cctype>
+#include <cstdarg>
+#include <cstdio>
 
 #include "common/BitUtils.h"
 #include "common/Logging.h"
+#include "verilog/Diag.h"
 
 namespace ash::verilog {
 
@@ -65,6 +68,7 @@ struct Cursor
     const std::string &file;
     size_t pos = 0;
     int line = 1;
+    size_t lineStart = 0;    ///< Offset of the current line's start.
 
     bool done() const { return pos >= src.size(); }
     char peek(size_t ahead = 0) const
@@ -75,11 +79,31 @@ struct Cursor
     advance()
     {
         char c = src[pos++];
-        if (c == '\n')
+        if (c == '\n') {
             ++line;
+            lineStart = pos;
+        }
         return c;
     }
+    int col() const { return static_cast<int>(pos - lineStart) + 1; }
 };
+
+/** Positioned, caret-annotated lexer rejection (a ParseError). */
+[[noreturn]] void
+lexError(const Cursor &cur, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+[[noreturn]] void
+lexError(const Cursor &cur, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    char buf[512];
+    vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    throwParseError(cur.src, SourcePos{cur.file, cur.line, cur.col()},
+                    buf);
+}
 
 bool
 isIdentStart(char c)
@@ -105,13 +129,11 @@ digitValue(char c, unsigned base, Cursor &cur)
     else if (c >= 'A' && c <= 'F')
         v = static_cast<unsigned>(c - 'A' + 10);
     else if (c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?')
-        fatal("%s:%d: x/z digits are not supported (two-state subset)",
-              cur.file.c_str(), cur.line);
+        lexError(cur, "x/z digits are not supported (two-state subset)");
     else
-        fatal("%s:%d: invalid digit '%c'", cur.file.c_str(), cur.line, c);
+        lexError(cur, "invalid digit '%c'", c);
     if (v >= base)
-        fatal("%s:%d: digit '%c' out of range for base %u",
-              cur.file.c_str(), cur.line, c, base);
+        lexError(cur, "digit '%c' out of range for base %u", c, base);
     return v;
 }
 
@@ -134,7 +156,7 @@ lexDigits(Cursor &cur, unsigned base)
         any = true;
     }
     if (!any)
-        fatal("%s:%d: expected digits", cur.file.c_str(), cur.line);
+        lexError(cur, "expected digits");
     return value;
 }
 
@@ -146,10 +168,15 @@ lex(const std::string &source, const std::string &filename)
     Cursor cur{source, filename};
     std::vector<Token> out;
 
+    // Start position of the token being lexed (set before consuming).
+    int tok_line = 1;
+    int tok_col = 1;
+
     auto push = [&](Tok kind) {
         Token t;
         t.kind = kind;
-        t.line = cur.line;
+        t.line = tok_line;
+        t.col = tok_col;
         out.push_back(std::move(t));
     };
 
@@ -171,8 +198,7 @@ lex(const std::string &source, const std::string &filename)
                    !(cur.peek() == '*' && cur.peek(1) == '/'))
                 cur.advance();
             if (cur.done())
-                fatal("%s:%d: unterminated block comment",
-                      filename.c_str(), cur.line);
+                lexError(cur, "unterminated block comment");
             cur.advance();
             cur.advance();
             continue;
@@ -185,7 +211,8 @@ lex(const std::string &source, const std::string &filename)
             continue;
         }
 
-        int tok_line = cur.line;
+        tok_line = cur.line;
+        tok_col = cur.col();
         if (isIdentStart(c)) {
             std::string text;
             while (!cur.done() && isIdentChar(cur.peek()))
@@ -194,6 +221,7 @@ lex(const std::string &source, const std::string &filename)
             t.kind = Tok::Ident;
             t.text = std::move(text);
             t.line = tok_line;
+            t.col = tok_col;
             out.push_back(std::move(t));
             continue;
         }
@@ -201,6 +229,7 @@ lex(const std::string &source, const std::string &filename)
             Token t;
             t.kind = Tok::Number;
             t.line = tok_line;
+            t.col = tok_col;
             uint64_t prefix = 0;
             bool have_prefix = false;
             if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -221,16 +250,18 @@ lex(const std::string &source, const std::string &filename)
                   case 'd': case 'D': base = 10; break;
                   case 'h': case 'H': base = 16; break;
                   default:
-                    fatal("%s:%d: invalid literal base '%c'",
-                          filename.c_str(), cur.line, base_char);
+                    lexError(cur, "invalid literal base '%c'",
+                             base_char);
                 }
                 cur.advance();
                 t.value = lexDigits(cur, base);
                 if (have_prefix) {
                     if (prefix == 0 || prefix > maxSignalWidth)
-                        fatal("%s:%d: literal width %llu out of range "
-                              "(1..64)", filename.c_str(), tok_line,
-                              static_cast<unsigned long long>(prefix));
+                        lexError(cur,
+                                 "literal width %llu out of range "
+                                 "(1..64)",
+                                 static_cast<unsigned long long>(
+                                     prefix));
                     t.width = static_cast<unsigned>(prefix);
                     t.sized = true;
                     t.value = truncate(t.value, t.width);
@@ -350,14 +381,14 @@ lex(const std::string &source, const std::string &filename)
             }
             break;
           default:
-            fatal("%s:%d: unexpected character '%c'", filename.c_str(),
-                  tok_line, c);
+            lexError(cur, "unexpected character '%c'", c);
         }
     }
 
     Token eof;
     eof.kind = Tok::Eof;
     eof.line = cur.line;
+    eof.col = cur.col();
     out.push_back(std::move(eof));
     return out;
 }

@@ -1,8 +1,11 @@
 #include "verilog/Parser.h"
 
+#include <cstdarg>
+#include <cstdio>
 #include <optional>
 
 #include "common/Logging.h"
+#include "verilog/Diag.h"
 #include "verilog/Lexer.h"
 
 namespace ash::verilog {
@@ -29,8 +32,10 @@ namespace {
 class Parser
 {
   public:
-    Parser(std::vector<Token> tokens, std::string filename)
-        : _toks(std::move(tokens)), _file(std::move(filename))
+    Parser(std::vector<Token> tokens, const std::string &source,
+           std::string filename)
+        : _toks(std::move(tokens)), _src(source),
+          _file(std::move(filename))
     {
     }
 
@@ -83,14 +88,36 @@ class Parser
         advance();
         return true;
     }
+    /**
+     * Positioned syntax rejection: throws ParseError carrying @p t's
+     * line/column and a caret-annotated snippet of that source line.
+     */
+    [[noreturn]] void
+    errorAt(const Token &t, const char *fmt, ...) const
+        __attribute__((format(printf, 3, 4)))
+    {
+        va_list args;
+        va_start(args, fmt);
+        char buf[512];
+        vsnprintf(buf, sizeof(buf), fmt, args);
+        va_end(args);
+        throwParseError(_src, SourcePos{_file, t.line, t.col}, buf);
+    }
+
+    /** Printable spelling of the current token, for diagnostics. */
+    const char *
+    peekSpelling() const
+    {
+        return at(Tok::Ident) ? peek().text.c_str()
+                              : tokName(peek().kind);
+    }
+
     const Token &
     expect(Tok kind, const char *context)
     {
         if (!at(kind)) {
-            fatal("%s:%d: expected '%s' %s, got '%s'", _file.c_str(),
-                  peek().line, tokName(kind), context,
-                  at(Tok::Ident) ? peek().text.c_str()
-                                 : tokName(peek().kind));
+            errorAt(peek(), "expected '%s' %s, got '%s'",
+                    tokName(kind), context, peekSpelling());
         }
         return advance();
     }
@@ -98,10 +125,8 @@ class Parser
     expectKeyword(const char *kw)
     {
         if (!atKeyword(kw)) {
-            fatal("%s:%d: expected '%s', got '%s'", _file.c_str(),
-                  peek().line, kw,
-                  at(Tok::Ident) ? peek().text.c_str()
-                                 : tokName(peek().kind));
+            errorAt(peek(), "expected '%s', got '%s'", kw,
+                    peekSpelling());
         }
         advance();
     }
@@ -114,9 +139,7 @@ class Parser
     [[noreturn]] void
     syntaxError(const char *what)
     {
-        fatal("%s:%d: %s (near '%s')", _file.c_str(), peek().line, what,
-              at(Tok::Ident) ? peek().text.c_str()
-                             : tokName(peek().kind));
+        errorAt(peek(), "%s (near '%s')", what, peekSpelling());
     }
 
     // --- expressions ----------------------------------------------------
@@ -155,8 +178,8 @@ class Parser
             if (name == "$signed" || name == "$unsigned") {
                 // Pass-through: the subset is unsigned-only; $signed is
                 // rejected to avoid silent misinterpretation.
-                fatal("%s:%d: %s is not supported (unsigned-only "
-                      "subset)", _file.c_str(), t.line, name.c_str());
+                errorAt(t, "%s is not supported (unsigned-only subset)",
+                        name.c_str());
             }
             if (!at(Tok::LBracket)) {
                 auto e = makeExpr(Expr::Kind::Ident);
@@ -387,8 +410,8 @@ class Parser
         }
         if (atKeyword("case") || atKeyword("casez")) {
             if (atKeyword("casez"))
-                fatal("%s:%d: casez is not supported (two-state subset)",
-                      _file.c_str(), peek().line);
+                errorAt(peek(),
+                        "casez is not supported (two-state subset)");
             advance();
             auto s = makeStmt(Stmt::Kind::Case);
             expect(Tok::LParen, "after 'case'");
@@ -398,8 +421,7 @@ class Parser
                 if (acceptKeyword("default")) {
                     accept(Tok::Colon);
                     if (s->defaultStmt)
-                        fatal("%s:%d: duplicate default case",
-                              _file.c_str(), peek().line);
+                        errorAt(peek(), "duplicate default case");
                     s->defaultStmt = parseStmt();
                     continue;
                 }
@@ -428,8 +450,8 @@ class Parser
             expect(Tok::Semi, "after for condition");
             std::string step_var = expectIdent("in for step");
             if (step_var != s->loopVar)
-                fatal("%s:%d: for step must assign the loop variable",
-                      _file.c_str(), peek().line);
+                errorAt(peek(),
+                        "for step must assign the loop variable");
             expect(Tok::Assign, "in for step");
             s->forStep = parseExpr();
             expect(Tok::RParen, "after for header");
@@ -566,19 +588,18 @@ class Parser
                     is_ff = true;
                     clock = expectIdent("as clock name");
                 } else if (acceptKeyword("negedge")) {
-                    fatal("%s:%d: negedge clocks are not supported",
-                          _file.c_str(), peek().line);
+                    errorAt(peek(),
+                            "negedge clocks are not supported");
                 } else {
-                    fatal("%s:%d: only @(*) and @(posedge clk) "
-                          "sensitivity lists are supported",
-                          _file.c_str(), peek().line);
+                    errorAt(peek(), "only @(*) and @(posedge clk) "
+                                    "sensitivity lists are supported");
                 }
                 expect(Tok::RParen, "to close sensitivity list");
             } else if (is_ff) {
                 expect(Tok::At, "after always_ff");
             } else {
-                fatal("%s:%d: plain 'always' needs a sensitivity list",
-                      _file.c_str(), peek().line);
+                errorAt(peek(),
+                        "plain 'always' needs a sensitivity list");
             }
         }
         auto item = makeItem(is_ff ? Item::Kind::AlwaysFF
@@ -657,8 +678,8 @@ class Parser
         expect(Tok::Semi, "after generate-for condition");
         std::string step_var = expectIdent("in generate-for step");
         if (step_var != item->genVar)
-            fatal("%s:%d: generate-for step must assign the genvar",
-                  _file.c_str(), peek().line);
+            errorAt(peek(),
+                    "generate-for step must assign the genvar");
         expect(Tok::Assign, "in generate-for step");
         item->genStep = parseExpr();
         expect(Tok::RParen, "after generate-for header");
@@ -710,8 +731,8 @@ class Parser
         if (atKeyword("for"))
             return parseGenerateFor();
         if (atKeyword("initial"))
-            fatal("%s:%d: initial blocks are not supported; use case "
-                  "tables for ROMs", _file.c_str(), peek().line);
+            errorAt(peek(), "initial blocks are not supported; use "
+                            "case tables for ROMs");
         if (at(Tok::Ident)) {
             std::string name = advance().text;
             return parseInstance(std::move(name));
@@ -753,8 +774,8 @@ class Parser
                 dir = PortDir::Output;
                 explicit_dir = true;
             } else if (first) {
-                fatal("%s:%d: ANSI-style port lists are required",
-                      _file.c_str(), peek().line);
+                errorAt(peek(),
+                        "ANSI-style port lists are required");
             }
             if (explicit_dir) {
                 kind = NetKind::Wire;
@@ -787,6 +808,7 @@ class Parser
     }
 
     std::vector<Token> _toks;
+    const std::string &_src;  ///< Original text, for caret snippets.
     std::string _file;
     size_t _pos = 0;
 };
@@ -796,7 +818,7 @@ class Parser
 SourceUnit
 parse(const std::string &source, const std::string &filename)
 {
-    Parser parser(lex(source, filename), filename);
+    Parser parser(lex(source, filename), source, filename);
     return parser.parseUnit();
 }
 

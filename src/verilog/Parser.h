@@ -13,7 +13,11 @@
 
 namespace ash::verilog {
 
-/** Parse @p source into modules; calls ash::fatal() on syntax errors. */
+/**
+ * Parse @p source into modules. Syntax errors throw
+ * verilog::ParseError (see Diag.h) carrying line/column and a
+ * caret-annotated snippet of the offending source line.
+ */
 SourceUnit parse(const std::string &source,
                  const std::string &filename = "<input>");
 

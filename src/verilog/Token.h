@@ -40,6 +40,7 @@ struct Token
     unsigned width = 0;      ///< Literal width; 0 when unsized.
     bool sized = false;      ///< True for sized literals like 8'hFF.
     int line = 0;
+    int col = 0;             ///< 1-based start column; 0 = unknown.
 };
 
 /** Printable name for diagnostics. */

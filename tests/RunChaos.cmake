@@ -1,0 +1,125 @@
+# ctest driver: the chaos contract, end to end. Run a sweep bench
+# fault-free to get the golden stdout and stats JSON, then re-run it
+# under a fault plan that injects one transient failure into every
+# job body: the retry path must absorb the faults and the healthy
+# output must stay byte-identical to the fault-free run — at any
+# --jobs count. A final leg corrupts checkpoint images while killing
+# the process mid-run (ASH_CKPT_DIE_AFTER) and requires the resumed
+# run to detect the damage (CRC), fall back, and still reproduce the
+# golden output byte for byte.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P RunChaos.cmake
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+set(json "${WORKDIR}/stats.json")
+set(ckpt "${WORKDIR}/ckpt")
+
+# One injected exception on the first attempt of every job (count=1
+# per (site, job) pair); SweepRunner's second attempt must succeed.
+set(plan "seed=9;job.body@table5:error:count=1")
+
+# 1. Fault-free golden run.
+execute_process(COMMAND "${BENCH}" --jobs 4 --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_golden
+                ERROR_VARIABLE err_golden)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "golden run exited with ${rc}:\n${err_golden}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/stats_golden.json")
+file(WRITE "${WORKDIR}/stdout_golden.txt" "${out_golden}")
+
+# 2. Same sweep under the fault plan, serial and parallel: retries
+# absorb every injected failure and the output is byte-identical.
+foreach(jobs 1 4)
+    execute_process(COMMAND "${BENCH}" --jobs ${jobs}
+                            --fault-plan "${plan}"
+                            --stats-json "${json}"
+                    RESULT_VARIABLE rc
+                    OUTPUT_VARIABLE out_chaos
+                    ERROR_VARIABLE err_chaos)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "fault-plan run (--jobs ${jobs}) exited "
+                            "with ${rc}:\n${err_chaos}")
+    endif()
+    # The plan must actually have armed (and fired) — a silently
+    # disarmed injector would make this test vacuous.
+    if(NOT err_chaos MATCHES "fault injection armed")
+        message(FATAL_ERROR "fault-plan run shows no sign of arming "
+                            "the injector:\n${err_chaos}")
+    endif()
+    file(RENAME "${json}" "${WORKDIR}/stats_chaos${jobs}.json")
+    file(WRITE "${WORKDIR}/stdout_chaos${jobs}.txt" "${out_chaos}")
+
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${WORKDIR}/stats_golden.json"
+                            "${WORKDIR}/stats_chaos${jobs}.json"
+                    RESULT_VARIABLE cmp_rc)
+    if(NOT cmp_rc EQUAL 0)
+        message(FATAL_ERROR "stats JSON differs between fault-free "
+                            "and fault-plan runs at --jobs ${jobs} "
+                            "(${WORKDIR}/stats_{golden,chaos${jobs}}.json)")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${WORKDIR}/stdout_golden.txt"
+                            "${WORKDIR}/stdout_chaos${jobs}.txt"
+                    RESULT_VARIABLE cmp_rc)
+    if(NOT cmp_rc EQUAL 0)
+        message(FATAL_ERROR "stdout differs between fault-free and "
+                            "fault-plan runs at --jobs ${jobs} "
+                            "(${WORKDIR}/stdout_{golden,chaos${jobs}}.txt)")
+    endif()
+endforeach()
+
+# 3. Checkpoint-corruption + kill + resume: every job's first image
+# write is bit-flipped on disk (the in-memory state is untouched),
+# the process is killed after the 6th image, and the resume must
+# CRC-detect the damage, fall back (older image or fresh run), and
+# still match the golden output byte for byte.
+execute_process(COMMAND ${CMAKE_COMMAND} -E env ASH_CKPT_DIE_AFTER=6
+                        "${BENCH}" --jobs 4 --checkpoint-every 5
+                        --checkpoint-dir "${ckpt}"
+                        --fault-plan "seed=9;ckpt.image.bytes:corrupt:bytes=1:count=1"
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_killed
+                ERROR_VARIABLE err_killed)
+if(NOT rc EQUAL 42)
+    message(FATAL_ERROR "crash-injected run exited with ${rc} "
+                        "(wanted 42):\n${err_killed}")
+endif()
+if(NOT EXISTS "${ckpt}")
+    message(FATAL_ERROR "killed run left no checkpoint dir ${ckpt}")
+endif()
+
+execute_process(COMMAND "${BENCH}" --jobs 4 --resume "${ckpt}"
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_resumed
+                ERROR_VARIABLE err_resumed)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed run exited with ${rc}:\n${err_resumed}")
+endif()
+file(RENAME "${json}" "${WORKDIR}/stats_resumed.json")
+file(WRITE "${WORKDIR}/stdout_resumed.txt" "${out_resumed}")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/stats_golden.json"
+                        "${WORKDIR}/stats_resumed.json"
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between golden and "
+                        "corrupt-checkpoint resumed runs "
+                        "(${WORKDIR}/stats_{golden,resumed}.json)")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/stdout_golden.txt"
+                        "${WORKDIR}/stdout_resumed.txt"
+                RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR "stdout differs between golden and "
+                        "corrupt-checkpoint resumed runs "
+                        "(${WORKDIR}/stdout_{golden,resumed}.txt)")
+endif()

@@ -486,6 +486,111 @@ TEST(CheckpointManager, FallsBackToOlderImageOnCorruption)
     EXPECT_EQ(mgr.resumedCycle(), 15u);
 }
 
+TEST(CheckpointManager, AllImagesCorruptIsStructuredError)
+{
+    std::string dir = scratchDir("ckpt_allbad");
+    rtl::Netlist nl = fixtureNetlist();
+
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    opts.keep = 2;
+    {
+        ckpt::CheckpointManager mgr(opts, "ab");
+        test::FnStimulus stim(test::mixedStimulus(4));
+        refsim::ReferenceSimulator sim(nl);
+        sim.run(stim, 20, &mgr);
+    }
+
+    // Flip one payload byte in EVERY surviving image: restore must
+    // fail with one aggregated SnapshotError naming each candidate
+    // it tried, not abort or silently start from cycle 0.
+    std::vector<std::string> images;
+    for (auto &e : fs::directory_iterator(fs::path(dir) / "ab")) {
+        if (e.path().extension() != ".ashckpt")
+            continue;
+        images.push_back(e.path().filename().string());
+        std::fstream f(e.path(), std::ios::in | std::ios::out |
+                                     std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(200);
+        char byte = 0;
+        f.read(&byte, 1);
+        f.seekp(200);
+        byte ^= 0x10;
+        f.write(&byte, 1);
+    }
+    ASSERT_EQ(images.size(), 2u);
+
+    ckpt::CheckpointManager mgr(opts, "ab");
+    refsim::ReferenceSimulator sim(nl);
+    try {
+        mgr.tryRestoreLatest(sim);
+        FAIL() << "expected SnapshotError";
+    } catch (const ckpt::SnapshotError &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("tried 2 image(s)"), std::string::npos)
+            << what;
+        for (const std::string &img : images)
+            EXPECT_NE(what.find(img), std::string::npos)
+                << "missing candidate " << img << " in: " << what;
+    }
+}
+
+TEST(CheckpointManager, MalformedManifestFallsBackToScan)
+{
+    std::string dir = scratchDir("ckpt_badmanifest");
+    rtl::Netlist nl = fixtureNetlist();
+
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    opts.keep = 2;
+    {
+        ckpt::CheckpointManager mgr(opts, "bm");
+        test::FnStimulus stim(test::mixedStimulus(4));
+        refsim::ReferenceSimulator sim(nl);
+        sim.run(stim, 20, &mgr);
+    }
+
+    // Truncated garbage where the manifest should be: restore falls
+    // back to scanning the directory for ckpt-<cycle>.ashckpt files
+    // and still resumes from the newest intact image.
+    {
+        std::ofstream mf(fs::path(dir) / "bm" / "manifest.json",
+                         std::ios::trunc);
+        mf << "{\"format\": \"ash-ckpt-man";
+    }
+
+    ckpt::CheckpointManager mgr(opts, "bm");
+    refsim::ReferenceSimulator sim(nl);
+    ASSERT_TRUE(mgr.tryRestoreLatest(sim));
+    EXPECT_EQ(mgr.resumedCycle(), 20u);
+}
+
+TEST(CheckpointManager, MissingManifestFallsBackToScan)
+{
+    std::string dir = scratchDir("ckpt_nomanifest");
+    rtl::Netlist nl = fixtureNetlist();
+
+    ckpt::CheckpointOptions opts;
+    opts.dir = dir;
+    opts.everyCycles = 5;
+    opts.keep = 2;
+    {
+        ckpt::CheckpointManager mgr(opts, "nm");
+        test::FnStimulus stim(test::mixedStimulus(4));
+        refsim::ReferenceSimulator sim(nl);
+        sim.run(stim, 20, &mgr);
+    }
+    fs::remove(fs::path(dir) / "nm" / "manifest.json");
+
+    ckpt::CheckpointManager mgr(opts, "nm");
+    refsim::ReferenceSimulator sim(nl);
+    ASSERT_TRUE(mgr.tryRestoreLatest(sim));
+    EXPECT_EQ(mgr.resumedCycle(), 20u);
+}
+
 TEST(CheckpointManager, ReturnsFalseWithoutImages)
 {
     std::string dir = scratchDir("ckpt_empty");
