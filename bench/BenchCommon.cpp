@@ -13,6 +13,7 @@
 #include "exec/ThreadPool.h"
 #include "guard/Divergence.h"
 #include "guard/Fault.h"
+#include "prof/Prof.h"
 
 namespace ash::bench {
 
@@ -241,7 +242,9 @@ init(const std::string &name, int &argc, char **argv)
                      "[--job-deadline <sec>] [--isolate] "
                      "[--isolate-rss-mb <n>] "
                      "[--divergence-every <cycles>] "
-                     "[--quarantine-dir <dir>]\n",
+                     "[--quarantine-dir <dir>] "
+                     "[--prof-json <file>] [--prof-jsonl <file>] "
+                     "[--progress <sec>]\n",
                      argc > 0 ? argv[0] : "bench");
         return false;
     };
@@ -261,6 +264,10 @@ init(const std::string &name, int &argc, char **argv)
     int out = 1;
     std::string faultSpec;
     bool faultFlagSeen = false;
+    std::string profJson;
+    std::string profJsonl;
+    double progressSec = 0.0;
+    bool profWanted = false;
     for (int i = 1; i < argc; ++i) {
         long n = 0;
         if (std::strcmp(argv[i], "--jobs") == 0) {
@@ -316,6 +323,28 @@ init(const std::string &name, int &argc, char **argv)
             if (i + 1 >= argc)
                 return usage();
             gQuarantineDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--prof-json") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            profJson = argv[++i];
+            profWanted = true;
+        } else if (std::strcmp(argv[i], "--prof-jsonl") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            profJsonl = argv[++i];
+            profWanted = true;
+        } else if (std::strcmp(argv[i], "--progress") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            char *end = nullptr;
+            progressSec = std::strtod(argv[++i], &end);
+            if (end == argv[i] || *end != '\0' || progressSec <= 0.0) {
+                std::fprintf(stderr,
+                             "--progress wants seconds > 0, got %s\n",
+                             argv[i]);
+                return usage();
+            }
+            profWanted = true;
         } else {
             argv[out++] = argv[i];
         }
@@ -346,6 +375,24 @@ init(const std::string &name, int &argc, char **argv)
                      "fault plan given but fault hooks were compiled "
                      "out (ASH_GUARD_FAULTS_ENABLED=OFF)\n");
         return false;
+#endif
+    }
+
+    // Host profiling: any of the three flags arms the profiler for
+    // the whole bench run. Its output goes only to the --prof files
+    // and stderr; stdout/--stats-json stay byte-identical (see
+    // prof/Prof.h).
+    if (profWanted) {
+#if ASH_PROF
+        prof::Profiler &prof = prof::Profiler::instance();
+        prof.setJsonPath(profJson);
+        prof.setJsonlPath(profJsonl);
+        prof.setProgressPeriodSec(progressSec);
+        prof.arm();
+#else
+        std::fprintf(stderr,
+                     "profiling flags given but ash_prof was compiled "
+                     "out (ASH_PROF_ENABLED=OFF); ignoring\n");
 #endif
     }
     return true;
@@ -410,6 +457,7 @@ int
 finish()
 {
     int rc = obs::Report::global().finish();
+    rc |= prof::Profiler::instance().finish();
     if (gSweepFailures != 0) {
         warn("%zu sweep job(s) failed; exiting nonzero",
              gSweepFailures);

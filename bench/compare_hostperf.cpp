@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Host-perf regression gate: diff two BENCH_hostperf.json documents
+ * (a committed baseline and a fresh run) cell by cell and exit
+ * nonzero when any engine x design cell slowed down beyond the noise
+ * tolerance. Compares sim_khz — a throughput, so a baseline taken at
+ * --cycles 2000 stays comparable with a CI smoke run at --cycles 200.
+ *
+ * Usage:
+ *   compare_hostperf <baseline.json> <current.json>
+ *       [--tolerance <frac>] [--min-khz <khz>]
+ *
+ * --tolerance is the allowed fractional slowdown before a cell is
+ * flagged (default 0.30: CI runners are noisy shared machines, so the
+ * gate only trips on gross regressions). --min-khz skips cells whose
+ * baseline throughput is below the floor (default 1.0 kHz), where a
+ * ratio is all jitter. Cells present on only one side are reported
+ * but never fail the gate — the matrix is allowed to grow.
+ *
+ * Exit codes: 0 = within tolerance, 1 = regression(s), 2 = bad
+ * input. The CI step runs this warn-only (|| true) so a noisy runner
+ * cannot block a merge, but the log keeps the evidence.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/Json.h"
+
+using namespace ash;
+
+namespace {
+
+/** sim_khz per "engine/design" cell of one hostperf document. */
+bool
+loadCells(const char *path, std::map<std::string, double> &out,
+          std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *err = std::string("cannot open ") + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JsonValue doc;
+    if (!jsonParse(text.str(), doc, err))
+        return false;
+    if (doc["bench"].string() != "host_perf") {
+        *err = std::string(path) + " is not a host_perf report";
+        return false;
+    }
+    for (const JsonValue &cell : doc["cells"].array()) {
+        if (!cell["engine"].isString() ||
+            !cell["design"].isString() ||
+            !cell["sim_khz"].isNumber())
+            continue;
+        out[cell["engine"].string() + "/" +
+            cell["design"].string()] = cell["sim_khz"].number();
+    }
+    if (out.empty()) {
+        *err = std::string(path) + " has no usable cells";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *basePath = nullptr;
+    const char *curPath = nullptr;
+    double tolerance = 0.30;
+    double minKhz = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 &&
+            i + 1 < argc) {
+            tolerance = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--min-khz") == 0 &&
+                   i + 1 < argc) {
+            minKhz = std::strtod(argv[++i], nullptr);
+        } else if (!basePath) {
+            basePath = argv[i];
+        } else if (!curPath) {
+            curPath = argv[i];
+        } else {
+            std::fprintf(stderr, "unexpected argument: %s\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (!basePath || !curPath || tolerance < 0.0) {
+        std::fprintf(stderr,
+                     "usage: compare_hostperf <baseline.json> "
+                     "<current.json> [--tolerance <frac>] "
+                     "[--min-khz <khz>]\n");
+        return 2;
+    }
+
+    std::map<std::string, double> base;
+    std::map<std::string, double> cur;
+    std::string err;
+    if (!loadCells(basePath, base, &err) ||
+        !loadCells(curPath, cur, &err)) {
+        std::fprintf(stderr, "compare_hostperf: %s\n", err.c_str());
+        return 2;
+    }
+
+    std::printf("%-24s %12s %12s %9s\n", "cell", "base-KHz",
+                "cur-KHz", "ratio");
+    int regressions = 0;
+    for (const auto &[cell, baseKhz] : base) {
+        auto it = cur.find(cell);
+        if (it == cur.end()) {
+            std::printf("%-24s %12.1f %12s %9s\n", cell.c_str(),
+                        baseKhz, "absent", "-");
+            continue;
+        }
+        double curKhz = it->second;
+        double ratio = baseKhz > 0.0 ? curKhz / baseKhz : 1.0;
+        const char *mark = "";
+        if (baseKhz < minKhz) {
+            mark = "  (below --min-khz floor; ignored)";
+        } else if (ratio < 1.0 - tolerance) {
+            mark = "  REGRESSION";
+            ++regressions;
+        }
+        std::printf("%-24s %12.1f %12.1f %8.2fx%s\n", cell.c_str(),
+                    baseKhz, curKhz, ratio, mark);
+    }
+    for (const auto &[cell, curKhz] : cur) {
+        if (base.find(cell) == base.end())
+            std::printf("%-24s %12s %12.1f %9s  (new cell)\n",
+                        cell.c_str(), "absent", curKhz, "-");
+    }
+
+    if (regressions != 0) {
+        std::fprintf(stderr,
+                     "compare_hostperf: %d cell(s) regressed more "
+                     "than %.0f%% vs %s\n",
+                     regressions, tolerance * 100.0, basePath);
+        return 1;
+    }
+    std::printf("compare_hostperf: all cells within %.0f%% of %s\n",
+                tolerance * 100.0, basePath);
+    return 0;
+}

@@ -25,7 +25,9 @@
 #include <fstream>
 
 #include "BenchCommon.h"
+#include "common/BuildInfo.h"
 #include "common/Json.h"
+#include "prof/Prof.h"
 
 using namespace ash;
 using Clock = std::chrono::steady_clock;
@@ -97,6 +99,7 @@ main(int argc, char **argv)
                 "wall-ms", "sim-KHz", "ns/node");
 
     std::vector<Cell> cells;
+    auto bench_t0 = Clock::now();
     for (auto &entry : bench::DesignSet::standard().entries()) {
         const std::string &name = entry.design.name;
         uint64_t nodes = entry.netlist.topoOrder().size();
@@ -109,6 +112,11 @@ main(int argc, char **argv)
         auto time_engine = [&](const std::string &engine,
                                uint64_t engine_cycles,
                                auto &&run_once) {
+            // One prof zone per engine x design cell; the engines'
+            // own run/compile zones nest under it, giving the
+            // --prof-json report a per-cell phase breakdown.
+            const std::string zoneName = "cell:" + engine + ":" + name;
+            prof::ScopedZone zone(zoneName.c_str());
             double wall = bestWallSec(repeats, run_once);
             cells.push_back(
                 makeCell(engine, name, wall, engine_cycles, nodes));
@@ -146,10 +154,39 @@ main(int argc, char **argv)
             bench::runAsh(prog, entry.design, cfg, cycles);
         });
     }
+    std::chrono::duration<double> benchWall = Clock::now() - bench_t0;
+
+    // Phase coverage check (stderr only): the top-level prof zones —
+    // the per-cell zones plus setup phases like frontend/compile —
+    // should account for nearly all of the measured loop wall time.
+    // A low figure means a new expensive phase is missing its zone.
+    if (prof::Profiler::enabled()) {
+        double covered = 0.0;
+        size_t nTop = 0;
+        for (const auto &[path, stat] :
+             prof::Profiler::instance().zones()) {
+            if (path.find('/') != std::string::npos)
+                continue;
+            covered += double(stat.wallNs) * 1e-9;
+            ++nTop;
+        }
+        double total = benchWall.count();
+        std::fprintf(stderr,
+                     "[prof] host_perf phase coverage: %.1f%% of "
+                     "%.3f s in %zu top-level zones\n",
+                     total > 0.0 ? 100.0 * covered / total : 0.0,
+                     total, nTop);
+    }
 
     JsonWriter w;
     w.beginObject();
     w.kv("bench", "host_perf");
+    w.key("build").beginObject();
+    w.kv("git", buildinfo::kGitHash);
+    w.kv("compiler", buildinfo::kCompiler);
+    w.kv("build_type", buildinfo::kBuildType);
+    w.kv("options", buildinfo::kOptions);
+    w.endObject();
     w.kv("cycles", cycles);
     w.kv("repeats", uint64_t(repeats));
     w.key("cells").beginArray();

@@ -8,6 +8,7 @@
 #include "guard/Cancel.h"
 #include "core/compiler/Compiler.h"
 #include "obs/Trace.h"
+#include "prof/Prof.h"
 
 namespace ash::baseline {
 
@@ -265,6 +266,7 @@ struct BaselineSimulator::Impl
     BaselineResult
     run(ckpt::CycleHook *hook, ckpt::Snapshotter &self)
     {
+        ASH_PROF_ZONE("run:baseline");
         while (cycle < warmCycles) {
             // Cooperative cancellation (job deadlines): free when no
             // token is installed on this thread.

@@ -12,6 +12,7 @@
 #include "common/Logging.h"
 #include "guard/Fault.h"
 #include "obs/Trace.h"
+#include "prof/Prof.h"
 #include "rtl/Netlist.h"
 
 namespace fs = std::filesystem;
@@ -220,6 +221,7 @@ CheckpointManager::writeManifest() const
 void
 CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
 {
+    ASH_PROF_ZONE("snapshot");
     std::error_code ec;
     fs::create_directories(_keyDir, ec);
     if (ec)
@@ -293,7 +295,7 @@ CheckpointManager::onCycle(uint64_t cycle, Snapshotter &sim)
     } catch (const Error &e) {
         ++_failStreak;
         warn("checkpoint at cycle %llu failed (%s): %s",
-             static_cast<unsigned long long>(cycle), e.kind(),
+             static_cast<unsigned long long>(cycle), e.kind().c_str(),
              e.what());
         if (_failStreak >= 3) {
             _disabled = true;
@@ -325,6 +327,7 @@ fileHash(const std::string &path)
 bool
 CheckpointManager::tryRestoreLatest(Snapshotter &sim)
 {
+    ASH_PROF_ZONE("restore");
     std::string manifestPath =
         (fs::path(_keyDir) / "manifest.json").string();
     std::ifstream manifestIn(manifestPath, std::ios::binary);

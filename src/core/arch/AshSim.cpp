@@ -10,6 +10,7 @@
 #include "common/SortedPool.h"
 #include "core/arch/Cache.h"
 #include "guard/Cancel.h"
+#include "prof/Prof.h"
 #include "core/arch/Noc.h"
 #include "obs/Trace.h"
 #include "rtl/Eval.h"
@@ -2573,6 +2574,7 @@ struct AshSimulator::Impl
     run(Stimulus &stimulus, uint64_t design_cycles,
         ckpt::CycleHook *hook, ckpt::Snapshotter &self)
     {
+        ASH_PROF_ZONE("run:ash");
         stim = &stimulus;
         // Stamp log output with the simulated chip cycle while the
         // run is in progress.

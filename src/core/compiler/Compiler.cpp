@@ -8,6 +8,7 @@
 #include "common/Logging.h"
 #include "common/SlotAllocator.h"
 #include "partition/Partition.h"
+#include "prof/Prof.h"
 #include "rtl/Cost.h"
 
 namespace ash::core {
@@ -82,6 +83,7 @@ contractMemory(const Dfg &graph, size_t mem, UnionFind &uf)
 std::vector<uint32_t>
 mapToTiles(const Dfg &graph, const CompilerOptions &opts)
 {
+    ASH_PROF_ZONE("partition");
     size_t n = graph.numNodes();
     std::vector<uint32_t> tile(n, 0);
     if (opts.numTiles <= 1)
@@ -328,15 +330,21 @@ TaskProgram::validate() const
 TaskProgram
 compile(const rtl::Netlist &nl, const CompilerOptions &opts)
 {
+    ASH_PROF_ZONE("compile");
     auto t_start = std::chrono::steady_clock::now();
 
     dfg::DfgOptions dopts;
     dopts.unrolled = opts.unrolled;
-    Dfg graph(nl, dopts);
+    Dfg graph = [&] {
+        ASH_PROF_ZONE("dfg");
+        return Dfg(nl, dopts);
+    }();
 
     std::vector<uint32_t> node_tile = mapToTiles(graph, opts);
-    std::vector<uint32_t> task_root =
-        coarsen(graph, node_tile, opts.maxTaskCost);
+    std::vector<uint32_t> task_root = [&] {
+        ASH_PROF_ZONE("coarsen");
+        return coarsen(graph, node_tile, opts.maxTaskCost);
+    }();
 
     TaskProgram prog;
     prog.nl = &nl;

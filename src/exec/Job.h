@@ -32,6 +32,7 @@
 #include "common/Error.h"
 #include "common/Random.h"
 #include "common/Stats.h"
+#include "prof/Prof.h"
 
 namespace ash::obs {
 class Tracer;
@@ -187,6 +188,11 @@ class JobContext
     std::vector<std::pair<std::string, double>> _published;
     std::vector<std::pair<std::string, StatSet>> _pubStats;
     std::unique_ptr<obs::Tracer> _tracer;   ///< Only while tracing.
+
+    /** Resource bill staged across attempts; only filled while the
+     *  profiler is armed, merged at the sweep barrier. Survives
+     *  beginAttempt() — the bill spans every attempt of the job. */
+    prof::JobCost _cost;
 };
 
 namespace detail {

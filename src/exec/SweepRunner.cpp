@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <csignal>
+#include <ctime>
 #include <deque>
 #include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <sys/resource.h>
 #include <thread>
 #include <unistd.h>
 
@@ -21,6 +23,7 @@
 #include "guard/Watchdog.h"
 #include "obs/Report.h"
 #include "obs/Trace.h"
+#include "prof/Prof.h"
 
 namespace fs = std::filesystem;
 
@@ -93,6 +96,48 @@ currentJobScope()
 {
     JobContext *ctx = JobContext::current();
     return ctx ? ctx->name() : std::string();
+}
+
+// --- job resource accounting (only sampled while ash_prof is armed) --
+
+double
+attemptWallSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+attemptThreadCpuSec()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+long
+processPeakRssKb()
+{
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss;   // Linux: KiB.
+}
+
+/** Stable outcome label for one attempt's exit cause. */
+const char *
+attemptOutcomeName(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::Oom: return "oom";
+    case FailureKind::Crash: return "crash";
+    case FailureKind::Exception: break;
+    }
+    return "error";
 }
 
 } // namespace
@@ -360,7 +405,15 @@ SweepRunner::executeJob(size_t i)
 {
     JobContext &ctx = *_contexts[i];
     const int max_attempts = std::max(1, _opts.maxAttempts);
+    const bool costed = prof::Profiler::enabled();
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        double wall0 = 0.0, cpu0 = 0.0;
+        long rss0 = 0;
+        if (costed) {
+            wall0 = attemptWallSec();
+            cpu0 = attemptThreadCpuSec();
+            rss0 = processPeakRssKb();
+        }
         ctx.beginAttempt(attempt);
         detail::setCurrentJob(&ctx);
         setLogJobId(static_cast<int64_t>(i));
@@ -415,9 +468,20 @@ SweepRunner::executeJob(size_t i)
         setLogJobId(-1);
         detail::setCurrentJob(nullptr);
 
+        if (costed) {
+            ctx._cost.wallSec += attemptWallSec() - wall0;
+            ctx._cost.cpuSec += attemptThreadCpuSec() - cpu0;
+            ctx._cost.rssDeltaKb += processPeakRssKb() - rss0;
+            ctx._cost.attempts += 1;
+            ctx._cost.attemptOutcomes.emplace_back(
+                err.empty() ? "ok" : attemptOutcomeName(kind));
+        }
+
         if (err.empty()) {
             if (_jobs[i].resumable && !_opts.checkpointDir.empty())
                 persistJob(i);
+            if (costed)
+                prof::Profiler::instance().progressJobDone();
             return;
         }
         if (retryable && attempt + 1 < max_attempts) {
@@ -443,6 +507,8 @@ SweepRunner::executeJob(size_t i)
         failure->kind = kind;
         failure->errorKind = errKind;
         _failureSlots[i] = std::move(failure);
+        if (costed)
+            prof::Profiler::instance().progressJobDone();
         return;
     }
 }
@@ -497,6 +563,7 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
         size_t job;
         int attempt;
         pid_t pid;
+        Clock::time_point started;
         Clock::time_point killAt;
         bool haveDeadline;
         bool killedByUs;
@@ -573,9 +640,23 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
     };
 
     // Retry (with deterministic backoff) or record the failure.
+    // Parent-side attempt bill: wall time from fork to reap. The
+    // child's CPU/RSS die with it, so the isolate bill is wall-only.
+    auto chargeAttempt = [&](const Running &r, const char *outcome) {
+        if (!prof::Profiler::enabled())
+            return;
+        JobContext &ctx = *_contexts[r.job];
+        ctx._cost.wallSec +=
+            std::chrono::duration<double>(Clock::now() - r.started)
+                .count();
+        ctx._cost.attempts += 1;
+        ctx._cost.attemptOutcomes.emplace_back(outcome);
+    };
+
     auto finishAttempt = [&](const Running &r, bool retryable,
                              FailureKind kind, std::string err,
                              std::string errKind, int sig, int code) {
+        chargeAttempt(r, attemptOutcomeName(kind));
         if (retryable && r.attempt + 1 < max_attempts) {
             uint64_t delayMs = retryBackoffMs(
                 stableSeed(_jobs[r.job].name), r.attempt,
@@ -593,6 +674,8 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
         recordFailure(r.job,
                       retryable ? max_attempts : r.attempt + 1, kind,
                       std::move(err), std::move(errKind), sig, code);
+        if (prof::Profiler::enabled())
+            prof::Profiler::instance().progressJobDone();
     };
 
     auto reap = [&](const Running &r, const guard::ChildStatus &st) {
@@ -623,6 +706,9 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
                 if (_jobs[r.job].resumable &&
                     !_opts.checkpointDir.empty())
                     persistJob(r.job);
+                chargeAttempt(r, "ok");
+                if (prof::Profiler::enabled())
+                    prof::Profiler::instance().progressJobDone();
             } catch (const Error &e) {
                 finishAttempt(r, /*retryable=*/true,
                               FailureKind::Exception,
@@ -680,6 +766,7 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
                         std::to_string(p.attempt) + ".err";
             fs::remove(r.resultPath, ec);
             fs::remove(r.errPath, ec);
+            r.started = now;
             r.haveDeadline = deadlineMs > 0;
             r.killAt = now + std::chrono::milliseconds(deadlineMs);
             r.killedByUs = false;
@@ -764,6 +851,16 @@ SweepRunner::run()
         }
     }
 
+    // Progress heartbeat: replayed jobs count as done immediately, so
+    // the heartbeat's N/total reflects work remaining, not sweep size.
+    const bool costed = prof::Profiler::enabled();
+    if (costed) {
+        prof::Profiler::instance().progressBegin(_jobs.size());
+        for (size_t i = 0; i < _jobs.size(); ++i)
+            if (skip[i])
+                prof::Profiler::instance().progressJobDone();
+    }
+
     bool isolate = _opts.isolate;
     if (isolate && obs::Tracer::enabled()) {
         // Mirrors the resume/tracing rule: a child's trace ring dies
@@ -804,9 +901,13 @@ SweepRunner::run()
         _watchdog = nullptr;
     }
 
+    if (costed)
+        prof::Profiler::instance().progressEnd();
+
     // Merge barrier: apply every job's staged output in submission
     // order, so the report (and its JSON) is independent of both the
     // completion order and the job count.
+    ASH_PROF_ZONE("merge");
     obs::Report &report = obs::Report::global();
     for (size_t i = 0; i < _contexts.size(); ++i) {
         JobContext &ctx = *_contexts[i];
@@ -818,6 +919,15 @@ SweepRunner::run()
             obs::Tracer::process().mergeFrom(*ctx._tracer);
         if (_failureSlots[i])
             _failures.push_back(*_failureSlots[i]);
+        if (costed) {
+            // Submission order, so the prof report's job list is
+            // deterministic in content and order.
+            prof::JobCost cost = ctx._cost;
+            cost.job = ctx.name();
+            cost.failed = _failureSlots[i] != nullptr;
+            cost.replayed = ctx._replayed;
+            prof::Profiler::instance().addJobCost(cost);
+        }
     }
 
     if (!_failures.empty()) {

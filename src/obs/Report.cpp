@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/BuildInfo.h"
 #include "common/Json.h"
 #include "common/Logging.h"
 #include "obs/Trace.h"
@@ -98,6 +99,14 @@ Report::toJson(bool pretty) const
     JsonWriter w(pretty);
     w.beginObject();
     w.kv("bench", _name);
+    // Build provenance: constant for one binary, so run-to-run byte
+    // compares of the same build still hold.
+    w.key("build").beginObject();
+    w.kv("git", buildinfo::kGitHash);
+    w.kv("compiler", buildinfo::kCompiler);
+    w.kv("build_type", buildinfo::kBuildType);
+    w.kv("options", buildinfo::kOptions);
+    w.endObject();
     w.key("results").beginObject();
     for (const auto &[key, value] : _results)
         w.kv(key, value);
@@ -154,6 +163,17 @@ Report::finish() const
                    "open in chrome://tracing or ui.perfetto.dev",
                    _tracePath.c_str(), tracer.eventCount(),
                    (unsigned long long)tracer.droppedCount());
+            if (tracer.droppedCount() != 0) {
+                // Say WHICH rings wrapped: raise --trace-events, or
+                // accept that those tiles' earliest events are gone.
+                std::vector<uint64_t> drops = tracer.droppedByTile();
+                for (size_t t = 0; t < drops.size(); ++t) {
+                    if (drops[t] != 0)
+                        warn("trace ring overflow: tile %zu dropped "
+                             "%llu event(s)",
+                             t, (unsigned long long)drops[t]);
+                }
+            }
         }
     }
     return rc;

@@ -113,7 +113,17 @@ Tracer::record(const TraceEvent &e)
     ring.buf[ring.next] = e;
     ring.next = (ring.next + 1) % ring.buf.size();
     ring.wrapped = true;
+    ++ring.dropped;
     ++_dropped;
+}
+
+std::vector<uint64_t>
+Tracer::droppedByTile() const
+{
+    std::vector<uint64_t> out(_rings.size(), 0);
+    for (size_t i = 0; i < _rings.size(); ++i)
+        out[i] = _rings[i].dropped;
+    return out;
 }
 
 size_t
@@ -152,6 +162,14 @@ Tracer::mergeFrom(const Tracer &other)
         for (const TraceEvent &e : events)
             record(e);
     }
+    // record() above already counted overwrites in THIS tracer's
+    // rings; fold in drops that happened inside the source rings so
+    // per-tile counts survive the sweep merge.
+    for (size_t i = 0; i < other._rings.size(); ++i) {
+        if (other._rings[i].dropped != 0)
+            ringFor(static_cast<uint32_t>(i)).dropped +=
+                other._rings[i].dropped;
+    }
     _dropped += other._dropped;
 }
 
@@ -180,6 +198,19 @@ Tracer::toChromeJson() const
     w.beginObject();
     w.kv("displayTimeUnit", "ms");
     w.kv("droppedEvents", _dropped);
+    if (_dropped != 0) {
+        // Attribution: which tile's ring wrapped. Only non-zero
+        // tiles, so the header stays small on wide meshes.
+        w.key("droppedEventsByTile").beginObject();
+        char tileKey[32];
+        for (size_t tile = 0; tile < _rings.size(); ++tile) {
+            if (_rings[tile].dropped == 0)
+                continue;
+            std::snprintf(tileKey, sizeof(tileKey), "tile%zu", tile);
+            w.kv(tileKey, _rings[tile].dropped);
+        }
+        w.endObject();
+    }
     w.key("traceEvents").beginArray();
 
     char name[96];

@@ -139,6 +139,13 @@ class Tracer
     size_t eventCount() const;
     /** Events overwritten due to ring wrap since the last clear(). */
     uint64_t droppedCount() const { return _dropped; }
+    /**
+     * Per-tile ring-overflow counts, indexed by tile, so a report can
+     * say WHICH tile's ring wrapped (one hot tile overflowing is a
+     * very different story from uniform pressure). Tiles that never
+     * dropped hold 0; the vector spans [0, maxTile()].
+     */
+    std::vector<uint64_t> droppedByTile() const;
     /** Highest tile index seen so far, or -1 if none. */
     int maxTile() const;
 
@@ -171,6 +178,7 @@ class Tracer
         std::vector<TraceEvent> buf;
         size_t next = 0;     ///< Insertion slot once buf is full.
         bool wrapped = false;
+        uint64_t dropped = 0;   ///< Events this ring overwrote.
     };
 
     Ring &ringFor(uint32_t tile);

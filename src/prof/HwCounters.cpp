@@ -1,0 +1,138 @@
+#include "prof/HwCounters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ash::prof {
+
+#ifdef __linux__
+
+namespace {
+
+/** The four group members, in read order (leader first). */
+constexpr uint64_t kConfigs[] = {
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+constexpr int kNumCounters = 4;
+
+int
+openCounter(uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.config = config;
+    // Count from open; zone deltas only ever subtract snapshots, so
+    // an enable/disable dance buys nothing.
+    attr.disabled = 0;
+    // User-space only: works under perf_event_paranoid <= 2, which is
+    // the common unprivileged ceiling, and is what we want anyway —
+    // the simulator burns its time in user space.
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return static_cast<int>(syscall(SYS_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, group_fd,
+                                    /*flags=*/0UL));
+}
+
+const char *
+openErrorName(int err)
+{
+    switch (err) {
+      case EACCES:
+      case EPERM:
+        return "perf_event_open denied "
+               "(perf_event_paranoid too high?)";
+      case ENOENT:
+      case ENODEV:
+      case EOPNOTSUPP:
+        return "hardware counters not supported on this host";
+      case EMFILE:
+      case ENFILE:
+        return "out of file descriptors for perf events";
+      default:
+        return "perf_event_open failed";
+    }
+}
+
+} // namespace
+
+HwCounters::HwCounters()
+{
+    int fds[kNumCounters] = {-1, -1, -1, -1};
+    for (int i = 0; i < kNumCounters; ++i) {
+        fds[i] = openCounter(kConfigs[i], i == 0 ? -1 : fds[0]);
+        if (fds[i] < 0) {
+            // All or nothing: a partial group would silently bias
+            // per-phase ratios (e.g. IPC), so close what opened and
+            // report unavailable.
+            _error = openErrorName(errno);
+            for (int j = 0; j < i; ++j)
+                close(fds[j]);
+            return;
+        }
+    }
+    for (int i = 0; i < kNumCounters; ++i)
+        _fds[i] = fds[i];
+}
+
+HwCounters::~HwCounters()
+{
+    // Siblings first; an event is destroyed when its fd closes.
+    for (int i = kNumCounters - 1; i >= 0; --i)
+        if (_fds[i] >= 0)
+            close(_fds[i]);
+}
+
+bool
+HwCounters::read(Values &out) const
+{
+    out = Values{};
+    if (_fds[0] < 0)
+        return false;
+    struct
+    {
+        uint64_t nr;
+        uint64_t values[kNumCounters];
+    } buf;
+    ssize_t n = ::read(_fds[0], &buf, sizeof(buf));
+    if (n != static_cast<ssize_t>(sizeof(buf)) ||
+        buf.nr != kNumCounters)
+        return false;
+    out.instructions = buf.values[0];
+    out.cycles = buf.values[1];
+    out.cacheMisses = buf.values[2];
+    out.branchMisses = buf.values[3];
+    return true;
+}
+
+#else // !__linux__
+
+HwCounters::HwCounters()
+{
+    _error = "perf_event_open unavailable on this platform";
+}
+
+HwCounters::~HwCounters() = default;
+
+bool
+HwCounters::read(Values &out) const
+{
+    out = Values{};
+    return false;
+}
+
+#endif
+
+} // namespace ash::prof

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hardware performance counters for one host thread, read through
+ * perf_event_open(2). Four counters are opened as one event group on
+ * the calling thread — retired instructions, reference cycles, cache
+ * misses, and branch mispredictions — so one read(2) returns a
+ * coherent snapshot and zone deltas attribute counts to phases.
+ *
+ * CI containers, locked-down kernels (perf_event_paranoid >= 3), and
+ * non-Linux hosts routinely deny the syscall; that is a supported
+ * configuration, not an error. Construction then leaves the object in
+ * the "unavailable" state (ok() == false, error() says why), read()
+ * returns false, and the profiler degrades to timers-only output.
+ * Nothing in the profiling layer may assume counters exist.
+ *
+ * Counters are per-thread (the group is bound to the calling thread
+ * with inherit off), so each profiling thread owns its own instance;
+ * see prof::Profiler's thread_local usage.
+ */
+
+#ifndef ASH_PROF_HWCOUNTERS_H
+#define ASH_PROF_HWCOUNTERS_H
+
+#include <cstdint>
+
+namespace ash::prof {
+
+/** Per-thread perf_event counter group; see file header. */
+class HwCounters
+{
+  public:
+    /** One coherent snapshot of the group's four counts. */
+    struct Values
+    {
+        uint64_t instructions = 0;
+        uint64_t cycles = 0;
+        uint64_t cacheMisses = 0;
+        uint64_t branchMisses = 0;
+
+        Values &
+        operator-=(const Values &o)
+        {
+            instructions -= o.instructions;
+            cycles -= o.cycles;
+            cacheMisses -= o.cacheMisses;
+            branchMisses -= o.branchMisses;
+            return *this;
+        }
+    };
+
+    /** Open the group on the calling thread; never throws. */
+    HwCounters();
+    ~HwCounters();
+
+    HwCounters(const HwCounters &) = delete;
+    HwCounters &operator=(const HwCounters &) = delete;
+
+    /** True when the kernel granted the full group. */
+    bool ok() const { return _fds[0] >= 0; }
+
+    /** Why the group is unavailable, or nullptr when ok(). */
+    const char *error() const { return _error; }
+
+    /**
+     * Snapshot the group into @p out. Returns false (and leaves
+     * @p out zeroed) when the group is unavailable or the read
+     * fails — callers fall back to timers-only.
+     */
+    bool read(Values &out) const;
+
+  private:
+    /** Group leader + siblings; leader -1 = unavailable. A sibling's
+     *  event dies when its fd closes, so all four stay open. */
+    int _fds[4] = {-1, -1, -1, -1};
+    const char *_error = nullptr;    ///< Static reason string.
+};
+
+} // namespace ash::prof
+
+#endif // ASH_PROF_HWCOUNTERS_H

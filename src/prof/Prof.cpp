@@ -1,0 +1,581 @@
+#include "prof/Prof.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <thread>
+
+#include "common/BuildInfo.h"
+#include "common/Json.h"
+#include "common/Logging.h"
+
+#ifdef __linux__
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace ash::prof {
+
+namespace {
+
+uint64_t
+wallNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+threadCpuNowNs()
+{
+#ifdef __linux__
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<uint64_t>(ts.tv_nsec);
+#else
+    return 0;
+#endif
+}
+
+/** Process user+system CPU seconds (getrusage). */
+double
+processCpuSec()
+{
+#ifdef __linux__
+    rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+    auto tv = [](const timeval &t) {
+        return double(t.tv_sec) + double(t.tv_usec) * 1e-6;
+    };
+    return tv(ru.ru_utime) + tv(ru.ru_stime);
+#else
+    return 0.0;
+#endif
+}
+
+/** Process peak RSS in KiB (getrusage high-water mark). */
+long
+peakRssKb()
+{
+#ifdef __linux__
+    rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    return ru.ru_maxrss;
+#else
+    return 0;
+#endif
+}
+
+/** Current RSS in KiB via /proc/self/statm; 0 when unreadable. */
+long
+currentRssKb()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    long sizePages = 0;
+    long rssPages = 0;
+    int n = std::fscanf(f, "%ld %ld", &sizePages, &rssPages);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    long pageKb = sysconf(_SC_PAGESIZE) / 1024;
+    return rssPages * (pageKb > 0 ? pageKb : 4);
+#else
+    return 0;
+#endif
+}
+
+/** One in-flight zone on a thread's stack. */
+struct Frame
+{
+    uint64_t wall0 = 0;
+    uint64_t cpu0 = 0;
+    uint64_t childWallNs = 0;   ///< Filled by exiting children.
+    size_t pathLen = 0;         ///< tlsPath length BEFORE this frame.
+    HwCounters::Values hw0;
+    bool hw = false;            ///< hw0 captured successfully.
+};
+
+/** Per-thread zone state. The path string grows "a/b/c" as zones
+ *  nest, so exit never re-joins names. */
+thread_local std::vector<Frame> tlsStack;
+thread_local std::string tlsPath;
+
+/** Per-thread counter group, opened lazily on first armed zone. */
+thread_local std::unique_ptr<HwCounters> tlsHw;
+thread_local bool tlsHwTried = false;
+
+} // namespace
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+void
+Profiler::setJsonPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _jsonPath = std::move(path);
+}
+
+void
+Profiler::setJsonlPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _jsonlPath = std::move(path);
+}
+
+void
+Profiler::setProgressPeriodSec(double sec)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _progressPeriodSec = sec > 0 ? sec : 0.0;
+}
+
+void
+Profiler::setSamplePeriodMs(uint64_t ms)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _samplePeriodMs = ms == 0 ? 1 : ms;
+}
+
+void
+Profiler::setHwCountersEnabled(bool on)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _hwWanted = on;
+}
+
+void
+Profiler::arm()
+{
+    if (enabled())
+        return;
+    bool wantMonitor = false;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _zones.clear();
+        _jobs.clear();
+        _hwSeen = false;
+        _hwError.clear();
+        _epochNs = wallNowNs();
+        wantMonitor =
+            !_jsonlPath.empty() || _progressPeriodSec > 0.0;
+    }
+    _jobsTotal.store(0, std::memory_order_relaxed);
+    _jobsDone.store(0, std::memory_order_relaxed);
+    _sweepActive.store(false, std::memory_order_relaxed);
+    _sEnabled.store(true, std::memory_order_relaxed);
+    if (wantMonitor) {
+        _monitorStop.store(false, std::memory_order_relaxed);
+        _monitorThread = new std::thread([this] { monitorLoop(); });
+    }
+}
+
+void
+Profiler::disarm()
+{
+    _sEnabled.store(false, std::memory_order_relaxed);
+    if (_monitorThread) {
+        _monitorStop.store(true, std::memory_order_relaxed);
+        auto *t = static_cast<std::thread *>(_monitorThread);
+        t->join();
+        delete t;
+        _monitorThread = nullptr;
+    }
+}
+
+void
+Profiler::zoneEnter(const char *name)
+{
+    Frame f;
+    f.pathLen = tlsPath.size();
+    if (!tlsPath.empty())
+        tlsPath += '/';
+    tlsPath += name;
+
+    // Lazy per-thread counter group. Open-failure is a supported
+    // state (CI containers); remember the first reason for the
+    // report and fall back to timers-only on this thread.
+    if (_hwWanted && !tlsHwTried) {
+        tlsHwTried = true;
+        tlsHw = std::make_unique<HwCounters>();
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (tlsHw->ok())
+            _hwSeen = true;
+        else if (_hwError.empty() && tlsHw->error())
+            _hwError = tlsHw->error();
+    }
+    if (tlsHw && tlsHw->ok())
+        f.hw = tlsHw->read(f.hw0);
+
+    // Clocks last: keep instrumentation overhead outside the zone.
+    f.cpu0 = threadCpuNowNs();
+    f.wall0 = wallNowNs();
+    tlsStack.push_back(f);
+}
+
+void
+Profiler::zoneExit()
+{
+    if (tlsStack.empty())
+        return;   // finish()/clear() raced a live zone; drop it.
+    const uint64_t wall1 = wallNowNs();
+    const uint64_t cpu1 = threadCpuNowNs();
+    Frame f = tlsStack.back();
+    tlsStack.pop_back();
+
+    const uint64_t wallNs = wall1 > f.wall0 ? wall1 - f.wall0 : 0;
+    const uint64_t cpuNs = cpu1 > f.cpu0 ? cpu1 - f.cpu0 : 0;
+    HwCounters::Values hwDelta;
+    bool hwOk = false;
+    if (f.hw && tlsHw && tlsHw->read(hwDelta)) {
+        hwDelta -= f.hw0;
+        hwOk = true;
+    }
+
+    if (!tlsStack.empty())
+        tlsStack.back().childWallNs += wallNs;
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ZoneStat &z = _zones[tlsPath];
+        ++z.count;
+        z.wallNs += wallNs;
+        z.cpuNs += cpuNs;
+        z.childWallNs += f.childWallNs;
+        if (hwOk) {
+            z.hw.instructions += hwDelta.instructions;
+            z.hw.cycles += hwDelta.cycles;
+            z.hw.cacheMisses += hwDelta.cacheMisses;
+            z.hw.branchMisses += hwDelta.branchMisses;
+            ++z.hwSamples;
+        }
+    }
+    tlsPath.resize(f.pathLen);
+}
+
+void
+Profiler::progressBegin(size_t totalJobs)
+{
+    _jobsTotal.store(totalJobs, std::memory_order_relaxed);
+    _jobsDone.store(0, std::memory_order_relaxed);
+    _sweepStartNs.store(wallNowNs(), std::memory_order_relaxed);
+    _sweepActive.store(true, std::memory_order_relaxed);
+}
+
+void
+Profiler::progressJobDone()
+{
+    _jobsDone.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Profiler::progressEnd()
+{
+    // Print a final line so "done" is always visible, then go quiet.
+    if (_progressPeriodSec > 0.0 &&
+        _jobsTotal.load(std::memory_order_relaxed) != 0)
+        printProgress();
+    _sweepActive.store(false, std::memory_order_relaxed);
+}
+
+void
+Profiler::addJobCost(const JobCost &cost)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _jobs.push_back(cost);
+}
+
+std::map<std::string, ZoneStat>
+Profiler::zones() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _zones;
+}
+
+std::vector<JobCost>
+Profiler::jobCosts() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _jobs;
+}
+
+bool
+Profiler::hwAvailable() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hwSeen;
+}
+
+std::string
+Profiler::hwError() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hwError;
+}
+
+void
+Profiler::printProgress()
+{
+    const uint64_t total = _jobsTotal.load(std::memory_order_relaxed);
+    const uint64_t done = _jobsDone.load(std::memory_order_relaxed);
+    const uint64_t t0 = _sweepStartNs.load(std::memory_order_relaxed);
+    const double elapsed = (wallNowNs() - t0) * 1e-9;
+    const double rate = elapsed > 0 ? double(done) / elapsed : 0.0;
+    double eta = -1.0;
+    if (rate > 0 && done < total)
+        eta = double(total - done) / rate;
+    // stderr, never stdout: the determinism boundary.
+    if (eta >= 0)
+        std::fprintf(stderr,
+                     "[prof] progress: %" PRIu64 "/%" PRIu64
+                     " jobs (%.1f%%), %.2f jobs/s, eta %.1fs\n",
+                     done, total,
+                     total ? 100.0 * double(done) / double(total)
+                           : 100.0,
+                     rate, eta);
+    else
+        std::fprintf(stderr,
+                     "[prof] progress: %" PRIu64 "/%" PRIu64
+                     " jobs (%.1f%%), %.2f jobs/s\n",
+                     done, total,
+                     total ? 100.0 * double(done) / double(total)
+                           : 100.0,
+                     rate);
+}
+
+void
+Profiler::sampleNow(std::ostream &out)
+{
+    uint64_t epoch;
+    size_t zoneCount;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        epoch = _epochNs;
+        zoneCount = _zones.size();
+    }
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.kv("t_sec", (wallNowNs() - epoch) * 1e-9);
+    w.kv("cpu_sec", processCpuSec());
+    w.kv("rss_kb", int64_t(currentRssKb()));
+    w.kv("peak_rss_kb", int64_t(peakRssKb()));
+    w.kv("zones", uint64_t(zoneCount));
+    if (_sweepActive.load(std::memory_order_relaxed)) {
+        w.kv("jobs_done",
+             _jobsDone.load(std::memory_order_relaxed));
+        w.kv("jobs_total",
+             _jobsTotal.load(std::memory_order_relaxed));
+    }
+    w.endObject();
+    out << w.str() << "\n";
+    out.flush();
+}
+
+void
+Profiler::monitorLoop()
+{
+    std::string jsonlPath;
+    double progressSec;
+    uint64_t sampleMs;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        jsonlPath = _jsonlPath;
+        progressSec = _progressPeriodSec;
+        sampleMs = _samplePeriodMs;
+    }
+    std::ofstream jsonl;
+    if (!jsonlPath.empty()) {
+        jsonl.open(jsonlPath, std::ios::trunc);
+        if (!jsonl)
+            warn("cannot write prof JSONL to %s", jsonlPath.c_str());
+    }
+
+    using Clock = std::chrono::steady_clock;
+    auto nextSample = Clock::now();
+    auto nextBeat = Clock::now() +
+                    std::chrono::milliseconds(
+                        uint64_t(progressSec * 1000.0));
+    while (!_monitorStop.load(std::memory_order_relaxed)) {
+        auto now = Clock::now();
+        if (jsonl && now >= nextSample) {
+            sampleNow(jsonl);
+            nextSample =
+                now + std::chrono::milliseconds(sampleMs);
+        }
+        if (progressSec > 0.0 && now >= nextBeat) {
+            if (_sweepActive.load(std::memory_order_relaxed))
+                printProgress();
+            nextBeat = now + std::chrono::milliseconds(
+                                 uint64_t(progressSec * 1000.0));
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+    if (jsonl)
+        sampleNow(jsonl);   // Final sample closes the series.
+}
+
+std::string
+Profiler::toJson(bool pretty) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.key("build").beginObject();
+    w.kv("git", buildinfo::kGitHash);
+    w.kv("compiler", buildinfo::kCompiler);
+    w.kv("build_type", buildinfo::kBuildType);
+    w.kv("options", buildinfo::kOptions);
+    w.endObject();
+    w.kv("wall_sec", (wallNowNs() - _epochNs) * 1e-9);
+    w.kv("cpu_sec", processCpuSec());
+    w.kv("peak_rss_kb", int64_t(peakRssKb()));
+    w.key("hw").beginObject();
+    w.kv("available", _hwSeen);
+    if (!_hwSeen && !_hwError.empty())
+        w.kv("error", _hwError);
+    w.endObject();
+
+    w.key("zones").beginArray();
+    for (const auto &[path, z] : _zones) {
+        w.beginObject();
+        w.kv("path", path);
+        w.kv("count", z.count);
+        w.kv("wall_sec", z.wallNs * 1e-9);
+        w.kv("self_wall_sec", z.selfWallNs() * 1e-9);
+        w.kv("cpu_sec", z.cpuNs * 1e-9);
+        if (z.hwSamples != 0) {
+            w.kv("instructions", z.hw.instructions);
+            w.kv("cycles", z.hw.cycles);
+            w.kv("cache_misses", z.hw.cacheMisses);
+            w.kv("branch_misses", z.hw.branchMisses);
+            if (z.hw.cycles != 0)
+                w.kv("ipc", double(z.hw.instructions) /
+                                double(z.hw.cycles));
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("jobs").beginArray();
+    for (const JobCost &j : _jobs) {
+        w.beginObject();
+        w.kv("job", j.job);
+        w.kv("wall_sec", j.wallSec);
+        w.kv("cpu_sec", j.cpuSec);
+        w.kv("rss_delta_kb", int64_t(j.rssDeltaKb));
+        w.kv("attempts", j.attempts);
+        w.key("outcomes").beginArray();
+        for (const std::string &o : j.attemptOutcomes)
+            w.value(o);
+        w.endArray();
+        w.kv("failed", j.failed);
+        w.kv("replayed", j.replayed);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+Profiler::printSlowestJobs() const
+{
+    std::vector<JobCost> jobs = jobCosts();
+    if (jobs.empty())
+        return;
+    std::sort(jobs.begin(), jobs.end(),
+              [](const JobCost &a, const JobCost &b) {
+                  return a.wallSec > b.wallSec;
+              });
+    const size_t n = std::min<size_t>(jobs.size(), 10);
+    std::fprintf(stderr,
+                 "[prof] slowest %zu of %zu jobs "
+                 "(wall-ms / cpu-ms / rss-delta-kb / attempts):\n",
+                 n, jobs.size());
+    for (size_t i = 0; i < n; ++i) {
+        const JobCost &j = jobs[i];
+        std::fprintf(stderr,
+                     "[prof]   %8.1f %8.1f %8ld %2d  %s%s\n",
+                     j.wallSec * 1e3, j.cpuSec * 1e3, j.rssDeltaKb,
+                     j.attempts, j.job.c_str(),
+                     j.failed     ? "  [FAILED]"
+                     : j.replayed ? "  [replayed]"
+                                  : "");
+    }
+}
+
+int
+Profiler::finish()
+{
+    std::string jsonPath;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        jsonPath = _jsonPath;
+    }
+    disarm();
+
+    int rc = 0;
+    if (!jsonPath.empty()) {
+        std::string doc = toJson();
+        std::string err;
+        if (!jsonValid(doc, &err)) {
+            warn("prof JSON failed self-validation: %s", err.c_str());
+            rc = 1;
+        }
+        std::ofstream out(jsonPath, std::ios::trunc);
+        if (!out) {
+            warn("cannot write prof JSON to %s", jsonPath.c_str());
+            rc = 1;
+        } else {
+            out << doc << "\n";
+            out.flush();
+            if (!out)
+                rc = 1;
+            else
+                inform("wrote prof JSON: %s", jsonPath.c_str());
+        }
+    }
+    printSlowestJobs();
+    return rc;
+}
+
+void
+Profiler::clear()
+{
+    disarm();
+    std::lock_guard<std::mutex> lock(_mutex);
+    _zones.clear();
+    _jobs.clear();
+    _jsonPath.clear();
+    _jsonlPath.clear();
+    _progressPeriodSec = 0.0;
+    _samplePeriodMs = 500;
+    _hwWanted = true;
+    _hwSeen = false;
+    _hwError.clear();
+    _jobsTotal.store(0, std::memory_order_relaxed);
+    _jobsDone.store(0, std::memory_order_relaxed);
+    _sweepActive.store(false, std::memory_order_relaxed);
+}
+
+} // namespace ash::prof

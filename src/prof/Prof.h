@@ -1,0 +1,316 @@
+/**
+ * @file
+ * ash_prof: host-side performance profiling for the whole toolchain.
+ * Where ash_obs observes the *simulated* chip (per-tile events in
+ * cycle time), ash_prof observes the *host* — where a run's real wall
+ * clock goes (parse, elaborate, partition, compile, run, snapshot,
+ * merge), what each sweep job costs in CPU and memory, and how the
+ * hardware behaves underneath (instructions, cycles, cache misses).
+ * It exists so perf work on the engines is argued from measured phase
+ * breakdowns, not hunches, and so BENCH_hostperf.json regressions are
+ * caught mechanically.
+ *
+ * Design discipline mirrors the event tracer (obs/Trace.h):
+ *  1. Zero cost compiled out: -DASH_PROF=0 turns ASH_PROF_ZONE()
+ *     into ((void)0) and ScopedZone into an empty object.
+ *  2. One relaxed bool load when compiled in but disarmed (the
+ *     default) — no clock reads, no allocation, no locks.
+ *  3. Armed cost proportional to PHASE granularity: zones wrap
+ *     parse/compile/run-scale regions, never per-cycle work, so two
+ *     clock_gettime calls (plus one group read when hw counters are
+ *     available) per zone entry/exit is negligible.
+ *
+ * DETERMINISM BOUNDARY: profiling output is timing-dependent by
+ * nature, so it is written ONLY to its own sinks — the --prof-json
+ * file, the --prof-jsonl file, and stderr (progress heartbeat,
+ * slowest-jobs table). stdout and --stats-json never receive a byte
+ * from this layer; the repo's "byte-identical at any --jobs count"
+ * guarantee holds with profiling armed, and a ctest enforces it.
+ *
+ * Threading: zones nest per thread (a thread_local stack builds the
+ * "a/b/c" path); exits fold into a mutexed process-wide aggregate
+ * keyed by path. Sweep-job resource accounting is staged per job and
+ * merged in submission order at the sweep barrier, so the prof
+ * report's job list is deterministic in content and order (only the
+ * measured numbers vary run to run).
+ */
+
+#ifndef ASH_PROF_PROF_H
+#define ASH_PROF_PROF_H
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "prof/HwCounters.h"
+
+/** Compile-time master switch; see file header. */
+#ifndef ASH_PROF
+#define ASH_PROF 1
+#endif
+
+namespace ash::prof {
+
+/** Aggregated cost of one zone path ("frontend/parse", ...). */
+struct ZoneStat
+{
+    uint64_t count = 0;         ///< Times the zone was entered.
+    uint64_t wallNs = 0;        ///< Inclusive wall time.
+    uint64_t cpuNs = 0;         ///< Inclusive thread-CPU time.
+    uint64_t childWallNs = 0;   ///< Wall time inside direct children.
+
+    /** Inclusive hw-counter deltas; meaningful when hwSamples > 0. */
+    HwCounters::Values hw;
+    uint64_t hwSamples = 0;     ///< Entries that captured hw deltas.
+
+    /** Wall time not attributed to any child zone. */
+    uint64_t
+    selfWallNs() const
+    {
+        return wallNs > childWallNs ? wallNs - childWallNs : 0;
+    }
+};
+
+/**
+ * Resource bill of one sweep job: what SweepRunner measured around
+ * the job body across all its attempts. Staged on the JobContext and
+ * merged into the Profiler in submission order at the sweep barrier.
+ */
+struct JobCost
+{
+    std::string job;         ///< Job key ("fig11/gcd/t16").
+    double wallSec = 0.0;    ///< Wall time across all attempts.
+    double cpuSec = 0.0;     ///< Thread-CPU time across all attempts.
+    /** Growth of the process peak RSS observed across the job's
+     *  attempts, KiB. Process-wide high-water mark, so concurrent
+     *  jobs' allocations can land in whichever job was running when
+     *  the peak moved — indicative, not an exact per-job number. */
+    long rssDeltaKb = 0;
+    int attempts = 0;        ///< Attempts consumed.
+    /** Outcome per attempt: "ok", "error", "timeout", "oom",
+     *  "crash"; final entry is the job's fate. */
+    std::vector<std::string> attemptOutcomes;
+    bool failed = false;     ///< True when the job exhausted retries.
+    bool replayed = false;   ///< True when resume skipped the body.
+};
+
+/**
+ * The process-wide host profiler. Disarmed by default; the bench
+ * harness arms it when any of --prof-json, --prof-jsonl, or
+ * --progress is given (tests arm it directly). See file header for
+ * the determinism contract.
+ */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+    /** Hot-path guard; inline, one relaxed load, no call. */
+    static bool
+    enabled()
+    {
+        return _sEnabled.load(std::memory_order_relaxed);
+    }
+
+    /** Output sinks; set before arm(). Empty path = sink off. */
+    void setJsonPath(std::string path);
+    void setJsonlPath(std::string path);
+    /** Progress heartbeat period to stderr; 0 disables. */
+    void setProgressPeriodSec(double sec);
+    /** JSONL sampling period; default 500 ms. */
+    void setSamplePeriodMs(uint64_t ms);
+    /** Collect per-zone hw counters (default on; tests force off). */
+    void setHwCountersEnabled(bool on);
+
+    /**
+     * Start profiling: reset aggregates, stamp the epoch, start the
+     * monitor thread when a JSONL sink or progress heartbeat is
+     * configured, and flip enabled(). Idempotent while armed.
+     */
+    void arm();
+
+    /** Stop recording and the monitor thread; keeps aggregates. */
+    void disarm();
+
+    /** Zone mechanics used by ScopedZone/PhaseTimer. */
+    void zoneEnter(const char *name);
+    void zoneExit();
+
+    /** Sweep progress accounting (SweepRunner drives these). */
+    void progressBegin(size_t totalJobs);
+    void progressJobDone();
+    void progressEnd();
+
+    /** Merge one job's resource bill (sweep barrier, submission
+     *  order). */
+    void addJobCost(const JobCost &cost);
+
+    /** Snapshot of the aggregated zone tree, keyed by path. */
+    std::map<std::string, ZoneStat> zones() const;
+
+    /** Job bills merged so far, in submission order. */
+    std::vector<JobCost> jobCosts() const;
+
+    /** True when at least one thread opened hw counters. */
+    bool hwAvailable() const;
+    /** First reason a thread failed to open them, or empty. */
+    std::string hwError() const;
+
+    /** The whole report as one JSON document. */
+    std::string toJson(bool pretty = true) const;
+
+    /**
+     * Append one JSONL sample line (elapsed wall, process CPU,
+     * current/peak RSS, jobs done/total, zone count) to @p out.
+     * The monitor thread calls this on its period; tests call it
+     * directly.
+     */
+    void sampleNow(std::ostream &out);
+
+    /**
+     * Disarm, write the JSON report if requested, and print the
+     * slowest-jobs table to stderr when job bills were collected.
+     * Returns 0 on success (including "nothing requested"), 1 on
+     * I/O failure. Never touches stdout.
+     */
+    int finish();
+
+    /** Drop all aggregates and sinks (for tests). */
+    void clear();
+
+  private:
+    Profiler() = default;
+
+    void monitorLoop();
+    void printProgress();
+    void printSlowestJobs() const;
+
+    mutable std::mutex _mutex;   ///< Guards zones, jobs, hw status.
+    std::map<std::string, ZoneStat> _zones;
+    std::vector<JobCost> _jobs;
+    std::string _jsonPath;
+    std::string _jsonlPath;
+    double _progressPeriodSec = 0.0;
+    uint64_t _samplePeriodMs = 500;
+    bool _hwWanted = true;
+    bool _hwSeen = false;          ///< Some thread opened counters.
+    std::string _hwError;
+    uint64_t _epochNs = 0;         ///< arm() wall epoch (steady).
+
+    /** Monitor thread plumbing (jsonl sampler + progress heartbeat). */
+    std::atomic<bool> _monitorStop{false};
+    void *_monitorThread = nullptr;   ///< std::thread*, type-erased to
+                                      ///< keep <thread> out of hot
+                                      ///< includes.
+
+    /** Progress counters; relaxed — heartbeat only reads trends. */
+    std::atomic<uint64_t> _jobsTotal{0};
+    std::atomic<uint64_t> _jobsDone{0};
+    std::atomic<bool> _sweepActive{false};
+    std::atomic<uint64_t> _sweepStartNs{0};
+
+    static inline std::atomic<bool> _sEnabled{false};
+};
+
+/**
+ * RAII phase zone. When the profiler is disarmed, construction is one
+ * relaxed load. @p name must outlive the constructor call only (it is
+ * copied into the thread's path on entry); it must not contain '/',
+ * which joins path segments.
+ */
+class ScopedZone
+{
+  public:
+    explicit ScopedZone(const char *name)
+    {
+#if ASH_PROF
+        if (Profiler::enabled()) {
+            _armed = true;
+            Profiler::instance().zoneEnter(name);
+        }
+#else
+        (void)name;
+#endif
+    }
+
+    ~ScopedZone()
+    {
+#if ASH_PROF
+        if (_armed)
+            Profiler::instance().zoneExit();
+#endif
+    }
+
+    ScopedZone(const ScopedZone &) = delete;
+    ScopedZone &operator=(const ScopedZone &) = delete;
+
+  private:
+#if ASH_PROF
+    bool _armed = false;
+#endif
+};
+
+/**
+ * Manual begin/end timer for phases that don't fit one lexical scope
+ * (e.g. a bench timing region assembled across calls). begin() while
+ * already begun is ignored; end() without begin() is a no-op. Arm
+ * state is captured at begin(), so a finish() between begin and end
+ * still balances the thread's zone stack.
+ */
+class PhaseTimer
+{
+  public:
+    void
+    begin(const char *name)
+    {
+#if ASH_PROF
+        if (_armed || !Profiler::enabled())
+            return;
+        _armed = true;
+        Profiler::instance().zoneEnter(name);
+#else
+        (void)name;
+#endif
+    }
+
+    void
+    end()
+    {
+#if ASH_PROF
+        if (!_armed)
+            return;
+        _armed = false;
+        Profiler::instance().zoneExit();
+#endif
+    }
+
+    ~PhaseTimer() { end(); }
+
+  private:
+#if ASH_PROF
+    bool _armed = false;
+#endif
+};
+
+} // namespace ash::prof
+
+/**
+ * Phase instrumentation point: opens a zone for the rest of the
+ * enclosing scope. Compiles to nothing at -DASH_PROF=0; costs one
+ * relaxed load when disarmed.
+ */
+#if ASH_PROF
+#define ASH_PROF_CONCAT2(a, b) a##b
+#define ASH_PROF_CONCAT(a, b) ASH_PROF_CONCAT2(a, b)
+#define ASH_PROF_ZONE(name)                                            \
+    ::ash::prof::ScopedZone ASH_PROF_CONCAT(ashProfZone_,              \
+                                            __LINE__)(name)
+#else
+#define ASH_PROF_ZONE(name) ((void)0)
+#endif
+
+#endif // ASH_PROF_PROF_H

@@ -3,6 +3,7 @@
 #include "common/Logging.h"
 #include "guard/Cancel.h"
 #include "obs/Trace.h"
+#include "prof/Prof.h"
 #include "rtl/Cost.h"
 #include "rtl/Eval.h"
 
@@ -12,8 +13,21 @@ using rtl::Node;
 using rtl::NodeId;
 using rtl::Op;
 
+namespace {
+
+/** Levelization is a real compile phase on big designs; give the
+ *  host profiler a named zone for it. */
+std::vector<NodeId>
+levelize(const rtl::Netlist &nl)
+{
+    ASH_PROF_ZONE("levelize");
+    return nl.topoOrder();
+}
+
+} // namespace
+
 ReferenceSimulator::ReferenceSimulator(const rtl::Netlist &netlist)
-    : _nl(netlist), _order(netlist.topoOrder()),
+    : _nl(netlist), _order(levelize(netlist)),
       _values(netlist.numNodes(), 0), _prevValues(netlist.numNodes(), 0),
       _changed(netlist.numNodes(), 0),
       _inputBuffer(netlist.inputs().size(), 0)
@@ -306,6 +320,7 @@ OutputTrace
 ReferenceSimulator::run(Stimulus &stimulus, uint64_t cycles,
                         ckpt::CycleHook *hook)
 {
+    ASH_PROF_ZONE("run:refsim");
     OutputTrace trace;
     trace.reserve(cycles);
     for (uint64_t c = 0; c < cycles; ++c) {

@@ -1,5 +1,6 @@
 #include "verilog/Compile.h"
 
+#include "prof/Prof.h"
 #include "rtl/Transform.h"
 #include "verilog/Elaborator.h"
 #include "verilog/Parser.h"
@@ -10,9 +11,19 @@ rtl::Netlist
 compileVerilog(const std::string &source, const std::string &top,
                const std::map<std::string, int64_t> &params)
 {
-    SourceUnit unit = parse(source);
-    rtl::Netlist raw = elaborate(unit, top, params);
-    rtl::Netlist pruned = rtl::pruneDead(raw);
+    ASH_PROF_ZONE("frontend");
+    SourceUnit unit = [&] {
+        ASH_PROF_ZONE("parse");
+        return parse(source);
+    }();
+    rtl::Netlist raw = [&] {
+        ASH_PROF_ZONE("elaborate");
+        return elaborate(unit, top, params);
+    }();
+    rtl::Netlist pruned = [&] {
+        ASH_PROF_ZONE("prune");
+        return rtl::pruneDead(raw);
+    }();
     pruned.validate();
     return pruned;
 }

@@ -1,0 +1,77 @@
+# ctest driver: the ash_prof determinism boundary, end to end.
+# Profiling output must go ONLY to its own files and stderr — arming
+# the profiler must not change a single byte of stdout or of the
+# --stats-json document, at any --jobs count. Three runs of a sweep
+# bench:
+#   A: --jobs 1, no profiling            (the reference)
+#   B: --jobs 1, --prof-json + --prof-jsonl + --progress
+#   C: --jobs 4, --prof-json + --prof-jsonl + --progress
+# stdout and stats JSON must be byte-identical across all three; the
+# prof JSON files must exist, be non-empty, and carry the report keys.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P RunProfDeterminism.cmake
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# One stats filename for every run so the "wrote stats JSON: <path>"
+# log line cannot excuse a stdout difference; same for the prof files.
+set(json "${WORKDIR}/prof_stats.json")
+set(profjson "${WORKDIR}/prof_report.json")
+set(profjsonl "${WORKDIR}/prof_series.jsonl")
+
+function(run_case tag)
+    execute_process(COMMAND "${BENCH}" --stats-json "${json}" ${ARGN}
+                    RESULT_VARIABLE rc
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${BENCH} [${tag}] exited with ${rc}:\n${err}")
+    endif()
+    file(RENAME "${json}" "${WORKDIR}/prof_stats_${tag}.json")
+    file(WRITE "${WORKDIR}/prof_stdout_${tag}.txt" "${out}")
+endfunction()
+
+run_case(ref --jobs 1)
+run_case(j1 --jobs 1 --prof-json "${profjson}"
+            --prof-jsonl "${profjsonl}" --progress 1)
+file(RENAME "${profjson}" "${WORKDIR}/prof_report_j1.json")
+run_case(j4 --jobs 4 --prof-json "${profjson}"
+            --prof-jsonl "${profjsonl}" --progress 1)
+
+function(require_same what a b)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${a}" "${b}"
+                    RESULT_VARIABLE diff_rc)
+    if(NOT diff_rc EQUAL 0)
+        message(FATAL_ERROR "${what} differs: ${a} vs ${b} — "
+                            "profiling leaked into deterministic output")
+    endif()
+endfunction()
+
+require_same("stdout (prof off vs armed, --jobs 1)"
+             "${WORKDIR}/prof_stdout_ref.txt"
+             "${WORKDIR}/prof_stdout_j1.txt")
+require_same("stdout (armed, --jobs 1 vs --jobs 4)"
+             "${WORKDIR}/prof_stdout_j1.txt"
+             "${WORKDIR}/prof_stdout_j4.txt")
+require_same("stats JSON (prof off vs armed, --jobs 1)"
+             "${WORKDIR}/prof_stats_ref.json"
+             "${WORKDIR}/prof_stats_j1.json")
+require_same("stats JSON (armed, --jobs 1 vs --jobs 4)"
+             "${WORKDIR}/prof_stats_j1.json"
+             "${WORKDIR}/prof_stats_j4.json")
+
+# The prof sinks themselves must have been written and look like prof
+# output (full JSON validation lives in test_prof.cpp).
+foreach(f "${WORKDIR}/prof_report_j1.json" "${profjson}" "${profjsonl}")
+    if(NOT EXISTS "${f}")
+        message(FATAL_ERROR "profiler did not write ${f}")
+    endif()
+endforeach()
+file(READ "${profjson}" prof_doc)
+foreach(key "\"build\"" "\"zones\"" "\"jobs\"" "\"wall_sec\"")
+    string(FIND "${prof_doc}" "${key}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR "prof JSON ${profjson} is missing ${key}")
+    endif()
+endforeach()

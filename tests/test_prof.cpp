@@ -1,0 +1,279 @@
+/**
+ * @file
+ * ash_prof unit tests: zone nesting and reentrancy, the perf_event
+ * fallback contract, JSONL sample well-formedness, the prof JSON
+ * report shape, and deterministic per-job resource accounting
+ * through SweepRunner at different --jobs counts. The stdout /
+ * stats-json byte-identity guarantee with profiling armed is covered
+ * end to end by the Prof.JobsDeterminism ctest (RunProfDeterminism.
+ * cmake); these tests pin the library-level invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/Json.h"
+#include "exec/SweepRunner.h"
+#include "prof/HwCounters.h"
+#include "prof/Prof.h"
+
+using namespace ash;
+
+namespace {
+
+/** Arm a pristine profiler (hw counters off: CI containers often
+ *  deny perf_event_open, and these tests assert timer behavior). */
+class ProfTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        prof::Profiler::instance().clear();
+        prof::Profiler::instance().setHwCountersEnabled(false);
+        prof::Profiler::instance().arm();
+    }
+
+    void
+    TearDown() override
+    {
+        prof::Profiler::instance().clear();
+    }
+};
+
+} // namespace
+
+// The macro-driven tests need the instrumentation compiled in; the
+// ASH_PROF_ENABLED=OFF CI leg builds this binary with the macro
+// expanded to ((void)0), where recording nothing is the contract.
+#if ASH_PROF
+
+TEST_F(ProfTest, ZonesNestIntoSlashPaths)
+{
+    {
+        ASH_PROF_ZONE("outer");
+        {
+            ASH_PROF_ZONE("inner");
+        }
+        {
+            ASH_PROF_ZONE("inner");
+        }
+    }
+    auto zones = prof::Profiler::instance().zones();
+    ASSERT_EQ(zones.count("outer"), 1u);
+    ASSERT_EQ(zones.count("outer/inner"), 1u);
+    EXPECT_EQ(zones["outer"].count, 1u);
+    EXPECT_EQ(zones["outer/inner"].count, 2u);
+    // The child's wall time is attributed to the parent, so self
+    // time never exceeds inclusive time.
+    EXPECT_LE(zones["outer"].selfWallNs(), zones["outer"].wallNs);
+    EXPECT_GE(zones["outer"].wallNs, zones["outer"].childWallNs);
+}
+
+TEST_F(ProfTest, ReentrantZoneBuildsDistinctPaths)
+{
+    // Recursion: the same name on the stack twice is two paths.
+    {
+        ASH_PROF_ZONE("r");
+        {
+            ASH_PROF_ZONE("r");
+        }
+    }
+    auto zones = prof::Profiler::instance().zones();
+    ASSERT_EQ(zones.count("r"), 1u);
+    ASSERT_EQ(zones.count("r/r"), 1u);
+    EXPECT_EQ(zones["r"].count, 1u);
+    EXPECT_EQ(zones["r/r"].count, 1u);
+
+    // After full unwind, a new top-level zone starts a fresh path.
+    {
+        ASH_PROF_ZONE("s");
+    }
+    zones = prof::Profiler::instance().zones();
+    ASSERT_EQ(zones.count("s"), 1u);
+    EXPECT_EQ(zones.count("r/s"), 0u);
+}
+
+TEST_F(ProfTest, DisarmedZoneRecordsNothing)
+{
+    prof::Profiler::instance().disarm();
+    {
+        ASH_PROF_ZONE("ghost");
+    }
+    EXPECT_EQ(prof::Profiler::instance().zones().count("ghost"), 0u);
+}
+
+TEST_F(ProfTest, PhaseTimerBalancesAndIsIdempotent)
+{
+    prof::PhaseTimer t;
+    t.begin("phase");
+    t.begin("phase");   // Ignored: already begun.
+    t.end();
+    t.end();            // Ignored: already ended.
+    auto zones = prof::Profiler::instance().zones();
+    ASSERT_EQ(zones.count("phase"), 1u);
+    EXPECT_EQ(zones["phase"].count, 1u);
+}
+
+#endif // ASH_PROF
+
+TEST(ProfHwCounters, OpenEitherWorksOrExplainsItself)
+{
+    // The fallback contract: constructing HwCounters never throws or
+    // crashes; either the group opened and read() yields monotone
+    // counters, or ok() is false and error() names the reason.
+    prof::HwCounters hw;
+    if (hw.ok()) {
+        prof::HwCounters::Values a;
+        prof::HwCounters::Values b;
+        ASSERT_TRUE(hw.read(a));
+        // Burn some instructions between the reads.
+        volatile uint64_t sink = 0;
+        for (uint64_t i = 0; i < 100000; ++i)
+            sink += i * i;
+        ASSERT_TRUE(hw.read(b));
+        EXPECT_GE(b.instructions, a.instructions);
+        EXPECT_GE(b.cycles, a.cycles);
+    } else {
+        ASSERT_NE(hw.error(), nullptr);
+        EXPECT_NE(std::string(hw.error()), "");
+        prof::HwCounters::Values v;
+        EXPECT_FALSE(hw.read(v));   // Fails cleanly, no crash.
+    }
+}
+
+TEST_F(ProfTest, JsonlSamplesAreOneValidJsonObjectPerLine)
+{
+    std::ostringstream out;
+    prof::Profiler::instance().sampleNow(out);
+    prof::Profiler::instance().zoneEnter("work");
+    prof::Profiler::instance().zoneExit();
+    prof::Profiler::instance().sampleNow(out);
+
+    std::istringstream lines(out.str());
+    std::string line;
+    size_t n = 0;
+    while (std::getline(lines, line)) {
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(jsonParse(line, doc, &err))
+            << err << "\n" << line;
+        EXPECT_TRUE(doc["t_sec"].isNumber());
+        EXPECT_TRUE(doc["rss_kb"].isNumber());
+        EXPECT_TRUE(doc["zones"].isNumber());
+        ++n;
+    }
+    EXPECT_EQ(n, 2u);
+}
+
+TEST_F(ProfTest, ReportJsonIsValidAndStampsBuildInfo)
+{
+    prof::Profiler::instance().zoneEnter("alpha");
+    prof::Profiler::instance().zoneExit();
+    std::string doc = prof::Profiler::instance().toJson();
+    std::string err;
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(doc, v, &err)) << err;
+    EXPECT_TRUE(v["build"]["git"].isString());
+    EXPECT_TRUE(v["build"]["compiler"].isString());
+    EXPECT_TRUE(v["build"]["options"].isString());
+    ASSERT_TRUE(v["zones"].isArray());
+    bool sawAlpha = false;
+    for (const JsonValue &z : v["zones"].array())
+        sawAlpha = sawAlpha || z["path"].string() == "alpha";
+    EXPECT_TRUE(sawAlpha);
+}
+
+namespace {
+
+/** Names of the merged job bills, in merge order. */
+std::vector<std::string>
+sweepCostNames(unsigned jobs)
+{
+    prof::Profiler::instance().clear();
+    prof::Profiler::instance().setHwCountersEnabled(false);
+    prof::Profiler::instance().arm();
+
+    exec::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.backoffBaseMs = 0;
+    exec::SweepRunner sweep(opts);
+    for (int i = 0; i < 8; ++i) {
+        sweep.add("prof/job" + std::to_string(i),
+                  [](exec::JobContext &ctx) {
+                      volatile uint64_t sink = 0;
+                      for (uint64_t k = 0; k < 50000; ++k)
+                          sink += k ^ ctx.seed();
+                  });
+    }
+    sweep.run();
+
+    std::vector<std::string> names;
+    for (const prof::JobCost &c :
+         prof::Profiler::instance().jobCosts()) {
+        EXPECT_EQ(c.attempts, 1);
+        EXPECT_EQ(c.attemptOutcomes.size(), 1u);
+        if (!c.attemptOutcomes.empty())
+            EXPECT_EQ(c.attemptOutcomes[0], "ok");
+        EXPECT_FALSE(c.failed);
+        EXPECT_FALSE(c.replayed);
+        EXPECT_GE(c.wallSec, 0.0);
+        names.push_back(c.job);
+    }
+    prof::Profiler::instance().clear();
+    return names;
+}
+
+} // namespace
+
+TEST(ProfSweep, JobCostsMergeInSubmissionOrderAtAnyJobCount)
+{
+    std::vector<std::string> at1 = sweepCostNames(1);
+    std::vector<std::string> at4 = sweepCostNames(4);
+    ASSERT_EQ(at1.size(), 8u);
+    // Content AND order are independent of the worker count.
+    EXPECT_EQ(at1, at4);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(at1[size_t(i)], "prof/job" + std::to_string(i));
+}
+
+TEST(ProfSweep, FailedAndRetriedJobsAreBilledPerAttempt)
+{
+    prof::Profiler::instance().clear();
+    prof::Profiler::instance().setHwCountersEnabled(false);
+    prof::Profiler::instance().arm();
+
+    exec::SweepOptions opts;
+    opts.jobs = 2;
+    opts.maxAttempts = 2;
+    opts.backoffBaseMs = 0;
+    exec::SweepRunner sweep(opts);
+    sweep.add("prof/flaky", [](exec::JobContext &ctx) {
+        if (ctx.attempt() == 0)
+            throw Error("test", "first attempt fails");
+    });
+    sweep.add("prof/hopeless", [](exec::JobContext &) {
+        throw Error("test", "always fails");
+    });
+    sweep.run();
+
+    std::vector<prof::JobCost> costs =
+        prof::Profiler::instance().jobCosts();
+    ASSERT_EQ(costs.size(), 2u);
+
+    EXPECT_EQ(costs[0].job, "prof/flaky");
+    EXPECT_EQ(costs[0].attempts, 2);
+    ASSERT_EQ(costs[0].attemptOutcomes.size(), 2u);
+    EXPECT_EQ(costs[0].attemptOutcomes[0], "error");
+    EXPECT_EQ(costs[0].attemptOutcomes[1], "ok");
+    EXPECT_FALSE(costs[0].failed);
+
+    EXPECT_EQ(costs[1].job, "prof/hopeless");
+    EXPECT_EQ(costs[1].attempts, 2);
+    ASSERT_EQ(costs[1].attemptOutcomes.size(), 2u);
+    EXPECT_EQ(costs[1].attemptOutcomes[1], "error");
+    EXPECT_TRUE(costs[1].failed);
+
+    prof::Profiler::instance().clear();
+}
