@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "common/Logging.h"
+#include "common/Shutdown.h"
 #include "exec/ThreadPool.h"
 #include "guard/Divergence.h"
 #include "guard/Fault.h"
@@ -226,6 +227,10 @@ banner(const std::string &title)
 bool
 init(const std::string &name, int &argc, char **argv)
 {
+    // Graceful drain on ctrl-C / SIGTERM: sweeps stop launching new
+    // jobs, in-flight ones finish and persist, and finish() still
+    // writes a partial --stats-json stamped "interrupted": true.
+    installShutdownSignalHandlers();
     obs::Report::global().setName(name);
     if (!obs::Report::global().parseArgs(argc, argv))
         return false;
@@ -461,6 +466,13 @@ finish()
     if (gSweepFailures != 0) {
         warn("%zu sweep job(s) failed; exiting nonzero",
              gSweepFailures);
+        return 1;
+    }
+    if (shutdownRequested()) {
+        // The partial stats/checkpoints are already on disk; the
+        // nonzero exit tells callers the run did not complete.
+        warn("run interrupted (SIGINT/SIGTERM drain); partial "
+             "results written; exiting nonzero");
         return 1;
     }
     return rc;

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * serve_load: closed-loop multi-client load generator for ash_served.
+ * Spawns (or attaches to) a daemon and runs four phases:
+ *
+ *  1. COLD — a serial "seed" client touches each of K configs once
+ *     (configs differ in TILE count, so each is a distinct compiled
+ *     program and a genuine cold compile). These latencies are the
+ *     cold baseline, and the result bytes seed the identity oracle.
+ *  2. FLOOD — N concurrent clients each issue M requests rotating
+ *     over the seeded configs; every one should be a memo hit. This
+ *     is where memo p50/p99 come from, under real concurrency.
+ *  3. WARM VERIFY — a serial "verify" client re-executes each
+ *     config with nocache (forced run on the hot design cache) and
+ *     checks the warm result bytes against the oracle.
+ *  4. FAULT LEG (overlaps the flood) — a sacrificial "faulty"
+ *     tenant whose jobs a fault plan kills; its errors must stay
+ *     structured and must not disturb any other client.
+ *
+ * The memoization contract is verified throughout: every response
+ * for one cache key must carry byte-identical result bytes whether
+ * cold, warm, or memo. In spawn mode the run fails unless
+ * memo p99 * 10 <= cold p50.
+ *
+ * This bench does NOT go through the obs::Report determinism
+ * machinery: latency numbers are timing by definition, so — like
+ * BENCH_hostperf.json — the output goes to its own sink and is never
+ * byte-compared.
+ *
+ *   serve_load --spawn PATH_TO_ASH_SERVED [--socket PATH]
+ *              [--clients N] [--requests N] [--design NAME]
+ *              [--engine E] [--tiles N] [--cycles N] [--configs K]
+ *              [--out BENCH_serve.json] [--no-fault-leg]
+ *              [--http-port N] [--state-dir DIR] [--workers N]
+ *              [--keep-daemon]
+ *   serve_load --socket PATH ...          # attach to a running daemon
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/Json.h"
+#include "common/Logging.h"
+#include "serve/Net.h"
+#include "serve/Protocol.h"
+
+using namespace ash;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options
+{
+    std::string spawnPath;       ///< ash_served binary; "" = attach.
+    std::string socketPath;
+    std::string stateDir;
+    std::string outPath = "BENCH_serve.json";
+    unsigned clients = 8;
+    unsigned requestsPerClient = 125;
+    unsigned configs = 4;        ///< Distinct tile-count points.
+    std::string design = "ntt";
+    std::string engine = "sash";
+    uint32_t tiles = 8;          ///< Base tiles; configs step by 8.
+    uint64_t cycles = 400;       ///< Fixed cycles for every config.
+    unsigned workers = 0;        ///< Daemon workers (0 = default).
+    bool faultLeg = true;
+    uint16_t httpPort = 0;       ///< Also smoke the HTTP endpoint.
+    bool keepDaemon = false;     ///< Skip SIGTERM (external manage).
+};
+
+struct ClassAgg
+{
+    std::vector<double> latMs;
+    void
+    add(double v)
+    {
+        std::lock_guard<std::mutex> lock(mutex());
+        latMs.push_back(v);
+    }
+    static std::mutex &
+    mutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+    double
+    pct(double p) const
+    {
+        if (latMs.empty())
+            return 0.0;
+        std::vector<double> s = latMs;
+        std::sort(s.begin(), s.end());
+        double rank = p * static_cast<double>(s.size() - 1);
+        size_t lo = static_cast<size_t>(rank);
+        size_t hi = lo + 1 < s.size() ? lo + 1 : lo;
+        return s[lo] + (s[hi] - s[lo]) * (rank - double(lo));
+    }
+    double
+    mean() const
+    {
+        double t = 0;
+        for (double v : latMs)
+            t += v;
+        return latMs.empty() ? 0.0
+                             : t / static_cast<double>(latMs.size());
+    }
+};
+
+struct Totals
+{
+    ClassAgg cold, warm, memo;
+    std::atomic<uint64_t> ok{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> faultErrors{0};
+    std::atomic<uint64_t> verified{0};
+    std::atomic<uint64_t> mismatches{0};
+
+    /** key -> first-seen result bytes (the byte-identity oracle). */
+    std::mutex oracleMutex;
+    std::map<std::string, std::string> oracle;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--spawn ASH_SERVED] [--socket PATH]\n"
+                 "  [--clients N] [--requests N] [--configs K]\n"
+                 "  [--design NAME] [--engine E] [--tiles N]\n"
+                 "  [--cycles N] [--workers N] [--out PATH]\n"
+                 "  [--state-dir DIR] [--no-fault-leg]\n"
+                 "  [--http-port N] [--keep-daemon]\n",
+                 argv0);
+    return 2;
+}
+
+/** Issue one request over @p fd; returns false on transport error. */
+bool
+roundTrip(int fd, serve::net::LineReader &reader,
+          const serve::SimRequest &req, std::string &envelopeOut)
+{
+    if (!serve::net::writeAll(fd, serve::serializeRequest(req) + "\n"))
+        return false;
+    return reader.readLine(envelopeOut, nullptr, 10 * 60 * 1000) == 1;
+}
+
+/**
+ * Check the memoization contract on @p envelope: all responses with
+ * one cache key carry byte-identical result bytes regardless of
+ * class. First sighting of a key seeds the oracle.
+ */
+void
+verifyEnvelope(Totals &totals, const std::string &envelope)
+{
+    std::string result;
+    if (!serve::extractResult(envelope, result))
+        return;
+    // The key is inside the result payload ("key":"<fp>-<cfg>").
+    size_t at = envelope.find("\"key\": \"");
+    if (at == std::string::npos)
+        return;
+    size_t begin = at + 8;
+    size_t end = envelope.find('"', begin);
+    std::string key = envelope.substr(begin, end - begin);
+
+    std::lock_guard<std::mutex> lock(totals.oracleMutex);
+    auto [it, inserted] = totals.oracle.emplace(key, result);
+    if (inserted)
+        return;
+    ++totals.verified;
+    if (it->second != result)
+        ++totals.mismatches;
+}
+
+/** Config k's tile count: distinct tiles => distinct programs, so
+ *  each config's first-ever request is a genuine cold compile. */
+uint32_t
+configTiles(const Options &opts, unsigned k)
+{
+    return opts.tiles + 8 * (k % opts.configs);
+}
+
+/** Record one classified response into the per-class aggregates. */
+void
+recordEnvelope(Totals &totals, const std::string &envelope, double ms)
+{
+    std::string cls = serve::extractCacheClass(envelope);
+    if (cls == "cold")
+        totals.cold.add(ms);
+    else if (cls == "warm")
+        totals.warm.add(ms);
+    else if (cls == "memo")
+        totals.memo.add(ms);
+    if (cls.empty()) {
+        totals.errors.fetch_add(1);
+    } else {
+        totals.ok.fetch_add(1);
+        verifyEnvelope(totals, envelope);
+    }
+}
+
+/**
+ * Serial phase from one dedicated client: touch every config once.
+ * Runs uncontended, so its latencies are a clean baseline — cold
+ * when the daemon is fresh (phase 1), warm when @p nocache forces
+ * execution against the hot design cache (phase 3).
+ */
+bool
+serialPhase(const Options &opts, const char *clientName, bool nocache,
+            Totals &totals)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(opts.socketPath, &err);
+    if (fd < 0) {
+        warn("client %s: %s", clientName, err.c_str());
+        return false;
+    }
+    serve::net::LineReader reader(fd);
+    serve::SimRequest req;
+    req.client = clientName;
+    req.design = opts.design;
+    req.engine = opts.engine;
+    req.cycles = opts.cycles;
+    req.nocache = nocache;
+    bool ok = true;
+    for (unsigned k = 0; k < opts.configs; ++k) {
+        req.tiles = configTiles(opts, k);
+        req.id = k;
+        Clock::time_point t0 = Clock::now();
+        std::string envelope;
+        if (!roundTrip(fd, reader, req, envelope)) {
+            warn("client %s: transport failure at config %u",
+                 clientName, k);
+            ok = false;
+            break;
+        }
+        double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+        recordEnvelope(totals, envelope, ms);
+    }
+    ::close(fd);
+    return ok;
+}
+
+void
+clientLoop(const Options &opts, unsigned clientIdx, Totals &totals,
+           std::atomic<bool> &abort)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(opts.socketPath, &err);
+    if (fd < 0) {
+        warn("client c%u: %s", clientIdx, err.c_str());
+        abort.store(true);
+        return;
+    }
+    serve::net::LineReader reader(fd);
+
+    serve::SimRequest req;
+    req.client = "c" + std::to_string(clientIdx);
+    req.design = opts.design;
+    req.engine = opts.engine;
+    req.cycles = opts.cycles;
+
+    for (unsigned j = 0; j < opts.requestsPerClient; ++j) {
+        if (abort.load(std::memory_order_relaxed))
+            break;
+        // Rotate over the configs the cold phase seeded: every
+        // request should be a memo hit, answered inline without
+        // touching the queue or an engine.
+        req.tiles = configTiles(opts, j + clientIdx);
+        req.id = j;
+
+        Clock::time_point t0 = Clock::now();
+        std::string envelope;
+        if (!roundTrip(fd, reader, req, envelope)) {
+            warn("client %s: transport failure at request %u",
+                 req.client.c_str(), j);
+            break;
+        }
+        double ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - t0)
+                        .count();
+        recordEnvelope(totals, envelope, ms);
+    }
+    ::close(fd);
+}
+
+/** The sacrificial tenant every fault-plan rule targets. */
+void
+faultLoop(const Options &opts, Totals &totals)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(opts.socketPath, &err);
+    if (fd < 0)
+        return;
+    serve::net::LineReader reader(fd);
+    serve::SimRequest req;
+    req.client = "faulty";
+    req.design = opts.design;
+    req.engine = opts.engine;
+    req.tiles = opts.tiles;
+    req.nocache = true;   // Always execute: memo would dodge faults.
+    for (unsigned j = 0; j < 8; ++j) {
+        req.cycles = opts.cycles + j;   // Distinct keys.
+        req.id = j;
+        std::string envelope;
+        if (!roundTrip(fd, reader, req, envelope))
+            break;
+        if (envelope.rfind("{\"ok\": false", 0) == 0)
+            totals.faultErrors.fetch_add(1);
+    }
+    ::close(fd);
+}
+
+/** One HTTP POST /sim round trip (smoke for the TCP endpoint). */
+bool
+httpRoundTrip(uint16_t port, const serve::SimRequest &req)
+{
+    std::string err;
+    int fd = serve::net::connectTcp(port, &err);
+    if (fd < 0)
+        return false;
+    std::string body = serve::serializeRequest(req);
+    std::string http = "POST /sim HTTP/1.1\r\nHost: localhost\r\n"
+                       "Content-Length: " +
+                       std::to_string(body.size()) + "\r\n\r\n" + body;
+    bool ok = serve::net::writeAll(fd, http);
+    std::string line;
+    serve::net::LineReader reader(fd);
+    ok = ok && reader.readLine(line, nullptr, 60000) == 1 &&
+         line.rfind("HTTP/1.1 200", 0) == 0;
+    ::close(fd);
+    return ok;
+}
+
+pid_t
+spawnDaemon(const Options &opts)
+{
+    pid_t pid = fork();
+    if (pid != 0)
+        return pid;
+    std::vector<std::string> args = {opts.spawnPath, "--socket",
+                                     opts.socketPath};
+    if (!opts.stateDir.empty()) {
+        args.push_back("--state-dir");
+        args.push_back(opts.stateDir);
+    }
+    if (opts.workers != 0) {
+        args.push_back("--workers");
+        args.push_back(std::to_string(opts.workers));
+    }
+    if (opts.faultLeg) {
+        // Every job of the tenant named "faulty" dies; nobody else
+        // matches the scope.
+        args.push_back("--fault-plan");
+        args.push_back("job.body@serve/faulty/:error");
+    }
+    if (opts.httpPort != 0) {
+        args.push_back("--http");
+        args.push_back(std::to_string(opts.httpPort));
+    }
+    std::vector<char *> argv;
+    for (std::string &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    std::fprintf(stderr, "serve_load: cannot exec %s\n",
+                 opts.spawnPath.c_str());
+    _exit(127);
+}
+
+bool
+waitForSocket(const std::string &path, int timeoutMs)
+{
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    while (Clock::now() < deadline) {
+        std::string err;
+        int fd = serve::net::connectUnix(path, &err);
+        if (fd >= 0) {
+            ::close(fd);
+            return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(arg, "--spawn") == 0 && (v = value()))
+            opts.spawnPath = v;
+        else if (std::strcmp(arg, "--socket") == 0 && (v = value()))
+            opts.socketPath = v;
+        else if (std::strcmp(arg, "--clients") == 0 && (v = value()))
+            opts.clients = static_cast<unsigned>(std::atoi(v));
+        else if (std::strcmp(arg, "--requests") == 0 && (v = value()))
+            opts.requestsPerClient =
+                static_cast<unsigned>(std::atoi(v));
+        else if (std::strcmp(arg, "--configs") == 0 && (v = value()))
+            opts.configs =
+                std::max(1u, static_cast<unsigned>(std::atoi(v)));
+        else if (std::strcmp(arg, "--design") == 0 && (v = value()))
+            opts.design = v;
+        else if (std::strcmp(arg, "--engine") == 0 && (v = value()))
+            opts.engine = v;
+        else if (std::strcmp(arg, "--tiles") == 0 && (v = value()))
+            opts.tiles = static_cast<uint32_t>(std::atoi(v));
+        else if (std::strcmp(arg, "--cycles") == 0 && (v = value()))
+            opts.cycles = static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--workers") == 0 && (v = value()))
+            opts.workers = static_cast<unsigned>(std::atoi(v));
+        else if (std::strcmp(arg, "--out") == 0 && (v = value()))
+            opts.outPath = v;
+        else if (std::strcmp(arg, "--state-dir") == 0 && (v = value()))
+            opts.stateDir = v;
+        else if (std::strcmp(arg, "--no-fault-leg") == 0)
+            opts.faultLeg = false;
+        else if (std::strcmp(arg, "--http-port") == 0 && (v = value()))
+            opts.httpPort = static_cast<uint16_t>(std::atoi(v));
+        else if (std::strcmp(arg, "--keep-daemon") == 0)
+            opts.keepDaemon = true;
+        else
+            return usage(argv[0]);
+    }
+    if (opts.socketPath.empty())
+        opts.socketPath =
+            "/tmp/ash-serve-" + std::to_string(getpid()) + ".sock";
+
+    pid_t daemon = -1;
+    if (!opts.spawnPath.empty()) {
+        daemon = spawnDaemon(opts);
+        if (daemon < 0) {
+            std::fprintf(stderr, "serve_load: fork failed\n");
+            return 1;
+        }
+    }
+    if (!waitForSocket(opts.socketPath, 30000)) {
+        std::fprintf(stderr, "serve_load: daemon never came up on %s\n",
+                     opts.socketPath.c_str());
+        if (daemon > 0)
+            kill(daemon, SIGKILL);
+        return 1;
+    }
+
+    inform("serve_load: %u client(s) x %u request(s) against %s",
+           opts.clients, opts.requestsPerClient,
+           opts.socketPath.c_str());
+
+    Totals totals;
+    std::atomic<bool> abort{false};
+    Clock::time_point t0 = Clock::now();
+
+    // Phase 1: cold baseline — serial, uncontended, cache empty.
+    if (!serialPhase(opts, "seed", false, totals)) {
+        if (daemon > 0)
+            kill(daemon, SIGKILL);
+        return 1;
+    }
+
+    // Phase 2: the memo flood (+ overlapping fault leg).
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < opts.clients; ++c)
+        threads.emplace_back([&opts, c, &totals, &abort] {
+            clientLoop(opts, c, totals, abort);
+        });
+    std::thread faulter;
+    if (opts.faultLeg)
+        faulter = std::thread([&opts, &totals] {
+            faultLoop(opts, totals);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    if (faulter.joinable())
+        faulter.join();
+
+    // Phase 3: warm verify — forced execution on the hot cache must
+    // reproduce the cold bytes exactly.
+    serialPhase(opts, "verify", true, totals);
+
+    double elapsedMs = std::chrono::duration<double, std::milli>(
+                           Clock::now() - t0)
+                           .count();
+
+    // The daemon must still be healthy after the fault leg: one more
+    // request has to succeed.
+    bool aliveAfterFaults = false;
+    {
+        std::string err;
+        int fd = serve::net::connectUnix(opts.socketPath, &err);
+        if (fd >= 0) {
+            serve::net::LineReader reader(fd);
+            serve::SimRequest ping;
+            ping.op = "ping";
+            ping.client = "health";
+            std::string envelope;
+            aliveAfterFaults =
+                roundTrip(fd, reader, ping, envelope) &&
+                envelope.rfind("{\"ok\": true", 0) == 0;
+            ::close(fd);
+        }
+    }
+
+    bool httpOk = true;
+    if (opts.httpPort != 0) {
+        serve::SimRequest hreq;
+        hreq.client = "http";
+        hreq.design = opts.design;
+        hreq.engine = opts.engine;
+        hreq.tiles = opts.tiles;
+        hreq.cycles = opts.cycles;
+        httpOk = httpRoundTrip(opts.httpPort, hreq);
+        if (!httpOk)
+            warn("serve_load: HTTP endpoint smoke failed");
+    }
+
+    int exitCode = httpOk ? 0 : 1;
+    int daemonExit = -1;
+    if (daemon > 0 && !opts.keepDaemon) {
+        // Graceful drain: SIGTERM, daemon must exit 0.
+        kill(daemon, SIGTERM);
+        int status = 0;
+        if (waitpid(daemon, &status, 0) == daemon &&
+            WIFEXITED(status))
+            daemonExit = WEXITSTATUS(status);
+        if (daemonExit != 0) {
+            warn("serve_load: daemon exit %d (want 0)", daemonExit);
+            exitCode = 1;
+        }
+    }
+
+    uint64_t total = totals.ok.load() + totals.errors.load();
+    double memoP99 = totals.memo.pct(0.99);
+    double coldP50 = totals.cold.pct(0.50);
+    bool memoFast = !totals.memo.latMs.empty() &&
+                    !totals.cold.latMs.empty() &&
+                    memoP99 * 10.0 <= coldP50;
+    if (daemon > 0 && !memoFast) {
+        // Spawn mode started from an empty cache, so the cold
+        // baseline is real; the memo edge is an acceptance gate.
+        warn("serve_load: memo p99 %.3f ms not 10x under cold p50 "
+             "%.3f ms",
+             memoP99, coldP50);
+        exitCode = 1;
+    }
+
+    if (totals.mismatches.load() != 0) {
+        warn("serve_load: %llu memoized result(s) were NOT "
+             "byte-identical",
+             (unsigned long long)totals.mismatches.load());
+        exitCode = 1;
+    }
+    if (!aliveAfterFaults) {
+        warn("serve_load: daemon unhealthy after fault leg");
+        exitCode = 1;
+    }
+    if (opts.faultLeg && daemon > 0 &&
+        totals.faultErrors.load() == 0) {
+        // The spawn-mode fault plan targets the "faulty" tenant on
+        // every job; zero structured errors means the plan never
+        // reached the job body.
+        warn("serve_load: fault leg produced no structured errors");
+        exitCode = 1;
+    }
+
+    JsonWriter w(true);
+    w.beginObject();
+    w.kv("bench", "serve_load");
+    w.kv("design", opts.design);
+    w.kv("engine", opts.engine);
+    w.kv("tiles", opts.tiles);
+    w.kv("clients", opts.clients);
+    w.kv("requests_per_client", opts.requestsPerClient);
+    w.kv("total_requests", total);
+    w.kv("elapsed_ms", elapsedMs);
+    w.kv("throughput_rps", elapsedMs > 0.0
+                               ? double(total) * 1000.0 / elapsedMs
+                               : 0.0);
+    auto classObj = [&](const char *name, const ClassAgg &agg) {
+        w.key(name).beginObject();
+        w.kv("count", static_cast<uint64_t>(agg.latMs.size()));
+        w.kv("p50_ms", agg.pct(0.50));
+        w.kv("p99_ms", agg.pct(0.99));
+        w.kv("mean_ms", agg.mean());
+        w.endObject();
+    };
+    w.key("classes").beginObject();
+    classObj("cold", totals.cold);
+    classObj("warm", totals.warm);
+    classObj("memo", totals.memo);
+    w.endObject();
+    w.key("verify").beginObject();
+    w.kv("checked", totals.verified.load());
+    w.kv("mismatches", totals.mismatches.load());
+    w.endObject();
+    w.key("faults").beginObject();
+    w.kv("leg_enabled", opts.faultLeg);
+    w.kv("fault_errors", totals.faultErrors.load());
+    w.kv("alive_after", aliveAfterFaults);
+    w.endObject();
+    w.kv("memo_p99_ms", memoP99);
+    w.kv("cold_p50_ms", coldP50);
+    w.kv("memo_p99_10x_under_cold_p50", memoFast);
+    w.kv("daemon_exit", static_cast<int64_t>(daemonExit));
+    w.endObject();
+    std::string doc = w.str();
+
+    std::FILE *f = std::fopen(opts.outPath.c_str(), "w");
+    if (!f) {
+        warn("serve_load: cannot write %s", opts.outPath.c_str());
+        return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    inform("serve_load: wrote %s (memo p99 %.3f ms, cold p50 %.1f "
+           "ms, %llu ok / %llu errors)",
+           opts.outPath.c_str(), memoP99, coldP50,
+           (unsigned long long)totals.ok.load(),
+           (unsigned long long)totals.errors.load());
+    return exitCode;
+}

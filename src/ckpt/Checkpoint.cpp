@@ -1,5 +1,7 @@
 #include "ckpt/Checkpoint.h"
 
+#include "common/TmpPath.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -154,7 +156,7 @@ void
 CheckpointManager::writeImage(const std::string &path,
                               const Snapshotter &sim)
 {
-    std::string tmp = path + ".tmp";
+    std::string tmp = uniqueTmpPath(path);
     {
         ASH_FAULT_POINT("ckpt.image.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -203,7 +205,7 @@ CheckpointManager::writeManifest() const
 
     std::string path =
         (fs::path(_keyDir) / "manifest.json").string();
-    std::string tmp = path + ".tmp";
+    std::string tmp = uniqueTmpPath(path);
     {
         ASH_FAULT_POINT("ckpt.manifest.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -240,7 +242,7 @@ CheckpointManager::snapshot(uint64_t cycle, Snapshotter &sim)
         ASH_FAULT_CORRUPT("ckpt.image.bytes", &bytes[0], bytes.size());
 
     std::string path = imagePath(cycle);
-    std::string tmp = path + ".tmp";
+    std::string tmp = uniqueTmpPath(path);
     {
         ASH_FAULT_POINT("ckpt.image.write");
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Process-wide graceful-shutdown flag shared by the batch benches and
+ * the ash_serve daemon. A SIGINT/SIGTERM (or an explicit
+ * requestShutdown()) flips one async-signal-safe flag; long-running
+ * dispatch loops poll shutdownRequested() at their scheduling points
+ * and DRAIN instead of dying: exec::SweepRunner stops launching
+ * unstarted jobs but finishes (and persists) in-flight ones, the
+ * bench harness still writes its partial --stats-json (stamped
+ * "interrupted": true), and serve::Server stops accepting work but
+ * answers everything already admitted.
+ *
+ * The flag is sticky and one-way — there is deliberately no reset:
+ * a process that has been asked to stop only ever winds down. A
+ * second signal restores the default disposition, so a stuck drain
+ * can still be killed the ordinary way.
+ *
+ * Header-only: the flag must be pollable from exec and serve without
+ * adding link edges, mirroring guard/Cancel.h.
+ */
+
+#ifndef ASH_COMMON_SHUTDOWN_H
+#define ASH_COMMON_SHUTDOWN_H
+
+#include <atomic>
+#include <csignal>
+
+namespace ash {
+
+namespace detail {
+
+inline std::atomic<bool> &
+shutdownFlag()
+{
+    static std::atomic<bool> flag{false};
+    return flag;
+}
+
+/** Signal handler: set the flag, then re-arm default disposition so
+ *  a second signal terminates a wedged drain immediately. */
+inline void
+shutdownSignalHandler(int sig)
+{
+    shutdownFlag().store(true, std::memory_order_release);
+    std::signal(sig, SIG_DFL);
+}
+
+} // namespace detail
+
+/** True once a drain has been requested (signal or explicit call). */
+inline bool
+shutdownRequested()
+{
+    return detail::shutdownFlag().load(std::memory_order_acquire);
+}
+
+/** Request a drain programmatically (tests, the daemon's admin op). */
+inline void
+requestShutdown()
+{
+    detail::shutdownFlag().store(true, std::memory_order_release);
+}
+
+/**
+ * Clear the flag. ONLY for tests, which exercise interrupted sweeps
+ * and drains in one process; production code never un-requests a
+ * shutdown.
+ */
+inline void
+resetShutdownForTests()
+{
+    detail::shutdownFlag().store(false, std::memory_order_release);
+}
+
+/**
+ * Route SIGINT and SIGTERM into the drain flag. Installed by
+ * bench::init() and the ash_served main; idempotent.
+ */
+inline void
+installShutdownSignalHandlers()
+{
+    std::signal(SIGINT, &detail::shutdownSignalHandler);
+    std::signal(SIGTERM, &detail::shutdownSignalHandler);
+}
+
+} // namespace ash
+
+#endif // ASH_COMMON_SHUTDOWN_H

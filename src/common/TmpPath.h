@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Unique temp-file names for the atomic tmp+rename publish pattern
+ * used by every manifest/image/results writer in the repo.
+ *
+ * A FIXED tmp suffix ("<path>.tmp") is only safe while a directory
+ * has exactly one writer: two processes sharing a checkpoint or
+ * result-cache directory would interleave writes into the SAME tmp
+ * file, and the rename — atomic as it is — could then publish a torn
+ * mixture of both. Salting the suffix with (pid, per-process
+ * counter) gives every in-flight write its own file; concurrent
+ * publishes race only at the rename, where last-writer-wins but each
+ * candidate is complete, so a reader never observes a torn file.
+ *
+ * Header-only: ckpt, exec, and serve all write manifests and must
+ * not gain link edges for a name.
+ */
+
+#ifndef ASH_COMMON_TMPPATH_H
+#define ASH_COMMON_TMPPATH_H
+
+#include <atomic>
+#include <string>
+#include <unistd.h>
+
+namespace ash {
+
+/** "<path>.tmp.<pid>.<seq>" — unique per in-flight write. */
+inline std::string
+uniqueTmpPath(const std::string &path)
+{
+    static std::atomic<uint64_t> seq{0};
+    return path + ".tmp." + std::to_string(getpid()) + "." +
+           std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+} // namespace ash
+
+#endif // ASH_COMMON_TMPPATH_H

@@ -16,6 +16,8 @@
 #include "ckpt/Checkpoint.h"
 #include "common/Json.h"
 #include "common/Logging.h"
+#include "common/Shutdown.h"
+#include "common/TmpPath.h"
 #include "exec/ThreadPool.h"
 #include "guard/Cancel.h"
 #include "guard/Fault.h"
@@ -266,7 +268,7 @@ SweepRunner::saveManifestLocked()
     j.endObject();
 
     const std::string path = manifestPath();
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = uniqueTmpPath(path);
     std::ofstream out(tmp, std::ios::trunc);
     if (!out) {
         warn("cannot write sweep manifest '%s'", tmp.c_str());
@@ -290,7 +292,7 @@ bool
 SweepRunner::writeResultsFile(const std::string &path,
                               const JobContext &ctx)
 {
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = uniqueTmpPath(path);
     try {
         {
             std::ofstream out(tmp,
@@ -746,6 +748,22 @@ SweepRunner::runIsolated(const std::vector<char> &skip)
     };
 
     while (!queue.empty() || !running.empty()) {
+        // Drain gate: a shutdown request stops further launches;
+        // children already forked finish and are reaped normally.
+        if (_opts.drainOnShutdown && shutdownRequested() &&
+            !queue.empty()) {
+            for (const Pending &p : queue) {
+                if (p.attempt == 0)
+                    ++_interrupted;
+                else
+                    recordFailure(p.job, p.attempt,
+                                  FailureKind::Exception,
+                                  "shutdown drain: retry abandoned",
+                                  "", 0, 0);
+            }
+            queue.clear();
+        }
+
         // Launch as many eligible attempts as slots allow.
         auto now = Clock::now();
         for (auto it = queue.begin();
@@ -882,6 +900,19 @@ SweepRunner::run()
             _watchdog = &*watchdog;
         }
 
+        // Drain gate: checked immediately before each job body would
+        // start, so a SIGINT/SIGTERM lets in-flight jobs finish (and
+        // persist) while unstarted ones are skipped and counted.
+        std::atomic<size_t> drained{0};
+        const bool drainable = _opts.drainOnShutdown;
+        auto runOrDrain = [this, drainable, &drained](size_t i) {
+            if (drainable && shutdownRequested()) {
+                drained.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            executeJob(i);
+        };
+
         const unsigned threads = std::min<size_t>(
             resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
         if (threads <= 1) {
@@ -890,14 +921,15 @@ SweepRunner::run()
             // `--jobs 1` is also the zero-risk fallback path.
             for (size_t i = 0; i < _jobs.size(); ++i)
                 if (!skip[i])
-                    executeJob(i);
+                    runOrDrain(i);
         } else {
             ThreadPool pool(threads);
             for (size_t i = 0; i < _jobs.size(); ++i)
                 if (!skip[i])
-                    pool.submit([this, i] { executeJob(i); });
+                    pool.submit([&runOrDrain, i] { runOrDrain(i); });
             pool.wait();
         }
+        _interrupted = drained.load(std::memory_order_relaxed);
         _watchdog = nullptr;
     }
 
@@ -928,6 +960,14 @@ SweepRunner::run()
             cost.replayed = ctx._replayed;
             prof::Profiler::instance().addJobCost(cost);
         }
+    }
+
+    if (_interrupted != 0) {
+        warn("ash_exec sweep: shutdown drain — %zu of %zu job(s) "
+             "never started; completed jobs were merged (and "
+             "persisted when checkpointing is on)",
+             _interrupted, _jobs.size());
+        obs::Report::global().setInterrupted(true);
     }
 
     if (!_failures.empty()) {

@@ -114,6 +114,16 @@ struct SweepOptions
      * enabled — a trace cannot be replayed from a results file.
      */
     bool resume = false;
+
+    /**
+     * Honor the process-wide shutdown flag (common/Shutdown.h):
+     * once a SIGINT/SIGTERM drain is requested, unstarted jobs are
+     * skipped — in-flight ones finish and persist as usual — and the
+     * run is stamped interrupted in obs::Report. The batch benches
+     * keep this on; the serve daemon turns it off because its own
+     * drain must still ANSWER every admitted request.
+     */
+    bool drainOnShutdown = true;
 };
 
 /**
@@ -181,6 +191,9 @@ class SweepRunner
     /** Jobs the completed run skipped via the resume manifest. */
     size_t skippedJobs() const { return _skipped; }
 
+    /** Jobs never started because a shutdown drain was requested. */
+    size_t interruptedJobs() const { return _interrupted; }
+
   private:
     struct PendingJob
     {
@@ -226,6 +239,7 @@ class SweepRunner
     std::map<std::string, std::string> _manifest;
     std::mutex _manifestMutex;
     size_t _skipped = 0;
+    size_t _interrupted = 0;
     bool _ran = false;
     /** Live only inside run(), when jobDeadlineSec > 0 in-process. */
     guard::Watchdog *_watchdog = nullptr;

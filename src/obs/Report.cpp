@@ -92,6 +92,20 @@ Report::recordStats(const std::string &scope, const StatSet &stats)
     _stats.mergeScoped(scope, stats);
 }
 
+void
+Report::setInterrupted(bool interrupted)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _interrupted = interrupted;
+}
+
+bool
+Report::interrupted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _interrupted;
+}
+
 std::string
 Report::toJson(bool pretty) const
 {
@@ -99,6 +113,8 @@ Report::toJson(bool pretty) const
     JsonWriter w(pretty);
     w.beginObject();
     w.kv("bench", _name);
+    if (_interrupted)
+        w.kv("interrupted", true);
     // Build provenance: constant for one binary, so run-to-run byte
     // compares of the same build still hold.
     w.key("build").beginObject();

@@ -64,6 +64,16 @@ class Report
     /** Merge @p stats under @p scope into the report's StatSet. */
     void recordStats(const std::string &scope, const StatSet &stats);
 
+    /**
+     * Mark this run as interrupted (SIGINT/SIGTERM drain): the
+     * exported JSON gains an `"interrupted": true` member so a
+     * partial report can never be mistaken for a complete one. The
+     * member is emitted only when set, keeping uninterrupted runs'
+     * bytes unchanged.
+     */
+    void setInterrupted(bool interrupted);
+    bool interrupted() const;
+
     const std::map<std::string, double> &results() const
     { return _results; }
     StatSet &stats() { return _stats; }
@@ -92,7 +102,9 @@ class Report
     std::string _tracePath;
     std::map<std::string, double> _results;
     StatSet _stats;
-    mutable std::mutex _mutex;   ///< Guards _results and _stats.
+    bool _interrupted = false;
+    mutable std::mutex _mutex;   ///< Guards _results, _stats,
+                                 ///< _interrupted.
 };
 
 } // namespace ash::obs

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * ash_cli: thin client for ash_served. Builds one request from
+ * flags, sends it over the daemon's unix socket, prints the
+ * response envelope (or just its result member with --result-only),
+ * and exits 0 on ok:true, 2 on an ok:false envelope, 1 on any
+ * transport failure.
+ *
+ *   ash_cli --socket /tmp/ash.sock [--op sim|stats|ping|shutdown]
+ *           [--client NAME] [--design NAME]
+ *           [--engine dash|sash|refsim] [--tiles N] [--cycles N]
+ *           [--nocache] [--id N] [--result-only]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "serve/Net.h"
+#include "serve/Protocol.h"
+
+using namespace ash;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--op sim|stats|ping|shutdown]\n"
+        "          [--client NAME] [--design NAME]\n"
+        "          [--engine dash|sash|refsim] [--tiles N]\n"
+        "          [--cycles N] [--nocache] [--id N] [--result-only]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    serve::SimRequest req;
+    bool resultOnly = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(arg, "--socket") == 0 && (v = value()))
+            socketPath = v;
+        else if (std::strcmp(arg, "--op") == 0 && (v = value()))
+            req.op = v;
+        else if (std::strcmp(arg, "--client") == 0 && (v = value()))
+            req.client = v;
+        else if (std::strcmp(arg, "--design") == 0 && (v = value()))
+            req.design = v;
+        else if (std::strcmp(arg, "--engine") == 0 && (v = value()))
+            req.engine = v;
+        else if (std::strcmp(arg, "--tiles") == 0 && (v = value()))
+            req.tiles = static_cast<uint32_t>(std::atoi(v));
+        else if (std::strcmp(arg, "--cycles") == 0 && (v = value()))
+            req.cycles = static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--nocache") == 0)
+            req.nocache = true;
+        else if (std::strcmp(arg, "--id") == 0 && (v = value()))
+            req.id = static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--result-only") == 0)
+            resultOnly = true;
+        else
+            return usage(argv[0]);
+    }
+    if (socketPath.empty())
+        return usage(argv[0]);
+
+    std::string err;
+    int fd = serve::net::connectUnix(socketPath, &err);
+    if (fd < 0) {
+        std::fprintf(stderr, "ash_cli: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (!serve::net::writeAll(fd, serve::serializeRequest(req) +
+                                      "\n")) {
+        std::fprintf(stderr, "ash_cli: send failed\n");
+        ::close(fd);
+        return 1;
+    }
+
+    serve::net::LineReader reader(fd);
+    std::string envelope;
+    int rc = reader.readLine(envelope, nullptr, 10 * 60 * 1000);
+    ::close(fd);
+    if (rc != 1) {
+        std::fprintf(stderr, "ash_cli: no response (rc=%d)\n", rc);
+        return 1;
+    }
+
+    if (resultOnly) {
+        std::string result;
+        if (!serve::extractResult(envelope, result)) {
+            std::fprintf(stderr, "ash_cli: envelope carries no "
+                                 "result:\n%s\n",
+                         envelope.c_str());
+            return 2;
+        }
+        std::printf("%s\n", result.c_str());
+    } else {
+        std::printf("%s\n", envelope.c_str());
+    }
+
+    // ok:false envelopes exit 2 so scripts can branch on failure.
+    // (JsonWriter emits "key": value with a space.)
+    return envelope.rfind("{\"ok\": true", 0) == 0 ? 0 : 2;
+}

@@ -1,0 +1,184 @@
+#include "serve/DesignCache.h"
+
+#include "ckpt/Checkpoint.h"
+#include "common/Logging.h"
+#include "prof/Prof.h"
+#include "serve/Protocol.h"
+
+namespace ash::serve {
+
+DesignRegistry::DesignRegistry()
+{
+    for (designs::Design &d : designs::allDesigns())
+        _sources.emplace(d.name, std::move(d));
+}
+
+const DesignEntry *
+DesignRegistry::get(const std::string &name)
+{
+    std::shared_future<const DesignEntry *> future;
+    std::shared_ptr<std::packaged_task<const DesignEntry *()>> task;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto built = _built.find(name);
+        if (built != _built.end())
+            return built->second.get();
+        auto src = _sources.find(name);
+        if (src == _sources.end())
+            return nullptr;
+        auto building = _building.find(name);
+        if (building == _building.end()) {
+            // First toucher elaborates (outside the lock, below);
+            // concurrent callers block on the shared future instead
+            // of duplicating the work.
+            const designs::Design *design = &src->second;
+            task = std::make_shared<
+                std::packaged_task<const DesignEntry *()>>(
+                [this, name, design]() -> const DesignEntry * {
+                    ASH_PROF_ZONE("serve.elaborate");
+                    auto entry = std::make_unique<DesignEntry>();
+                    entry->design = *design;
+                    entry->netlist = designs::compileDesign(*design);
+                    entry->fingerprint =
+                        ckpt::designFingerprint(entry->netlist);
+                    std::lock_guard<std::mutex> relock(_mutex);
+                    auto [it, inserted] =
+                        _built.emplace(name, std::move(entry));
+                    (void)inserted;
+                    return it->second.get();
+                });
+            building = _building.emplace(name,
+                                         task->get_future().share())
+                           .first;
+        }
+        future = building->second;
+    }
+    if (task)
+        (*task)();
+    return future.get();
+}
+
+std::vector<std::string>
+DesignRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<std::string> out;
+    out.reserve(_sources.size());
+    for (const auto &[name, design] : _sources)
+        out.push_back(name);
+    return out;
+}
+
+uint64_t
+programBytes(const core::TaskProgram &prog)
+{
+    uint64_t bytes = sizeof(core::TaskProgram);
+    bytes += prog.taskOfNode.capacity() * sizeof(core::TaskId);
+    for (const core::Task &t : prog.tasks) {
+        bytes += sizeof(core::Task);
+        bytes += t.nodes.capacity() * sizeof(rtl::NodeId);
+        bytes += t.directInputs.capacity() * sizeof(rtl::NodeId);
+        bytes += t.bufferedInputs.capacity() * sizeof(rtl::NodeId);
+        bytes += t.bufferParents.capacity() * sizeof(core::TaskId);
+        bytes += t.argSlotOf.capacity() *
+                 sizeof(std::pair<rtl::NodeId, uint32_t>);
+    }
+    return bytes;
+}
+
+std::shared_ptr<const core::TaskProgram>
+DesignCache::get(const DesignEntry &entry, uint32_t tiles,
+                 uint64_t progHash, bool &compiledNow)
+{
+    const std::string key = cacheKey(entry.fingerprint, progHash);
+    std::shared_future<std::shared_ptr<const core::TaskProgram>>
+        future;
+    std::shared_ptr<
+        std::packaged_task<std::shared_ptr<const core::TaskProgram>()>>
+        task;
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _slots.find(key);
+        if (it != _slots.end()) {
+            ++_hits;
+            it->second.lastUse = ++_clock;
+            compiledNow = false;
+            return it->second.future.get();
+        }
+        ++_misses;
+        compiledNow = true;
+        task = std::make_shared<std::packaged_task<
+            std::shared_ptr<const core::TaskProgram>()>>(
+            [&entry, tiles]() {
+                ASH_PROF_ZONE("serve.compile");
+                core::CompilerOptions opts;
+                opts.numTiles = tiles;
+                auto prog = std::make_shared<core::TaskProgram>(
+                    core::compile(entry.netlist, opts));
+                return std::shared_ptr<const core::TaskProgram>(
+                    std::move(prog));
+            });
+        Slot slot;
+        slot.future = task->get_future().share();
+        slot.lastUse = ++_clock;
+        future = slot.future;
+        _slots.emplace(key, std::move(slot));
+    }
+
+    // Compile outside the lock; concurrent same-key callers block on
+    // the shared future above instead (and report warm).
+    (*task)();
+    auto prog = future.get();
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _slots.find(key);
+        if (it != _slots.end() && it->second.bytes == 0) {
+            it->second.bytes = programBytes(*prog);
+            _bytes += it->second.bytes;
+            evictLocked();
+        }
+    }
+    return prog;
+}
+
+void
+DesignCache::evictLocked()
+{
+    while (_bytes > _budgetBytes && _slots.size() > 1) {
+        auto victim = _slots.end();
+        for (auto it = _slots.begin(); it != _slots.end(); ++it) {
+            // In-flight compiles (bytes == 0) are not evictable:
+            // their size is unknown and a waiter holds the future.
+            if (it->second.bytes == 0)
+                continue;
+            if (victim == _slots.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == _slots.end())
+            return;
+        _bytes -= victim->second.bytes;
+        ++_evictions;
+        debugLog("serve: design cache evicted %s (%llu bytes)",
+                 victim->first.c_str(),
+                 (unsigned long long)victim->second.bytes);
+        _slots.erase(victim);
+    }
+}
+
+DesignCache::Snapshot
+DesignCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Snapshot s;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.evictions = _evictions;
+    s.bytes = _bytes;
+    s.entries = _slots.size();
+    return s;
+}
+
+} // namespace ash::serve

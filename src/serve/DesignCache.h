@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The daemon's design layer: a registry of servable designs (name ->
+ * elaborated netlist + structural fingerprint, built once per
+ * process) and the hot design cache (compiled TaskPrograms, LRU by
+ * estimated bytes).
+ *
+ * Registry entries are never evicted: a cached TaskProgram holds a
+ * pointer to the netlist it was compiled from, so netlists must
+ * outlive every program compiled from them — and there are only a
+ * handful of generator designs, so pinning them is cheap.
+ *
+ * The program cache deduplicates concurrent compiles with a shared
+ * future per key (the same trick bench::compileFor uses): N clients
+ * cold-missing the same (design, tiles) pay for ONE compile, and the
+ * first requester is the only "cold" one — the rest are reported
+ * warm, because by the time they run the program is hot.
+ */
+
+#ifndef ASH_SERVE_DESIGNCACHE_H
+#define ASH_SERVE_DESIGNCACHE_H
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compiler/Compiler.h"
+#include "designs/Designs.h"
+#include "rtl/Netlist.h"
+
+namespace ash::serve {
+
+/** One servable design, pinned for the life of the daemon. */
+struct DesignEntry
+{
+    designs::Design design;
+    rtl::Netlist netlist;
+    uint64_t fingerprint = 0;   ///< ckpt::designFingerprint(netlist).
+};
+
+/** Name -> pinned DesignEntry; elaborates lazily, once per design. */
+class DesignRegistry
+{
+  public:
+    DesignRegistry();
+
+    /**
+     * The entry for @p name, elaborating Verilog -> netlist on first
+     * touch (concurrent callers wait; later callers pay nothing).
+     * Returns nullptr for unknown names.
+     */
+    const DesignEntry *get(const std::string &name);
+
+    /** Servable design names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<std::string, designs::Design> _sources;
+    std::map<std::string, std::shared_future<const DesignEntry *>>
+        _building;
+    /** Built entries; pointers into this map are stable (unique_ptr). */
+    std::map<std::string, std::unique_ptr<DesignEntry>> _built;
+};
+
+/** Compiled-program LRU keyed by (fingerprint, program hash). */
+class DesignCache
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        uint64_t bytes = 0;
+        uint64_t entries = 0;
+    };
+
+    explicit DesignCache(uint64_t budgetBytes)
+        : _budgetBytes(budgetBytes)
+    {
+    }
+
+    /**
+     * The compiled program for (@p entry, @p tiles), compiling on
+     * miss. @p compiledNow reports whether THIS caller triggered the
+     * compile (the request is "cold") or found it hot ("warm").
+     * Shared-pointer handout keeps a program alive for running jobs
+     * even if the LRU evicts it meanwhile.
+     */
+    std::shared_ptr<const core::TaskProgram>
+    get(const DesignEntry &entry, uint32_t tiles, uint64_t progHash,
+        bool &compiledNow);
+
+    Snapshot stats() const;
+
+  private:
+    struct Slot
+    {
+        std::shared_future<std::shared_ptr<const core::TaskProgram>>
+            future;
+        uint64_t bytes = 0;     ///< 0 until the compile finishes.
+        uint64_t lastUse = 0;
+    };
+
+    /** Caller holds _mutex. Evict LRU slots until under budget. */
+    void evictLocked();
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Slot> _slots;
+    uint64_t _budgetBytes;
+    uint64_t _clock = 0;
+    uint64_t _bytes = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+    uint64_t _evictions = 0;
+};
+
+/** Rough resident size of a compiled program (cache accounting). */
+uint64_t programBytes(const core::TaskProgram &prog);
+
+} // namespace ash::serve
+
+#endif // ASH_SERVE_DESIGNCACHE_H

@@ -1,0 +1,148 @@
+#include "serve/FairQueue.h"
+
+namespace ash::serve {
+
+const char *
+admitName(Admit a)
+{
+    switch (a) {
+      case Admit::Ok:
+        return "ok";
+      case Admit::QueueFull:
+        return "queue_full";
+      case Admit::RateLimited:
+        return "rate_limited";
+      case Admit::Closed:
+        return "shutting_down";
+    }
+    return "unknown";
+}
+
+bool
+FairQueue::takeTokenLocked(ClientState &cs)
+{
+    if (_limits.ratePerSec <= 0.0)
+        return true;
+    Clock::time_point now = Clock::now();
+    if (!cs.everRefilled) {
+        // A fresh client starts with a full burst allowance.
+        cs.tokens = _limits.burst;
+        cs.everRefilled = true;
+    } else {
+        double dt = std::chrono::duration<double>(now - cs.lastRefill)
+                        .count();
+        cs.tokens += dt * _limits.ratePerSec;
+        if (cs.tokens > _limits.burst)
+            cs.tokens = _limits.burst;
+    }
+    cs.lastRefill = now;
+    if (cs.tokens < 1.0)
+        return false;
+    cs.tokens -= 1.0;
+    return true;
+}
+
+Admit
+FairQueue::push(const std::string &client, std::function<void()> work)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_closed)
+        return Admit::Closed;
+    auto [it, inserted] = _clients.try_emplace(client);
+    if (inserted)
+        _order.push_back(client);
+    ClientState &cs = it->second;
+    if (cs.queue.size() >= _limits.maxQueuedPerClient) {
+        ++cs.rejectedFull;
+        return Admit::QueueFull;
+    }
+    if (!takeTokenLocked(cs)) {
+        ++cs.rejectedRate;
+        return Admit::RateLimited;
+    }
+    cs.queue.push_back(std::move(work));
+    ++cs.admitted;
+    ++_depth;
+    _cv.notify_one();
+    return Admit::Ok;
+}
+
+bool
+FairQueue::pop(std::function<void()> &work, std::string &client)
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    while (true) {
+        // Round-robin scan from the cursor: first client with queued
+        // work and a free in-flight slot wins; the cursor moves past
+        // it so the next pop favors the following client.
+        if (_depth != 0) {
+            size_t n = _order.size();
+            for (size_t step = 0; step < n; ++step) {
+                size_t idx = (_cursor + step) % n;
+                ClientState &cs = _clients[_order[idx]];
+                if (cs.queue.empty() ||
+                    cs.inFlight >= _limits.maxInFlightPerClient)
+                    continue;
+                work = std::move(cs.queue.front());
+                cs.queue.pop_front();
+                ++cs.inFlight;
+                --_depth;
+                client = _order[idx];
+                _cursor = (idx + 1) % n;
+                return true;
+            }
+        }
+        if (_closed && _depth == 0)
+            return false;
+        _cv.wait(lock);
+    }
+}
+
+void
+FairQueue::done(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _clients.find(client);
+    if (it != _clients.end() && it->second.inFlight > 0)
+        --it->second.inFlight;
+    // A freed slot may unblock a popper stuck on the in-flight cap,
+    // and the last done() during a drain must wake every popper so
+    // they can observe closed-and-empty and exit.
+    _cv.notify_all();
+}
+
+void
+FairQueue::close()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _closed = true;
+    _cv.notify_all();
+}
+
+size_t
+FairQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _depth;
+}
+
+std::vector<FairQueue::ClientSnap>
+FairQueue::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::vector<ClientSnap> out;
+    out.reserve(_clients.size());
+    for (const auto &[name, cs] : _clients) {
+        ClientSnap s;
+        s.client = name;
+        s.queued = cs.queue.size();
+        s.inFlight = cs.inFlight;
+        s.admitted = cs.admitted;
+        s.rejectedFull = cs.rejectedFull;
+        s.rejectedRate = cs.rejectedRate;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace ash::serve

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-client fair-share admission and dispatch for the serve
+ * daemon. Three independent policies compose here:
+ *
+ *  1. ADMISSION — each client has a bounded queue (backpressure: a
+ *     flooding client is rejected with queue_full, others are
+ *     untouched) and an optional token-bucket rate limit (rejected
+ *     with rate_limited). Both are per client by construction.
+ *  2. DISPATCH — workers pop round-robin across clients that have
+ *     queued work, so one client with 1000 queued requests cannot
+ *     starve a client with one. A per-client in-flight cap keeps a
+ *     single client from occupying every worker even when it is the
+ *     only one queued (head-of-line blocking across bursts).
+ *  3. DRAIN — close() stops admission but pop() keeps handing out
+ *     already-admitted work until the queue is empty; pop() returns
+ *     false only when closed AND drained. That is the daemon's
+ *     graceful-shutdown contract: everything admitted is answered.
+ */
+
+#ifndef ASH_SERVE_FAIRQUEUE_H
+#define ASH_SERVE_FAIRQUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ash::serve {
+
+/** Per-client admission/dispatch knobs. */
+struct QueueLimits
+{
+    size_t maxQueuedPerClient = 256;
+    size_t maxInFlightPerClient = 4;
+    /** Sustained admissions/sec per client; 0 disables the limiter. */
+    double ratePerSec = 0.0;
+    /** Token-bucket burst capacity (only meaningful with a rate). */
+    double burst = 32.0;
+};
+
+/** Outcome of an admission attempt. */
+enum class Admit { Ok, QueueFull, RateLimited, Closed };
+
+/** Stable machine-readable tag for @p a ("queue_full", ...). */
+const char *admitName(Admit a);
+
+/** Multi-client work queue; see file header. */
+class FairQueue
+{
+  public:
+    struct ClientSnap
+    {
+        std::string client;
+        size_t queued = 0;
+        size_t inFlight = 0;
+        uint64_t admitted = 0;
+        uint64_t rejectedFull = 0;
+        uint64_t rejectedRate = 0;
+    };
+
+    explicit FairQueue(QueueLimits limits) : _limits(limits) {}
+
+    /** Admit @p work for @p client, or say why not. */
+    Admit push(const std::string &client, std::function<void()> work);
+
+    /**
+     * Block for the next piece of work, honoring round-robin order
+     * and the in-flight cap; fills @p client with its owner. The
+     * caller MUST call done(client) after running it. Returns false
+     * when the queue is closed and fully drained.
+     */
+    bool pop(std::function<void()> &work, std::string &client);
+
+    /** Mark one popped item finished (frees an in-flight slot). */
+    void done(const std::string &client);
+
+    /** Stop admission; queued work still drains through pop(). */
+    void close();
+
+    /** Total queued (not yet popped) items. */
+    size_t depth() const;
+
+    /** Per-client counters, sorted by client name. */
+    std::vector<ClientSnap> snapshot() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct ClientState
+    {
+        std::deque<std::function<void()>> queue;
+        size_t inFlight = 0;
+        uint64_t admitted = 0;
+        uint64_t rejectedFull = 0;
+        uint64_t rejectedRate = 0;
+        double tokens = 0.0;
+        Clock::time_point lastRefill{};
+        bool everRefilled = false;
+    };
+
+    /** Caller holds _mutex. Token-bucket check-and-take. */
+    bool takeTokenLocked(ClientState &cs);
+
+    QueueLimits _limits;
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::map<std::string, ClientState> _clients;
+    /** Clients in first-seen order; _cursor rotates dispatch. */
+    std::vector<std::string> _order;
+    size_t _cursor = 0;
+    size_t _depth = 0;
+    bool _closed = false;
+};
+
+} // namespace ash::serve
+
+#endif // ASH_SERVE_FAIRQUEUE_H

@@ -1,0 +1,250 @@
+#include "serve/Net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ash::serve::net {
+
+namespace {
+
+/** Largest line a peer may send; beyond this the read fails. */
+constexpr size_t kMaxLineBytes = 16u << 20;
+
+bool
+setErr(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what + ": " + std::strerror(errno);
+    return false;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + path;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, "socket");
+        return -1;
+    }
+    ::unlink(path.c_str());   // Stale socket from a previous run.
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setErr(err, "bind " + path);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 128) != 0) {
+        setErr(err, "listen " + path);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenTcp(uint16_t port, std::string *err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, "socket");
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setErr(err, "bind 127.0.0.1:" + std::to_string(port));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 128) != 0) {
+        setErr(err, "listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return 0;
+    return ntohs(addr.sin_port);
+}
+
+int
+acceptClient(int listenFd, int timeoutMs)
+{
+    pollfd pfd{listenFd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, timeoutMs);
+    if (rc <= 0)
+        return -1;
+    return ::accept(listenFd, nullptr, nullptr);
+}
+
+int
+connectUnix(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path too long: " + path;
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, "socket");
+        return -1;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setErr(err, "connect " + path);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTcp(uint16_t port, std::string *err)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, "socket");
+        return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setErr(err, "connect 127.0.0.1:" + std::to_string(port));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    return writeAll(fd, data.data(), data.size());
+}
+
+int
+LineReader::fill(const std::atomic<bool> *stop, int &budgetMs)
+{
+    while (true) {
+        if (stop && stop->load(std::memory_order_relaxed))
+            return 0;
+        if (budgetMs <= 0)
+            return 0;
+        int slice = budgetMs < 100 ? budgetMs : 100;
+        pollfd pfd{_fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, slice);
+        budgetMs -= slice;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (rc == 0)
+            continue;   // Slice elapsed; re-check stop/budget.
+        char chunk[4096];
+        ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return -1;   // EOF.
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN ||
+                errno == EWOULDBLOCK)
+                continue;
+            return -1;
+        }
+        _buf.append(chunk, static_cast<size_t>(n));
+        return 1;
+    }
+}
+
+int
+LineReader::readLine(std::string &out, const std::atomic<bool> *stop,
+                     int totalTimeoutMs)
+{
+    int budget = totalTimeoutMs;
+    while (true) {
+        size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            out.assign(_buf, 0, nl);
+            _buf.erase(0, nl + 1);
+            return 1;
+        }
+        if (_buf.size() > kMaxLineBytes)
+            return -1;
+        int rc = fill(stop, budget);
+        if (rc != 1)
+            return rc;
+    }
+}
+
+int
+LineReader::readExact(size_t n, std::string &out,
+                      const std::atomic<bool> *stop, int totalTimeoutMs)
+{
+    if (n > kMaxLineBytes)
+        return -1;
+    int budget = totalTimeoutMs;
+    while (_buf.size() < n) {
+        int rc = fill(stop, budget);
+        if (rc != 1)
+            return rc;
+    }
+    out.assign(_buf, 0, n);
+    _buf.erase(0, n);
+    return 1;
+}
+
+} // namespace ash::serve::net

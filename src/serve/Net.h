@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Socket plumbing for ash_serve: unix-domain and localhost-TCP
+ * listeners, blocking client connects, and a stop-aware buffered
+ * line reader. Everything here is deliberately boring POSIX; the
+ * interesting policy (framing, queuing, caching) lives above it in
+ * Protocol/Server.
+ *
+ * All reads go through LineReader, which polls in short slices so a
+ * blocked connection thread notices a daemon drain within ~100 ms
+ * without per-connection signal games. All writes use MSG_NOSIGNAL:
+ * a peer that disappeared mid-response must surface as a write error
+ * on that connection, never as a process-wide SIGPIPE.
+ */
+
+#ifndef ASH_SERVE_NET_H
+#define ASH_SERVE_NET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ash::serve::net {
+
+/**
+ * Bind + listen on a unix-domain socket at @p path, unlinking any
+ * stale socket file first. Returns the listen fd, or -1 with a
+ * message in @p err. Paths longer than sockaddr_un allows (~107
+ * bytes) are rejected — callers should keep daemon sockets short
+ * (e.g. under /tmp).
+ */
+int listenUnix(const std::string &path, std::string *err);
+
+/**
+ * Bind + listen on 127.0.0.1:@p port (0 = kernel-chosen ephemeral
+ * port; read it back with localPort()). Localhost only, on purpose:
+ * the HTTP endpoint is a convenience, not a network service.
+ */
+int listenTcp(uint16_t port, std::string *err);
+
+/** Resolved local port of a bound TCP fd (0 on error). */
+uint16_t localPort(int fd);
+
+/**
+ * Accept one connection, waiting at most @p timeoutMs. Returns the
+ * connection fd, or -1 on timeout/error — callers poll this in a
+ * loop and check their stop flag between calls.
+ */
+int acceptClient(int listenFd, int timeoutMs);
+
+/** Connect to a unix socket; fd or -1 with @p err. */
+int connectUnix(const std::string &path, std::string *err);
+
+/** Connect to 127.0.0.1:@p port; fd or -1 with @p err. */
+int connectTcp(uint16_t port, std::string *err);
+
+/** Write all of @p data (MSG_NOSIGNAL); false on any failure. */
+bool writeAll(int fd, const void *data, size_t len);
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Buffered line reader over one socket. readLine() returns
+ *   1  a complete '\n'-terminated line (newline stripped) in @p out,
+ *   0  stop flag set or total timeout expired (connection intact),
+ *  -1  EOF or socket error.
+ * The 100 ms poll slice bounds how stale the stop check can get.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : _fd(fd) {}
+
+    int readLine(std::string &out, const std::atomic<bool> *stop,
+                 int totalTimeoutMs);
+
+    /**
+     * Read exactly @p n further bytes (HTTP bodies). Same return
+     * convention as readLine(), with the bytes in @p out.
+     */
+    int readExact(size_t n, std::string &out,
+                  const std::atomic<bool> *stop, int totalTimeoutMs);
+
+  private:
+    /** Pull more bytes into _buf; same return convention. */
+    int fill(const std::atomic<bool> *stop, int &budgetMs);
+
+    int _fd;
+    std::string _buf;
+};
+
+} // namespace ash::serve::net
+
+#endif // ASH_SERVE_NET_H

@@ -1,0 +1,248 @@
+#include "serve/Protocol.h"
+
+#include "ckpt/Snapshot.h"
+#include "common/Json.h"
+#include "core/compiler/Compiler.h"
+
+namespace ash::serve {
+
+namespace {
+
+/** Marker splicing the raw result payload into an envelope. */
+const char kResultMarker[] = ",\"result\": ";
+const char kCacheMarker[] = "\"cache\": \"";
+
+bool
+validName(const std::string &s, size_t maxLen)
+{
+    if (s.empty() || s.size() > maxLen)
+        return false;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    static const char digits[] = "0123456789abcdef";
+    for (int i = 15; i >= 0; --i) {
+        buf[i] = digits[v & 0xf];
+        v >>= 4;
+    }
+    buf[16] = '\0';
+    return buf;
+}
+
+/** Envelope head shared by every response kind. */
+JsonWriter
+envelopeHead(const SimRequest &req, bool ok)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("ok", ok);
+    w.kv("op", req.op);
+    w.kv("id", req.id);
+    w.kv("client", req.client);
+    return w;
+}
+
+/** Close @p w and graft @p payload in as the final @p member. */
+std::string
+spliceMember(JsonWriter &w, const char *member,
+             const std::string &payload)
+{
+    w.endObject();
+    std::string head = w.str();
+    size_t cut = head.rfind('}');
+    std::string out = head.substr(0, cut);
+    out += ",\"";
+    out += member;
+    out += "\": ";
+    out += payload;
+    out += head.substr(cut);
+    return out;
+}
+
+} // namespace
+
+bool
+parseRequest(const std::string &line, SimRequest &out, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+
+    JsonValue doc;
+    std::string perr;
+    if (!jsonParse(line, doc, &perr))
+        return fail("bad JSON: " + perr);
+    if (!doc.isObject())
+        return fail("request must be a JSON object");
+
+    SimRequest req;
+    for (const auto &[k, v] : doc.object()) {
+        if (k == "op" && v.isString())
+            req.op = v.string();
+        else if (k == "client" && v.isString())
+            req.client = v.string();
+        else if (k == "design" && v.isString())
+            req.design = v.string();
+        else if (k == "engine" && v.isString())
+            req.engine = v.string();
+        else if (k == "tiles" && v.isNumber())
+            req.tiles = static_cast<uint32_t>(v.number());
+        else if (k == "cycles" && v.isNumber())
+            req.cycles = v.asU64();
+        else if (k == "nocache" && v.isBool())
+            req.nocache = v.boolean();
+        else if (k == "id" && v.isNumber())
+            req.id = v.asU64();
+        else
+            return fail("unknown or mistyped member '" + k + "'");
+    }
+
+    if (req.op != "sim" && req.op != "stats" && req.op != "ping" &&
+        req.op != "shutdown")
+        return fail("unknown op '" + req.op + "'");
+    if (!validName(req.client, 64))
+        return fail("client must match [A-Za-z0-9._-]{1,64}");
+    if (req.op == "sim") {
+        if (!validName(req.design, 64))
+            return fail("bad design name");
+        if (req.engine != "dash" && req.engine != "sash" &&
+            req.engine != "refsim")
+            return fail("engine must be dash, sash, or refsim");
+        if (req.tiles < 1 || req.tiles > 1024)
+            return fail("tiles must be in [1, 1024]");
+        if (req.cycles < 1 || req.cycles > 1000000000ull)
+            return fail("cycles must be in [1, 1e9]");
+    }
+
+    out = req;
+    return true;
+}
+
+std::string
+serializeRequest(const SimRequest &req)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("op", req.op);
+    w.kv("client", req.client);
+    w.kv("design", req.design);
+    w.kv("engine", req.engine);
+    w.kv("tiles", req.tiles);
+    w.kv("cycles", req.cycles);
+    w.kv("nocache", req.nocache);
+    w.kv("id", req.id);
+    w.endObject();
+    return w.str();
+}
+
+uint64_t
+programHash(const SimRequest &req)
+{
+    // Everything the compiler sees. Defaults are hashed explicitly so
+    // a future change to CompilerOptions defaults changes the key
+    // (and invalidates stale caches) instead of aliasing into them.
+    core::CompilerOptions opts;
+    ckpt::Fnv f;
+    f.bytes("ash-serve-prog-v1", 17);
+    f.u64(req.tiles);
+    f.u64(opts.unrolled ? 1 : 0);
+    f.u64(opts.maxTaskCost);
+    f.u64(opts.useMapping ? 1 : 0);
+    f.u64(opts.seed);
+    f.u64(static_cast<uint64_t>(opts.imbalance * 1e6));
+    return f.h;
+}
+
+uint64_t
+configHash(const SimRequest &req)
+{
+    ckpt::Fnv f;
+    f.bytes("ash-serve-cfg-v1", 16);
+    f.u64(programHash(req));
+    f.bytes(req.engine.data(), req.engine.size());
+    f.u64(req.cycles);
+    return f.h;
+}
+
+std::string
+cacheKey(uint64_t designFingerprint, uint64_t cfgHash)
+{
+    return hex16(designFingerprint) + "-" + hex16(cfgHash);
+}
+
+std::string
+okSimEnvelope(const SimRequest &req, const std::string &key,
+              const char *cacheClass, const Timing &timing,
+              const std::string &resultJson)
+{
+    JsonWriter w = envelopeHead(req, true);
+    w.kv("key", key);
+    w.kv("cache", cacheClass);
+    w.kv("queue_ms", timing.queueMs);
+    w.kv("service_ms", timing.serviceMs);
+    return spliceMember(w, "result", resultJson);
+}
+
+std::string
+okEnvelope(const SimRequest &req, const std::string &payloadJson)
+{
+    JsonWriter w = envelopeHead(req, true);
+    return spliceMember(w, "result", payloadJson);
+}
+
+std::string
+errorEnvelope(const SimRequest &req, const std::string &kind,
+              const std::string &message)
+{
+    JsonWriter w = envelopeHead(req, false);
+    w.key("error").beginObject();
+    w.kv("kind", kind);
+    w.kv("message", message);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+bool
+extractResult(const std::string &envelope, std::string &resultOut)
+{
+    // The head never contains the marker: none of its keys embed
+    // "result", and a string VALUE cannot carry the marker's raw
+    // quotes (jsonEscape turns them into \"). So the first match is
+    // the splice point, and the result runs to the final '}'.
+    size_t at = envelope.find(kResultMarker);
+    if (at == std::string::npos || envelope.empty() ||
+        envelope.back() != '}')
+        return false;
+    size_t begin = at + sizeof(kResultMarker) - 1;
+    resultOut.assign(envelope, begin, envelope.size() - 1 - begin);
+    return true;
+}
+
+std::string
+extractCacheClass(const std::string &envelope)
+{
+    size_t at = envelope.find(kCacheMarker);
+    if (at == std::string::npos)
+        return "";
+    size_t begin = at + sizeof(kCacheMarker) - 1;
+    size_t end = envelope.find('"', begin);
+    if (end == std::string::npos)
+        return "";
+    return envelope.substr(begin, end - begin);
+}
+
+} // namespace ash::serve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The ash_serve wire protocol: line-delimited JSON over a stream
+ * socket. A client sends one JSON object per line; the daemon
+ * answers each with one JSON envelope per line, in order, on the
+ * same connection (keep-alive). The same request/response bodies
+ * ride the optional localhost HTTP endpoint (POST /sim, GET /stats).
+ *
+ * Request:
+ *   {"op":"sim","client":"c0","design":"ntt","engine":"sash",
+ *    "tiles":16,"cycles":60,"nocache":false,"id":7}
+ * ops: "sim" (run or memoize a simulation), "stats" (daemon
+ * counters), "ping", "shutdown" (begin a graceful drain).
+ *
+ * Response envelope (success):
+ *   {"ok":true,"op":"sim","id":7,"client":"c0","key":"<fp>-<cfg>",
+ *    "cache":"cold|warm|memo","queue_ms":q,"service_ms":s,
+ *    "result":{...}}
+ * and (failure):
+ *   {"ok":false,"op":"sim","id":7,"client":"c0","error":
+ *    {"kind":"...","message":"..."}}
+ *
+ * CACHE-KEY / DETERMINISM CONTRACT: "key" is the content-addressed
+ * identity of the simulation — the design's structural fingerprint
+ * (ckpt::designFingerprint) plus an FNV hash of everything that can
+ * change the result (engine, tiles, cycles, compiler knobs). The
+ * "result" member is a deterministic function of that key: two
+ * responses with equal keys carry byte-identical result bytes,
+ * whether computed cold, served from the warm design cache, or
+ * memoized — across daemon restarts. Timing members (queue_ms,
+ * service_ms) live OUTSIDE result so the contract is testable with
+ * memcmp. extractResult() recovers the raw result bytes.
+ */
+
+#ifndef ASH_SERVE_PROTOCOL_H
+#define ASH_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace ash::serve {
+
+/** One parsed client request (defaults are the wire defaults). */
+struct SimRequest
+{
+    std::string op = "sim";
+    std::string client = "anon";
+    std::string design = "ntt";
+    std::string engine = "sash";   ///< "dash" | "sash" | "refsim".
+    uint32_t tiles = 16;
+    uint64_t cycles = 60;
+    bool nocache = false;          ///< Skip result memoization.
+    uint64_t id = 0;               ///< Client correlation id, echoed.
+};
+
+/**
+ * Parse one request line. Returns false with a message in @p err on
+ * malformed JSON, unknown members of the wrong type, or field
+ * values outside their validated ranges (client names are
+ * restricted to [A-Za-z0-9._-]{1,64} because they key fault scopes
+ * and accounting tables).
+ */
+bool parseRequest(const std::string &line, SimRequest &out,
+                  std::string *err);
+
+/** The request as one compact JSON line (no trailing newline). */
+std::string serializeRequest(const SimRequest &req);
+
+/**
+ * Hash of every request field that affects the simulation RESULT:
+ * engine, tiles, cycles, and the compiler-option defaults baked
+ * into this build. Combined with the design fingerprint it forms
+ * the memoization key.
+ */
+uint64_t configHash(const SimRequest &req);
+
+/**
+ * Hash of the request fields that affect the compiled PROGRAM only
+ * (tiles + compiler knobs — dash and sash share programs, and
+ * cycles never reaches the compiler). Keys the hot design cache, so
+ * a sash run warms the cache for the matching dash run.
+ */
+uint64_t programHash(const SimRequest &req);
+
+/** "<fingerprint-hex>-<confighash-hex>": the memoization key. */
+std::string cacheKey(uint64_t designFingerprint, uint64_t cfgHash);
+
+/** Wall-clock accounting carried in the envelope, milliseconds. */
+struct Timing
+{
+    double queueMs = 0.0;
+    double serviceMs = 0.0;
+};
+
+/**
+ * Success envelope for a sim response. @p resultJson is spliced in
+ * verbatim as the final "result" member — its bytes are the
+ * deterministic payload the memo contract is defined over.
+ */
+std::string okSimEnvelope(const SimRequest &req, const std::string &key,
+                          const char *cacheClass, const Timing &timing,
+                          const std::string &resultJson);
+
+/** Success envelope for ping/stats/shutdown (@p payload verbatim). */
+std::string okEnvelope(const SimRequest &req,
+                       const std::string &payloadJson);
+
+/** Failure envelope; @p kind is a stable machine-readable tag. */
+std::string errorEnvelope(const SimRequest &req, const std::string &kind,
+                          const std::string &message);
+
+/**
+ * Recover the raw bytes of the "result" member from an envelope
+ * built by okSimEnvelope()/okEnvelope(). Returns false when the
+ * envelope carries no result (e.g. an error envelope).
+ */
+bool extractResult(const std::string &envelope, std::string &resultOut);
+
+/** Envelope "cache" member, or "" when absent (errors, ping). */
+std::string extractCacheClass(const std::string &envelope);
+
+} // namespace ash::serve
+
+#endif // ASH_SERVE_PROTOCOL_H

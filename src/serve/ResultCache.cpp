@@ -1,0 +1,206 @@
+#include "serve/ResultCache.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "ckpt/Snapshot.h"
+#include "common/Json.h"
+#include "common/Logging.h"
+#include "common/TmpPath.h"
+#include "guard/Fault.h"
+
+namespace ash::serve {
+
+namespace {
+
+constexpr const char *kFormat = "ash-serve-results";
+constexpr uint32_t kVersion = 1;
+
+std::string
+crcHex(const std::string &payload)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x",
+                  ckpt::crc32(payload.data(), payload.size()));
+    return buf;
+}
+
+} // namespace
+
+ResultCache::ResultCache(size_t maxEntries, std::string dir)
+    : _maxEntries(maxEntries ? maxEntries : 1), _dir(std::move(dir))
+{
+    if (!_dir.empty())
+        ::mkdir(_dir.c_str(), 0777);   // Best effort; write reports.
+}
+
+std::string
+ResultCache::manifestPath() const
+{
+    return _dir.empty() ? "" : _dir + "/results-manifest.json";
+}
+
+bool
+ResultCache::get(const std::string &key, std::string &payloadOut)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    it->second.lastUse = ++_clock;
+    payloadOut = it->second.payload;
+    return true;
+}
+
+void
+ResultCache::put(const std::string &key, std::string payload)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_inserts;
+    Entry &e = _entries[key];
+    e.payload = std::move(payload);
+    e.lastUse = ++_clock;
+    while (_entries.size() > _maxEntries) {
+        auto victim = _entries.end();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (victim == _entries.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        _entries.erase(victim);
+        ++_evictions;
+    }
+}
+
+size_t
+ResultCache::load()
+{
+    std::string path = manifestPath();
+    if (path.empty())
+        return 0;
+
+    std::string text;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f)
+            return 0;   // First start over this directory.
+        char buf[65536];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    }
+
+    JsonValue doc;
+    std::string err;
+    if (!jsonParse(text, doc, &err) || !doc.isObject() ||
+        !doc["format"].isString() ||
+        doc["format"].string() != kFormat) {
+        warn("serve: ignoring unreadable result manifest %s (%s)",
+             path.c_str(), err.empty() ? "bad format" : err.c_str());
+        return 0;
+    }
+
+    size_t loaded = 0;
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const JsonValue &e : doc["entries"].array()) {
+        if (!e.isObject() || !e["key"].isString() ||
+            !e["payload"].isString() || !e["crc"].isString()) {
+            ++_dropped;
+            continue;
+        }
+        const std::string &key = e["key"].string();
+        const std::string &payload = e["payload"].string();
+        if (crcHex(payload) != e["crc"].string()) {
+            warn("serve: dropping memo entry %s (CRC mismatch)",
+                 key.c_str());
+            ++_dropped;
+            continue;
+        }
+        Entry &slot = _entries[key];
+        slot.payload = payload;
+        slot.lastUse = ++_clock;
+        ++loaded;
+        if (_entries.size() > _maxEntries)
+            break;   // Manifest larger than our budget; keep oldest-
+                     // loaded prefix, the rest re-memoizes naturally.
+    }
+    _loaded += loaded;
+    return loaded;
+}
+
+size_t
+ResultCache::persist()
+{
+    std::string path = manifestPath();
+    if (path.empty())
+        return 0;
+
+    std::string doc;
+    size_t count = 0;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        JsonWriter w(false);
+        w.beginObject();
+        w.kv("format", kFormat);
+        w.kv("version", kVersion);
+        w.key("entries").beginArray();
+        for (const auto &[key, entry] : _entries) {
+            w.beginObject();
+            w.kv("key", key);
+            w.kv("crc", crcHex(entry.payload));
+            w.kv("payload", entry.payload);
+            w.endObject();
+            ++count;
+        }
+        w.endArray();
+        w.endObject();
+        doc = w.str();
+    }
+
+    try {
+        ASH_FAULT_POINT("serve.results.write");
+        // Unique tmp name: the state directory may be shared with
+        // another daemon; see common/TmpPath.h.
+        std::string tmp = uniqueTmpPath(path);
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (!f) {
+            warn("serve: cannot write result manifest %s",
+                 tmp.c_str());
+            return 0;
+        }
+        bool ok =
+            std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+        ok = (std::fclose(f) == 0) && ok;
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+            warn("serve: failed to publish result manifest %s",
+                 path.c_str());
+            std::remove(tmp.c_str());
+            return 0;
+        }
+    } catch (const Error &e) {
+        warn("serve: result persist failed: %s", e.what());
+        return 0;
+    }
+    return count;
+}
+
+ResultCache::Snapshot
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Snapshot s;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.inserts = _inserts;
+    s.evictions = _evictions;
+    s.entries = _entries.size();
+    s.loaded = _loaded;
+    s.dropped = _dropped;
+    return s;
+}
+
+} // namespace ash::serve

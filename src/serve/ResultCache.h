@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Result memoization for ash_serve: cacheKey -> the deterministic
+ * result-payload bytes of a completed simulation. A hit answers a
+ * request without touching the queue, the compiler, or an engine —
+ * which is what buys memoized requests their orders-of-magnitude
+ * latency edge over cold ones.
+ *
+ * Entries are LRU-bounded by count (payloads are small JSON docs).
+ * With a state directory configured, persist() writes every entry
+ * into one results-manifest.json — payload bytes stored verbatim as
+ * a JSON string plus a CRC32 — via the atomic unique-tmp + rename
+ * pattern (common/TmpPath.h), so a daemon restarted over the same
+ * state directory serves byte-identical memo hits, and a crash
+ * mid-persist leaves the previous manifest intact rather than a
+ * torn one. load() verifies each entry's CRC and drops damaged ones
+ * with a warning — corruption degrades to a re-run, never to a
+ * wrong answer.
+ */
+
+#ifndef ASH_SERVE_RESULTCACHE_H
+#define ASH_SERVE_RESULTCACHE_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ash::serve {
+
+/** LRU memo store; see file header. */
+class ResultCache
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t inserts = 0;
+        uint64_t evictions = 0;
+        uint64_t entries = 0;
+        uint64_t loaded = 0;     ///< Entries restored by load().
+        uint64_t dropped = 0;    ///< Damaged entries load() skipped.
+    };
+
+    /**
+     * @p maxEntries bounds the LRU; @p dir is the persistence
+     * directory ("" = memory only). The directory is shared state:
+     * writes use unique tmp names so two daemons pointed at the
+     * same directory cannot tear each other's manifest.
+     */
+    ResultCache(size_t maxEntries, std::string dir);
+
+    /** Memo lookup; counts a hit/miss and refreshes LRU order. */
+    bool get(const std::string &key, std::string &payloadOut);
+
+    /** Insert/overwrite; evicts LRU entries beyond maxEntries. */
+    void put(const std::string &key, std::string payload);
+
+    /** Restore entries from the manifest; returns how many. */
+    size_t load();
+
+    /** Write all entries atomically; returns entries written (0
+     *  when persistence is off or on I/O failure, with a warning). */
+    size_t persist();
+
+    Snapshot stats() const;
+
+    /** The manifest path ("" when persistence is off). */
+    std::string manifestPath() const;
+
+  private:
+    struct Entry
+    {
+        std::string payload;
+        uint64_t lastUse = 0;
+    };
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Entry> _entries;
+    size_t _maxEntries;
+    std::string _dir;
+    uint64_t _clock = 0;
+    uint64_t _hits = 0;
+    uint64_t _misses = 0;
+    uint64_t _inserts = 0;
+    uint64_t _evictions = 0;
+    uint64_t _loaded = 0;
+    uint64_t _dropped = 0;
+};
+
+} // namespace ash::serve
+
+#endif // ASH_SERVE_RESULTCACHE_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ash_served: the simulation-as-a-service daemon. Binds a unix
+ * socket (and optionally a localhost HTTP port), serves sim/stats
+ * requests until SIGINT/SIGTERM or a client "shutdown" op, then
+ * drains gracefully: admission closes immediately, every admitted
+ * request is still answered, the memo cache is persisted for a warm
+ * restart, and the process exits 0.
+ *
+ *   ash_served --socket /tmp/ash.sock [--http PORT] [--workers N]
+ *              [--cache-mb MB] [--result-entries N]
+ *              [--state-dir DIR] [--deadline SEC] [--isolate]
+ *              [--rate R] [--burst N] [--inflight N]
+ *              [--queue-cap N] [--fault-plan SPEC]
+ *              [--prof-json PATH]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/Logging.h"
+#include "common/Shutdown.h"
+#include "guard/Fault.h"
+#include "prof/Prof.h"
+#include "serve/Server.h"
+
+using namespace ash;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH [--http PORT] [--workers N]\n"
+        "          [--cache-mb MB] [--result-entries N]\n"
+        "          [--state-dir DIR] [--deadline SEC] [--isolate]\n"
+        "          [--rate REQ_PER_SEC] [--burst N] [--inflight N]\n"
+        "          [--queue-cap N] [--fault-plan SPEC]\n"
+        "          [--prof-json PATH]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    std::string faultPlan;
+    std::string profJson;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        const char *v;
+        if (std::strcmp(arg, "--socket") == 0 && (v = value()))
+            opts.socketPath = v;
+        else if (std::strcmp(arg, "--http") == 0 && (v = value())) {
+            opts.httpEnabled = true;
+            opts.httpPort = static_cast<uint16_t>(std::atoi(v));
+        } else if (std::strcmp(arg, "--workers") == 0 &&
+                   (v = value()))
+            opts.workers = static_cast<unsigned>(std::atoi(v));
+        else if (std::strcmp(arg, "--cache-mb") == 0 && (v = value()))
+            opts.designCacheBytes =
+                static_cast<uint64_t>(std::atoll(v)) << 20;
+        else if (std::strcmp(arg, "--result-entries") == 0 &&
+                 (v = value()))
+            opts.resultEntries = static_cast<size_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--state-dir") == 0 && (v = value()))
+            opts.stateDir = v;
+        else if (std::strcmp(arg, "--deadline") == 0 && (v = value()))
+            opts.deadlineSec = std::atof(v);
+        else if (std::strcmp(arg, "--isolate") == 0)
+            opts.isolate = true;
+        else if (std::strcmp(arg, "--rate") == 0 && (v = value()))
+            opts.limits.ratePerSec = std::atof(v);
+        else if (std::strcmp(arg, "--burst") == 0 && (v = value()))
+            opts.limits.burst = std::atof(v);
+        else if (std::strcmp(arg, "--inflight") == 0 && (v = value()))
+            opts.limits.maxInFlightPerClient =
+                static_cast<size_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--queue-cap") == 0 && (v = value()))
+            opts.limits.maxQueuedPerClient =
+                static_cast<size_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--fault-plan") == 0 &&
+                 (v = value()))
+            faultPlan = v;
+        else if (std::strcmp(arg, "--prof-json") == 0 && (v = value()))
+            profJson = v;
+        else
+            return usage(argv[0]);
+    }
+    if (opts.socketPath.empty())
+        return usage(argv[0]);
+
+    if (!faultPlan.empty()) {
+        guard::FaultPlan plan;
+        std::string err;
+        if (!guard::FaultPlan::parse(faultPlan, plan, &err)) {
+            std::fprintf(stderr, "%s\n", err.c_str());
+            return 2;
+        }
+        guard::FaultInjector::instance().arm(std::move(plan));
+        warn("serve: fault injection armed: %s", faultPlan.c_str());
+    }
+    if (!profJson.empty()) {
+        prof::Profiler &prof = prof::Profiler::instance();
+        prof.setJsonPath(profJson);
+        prof.setHwCountersEnabled(false);
+        prof.arm();
+    }
+
+    installShutdownSignalHandlers();
+
+    serve::Server server(opts);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "ash_served: %s\n", err.c_str());
+        return 1;
+    }
+
+    // Serve until a signal lands or a client sends the shutdown op.
+    while (!shutdownRequested() && !server.stopRequested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    if (!profJson.empty())
+        prof::Profiler::instance().finish();
+    return 0;
+}

@@ -1,0 +1,680 @@
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ctime>
+
+#include <strings.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/Json.h"
+#include "common/Logging.h"
+#include "core/arch/AshSim.h"
+#include "exec/SweepRunner.h"
+#include "prof/Prof.h"
+#include "refsim/ReferenceSimulator.h"
+#include "serve/Net.h"
+
+namespace ash::serve {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point from,
+        std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+double
+threadCpuSec()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Structured failure a worker turns into an error envelope. */
+class ServeJobError : public Error
+{
+  public:
+    ServeJobError(std::string kind, const std::string &what)
+        : Error(std::move(kind), what)
+    {
+    }
+};
+
+} // namespace
+
+double
+Server::LatencyRec::percentile(double p) const
+{
+    if (ms.empty())
+        return 0.0;
+    std::vector<double> sorted = ms;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Server::Server(ServerOptions opts)
+    : _opts(std::move(opts)),
+      _designs(_opts.designCacheBytes),
+      _results(_opts.resultEntries, _opts.stateDir),
+      _queue(_opts.limits)
+{
+}
+
+Server::~Server()
+{
+    if (_started)
+        stop();
+}
+
+bool
+Server::start(std::string *err)
+{
+    ASH_ASSERT(!_started, "Server::start called twice");
+    if (_opts.socketPath.empty()) {
+        if (err)
+            *err = "no socket path configured";
+        return false;
+    }
+    if (!_opts.stateDir.empty())
+        ::mkdir(_opts.stateDir.c_str(), 0777);
+
+    _unixFd = net::listenUnix(_opts.socketPath, err);
+    if (_unixFd < 0)
+        return false;
+    if (_opts.httpEnabled) {
+        _httpFd = net::listenTcp(_opts.httpPort, err);
+        if (_httpFd < 0) {
+            ::close(_unixFd);
+            _unixFd = -1;
+            return false;
+        }
+        _httpPort = net::localPort(_httpFd);
+    }
+
+    size_t loaded = _results.load();
+    if (loaded != 0)
+        inform("serve: warm restart — %zu memoized result(s) loaded",
+               loaded);
+
+    _startedAt = Clock::now();
+    _started = true;
+
+    unsigned workers = _opts.workers ? _opts.workers : 1;
+    for (unsigned i = 0; i < workers; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+    _acceptThreads.emplace_back(
+        [this] { acceptLoop(_unixFd, false); });
+    if (_httpFd >= 0)
+        _acceptThreads.emplace_back(
+            [this] { acceptLoop(_httpFd, true); });
+
+    inform("serve: listening on %s%s", _opts.socketPath.c_str(),
+           _httpFd >= 0
+               ? (" and http://127.0.0.1:" + std::to_string(_httpPort))
+                     .c_str()
+               : "");
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    bool expected = false;
+    if (!_stopping.compare_exchange_strong(expected, true))
+        return;
+    // Admission closes immediately; everything already admitted
+    // drains through the workers and is answered.
+    _queue.close();
+}
+
+void
+Server::stop()
+{
+    if (!_started || _stopped)
+        return;
+    requestStop();
+
+    for (std::thread &t : _acceptThreads)
+        t.join();
+    _acceptThreads.clear();
+    for (std::thread &t : _workers)
+        t.join();
+    _workers.clear();
+    reapConnections(true);
+
+    if (_unixFd >= 0)
+        ::close(_unixFd);
+    if (_httpFd >= 0)
+        ::close(_httpFd);
+    _unixFd = _httpFd = -1;
+    ::unlink(_opts.socketPath.c_str());
+
+    size_t persisted = _results.persist();
+    if (persisted != 0)
+        inform("serve: persisted %zu memoized result(s)", persisted);
+    inform("serve: drained; %llu request(s) answered in total",
+           (unsigned long long)_answered.load());
+    _stopped = true;
+}
+
+void
+Server::acceptLoop(int listenFd, bool http)
+{
+    while (!_stopping.load(std::memory_order_relaxed)) {
+        int fd = net::acceptClient(listenFd, 100);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(_connMutex);
+        _conns.emplace_back();
+        Conn &conn = _conns.back();
+        conn.thread = std::thread([this, fd, http, &conn] {
+            if (http)
+                handleHttpConnection(fd);
+            else
+                handleConnection(fd);
+            conn.finished.store(true, std::memory_order_release);
+        });
+        reapConnections(false);
+    }
+}
+
+void
+Server::reapConnections(bool joinAll)
+{
+    // Caller holds _connMutex only in the joinAll=false path (the
+    // accept loop); stop() calls with joinAll=true after the accept
+    // loops are joined, so it takes the lock itself.
+    if (joinAll) {
+        std::lock_guard<std::mutex> lock(_connMutex);
+        for (Conn &c : _conns)
+            c.thread.join();
+        _conns.clear();
+        return;
+    }
+    for (auto it = _conns.begin(); it != _conns.end();) {
+        if (it->finished.load(std::memory_order_acquire)) {
+            it->thread.join();
+            it = _conns.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    net::LineReader reader(fd);
+    std::string line;
+    while (!_stopping.load(std::memory_order_relaxed)) {
+        int rc = reader.readLine(line, &_stopping, 3600 * 1000);
+        if (rc < 0)
+            break;   // EOF or error: client went away.
+        if (rc == 0)
+            continue;   // Stop flag or idle timeout slice; recheck.
+        std::string envelope = handleLine(line);
+        if (!net::writeAll(fd, envelope + "\n"))
+            break;
+    }
+    ::close(fd);
+}
+
+void
+Server::handleHttpConnection(int fd)
+{
+    net::LineReader reader(fd);
+    std::string line;
+    std::string method, target;
+    size_t contentLength = 0;
+    bool first = true;
+    // Headers until the blank line; we only need the request line
+    // and Content-Length.
+    while (true) {
+        int rc = reader.readLine(line, &_stopping, 10000);
+        if (rc != 1) {
+            ::close(fd);
+            return;
+        }
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            break;
+        if (first) {
+            first = false;
+            size_t sp1 = line.find(' ');
+            size_t sp2 =
+                sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+            if (sp2 == std::string::npos) {
+                ::close(fd);
+                return;
+            }
+            method = line.substr(0, sp1);
+            target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        } else if (line.size() > 15 &&
+                   strncasecmp(line.c_str(), "content-length:", 15) ==
+                       0) {
+            contentLength = static_cast<size_t>(
+                std::strtoull(line.c_str() + 15, nullptr, 10));
+        }
+    }
+
+    std::string body;
+    std::string responseBody;
+    int status = 200;
+    if (method == "POST" && target == "/sim") {
+        if (contentLength != 0 &&
+            reader.readExact(contentLength, body, &_stopping,
+                             10000) != 1) {
+            ::close(fd);
+            return;
+        }
+        responseBody = handleLine(body);
+    } else if (method == "GET" && target == "/stats") {
+        SimRequest req;
+        req.op = "stats";
+        responseBody = okEnvelope(req, statsPayload());
+    } else {
+        status = 404;
+        responseBody = "{\"ok\":false,\"error\":{\"kind\":\"http\","
+                       "\"message\":\"use POST /sim or GET /stats\"}}";
+    }
+
+    std::string response = "HTTP/1.1 " + std::to_string(status) +
+                           (status == 200 ? " OK" : " Not Found") +
+                           "\r\nContent-Type: application/json\r\n"
+                           "Content-Length: " +
+                           std::to_string(responseBody.size() + 1) +
+                           "\r\nConnection: close\r\n\r\n" +
+                           responseBody + "\n";
+    net::writeAll(fd, response);
+    ::close(fd);
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    Clock::time_point arrival = Clock::now();
+    SimRequest req;
+    std::string perr;
+    if (!parseRequest(line, req, &perr)) {
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return errorEnvelope(req, "proto", perr);
+    }
+
+    if (req.op == "ping") {
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return okEnvelope(req, "{\"pong\": true}");
+    }
+    if (req.op == "stats") {
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return okEnvelope(req, statsPayload());
+    }
+    if (req.op == "shutdown") {
+        inform("serve: shutdown requested by client '%s'",
+               req.client.c_str());
+        requestStop();
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return okEnvelope(req, "{\"stopping\": true}");
+    }
+
+    // op == "sim" from here.
+    if (stopRequested()) {
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return errorEnvelope(req, "shutting_down",
+                             "daemon is draining");
+    }
+
+    const DesignEntry *entry = _registry.get(req.design);
+    if (!entry) {
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        account(req.client, nullptr, msSince(arrival, Clock::now()),
+                true, 0.0, 0.0);
+        return errorEnvelope(req, "unknown_design",
+                             "no design named '" + req.design + "'");
+    }
+    std::string key = cacheKey(entry->fingerprint, configHash(req));
+
+    // Memo fast path: answered inline, never queued, never rate
+    // limited — a hit costs a map lookup, which is the whole point.
+    std::string payload;
+    if (!req.nocache && _results.get(key, payload)) {
+        Timing t;
+        t.serviceMs = msSince(arrival, Clock::now());
+        std::string envelope =
+            okSimEnvelope(req, key, "memo", t, payload);
+        account(req.client, "memo", t.serviceMs, false, 0.0, 0.0);
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return envelope;
+    }
+
+    auto pending = std::make_shared<Pending>();
+    pending->req = req;
+    pending->entry = entry;
+    pending->key = std::move(key);
+    pending->arrival = arrival;
+    pending->enqueued = Clock::now();
+    std::future<std::string> future = pending->promise.get_future();
+
+    Admit verdict =
+        _queue.push(req.client, [this, pending] { execute(*pending); });
+    if (verdict != Admit::Ok) {
+        accountRejected(req.client);
+        _answered.fetch_add(1, std::memory_order_relaxed);
+        return errorEnvelope(req, admitName(verdict),
+                             verdict == Admit::QueueFull
+                                 ? "per-client queue is full"
+                             : verdict == Admit::RateLimited
+                                 ? "per-client rate limit exceeded"
+                                 : "daemon is draining");
+    }
+    // Blocks until a worker fulfills the promise; during a drain the
+    // workers keep running precisely so this future resolves.
+    std::string envelope = future.get();
+    _answered.fetch_add(1, std::memory_order_relaxed);
+    return envelope;
+}
+
+void
+Server::workerLoop()
+{
+    std::function<void()> work;
+    std::string client;
+    while (_queue.pop(work, client)) {
+        work();
+        _queue.done(client);
+    }
+}
+
+void
+Server::execute(Pending &p)
+{
+    Clock::time_point begin = Clock::now();
+    Timing timing;
+    timing.queueMs = msSince(p.enqueued, begin);
+    double cpu0 = threadCpuSec();
+
+    std::string envelope;
+    const char *cls = nullptr;
+    bool failed = false;
+    try {
+        std::string payload;
+        // Re-check the memo store: an identical request may have
+        // completed while this one sat in the queue.
+        if (!p.req.nocache && _results.get(p.key, payload)) {
+            cls = "memo";
+        } else {
+            bool compiledNow = false;
+            std::shared_ptr<const core::TaskProgram> prog;
+            if (p.req.engine != "refsim")
+                prog = _designs.get(*p.entry, p.req.tiles,
+                                    programHash(p.req), compiledNow);
+            payload = runJob(p.req, *p.entry, prog.get(), p.key);
+            cls = compiledNow ? "cold" : "warm";
+            if (!p.req.nocache)
+                _results.put(p.key, payload);
+        }
+        timing.serviceMs = msSince(begin, Clock::now());
+        envelope = okSimEnvelope(p.req, p.key, cls, timing, payload);
+    } catch (const Error &e) {
+        failed = true;
+        envelope = errorEnvelope(p.req, e.kind(), e.what());
+    } catch (const std::exception &e) {
+        failed = true;
+        envelope = errorEnvelope(p.req, "exception", e.what());
+    }
+
+    // Billing charges SERVICE time (work the client caused), while
+    // the latency record keeps the client-visible arrival-to-answer
+    // time — queue wait is the daemon's scheduling choice, not the
+    // client's bill.
+    double wallSec = msSince(begin, Clock::now()) / 1000.0;
+    account(p.req.client, failed ? nullptr : cls,
+            msSince(p.arrival, Clock::now()), failed, wallSec,
+            threadCpuSec() - cpu0);
+    p.promise.set_value(std::move(envelope));
+}
+
+std::string
+Server::runJob(const SimRequest &req, const DesignEntry &entry,
+               const core::TaskProgram *prog, const std::string &key)
+{
+    ASH_PROF_ZONE("serve.run");
+    exec::SweepOptions so;
+    so.jobs = 1;
+    so.maxAttempts = 1;
+    so.jobDeadlineSec = _opts.deadlineSec;
+    so.isolate = _opts.isolate;
+    // The daemon's drain contract is stronger than the benches':
+    // admitted requests must be ANSWERED, so the per-request sweep
+    // must not skip its one job when the process is shutting down.
+    so.drainOnShutdown = false;
+
+    // The job key embeds the client name: fault plans can target one
+    // tenant (site@serve/<client>/), and prof's slowest-jobs table
+    // names the offender.
+    std::string jobKey =
+        "serve/" + req.client + "/" + req.design + "/" + req.engine +
+        "#" + std::to_string(_seq.fetch_add(1));
+
+    exec::SweepRunner sweep(so);
+    sweep.add(jobKey, [&req, &entry, prog](exec::JobContext &ctx) {
+        refsim::StimulusPtr stim = entry.design.makeStimulus();
+        if (req.engine == "refsim") {
+            refsim::ReferenceSimulator sim(entry.netlist);
+            sim.run(*stim, req.cycles);
+            ctx.publish("design_cycles",
+                        static_cast<double>(req.cycles));
+            ctx.publishStats("stats", sim.stats());
+        } else {
+            core::ArchConfig cfg;
+            cfg.numTiles = req.tiles;
+            cfg.selective = (req.engine == "sash");
+            core::AshSimulator sim(*prog, cfg);
+            core::RunResult res = sim.run(*stim, req.cycles);
+            ctx.publish("chip_cycles",
+                        static_cast<double>(res.chipCycles));
+            ctx.publish("design_cycles",
+                        static_cast<double>(res.designCycles));
+            ctx.publish("speed_khz", res.speedKHz(cfg.ghz));
+            ctx.publishStats("stats", res.stats);
+        }
+    });
+    sweep.run();
+
+    if (!sweep.failures().empty()) {
+        const exec::JobFailure &f = sweep.failures().front();
+        std::string kind = f.errorKind.empty()
+                               ? exec::failureKindName(f.kind)
+                               : f.errorKind;
+        throw ServeJobError(kind, "job " + f.job + " failed: " +
+                                      f.error);
+    }
+    return buildResultPayload(req, key, sweep.job(0));
+}
+
+std::string
+Server::buildResultPayload(const SimRequest &req,
+                           const std::string &key,
+                           const exec::JobContext &job)
+{
+    // DETERMINISM: everything here is a pure function of the cache
+    // key — request parameters plus published values and stats from
+    // a deterministic engine run. Nothing timing- or identity-
+    // dependent (job sequence number, wall clock, worker id) may
+    // enter, or memo hits would stop being byte-identical to the
+    // cold responses they replay.
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("design", req.design);
+    w.kv("engine", req.engine);
+    w.kv("tiles", req.tiles);
+    w.kv("cycles", req.cycles);
+    w.kv("key", key);
+    w.key("metrics").beginObject();
+    for (const auto &[k, v] : job.published())
+        w.kv(k, v);
+    w.endObject();
+    w.endObject();
+    std::string head = w.str();
+
+    const StatSet *stats = job.publishedStats("stats");
+    if (!stats)
+        return head;
+    std::string statsDoc = stats->toJson(false);
+    size_t cut = head.rfind('}');
+    std::string out = head.substr(0, cut);
+    out += ",\"stats\": ";
+    out += statsDoc;
+    out += head.substr(cut);
+    return out;
+}
+
+void
+Server::account(const std::string &client, const char *cls,
+                double latencyMs, bool error, double wallSec,
+                double cpuSec)
+{
+    std::lock_guard<std::mutex> lock(_acctMutex);
+    ClientAcct &a = _acct[client];
+    ++a.requests;
+    a.billedWallSec += wallSec;
+    a.billedCpuSec += cpuSec;
+    a.lat.add(latencyMs);
+    if (error) {
+        ++a.errors;
+        return;
+    }
+    if (!cls)
+        return;
+    if (std::strcmp(cls, "memo") == 0) {
+        ++a.memo;
+        _latMemo.add(latencyMs);
+    } else if (std::strcmp(cls, "warm") == 0) {
+        ++a.warm;
+        _latWarm.add(latencyMs);
+    } else if (std::strcmp(cls, "cold") == 0) {
+        ++a.cold;
+        _latCold.add(latencyMs);
+    }
+}
+
+void
+Server::accountRejected(const std::string &client)
+{
+    std::lock_guard<std::mutex> lock(_acctMutex);
+    ++_acct[client].rejected;
+}
+
+std::string
+Server::statsPayload()
+{
+    DesignCache::Snapshot dc = _designs.stats();
+    ResultCache::Snapshot rc = _results.stats();
+    std::vector<FairQueue::ClientSnap> queue = _queue.snapshot();
+
+    std::lock_guard<std::mutex> lock(_acctMutex);
+    double uptimeMs = msSince(_startedAt, Clock::now());
+
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("uptime_ms", uptimeMs);
+    w.kv("answered", _answered.load(std::memory_order_relaxed));
+    w.kv("draining", stopRequested());
+
+    auto classObj = [&](const char *name, const LatencyRec &lat) {
+        w.key(name).beginObject();
+        w.kv("count", static_cast<uint64_t>(lat.ms.size()));
+        w.kv("p50_ms", lat.percentile(0.50));
+        w.kv("p99_ms", lat.percentile(0.99));
+        w.endObject();
+    };
+    w.key("classes").beginObject();
+    classObj("memo", _latMemo);
+    classObj("warm", _latWarm);
+    classObj("cold", _latCold);
+    w.endObject();
+
+    w.key("design_cache").beginObject();
+    w.kv("hits", dc.hits);
+    w.kv("misses", dc.misses);
+    w.kv("evictions", dc.evictions);
+    w.kv("bytes", dc.bytes);
+    w.kv("entries", dc.entries);
+    w.endObject();
+
+    w.key("result_cache").beginObject();
+    w.kv("hits", rc.hits);
+    w.kv("misses", rc.misses);
+    w.kv("inserts", rc.inserts);
+    w.kv("evictions", rc.evictions);
+    w.kv("entries", rc.entries);
+    w.kv("loaded", rc.loaded);
+    w.kv("dropped", rc.dropped);
+    w.endObject();
+
+    w.key("queue").beginObject();
+    w.kv("depth", static_cast<uint64_t>(_queue.depth()));
+    w.key("clients").beginArray();
+    for (const FairQueue::ClientSnap &s : queue) {
+        w.beginObject();
+        w.kv("client", s.client);
+        w.kv("queued", static_cast<uint64_t>(s.queued));
+        w.kv("in_flight", static_cast<uint64_t>(s.inFlight));
+        w.kv("admitted", s.admitted);
+        w.kv("rejected_full", s.rejectedFull);
+        w.kv("rejected_rate", s.rejectedRate);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    // Clients sorted slowest-first by billed wall time: the /stats
+    // consumer's "who is eating the daemon" view.
+    std::vector<const std::pair<const std::string, ClientAcct> *>
+        byCost;
+    for (const auto &kv : _acct)
+        byCost.push_back(&kv);
+    std::sort(byCost.begin(), byCost.end(),
+              [](const auto *a, const auto *b) {
+                  if (a->second.billedWallSec !=
+                      b->second.billedWallSec)
+                      return a->second.billedWallSec >
+                             b->second.billedWallSec;
+                  return a->first < b->first;
+              });
+    w.key("clients").beginArray();
+    for (const auto *kv : byCost) {
+        const ClientAcct &a = kv->second;
+        w.beginObject();
+        w.kv("client", kv->first);
+        w.kv("requests", a.requests);
+        w.kv("errors", a.errors);
+        w.kv("rejected", a.rejected);
+        w.kv("memo", a.memo);
+        w.kv("warm", a.warm);
+        w.kv("cold", a.cold);
+        w.kv("billed_wall_ms", a.billedWallSec * 1000.0);
+        w.kv("billed_cpu_ms", a.billedCpuSec * 1000.0);
+        w.kv("p50_ms", a.lat.percentile(0.50));
+        w.kv("p99_ms", a.lat.percentile(0.99));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace ash::serve

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * The ash_serve daemon core: accept loops (unix socket + optional
+ * localhost HTTP), thread-per-connection request handling, a worker
+ * pool fed by the FairQueue, the hot DesignCache, the memoizing
+ * ResultCache, and per-client accounting.
+ *
+ * REQUEST LIFE CYCLE
+ *   parse -> (ping/stats/shutdown answered inline)
+ *         -> resolve design + cache key
+ *         -> memo hit?  answer inline, never queued ("memo")
+ *         -> admit to FairQueue (per-client caps / rate limit)
+ *         -> worker: compile-or-reuse program ("cold"/"warm"),
+ *            run the job under a single-job SweepRunner (watchdog
+ *            deadline, optional --isolate, prof JobCost billing),
+ *            memoize, fulfill the connection's future.
+ *
+ * The per-request SweepRunner is deliberate reuse, not overhead:
+ * it buys the daemon the exact failure envelope the batch benches
+ * already trust (structured FailureKind, watchdog timeout, fork
+ * isolation, fault-injection scope = the job key, which embeds the
+ * client name so fault plans can target one tenant).
+ *
+ * SHUTDOWN: requestStop() closes admission; stop() then joins the
+ * accept loops, lets workers drain every admitted request (their
+ * SweepRunners run with drainOnShutdown=false so in-flight work
+ * completes and is ANSWERED even though the process-wide shutdown
+ * flag is up), joins connection threads once their last response is
+ * written, persists the result cache, and removes the socket file.
+ */
+
+#ifndef ASH_SERVE_SERVER_H
+#define ASH_SERVE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/DesignCache.h"
+#include "serve/FairQueue.h"
+#include "serve/Protocol.h"
+#include "serve/ResultCache.h"
+
+namespace ash::exec {
+class JobContext;
+}
+
+namespace ash::serve {
+
+struct ServerOptions
+{
+    std::string socketPath;
+    /** Enable the localhost HTTP endpoint (0 = ephemeral port). */
+    bool httpEnabled = false;
+    uint16_t httpPort = 0;
+    unsigned workers = 2;
+    uint64_t designCacheBytes = 256ull << 20;
+    size_t resultEntries = 4096;
+    /** Warm-restart state directory; "" disables persistence. */
+    std::string stateDir;
+    /** Per-request watchdog deadline, seconds; 0 disables. */
+    double deadlineSec = 0.0;
+    /** Fork-isolate each request's job body. */
+    bool isolate = false;
+    QueueLimits limits;
+};
+
+/** The daemon; one instance per process (tests embed several,
+ *  sequentially, to model restarts). */
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, load persisted results, spawn threads. */
+    bool start(std::string *err);
+
+    /** Begin a graceful drain (async-signal-safe enough for a
+     *  signal-watching main loop; NOT an async handler itself). */
+    void requestStop();
+
+    bool stopRequested() const
+    {
+        return _stopping.load(std::memory_order_relaxed);
+    }
+
+    /** Full drain + join + persist; idempotent. */
+    void stop();
+
+    /** Resolved HTTP port (after start, when enabled). */
+    uint16_t httpPort() const { return _httpPort; }
+
+    const ServerOptions &options() const { return _opts; }
+
+    /** The /stats payload (also what the "stats" op returns). */
+    std::string statsPayload();
+
+    /** Requests fully answered so far (all classes + errors). */
+    uint64_t answered() const
+    {
+        return _answered.load(std::memory_order_relaxed);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Pending
+    {
+        SimRequest req;
+        const DesignEntry *entry = nullptr;
+        std::string key;
+        Clock::time_point arrival{};
+        Clock::time_point enqueued{};
+        std::promise<std::string> promise;
+    };
+
+    /** Reservoir-free latency record; daemon-scale request counts
+     *  fit in memory comfortably. */
+    struct LatencyRec
+    {
+        std::vector<double> ms;
+        void add(double v) { ms.push_back(v); }
+        double percentile(double p) const;
+    };
+
+    struct ClientAcct
+    {
+        uint64_t requests = 0;
+        uint64_t errors = 0;
+        uint64_t rejected = 0;
+        uint64_t memo = 0;
+        uint64_t warm = 0;
+        uint64_t cold = 0;
+        double billedWallSec = 0.0;
+        double billedCpuSec = 0.0;
+        LatencyRec lat;
+    };
+
+    void acceptLoop(int listenFd, bool http);
+    void handleConnection(int fd);
+    void handleHttpConnection(int fd);
+
+    /** One request line -> one response envelope (may block on a
+     *  worker future). */
+    std::string handleLine(const std::string &line);
+
+    void workerLoop();
+
+    /** Worker side: execute p's simulation and fulfill its promise. */
+    void execute(Pending &p);
+
+    /** Run the request as a single-job sweep; returns the payload. */
+    std::string runJob(const SimRequest &req, const DesignEntry &entry,
+                       const core::TaskProgram *prog,
+                       const std::string &key);
+
+    /** Deterministic result payload from a completed job context. */
+    static std::string buildResultPayload(const SimRequest &req,
+                                          const std::string &key,
+                                          const exec::JobContext &job);
+
+    void account(const std::string &client, const char *cls,
+                 double latencyMs, bool error, double wallSec,
+                 double cpuSec);
+    void accountRejected(const std::string &client);
+
+    /** Reap finished connection threads; join the rest on stop. */
+    void reapConnections(bool joinAll);
+
+    ServerOptions _opts;
+    DesignRegistry _registry;
+    DesignCache _designs;
+    ResultCache _results;
+    FairQueue _queue;
+
+    int _unixFd = -1;
+    int _httpFd = -1;
+    uint16_t _httpPort = 0;
+    std::atomic<bool> _stopping{false};
+    bool _started = false;
+    bool _stopped = false;
+    Clock::time_point _startedAt{};
+
+    std::vector<std::thread> _acceptThreads;
+    std::vector<std::thread> _workers;
+
+    struct Conn
+    {
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+    std::mutex _connMutex;
+    std::list<Conn> _conns;
+
+    std::mutex _acctMutex;
+    std::map<std::string, ClientAcct> _acct;
+    LatencyRec _latMemo, _latWarm, _latCold;
+    std::atomic<uint64_t> _answered{0};
+    std::atomic<uint64_t> _seq{0};   ///< Job-key sequence.
+};
+
+} // namespace ash::serve
+
+#endif // ASH_SERVE_SERVER_H

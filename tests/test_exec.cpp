@@ -17,6 +17,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/Shutdown.h"
 #include "exec/SweepRunner.h"
 #include "exec/ThreadPool.h"
 #include "obs/Report.h"
@@ -268,6 +269,50 @@ TEST(SweepRunner, CurrentJobVisibleInsideBodyOnly)
     sweep.run();
     EXPECT_TRUE(saw_self.load());
     EXPECT_EQ(JobContext::current(), nullptr);
+}
+
+TEST(SweepRunner, ShutdownDrainSkipsUnstartedJobs)
+{
+    // With drainOnShutdown on (the bench default), a shutdown
+    // request raised mid-sweep lets in-flight jobs finish but skips
+    // everything not yet started, counting them as interrupted.
+    resetShutdownForTests();
+    SweepOptions opts;
+    opts.jobs = 1;   // serial: deterministic skip point
+    SweepRunner sweep(opts);
+    std::atomic<int> ran{0};
+    sweep.add("drain/first", [&](JobContext &) {
+        ++ran;
+        requestShutdown();
+    });
+    for (int i = 0; i < 3; ++i)
+        sweep.add("drain/late" + std::to_string(i),
+                  [&](JobContext &) { ++ran; });
+    sweep.run();
+    EXPECT_EQ(ran.load(), 1);
+    EXPECT_EQ(sweep.interruptedJobs(), 3u);
+    resetShutdownForTests();
+}
+
+TEST(SweepRunner, ShutdownIgnoredWhenDrainDisabled)
+{
+    // The serve daemon's mode: its own drain must still ANSWER
+    // every admitted request, so its per-request runners keep
+    // executing even while the process-wide flag is up.
+    resetShutdownForTests();
+    requestShutdown();
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.drainOnShutdown = false;
+    SweepRunner sweep(opts);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i)
+        sweep.add("noskip/job" + std::to_string(i),
+                  [&](JobContext &) { ++ran; });
+    sweep.run();
+    EXPECT_EQ(ran.load(), 3);
+    EXPECT_EQ(sweep.interruptedJobs(), 0u);
+    resetShutdownForTests();
 }
 
 TEST(SweepRunner, SerialFallbackRunsInline)
