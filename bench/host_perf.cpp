@@ -1,8 +1,9 @@
 /**
  * @file
- * Wall-clock perf harness for the three cycle-level engines: the
- * reference simulator, the multicore Baseline timing model, and the
- * ASH chip model (DASH and SASH). Unlike the table/figure benches,
+ * Wall-clock perf harness for the cycle-level engines: the reference
+ * simulator, the jit compiled-kernel engine, the multicore Baseline
+ * timing model, and the ASH chip model (DASH and SASH). Unlike the
+ * table/figure benches,
  * which report *simulated* speeds, this bench times the host
  * execution of each engine over the bundled designs and writes
  * BENCH_hostperf.json with simulated-cycles/sec and ns per evaluated
@@ -27,6 +28,7 @@
 #include "BenchCommon.h"
 #include "common/BuildInfo.h"
 #include "common/Json.h"
+#include "jit/JitSimulator.h"
 #include "prof/Prof.h"
 
 using namespace ash;
@@ -99,59 +101,95 @@ main(int argc, char **argv)
                 "wall-ms", "sim-KHz", "ns/node");
 
     std::vector<Cell> cells;
+    auto time_engine = [&](const std::string &engine,
+                           const std::string &name, uint64_t nodes,
+                           uint64_t engine_cycles, auto &&run_once) {
+        // One prof zone per engine x design cell; the engines'
+        // own run/compile zones nest under it, giving the
+        // --prof-json report a per-cell phase breakdown.
+        const std::string zoneName = "cell:" + engine + ":" + name;
+        prof::ScopedZone zone(zoneName.c_str());
+        double wall = bestWallSec(repeats, run_once);
+        cells.push_back(
+            makeCell(engine, name, wall, engine_cycles, nodes));
+        const Cell &c = cells.back();
+        std::printf("%-10s %-12s %12.2f %12.1f %12.2f\n",
+                    engine.c_str(), name.c_str(), c.wallSec * 1e3,
+                    c.simKhz, c.nsPerNode);
+        bench::record("khz." + engine + "." + name, c.simKhz);
+        bench::record("nspernode." + engine + "." + name,
+                      c.nsPerNode);
+    };
+
     auto bench_t0 = Clock::now();
     for (auto &entry : bench::DesignSet::standard().entries()) {
         const std::string &name = entry.design.name;
         uint64_t nodes = entry.netlist.topoOrder().size();
 
         // Warm the compile cache outside the timed region; the 16-
-        // tile program serves both ASH modes.
+        // tile program serves both ASH modes. The jit warm-up
+        // populates the fingerprint-keyed .so cache, so the timed jit
+        // runs below measure cache-hit construction plus simulation —
+        // the steady-state cost — not a cold toolchain invocation.
         core::TaskProgram prog =
             bench::compileFor(entry.netlist, 16);
-
-        auto time_engine = [&](const std::string &engine,
-                               uint64_t engine_cycles,
-                               auto &&run_once) {
-            // One prof zone per engine x design cell; the engines'
-            // own run/compile zones nest under it, giving the
-            // --prof-json report a per-cell phase breakdown.
-            const std::string zoneName = "cell:" + engine + ":" + name;
-            prof::ScopedZone zone(zoneName.c_str());
-            double wall = bestWallSec(repeats, run_once);
-            cells.push_back(
-                makeCell(engine, name, wall, engine_cycles, nodes));
-            const Cell &c = cells.back();
-            std::printf("%-10s %-12s %12.2f %12.1f %12.2f\n",
-                        engine.c_str(), name.c_str(), c.wallSec * 1e3,
-                        c.simKhz, c.nsPerNode);
-            bench::record("khz." + engine + "." + name, c.simKhz);
-            bench::record("nspernode." + engine + "." + name,
-                          c.nsPerNode);
-        };
+        { jit::JitSimulator warmJit(entry.netlist); }
 
         // The Baseline is a one-shot timing analysis whose host cost
         // scales with its warm window, not the requested horizon.
         uint64_t base_cycles = std::min<uint64_t>(cycles, 200);
 
-        time_engine("refsim", cycles, [&] {
+        time_engine("refsim", name, nodes, cycles, [&] {
             refsim::ReferenceSimulator sim(entry.netlist);
             auto stim = entry.design.makeStimulus();
             sim.run(*stim, cycles);
         });
-        time_engine("baseline", base_cycles, [&] {
+        time_engine("jit", name, nodes, cycles, [&] {
+            jit::JitSimulator sim(entry.netlist);
+            auto stim = entry.design.makeStimulus();
+            sim.run(*stim, cycles);
+        });
+        time_engine("baseline", name, nodes, base_cycles, [&] {
             baseline::runBaseline(entry.netlist,
                                   baseline::zen2Host(32), 2000,
                                   uint32_t(base_cycles));
         });
-        time_engine("dash", cycles, [&] {
+        time_engine("dash", name, nodes, cycles, [&] {
             core::ArchConfig cfg;
             cfg.selective = false;
             bench::runAsh(prog, entry.design, cfg, cycles);
         });
-        time_engine("sash", cycles, [&] {
+        time_engine("sash", name, nodes, cycles, [&] {
             core::ArchConfig cfg;
             cfg.selective = true;
             bench::runAsh(prog, entry.design, cfg, cycles);
+        });
+    }
+
+    // The largest bundled design: the vortex generator at its maximum
+    // supported scale (64 warps x 4 lanes, ~18k nodes). This is where
+    // the compiled-kernel speedup is most visible — activity stays
+    // roughly constant while refsim's dense sweep scales with size —
+    // so it anchors the jit-vs-refsim headline ratio. Only the two
+    // functional engines run here; the timing models' cost on a
+    // design this size would dominate the bench wall clock without
+    // adding signal.
+    {
+        designs::Design xl = designs::makeVortex(64, 4);
+        xl.name = "vortex_xl";
+        rtl::Netlist nl = designs::compileDesign(xl);
+        uint64_t nodes = nl.topoOrder().size();
+        { jit::JitSimulator warmJit(nl); }
+
+        time_engine("refsim", xl.name, nodes, cycles, [&] {
+            refsim::ReferenceSimulator sim(nl);
+            auto stim = xl.makeStimulus();
+            sim.run(*stim, cycles);
+        });
+        time_engine("jit", xl.name, nodes, cycles, [&] {
+            jit::JitSimulator sim(nl);
+            auto stim = xl.makeStimulus();
+            sim.run(*stim, cycles);
         });
     }
     std::chrono::duration<double> benchWall = Clock::now() - bench_t0;

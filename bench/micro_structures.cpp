@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "core/arch/Noc.h"
 #include "exec/SweepRunner.h"
 #include "exec/ThreadPool.h"
+#include "jit/KernelCache.h"
 #include "partition/Partition.h"
 #include "rtl/Eval.h"
 #include "verilog/Compile.h"
@@ -289,6 +291,94 @@ endmodule
             verilog::compileVerilog(src, "top"));
 }
 BENCHMARK(BM_CompileVerilog)->Unit(benchmark::kMicrosecond);
+
+/** Small fixed design for the jit kernel-cache microbenchmarks. */
+static const rtl::Netlist &
+jitMicroNetlist()
+{
+    static rtl::Netlist nl = verilog::compileVerilog(R"(
+module top(input clk, input [31:0] x, output [31:0] y);
+  reg [31:0] a;
+  reg [31:0] b;
+  always_ff @(posedge clk) a <= a + x;
+  always_ff @(posedge clk) b <= b ^ (a << 1);
+  assign y = a + b;
+endmodule
+)",
+                                                     "top");
+    return nl;
+}
+
+/**
+ * Cold kernel acquisition: emit C++, invoke the host toolchain, and
+ * dlopen — what the first-ever run of a design pays. Each iteration
+ * uses a fresh cache directory (and drops the in-process registry) so
+ * nothing is reused. Fixed iteration count: one toolchain invocation
+ * per iteration is seconds-scale, not something to auto-tune.
+ */
+static void
+BM_JitCompileCold(benchmark::State &state)
+{
+    const rtl::Netlist &nl = jitMicroNetlist();
+    uint64_t seq = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        jit::KernelCache::instance().dropInMemory();
+        std::filesystem::path dir =
+            std::filesystem::temp_directory_path() /
+            ("ash-jit-micro-cold-" + std::to_string(++seq));
+        jit::JitOptions opts;
+        opts.cacheDir = dir.string();
+        std::string whyNot;
+        state.ResumeTiming();
+        jit::KernelPtr kernel =
+            jit::KernelCache::instance().acquire(nl, opts, &whyNot);
+        benchmark::DoNotOptimize(kernel);
+        state.PauseTiming();
+        if (!kernel)
+            state.SkipWithError(whyNot.c_str());
+        kernel.reset();
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+    }
+}
+BENCHMARK(BM_JitCompileCold)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+/**
+ * Warm-cache acquisition: the .so already exists on disk, so each
+ * iteration pays validation (CRC sidecar) plus dlopen — what a second
+ * process, or a CI run restoring the cache directory, pays instead of
+ * a compile. The in-process registry is dropped each iteration to
+ * force the disk path.
+ */
+static void
+BM_JitCacheHitLoad(benchmark::State &state)
+{
+    const rtl::Netlist &nl = jitMicroNetlist();
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ash-jit-micro-hit";
+    jit::JitOptions opts;
+    opts.cacheDir = dir.string();
+    {
+        std::string whyNot;
+        jit::KernelPtr warm =
+            jit::KernelCache::instance().acquire(nl, opts, &whyNot);
+        if (!warm) {
+            state.SkipWithError(whyNot.c_str());
+            return;
+        }
+    }
+    for (auto _ : state) {
+        jit::KernelCache::instance().dropInMemory();
+        jit::KernelPtr kernel =
+            jit::KernelCache::instance().acquire(nl, opts);
+        benchmark::DoNotOptimize(kernel);
+    }
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_JitCacheHitLoad)->Unit(benchmark::kMillisecond);
 
 /**
  * Per-task dispatch overhead of the work-stealing pool: submit+run

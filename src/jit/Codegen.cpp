@@ -1,0 +1,538 @@
+#include "jit/Codegen.h"
+
+#include <map>
+#include <set>
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+#include "jit/KernelAbi.h"
+#include "rtl/Cost.h"
+
+namespace ash::jit {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace {
+
+/** Nodes per emitted segment function: exactly one dirty-bitmap
+ *  word's worth of blocks, so each segment dispatches off a single
+ *  word (also a comfortable function size for the host compiler). */
+constexpr size_t kSegmentNodes = 64 * kJitBlockNodes;
+
+std::string
+lit(uint64_t v)
+{
+    return std::to_string(v) + "ull";
+}
+
+/** "(expr & mask)" unless the width covers the whole word. */
+std::string
+masked(const std::string &expr, unsigned width)
+{
+    if (width >= 64)
+        return expr;
+    return "(" + expr + " & " + lit(mask64(width)) + ")";
+}
+
+/**
+ * Emits the body of one kernel. Value semantics mirror
+ * ReferenceSimulator::step() — any divergence here is a parity bug,
+ * caught by the Jit golden tests. The *schedule* is the sparse
+ * dirty-block one described in KernelAbi.h: evaluating more nodes
+ * than refsim would never changes an observable, evaluating fewer
+ * only happens when the skipped values provably could not change.
+ */
+class Emitter
+{
+  public:
+    Emitter(const rtl::Netlist &nl, uint64_t fingerprint)
+        : _nl(nl), _fingerprint(fingerprint),
+          _order(nl.topoOrder()),
+          _pos(nl.numNodes(), UINT32_MAX)
+    {
+        for (size_t i = 0; i < nl.inputs().size(); ++i)
+            _inputSlot[nl.inputs()[i]] = i;
+        for (size_t i = 0; i < _order.size(); ++i)
+            _pos[_order[i]] = static_cast<uint32_t>(i);
+
+        // Global write-port numbering: memory-ascending, port order
+        // within — refsim's application order, preserved by the
+        // ascending armed-bitmap walk at the edge.
+        for (size_t m = 0; m < nl.memories().size(); ++m)
+            for (NodeId port : nl.memories()[m].writePorts)
+                _ports.push_back({static_cast<uint32_t>(m), port});
+        _enBits.resize(nl.numNodes());
+        for (size_t k = 0; k < _ports.size(); ++k) {
+            NodeId en = nl.node(_ports[k].node).operands[2];
+            _enBits[en][k / 64] |= 1ull << (k % 64);
+        }
+
+        // Consumer blocks per node, own block excluded: a same-block
+        // consumer sits at a later position of the very block being
+        // evaluated, so it is reached by the current pass.
+        _consBlocks.resize(nl.numNodes());
+        for (NodeId id = 0; id < nl.numNodes(); ++id) {
+            if (_pos[id] == UINT32_MAX)
+                continue;
+            uint32_t myBlock = _pos[id] / kJitBlockNodes;
+            for (NodeId oper : _nl.node(id).operands) {
+                if (_pos[oper] == UINT32_MAX)
+                    continue;
+                uint32_t operBlock = _pos[oper] / kJitBlockNodes;
+                if (myBlock != operBlock)
+                    _consBlocks[oper].insert(myBlock);
+            }
+        }
+    }
+
+    std::string emit();
+
+  private:
+    /** Value of operand @p id as read by a consumer: Const nodes
+     *  fold to their raw immediate (the value array always holds the
+     *  unmasked imm once evaluated, exactly like refsim). */
+    std::string
+    ref(NodeId id) const
+    {
+        const Node &n = _nl.node(id);
+        if (n.op == Op::Const)
+            return lit(n.imm);
+        return "v[" + std::to_string(id) + "]";
+    }
+
+    /** "d[w] |= m; ..." statements marking @p blocks dirty. */
+    std::string
+    marks(const std::set<uint32_t> &blocks) const
+    {
+        std::map<uint32_t, uint64_t> words;
+        for (uint32_t b : blocks)
+            words[b / 64] |= 1ull << (b % 64);
+        std::string out;
+        for (auto &[w, m] : words)
+            out += " d[" + std::to_string(w) + "] |= " + lit(m) + ";";
+        return out;
+    }
+
+    std::string evalExpr(NodeId id, const Node &n) const;
+    void emitNode(std::string &out, NodeId id);
+    void emitEdge(std::string &out) const;
+
+    struct PortRef
+    {
+        uint32_t mem;
+        NodeId node;
+    };
+
+    const rtl::Netlist &_nl;
+    uint64_t _fingerprint;
+    std::vector<NodeId> _order;
+    std::vector<uint32_t> _pos;  ///< Node id -> levelized position.
+    std::vector<std::set<uint32_t>> _consBlocks;
+    std::vector<PortRef> _ports; ///< Write ports, global port order.
+    /// Per node: armed-bitmap word -> bits of ports this node enables.
+    std::vector<std::map<uint32_t, uint64_t>> _enBits;
+    std::map<NodeId, size_t> _inputSlot;
+};
+
+/** The computed (pre-truncation) value expression of one node. */
+std::string
+Emitter::evalExpr(NodeId id, const Node &n) const
+{
+    auto opnd = [&](size_t i) { return ref(n.operands[i]); };
+    auto width = [&](size_t i) {
+        return _nl.node(n.operands[i]).width;
+    };
+    auto sx = [&](size_t i) {
+        return "sx(" + opnd(i) + ", " + std::to_string(width(i)) +
+               ")";
+    };
+
+    switch (n.op) {
+      case Op::Input:
+        return masked("in[" + std::to_string(_inputSlot.at(id)) + "]",
+                      n.width);
+      case Op::Const:
+        return lit(n.imm);
+      case Op::Reg:
+        return "regs[" + std::to_string(_nl.regIndex(id)) + "]";
+
+      case Op::And: return "(" + opnd(0) + " & " + opnd(1) + ")";
+      case Op::Or: return "(" + opnd(0) + " | " + opnd(1) + ")";
+      case Op::Xor: return "(" + opnd(0) + " ^ " + opnd(1) + ")";
+      case Op::Not: return "(~" + opnd(0) + ")";
+      case Op::Add: return "(" + opnd(0) + " + " + opnd(1) + ")";
+      case Op::Sub: return "(" + opnd(0) + " - " + opnd(1) + ")";
+      case Op::Mul: return "(" + opnd(0) + " * " + opnd(1) + ")";
+      case Op::Div:
+      case Op::Mod: {
+        const char *op = n.op == Op::Div ? " / " : " % ";
+        const Node &b = _nl.node(n.operands[1]);
+        // Division by zero is 0 (documented two-state semantics);
+        // a constant divisor folds the guard away entirely and lets
+        // the host compiler strength-reduce the divide.
+        if (b.op == Op::Const)
+            return b.imm == 0
+                       ? std::string("0ull")
+                       : "(" + opnd(0) + op + opnd(1) + ")";
+        return "(" + opnd(1) + " ? (" + opnd(0) + op + opnd(1) +
+               ") : 0ull)";
+      }
+      case Op::Shl: {
+        const Node &b = _nl.node(n.operands[1]);
+        if (b.op == Op::Const)
+            return b.imm >= n.width
+                       ? std::string("0ull")
+                       : "(" + opnd(0) + " << " + opnd(1) + ")";
+        return "((" + opnd(1) + " >= " + lit(n.width) + ") ? 0ull : (" +
+               opnd(0) + " << " + opnd(1) + "))";
+      }
+      case Op::LShr: {
+        const Node &b = _nl.node(n.operands[1]);
+        if (b.op == Op::Const)
+            return b.imm >= width(0)
+                       ? std::string("0ull")
+                       : "(" + opnd(0) + " >> " + opnd(1) + ")";
+        return "((" + opnd(1) + " >= " + lit(width(0)) +
+               ") ? 0ull : (" + opnd(0) + " >> " + opnd(1) + "))";
+      }
+      case Op::AShr: {
+        unsigned w0 = width(0);
+        const Node &b = _nl.node(n.operands[1]);
+        std::string shift;
+        if (b.op == Op::Const)
+            shift = lit(b.imm >= w0 ? w0 - 1u : b.imm);
+        else
+            shift = "((" + opnd(1) + " >= " + lit(w0) + ") ? " +
+                    lit(w0 - 1u) + " : " + opnd(1) + ")";
+        return "(u64)(" + sx(0) + " >> " + shift + ")";
+      }
+
+      case Op::Eq:
+        return "(u64)(" + opnd(0) + " == " + opnd(1) + ")";
+      case Op::Ne:
+        return "(u64)(" + opnd(0) + " != " + opnd(1) + ")";
+      case Op::Lt:
+        return "(u64)(" + opnd(0) + " < " + opnd(1) + ")";
+      case Op::Le:
+        return "(u64)(" + opnd(0) + " <= " + opnd(1) + ")";
+      case Op::Gt:
+        return "(u64)(" + opnd(0) + " > " + opnd(1) + ")";
+      case Op::Ge:
+        return "(u64)(" + opnd(0) + " >= " + opnd(1) + ")";
+      case Op::SLt:
+        return "(u64)(" + sx(0) + " < " + sx(1) + ")";
+      case Op::SLe:
+        return "(u64)(" + sx(0) + " <= " + sx(1) + ")";
+      case Op::SGt:
+        return "(u64)(" + sx(0) + " > " + sx(1) + ")";
+      case Op::SGe:
+        return "(u64)(" + sx(0) + " >= " + sx(1) + ")";
+
+      case Op::Mux:
+        return "(" + opnd(0) + " ? " + opnd(1) + " : " + opnd(2) +
+               ")";
+      case Op::Concat: {
+        // Operands MSB-first; refsim truncates EACH operand before
+        // splicing (a Const operand may carry bits past its width).
+        std::string expr = masked(opnd(0), width(0));
+        for (size_t i = 1; i < n.operands.size(); ++i)
+            expr = "((" + expr + " << " + std::to_string(width(i)) +
+                   ") | " + masked(opnd(i), width(i)) + ")";
+        return expr;
+      }
+      case Op::Slice:
+        return "(" + opnd(0) + " >> " + std::to_string(n.imm) + ")";
+      case Op::ZExt:
+        return opnd(0);
+      case Op::SExt:
+        return "(u64)" + sx(0);
+      case Op::RedAnd:
+        return "(u64)(" + masked(opnd(0), width(0)) +
+               " == " + lit(mask64(width(0))) + ")";
+      case Op::RedOr:
+        return "(u64)(" + opnd(0) + " != 0ull)";
+      case Op::RedXor:
+        return "(u64)__builtin_parityll(" + opnd(0) + ")";
+      case Op::Output:
+        return opnd(0);
+
+      case Op::MemRead:
+      case Op::MemWrite:
+        break; // Emitted specially by emitNode/emitEdge.
+    }
+    ASH_ASSERT(false, "unreachable op in jit codegen");
+    return "0ull";
+}
+
+void
+Emitter::emitNode(std::string &out, NodeId id)
+{
+    const Node &n = _nl.node(id);
+    const std::string sid = std::to_string(id);
+
+    if (n.op == Op::MemWrite)
+        return; // Sink: never valued; effects applied at the edge.
+
+    std::string expr;
+    if (n.op == Op::MemRead) {
+        // Raw (untruncated) load, exactly like refsim. The address
+        // ref is a pure value read, so naming it twice is free.
+        const std::string a = ref(n.operands[0]);
+        const rtl::MemInfo &mem = _nl.memories()[n.mem];
+        expr = "(" + a + " < " + lit(mem.depth) + " ? mems[" +
+               std::to_string(n.mem) + "][" + a + "] : 0ull)";
+    } else {
+        expr = evalExpr(id, n);
+        // Every computed op truncates its result; sources store raw.
+        if (n.op != Op::Const && n.op != Op::Reg &&
+            n.op != Op::Input)
+            expr = masked("(" + expr + ")", n.width);
+    }
+
+    // The change path does all bookkeeping at once: save the old
+    // value (snapshot prev materialization), flag + list the node,
+    // mark consumer blocks dirty for this very sweep (consumer
+    // blocks are always at later levelized positions), and — when
+    // this node enables write ports — keep the armed-port bitmap in
+    // sync with the value's nonzero-ness. Marked unlikely so the
+    // bookkeeping stores sit outside the hot fetch stream — even in
+    // a dirty block most nodes settle unchanged.
+    std::string arm;
+    for (auto &[w, m] : _enBits[id]) {
+        const std::string pw = "pa[" + std::to_string(w) + "]";
+        arm += " if (x_) " + pw + " |= " + lit(m) + "; else " + pw +
+               " &= ~" + lit(m) + ";";
+    }
+    out += "  { const u64 x_ = " + expr +
+           "; if (__builtin_expect(x_ != v[" + sid +
+           "], 0)) { sv[" + sid + "] = v[" + sid + "]; v[" + sid +
+           "] = x_; ch[" + sid + "] = 1; cl[nch++] = " + sid + "u;" +
+           marks(_consBlocks[id]) + arm + " } }\n";
+}
+
+void
+Emitter::emitEdge(std::string &out) const
+{
+    out += "static void edge(const u64 *RESTRICT v, "
+           "u64 *RESTRICT regs,\n"
+           "                 u64 *const *RESTRICT mems, "
+           "u64 *RESTRICT d,\n"
+           "                 const u64 *RESTRICT pa, "
+           "u64 *RESTRICT acc)\n{\n  (void)pa;\n";
+    // Phase 2a: latch every register from its next-value node. The
+    // register file is not read below, so in-place assignment equals
+    // refsim's scratch-and-swap. A latched change re-arms the
+    // register node's block for the next cycle's sweep.
+    const auto &regs = _nl.regs();
+    for (size_t i = 0; i < regs.size(); ++i) {
+        std::set<uint32_t> blk;
+        if (_pos[regs[i].node] != UINT32_MAX)
+            blk.insert(_pos[regs[i].node] / kJitBlockNodes);
+        out += "  { const u64 n_ = " + ref(regs[i].next) +
+               "; if (__builtin_expect(n_ != regs[" +
+               std::to_string(i) + "], 0)) { regs[" +
+               std::to_string(i) + "] = n_;" + marks(blk) +
+               " } }\n";
+    }
+
+    // Phase 2b: memory writes, visited through the armed-port bitmap
+    // (set bit k <=> port k's enable value is nonzero, maintained by
+    // the change records), walked ascending so ports still apply in
+    // refsim's order (later ports win). Any write that lands a *new*
+    // value re-arms every reader of that memory; a same-value write
+    // provably cannot change a read.
+    out += "  u64 mw = 0;\n";
+    std::vector<std::set<uint32_t>> memReaders(
+        _nl.memories().size());
+    for (NodeId id = 0; id < _nl.numNodes(); ++id)
+        if (_nl.node(id).op == Op::MemRead && _pos[id] != UINT32_MAX)
+            memReaders[_nl.node(id).mem].insert(
+                _pos[id] / kJitBlockNodes);
+    if (!_ports.empty()) {
+        out += "  for (u32 pw_ = 0; pw_ < " +
+               std::to_string(jitPortWords(_ports.size())) +
+               "u; ++pw_) {\n"
+               "    u64 a = pa[pw_];\n"
+               "    while (a) {\n"
+               "      const u32 k = pw_ * 64u + "
+               "(u32)__builtin_ctzll(a);\n"
+               "      a &= a - 1;\n"
+               "      switch (k) {\n";
+        for (size_t k = 0; k < _ports.size(); ++k) {
+            const Node &n = _nl.node(_ports[k].node);
+            size_t m = _ports[k].mem;
+            const rtl::MemInfo &mem = _nl.memories()[m];
+            out += "      case " + std::to_string(k) + ": {\n";
+            out += "        const u64 a_ = " + ref(n.operands[0]) +
+                   ";\n";
+            out += "        if (a_ < " + lit(mem.depth) + ") {\n";
+            out += "          const u64 w_ = " + ref(n.operands[1]) +
+                   ";\n";
+            out += "          if (mems[" + std::to_string(m) +
+                   "][a_] != w_) {" + marks(memReaders[m]) + " }\n";
+            out += "          mems[" + std::to_string(m) +
+                   "][a_] = w_; ++mw;\n";
+            out += "        }\n      } break;\n";
+        }
+        out += "      }\n    }\n  }\n";
+    }
+    out += "  acc[1] = mw;\n}\n\n";
+}
+
+std::string
+Emitter::emit()
+{
+    std::string out;
+    out.reserve(_order.size() * 220 + 4096);
+
+    out +=
+        "// Generated by ash_jit codegen v" +
+        std::to_string(kCodegenVersion) + " — do not edit.\n"
+        "// design fingerprint: " + lit(_fingerprint) + "\n"
+        "#include <cstdint>\n"
+        "using u64 = uint64_t;\n"
+        "using u32 = uint32_t;\n"
+        "using u8 = uint8_t;\n"
+        "using i64 = int64_t;\n"
+        "#define RESTRICT __restrict__\n"
+        "static inline i64 sx(u64 v, unsigned w)\n"
+        "{\n"
+        "  if (w == 0 || w >= 64) return (i64)v;\n"
+        "  const u64 s = 1ull << (w - 1);\n"
+        "  return (i64)((v ^ s) - s);\n"
+        "}\n\n"
+        "struct AshJitState {\n"
+        "  u64 *cur;\n"
+        "  u64 *prevSaved;\n"
+        "  u8 *ch;\n"
+        "  u32 *changedList;\n"
+        "  u64 *dirty;\n"
+        "  u64 *armed;\n"
+        "  u64 *regs;\n"
+        "  u64 *const *mems;\n"
+        "  const u64 *inputs;\n"
+        "  u64 *counters;\n"
+        "};\n\n";
+
+    // Eval segments: whole dirty blocks in levelized order. Each
+    // block re-checks its bitmap word, because earlier blocks of the
+    // same sweep mark downstream blocks as values change.
+    const std::string segArgs =
+        "(u64 *RESTRICT v, u64 *RESTRICT sv, u8 *RESTRICT ch,\n"
+        " u32 *RESTRICT cl, u64 *RESTRICT d, u64 *RESTRICT pa,\n"
+        " const u64 *RESTRICT regs, u64 *const *RESTRICT mems,\n"
+        " const u64 *RESTRICT in, u64 nch)";
+    // One segment per bitmap word, dispatching dirty blocks through
+    // a ctz loop: a clean block costs nothing at all (no guard code
+    // is even fetched), so instruction traffic scales with activity
+    // like everything else. Re-reading the word each iteration picks
+    // up blocks marked dirty by earlier blocks of the same sweep;
+    // consumer marks only ever target *later* blocks (levelized
+    // order), so the lowest-set-bit walk visits blocks ascending and
+    // terminates.
+    size_t numSegs = 0;
+    for (size_t base = 0; base < _order.size();
+         base += kSegmentNodes, ++numSegs) {
+        const std::string word = std::to_string(numSegs);
+        out += "static u64 seg" + std::to_string(numSegs) + segArgs +
+               "\n{\n  (void)pa; (void)regs; (void)mems; (void)in;\n";
+        size_t end = std::min(base + kSegmentNodes, _order.size());
+        out += "  for (;;) {\n"
+               "    const u64 rem_ = d[" + word + "];\n"
+               "    if (!rem_) break;\n"
+               "    const u32 b_ = (u32)__builtin_ctzll(rem_);\n"
+               "    d[" + word + "] = rem_ & (rem_ - 1ull);\n"
+               "    switch (b_) {\n";
+        for (size_t blk = base; blk < end; blk += kJitBlockNodes) {
+            size_t b = blk / kJitBlockNodes;
+            out += "    case " + std::to_string(b % 64) + ": {\n";
+            size_t bend = std::min(blk + kJitBlockNodes, end);
+            for (size_t i = blk; i < bend; ++i)
+                emitNode(out, _order[i]);
+            out += "    } break;\n";
+        }
+        out += "    }\n  }\n  return nch;\n}\n\n";
+    }
+
+    emitEdge(out);
+
+    out += "static void step_impl(const AshJitState *s)\n{\n"
+           "  u64 *RESTRICT v = s->cur;\n"
+           "  u64 *RESTRICT sv = s->prevSaved;\n"
+           "  u8 *RESTRICT ch = s->ch;\n"
+           "  u32 *RESTRICT cl = s->changedList;\n"
+           "  u64 *RESTRICT d = s->dirty;\n"
+           "  u64 *RESTRICT pa = s->armed;\n"
+           "  u64 *regs = s->regs;\n"
+           "  u64 *const *mems = s->mems;\n"
+           "  const u64 *in = s->inputs;\n"
+           "  (void)regs; (void)mems; (void)in;\n";
+
+    // Input prologue: arm the block of every input whose stimulus
+    // value differs from its current value.
+    for (size_t i = 0; i < _nl.inputs().size(); ++i) {
+        NodeId id = _nl.inputs()[i];
+        if (_pos[id] == UINT32_MAX)
+            continue;
+        std::set<uint32_t> blk{_pos[id] / kJitBlockNodes};
+        out += "  { const u64 x_ = " +
+               masked("in[" + std::to_string(i) + "]",
+                      _nl.node(id).width) +
+               "; if (x_ != v[" + std::to_string(id) + "]) {" +
+               marks(blk) + " } }\n";
+    }
+
+    out += "  u64 nch = 0;\n";
+    for (size_t s = 0; s < numSegs; ++s)
+        out += "  nch = seg" + std::to_string(s) +
+               "(v, sv, ch, cl, d, pa, regs, mems, in, nch);\n";
+    out += "  edge(v, regs, mems, d, pa, s->counters);\n"
+           "  s->counters[0] = nch;\n}\n\n";
+
+    // The descriptor; layout mirrors jit::AshJitKernel and is
+    // validated against it (abi version, fingerprint, sizes) before
+    // the host ever calls step.
+    out +=
+        "extern \"C\" {\n"
+        "struct AshJitKernel {\n"
+        "  uint32_t abiVersion;\n"
+        "  uint32_t numInputs;\n"
+        "  u64 designFingerprint;\n"
+        "  u64 codegenVersion;\n"
+        "  uint32_t numNodes;\n"
+        "  uint32_t numRegs;\n"
+        "  uint32_t numMems;\n"
+        "  uint32_t numBlockWords;\n"
+        "  uint32_t numPortWords;\n"
+        "  void (*step)(const AshJitState *);\n"
+        "};\n"
+        "const AshJitKernel *ash_jit_kernel(void)\n{\n"
+        "  static const AshJitKernel k = {\n"
+        "    " + std::to_string(kJitAbiVersion) + "u,\n"
+        "    " + std::to_string(_nl.inputs().size()) + "u,\n"
+        "    " + lit(_fingerprint) + ",\n"
+        "    " + lit(kCodegenVersion) + ",\n"
+        "    " + std::to_string(_nl.numNodes()) + "u,\n"
+        "    " + std::to_string(_nl.regs().size()) + "u,\n"
+        "    " + std::to_string(_nl.memories().size()) + "u,\n"
+        "    " + std::to_string(jitBlockWords(_order.size())) + "u,\n"
+        "    " + std::to_string(jitPortWords(_ports.size())) + "u,\n"
+        "    &step_impl,\n"
+        "  };\n"
+        "  return &k;\n"
+        "}\n"
+        "} // extern \"C\"\n";
+    return out;
+}
+
+} // namespace
+
+std::string
+emitKernelSource(const rtl::Netlist &nl, uint64_t fingerprint)
+{
+    return Emitter(nl, fingerprint).emit();
+}
+
+} // namespace ash::jit

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-design C++ code generation: walk the levelized RTL IR and emit
+ * a self-contained translation unit implementing one simulated cycle
+ * as straight-line code (src/jit/KernelAbi.h is the contract). The
+ * emitted kernel mirrors the reference simulator's semantics
+ * EXACTLY — same evaluation order, same truncation points, same
+ * change-detection and activity-accounting math — so the jit engine's
+ * stats, outputs, VCD, and snapshots are byte-identical to refsim's.
+ *
+ * What the compiler buys us over the interpreting engines:
+ *  - no per-node dispatch: every node is an inline expression, so the
+ *    host compiler sees the whole dataflow and register-allocates it;
+ *  - constant folding: Const operands become literals, which turns
+ *    the NTT's modular reductions into multiply-by-reciprocal
+ *    sequences instead of hardware divides;
+ *  - activity-driven scheduling: nodes are grouped into levelized
+ *    blocks guarded by a dirty bitmap, and each node's statically
+ *    known consumer-block set is baked in as constant mask ORs on
+ *    its change path — so per-cycle work (including the i-cache
+ *    stream) scales with the design's activity factor, not its size.
+ *    This is the paper's central observation applied to the host:
+ *    most RTL nodes do not toggle most cycles.
+ *
+ * The eval code is chunked into segment functions of a few hundred
+ * nodes to keep host-compiler memory and time linear in design size.
+ */
+
+#ifndef ASH_JIT_CODEGEN_H
+#define ASH_JIT_CODEGEN_H
+
+#include <cstdint>
+#include <string>
+
+#include "rtl/Netlist.h"
+
+namespace ash::jit {
+
+/**
+ * Version of the code generator, part of the kernel cache key. Bump
+ * whenever emitted code semantics or shape change so stale cached
+ * shared objects miss instead of loading.
+ */
+constexpr uint64_t kCodegenVersion = 3;
+
+/**
+ * Emit the complete kernel source for @p nl. @p fingerprint
+ * (ckpt::designFingerprint) is baked into the kernel descriptor and
+ * re-checked at load time. Deterministic: same netlist, same bytes.
+ */
+std::string emitKernelSource(const rtl::Netlist &nl,
+                             uint64_t fingerprint);
+
+} // namespace ash::jit
+
+#endif // ASH_JIT_CODEGEN_H

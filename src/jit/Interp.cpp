@@ -1,0 +1,245 @@
+#include "jit/Interp.h"
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+#include "jit/KernelAbi.h"
+
+namespace ash::jit {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+InterpKernel::InterpKernel(const rtl::Netlist &nl)
+{
+    std::vector<NodeId> order = nl.topoOrder();
+    _program.reserve(order.size());
+
+    // Input slot assignment mirrors the stimulus buffer layout.
+    std::vector<uint32_t> inputSlot(nl.numNodes(), 0);
+    for (size_t i = 0; i < nl.inputs().size(); ++i)
+        inputSlot[nl.inputs()[i]] = static_cast<uint32_t>(i);
+
+    for (NodeId id : order) {
+        const Node &node = nl.node(id);
+        Inst inst;
+        inst.op = node.op;
+        inst.width = static_cast<uint8_t>(node.width);
+        inst.numOperands =
+            static_cast<uint16_t>(node.operands.size());
+        inst.dst = id;
+        inst.opBase = static_cast<uint32_t>(_operandIdx.size());
+        inst.aux = 0;
+        inst.imm = node.imm;
+        if (node.op == Op::Reg)
+            inst.aux = static_cast<uint32_t>(nl.regIndex(id));
+        else if (node.op == Op::MemRead)
+            inst.aux = node.mem;
+        else if (node.op == Op::Input)
+            inst.aux = inputSlot[id];
+        for (NodeId oper : node.operands) {
+            _operandIdx.push_back(oper);
+            _operandWidth.push_back(
+                static_cast<uint8_t>(nl.node(oper).width));
+        }
+        _program.push_back(inst);
+    }
+
+    for (const rtl::MemInfo &mem : nl.memories())
+        _memDepth.push_back(mem.depth);
+
+    for (const rtl::RegInfo &reg : nl.regs())
+        _regNext.push_back(reg.next);
+
+    for (size_t m = 0; m < nl.memories().size(); ++m) {
+        for (NodeId portId : nl.memories()[m].writePorts) {
+            const Node &port = nl.node(portId);
+            WritePort p;
+            p.mem = static_cast<uint32_t>(m);
+            p.addr = port.operands[0];
+            p.data = port.operands[1];
+            p.enable = port.operands[2];
+            p.depth = nl.memories()[m].depth;
+            _ports.push_back(p);
+        }
+    }
+}
+
+void
+InterpKernel::step(const AshJitState *state) const
+{
+    uint64_t *vals = state->cur;
+    uint64_t *regs = state->regs;
+    uint64_t *const *mems = state->mems;
+    const uint64_t *inputs = state->inputs;
+    const uint32_t *opIdx = _operandIdx.data();
+    const uint8_t *opW = _operandWidth.data();
+    uint64_t nch = 0;
+
+    for (const Inst &inst : _program) {
+        const uint32_t *ops = opIdx + inst.opBase;
+        const uint8_t *ows = opW + inst.opBase;
+        auto in = [&](size_t i) { return vals[ops[i]]; };
+
+        uint64_t result = 0;
+        switch (inst.op) {
+          case Op::Input:
+            result = truncate(inputs[inst.aux], inst.width);
+            break;
+          case Op::Const:
+            result = inst.imm;  // Raw, like refsim.
+            break;
+          case Op::Reg:
+            result = regs[inst.aux];
+            break;
+          case Op::MemRead: {
+            uint64_t addr = in(0);
+            result = addr < _memDepth[inst.aux]
+                         ? mems[inst.aux][addr]
+                         : 0;
+            break;
+          }
+          case Op::MemWrite:
+            continue;   // Sink: effects applied at the clock edge.
+
+          case Op::And:
+            result = truncate(in(0) & in(1), inst.width);
+            break;
+          case Op::Or:
+            result = truncate(in(0) | in(1), inst.width);
+            break;
+          case Op::Xor:
+            result = truncate(in(0) ^ in(1), inst.width);
+            break;
+          case Op::Not:
+            result = truncate(~in(0), inst.width);
+            break;
+          case Op::Add:
+            result = truncate(in(0) + in(1), inst.width);
+            break;
+          case Op::Sub:
+            result = truncate(in(0) - in(1), inst.width);
+            break;
+          case Op::Mul:
+            result = truncate(in(0) * in(1), inst.width);
+            break;
+          case Op::Div:
+            result = truncate(in(1) ? in(0) / in(1) : 0, inst.width);
+            break;
+          case Op::Mod:
+            result = truncate(in(1) ? in(0) % in(1) : 0, inst.width);
+            break;
+          case Op::Shl:
+            result = truncate(
+                in(1) >= inst.width ? 0 : in(0) << in(1), inst.width);
+            break;
+          case Op::LShr:
+            result = truncate(in(1) >= ows[0] ? 0 : in(0) >> in(1),
+                              inst.width);
+            break;
+          case Op::AShr: {
+            int64_t v = signExtend(in(0), ows[0]);
+            uint64_t sh = in(1) >= ows[0] ? ows[0] - 1u : in(1);
+            result = truncate(static_cast<uint64_t>(v >> sh),
+                              inst.width);
+            break;
+          }
+          case Op::Eq:
+            result = in(0) == in(1);
+            break;
+          case Op::Ne:
+            result = in(0) != in(1);
+            break;
+          case Op::Lt:
+            result = in(0) < in(1);
+            break;
+          case Op::Le:
+            result = in(0) <= in(1);
+            break;
+          case Op::Gt:
+            result = in(0) > in(1);
+            break;
+          case Op::Ge:
+            result = in(0) >= in(1);
+            break;
+          case Op::SLt:
+            result = signExtend(in(0), ows[0]) <
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SLe:
+            result = signExtend(in(0), ows[0]) <=
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SGt:
+            result = signExtend(in(0), ows[0]) >
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::SGe:
+            result = signExtend(in(0), ows[0]) >=
+                     signExtend(in(1), ows[1]);
+            break;
+          case Op::Mux:
+            result = truncate(in(0) ? in(1) : in(2), inst.width);
+            break;
+          case Op::Concat: {
+            for (uint16_t i = 0; i < inst.numOperands; ++i)
+                result = (result << ows[i]) | truncate(in(i), ows[i]);
+            result = truncate(result, inst.width);
+            break;
+          }
+          case Op::Slice:
+            result = truncate(in(0) >> inst.imm, inst.width);
+            break;
+          case Op::ZExt:
+            result = truncate(in(0), inst.width);
+            break;
+          case Op::SExt:
+            result = truncate(
+                static_cast<uint64_t>(signExtend(in(0), ows[0])),
+                inst.width);
+            break;
+          case Op::RedAnd:
+            result = truncate(in(0), ows[0]) == mask64(ows[0]);
+            break;
+          case Op::RedOr:
+            result = in(0) != 0;
+            break;
+          case Op::RedXor:
+            result = __builtin_parityll(in(0));
+            break;
+          case Op::Output:
+            result = truncate(in(0), inst.width);
+            break;
+        }
+
+        // Same change bookkeeping as a compiled kernel's change
+        // path; levelized order makes the list ascending.
+        if (result != vals[inst.dst]) {
+            state->prevSaved[inst.dst] = vals[inst.dst];
+            vals[inst.dst] = result;
+            state->ch[inst.dst] = 1;
+            state->changedList[nch++] = inst.dst;
+        }
+    }
+
+    // Phase 2: clock edge — latch registers in place (the file is not
+    // read after eval), then memory writes in port order.
+    for (size_t i = 0; i < _regNext.size(); ++i)
+        regs[i] = vals[_regNext[i]];
+
+    uint64_t mw = 0;
+    for (const WritePort &p : _ports) {
+        if (!vals[p.enable])
+            continue;
+        uint64_t addr = vals[p.addr];
+        if (addr < p.depth) {
+            mems[p.mem][addr] = vals[p.data];
+            ++mw;
+        }
+    }
+
+    state->counters[kCtrChanged] = nch;
+    state->counters[kCtrMemWrites] = mw;
+}
+
+} // namespace ash::jit

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The no-toolchain fallback behind the jit engine: a compact bytecode
+ * interpreter implementing exactly the KernelAbi.h step() contract
+ * over the same host-owned arrays a compiled kernel uses. When the
+ * kernel cache cannot produce a shared object (no compiler on PATH,
+ * compile failure, corrupt cache, ASH_JIT_FORCE_INTERP), the
+ * JitSimulator swaps this in and every observable — stats, outputs,
+ * VCD, snapshots — stays byte-identical; only the speed differs.
+ *
+ * The program is the netlist decoded once into flat SoA instruction
+ * streams (the ReferenceSimulator technique). It evaluates densely —
+ * every node, every cycle, in levelized order — but keeps the same
+ * change bookkeeping a compiled kernel does (single current-value
+ * buffer, saved pre-change values, change flags + list), so the
+ * JitSimulator cannot tell the backends apart. The dirty bitmap is
+ * simply ignored: a dense schedule is a valid (maximal) sparse one.
+ */
+
+#ifndef ASH_JIT_INTERP_H
+#define ASH_JIT_INTERP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "jit/KernelAbi.h"
+#include "rtl/Netlist.h"
+
+namespace ash::jit {
+
+/** A decoded netlist; step() honors the JitStepFn contract. */
+class InterpKernel
+{
+  public:
+    explicit InterpKernel(const rtl::Netlist &nl);
+
+    /** One simulated cycle; see jit::JitStepFn for the contract. */
+    void step(const AshJitState *state) const;
+
+  private:
+    /** One decoded node, 32 bytes; operands live in _operandIdx. */
+    struct Inst
+    {
+        rtl::Op op;
+        uint8_t width;
+        uint16_t numOperands;
+        uint32_t dst;
+        uint32_t opBase;    ///< First operand index in _operandIdx.
+        uint32_t aux;       ///< Reg index / mem index / input slot.
+        uint64_t imm;
+    };
+
+    struct WritePort
+    {
+        uint32_t mem;
+        uint32_t addr, data, enable; ///< Driving node ids.
+        uint64_t depth;
+    };
+
+    std::vector<Inst> _program;       ///< Levelized order.
+    std::vector<uint32_t> _operandIdx;
+    std::vector<uint8_t> _operandWidth;
+    std::vector<uint64_t> _memDepth;  ///< MemRead bounds, by mem id.
+    std::vector<uint32_t> _regNext;   ///< Latch source per register.
+    std::vector<WritePort> _ports;    ///< All memories, port order.
+};
+
+} // namespace ash::jit
+
+#endif // ASH_JIT_INTERP_H

@@ -1,0 +1,405 @@
+#include "jit/JitSimulator.h"
+
+#include "common/BitUtils.h"
+#include "common/Error.h"
+#include "common/Logging.h"
+#include "guard/Cancel.h"
+#include "obs/Trace.h"
+#include "prof/Prof.h"
+#include "refsim/ReferenceSimulator.h"
+#include "rtl/Cost.h"
+
+namespace ash::jit {
+
+namespace {
+
+/** Section tags — refsim's snapshot layout, verbatim. */
+enum : uint32_t {
+    kSecState = 1,
+    kSecStats = 2,
+};
+
+} // namespace
+
+JitSimulator::JitSimulator(const rtl::Netlist &netlist,
+                           const JitOptions &options)
+    : _nl(netlist), _values(netlist.numNodes(), 0),
+      _prevSaved(netlist.numNodes(), 0),
+      _changed(netlist.numNodes(), 0),
+      _changedList(netlist.numNodes(), 0),
+      _inputBuffer(netlist.inputs().size(), 0)
+{
+    JitOptions opts = JitOptions::resolved(options);
+    if (opts.forceInterp) {
+        _fallbackReason = "interpreter forced";
+    } else {
+        std::string why;
+        _kernel = KernelCache::instance().acquire(_nl, opts, &why);
+        if (!_kernel) {
+            _fallbackReason = why;
+            warn("jit: falling back to interpreter: %s",
+                 why.c_str());
+        }
+    }
+    if (!_kernel)
+        _interp = std::make_unique<InterpKernel>(_nl);
+
+    // topoOrder() fatals unless every node is ordered (combinational
+    // cycles are rejected at build time), so the levelized order size
+    // IS the node count — no need to re-run Kahn's algorithm here.
+    _nodesPerCycle = _nl.numNodes();
+    _dirty.assign(jitBlockWords(_nodesPerCycle), 0);
+
+    // Enable node per write port, global port order (memory
+    // ascending) — the armed bitmap's bit assignment.
+    for (const rtl::MemInfo &mem : _nl.memories())
+        for (rtl::NodeId port : mem.writePorts)
+            _portEn.push_back(_nl.node(port).operands[2]);
+    _armed.assign(jitPortWords(_portEn.size()), 0);
+
+    // CSR fanout graph + per-node cost cache, exactly as refsim
+    // builds them: change tracking and activity accounting run on
+    // the host with refsim's own algorithm.
+    size_t n = _nl.numNodes();
+    _stampCost.resize(n);
+    _fanoutBase.assign(n + 1, 0);
+    for (rtl::NodeId id = 0; id < n; ++id) {
+        uint32_t cost =
+            static_cast<uint32_t>(rtl::nodeCost(_nl.node(id)));
+        _stampCost[id] = cost;  // Stamp half starts at zero.
+        _totalCost += cost;
+        for (rtl::NodeId oper : _nl.node(id).operands)
+            ++_fanoutBase[oper + 1];
+    }
+    for (size_t i = 1; i <= n; ++i)
+        _fanoutBase[i] += _fanoutBase[i - 1];
+    _fanoutList.resize(_fanoutBase[n]);
+    std::vector<uint32_t> fill(_fanoutBase.begin(),
+                               _fanoutBase.end() - 1);
+    for (rtl::NodeId id = 0; id < n; ++id)
+        for (rtl::NodeId oper : _nl.node(id).operands)
+            _fanoutList[fill[oper]++] = id;
+
+    reset();
+}
+
+void
+JitSimulator::reset()
+{
+    _cycle = 0;
+    _activeCostSum = 0.0;
+    _ctrChanged = 0;
+    _ctrMemWrites = 0;
+    _histChanged = Histogram{};
+    _accActive = Accumulator{};
+    _stats.clear();
+    _statsDirty = false;
+    std::fill(_values.begin(), _values.end(), 0);
+    std::fill(_prevSaved.begin(), _prevSaved.end(), 0);
+    std::fill(_changed.begin(), _changed.end(), 0);
+    _listLen = 0;
+    markAllDirty();
+    // All values are zero, so every enable is zero: no port armed.
+    std::fill(_armed.begin(), _armed.end(), 0);
+    for (uint64_t &sc : _stampCost)
+        sc = static_cast<uint32_t>(sc);  // Zero the stamp halves.
+    _stampGen = 0;
+    _regState.clear();
+    for (const rtl::RegInfo &reg : _nl.regs())
+        _regState.push_back(reg.init);
+    _memState.clear();
+    for (const rtl::MemInfo &mem : _nl.memories()) {
+        std::vector<uint64_t> contents(mem.depth, 0);
+        for (size_t i = 0; i < mem.init.size(); ++i)
+            contents[i] = mem.init[i];
+        _memState.push_back(std::move(contents));
+    }
+    rebuildMemPtrs();
+}
+
+void
+JitSimulator::rebuildMemPtrs()
+{
+    _memPtrs.clear();
+    for (std::vector<uint64_t> &mem : _memState)
+        _memPtrs.push_back(mem.data());
+}
+
+/**
+ * Arm every dirty block (exactly the real blocks — stray high bits
+ * would survive forever because the sweep only clears bits it
+ * owns). A full sweep recomputes every node; values that come out
+ * unchanged produce no change record, so over-marking is invisible —
+ * this is what makes reset and restore trivially correct.
+ */
+void
+JitSimulator::markAllDirty()
+{
+    size_t blocks =
+        (_nodesPerCycle + kJitBlockNodes - 1) / kJitBlockNodes;
+    for (size_t w = 0; w < _dirty.size(); ++w) {
+        size_t lo = w * 64;
+        size_t in = blocks > lo ? std::min<size_t>(blocks - lo, 64)
+                                : 0;
+        _dirty[w] = in == 64 ? ~0ull : (1ull << in) - 1;
+    }
+}
+
+void
+JitSimulator::step(refsim::Stimulus &stimulus)
+{
+    std::fill(_inputBuffer.begin(), _inputBuffer.end(), 0);
+    stimulus.apply(_cycle, _inputBuffer);
+
+    // Retire the previous cycle's change flags (sparse: only the
+    // nodes that actually changed have a flag set).
+    uint8_t *ch = _changed.data();
+    const uint32_t *list = _changedList.data();
+    for (uint64_t i = 0; i < _listLen; ++i)
+        ch[list[i]] = 0;
+
+    uint64_t counters[kNumCounters] = {0};
+    AshJitState st{_values.data(),    _prevSaved.data(),
+                   ch,                _changedList.data(),
+                   _dirty.data(),     _armed.data(),
+                   _regState.data(),  _memPtrs.data(),
+                   _inputBuffer.data(), counters};
+    if (_kernel)
+        _kernel->step()(&st);
+    else
+        _interp->step(&st);
+    _listLen = counters[kCtrChanged];
+    const uint64_t changedNodes = _listLen;
+
+    // Activity accounting: refsim's stamp-deduplicated CSR fanout
+    // walk, driven by the changed list — the visited set (and so the
+    // cost sum) is identical, and the work is proportional to the
+    // edges leaving changed nodes.
+    uint64_t activeCost = 0;
+    const uint32_t stamp = ++_stampGen;
+    const uint64_t stampHi = static_cast<uint64_t>(stamp) << 32;
+    const uint32_t *fanBase = _fanoutBase.data();
+    const uint32_t *fanList = _fanoutList.data();
+    uint64_t *sc = _stampCost.data();
+    for (uint64_t i = 0; i < _listLen; ++i) {
+        uint32_t id = list[i];
+        for (uint32_t f = fanBase[id]; f < fanBase[id + 1]; ++f) {
+            uint32_t consumer = fanList[f];
+            uint64_t v = sc[consumer];
+            if ((v >> 32) != stamp) {
+                sc[consumer] = stampHi | static_cast<uint32_t>(v);
+                activeCost += static_cast<uint32_t>(v);
+            }
+        }
+    }
+
+    _ctrChanged += changedNodes;
+    _ctrMemWrites += counters[kCtrMemWrites];
+    _histChanged.record(changedNodes);
+    if (_totalCost > 0) {
+        double frac = static_cast<double>(activeCost) /
+                      static_cast<double>(_totalCost);
+        _activeCostSum += frac;
+        _accActive.sample(frac);
+    }
+    _statsDirty = true;
+    ASH_OBS_EVENT(obs::EventKind::RefCycle, _cycle, 1, 0, 0,
+                  changedNodes, activeCost);
+
+    ++_cycle;
+}
+
+refsim::OutputFrame
+JitSimulator::outputFrame() const
+{
+    refsim::OutputFrame frame;
+    frame.reserve(_nl.outputs().size());
+    for (rtl::NodeId id : _nl.outputs())
+        frame.push_back(_values[id]);
+    return frame;
+}
+
+refsim::OutputTrace
+JitSimulator::run(refsim::Stimulus &stimulus, uint64_t cycles,
+                  ckpt::CycleHook *hook)
+{
+    ASH_PROF_ZONE("run:jit");
+    refsim::OutputTrace trace;
+    trace.reserve(cycles);
+    for (uint64_t c = 0; c < cycles; ++c) {
+        guard::pollCancel();
+        step(stimulus);
+        trace.push_back(outputFrame());
+        if (hook)
+            hook->onCycle(_cycle, *this);
+    }
+    return trace;
+}
+
+/**
+ * Materialize the folded counters into _stats with exactly the key
+ * set refsim's per-cycle inc/hist/sample calls produce: "cycles",
+ * "nodesChanged", "nodesEvaluated" exist after the first cycle,
+ * "memWrites" only once a write happened, the histogram and
+ * accumulator only once recorded into (addHistogram/addAccum are
+ * no-ops when empty). std::map ordering does the rest: toJson and
+ * saveStats emit byte-identical documents.
+ */
+void
+JitSimulator::foldStats() const
+{
+    if (!_statsDirty)
+        return;
+    _stats.clear();
+    const uint64_t cycles = _histChanged.count;
+    if (cycles > 0) {
+        _stats.set("cycles", cycles);
+        _stats.set("nodesChanged", _ctrChanged);
+        _stats.set("nodesEvaluated", cycles * _nodesPerCycle);
+        if (_ctrMemWrites > 0)
+            _stats.set("memWrites", _ctrMemWrites);
+    }
+    _stats.addHistogram("changedNodes", _histChanged);
+    _stats.addAccum("activeCostFrac", _accActive);
+    _statsDirty = false;
+}
+
+/** Rebuild the folded counters from a freshly restored _stats. */
+void
+JitSimulator::unfoldStats()
+{
+    _ctrChanged = _stats.get("nodesChanged");
+    _ctrMemWrites = _stats.get("memWrites");
+    _histChanged = _stats.histogram("changedNodes");
+    _accActive = _stats.accum("activeCostFrac");
+    _statsDirty = false;
+}
+
+const StatSet &
+JitSimulator::stats() const
+{
+    foldStats();
+    return _stats;
+}
+
+double
+JitSimulator::activityFactor() const
+{
+    return _cycle == 0 ? 0.0
+                       : _activeCostSum / static_cast<double>(_cycle);
+}
+
+void
+JitSimulator::save(std::ostream &out) const
+{
+    // The jit engine has no behavior-affecting config (backend choice
+    // cannot change results), so the config hash is a constant — and
+    // a compiled-mode snapshot restores fine into an interp-mode
+    // simulator and vice versa.
+    ckpt::SnapshotWriter w(out, engineName(),
+                           ckpt::designFingerprint(_nl), 0);
+
+    // Materialize refsim's previous-values array: an unchanged node
+    // has prev == current by definition of the change flag, and a
+    // changed node's pre-change value was saved by the backend.
+    std::vector<uint64_t> prev(_values);
+    for (uint64_t i = 0; i < _listLen; ++i)
+        prev[_changedList[i]] = _prevSaved[_changedList[i]];
+
+    w.beginSection(kSecState);
+    w.u64(_cycle);
+    w.f64(_activeCostSum);
+    w.vec(_values);
+    w.vec(prev);
+    w.vec(_changed);
+    w.vec(_regState);
+    w.u64(_memState.size());
+    for (const std::vector<uint64_t> &mem : _memState)
+        w.vec(mem);
+    w.endSection();
+
+    w.beginSection(kSecStats);
+    foldStats();
+    ckpt::saveStats(w, _stats);
+    w.endSection();
+}
+
+void
+JitSimulator::restore(std::istream &in)
+{
+    ckpt::SnapshotReader r(in);
+    r.require(engineName(), ckpt::designFingerprint(_nl), 0);
+
+    r.section(kSecState);
+    _cycle = r.u64();
+    _activeCostSum = r.f64();
+    std::vector<uint64_t> prev;
+    r.vec(_values);
+    r.vec(prev);
+    r.vec(_changed);
+    r.vec(_regState);
+    if (_values.size() != _nl.numNodes() ||
+        prev.size() != _nl.numNodes() ||
+        _changed.size() != _nl.numNodes() ||
+        _regState.size() != _nl.regs().size())
+        throw ckpt::SnapshotError("jit state size mismatch");
+
+    // Rebuild the sparse change records from the restored flags; the
+    // list is ascending like the one a step produces.
+    std::fill(_prevSaved.begin(), _prevSaved.end(), 0);
+    _listLen = 0;
+    for (size_t id = 0; id < _changed.size(); ++id) {
+        if (!_changed[id])
+            continue;
+        _prevSaved[id] = prev[id];
+        _changedList[_listLen++] = static_cast<uint32_t>(id);
+    }
+    uint64_t mems = r.u64();
+    if (mems != _nl.memories().size())
+        throw ckpt::SnapshotError("jit memory count mismatch");
+    _memState.resize(mems);
+    for (size_t m = 0; m < mems; ++m) {
+        r.vec(_memState[m]);
+        if (_memState[m].size() != _nl.memories()[m].depth)
+            throw ckpt::SnapshotError("jit memory depth mismatch");
+    }
+    r.endSection();
+
+    r.section(kSecStats);
+    ckpt::restoreStats(r, _stats);
+    r.endSection();
+    r.expectEnd();
+
+    unfoldStats();
+    rebuildMemPtrs();   // _memState vectors were reallocated above.
+
+    // A full first sweep re-derives the dirty schedule from the
+    // restored values (see markAllDirty); per-step scratch stamps
+    // restart at zero exactly as after reset(), mirroring refsim.
+    markAllDirty();
+    for (uint64_t &scv : _stampCost)
+        scv = static_cast<uint32_t>(scv);
+    _stampGen = 0;
+
+    // The armed-port invariant is value-based (bit k <=> enable
+    // value nonzero), so the bitmap rebuilds directly from the
+    // restored value buffer.
+    std::fill(_armed.begin(), _armed.end(), 0);
+    for (size_t k = 0; k < _portEn.size(); ++k)
+        if (_values[_portEn[k]] != 0)
+            _armed[k / 64] |= 1ull << (k % 64);
+}
+
+std::unique_ptr<refsim::CycleEngine>
+makeEngine(const std::string &name, const rtl::Netlist &netlist,
+           const JitOptions &options)
+{
+    if (name == "refsim")
+        return std::make_unique<refsim::ReferenceSimulator>(netlist);
+    if (name == "jit")
+        return std::make_unique<JitSimulator>(netlist, options);
+    throw Error("jit", "unknown cycle engine '" + name +
+                           "' (expected refsim or jit)");
+}
+
+} // namespace ash::jit

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The jit cycle engine: refsim semantics at compiled-code speed. A
+ * JitSimulator owns exactly the state arrays the reference simulator
+ * owns (values / previous values / change flags / registers /
+ * memories) and delegates the per-cycle work to a backend honoring
+ * the KernelAbi.h step() contract:
+ *
+ *  - compiled: a per-design shared object from the KernelCache
+ *    (emitted C++, host toolchain, fingerprint-keyed .so cache);
+ *  - interp: the bytecode fallback (src/jit/Interp.h) when
+ *    compilation is unavailable or fails.
+ *
+ * Both backends are held to byte-identical observables against the
+ * reference simulator: same outputs, same VCD, same StatSet (stats
+ * are folded locally per cycle — plain counters, a local Histogram
+ * and Accumulator — and materialized on demand, so the hot loop
+ * never touches a string map yet the materialized set matches
+ * refsim's name-for-name and bit-for-bit). Snapshots use refsim's
+ * section layout under engine name "jit"; the previous-values array
+ * refsim double-buffers is materialized on save from the changed
+ * list plus saved pre-change values, so the hot loop carries a
+ * single value buffer.
+ *
+ * Per-cycle statistics (changed-node count, activity walk over the
+ * CSR fanout graph) are derived from the backend's changed list, so
+ * host bookkeeping is proportional to activity, like the kernel.
+ */
+
+#ifndef ASH_JIT_JITSIMULATOR_H
+#define ASH_JIT_JITSIMULATOR_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/Stats.h"
+#include "jit/Interp.h"
+#include "jit/KernelCache.h"
+#include "refsim/CycleEngine.h"
+#include "rtl/Netlist.h"
+
+namespace ash::jit {
+
+/** Compiled-kernel (or fallback-interpreted) CycleEngine. */
+class JitSimulator : public refsim::CycleEngine
+{
+  public:
+    /**
+     * Build for @p netlist. Kernel acquisition happens here (compile
+     * or cache hit); on any failure the engine silently degrades to
+     * the interpreter — construction never throws for toolchain
+     * reasons. @p options fields left empty resolve from the
+     * environment (ASH_JIT_CACHE_DIR, ASH_JIT_CXX,
+     * ASH_JIT_FORCE_INTERP).
+     */
+    explicit JitSimulator(const rtl::Netlist &netlist,
+                          const JitOptions &options = {});
+
+    void step(refsim::Stimulus &stimulus) override;
+    refsim::OutputTrace run(refsim::Stimulus &stimulus,
+                            uint64_t cycles,
+                            ckpt::CycleHook *hook = nullptr) override;
+
+    /// @name ckpt::Snapshotter
+    /// @{
+    void save(std::ostream &out) const override;
+    void restore(std::istream &in) override;
+    const char *engineName() const override { return "jit"; }
+    /// @}
+
+    uint64_t value(rtl::NodeId id) const override
+    { return _values[id]; }
+    refsim::OutputFrame outputFrame() const override;
+    uint64_t cycle() const override { return _cycle; }
+    const std::vector<uint8_t> &changedLastCycle() const override
+    { return _changed; }
+    double activityFactor() const override;
+    void reset() override;
+    const StatSet &stats() const override;
+
+    /** "compiled" when a native kernel drives step(), else "interp". */
+    const char *backend() const
+    { return _kernel ? "compiled" : "interp"; }
+
+    /** Why the engine fell back to the interpreter ("" when it
+     *  didn't). */
+    const std::string &fallbackReason() const
+    { return _fallbackReason; }
+
+  private:
+    void foldStats() const;
+    void unfoldStats();
+    void rebuildMemPtrs();
+    void markAllDirty();
+
+    const rtl::Netlist &_nl;
+    KernelPtr _kernel;                  ///< Null = interpreter mode.
+    std::unique_ptr<InterpKernel> _interp;
+    std::string _fallbackReason;
+
+    // Simulated state. _values is the single current-value buffer;
+    // refsim's previous-values array is reconstructed on demand from
+    // _changed/_prevSaved (for an unchanged node prev == current by
+    // definition), which keeps snapshots byte-identical in shape.
+    std::vector<uint64_t> _values;
+    std::vector<uint64_t> _prevSaved;   ///< Pre-change value, listed ids.
+    std::vector<uint8_t> _changed;
+    std::vector<uint32_t> _changedList; ///< First _listLen entries live.
+    uint64_t _listLen = 0;
+    std::vector<uint64_t> _dirty;       ///< Block dirty bitmap words.
+    std::vector<uint64_t> _armed;       ///< Armed write-port bitmap.
+    std::vector<rtl::NodeId> _portEn;   ///< Enable node per port.
+    std::vector<uint64_t> _regState;
+    std::vector<std::vector<uint64_t>> _memState;
+    std::vector<uint64_t *> _memPtrs;   ///< One raw pointer per memory.
+    std::vector<uint64_t> _inputBuffer;
+
+    // Change tracking and activity accounting (host side, shared by
+    // both backends): refsim's CSR fanout walk — same visited set,
+    // same cost sum — but with the per-node stamp and cost packed
+    // into one word (stamp high, cost low) so each visit is a single
+    // load + conditional store instead of two scattered loads.
+    std::vector<uint32_t> _fanoutBase;  ///< CSR row starts (n+1).
+    std::vector<uint32_t> _fanoutList;  ///< CSR consumer node ids.
+    std::vector<uint64_t> _stampCost;   ///< stamp<<32 | nodeCost.
+    uint32_t _stampGen = 0;
+
+    uint64_t _cycle = 0;
+    double _activeCostSum = 0.0;
+    uint64_t _totalCost = 0;
+    uint64_t _nodesPerCycle = 0;        ///< refsim's order.size().
+
+    // Locally-folded stats (see file header); materialized into
+    // _stats by foldStats() only when someone asks.
+    uint64_t _ctrChanged = 0;
+    uint64_t _ctrMemWrites = 0;
+    Histogram _histChanged;
+    Accumulator _accActive;
+    mutable StatSet _stats;
+    mutable bool _statsDirty = false;
+};
+
+/**
+ * Engine factory for `--engine refsim|jit` call sites: constructs the
+ * named functional engine over @p netlist. Throws ash::Error for an
+ * unknown name.
+ */
+std::unique_ptr<refsim::CycleEngine>
+makeEngine(const std::string &name, const rtl::Netlist &netlist,
+           const JitOptions &options = {});
+
+} // namespace ash::jit
+
+#endif // ASH_JIT_JITSIMULATOR_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The binary contract between the host and a compiled design kernel
+ * (the generated .so) — shared by the bytecode fallback interpreter
+ * so the JitSimulator drives both backends identically. The generated
+ * source re-declares these structs verbatim (it must be
+ * self-contained, compilable with nothing but <cstdint>), so any
+ * change here requires bumping kJitAbiVersion — the cache key embeds
+ * it, which is what makes stale shared objects invisible rather than
+ * undefined behavior.
+ *
+ * ABI v3 is *activity-driven*: the kernel owns the full simulated
+ * cycle (eval + clock edge) but evaluates only dirty blocks. Nodes
+ * are grouped into fixed-size blocks in levelized order; a bitmap
+ * holds one dirty bit per block. The kernel clears a block's bit
+ * when it evaluates the block and re-marks consumer blocks when a
+ * node's value actually changes (the consumer sets are known at
+ * codegen time and baked in as constant mask ORs). Sources re-arm
+ * the bitmap at the cycle boundaries: the input prologue marks input
+ * nodes whose stimulus value differs, the edge marks register nodes
+ * whose register latched a new value and the readers of any memory
+ * that was written. Setting *extra* dirty bits is always sound —
+ * re-evaluating a clean node produces the same value and no change
+ * record — which is why reset/restore simply mark everything dirty;
+ * the sparse schedule is a pure optimization over refsim semantics.
+ *
+ * The clock edge is activity-driven too: memory write ports are
+ * visited through an *armed-port* bitmap (one bit per write port,
+ * global port index = memory-ascending, port order within — exactly
+ * refsim's application order). A port is armed iff its enable node's
+ * value is currently nonzero; the kernel flips the bit inside the
+ * enable node's change record, so the per-cycle edge cost is the
+ * handful of armed ports, not the full port list. The invariant is
+ * value-based, which is why the host can rebuild the bitmap from the
+ * value buffer after restore (and clear it on reset, where all
+ * values are zero).
+ *
+ * Change bookkeeping: values live in a single current-value buffer.
+ * When a node's value changes the kernel saves the old value (for
+ * snapshot materialization of refsim's previous-values array), sets
+ * the node's change flag, and appends the node id to the changed
+ * list. The host clears the previous cycle's flags (via the list)
+ * before each step and derives every per-cycle statistic from the
+ * list afterwards, so bookkeeping cost scales with activity, not
+ * with design size.
+ */
+
+#ifndef ASH_JIT_KERNELABI_H
+#define ASH_JIT_KERNELABI_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ash::jit {
+
+/** Bump on ANY change to the structs or the step() contract. */
+constexpr uint32_t kJitAbiVersion = 3;
+
+/** Nodes per dirty-tracking block (levelized-order granule). */
+constexpr uint32_t kJitBlockNodes = 16;
+
+/** Indices into the step() counters array. */
+enum : uint32_t {
+    kCtrChanged = 0,   ///< Changed nodes this cycle (list length).
+    kCtrMemWrites = 1, ///< In-bounds enabled memory writes.
+    kNumCounters = 2,
+};
+
+/** Everything a kernel touches during one step; all arrays are host
+ *  owned. Field order is frozen (re-declared in generated code). */
+struct AshJitState
+{
+    uint64_t *cur;         ///< Current value per node [numNodes].
+    uint64_t *prevSaved;   ///< Pre-change value, valid for listed ids.
+    uint8_t *ch;           ///< Change flag per node; host pre-clears.
+    uint32_t *changedList; ///< Changed node ids, ascending topo order.
+    uint64_t *dirty;       ///< Block dirty bitmap [numBlockWords].
+    uint64_t *armed;       ///< Armed write-port bitmap [numPortWords].
+    uint64_t *regs;        ///< Register file [numRegs].
+    uint64_t *const *mems; ///< One contents pointer per memory.
+    const uint64_t *inputs;///< Raw stimulus values for this cycle.
+    uint64_t *counters;    ///< [kNumCounters], zeroed by the host.
+};
+
+/** One simulated cycle (two-phase: sparse eval, then clock edge). */
+using JitStepFn = void (*)(const AshJitState *state);
+
+/**
+ * The descriptor the .so exports; every field is validated against
+ * the netlist before the host ever calls step().
+ */
+struct AshJitKernel
+{
+    uint32_t abiVersion;       ///< kJitAbiVersion at codegen time.
+    uint32_t numInputs;
+    uint64_t designFingerprint;///< ckpt::designFingerprint of the design.
+    uint64_t codegenVersion;   ///< Codegen.h kCodegenVersion.
+    uint32_t numNodes;
+    uint32_t numRegs;
+    uint32_t numMems;
+    uint32_t numBlockWords;    ///< Dirty bitmap size in u64 words.
+    uint32_t numPortWords;     ///< Armed-port bitmap size in words.
+    JitStepFn step;
+};
+
+/** Name of the .so's single entry point. */
+constexpr const char *kJitEntrySymbol = "ash_jit_kernel";
+
+/** Signature of the entry point: returns the kernel descriptor. */
+using JitEntryFn = const AshJitKernel *(*)();
+
+/** Dirty bitmap words needed for @p orderSize levelized nodes. */
+constexpr uint32_t
+jitBlockWords(size_t orderSize)
+{
+    size_t blocks =
+        (orderSize + kJitBlockNodes - 1) / kJitBlockNodes;
+    return static_cast<uint32_t>((blocks + 63) / 64);
+}
+
+/** Armed-port bitmap words needed for @p numPorts write ports. */
+constexpr uint32_t
+jitPortWords(size_t numPorts)
+{
+    return static_cast<uint32_t>((numPorts + 63) / 64);
+}
+
+} // namespace ash::jit
+
+#endif // ASH_JIT_KERNELABI_H

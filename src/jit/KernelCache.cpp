@@ -1,0 +1,472 @@
+#include "jit/KernelCache.h"
+
+#include <dlfcn.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "ckpt/Checkpoint.h"
+#include "ckpt/Snapshot.h"
+#include "common/BuildInfo.h"
+#include "common/Error.h"
+#include "common/Logging.h"
+#include "common/TmpPath.h"
+#include "guard/Fault.h"
+#include "jit/Codegen.h"
+#include "rtl/Netlist.h"
+
+namespace fs = std::filesystem;
+
+namespace ash::jit {
+
+namespace {
+
+/** Compiler flags for kernel TUs; part of the toolchain stamp. */
+constexpr const char *kCompileFlags =
+    "-std=c++17 -O2 -fPIC -shared -fno-exceptions -fno-rtti";
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+std::string
+envOr(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? std::string(v) : fallback;
+}
+
+/** Read a whole file; false on any error. */
+bool
+slurp(const std::string &path, std::vector<char> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    in.seekg(0, std::ios::end);
+    std::streampos len = in.tellg();
+    if (len < 0)
+        return false;
+    in.seekg(0, std::ios::beg);
+    out.resize(static_cast<size_t>(len));
+    if (len > 0)
+        in.read(out.data(), len);
+    return static_cast<bool>(in);
+}
+
+/** Atomic publish: write to a salted tmp name, then rename. */
+bool
+atomicWrite(const std::string &path, const void *data, size_t len)
+{
+    const std::string tmp = uniqueTmpPath(path);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(static_cast<const char *>(data),
+                  static_cast<std::streamsize>(len));
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Single-quote @p s for /bin/sh. */
+std::string
+shQuote(const std::string &s)
+{
+    std::string out = "'";
+    for (char c : s) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out.push_back(c);
+    }
+    out += "'";
+    return out;
+}
+
+} // namespace
+
+JitOptions
+JitOptions::resolved(const JitOptions &base)
+{
+    JitOptions o = base;
+    if (o.cacheDir.empty())
+        o.cacheDir = envOr("ASH_JIT_CACHE_DIR", ".ash-jit-cache");
+    if (o.compiler.empty()) {
+#ifdef ASH_JIT_DEFAULT_CXX
+        o.compiler = envOr("ASH_JIT_CXX", ASH_JIT_DEFAULT_CXX);
+#else
+        o.compiler = envOr("ASH_JIT_CXX", "c++");
+#endif
+    }
+    if (const char *v = std::getenv("ASH_JIT_FORCE_INTERP");
+        v && *v && std::string(v) != "0")
+        o.forceInterp = true;
+    return o;
+}
+
+LoadedKernel::~LoadedKernel()
+{
+    if (_dl)
+        ::dlclose(_dl);
+}
+
+struct KernelCache::Impl
+{
+    std::mutex mutex;
+    /** In-flight and completed loads, keyed by cache key. Futures
+     *  resolve to null on failure (the reason lives in `whys`). */
+    std::map<std::string, std::shared_future<KernelPtr>> slots;
+    /** Failure memo: repeated acquires for a broken key report the
+     *  original reason instead of re-running the toolchain. */
+    std::map<std::string, std::string> whys;
+    Snapshot snap;
+
+    KernelPtr load(const rtl::Netlist &nl, const JitOptions &opts,
+                   const std::string &key, std::string &why);
+    KernelPtr tryOpen(const rtl::Netlist &nl, const std::string &so,
+                      std::string &why);
+    bool compile(const rtl::Netlist &nl, const JitOptions &opts,
+                 const std::string &so, std::string &why);
+    bool crcOk(const std::string &so, std::string &why);
+};
+
+KernelCache &
+KernelCache::instance()
+{
+    static KernelCache cache;
+    return cache;
+}
+
+KernelCache::Impl &
+KernelCache::impl() const
+{
+    static Impl impl;
+    return impl;
+}
+
+std::string
+KernelCache::keyFor(const rtl::Netlist &nl,
+                    const JitOptions &opts) const
+{
+    // Content address: the design itself, the codegen/ABI revisions,
+    // and the toolchain (driver + flags + the host compiler stamp).
+    // Changing any of these shifts the key, so stale objects from an
+    // older toolchain or emitter never load — they just miss.
+    uint64_t h = ckpt::designFingerprint(nl);
+    h = ckpt::fnv1a(&kCodegenVersion, sizeof(kCodegenVersion), h);
+    h = ckpt::fnv1a(&kJitAbiVersion, sizeof(kJitAbiVersion), h);
+    // Resolved so "use the default toolchain" and the default
+    // toolchain named explicitly land on the same key (idempotent
+    // for already-resolved options).
+    std::string stamp = JitOptions::resolved(opts).compiler;
+    stamp += '\0';
+    stamp += kCompileFlags;
+    stamp += '\0';
+    stamp += buildinfo::kCompiler;
+    h = ckpt::fnv1a(stamp.data(), stamp.size(), h);
+    return "ash-jit-" + hex64(h);
+}
+
+KernelPtr
+KernelCache::acquire(const rtl::Netlist &nl, const JitOptions &opts,
+                     std::string *whyNot)
+{
+    Impl &im = impl();
+    // Resolve env-var defaults here, not just in the engine ctor, so
+    // direct cache users (benches, tests, CI tooling) get the same
+    // behavior — and the key always embeds the actual toolchain.
+    const JitOptions ropts = JitOptions::resolved(opts);
+    const std::string key = keyFor(nl, ropts);
+
+    std::shared_future<KernelPtr> future;
+    std::shared_ptr<std::packaged_task<KernelPtr()>> task;
+    {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        auto why = im.whys.find(key);
+        if (why != im.whys.end()) {
+            if (whyNot)
+                *whyNot = why->second;
+            return nullptr;
+        }
+        auto it = im.slots.find(key);
+        if (it == im.slots.end()) {
+            // First toucher builds (outside the lock, below);
+            // concurrent same-key callers block on the shared future
+            // instead of racing the toolchain.
+            task = std::make_shared<std::packaged_task<KernelPtr()>>(
+                [&im, &nl, opts = ropts, key]() -> KernelPtr {
+                    std::string why;
+                    KernelPtr k = im.load(nl, opts, key, why);
+                    std::lock_guard<std::mutex> relock(im.mutex);
+                    if (!k) {
+                        ++im.snap.failures;
+                        im.whys[key] = why;
+                        im.slots.erase(key);
+                    }
+                    return k;
+                });
+            it = im.slots.emplace(key, task->get_future().share())
+                     .first;
+        } else if (!task) {
+            ++im.snap.memoryHits;
+        }
+        future = it->second;
+    }
+
+    if (task)
+        (*task)();
+    KernelPtr k = future.get();
+    if (!k && whyNot) {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        auto why = im.whys.find(key);
+        *whyNot = why != im.whys.end() ? why->second
+                                       : "kernel load failed";
+    }
+    return k;
+}
+
+void
+KernelCache::dropInMemory()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    im.slots.clear();
+    im.whys.clear();
+}
+
+KernelCache::Snapshot
+KernelCache::stats() const
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return im.snap;
+}
+
+/**
+ * The cold path for one key: disk hit (CRC-verified dlopen) or
+ * compile-and-publish, then dlopen. Runs outside the cache lock.
+ */
+KernelPtr
+KernelCache::Impl::load(const rtl::Netlist &nl, const JitOptions &opts,
+                        const std::string &key, std::string &why)
+{
+    std::error_code ec;
+    fs::create_directories(opts.cacheDir, ec);
+    const std::string so = opts.cacheDir + "/" + key + ".so";
+
+    if (fs::exists(so, ec)) {
+        std::string diskWhy;
+        if (crcOk(so, diskWhy)) {
+            KernelPtr k = tryOpen(nl, so, diskWhy);
+            if (k) {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++snap.diskHits;
+                return k;
+            }
+        }
+        // A corrupt or unloadable cached object is not fatal: warn,
+        // fall through, and recompile over it.
+        warn("jit: cached kernel %s unusable (%s); recompiling",
+             so.c_str(), diskWhy.c_str());
+    }
+
+    if (!compile(nl, opts, so, why))
+        return nullptr;
+    KernelPtr k = tryOpen(nl, so, why);
+    if (k) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++snap.compiles;
+    }
+    return k;
+}
+
+/** CRC32 sidecar check; a missing sidecar counts as corrupt. */
+bool
+KernelCache::Impl::crcOk(const std::string &so, std::string &why)
+{
+    std::vector<char> bytes;
+    if (!slurp(so, bytes)) {
+        why = "unreadable cached object";
+        return false;
+    }
+    ASH_FAULT_CORRUPT("jit.cache.bytes", bytes.data(), bytes.size());
+    std::vector<char> sidecar;
+    if (!slurp(so + ".crc", sidecar) ||
+        sidecar.size() != sizeof(uint32_t)) {
+        why = "missing CRC sidecar";
+        return false;
+    }
+    uint32_t want;
+    std::memcpy(&want, sidecar.data(), sizeof(want));
+    uint32_t got = ckpt::crc32(bytes.data(), bytes.size());
+    if (got != want) {
+        why = "CRC mismatch";
+        return false;
+    }
+    return true;
+}
+
+/** dlopen + descriptor validation against @p nl. */
+KernelPtr
+KernelCache::Impl::tryOpen(const rtl::Netlist &nl,
+                           const std::string &so, std::string &why)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+        ASH_FAULT_POINT("jit.dlopen");
+    } catch (const std::exception &e) {
+        why = e.what();
+        return nullptr;
+    }
+    void *dl = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (!dl) {
+        const char *err = ::dlerror();
+        why = std::string("dlopen failed: ") + (err ? err : "?");
+        return nullptr;
+    }
+    auto entry = reinterpret_cast<JitEntryFn>(
+        ::dlsym(dl, kJitEntrySymbol));
+    if (!entry) {
+        ::dlclose(dl);
+        why = std::string("missing entry symbol ") + kJitEntrySymbol;
+        return nullptr;
+    }
+    const AshJitKernel *info = entry();
+    // The key should make a mismatch impossible; validate anyway —
+    // calling a wrong-shape kernel is memory corruption, not an error.
+    if (!info || info->abiVersion != kJitAbiVersion ||
+        info->designFingerprint != ckpt::designFingerprint(nl) ||
+        info->codegenVersion != kCodegenVersion ||
+        info->numNodes != nl.numNodes() ||
+        info->numRegs != nl.regs().size() ||
+        info->numMems != nl.memories().size() ||
+        info->numInputs != nl.inputs().size() ||
+        info->numBlockWords !=
+            jitBlockWords(nl.topoOrder().size()) ||
+        info->numPortWords != jitPortWords([&] {
+            size_t p = 0;
+            for (const rtl::MemInfo &mem : nl.memories())
+                p += mem.writePorts.size();
+            return p;
+        }()) ||
+        !info->step) {
+        ::dlclose(dl);
+        why = "kernel descriptor mismatch";
+        return nullptr;
+    }
+    auto k = std::make_shared<LoadedKernel>(dl, info, so);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        snap.lastLoadMs = msSince(t0);
+    }
+    return k;
+}
+
+/** Emit, compile, CRC, and atomically publish @p so. */
+bool
+KernelCache::Impl::compile(const rtl::Netlist &nl,
+                           const JitOptions &opts,
+                           const std::string &so, std::string &why)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    const std::string src =
+        emitKernelSource(nl, ckpt::designFingerprint(nl));
+
+    const std::string soTmp = uniqueTmpPath(so);
+    // The .cc suffix must be LAST or the driver won't see C++ input.
+    const std::string ccPath = soTmp + ".cc";
+    const std::string logPath = soTmp + ".log";
+    auto cleanup = [&] {
+        std::remove(ccPath.c_str());
+        std::remove(soTmp.c_str());
+        std::remove(logPath.c_str());
+    };
+
+    try {
+        ASH_FAULT_POINT("jit.source.write");
+        if (!atomicWrite(ccPath, src.data(), src.size()))
+            throw Error("jit", "cannot write kernel source");
+        ASH_FAULT_POINT("jit.compile");
+    } catch (const std::exception &e) {
+        why = e.what();
+        cleanup();
+        return false;
+    }
+
+    std::string cmd = opts.compiler;
+    cmd += " ";
+    cmd += kCompileFlags;
+    cmd += " -o " + shQuote(soTmp) + " " + shQuote(ccPath);
+    cmd += " > " + shQuote(logPath) + " 2>&1";
+    int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+        std::vector<char> log;
+        slurp(logPath, log);
+        std::ostringstream os;
+        os << "compile failed (exit " << rc << "): "
+           << opts.compiler;
+        if (!log.empty())
+            os << "\n"
+               << std::string(log.data(),
+                              std::min<size_t>(log.size(), 2000));
+        why = os.str();
+        cleanup();
+        return false;
+    }
+
+    std::vector<char> bytes;
+    if (!slurp(soTmp, bytes) || bytes.empty()) {
+        why = "compiler produced no output";
+        cleanup();
+        return false;
+    }
+    uint32_t crc = ckpt::crc32(bytes.data(), bytes.size());
+    // Sidecar first, object last: a reader that sees the .so also
+    // sees its checksum (either may be torn alone; CRC catches it).
+    if (!atomicWrite(so + ".crc", &crc, sizeof(crc)) ||
+        std::rename(soTmp.c_str(), so.c_str()) != 0) {
+        why = "cannot publish compiled kernel";
+        cleanup();
+        return false;
+    }
+    std::remove(ccPath.c_str());
+    std::remove(logPath.c_str());
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        snap.lastCompileMs = msSince(t0);
+    }
+    debugLog("jit: compiled %s in %.1f ms", so.c_str(),
+             msSince(t0));
+    return true;
+}
+
+} // namespace ash::jit

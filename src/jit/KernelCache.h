@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The fingerprint-keyed shared-object cache behind the jit engine.
+ * A kernel is content-addressed by (design fingerprint, codegen
+ * version, toolchain stamp); the cache has three tiers:
+ *
+ *  1. in-process: dlopened kernels are pinned in a registry and
+ *     shared (shared_ptr) across simulators, sweeps, and serve
+ *     requests; concurrent requests for the same key share ONE
+ *     compile through a shared future (the DesignCache trick);
+ *  2. on disk: <dir>/<key>.so published with the repo-standard
+ *     unique-tmp + atomic-rename pattern plus a CRC32 sidecar, so
+ *     crashed or concurrent writers can never publish a torn object
+ *     and bit rot is detected before dlopen;
+ *  3. cold: emit C++ (src/jit/Codegen.h), invoke the host toolchain,
+ *     publish, dlopen.
+ *
+ * A stale toolchain (different compiler, flags, ABI, or codegen
+ * version) changes the stamp, so old objects simply miss — stale
+ * invalidation is structural, not a scan.
+ *
+ * Every failure path (no toolchain, failed compile, corrupt or
+ * unloadable object) is graceful: acquire() returns null with a
+ * reason and the caller falls back to the interpreter. Fault
+ * injection sites (jit.source.write, jit.compile, jit.cache.bytes,
+ * jit.dlopen) let the chaos tests drive each path deterministically.
+ */
+
+#ifndef ASH_JIT_KERNELCACHE_H
+#define ASH_JIT_KERNELCACHE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "jit/KernelAbi.h"
+
+namespace ash::rtl {
+class Netlist;
+} // namespace ash::rtl
+
+namespace ash::jit {
+
+/** How the jit engine locates and builds kernels. */
+struct JitOptions
+{
+    /**
+     * Shared-object cache directory. Empty = $ASH_JIT_CACHE_DIR,
+     * falling back to ".ash-jit-cache".
+     */
+    std::string cacheDir;
+
+    /**
+     * C++ compiler driver. Empty = $ASH_JIT_CXX, falling back to the
+     * compiler that built this binary (baked in at configure time),
+     * then to "c++".
+     */
+    std::string compiler;
+
+    /** Skip native compilation; always use the fallback interpreter
+     *  ($ASH_JIT_FORCE_INTERP=1 sets this too). */
+    bool forceInterp = false;
+
+    /** Resolve the env-var defaults described above. */
+    static JitOptions resolved(const JitOptions &base);
+};
+
+/** A dlopened kernel, alive as long as anyone holds the pointer. */
+class LoadedKernel
+{
+  public:
+    LoadedKernel(void *dl, const AshJitKernel *info,
+                 std::string soPath)
+        : _dl(dl), _info(info), _soPath(std::move(soPath))
+    {
+    }
+    ~LoadedKernel();
+
+    LoadedKernel(const LoadedKernel &) = delete;
+    LoadedKernel &operator=(const LoadedKernel &) = delete;
+
+    const AshJitKernel &info() const { return *_info; }
+    JitStepFn step() const { return _info->step; }
+    const std::string &soPath() const { return _soPath; }
+
+  private:
+    void *_dl;
+    const AshJitKernel *_info;
+    std::string _soPath;
+};
+
+using KernelPtr = std::shared_ptr<const LoadedKernel>;
+
+/** Process-wide cache; see file header. */
+class KernelCache
+{
+  public:
+    struct Snapshot
+    {
+        uint64_t memoryHits = 0;  ///< Served from the pinned registry.
+        uint64_t diskHits = 0;    ///< dlopened an existing .so.
+        uint64_t compiles = 0;    ///< Cold: emitted + compiled.
+        uint64_t failures = 0;    ///< acquire() returned null.
+        double lastCompileMs = 0; ///< Wall time of the newest compile.
+        double lastLoadMs = 0;    ///< Wall time of the newest dlopen.
+    };
+
+    static KernelCache &instance();
+
+    /**
+     * The kernel for @p nl under @p opts, building it if needed.
+     * Returns null (and sets @p whyNot when given) on any failure;
+     * the caller is expected to fall back to the interpreter.
+     * Thread-safe; concurrent callers for one key share one compile.
+     */
+    KernelPtr acquire(const rtl::Netlist &nl, const JitOptions &opts,
+                      std::string *whyNot = nullptr);
+
+    /** Cache key of @p nl under @p opts (tests, CI cache keys). */
+    std::string keyFor(const rtl::Netlist &nl,
+                       const JitOptions &opts) const;
+
+    /**
+     * Drop the in-process registry (pinned kernels stay alive
+     * through outstanding shared_ptrs). Forces the next acquire()
+     * down the disk path — for cache tests and load benchmarks.
+     */
+    void dropInMemory();
+
+    Snapshot stats() const;
+
+  private:
+    KernelCache() = default;
+
+    struct Impl;
+    Impl &impl() const;
+};
+
+} // namespace ash::jit
+
+#endif // ASH_JIT_KERNELCACHE_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The functional cycle-engine interface: anything that simulates a
+ * netlist one design cycle at a time with full per-node visibility.
+ * Both the interpreting reference simulator and the ash_jit compiled
+ * kernels implement it, which is what makes them interchangeable
+ * behind `--engine refsim|jit` — same stimulus contract, same output
+ * frames, same StatSet names, same snapshot shape, same VCD bytes.
+ *
+ * The interface is deliberately the reference simulator's public
+ * surface: the jit engine is held to "byte-identical to refsim",
+ * never the other way round.
+ */
+
+#ifndef ASH_REFSIM_CYCLEENGINE_H
+#define ASH_REFSIM_CYCLEENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/Checkpoint.h"
+#include "common/Stats.h"
+#include "refsim/Stimulus.h"
+#include "rtl/Netlist.h"
+
+namespace ash::refsim {
+
+/** Per-cycle output snapshot: entry i is Netlist::outputs()[i]. */
+using OutputFrame = std::vector<uint64_t>;
+/** Output values over a whole run, one frame per cycle. */
+using OutputTrace = std::vector<OutputFrame>;
+
+/** A full-visibility functional simulator over an rtl::Netlist. */
+class CycleEngine : public ckpt::Snapshotter
+{
+  public:
+    /** Simulate one cycle, pulling inputs from @p stimulus. */
+    virtual void step(Stimulus &stimulus) = 0;
+
+    /**
+     * Run @p cycles further cycles, recording outputs each cycle.
+     * After a restore() this continues from the restored cycle and
+     * the returned trace covers only the tail. @p hook, when set,
+     * fires after every completed cycle with the absolute cycle
+     * number — any cycle boundary is a quiescent point.
+     */
+    virtual OutputTrace run(Stimulus &stimulus, uint64_t cycles,
+                            ckpt::CycleHook *hook = nullptr) = 0;
+
+    /** Current value of any node (post-step). */
+    virtual uint64_t value(rtl::NodeId id) const = 0;
+
+    /** Current output frame. */
+    virtual OutputFrame outputFrame() const = 0;
+
+    /** Cycles simulated so far. */
+    virtual uint64_t cycle() const = 0;
+
+    /**
+     * Change flags from the most recent step(): entry per node, true
+     * if the node's value differs from the previous cycle.
+     */
+    virtual const std::vector<uint8_t> &changedLastCycle() const = 0;
+
+    /**
+     * Activity factor accumulated over the run: fraction of total
+     * node cost belonging to nodes whose *inputs* changed that cycle.
+     */
+    virtual double activityFactor() const = 0;
+
+    /** Reset registers, memories, and counters to time zero. */
+    virtual void reset() = 0;
+
+    /**
+     * Run statistics; must use the reference simulator's exact names
+     * and per-cycle recording order so `--stats-json` output is
+     * byte-identical across engines.
+     */
+    virtual const StatSet &stats() const = 0;
+};
+
+} // namespace ash::refsim
+
+#endif // ASH_REFSIM_CYCLEENGINE_H

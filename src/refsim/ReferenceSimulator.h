@@ -23,24 +23,20 @@
 
 #include "ckpt/Checkpoint.h"
 #include "common/Stats.h"
+#include "refsim/CycleEngine.h"
 #include "refsim/Stimulus.h"
 #include "rtl/Netlist.h"
 
 namespace ash::refsim {
 
-/** Per-cycle output snapshot: entry i is Netlist::outputs()[i]. */
-using OutputFrame = std::vector<uint64_t>;
-/** Output values over a whole run, one frame per cycle. */
-using OutputTrace = std::vector<OutputFrame>;
-
 /** Levelized full-evaluation simulator over an rtl::Netlist. */
-class ReferenceSimulator : public ckpt::Snapshotter
+class ReferenceSimulator : public CycleEngine
 {
   public:
     explicit ReferenceSimulator(const rtl::Netlist &netlist);
 
     /** Simulate one cycle, pulling inputs from @p stimulus. */
-    void step(Stimulus &stimulus);
+    void step(Stimulus &stimulus) override;
 
     /**
      * Run @p cycles further cycles, recording outputs each cycle.
@@ -50,7 +46,7 @@ class ReferenceSimulator : public ckpt::Snapshotter
      * number — the refsim quiescent point is any cycle boundary.
      */
     OutputTrace run(Stimulus &stimulus, uint64_t cycles,
-                    ckpt::CycleHook *hook = nullptr);
+                    ckpt::CycleHook *hook = nullptr) override;
 
     /// @name ckpt::Snapshotter
     /// @{
@@ -60,19 +56,20 @@ class ReferenceSimulator : public ckpt::Snapshotter
     /// @}
 
     /** Current value of any node (post-step). */
-    uint64_t value(rtl::NodeId id) const { return _values[id]; }
+    uint64_t value(rtl::NodeId id) const override
+    { return _values[id]; }
 
     /** Current output frame. */
-    OutputFrame outputFrame() const;
+    OutputFrame outputFrame() const override;
 
     /** Cycles simulated so far. */
-    uint64_t cycle() const { return _cycle; }
+    uint64_t cycle() const override { return _cycle; }
 
     /**
      * Change flags from the most recent step(): entry per node, true if
      * the node's value differs from the previous cycle.
      */
-    const std::vector<uint8_t> &changedLastCycle() const
+    const std::vector<uint8_t> &changedLastCycle() const override
     { return _changed; }
 
     /**
@@ -80,17 +77,17 @@ class ReferenceSimulator : public ckpt::Snapshotter
      * cost belonging to nodes whose *inputs* changed that cycle (the
      * work a perfectly selective simulator must still do).
      */
-    double activityFactor() const;
+    double activityFactor() const override;
 
     /** Reset registers, memories, and counters to time zero. */
-    void reset();
+    void reset() override;
 
     /**
      * Run statistics: cycles, nodesEvaluated, nodesChanged,
      * memWrites counters and a per-cycle "activeCostFrac" sample
      * (plus a changedNodes histogram). Cleared by reset().
      */
-    const StatSet &stats() const { return _stats; }
+    const StatSet &stats() const override { return _stats; }
 
   private:
     /**

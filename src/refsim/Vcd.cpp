@@ -105,7 +105,7 @@ VcdWriter::emitValue(const Signal &sig, uint64_t value)
 }
 
 void
-VcdWriter::sample(const ReferenceSimulator &sim, uint64_t cycle)
+VcdWriter::sample(const CycleEngine &sim, uint64_t cycle)
 {
     _out << "#" << cycle << "\n";
     for (Signal &sig : _signals) {

@@ -13,13 +13,14 @@
 #include <string>
 #include <vector>
 
-#include "refsim/ReferenceSimulator.h"
+#include "refsim/CycleEngine.h"
 
 namespace ash::refsim {
 
 /**
- * Streams design inputs, outputs, and registers of a
- * ReferenceSimulator run into VCD format.
+ * Streams design inputs, outputs, and registers of a CycleEngine run
+ * (reference simulator or jit kernel) into VCD format. Byte-for-byte
+ * identical output across engines is part of the jit parity contract.
  */
 class VcdWriter
 {
@@ -42,7 +43,7 @@ class VcdWriter
      * Record the state of @p sim after a step. Call once per
      * simulated cycle, in order.
      */
-    void sample(const ReferenceSimulator &sim, uint64_t cycle);
+    void sample(const CycleEngine &sim, uint64_t cycle);
 
     /**
      * Checkpoint the writer's dedup state (per-signal last emitted

@@ -8,7 +8,7 @@
  *
  *   ash_cli --socket /tmp/ash.sock [--op sim|stats|ping|shutdown]
  *           [--client NAME] [--design NAME]
- *           [--engine dash|sash|refsim] [--tiles N] [--cycles N]
+ *           [--engine dash|sash|refsim|jit] [--tiles N] [--cycles N]
  *           [--nocache] [--id N] [--result-only]
  */
 
@@ -32,7 +32,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s --socket PATH [--op sim|stats|ping|shutdown]\n"
         "          [--client NAME] [--design NAME]\n"
-        "          [--engine dash|sash|refsim] [--tiles N]\n"
+        "          [--engine dash|sash|refsim|jit] [--tiles N]\n"
         "          [--cycles N] [--nocache] [--id N] [--result-only]\n",
         argv0);
     return 2;

@@ -119,8 +119,8 @@ parseRequest(const std::string &line, SimRequest &out, std::string *err)
         if (!validName(req.design, 64))
             return fail("bad design name");
         if (req.engine != "dash" && req.engine != "sash" &&
-            req.engine != "refsim")
-            return fail("engine must be dash, sash, or refsim");
+            req.engine != "refsim" && req.engine != "jit")
+            return fail("engine must be dash, sash, refsim, or jit");
         if (req.tiles < 1 || req.tiles > 1024)
             return fail("tiles must be in [1, 1024]");
         if (req.cycles < 1 || req.cycles > 1000000000ull)

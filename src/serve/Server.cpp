@@ -13,6 +13,7 @@
 #include "common/Logging.h"
 #include "core/arch/AshSim.h"
 #include "exec/SweepRunner.h"
+#include "jit/JitSimulator.h"
 #include "prof/Prof.h"
 #include "refsim/ReferenceSimulator.h"
 #include "serve/Net.h"
@@ -418,7 +419,10 @@ Server::execute(Pending &p)
         } else {
             bool compiledNow = false;
             std::shared_ptr<const core::TaskProgram> prog;
-            if (p.req.engine != "refsim")
+            // The functional engines (refsim, jit) never need a
+            // TaskProgram; jit's own kernel cache sits behind the
+            // simulator constructor.
+            if (p.req.engine != "refsim" && p.req.engine != "jit")
                 prog = _designs.get(*p.entry, p.req.tiles,
                                     programHash(p.req), compiledNow);
             payload = runJob(p.req, *p.entry, prog.get(), p.key);
@@ -474,6 +478,15 @@ Server::runJob(const SimRequest &req, const DesignEntry &entry,
         refsim::StimulusPtr stim = entry.design.makeStimulus();
         if (req.engine == "refsim") {
             refsim::ReferenceSimulator sim(entry.netlist);
+            sim.run(*stim, req.cycles);
+            ctx.publish("design_cycles",
+                        static_cast<double>(req.cycles));
+            ctx.publishStats("stats", sim.stats());
+        } else if (req.engine == "jit") {
+            // Same observables as refsim (that's the jit parity
+            // contract), so the payload stays a pure function of the
+            // request even if a kernel-cache miss compiled mid-run.
+            jit::JitSimulator sim(entry.netlist);
             sim.run(*stim, req.cycles);
             ctx.publish("design_cycles",
                         static_cast<double>(req.cycles));

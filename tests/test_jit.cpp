@@ -1,0 +1,452 @@
+/**
+ * @file
+ * The jit engine contract: byte-identical observables against the
+ * reference simulator (outputs, stats JSON, VCD, activity), on both
+ * the compiled backend and the bytecode fallback interpreter; the
+ * fingerprint-keyed kernel cache (second acquire loads the published
+ * .so instead of recompiling; corrupt objects are detected and
+ * recompiled over; a dead toolchain degrades to the interpreter);
+ * checkpoint save -> restore -> byte-identical resume, across
+ * backends; and the guard fault sites (jit.compile, jit.dlopen,
+ * jit.cache.bytes) driving each failure path deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "designs/Designs.h"
+#include "guard/Fault.h"
+#include "jit/JitSimulator.h"
+#include "jit/KernelCache.h"
+#include "refsim/ReferenceSimulator.h"
+#include "refsim/Vcd.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash::jit {
+namespace {
+
+namespace fs = std::filesystem;
+using test::FnStimulus;
+
+/** Fresh, empty scratch directory under the gtest temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("ash_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/**
+ * Suite-shared kernel cache directory: the expensive toolchain
+ * invocations (one per bundled design) happen once per test binary;
+ * later tests that only need a working compiled backend reuse the
+ * .so files. When the environment pins ASH_JIT_CACHE_DIR (CI
+ * persists that directory across runs via actions/cache) we honor
+ * it, so a warm CI run exercises the load-don't-recompile path.
+ * Cache-behavior tests use their own scratch dirs and uniquely-
+ * fingerprinted fixtures instead.
+ */
+JitOptions
+suiteOptions()
+{
+    JitOptions opts;
+    if (!std::getenv("ASH_JIT_CACHE_DIR")) {
+        static std::string dir = scratchDir("jit_suite_cache");
+        opts.cacheDir = dir;
+    }
+    return opts;
+}
+
+/**
+ * A tiny design whose fingerprint is unique per @p salt (the constant
+ * lands in the netlist), so cache tests never collide with kernels
+ * other tests already pinned in the process-wide registry.
+ */
+rtl::Netlist
+tinyNetlist(unsigned salt)
+{
+    std::string src =
+        "module top(input clk, input [15:0] x, output [15:0] y);\n"
+        "  reg [15:0] acc;\n"
+        "  always_ff @(posedge clk) acc <= acc + x + 16'd" +
+        std::to_string(salt % 9973) +
+        ";\n"
+        "  assign y = acc ^ (x >> 1);\n"
+        "endmodule\n";
+    return verilog::compileVerilog(src, "top");
+}
+
+FnStimulus::Fn
+tinyStimulus()
+{
+    return [](uint64_t cycle, std::vector<uint64_t> &in) {
+        uint64_t z = cycle * 0x9e3779b97f4a7c15ull + 11;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        in[1] = z & 0xffff;
+    };
+}
+
+/** RAII plan arm/disarm so a failing test never leaks an armed plan. */
+struct ArmedPlan
+{
+    explicit ArmedPlan(const std::string &spec)
+    {
+        guard::FaultPlan plan;
+        std::string err;
+        EXPECT_TRUE(guard::FaultPlan::parse(spec, plan, &err)) << err;
+        guard::FaultInjector::instance().arm(std::move(plan));
+    }
+    ~ArmedPlan() { guard::FaultInjector::instance().disarm(); }
+};
+
+/**
+ * Run refsim and jit over the same netlist/stimulus and require the
+ * full observable surface to match byte for byte: output trace,
+ * materialized stats JSON, VCD text, activity factor, and the final
+ * changed-flag vector.
+ */
+void
+expectJitParity(const rtl::Netlist &nl, refsim::Stimulus &refStim,
+                refsim::Stimulus &jitStim, uint64_t cycles,
+                const JitOptions &opts, const char *what,
+                const char *wantBackend = nullptr)
+{
+    refsim::ReferenceSimulator ref(nl);
+    JitSimulator jit(nl, opts);
+    if (wantBackend)
+        EXPECT_STREQ(jit.backend(), wantBackend)
+            << what << ": " << jit.fallbackReason();
+
+    std::ostringstream refVcd, jitVcd;
+    refsim::VcdWriter refW(nl, refVcd);
+    refsim::VcdWriter jitW(nl, jitVcd);
+
+    size_t mismatches = 0;
+    for (uint64_t cyc = 0; cyc < cycles; ++cyc) {
+        ref.step(refStim);
+        jit.step(jitStim);
+        refW.sample(ref, cyc);
+        jitW.sample(jit, cyc);
+        refsim::OutputFrame a = ref.outputFrame();
+        refsim::OutputFrame b = jit.outputFrame();
+        ASSERT_EQ(a.size(), b.size()) << what;
+        for (size_t o = 0; o < a.size(); ++o) {
+            if (a[o] != b[o] && mismatches++ < 5)
+                ADD_FAILURE() << what << ": output mismatch at cycle "
+                              << cyc << " output " << o << ": ref="
+                              << a[o] << " jit=" << b[o];
+        }
+    }
+    EXPECT_EQ(mismatches, 0u) << what;
+    EXPECT_EQ(ref.stats().toJson(), jit.stats().toJson()) << what;
+    EXPECT_EQ(refVcd.str(), jitVcd.str()) << what;
+    EXPECT_DOUBLE_EQ(ref.activityFactor(), jit.activityFactor())
+        << what;
+    EXPECT_EQ(ref.changedLastCycle(), jit.changedLastCycle()) << what;
+}
+
+// ============================================================================
+// Parity: refsim observables, byte for byte
+// ============================================================================
+
+// The golden-stats check of the jit engine: over every bundled
+// design, the compiled kernel's materialized StatSet must serialize
+// byte-identically to refsim's (which is what makes a bench's
+// --stats-json engine-independent), alongside outputs, VCD, and
+// activity.
+TEST(JitGoldenStats, CompiledMatchesRefsimAllDesigns)
+{
+    for (designs::Design &d : designs::allDesigns()) {
+        rtl::Netlist nl = designs::compileDesign(d);
+        auto refStim = d.makeStimulus();
+        auto jitStim = d.makeStimulus();
+        expectJitParity(nl, *refStim, *jitStim, 200, suiteOptions(),
+                        d.name.c_str(), "compiled");
+    }
+}
+
+TEST(JitGoldenStats, InterpreterMatchesRefsim)
+{
+    JitOptions opts = suiteOptions();
+    opts.forceInterp = true;
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    FnStimulus refStim(test::mixedStimulus(3));
+    FnStimulus jitStim(test::mixedStimulus(3));
+    expectJitParity(nl, refStim, jitStim, 300, opts, "mixed/interp",
+                    "interp");
+}
+
+TEST(JitEngine, FactoryMakesBothEnginesAndRejectsUnknown)
+{
+    rtl::Netlist nl = tinyNetlist(1);
+    auto ref = makeEngine("refsim", nl);
+    auto jit = makeEngine("jit", nl, suiteOptions());
+    EXPECT_STREQ(ref->engineName(), "refsim");
+    EXPECT_STREQ(jit->engineName(), "jit");
+    EXPECT_THROW(makeEngine("warp-drive", nl), Error);
+}
+
+// ============================================================================
+// Kernel cache: hit, corruption, fallback, stale keys
+// ============================================================================
+
+TEST(JitCache, SecondAcquireLoadsWithoutRecompiling)
+{
+    rtl::Netlist nl = tinyNetlist(101);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_cache_hit");
+
+    KernelCache &cache = KernelCache::instance();
+    KernelCache::Snapshot before = cache.stats();
+    std::string whyNot;
+    KernelPtr first = cache.acquire(nl, opts, &whyNot);
+    ASSERT_TRUE(first) << whyNot;
+    EXPECT_EQ(cache.stats().compiles, before.compiles + 1);
+
+    // Same process, registry intact: served from memory.
+    KernelPtr again = cache.acquire(nl, opts, &whyNot);
+    ASSERT_TRUE(again) << whyNot;
+    EXPECT_EQ(again.get(), first.get());
+    EXPECT_EQ(cache.stats().memoryHits, before.memoryHits + 1);
+
+    // "Second process": drop the registry; the published .so must be
+    // loaded as-is — no further toolchain invocation.
+    cache.dropInMemory();
+    KernelPtr reloaded = cache.acquire(nl, opts, &whyNot);
+    ASSERT_TRUE(reloaded) << whyNot;
+    EXPECT_EQ(cache.stats().compiles, before.compiles + 1);
+    EXPECT_EQ(cache.stats().diskHits, before.diskHits + 1);
+}
+
+TEST(JitCache, CorruptCachedObjectIsDetectedAndRecompiled)
+{
+    rtl::Netlist nl = tinyNetlist(202);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_cache_corrupt");
+
+    KernelCache &cache = KernelCache::instance();
+    std::string whyNot;
+    ASSERT_TRUE(cache.acquire(nl, opts, &whyNot)) << whyNot;
+
+    // Trash every published object's bytes (CRC sidecars untouched).
+    size_t trashed = 0;
+    for (const auto &entry : fs::directory_iterator(opts.cacheDir)) {
+        if (entry.path().extension() != ".so")
+            continue;
+        std::ofstream f(entry.path(),
+                        std::ios::binary | std::ios::in);
+        f.seekp(0);
+        f.write("GARBAGE!", 8);
+        ++trashed;
+    }
+    ASSERT_GT(trashed, 0u);
+
+    KernelCache::Snapshot before = cache.stats();
+    cache.dropInMemory();
+    KernelPtr kernel = cache.acquire(nl, opts, &whyNot);
+    ASSERT_TRUE(kernel) << whyNot;
+    EXPECT_EQ(cache.stats().compiles, before.compiles + 1)
+        << "corrupt object should force a recompile, not a dlopen";
+
+    // And the recompiled kernel is functionally sound.
+    JitSimulator sim(nl, opts);
+    EXPECT_STREQ(sim.backend(), "compiled") << sim.fallbackReason();
+    refsim::ReferenceSimulator ref(nl);
+    FnStimulus a(tinyStimulus()), b(tinyStimulus());
+    EXPECT_EQ(ref.run(a, 50), sim.run(b, 50));
+}
+
+TEST(JitCache, DeadToolchainFallsBackToInterpreter)
+{
+    rtl::Netlist nl = tinyNetlist(303);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_cache_deadcc");
+    opts.compiler = "/bin/false";
+
+    JitSimulator sim(nl, opts);
+    EXPECT_STREQ(sim.backend(), "interp");
+    EXPECT_FALSE(sim.fallbackReason().empty());
+
+    refsim::ReferenceSimulator ref(nl);
+    FnStimulus a(tinyStimulus()), b(tinyStimulus());
+    EXPECT_EQ(ref.run(a, 50), sim.run(b, 50));
+}
+
+TEST(JitCache, KeyChangesWithToolchainStamp)
+{
+    rtl::Netlist nl = tinyNetlist(404);
+    rtl::Netlist other = tinyNetlist(405);
+    JitOptions opts;
+    JitOptions otherCc;
+    otherCc.compiler = "some-other-c++-17.2";
+
+    KernelCache &cache = KernelCache::instance();
+    // Structural stale-invalidation: a different toolchain or a
+    // different design must land on a different key (old objects
+    // simply miss; nothing scans or deletes them).
+    EXPECT_NE(cache.keyFor(nl, opts), cache.keyFor(nl, otherCc));
+    EXPECT_NE(cache.keyFor(nl, opts), cache.keyFor(other, opts));
+    EXPECT_EQ(cache.keyFor(nl, opts), cache.keyFor(nl, opts));
+}
+
+// ============================================================================
+// Guard fault sites
+// ============================================================================
+
+TEST(JitGuard, CompileFaultDegradesToInterpreter)
+{
+#if !ASH_GUARD_FAULTS
+    GTEST_SKIP() << "fault hooks compiled out "
+                    "(ASH_GUARD_FAULTS_ENABLED=OFF)";
+#else
+    rtl::Netlist nl = tinyNetlist(505);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_fault_compile");
+
+    ArmedPlan plan("jit.compile:error");
+    JitSimulator sim(nl, opts);
+    EXPECT_STREQ(sim.backend(), "interp");
+    EXPECT_FALSE(sim.fallbackReason().empty());
+
+    refsim::ReferenceSimulator ref(nl);
+    FnStimulus a(tinyStimulus()), b(tinyStimulus());
+    EXPECT_EQ(ref.run(a, 50), sim.run(b, 50));
+#endif
+}
+
+TEST(JitGuard, DlopenFaultDegradesToInterpreter)
+{
+#if !ASH_GUARD_FAULTS
+    GTEST_SKIP() << "fault hooks compiled out "
+                    "(ASH_GUARD_FAULTS_ENABLED=OFF)";
+#else
+    rtl::Netlist nl = tinyNetlist(606);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_fault_dlopen");
+
+    ArmedPlan plan("jit.dlopen:error");
+    JitSimulator sim(nl, opts);
+    EXPECT_STREQ(sim.backend(), "interp");
+
+    refsim::ReferenceSimulator ref(nl);
+    FnStimulus a(tinyStimulus()), b(tinyStimulus());
+    EXPECT_EQ(ref.run(a, 50), sim.run(b, 50));
+#endif
+}
+
+TEST(JitGuard, CacheBytesCorruptionForcesRecompile)
+{
+#if !ASH_GUARD_FAULTS
+    GTEST_SKIP() << "fault hooks compiled out "
+                    "(ASH_GUARD_FAULTS_ENABLED=OFF)";
+#else
+    rtl::Netlist nl = tinyNetlist(707);
+    JitOptions opts;
+    opts.cacheDir = scratchDir("jit_fault_bytes");
+
+    KernelCache &cache = KernelCache::instance();
+    std::string whyNot;
+    ASSERT_TRUE(cache.acquire(nl, opts, &whyNot)) << whyNot;
+    cache.dropInMemory();
+
+    // The CRC check reads the cached bytes through the corrupting
+    // fault site, sees the mismatch, and recompiles over the object
+    // (the fresh compile publishes and dlopens without re-reading).
+    KernelCache::Snapshot before = cache.stats();
+    ArmedPlan plan("jit.cache.bytes:corrupt:bytes=8:count=1");
+    KernelPtr kernel = cache.acquire(nl, opts, &whyNot);
+    ASSERT_TRUE(kernel) << whyNot;
+    EXPECT_EQ(cache.stats().compiles, before.compiles + 1);
+#endif
+}
+
+// ============================================================================
+// Checkpoints: save -> restore -> byte-identical resume
+// ============================================================================
+
+/**
+ * Drive @p engineA for half the run, snapshot it, resume both the
+ * original and a freshly-restored @p engineB for the second half,
+ * and require byte-identical outputs, stats, and final snapshots.
+ */
+void
+expectResumeIdentical(const rtl::Netlist &nl, JitSimulator &a,
+                      JitSimulator &b, const char *what)
+{
+    constexpr uint64_t kHalf = 40;
+    FnStimulus stim(test::mixedStimulus(9));
+
+    for (uint64_t c = 0; c < kHalf; ++c)
+        a.step(stim);
+    std::ostringstream snap;
+    a.save(snap);
+
+    std::istringstream in(snap.str());
+    b.restore(in);
+    EXPECT_EQ(b.cycle(), a.cycle()) << what;
+
+    std::vector<refsim::OutputFrame> framesA, framesB;
+    for (uint64_t c = 0; c < kHalf; ++c) {
+        a.step(stim);
+        framesA.push_back(a.outputFrame());
+        b.step(stim);
+        framesB.push_back(b.outputFrame());
+    }
+    EXPECT_EQ(framesA, framesB) << what;
+    EXPECT_EQ(a.stats().toJson(), b.stats().toJson()) << what;
+
+    std::ostringstream endA, endB;
+    a.save(endA);
+    b.save(endB);
+    EXPECT_EQ(endA.str(), endB.str()) << what;
+}
+
+TEST(JitCkpt, CompiledSaveRestoreResumesByteIdentical)
+{
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    JitSimulator a(nl, suiteOptions());
+    JitSimulator b(nl, suiteOptions());
+    ASSERT_STREQ(a.backend(), "compiled") << a.fallbackReason();
+    expectResumeIdentical(nl, a, b, "compiled->compiled");
+}
+
+TEST(JitCkpt, SnapshotsCrossBackends)
+{
+    rtl::Netlist nl =
+        verilog::compileVerilog(test::mixedFixture(), "top");
+    JitOptions interp = suiteOptions();
+    interp.forceInterp = true;
+
+    // Compiled -> interpreter: the snapshot format carries no backend
+    // traces, so a host without a toolchain resumes a compiled run.
+    {
+        JitSimulator a(nl, suiteOptions());
+        JitSimulator b(nl, interp);
+        ASSERT_STREQ(a.backend(), "compiled") << a.fallbackReason();
+        ASSERT_STREQ(b.backend(), "interp");
+        expectResumeIdentical(nl, a, b, "compiled->interp");
+    }
+    // Interpreter -> compiled (the restore path must rebuild the
+    // compiled backend's dirty-block and armed-port bitmaps).
+    {
+        JitSimulator a(nl, interp);
+        JitSimulator b(nl, suiteOptions());
+        ASSERT_STREQ(b.backend(), "compiled") << b.fallbackReason();
+        expectResumeIdentical(nl, a, b, "interp->compiled");
+    }
+}
+
+} // namespace
+} // namespace ash::jit
