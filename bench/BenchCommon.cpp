@@ -9,11 +9,14 @@
 #include <mutex>
 #include <optional>
 
+#include <chrono>
+
 #include "common/Logging.h"
 #include "common/Shutdown.h"
 #include "exec/ThreadPool.h"
 #include "guard/Divergence.h"
 #include "guard/Fault.h"
+#include "lanes/LaneBatchEngine.h"
 #include "prof/Prof.h"
 
 namespace ash::bench {
@@ -22,6 +25,12 @@ namespace {
 
 /** Parsed --jobs value; 0 = auto (hardware concurrency). */
 unsigned gJobs = 0;
+
+/** Parsed --lanes value; scenario-batch width, minimum 1. */
+unsigned gLanes = 1;
+
+/** Parsed --scenarios value; 0 = no scenario study. */
+size_t gScenarios = 0;
 
 /** Jobs that exhausted their retries across all sweeps this run. */
 size_t gSweepFailures = 0;
@@ -240,7 +249,8 @@ init(const std::string &name, int &argc, char **argv)
     // bench, as in parseArgs().
     auto usage = [&] {
         std::fprintf(stderr,
-                     "usage: %s [--jobs <n>] "
+                     "usage: %s [--jobs <n>] [--lanes <w>] "
+                     "[--scenarios <n>] "
                      "[--checkpoint-every <cycles>] "
                      "[--checkpoint-dir <dir>] [--checkpoint-keep "
                      "<k>] [--resume <dir>] [--fault-plan <spec>] "
@@ -279,6 +289,14 @@ init(const std::string &name, int &argc, char **argv)
             if (!numArg(i, "--jobs", 0, n))
                 return usage();
             gJobs = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--lanes") == 0) {
+            if (!numArg(i, "--lanes", 1, n))
+                return usage();
+            gLanes = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--scenarios") == 0) {
+            if (!numArg(i, "--scenarios", 0, n))
+                return usage();
+            gScenarios = static_cast<size_t>(n);
         } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
             if (!numArg(i, "--checkpoint-every", 0, n))
                 return usage();
@@ -409,6 +427,18 @@ jobs()
     return gJobs != 0 ? gJobs : exec::hardwareConcurrency();
 }
 
+unsigned
+lanes()
+{
+    return gLanes;
+}
+
+size_t
+scenarios()
+{
+    return gScenarios;
+}
+
 const ckpt::CheckpointOptions &
 checkpointOptions()
 {
@@ -426,6 +456,7 @@ sweepOptions()
 {
     exec::SweepOptions opts;
     opts.jobs = jobs();
+    opts.lanes = gLanes;
     opts.checkpointDir = gCkpt.dir;
     opts.resume = gResume;
     opts.jobDeadlineSec = gJobDeadlineSec;
@@ -438,6 +469,163 @@ void
 runSweep(exec::SweepRunner &sweep)
 {
     gSweepFailures += sweep.run().size();
+}
+
+namespace {
+
+/** FNV-1a over one lane's output trace, folded to 53 bits so the
+ *  checksum round-trips exactly through a report double. */
+double
+traceChecksum(const refsim::OutputTrace &trace)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const refsim::OutputFrame &frame : trace)
+        for (uint64_t v : frame)
+            for (int b = 0; b < 64; b += 8) {
+                h ^= (v >> b) & 0xff;
+                h *= 1099511628211ull;
+            }
+    return static_cast<double>(h & ((1ull << 53) - 1));
+}
+
+} // namespace
+
+void
+scenarioStudy(const std::string &prefix, uint64_t cycles)
+{
+    if (gScenarios == 0)
+        return;
+    const unsigned w = gLanes;
+    auto &entries = DesignSet::standard().entries();
+    const std::vector<ash::lanes::ScenarioSpec> specs =
+        ash::lanes::scenarioSweep(0x5ca1ab1eull, gScenarios);
+
+    // The stdout header must not mention the lane width: stdout is
+    // byte-identical at any --lanes value (the width only changes how
+    // the work is scheduled, never what it computes).
+    std::printf("\n-- lane-batched scenario study: %zu scenario(s) "
+                "per design --\n\n",
+                gScenarios);
+
+    // Deterministic per-scenario results through the sweep, so the
+    // study exercises the addBatch scheduling path at the configured
+    // --lanes width. Each lane stages its own records: the report is
+    // byte-identical at any --lanes and --jobs value.
+    exec::SweepRunner sweep(sweepOptions());
+    for (size_t di = 0; di < entries.size(); ++di) {
+        std::vector<std::string> names;
+        names.reserve(specs.size());
+        for (size_t i = 0; i < specs.size(); ++i)
+            names.push_back(prefix + "/" + entries[di].design.name +
+                            "/s" + std::to_string(i));
+        sweep.addBatch(
+            prefix + "/" + entries[di].design.name, names,
+            [&, di](exec::BatchContext &bctx) {
+                auto &entry = entries[di];
+                // Lane k's scenario index rides in its job key
+                // (".../s<i>"), so a retry of a lane subset replays
+                // exactly the scenarios that failed.
+                std::vector<refsim::StimulusPtr> stims;
+                stims.reserve(bctx.laneCount());
+                for (size_t k = 0; k < bctx.laneCount(); ++k) {
+                    const std::string &nm = bctx.lane(k).name();
+                    const size_t idx = std::stoul(
+                        nm.substr(nm.rfind("/s") + 2));
+                    stims.push_back(ash::lanes::makeScenario(
+                        entry.netlist, specs.at(idx)));
+                }
+                ash::lanes::LaneBatchEngine eng(
+                    entry.netlist,
+                    static_cast<uint32_t>(bctx.laneCount()));
+                ash::lanes::LaneStimulus stim(std::move(stims));
+                eng.run(stim, cycles);
+                for (size_t k = 0; k < bctx.laneCount(); ++k) {
+                    exec::JobContext &lane = bctx.lane(k);
+                    const auto l = static_cast<uint32_t>(k);
+                    const double activity =
+                        eng.laneActivityFactor(l);
+                    const double checksum =
+                        traceChecksum(eng.laneTrace(l));
+                    lane.record(lane.name() + ".activity", activity);
+                    lane.record(lane.name() + ".checksum", checksum);
+                    lane.publish("activity", activity);
+                    lane.publish("checksum", checksum);
+                }
+            });
+    }
+    runSweep(sweep);
+
+    // Per-design summary from the merged per-lane results —
+    // deterministic, so it may go to stdout.
+    for (size_t di = 0; di < entries.size(); ++di) {
+        double activitySum = 0.0;
+        uint64_t combined = 0;
+        for (size_t i = 0; i < specs.size(); ++i) {
+            const exec::JobContext &job =
+                sweep.job(di * specs.size() + i);
+            activitySum += job.publishedValue("activity");
+            combined ^= static_cast<uint64_t>(
+                job.publishedValue("checksum"));
+        }
+        std::printf("%-12s mean activity %5.1f%%  checksum "
+                    "%013llx\n",
+                    entries[di].design.name.c_str(),
+                    100.0 * activitySum /
+                        static_cast<double>(specs.size()),
+                    static_cast<unsigned long long>(combined));
+    }
+
+    // Wall-clock throughput: batched at --lanes W versus per-job
+    // reference simulation of the same scenarios. Timing-dependent by
+    // nature, so it goes only to stderr and to volatile
+    // "lanes.wall.*" report keys that the determinism harnesses
+    // filter out of comparisons.
+    using Clock = std::chrono::steady_clock;
+    auto secondsSince = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+    for (auto &entry : entries) {
+        auto t0 = Clock::now();
+        for (size_t base = 0; base < specs.size(); base += w) {
+            const size_t n = std::min<size_t>(w, specs.size() - base);
+            std::vector<refsim::StimulusPtr> stims;
+            stims.reserve(n);
+            for (size_t k = 0; k < n; ++k)
+                stims.push_back(ash::lanes::makeScenario(
+                    entry.netlist, specs[base + k]));
+            ash::lanes::LaneBatchEngine eng(
+                entry.netlist, static_cast<uint32_t>(n));
+            ash::lanes::LaneStimulus stim(std::move(stims));
+            eng.run(stim, cycles);
+        }
+        const double batchedSec =
+            std::max(secondsSince(t0), 1e-9);
+
+        t0 = Clock::now();
+        for (const auto &spec : specs) {
+            refsim::ReferenceSimulator sim(entry.netlist);
+            auto stim = ash::lanes::makeScenario(entry.netlist, spec);
+            sim.run(*stim, cycles);
+        }
+        const double perJobSec = std::max(secondsSince(t0), 1e-9);
+
+        const double scnCount =
+            static_cast<double>(specs.size());
+        const double batchedRate = scnCount / batchedSec;
+        const double perJobRate = scnCount / perJobSec;
+        const std::string &name = entry.design.name;
+        record("lanes.wall.batched_scn_per_sec." + name,
+               batchedRate);
+        record("lanes.wall.per_job_scn_per_sec." + name, perJobRate);
+        record("lanes.wall.speedup." + name,
+               batchedRate / perJobRate);
+        std::fprintf(stderr,
+                     "lanes: %s --lanes %u: batched %.1f scn/s, "
+                     "per-job %.1f scn/s, speedup %.2fx\n",
+                     name.c_str(), w, batchedRate, perJobRate,
+                     batchedRate / perJobRate);
+    }
 }
 
 void

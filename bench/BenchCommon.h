@@ -109,6 +109,13 @@ void banner(const std::string &title);
  * on a malformed command line; the bench should `return 1` in that
  * case.
  *
+ * Lane batching (ash_lanes):
+ *   --lanes <W>               scenario-batch width for scenarioStudy()
+ *                             sweeps (default 1 = per-job execution)
+ *   --scenarios <N>           run an N-scenario lane-batched study
+ *                             after the bench's own sweep (default 0
+ *                             = off)
+ *
  * Robustness flags (ash_guard):
  *   --fault-plan <spec>       arm the fault injector (see
  *                             guard::FaultPlan::parse); the ASH_FAULT
@@ -127,6 +134,26 @@ bool init(const std::string &name, int &argc, char **argv);
 
 /** Resolved worker count: --jobs value, default hw concurrency. */
 unsigned jobs();
+
+/** Lane-batch width: --lanes value, default 1 (per-job execution). */
+unsigned lanes();
+
+/** Scenario count for scenarioStudy(): --scenarios value, default 0. */
+size_t scenarios();
+
+/**
+ * The lane-batched multi-scenario study (`--scenarios N`): generate N
+ * deterministic scenarios per benchmark design (lanes::scenarioSweep)
+ * and run them through lanes::LaneBatchEngine as SweepRunner lane
+ * batches of --lanes width. Per scenario, records "<key>.activity"
+ * and "<key>.checksum" into the report — byte-identical at any
+ * --lanes and --jobs value — and prints one deterministic summary
+ * line per design. Wall-clock throughput (batched at --lanes W vs
+ * per-job reference simulation) goes to stderr and to volatile
+ * "lanes.wall.*" report keys, which the determinism harnesses filter
+ * out. No-op when --scenarios is 0.
+ */
+void scenarioStudy(const std::string &prefix, uint64_t cycles = 120);
 
 /**
  * Engine checkpoint options parsed from the --checkpoint-* flags.

@@ -125,5 +125,8 @@ main(int argc, char **argv)
     std::printf("Expected shape (paper Fig 11): DASH/SASH keep "
                 "scaling with cores while the baseline saturates "
                 "early; SASH leads where activity is low.\n");
+
+    // Optional lane-batched scenario study (--scenarios N, --lanes W).
+    bench::scenarioStudy("fig11/scn");
     return bench::finish();
 }

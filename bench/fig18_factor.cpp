@@ -101,5 +101,10 @@ main(int argc, char **argv)
     std::printf("\nExpected shape (paper Fig 18): each step adds a "
                 "substantial gain, with unrolling and mapping "
                 "enabling dataflow hardware to pull away.\n");
+
+    // Optional lane-batched scenario study (--scenarios N, --lanes W):
+    // per-scenario activity/checksum records plus batched-vs-per-job
+    // throughput on stderr. Off by default.
+    bench::scenarioStudy("fig18/scn");
     return bench::finish();
 }

@@ -76,6 +76,13 @@ struct JobFailure
     std::string errorKind;
     int exitSignal = 0;  ///< Isolate mode: terminating signal, if any.
     int exitCode = 0;    ///< Isolate mode: child exit code, if exited.
+
+    /** Lane batching: the batch this job failed inside as one lane
+     *  (SweepRunner::addBatch), or empty for a solo job. A failed
+     *  batch attempt retries only its failing lanes, so this failure
+     *  is that lane's own — not the whole batch's. */
+    std::string batch;
+    int lane = -1;       ///< Lane slot within the batch.
 };
 
 /** Per-job execution state; see file header. */

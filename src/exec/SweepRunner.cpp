@@ -168,6 +168,16 @@ retryBackoffMs(uint64_t seed, int attempt, uint64_t baseMs,
     return static_cast<uint64_t>(static_cast<double>(delay) * frac);
 }
 
+void
+BatchContext::failLane(size_t k, std::string error)
+{
+    ASH_ASSERT(k < _laneErrors.size(),
+               "BatchContext::failLane: lane out of range");
+    if (error.empty())
+        error = "lane failed";
+    _laneErrors[k] = std::move(error);
+}
+
 SweepRunner::SweepRunner(SweepOptions opts) : _opts(std::move(opts))
 {
     // Fault decisions are attributed to the running job; the inline
@@ -191,6 +201,37 @@ SweepRunner::addResumable(std::string name,
 {
     ASH_ASSERT(!_ran, "SweepRunner::addResumable after run()");
     _jobs.push_back({std::move(name), std::move(body), true});
+}
+
+void
+SweepRunner::addBatch(std::string name,
+                      const std::vector<std::string> &laneNames,
+                      std::function<void(BatchContext &)> body)
+{
+    ASH_ASSERT(!_ran, "SweepRunner::addBatch after run()");
+    ASH_ASSERT(!laneNames.empty(), "SweepRunner::addBatch: no lanes");
+    // Chunk into groups of at most SweepOptions::lanes lanes. Group
+    // names only grow a "/b<g>" suffix when there is more than one
+    // group, so `--lanes W >= laneNames.size()` keeps the plain name.
+    const size_t width = std::max(1u, _opts.lanes);
+    const size_t groups = (laneNames.size() + width - 1) / width;
+    for (size_t g = 0; g < groups; ++g) {
+        PendingBatch batch;
+        batch.name =
+            groups == 1 ? name : name + "/b" + std::to_string(g);
+        batch.body = body;
+        const size_t lo = g * width;
+        const size_t hi = std::min(laneNames.size(), lo + width);
+        for (size_t j = lo; j < hi; ++j) {
+            PendingJob member;
+            member.name = laneNames[j];
+            member.batch = static_cast<int>(_batches.size());
+            member.lane = static_cast<int>(j - lo);
+            batch.members.push_back(_jobs.size());
+            _jobs.push_back(std::move(member));
+        }
+        _batches.push_back(std::move(batch));
+    }
 }
 
 unsigned
@@ -511,6 +552,180 @@ SweepRunner::executeJob(size_t i)
         _failureSlots[i] = std::move(failure);
         if (costed)
             prof::Profiler::instance().progressJobDone();
+        return;
+    }
+}
+
+void
+SweepRunner::executeBatch(size_t b)
+{
+    PendingBatch &batch = _batches[b];
+    const int max_attempts = std::max(1, _opts.maxAttempts);
+    const bool costed = prof::Profiler::enabled();
+    const size_t width = batch.members.size();
+
+    // Lane slots still needing a successful attempt, ascending. Each
+    // attempt runs exactly these lanes; lanes that complete drop out,
+    // so a failed batch retries only its failing lanes.
+    std::vector<size_t> active(width);
+    for (size_t k = 0; k < width; ++k)
+        active[k] = k;
+
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        double wall0 = 0.0, cpu0 = 0.0;
+        long rss0 = 0;
+        if (costed) {
+            wall0 = attemptWallSec();
+            cpu0 = attemptThreadCpuSec();
+            rss0 = processPeakRssKb();
+        }
+
+        BatchContext bctx;
+        bctx._name = batch.name;
+        bctx._width = width;
+        for (size_t slot : active) {
+            // Fresh staging only for the lanes re-running; completed
+            // lanes keep the results they staged in earlier attempts.
+            JobContext &ctx = *_contexts[batch.members[slot]];
+            ctx.beginAttempt(attempt);
+            bctx._lanes.push_back(&ctx);
+            bctx._slots.push_back(slot);
+        }
+        bctx._laneErrors.assign(active.size(), std::string());
+
+        // A batch is one schedulable unit: fault attribution, the
+        // worker-log id, and the thread's tracer follow the primary
+        // (first active) lane.
+        JobContext &primary = *bctx._lanes.front();
+        detail::setCurrentJob(&primary);
+        setLogJobId(static_cast<int64_t>(batch.members[active[0]]));
+        if (primary._tracer)
+            obs::Tracer::setThreadActive(primary._tracer.get());
+
+        // Same cancellation shape as executeJob: the token outlives
+        // the watchdog scope so a late fire hits dead state.
+        guard::CancelToken token;
+        std::string err;
+        std::string errKind;
+        FailureKind kind = FailureKind::Exception;
+        bool retryable = true;
+        {
+            guard::CancelScope cancelScope(&token);
+            std::optional<guard::WatchdogScope> deadline;
+            if (_watchdog && _opts.jobDeadlineSec > 0) {
+                deadline.emplace(
+                    *_watchdog, &token,
+                    std::chrono::milliseconds(static_cast<uint64_t>(
+                        _opts.jobDeadlineSec * 1000.0)),
+                    "batch '" + batch.name + "'");
+            }
+            try {
+                ASH_FAULT_POINT("lanes.batch");
+                ASH_FAULT_POINT("job.body");
+                batch.body(bctx);
+            } catch (const guard::CancelledError &e) {
+                err = e.what();
+                errKind = e.kind();
+                kind = FailureKind::Timeout;
+                retryable = false;
+            } catch (const std::bad_alloc &) {
+                err = "out of memory (std::bad_alloc)";
+                kind = FailureKind::Oom;
+            } catch (const Error &e) {
+                err = e.what();
+                errKind = e.kind();
+            } catch (const std::exception &e) {
+                err = e.what();
+            } catch (...) {
+                err = "unknown exception";
+            }
+        }
+
+        obs::Tracer::setThreadActive(nullptr);
+        setLogJobId(-1);
+        detail::setCurrentJob(nullptr);
+
+        const size_t activeCount = bctx._lanes.size();
+        if (costed) {
+            // Shared attempt costs split evenly across active lanes:
+            // the batch evaluated them together, so no lane owns the
+            // wall time alone.
+            const double wall =
+                (attemptWallSec() - wall0) / activeCount;
+            const double cpu =
+                (attemptThreadCpuSec() - cpu0) / activeCount;
+            const long rss = (processPeakRssKb() - rss0) /
+                             static_cast<long>(activeCount);
+            for (size_t k = 0; k < activeCount; ++k) {
+                JobContext &ctx = *bctx._lanes[k];
+                ctx._cost.wallSec += wall;
+                ctx._cost.cpuSec += cpu;
+                ctx._cost.rssDeltaKb += rss;
+                ctx._cost.attempts += 1;
+                const bool laneOk =
+                    err.empty() && bctx._laneErrors[k].empty();
+                ctx._cost.attemptOutcomes.emplace_back(
+                    laneOk ? "ok" : attemptOutcomeName(kind));
+            }
+            prof::Profiler::instance().addBatchOccupancy(
+                batch.name, activeCount, width);
+        }
+
+        // Attempt boundary: a body throw (or timeout) fails every
+        // active lane; failLane() failures are per lane. Everything
+        // else completed for good.
+        std::vector<size_t> failing;
+        std::vector<std::string> laneErr;
+        for (size_t k = 0; k < activeCount; ++k) {
+            std::string e = !err.empty() ? err : bctx._laneErrors[k];
+            if (e.empty()) {
+                if (costed)
+                    prof::Profiler::instance().progressJobDone();
+                continue;
+            }
+            failing.push_back(bctx._slots[k]);
+            laneErr.push_back(std::move(e));
+        }
+        if (failing.empty())
+            return;
+
+        if (retryable && attempt + 1 < max_attempts) {
+            uint64_t delayMs =
+                retryBackoffMs(stableSeed(batch.name), attempt,
+                               _opts.backoffBaseMs,
+                               _opts.backoffCapMs);
+            warn("batch '%s' attempt %d/%d: %zu of %zu lane(s) "
+                 "failed: %s — retrying failing lanes in %llu ms",
+                 batch.name.c_str(), attempt + 1, max_attempts,
+                 failing.size(), activeCount, laneErr.front().c_str(),
+                 static_cast<unsigned long long>(delayMs));
+            if (delayMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delayMs));
+            active = std::move(failing);
+            continue;
+        }
+
+        // Retry budget exhausted (or non-retryable): each still-
+        // failing lane becomes its own structured failure, tagged
+        // with its batch and lane slot.
+        for (size_t j = 0; j < failing.size(); ++j) {
+            const size_t slot = failing[j];
+            const size_t jobIdx = batch.members[slot];
+            auto failure = std::make_unique<JobFailure>();
+            failure->job = _contexts[jobIdx]->name();
+            failure->index = jobIdx;
+            failure->attempts =
+                retryable ? max_attempts : attempt + 1;
+            failure->error = laneErr[j];
+            failure->kind = kind;
+            failure->errorKind = errKind;
+            failure->batch = batch.name;
+            failure->lane = static_cast<int>(slot);
+            _failureSlots[jobIdx] = std::move(failure);
+            if (costed)
+                prof::Profiler::instance().progressJobDone();
+        }
         return;
     }
 }
@@ -889,7 +1104,27 @@ SweepRunner::run()
     }
 
     if (isolate) {
-        runIsolated(skip);
+        // Lane batches always run in-process: a batch is one address
+        // space evaluating W scenarios in lockstep, so forking per
+        // lane would undo the batching. No in-process watchdog exists
+        // on this path, so batch deadlines are not enforced here —
+        // solo jobs still get the child-kill deadline.
+        if (!_batches.empty()) {
+            std::vector<char> skipIso = skip;
+            for (size_t b = 0; b < _batches.size(); ++b) {
+                if (_opts.drainOnShutdown && shutdownRequested()) {
+                    _interrupted += _batches[b].members.size();
+                    continue;
+                }
+                executeBatch(b);
+            }
+            for (const PendingBatch &batch : _batches)
+                for (size_t m : batch.members)
+                    skipIso[m] = 1;
+            runIsolated(skipIso);
+        } else {
+            runIsolated(skip);
+        }
     } else {
         // In-process deadlines: one watchdog thread serves every
         // worker; its destructor (end of this scope) joins after the
@@ -912,6 +1147,29 @@ SweepRunner::run()
             }
             executeJob(i);
         };
+        // A batch is one schedulable unit covering all its member
+        // jobs; a drained batch counts every member as interrupted.
+        auto runBatchOrDrain = [this, drainable, &drained](size_t b) {
+            if (drainable && shutdownRequested()) {
+                drained.fetch_add(_batches[b].members.size(),
+                                  std::memory_order_relaxed);
+                return;
+            }
+            executeBatch(b);
+        };
+        // Each batch is submitted once, at its first member's
+        // submission position, so batch scheduling order tracks add
+        // order just like solo jobs.
+        auto firstMemberBatch = [this](size_t i) -> int {
+            const int b = _jobs[i].batch;
+            if (b < 0)
+                return -1;
+            return i ==
+                           _batches[static_cast<size_t>(b)]
+                               .members.front()
+                       ? b
+                       : -2;  // batch member, not the submit point
+        };
 
         const unsigned threads = std::min<size_t>(
             resolvedJobs(), std::max<size_t>(_jobs.size(), 1));
@@ -919,14 +1177,30 @@ SweepRunner::run()
             // Single-job mode runs inline on the caller's thread —
             // same JobContext plumbing, no thread handoff, so
             // `--jobs 1` is also the zero-risk fallback path.
-            for (size_t i = 0; i < _jobs.size(); ++i)
-                if (!skip[i])
+            for (size_t i = 0; i < _jobs.size(); ++i) {
+                if (skip[i])
+                    continue;
+                const int b = firstMemberBatch(i);
+                if (b >= 0)
+                    runBatchOrDrain(static_cast<size_t>(b));
+                else if (b == -1)
                     runOrDrain(i);
+            }
         } else {
             ThreadPool pool(threads);
-            for (size_t i = 0; i < _jobs.size(); ++i)
-                if (!skip[i])
+            for (size_t i = 0; i < _jobs.size(); ++i) {
+                if (skip[i])
+                    continue;
+                const int b = firstMemberBatch(i);
+                if (b >= 0) {
+                    const size_t batchIdx = static_cast<size_t>(b);
+                    pool.submit([&runBatchOrDrain, batchIdx] {
+                        runBatchOrDrain(batchIdx);
+                    });
+                } else if (b == -1) {
                     pool.submit([&runOrDrain, i] { runOrDrain(i); });
+                }
+            }
             pool.wait();
         }
         _interrupted = drained.load(std::memory_order_relaxed);
@@ -958,6 +1232,14 @@ SweepRunner::run()
             cost.job = ctx.name();
             cost.failed = _failureSlots[i] != nullptr;
             cost.replayed = ctx._replayed;
+            if (_jobs[i].batch >= 0) {
+                const PendingBatch &batch =
+                    _batches[static_cast<size_t>(_jobs[i].batch)];
+                cost.batch = batch.name;
+                cost.lane = _jobs[i].lane;
+                cost.laneWidth =
+                    static_cast<int>(batch.members.size());
+            }
             prof::Profiler::instance().addJobCost(cost);
         }
     }

@@ -58,6 +58,18 @@ struct SweepOptions
     /** Worker threads; 0 means hardwareConcurrency(). */
     unsigned jobs = 0;
 
+    /**
+     * Lane-batch width W for addBatch() job groups (`--lanes W`):
+     * compatible jobs are grouped into batches of up to W lanes and
+     * evaluated together per batch attempt (one netlist pass for all
+     * lanes when the body uses lanes::LaneBatchEngine). 1 = every
+     * lane runs as its own single-lane batch. Does not affect add()/
+     * addResumable() jobs. Submission-order merging is preserved:
+     * member jobs stage results into their own JobContexts exactly
+     * like solo jobs.
+     */
+    unsigned lanes = 1;
+
     /** Total tries per job (1 = no retry). */
     int maxAttempts = 2;
 
@@ -136,6 +148,51 @@ struct SweepOptions
 uint64_t retryBackoffMs(uint64_t seed, int attempt, uint64_t baseMs,
                         uint64_t capMs);
 
+/**
+ * One attempt's view of a lane batch (SweepRunner::addBatch). The
+ * body sees only the lanes ACTIVE this attempt — on a retry that is
+ * just the previously failing lanes — as a dense [0, laneCount)
+ * range; laneSlot() recovers each lane's original slot in the batch
+ * so the body can replay the exact per-lane scenario. Per-lane
+ * results go through lane(k)'s JobContext (record/publish/...),
+ * which merges at the sweep barrier exactly like a solo job's.
+ */
+class BatchContext
+{
+  public:
+    /** Batch name (the addBatch group key). */
+    const std::string &name() const { return _name; }
+
+    /** Full batch width W (member lanes, active or not). */
+    size_t width() const { return _width; }
+
+    /** Lanes active this attempt. */
+    size_t laneCount() const { return _lanes.size(); }
+
+    /** The k-th active lane's JobContext (k < laneCount()). */
+    JobContext &lane(size_t k) { return *_lanes.at(k); }
+
+    /** Original batch slot of the k-th active lane. */
+    size_t laneSlot(size_t k) const { return _slots.at(k); }
+
+    /**
+     * Mark the k-th active lane failed this attempt. The batch keeps
+     * running; at the attempt boundary only failed lanes are retried
+     * (with a fresh staging area), while completed lanes keep their
+     * results. An exception thrown from the body instead fails every
+     * active lane.
+     */
+    void failLane(size_t k, std::string error);
+
+  private:
+    friend class SweepRunner;
+    std::string _name;
+    size_t _width = 0;
+    std::vector<JobContext *> _lanes;
+    std::vector<size_t> _slots;
+    std::vector<std::string> _laneErrors;  ///< "" = ok so far.
+};
+
 /** Deterministic parallel sweep executor; see file header. */
 class SweepRunner
 {
@@ -162,6 +219,24 @@ class SweepRunner
      */
     void addResumable(std::string name,
                       std::function<void(JobContext &)> body);
+
+    /**
+     * Enqueue a group of compatible jobs (same design/config, one
+     * scenario each) evaluated as lane batches of up to
+     * SweepOptions::lanes lanes per attempt. Each entry of
+     * @p laneNames becomes one member job — with its own JobContext,
+     * submission-order merge slot, failure entry, and resource bill —
+     * and @p body runs once per batch attempt with a BatchContext
+     * over the active lanes. Retries re-run only the failing lanes.
+     * The per-lane determinism contract: a lane's staged results must
+     * not depend on the batch width or on which other lanes are
+     * active (lanes::LaneBatchEngine guarantees exactly this), so any
+     * --lanes value produces byte-identical reports. Batch members
+     * are not resumable; in --isolate mode batches run in-process.
+     */
+    void addBatch(std::string name,
+                  const std::vector<std::string> &laneNames,
+                  std::function<void(BatchContext &)> body);
 
     /** Jobs enqueued so far. */
     size_t jobCount() const { return _jobs.size(); }
@@ -200,10 +275,22 @@ class SweepRunner
         std::string name;
         std::function<void(JobContext &)> body;
         bool resumable = false;
+        int batch = -1;  ///< Index into _batches; -1 = solo job.
+        int lane = -1;   ///< Lane slot within the batch.
+    };
+
+    struct PendingBatch
+    {
+        std::string name;
+        std::function<void(BatchContext &)> body;
+        std::vector<size_t> members;  ///< Job indices, lane order.
     };
 
     /** Run job @p i with retry; never throws. */
     void executeJob(size_t i);
+
+    /** Run batch @p b, retrying only failing lanes; never throws. */
+    void executeBatch(size_t b);
 
     /** --isolate: fork-per-attempt dispatch loop over all jobs. */
     void runIsolated(const std::vector<char> &skip);
@@ -232,6 +319,7 @@ class SweepRunner
 
     SweepOptions _opts;
     std::vector<PendingJob> _jobs;
+    std::vector<PendingBatch> _batches;
     std::vector<std::unique_ptr<JobContext>> _contexts;
     std::vector<std::unique_ptr<JobFailure>> _failureSlots;
     std::vector<JobFailure> _failures;

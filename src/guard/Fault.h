@@ -14,9 +14,10 @@
  *   [seed=N;]site[@match]:kind[:param=value]...
  *
  *   site   injection-site name; trailing '*' matches any suffix
- *          (sites in the tree: job.body, job.alloc, exec.persist.write,
- *           ckpt.image.write, ckpt.image.rename, ckpt.image.bytes,
- *           ckpt.manifest.write, ckpt.manifest.read)
+ *          (sites in the tree: job.body, job.alloc, lanes.batch,
+ *           exec.persist.write, ckpt.image.write, ckpt.image.rename,
+ *           ckpt.image.bytes, ckpt.manifest.write,
+ *           ckpt.manifest.read)
  *   match  substring of the fault scope (the sweep job key; empty
  *          scope outside jobs); omitted = every scope
  *   kind   error   throw guard::InjectedFault (structured I/O-style

@@ -535,4 +535,13 @@ emitKernelSource(const rtl::Netlist &nl, uint64_t fingerprint)
     return Emitter(nl, fingerprint).emit();
 }
 
+bool
+laneKernelSupported()
+{
+    // The emitter above produces single-scenario kernels only; the
+    // lane-batched variant (packed planes + lane arrays, see
+    // src/lanes) is not wired into codegen yet.
+    return false;
+}
+
 } // namespace ash::jit

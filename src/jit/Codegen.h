@@ -51,6 +51,16 @@ constexpr uint64_t kCodegenVersion = 3;
 std::string emitKernelSource(const rtl::Netlist &nl,
                              uint64_t fingerprint);
 
+/**
+ * Whether the code generator can emit lane-batched kernels (one
+ * compiled step evaluating W scenarios per call) for ash_lanes.
+ * Currently always false: LaneBatchEngine probes this at construction
+ * and falls back to its built-in batched interpreter. When batched
+ * emission lands, this turns true and kCodegenVersion must bump so
+ * cached single-lane kernels miss.
+ */
+bool laneKernelSupported();
+
 } // namespace ash::jit
 
 #endif // ASH_JIT_CODEGEN_H

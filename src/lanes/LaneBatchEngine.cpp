@@ -1,0 +1,1005 @@
+#include "lanes/LaneBatchEngine.h"
+
+#include <algorithm>
+
+#include "ckpt/Snapshot.h"
+#include "common/Logging.h"
+#include "guard/Cancel.h"
+#include "jit/Codegen.h"
+#include "obs/Trace.h"
+#include "prof/Prof.h"
+#include "rtl/Cost.h"
+
+namespace ash::lanes {
+
+using rtl::Node;
+using rtl::NodeId;
+using rtl::Op;
+
+namespace {
+
+/**
+ * Ops whose 1-bit truth table reduces to plain word logic when every
+ * operand is 1-bit. Derivations (all values in {0,1}):
+ *   Add/Sub -> a^b (mod-2), Mul -> a&b, Eq -> ~(a^b), Ne -> a^b,
+ *   Lt -> ~a&b, Le -> ~a|b, Gt -> a&~b, Ge -> a|~b,
+ *   Mux -> (s&a)|(~s&b), ZExt/SExt/Output/RedAnd/RedOr/RedXor -> a.
+ * Everything else (shifts, division, signed compares, Slice, Concat,
+ * MemRead) goes through the generic per-lane path.
+ */
+bool
+bitParallelOp(Op op)
+{
+    switch (op) {
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Not:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+      case Op::Eq:
+      case Op::Ne:
+      case Op::Lt:
+      case Op::Le:
+      case Op::Gt:
+      case Op::Ge:
+      case Op::Mux:
+      case Op::ZExt:
+      case Op::SExt:
+      case Op::Output:
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Section tags of the lanes snapshot layout (version 1). */
+enum : uint32_t {
+    kSecState = 1,
+    kSecStats = 2,
+};
+
+} // namespace
+
+LaneBatchEngine::LaneBatchEngine(const rtl::Netlist &netlist,
+                                 uint32_t lanes)
+    : _nl(netlist), _w(lanes)
+{
+    ASH_ASSERT(lanes >= 1, "LaneBatchEngine needs at least one lane");
+    _words = (_w + 63) / 64;
+    uint32_t tail = _w % 64;
+    _tailMask = tail ? mask64(tail) : ~0ull;
+
+    {
+        ASH_PROF_ZONE("lanes/build");
+        _order = _nl.topoOrder();
+        buildProgram();
+    }
+
+    // Codegen hook (documented fallback): ash_jit does not yet emit
+    // lane-batched kernels — jit::laneKernelSupported() is the probe a
+    // compiled path will key off. Until it reports true, every width
+    // runs the built-in batched interpreter.
+    _haveJitKernel = jit::laneKernelSupported();
+
+    size_t n = _nl.numNodes();
+    _bits.assign(_numBit * _words, 0);
+    _prevBits.assign(_numBit * _words, 0);
+    _wide.assign(_numWide * static_cast<size_t>(_w), 0);
+    _prevWide.assign(_numWide * static_cast<size_t>(_w), 0);
+    _changedMask.assign(n * _words, 0);
+    _consumerMask.assign(n * _words, 0);
+    _changedLane0.assign(n, 0);
+    _touched.reserve(n);
+
+    const std::vector<rtl::RegInfo> &regs = _nl.regs();
+    _regIsBit.assign(regs.size(), 0);
+    _regSlot.assign(regs.size(), 0);
+    size_t bitRegs = 0, wideRegs = 0;
+    for (size_t r = 0; r < regs.size(); ++r) {
+        if (_nl.node(regs[r].node).width <= 1) {
+            _regIsBit[r] = 1;
+            _regSlot[r] = static_cast<uint32_t>(bitRegs++);
+        } else {
+            _regSlot[r] = static_cast<uint32_t>(wideRegs++);
+        }
+    }
+    _regBits.assign(bitRegs * _words, 0);
+    _regWide.assign(wideRegs * static_cast<size_t>(_w), 0);
+
+    _stats = std::vector<StatSet>(_w);
+    _activeCostSum.assign(_w, 0.0);
+    _laneTraces.resize(_w);
+    _unpack.assign(std::max<size_t>(1, _maxOperands) * _w, 0);
+    _packScratch.assign(_w, 0);
+    _srcPtrs.assign(std::max<size_t>(1, _maxOperands), nullptr);
+    _inputBuf.assign(_nl.inputs().size(), 0);
+    _stepInputs.assign(_nl.inputs().size() * static_cast<size_t>(_w),
+                       0);
+    _changedCount.assign(_w, 0);
+    _activeCost.assign(_w, 0);
+
+    reset();
+    for (NodeId id = 0; id < _nl.numNodes(); ++id)
+        _totalCost += rtl::nodeCost(_nl.node(id));
+}
+
+void
+LaneBatchEngine::buildProgram()
+{
+    size_t n = _nl.numNodes();
+
+    // Storage classes: width <= 1 (including width-0 MemWrite sinks)
+    // packs into bitplanes, everything else into lane arrays. The
+    // netlist truncates Const/Reg immediates and memory init words, so
+    // a width-1 net can only ever hold 0 or 1 — planes are lossless.
+    _isBit.assign(n, 0);
+    _slot.assign(n, 0);
+    _numBit = _numWide = 0;
+    _maxOperands = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = _nl.node(id);
+        _maxOperands = std::max(_maxOperands, node.operands.size());
+        if (node.width <= 1) {
+            _isBit[id] = 1;
+            _slot[id] = static_cast<uint32_t>(_numBit++);
+        } else {
+            _slot[id] = static_cast<uint32_t>(_numWide++);
+        }
+    }
+
+    _program.reserve(_order.size());
+    for (NodeId id : _order) {
+        const Node &node = _nl.node(id);
+        ASH_ASSERT(node.op == Op::Concat || node.operands.size() <= 8,
+                   "node with >8 operands needs Concat splitting");
+        Inst inst;
+        inst.op = node.op;
+        inst.width = node.width;
+        inst.numOperands =
+            static_cast<uint16_t>(node.operands.size());
+        inst.dst = id;
+        inst.aux = 0;
+        inst.opBase = static_cast<uint32_t>(_operandIdx.size());
+        inst.imm = node.imm;
+        bool allBitOperands = true;
+        for (NodeId oper : node.operands) {
+            _operandIdx.push_back(oper);
+            _operandWidth.push_back(_nl.node(oper).width);
+            allBitOperands = allBitOperands && _isBit[oper];
+        }
+        switch (node.op) {
+          case Op::Input:
+            inst.kind = Kind::Seed;
+            break;
+          case Op::MemWrite:
+            inst.kind = Kind::Skip;
+            break;
+          case Op::Const:
+            inst.kind = _isBit[id] ? Kind::ConstBit : Kind::ConstWide;
+            break;
+          case Op::Reg:
+            inst.aux = static_cast<uint32_t>(_nl.regIndex(id));
+            inst.kind = _isBit[id] ? Kind::RegBit : Kind::RegWide;
+            break;
+          case Op::MemRead:
+            inst.aux = node.mem;
+            inst.kind = _isBit[id] ? Kind::Pack : Kind::Wide;
+            break;
+          default:
+            if (_isBit[id] && allBitOperands &&
+                bitParallelOp(node.op))
+                inst.kind = Kind::BitOp;
+            else
+                inst.kind = _isBit[id] ? Kind::Pack : Kind::Wide;
+            break;
+        }
+        _program.push_back(inst);
+    }
+
+    // CSR fanout graph and per-node cost cache, exactly as refsim
+    // builds them (duplicates kept; the per-cycle stamp dedups).
+    _cost.resize(n);
+    _fanoutBase.assign(n + 1, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        _cost[id] = static_cast<uint32_t>(rtl::nodeCost(_nl.node(id)));
+        for (NodeId oper : _nl.node(id).operands)
+            ++_fanoutBase[oper + 1];
+    }
+    for (size_t i = 1; i <= n; ++i)
+        _fanoutBase[i] += _fanoutBase[i - 1];
+    _fanoutList.resize(_fanoutBase[n]);
+    std::vector<uint32_t> fill(_fanoutBase.begin(),
+                               _fanoutBase.end() - 1);
+    for (NodeId id = 0; id < n; ++id)
+        for (NodeId oper : _nl.node(id).operands)
+            _fanoutList[fill[oper]++] = id;
+
+    _activeStamp.assign(n, 0);
+}
+
+void
+LaneBatchEngine::reset()
+{
+    _cycle = 0;
+    std::fill(_activeCostSum.begin(), _activeCostSum.end(), 0.0);
+    for (StatSet &s : _stats)
+        s.clear();
+    std::fill(_bits.begin(), _bits.end(), 0);
+    std::fill(_prevBits.begin(), _prevBits.end(), 0);
+    std::fill(_wide.begin(), _wide.end(), 0);
+    std::fill(_prevWide.begin(), _prevWide.end(), 0);
+    std::fill(_changedMask.begin(), _changedMask.end(), 0);
+    std::fill(_changedLane0.begin(), _changedLane0.end(), 0);
+    std::fill(_activeStamp.begin(), _activeStamp.end(), 0);
+    _stampGen = 0;
+
+    std::fill(_regBits.begin(), _regBits.end(), 0);
+    std::fill(_regWide.begin(), _regWide.end(), 0);
+    const std::vector<rtl::RegInfo> &regs = _nl.regs();
+    for (size_t r = 0; r < regs.size(); ++r) {
+        uint64_t init = regs[r].init;
+        if (_regIsBit[r]) {
+            if (init & 1ull) {
+                uint64_t *row = _regBits.data() +
+                                static_cast<size_t>(_regSlot[r]) *
+                                    _words;
+                std::fill(row, row + _words, ~0ull);
+                row[_words - 1] &= _tailMask;
+            }
+        } else {
+            uint64_t *row = _regWide.data() +
+                            static_cast<size_t>(_regSlot[r]) * _w;
+            std::fill(row, row + _w, init);
+        }
+    }
+
+    _memState.clear();
+    for (const rtl::MemInfo &mem : _nl.memories()) {
+        std::vector<uint64_t> contents(
+            static_cast<size_t>(mem.depth) * _w, 0);
+        for (size_t i = 0; i < mem.init.size(); ++i)
+            for (uint32_t l = 0; l < _w; ++l)
+                contents[static_cast<size_t>(l) * mem.depth + i] =
+                    mem.init[i];
+        _memState.push_back(std::move(contents));
+    }
+
+    _laneTraces.assign(_w, {});
+}
+
+const uint64_t *
+LaneBatchEngine::operandLanes(const Inst &inst, size_t k)
+{
+    uint32_t oper = _operandIdx[inst.opBase + k];
+    if (!_isBit[oper])
+        return widePtr(_wide, oper);
+    const uint64_t *plane = bitPtr(_bits, oper);
+    uint64_t *dst = _unpack.data() + k * _w;
+    for (uint32_t l = 0; l < _w; ++l)
+        dst[l] = (plane[l >> 6] >> (l & 63)) & 1ull;
+    return dst;
+}
+
+void
+LaneBatchEngine::evalBitOp(const Inst &inst)
+{
+    uint64_t *d = planeOf(inst.dst);
+    const uint32_t *ops = _operandIdx.data() + inst.opBase;
+    const uint64_t *a =
+        inst.numOperands > 0 ? bitPtr(_bits, ops[0]) : nullptr;
+    const uint64_t *b =
+        inst.numOperands > 1 ? bitPtr(_bits, ops[1]) : nullptr;
+    const uint64_t *c =
+        inst.numOperands > 2 ? bitPtr(_bits, ops[2]) : nullptr;
+    switch (inst.op) {
+      case Op::And:
+      case Op::Mul:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi] & b[wi];
+        break;
+      case Op::Or:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi] | b[wi];
+        break;
+      case Op::Xor:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Ne:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi] ^ b[wi];
+        break;
+      case Op::Not:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = ~a[wi];
+        break;
+      case Op::Eq:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = ~(a[wi] ^ b[wi]);
+        break;
+      case Op::Lt:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = ~a[wi] & b[wi];
+        break;
+      case Op::Le:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = ~a[wi] | b[wi];
+        break;
+      case Op::Gt:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi] & ~b[wi];
+        break;
+      case Op::Ge:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi] | ~b[wi];
+        break;
+      case Op::Mux:
+        // Mux(s, a, b): operand 0 selects between operands 1 and 2.
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = (a[wi] & b[wi]) | (~a[wi] & c[wi]);
+        break;
+      case Op::ZExt:
+      case Op::SExt:
+      case Op::Output:
+      case Op::RedAnd:
+      case Op::RedOr:
+      case Op::RedXor:
+        for (uint32_t wi = 0; wi < _words; ++wi)
+            d[wi] = a[wi];
+        break;
+      default:
+        ASH_ASSERT(false, "op is not bit-parallel");
+    }
+    d[_words - 1] &= _tailMask;
+}
+
+void
+LaneBatchEngine::evalGeneric(const Inst &inst)
+{
+    const uint32_t w = _w;
+    const uint8_t *ows = _operandWidth.data() + inst.opBase;
+    for (size_t k = 0; k < inst.numOperands; ++k)
+        _srcPtrs[k] = operandLanes(inst, k);
+    const uint64_t *A = inst.numOperands > 0 ? _srcPtrs[0] : nullptr;
+    const uint64_t *B = inst.numOperands > 1 ? _srcPtrs[1] : nullptr;
+    const uint64_t *C = inst.numOperands > 2 ? _srcPtrs[2] : nullptr;
+    uint64_t *out = inst.kind == Kind::Pack
+                        ? _packScratch.data()
+                        : widePtr(_wide, inst.dst);
+
+    // Per-lane arms mirror the reference simulator's switch verbatim
+    // (including the Div/Mod-by-zero -> 0 subset semantics and the
+    // Shl-vs-width / shift-vs-operand-width clamp asymmetry).
+    switch (inst.op) {
+      case Op::MemRead: {
+        // Like refsim, MemRead skips the result truncation: contents
+        // are stored pre-truncated to the memory width.
+        const std::vector<uint64_t> &mem = _memState[inst.aux];
+        const uint64_t depth = _nl.memories()[inst.aux].depth;
+        for (uint32_t l = 0; l < w; ++l) {
+            uint64_t addr = A[l];
+            out[l] = addr < depth
+                         ? mem[static_cast<size_t>(l) * depth + addr]
+                         : 0;
+        }
+        break;
+      }
+      case Op::And:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] & B[l], inst.width);
+        break;
+      case Op::Or:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] | B[l], inst.width);
+        break;
+      case Op::Xor:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] ^ B[l], inst.width);
+        break;
+      case Op::Not:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(~A[l], inst.width);
+        break;
+      case Op::Add:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] + B[l], inst.width);
+        break;
+      case Op::Sub:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] - B[l], inst.width);
+        break;
+      case Op::Mul:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] * B[l], inst.width);
+        break;
+      case Op::Div:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(B[l] ? A[l] / B[l] : 0, inst.width);
+        break;
+      case Op::Mod:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(B[l] ? A[l] % B[l] : 0, inst.width);
+        break;
+      case Op::Shl:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(
+                B[l] >= inst.width ? 0 : A[l] << B[l], inst.width);
+        break;
+      case Op::LShr:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(B[l] >= ows[0] ? 0 : A[l] >> B[l],
+                              inst.width);
+        break;
+      case Op::AShr:
+        for (uint32_t l = 0; l < w; ++l) {
+            int64_t v = signExtend(A[l], ows[0]);
+            uint64_t sh = B[l] >= ows[0] ? ows[0] - 1u : B[l];
+            out[l] = truncate(static_cast<uint64_t>(v >> sh),
+                              inst.width);
+        }
+        break;
+      case Op::Eq:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] == B[l], inst.width);
+        break;
+      case Op::Ne:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] != B[l], inst.width);
+        break;
+      case Op::Lt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] < B[l], inst.width);
+        break;
+      case Op::Le:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] <= B[l], inst.width);
+        break;
+      case Op::Gt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] > B[l], inst.width);
+        break;
+      case Op::Ge:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] >= B[l], inst.width);
+        break;
+      case Op::SLt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(signExtend(A[l], ows[0]) <
+                                  signExtend(B[l], ows[1]),
+                              inst.width);
+        break;
+      case Op::SLe:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(signExtend(A[l], ows[0]) <=
+                                  signExtend(B[l], ows[1]),
+                              inst.width);
+        break;
+      case Op::SGt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(signExtend(A[l], ows[0]) >
+                                  signExtend(B[l], ows[1]),
+                              inst.width);
+        break;
+      case Op::SGe:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(signExtend(A[l], ows[0]) >=
+                                  signExtend(B[l], ows[1]),
+                              inst.width);
+        break;
+      case Op::Mux:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] ? B[l] : C[l], inst.width);
+        break;
+      case Op::Concat:
+        for (uint32_t l = 0; l < w; ++l) {
+            uint64_t r = 0;
+            for (size_t i = 0; i < inst.numOperands; ++i)
+                r = (r << ows[i]) |
+                    truncate(_srcPtrs[i][l], ows[i]);
+            out[l] = truncate(r, inst.width);
+        }
+        break;
+      case Op::Slice:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] >> inst.imm, inst.width);
+        break;
+      case Op::ZExt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l], inst.width);
+        break;
+      case Op::SExt:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(
+                static_cast<uint64_t>(signExtend(A[l], ows[0])),
+                inst.width);
+        break;
+      case Op::RedAnd:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(
+                truncate(A[l], ows[0]) == mask64(ows[0]),
+                inst.width);
+        break;
+      case Op::RedOr:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l] != 0, inst.width);
+        break;
+      case Op::RedXor:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(
+                static_cast<uint64_t>(__builtin_parityll(A[l])),
+                inst.width);
+        break;
+      case Op::Output:
+        for (uint32_t l = 0; l < w; ++l)
+            out[l] = truncate(A[l], inst.width);
+        break;
+      case Op::Input:
+      case Op::Const:
+      case Op::Reg:
+      case Op::MemWrite:
+        ASH_ASSERT(false, "source/sink reached the generic path");
+        break;
+    }
+
+    if (inst.kind == Kind::Pack) {
+        uint64_t *plane = planeOf(inst.dst);
+        for (uint32_t wi = 0; wi < _words; ++wi) {
+            uint64_t bits = 0;
+            uint32_t base = wi << 6;
+            uint32_t lim = std::min<uint32_t>(64u, w - base);
+            for (uint32_t bit = 0; bit < lim; ++bit)
+                bits |= (out[base + bit] & 1ull) << bit;
+            plane[wi] = bits;
+        }
+    }
+}
+
+void
+LaneBatchEngine::stepCore(const uint64_t *packedInputs)
+{
+    const uint32_t w = _w;
+
+    // Double buffer, as in refsim: old current values become the
+    // previous-cycle snapshot; every live row is rewritten below
+    // except MemWrite sinks, which stay zero in both buffers.
+    std::swap(_bits, _prevBits);
+    std::swap(_wide, _prevWide);
+
+    // Seed inputs (pre-truncated to input width at pack time), then
+    // evaluate in levelized order (phase 1 of two-phase clocking).
+    const std::vector<NodeId> &inputs = _nl.inputs();
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        const uint64_t *lanesIn = packedInputs + i * w;
+        NodeId id = inputs[i];
+        if (_isBit[id]) {
+            uint64_t *plane = planeOf(id);
+            for (uint32_t wi = 0; wi < _words; ++wi) {
+                uint64_t bits = 0;
+                uint32_t base = wi << 6;
+                uint32_t lim = std::min<uint32_t>(64u, w - base);
+                for (uint32_t bit = 0; bit < lim; ++bit)
+                    bits |= (lanesIn[base + bit] & 1ull) << bit;
+                plane[wi] = bits;
+            }
+        } else {
+            std::copy(lanesIn, lanesIn + w, widePtr(_wide, id));
+        }
+    }
+
+    for (const Inst &inst : _program) {
+        switch (inst.kind) {
+          case Kind::Seed:
+          case Kind::Skip:
+            break;
+          case Kind::ConstBit: {
+            uint64_t *plane = planeOf(inst.dst);
+            std::fill(plane, plane + _words,
+                      (inst.imm & 1ull) ? ~0ull : 0ull);
+            plane[_words - 1] &= _tailMask;
+            break;
+          }
+          case Kind::ConstWide: {
+            uint64_t *out = widePtr(_wide, inst.dst);
+            std::fill(out, out + w, inst.imm);
+            break;
+          }
+          case Kind::RegBit: {
+            const uint64_t *state =
+                _regBits.data() +
+                static_cast<size_t>(_regSlot[inst.aux]) * _words;
+            std::copy(state, state + _words, planeOf(inst.dst));
+            break;
+          }
+          case Kind::RegWide: {
+            const uint64_t *state =
+                _regWide.data() +
+                static_cast<size_t>(_regSlot[inst.aux]) * w;
+            std::copy(state, state + w, widePtr(_wide, inst.dst));
+            break;
+          }
+          case Kind::BitOp:
+            evalBitOp(inst);
+            break;
+          case Kind::Wide:
+          case Kind::Pack:
+            evalGeneric(inst);
+            break;
+        }
+    }
+
+    // Change tracking and activity accounting: refsim's stamp-deduped
+    // fanout walk with per-lane masks. A consumer's cost is active in
+    // lane l iff any of its operands changed in lane l, so each
+    // consumer accumulates the OR of its producers' change masks.
+    std::fill(_changedCount.begin(), _changedCount.end(), 0);
+    std::fill(_activeCost.begin(), _activeCost.end(), 0);
+    _touched.clear();
+    uint32_t stamp = ++_stampGen;
+    size_t n = _nl.numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        uint64_t *m = _changedMask.data() +
+                      static_cast<size_t>(id) * _words;
+        uint64_t any = 0;
+        if (_isBit[id]) {
+            const uint64_t *cur = bitPtr(_bits, id);
+            const uint64_t *prev = bitPtr(_prevBits, id);
+            for (uint32_t wi = 0; wi < _words; ++wi) {
+                m[wi] = cur[wi] ^ prev[wi];
+                any |= m[wi];
+            }
+        } else {
+            const uint64_t *cur = widePtr(_wide, id);
+            const uint64_t *prev = widePtr(_prevWide, id);
+            for (uint32_t wi = 0; wi < _words; ++wi) {
+                uint64_t bits = 0;
+                uint32_t base = wi << 6;
+                uint32_t lim = std::min<uint32_t>(64u, w - base);
+                for (uint32_t bit = 0; bit < lim; ++bit)
+                    bits |= static_cast<uint64_t>(
+                                cur[base + bit] != prev[base + bit])
+                            << bit;
+                m[wi] = bits;
+                any |= bits;
+            }
+        }
+        _changedLane0[id] = static_cast<uint8_t>(m[0] & 1ull);
+        if (!any)
+            continue;
+        for (uint32_t wi = 0; wi < _words; ++wi) {
+            uint64_t e = m[wi];
+            while (e) {
+                uint32_t l = (wi << 6) +
+                             static_cast<uint32_t>(
+                                 __builtin_ctzll(e));
+                ++_changedCount[l];
+                e &= e - 1;
+            }
+        }
+        for (uint32_t f = _fanoutBase[id]; f < _fanoutBase[id + 1];
+             ++f) {
+            uint32_t consumer = _fanoutList[f];
+            uint64_t *cm = _consumerMask.data() +
+                           static_cast<size_t>(consumer) * _words;
+            if (_activeStamp[consumer] != stamp) {
+                _activeStamp[consumer] = stamp;
+                std::copy(m, m + _words, cm);
+                _touched.push_back(consumer);
+            } else {
+                for (uint32_t wi = 0; wi < _words; ++wi)
+                    cm[wi] |= m[wi];
+            }
+        }
+    }
+    for (uint32_t consumer : _touched) {
+        const uint64_t cost = _cost[consumer];
+        const uint64_t *cm = _consumerMask.data() +
+                             static_cast<size_t>(consumer) * _words;
+        for (uint32_t wi = 0; wi < _words; ++wi) {
+            uint64_t e = cm[wi];
+            while (e) {
+                uint32_t l = (wi << 6) +
+                             static_cast<uint32_t>(
+                                 __builtin_ctzll(e));
+                _activeCost[l] += cost;
+                e &= e - 1;
+            }
+        }
+    }
+
+    // Per-lane accumulation and statistics, in refsim's exact order
+    // (same double ops, same stat names) so each lane's numbers are
+    // byte-identical to a solo run.
+    for (uint32_t l = 0; l < w; ++l) {
+        if (_totalCost > 0)
+            _activeCostSum[l] +=
+                static_cast<double>(_activeCost[l]) /
+                static_cast<double>(_totalCost);
+        StatSet &st = _stats[l];
+        st.inc("cycles");
+        st.inc("nodesEvaluated", _order.size());
+        st.inc("nodesChanged", _changedCount[l]);
+        st.hist("changedNodes", _changedCount[l]);
+        if (_totalCost > 0)
+            st.sample("activeCostFrac",
+                      static_cast<double>(_activeCost[l]) /
+                          static_cast<double>(_totalCost));
+    }
+    ASH_OBS_EVENT(obs::EventKind::RefCycle, _cycle, 1, 0, 0,
+                  _changedCount[0], _activeCost[0]);
+
+    // Phase 2: clock edge. Latch registers from the just-computed
+    // values, then apply memory writes in port order (later ports win
+    // on same-address conflicts, independently per lane).
+    const std::vector<rtl::RegInfo> &regs = _nl.regs();
+    for (size_t r = 0; r < regs.size(); ++r) {
+        NodeId next = regs[r].next;
+        if (_regIsBit[r]) {
+            const uint64_t *src = bitPtr(_bits, next);
+            std::copy(src, src + _words,
+                      _regBits.data() +
+                          static_cast<size_t>(_regSlot[r]) * _words);
+        } else {
+            const uint64_t *src = widePtr(_wide, next);
+            std::copy(src, src + w,
+                      _regWide.data() +
+                          static_cast<size_t>(_regSlot[r]) * w);
+        }
+    }
+
+    for (size_t m = 0; m < _nl.memories().size(); ++m) {
+        const uint64_t depth = _nl.memories()[m].depth;
+        for (NodeId port : _nl.memories()[m].writePorts) {
+            const Node &pn = _nl.node(port);
+            NodeId addrN = pn.operands[0];
+            NodeId dataN = pn.operands[1];
+            NodeId enN = pn.operands[2];
+            for (uint32_t l = 0; l < w; ++l) {
+                if (!laneValue(l, enN))
+                    continue;
+                uint64_t addr = laneValue(l, addrN);
+                if (addr < depth) {
+                    _memState[m][static_cast<size_t>(l) * depth +
+                                 addr] = laneValue(l, dataN);
+                    _stats[l].inc("memWrites");
+                }
+            }
+        }
+    }
+
+    ++_cycle;
+}
+
+void
+LaneBatchEngine::packInputs(refsim::Stimulus &stimulus, uint64_t cycle,
+                            uint64_t *dst)
+{
+    auto *ls = dynamic_cast<LaneStimulus *>(&stimulus);
+    ASH_ASSERT(!ls || ls->lanes() == _w,
+               "LaneStimulus width must match the engine width");
+    const std::vector<NodeId> &inputs = _nl.inputs();
+    for (uint32_t l = 0; l < _w; ++l) {
+        std::fill(_inputBuf.begin(), _inputBuf.end(), 0);
+        if (ls)
+            ls->applyLane(l, cycle, _inputBuf);
+        else
+            stimulus.apply(cycle, _inputBuf);
+        for (size_t i = 0; i < inputs.size(); ++i)
+            dst[i * _w + l] = truncate(_inputBuf[i],
+                                       _nl.node(inputs[i]).width);
+    }
+}
+
+void
+LaneBatchEngine::step(refsim::Stimulus &stimulus)
+{
+    packInputs(stimulus, _cycle, _stepInputs.data());
+    stepCore(_stepInputs.data());
+}
+
+refsim::OutputTrace
+LaneBatchEngine::run(refsim::Stimulus &stimulus, uint64_t cycles,
+                     ckpt::CycleHook *hook)
+{
+    ASH_PROF_ZONE("run:lanes");
+    const size_t numInputs = _nl.inputs().size();
+    const size_t numOutputs = _nl.outputs().size();
+    const std::vector<NodeId> &outs = _nl.outputs();
+    for (refsim::OutputTrace &t : _laneTraces) {
+        t.clear();
+        t.reserve(cycles);
+    }
+
+    // Chunked pack -> eval -> demux: bounds staging memory, keeps the
+    // prof zones at phase granularity (one zone per chunk, never per
+    // cycle), and keeps the eval loop free of virtual stimulus calls.
+    // Requires the stimulus to be a pure function of the cycle number
+    // — the standing engine-interchange contract.
+    constexpr uint64_t kChunk = 256;
+    for (uint64_t done = 0; done < cycles;) {
+        const uint64_t span = std::min(kChunk, cycles - done);
+        {
+            ASH_PROF_ZONE("lanes/pack");
+            _chunkInputs.resize(span * numInputs * _w);
+            for (uint64_t c = 0; c < span; ++c)
+                packInputs(stimulus, _cycle + c,
+                           _chunkInputs.data() + c * numInputs * _w);
+        }
+        {
+            ASH_PROF_ZONE("lanes/eval");
+            _chunkFrames.resize(span * numOutputs * _w);
+            for (uint64_t c = 0; c < span; ++c) {
+                guard::pollCancel();
+                stepCore(_chunkInputs.data() + c * numInputs * _w);
+                uint64_t *frame =
+                    _chunkFrames.data() + c * numOutputs * _w;
+                for (size_t oi = 0; oi < numOutputs; ++oi)
+                    for (uint32_t l = 0; l < _w; ++l)
+                        frame[oi * _w + l] = laneValue(l, outs[oi]);
+                if (hook)
+                    hook->onCycle(_cycle, *this);
+            }
+        }
+        {
+            ASH_PROF_ZONE("lanes/demux");
+            for (uint64_t c = 0; c < span; ++c) {
+                const uint64_t *frame =
+                    _chunkFrames.data() + c * numOutputs * _w;
+                for (uint32_t l = 0; l < _w; ++l) {
+                    refsim::OutputFrame f(numOutputs);
+                    for (size_t oi = 0; oi < numOutputs; ++oi)
+                        f[oi] = frame[oi * _w + l];
+                    _laneTraces[l].push_back(std::move(f));
+                }
+            }
+        }
+        done += span;
+    }
+    return _laneTraces[0];
+}
+
+uint64_t
+LaneBatchEngine::laneValue(uint32_t lane, rtl::NodeId id) const
+{
+    if (_isBit[id])
+        return (bitPtr(_bits, id)[lane >> 6] >> (lane & 63)) & 1ull;
+    return widePtr(_wide, id)[lane];
+}
+
+refsim::OutputFrame
+LaneBatchEngine::laneOutputFrame(uint32_t lane) const
+{
+    refsim::OutputFrame frame;
+    frame.reserve(_nl.outputs().size());
+    for (NodeId id : _nl.outputs())
+        frame.push_back(laneValue(lane, id));
+    return frame;
+}
+
+const refsim::OutputTrace &
+LaneBatchEngine::laneTrace(uint32_t lane) const
+{
+    return _laneTraces.at(lane);
+}
+
+double
+LaneBatchEngine::laneActivityFactor(uint32_t lane) const
+{
+    return _cycle == 0 ? 0.0
+                       : _activeCostSum.at(lane) /
+                             static_cast<double>(_cycle);
+}
+
+std::vector<uint8_t>
+LaneBatchEngine::laneChanged(uint32_t lane) const
+{
+    std::vector<uint8_t> out(_nl.numNodes(), 0);
+    for (NodeId id = 0; id < _nl.numNodes(); ++id)
+        out[id] = static_cast<uint8_t>(
+            (_changedMask[static_cast<size_t>(id) * _words +
+                          (lane >> 6)] >>
+             (lane & 63)) &
+            1ull);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------
+
+void
+LaneBatchEngine::save(std::ostream &out) const
+{
+    // The engine's one tunable is the batch width, so W is the config
+    // hash: restoring a W-wide snapshot into a differently-sized
+    // engine fails cleanly at require().
+    ckpt::SnapshotWriter w(out, engineName(),
+                           ckpt::designFingerprint(_nl), _w);
+
+    w.beginSection(kSecState);
+    w.u64(_cycle);
+    w.vec(_activeCostSum);
+    w.vec(_bits);
+    w.vec(_prevBits);
+    w.vec(_wide);
+    w.vec(_prevWide);
+    w.vec(_changedMask);
+    w.vec(_regBits);
+    w.vec(_regWide);
+    w.u64(_memState.size());
+    for (const std::vector<uint64_t> &mem : _memState)
+        w.vec(mem);
+    w.endSection();
+
+    w.beginSection(kSecStats);
+    w.u64(_w);
+    for (const StatSet &s : _stats)
+        ckpt::saveStats(w, s);
+    w.endSection();
+}
+
+void
+LaneBatchEngine::restore(std::istream &in)
+{
+    ckpt::SnapshotReader r(in);
+    r.require(engineName(), ckpt::designFingerprint(_nl), _w);
+
+    r.section(kSecState);
+    _cycle = r.u64();
+    r.vec(_activeCostSum);
+    r.vec(_bits);
+    r.vec(_prevBits);
+    r.vec(_wide);
+    r.vec(_prevWide);
+    r.vec(_changedMask);
+    r.vec(_regBits);
+    r.vec(_regWide);
+    size_t n = _nl.numNodes();
+    size_t bitRegs = 0;
+    for (uint8_t b : _regIsBit)
+        bitRegs += b;
+    size_t wideRegs = _regIsBit.size() - bitRegs;
+    if (_activeCostSum.size() != _w ||
+        _bits.size() != _numBit * _words ||
+        _prevBits.size() != _numBit * _words ||
+        _wide.size() != _numWide * static_cast<size_t>(_w) ||
+        _prevWide.size() != _numWide * static_cast<size_t>(_w) ||
+        _changedMask.size() != n * _words ||
+        _regBits.size() != bitRegs * _words ||
+        _regWide.size() != wideRegs * static_cast<size_t>(_w))
+        throw ckpt::SnapshotError("lanes state size mismatch");
+    uint64_t mems = r.u64();
+    if (mems != _nl.memories().size())
+        throw ckpt::SnapshotError("lanes memory count mismatch");
+    _memState.resize(mems);
+    for (size_t m = 0; m < mems; ++m) {
+        r.vec(_memState[m]);
+        if (_memState[m].size() !=
+            static_cast<size_t>(_nl.memories()[m].depth) * _w)
+            throw ckpt::SnapshotError("lanes memory depth mismatch");
+    }
+    r.endSection();
+
+    r.section(kSecStats);
+    if (r.u64() != _w)
+        throw ckpt::SnapshotError("lanes stats width mismatch");
+    for (StatSet &s : _stats)
+        ckpt::restoreStats(r, s);
+    r.endSection();
+    r.expectEnd();
+
+    // Per-step scratch: rebuilt by the next step(). Stamps restart at
+    // zero exactly as after reset(); the lane-0 change flags are a
+    // projection of the saved masks.
+    for (NodeId id = 0; id < n; ++id)
+        _changedLane0[id] = static_cast<uint8_t>(
+            _changedMask[static_cast<size_t>(id) * _words] & 1ull);
+    std::fill(_activeStamp.begin(), _activeStamp.end(), 0);
+    _stampGen = 0;
+    _laneTraces.assign(_w, {});
+}
+
+} // namespace ash::lanes

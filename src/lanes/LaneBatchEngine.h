@@ -1,0 +1,242 @@
+/**
+ * @file
+ * LaneBatchEngine: lane-batched functional simulation. One engine
+ * evaluates W independent scenarios ("lanes") in lockstep per netlist
+ * pass, amortizing the levelized traversal, instruction decode, and
+ * scheduling work that a solo refsim run repeats per scenario (the
+ * GSIM / LightningSimV2 observation: one compile/walk, W scenarios
+ * per pass).
+ *
+ * Packing layout
+ *   - 1-bit nets (width <= 1, which includes the width-0 MemWrite
+ *     sinks) live in *bitplanes*: one u64 word holds the same net for
+ *     64 lanes, so the whole batch evaluates bit-parallel with one
+ *     logical op per 64 lanes. Unused tail bits of the last word are
+ *     kept zero (tail mask).
+ *   - Multi-bit nets live in *lane arrays*: node-major `[slot][lane]`
+ *     u64 rows, so the per-op lane loop is a contiguous stream the
+ *     compiler auto-vectorizes.
+ *
+ * Divergence and masks
+ *   Lanes never branch: every lane evaluates every node every cycle
+ *   (the same work a solo run does). Divergence shows up only in the
+ *   *data* — per-node per-lane change masks — which drive per-lane
+ *   activity accounting and change statistics, exactly mirroring the
+ *   reference simulator's stamp-deduped fanout walk per lane.
+ *
+ * Determinism contract
+ *   Lane l of a W-wide batch is byte-identical to the same scenario
+ *   run solo through refsim: same OutputTrace, same StatSet names,
+ *   values and recording order, same activityFactor (same double
+ *   accumulation order), same changedLastCycle flags. The CycleEngine
+ *   surface (value(), stats(), ...) is the lane-0 view; laneTrace()/
+ *   laneStats()/laneValue() demultiplex the rest. Snapshots carry all
+ *   W lanes and restore only into an engine of equal width (the
+ *   snapshot config hash is W).
+ */
+
+#ifndef ASH_LANES_LANEBATCHENGINE_H
+#define ASH_LANES_LANEBATCHENGINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/Stats.h"
+#include "lanes/ScenarioGen.h"
+#include "refsim/CycleEngine.h"
+#include "rtl/Netlist.h"
+
+namespace ash::lanes {
+
+class LaneBatchEngine : public refsim::CycleEngine
+{
+  public:
+    /** Build a @p lanes -wide engine over @p netlist (lanes >= 1). */
+    LaneBatchEngine(const rtl::Netlist &netlist, uint32_t lanes);
+
+    /** Batch width W. */
+    uint32_t lanes() const { return _w; }
+
+    /**
+     * Whether a compiled ash_jit lane kernel backs this engine. The
+     * codegen hook (jit::laneKernelSupported()) reports no support
+     * today, so this is always false and the built-in batched
+     * interpreter runs — the documented fallback.
+     */
+    bool usesCompiledKernel() const { return _haveJitKernel; }
+
+    // ----- CycleEngine (lane-0 view) ---------------------------------
+    void step(refsim::Stimulus &stimulus) override;
+    refsim::OutputTrace run(refsim::Stimulus &stimulus, uint64_t cycles,
+                            ckpt::CycleHook *hook = nullptr) override;
+    uint64_t value(rtl::NodeId id) const override
+    {
+        return laneValue(0, id);
+    }
+    refsim::OutputFrame outputFrame() const override
+    {
+        return laneOutputFrame(0);
+    }
+    uint64_t cycle() const override { return _cycle; }
+    const std::vector<uint8_t> &changedLastCycle() const override
+    {
+        return _changedLane0;
+    }
+    double activityFactor() const override
+    {
+        return laneActivityFactor(0);
+    }
+    void reset() override;
+    const StatSet &stats() const override { return _stats[0]; }
+
+    // ----- Snapshotter ----------------------------------------------
+    void save(std::ostream &out) const override;
+    void restore(std::istream &in) override;
+    const char *engineName() const override { return "lanes"; }
+
+    // ----- Per-lane demultiplexing ----------------------------------
+    /** Current value of @p id in @p lane (post-step). */
+    uint64_t laneValue(uint32_t lane, rtl::NodeId id) const;
+
+    /** Current output frame of @p lane. */
+    refsim::OutputFrame laneOutputFrame(uint32_t lane) const;
+
+    /** Output trace of @p lane recorded by the most recent run(). */
+    const refsim::OutputTrace &laneTrace(uint32_t lane) const;
+
+    /** Run statistics of @p lane (refsim names/order). */
+    const StatSet &laneStats(uint32_t lane) const
+    {
+        return _stats.at(lane);
+    }
+
+    /** Activity factor of @p lane over the run so far. */
+    double laneActivityFactor(uint32_t lane) const;
+
+    /** Change flags of @p lane from the most recent step(). */
+    std::vector<uint8_t> laneChanged(uint32_t lane) const;
+
+  private:
+    /** How a node is evaluated in the batched program. */
+    enum class Kind : uint8_t {
+        Seed,      ///< Input: packed from the stimulus before eval.
+        Skip,      ///< MemWrite: effects applied at the clock edge.
+        ConstBit,  ///< 1-bit Const: fill plane.
+        ConstWide, ///< Multi-bit Const: fill lane array.
+        RegBit,    ///< 1-bit Reg: copy plane from state.
+        RegWide,   ///< Multi-bit Reg: copy lane array from state.
+        BitOp,     ///< 1-bit op, 1-bit operands: bit-parallel words.
+        Wide,      ///< Generic per-lane eval into a lane array.
+        Pack,      ///< Generic per-lane eval packed into a plane.
+    };
+
+    /** One pre-decoded node, refsim's EvalInst plus the batch kind. */
+    struct Inst
+    {
+        rtl::Op op;
+        Kind kind;
+        uint8_t width;
+        uint16_t numOperands;
+        rtl::NodeId dst;
+        uint32_t aux;     ///< Reg index / memory id.
+        uint32_t opBase;  ///< First operand in the pooled arrays.
+        uint64_t imm;
+    };
+
+    void buildProgram();
+    /** Evaluate one cycle from packed inputs `[input][lane]`. */
+    void stepCore(const uint64_t *packedInputs);
+    /** Pack @p stimulus at @p cycle into @p dst `[input][lane]`. */
+    void packInputs(refsim::Stimulus &stimulus, uint64_t cycle,
+                    uint64_t *dst);
+    void evalBitOp(const Inst &inst);
+    void evalGeneric(const Inst &inst);
+    /** Lane values of operand @p k of @p inst (unpacks bit operands
+     *  into scratch slot k). */
+    const uint64_t *operandLanes(const Inst &inst, size_t k);
+    uint64_t *planeOf(rtl::NodeId id) { return bitPtr(_bits, id); }
+    uint64_t *bitPtr(std::vector<uint64_t> &buf, rtl::NodeId id)
+    {
+        return buf.data() +
+               static_cast<size_t>(_slot[id]) * _words;
+    }
+    const uint64_t *bitPtr(const std::vector<uint64_t> &buf,
+                           rtl::NodeId id) const
+    {
+        return buf.data() +
+               static_cast<size_t>(_slot[id]) * _words;
+    }
+    uint64_t *widePtr(std::vector<uint64_t> &buf, rtl::NodeId id)
+    {
+        return buf.data() + static_cast<size_t>(_slot[id]) * _w;
+    }
+    const uint64_t *widePtr(const std::vector<uint64_t> &buf,
+                            rtl::NodeId id) const
+    {
+        return buf.data() + static_cast<size_t>(_slot[id]) * _w;
+    }
+
+    const rtl::Netlist &_nl;
+    uint32_t _w = 1;          ///< Lanes.
+    uint32_t _words = 1;      ///< u64 words per bitplane.
+    uint64_t _tailMask = ~0ull;
+
+    std::vector<rtl::NodeId> _order;
+    std::vector<Inst> _program;
+    std::vector<uint32_t> _operandIdx;
+    std::vector<uint8_t> _operandWidth;
+    std::vector<uint8_t> _isBit;   ///< Per node: bitplane storage?
+    std::vector<uint32_t> _slot;   ///< Per node: row in its storage.
+    size_t _numBit = 0;
+    size_t _numWide = 0;
+    size_t _maxOperands = 0;
+
+    // Double-buffered values: planes for 1-bit nets, node-major lane
+    // arrays for multi-bit nets. MemWrite rows stay zero in both.
+    std::vector<uint64_t> _bits, _prevBits;
+    std::vector<uint64_t> _wide, _prevWide;
+
+    // Architectural state, one row per register / W copies per memory
+    // (lane-major: mem[lane * depth + addr]).
+    std::vector<uint8_t> _regIsBit;
+    std::vector<uint32_t> _regSlot;
+    std::vector<uint64_t> _regBits;
+    std::vector<uint64_t> _regWide;
+    std::vector<std::vector<uint64_t>> _memState;
+
+    // Activity accounting (refsim's stamp-deduped fanout walk, with
+    // per-lane masks instead of scalar flags).
+    std::vector<uint32_t> _fanoutBase;
+    std::vector<uint32_t> _fanoutList;
+    std::vector<uint32_t> _cost;
+    uint64_t _totalCost = 0;
+    std::vector<uint32_t> _activeStamp;
+    uint32_t _stampGen = 0;
+    std::vector<uint64_t> _changedMask;   ///< [node][word] lane bits.
+    std::vector<uint64_t> _consumerMask;  ///< [node][word] scratch.
+    std::vector<uint32_t> _touched;
+    std::vector<uint8_t> _changedLane0;
+
+    // Per-lane demultiplexed results.
+    std::vector<StatSet> _stats;
+    std::vector<double> _activeCostSum;
+    std::vector<refsim::OutputTrace> _laneTraces;
+
+    // Scratch.
+    std::vector<uint64_t> _unpack;      ///< maxOperands x W.
+    std::vector<uint64_t> _packScratch; ///< W.
+    std::vector<const uint64_t *> _srcPtrs;
+    std::vector<uint64_t> _inputBuf;
+    std::vector<uint64_t> _stepInputs;
+    std::vector<uint64_t> _chunkInputs;
+    std::vector<uint64_t> _chunkFrames;
+    std::vector<uint64_t> _changedCount; ///< Per lane, per cycle.
+    std::vector<uint64_t> _activeCost;   ///< Per lane, per cycle.
+
+    uint64_t _cycle = 0;
+    bool _haveJitKernel = false;
+};
+
+} // namespace ash::lanes
+
+#endif // ASH_LANES_LANEBATCHENGINE_H

@@ -1,0 +1,188 @@
+#include "lanes/ScenarioGen.h"
+
+#include "common/BitUtils.h"
+#include "common/Logging.h"
+
+namespace ash::lanes {
+
+namespace {
+
+/** splitmix64 finalizer; the stateless hash behind every draw. */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Pure draw for (seed, input, block); block granularity encodes the
+ *  activity target. */
+uint64_t
+draw(uint64_t seed, size_t input, uint64_t block)
+{
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull *
+                            (static_cast<uint64_t>(input) + 1);
+    z = mix64(z);
+    z += 0x9e3779b97f4a7c15ull * (block + 1);
+    return mix64(z);
+}
+
+/** The stateless stimulus all four kinds share; see header. */
+class ScenarioStimulus : public refsim::Stimulus
+{
+  public:
+    ScenarioStimulus(std::vector<uint8_t> widths, ScenarioSpec spec)
+        : _widths(std::move(widths)), _spec(spec)
+    {
+    }
+
+    void
+    apply(uint64_t cycle, std::vector<uint64_t> &in) override
+    {
+        switch (_spec.kind) {
+        case ScenarioKind::Random:
+            fillRandom(cycle, in);
+            return;
+        case ScenarioKind::ResetPulse:
+            // Leading reset window: every input held at zero (the
+            // vector arrives zeroed), then free-running random.
+            if (cycle >= _spec.resetCycles)
+                fillRandom(cycle, in);
+            return;
+        case ScenarioKind::ClockGate:
+            // Enabled slice of each period toggles; the gated slice
+            // holds all inputs at zero. Pure in the cycle number.
+            if (cycle % _spec.period < _spec.duty)
+                fillRandom(cycle, in);
+            return;
+        case ScenarioKind::ActivitySweep:
+            fillHeld(cycle, in);
+            return;
+        }
+    }
+
+  private:
+    void
+    fillRandom(uint64_t cycle, std::vector<uint64_t> &in)
+    {
+        for (size_t i = 0; i < in.size(); ++i)
+            in[i] = truncate(draw(_spec.seed, i, cycle), _widths[i]);
+    }
+
+    void
+    fillHeld(uint64_t cycle, std::vector<uint64_t> &in)
+    {
+        uint64_t block = cycle / std::max<uint32_t>(1,
+                                                    _spec.holdCycles);
+        for (size_t i = 0; i < in.size(); ++i)
+            in[i] = truncate(draw(_spec.seed, i, block), _widths[i]);
+    }
+
+    std::vector<uint8_t> _widths;
+    ScenarioSpec _spec;
+};
+
+} // namespace
+
+const char *
+scenarioKindName(ScenarioKind kind)
+{
+    switch (kind) {
+    case ScenarioKind::Random: return "random";
+    case ScenarioKind::ResetPulse: return "reset";
+    case ScenarioKind::ClockGate: return "gate";
+    case ScenarioKind::ActivitySweep: return "hold";
+    }
+    return "unknown";
+}
+
+std::string
+ScenarioSpec::name() const
+{
+    std::string s;
+    switch (kind) {
+    case ScenarioKind::Random:
+        s = "rand";
+        break;
+    case ScenarioKind::ResetPulse:
+        s = "rst" + std::to_string(resetCycles);
+        break;
+    case ScenarioKind::ClockGate:
+        s = "gate" + std::to_string(duty) + "of" +
+            std::to_string(period);
+        break;
+    case ScenarioKind::ActivitySweep:
+        s = "hold" + std::to_string(holdCycles);
+        break;
+    }
+    return s + "-s" + std::to_string(seed);
+}
+
+refsim::StimulusPtr
+makeScenario(const rtl::Netlist &nl, const ScenarioSpec &spec)
+{
+    std::vector<uint8_t> widths;
+    widths.reserve(nl.inputs().size());
+    for (rtl::NodeId id : nl.inputs())
+        widths.push_back(nl.node(id).width);
+    return std::make_shared<ScenarioStimulus>(std::move(widths), spec);
+}
+
+std::vector<ScenarioSpec>
+scenarioSweep(uint64_t seed, size_t count)
+{
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        ScenarioSpec spec;
+        spec.seed = mix64(seed + i);
+        switch (i % 4) {
+        case 0:
+            spec.kind = ScenarioKind::Random;
+            break;
+        case 1:
+            // Hold lengths sweep {1,2,4,...,64}: the directed
+            // activity axis of the fig18-style study.
+            spec.kind = ScenarioKind::ActivitySweep;
+            spec.holdCycles = 1u << ((i / 4) % 7);
+            break;
+        case 2:
+            spec.kind = ScenarioKind::ResetPulse;
+            spec.resetCycles = 4 + static_cast<uint32_t>(i % 13);
+            break;
+        default:
+            spec.kind = ScenarioKind::ClockGate;
+            spec.period = 4 + 2 * static_cast<uint32_t>((i / 4) % 4);
+            spec.duty = 1 + static_cast<uint32_t>((i / 4) %
+                                                  (spec.period - 1));
+            break;
+        }
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+LaneStimulus::LaneStimulus(std::vector<refsim::StimulusPtr> lanes)
+    : _lanes(std::move(lanes))
+{
+    ASH_ASSERT(!_lanes.empty(), "LaneStimulus needs at least one lane");
+    for (const refsim::StimulusPtr &stim : _lanes)
+        ASH_ASSERT(stim != nullptr, "LaneStimulus lane is null");
+}
+
+void
+LaneStimulus::applyLane(size_t lane, uint64_t cycle,
+                        std::vector<uint64_t> &in)
+{
+    ASH_ASSERT(lane < _lanes.size());
+    _lanes[lane]->apply(cycle, in);
+}
+
+void
+LaneStimulus::apply(uint64_t cycle, std::vector<uint64_t> &in)
+{
+    _lanes[0]->apply(cycle, in);
+}
+
+} // namespace ash::lanes

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * ScenarioGen: seeded stimulus-program generation for lane-batched
+ * sweeps. A ScenarioSpec names one deterministic stimulus program —
+ * free-running random inputs, an initial reset pulse, a duty-cycled
+ * clock-gating pattern, or a hold-block "activity sweep" that dials
+ * the input toggle rate — and makeScenario() turns it into a
+ * refsim::Stimulus whose values are a pure function of (spec, input
+ * index, cycle). Purity is the load-bearing property: the same spec
+ * replays bit-identically through the reference simulator, the jit
+ * engine, and any lane of a LaneBatchEngine, at any batch width, so
+ * per-lane results can be byte-compared against solo runs.
+ *
+ * scenarioSweep() derives a W-entry spec vector from one seed,
+ * cycling the four kinds and spreading hold-block lengths across
+ * [1, 64] so a fig18-style activity study covers low- and
+ * high-toggle corners in a single batch.
+ */
+
+#ifndef ASH_LANES_SCENARIOGEN_H
+#define ASH_LANES_SCENARIOGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "refsim/Stimulus.h"
+#include "rtl/Netlist.h"
+
+namespace ash::lanes {
+
+/** The stimulus-program families ScenarioGen can emit. */
+enum class ScenarioKind : uint8_t
+{
+    Random,         ///< Fresh hashed value per input per cycle.
+    ResetPulse,     ///< All inputs held 0 for resetCycles, then Random.
+    ClockGate,      ///< Random for duty cycles per period, else 0.
+    ActivitySweep,  ///< Random value held for holdCycles cycles.
+};
+
+/** Stable lowercase name of @p kind ("random", "reset", ...). */
+const char *scenarioKindName(ScenarioKind kind);
+
+/**
+ * One deterministic stimulus program. Every field participates in
+ * the value function, so two equal specs produce identical input
+ * streams forever.
+ */
+struct ScenarioSpec
+{
+    ScenarioKind kind = ScenarioKind::Random;
+    uint64_t seed = 1;        ///< Hash root for all value draws.
+    uint32_t holdCycles = 1;  ///< ActivitySweep: cycles per held value.
+    uint32_t resetCycles = 8; ///< ResetPulse: leading all-zero cycles.
+    uint32_t period = 8;      ///< ClockGate: gating period.
+    uint32_t duty = 4;        ///< ClockGate: enabled cycles per period.
+
+    /** Stable short label ("rand-s42", "hold16-s42", ...). */
+    std::string name() const;
+};
+
+/**
+ * Build the stimulus for @p spec over @p nl's inputs. Input widths
+ * are captured at construction; the netlist itself is not retained.
+ * The returned stimulus is a pure function of the cycle number (no
+ * internal state), so it may be applied at arbitrary cycles in any
+ * order and shared between engines.
+ */
+refsim::StimulusPtr makeScenario(const rtl::Netlist &nl,
+                                 const ScenarioSpec &spec);
+
+/**
+ * Derive @p count specs from @p seed: a deterministic round-robin of
+ * the four kinds with hold lengths swept over {1,2,4,...,64}, reset
+ * widths over [4, 16], and gate duty cycles over a few period/duty
+ * shapes. Same (seed, count) prefix-stable: scenarioSweep(s, n) is a
+ * prefix of scenarioSweep(s, m) for n < m, which is what lets a
+ * retried sub-batch or a narrower --lanes run replay the exact
+ * scenarios of the wide one.
+ */
+std::vector<ScenarioSpec> scenarioSweep(uint64_t seed, size_t count);
+
+/**
+ * A per-lane stimulus bundle: lane l of a LaneBatchEngine draws its
+ * inputs from stimulus l. Also usable anywhere a plain Stimulus is
+ * expected — apply() forwards to lane 0 — so a LaneStimulus of width
+ * one is interchangeable with its sole member.
+ */
+class LaneStimulus : public refsim::Stimulus
+{
+  public:
+    explicit LaneStimulus(std::vector<refsim::StimulusPtr> lanes);
+
+    size_t lanes() const { return _lanes.size(); }
+
+    /** Fill @p in for @p lane at @p cycle (zeroed on entry). */
+    void applyLane(size_t lane, uint64_t cycle,
+                   std::vector<uint64_t> &in);
+
+    /** Plain-Stimulus view: lane 0. */
+    void apply(uint64_t cycle, std::vector<uint64_t> &in) override;
+
+  private:
+    std::vector<refsim::StimulusPtr> _lanes;
+};
+
+} // namespace ash::lanes
+
+#endif // ASH_LANES_SCENARIOGEN_H

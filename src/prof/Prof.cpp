@@ -173,6 +173,7 @@ Profiler::arm()
         std::lock_guard<std::mutex> lock(_mutex);
         _zones.clear();
         _jobs.clear();
+        _batches.clear();
         _hwSeen = false;
         _hwError.clear();
         _epochNs = wallNowNs();
@@ -302,6 +303,24 @@ Profiler::addJobCost(const JobCost &cost)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     _jobs.push_back(cost);
+}
+
+void
+Profiler::addBatchOccupancy(const std::string &batch,
+                            size_t activeLanes, size_t width)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    BatchOccupancy &b = _batches[batch];
+    b.attempts += 1;
+    b.activeLanes += activeLanes;
+    b.width = width;
+}
+
+std::map<std::string, BatchOccupancy>
+Profiler::batchOccupancy() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _batches;
 }
 
 std::map<std::string, ZoneStat>
@@ -490,6 +509,25 @@ Profiler::toJson(bool pretty) const
         w.endArray();
         w.kv("failed", j.failed);
         w.kv("replayed", j.replayed);
+        if (!j.batch.empty()) {
+            w.kv("batch", j.batch);
+            w.kv("lane", int64_t(j.lane));
+            w.kv("lane_width", int64_t(j.laneWidth));
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    // Lane batches: per-batch attempt counts and mean occupancy, so
+    // batched time in the zones above attributes to real lane work.
+    w.key("batches").beginArray();
+    for (const auto &[name, b] : _batches) {
+        w.beginObject();
+        w.kv("batch", name);
+        w.kv("attempts", b.attempts);
+        w.kv("lane_width", b.width);
+        w.kv("active_lane_sum", b.activeLanes);
+        w.kv("occupancy", b.occupancy());
         w.endObject();
     }
     w.endArray();
@@ -566,6 +604,7 @@ Profiler::clear()
     std::lock_guard<std::mutex> lock(_mutex);
     _zones.clear();
     _jobs.clear();
+    _batches.clear();
     _jsonPath.clear();
     _jsonlPath.clear();
     _progressPeriodSec = 0.0;

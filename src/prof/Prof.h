@@ -96,6 +96,31 @@ struct JobCost
     std::vector<std::string> attemptOutcomes;
     bool failed = false;     ///< True when the job exhausted retries.
     bool replayed = false;   ///< True when resume skipped the body.
+
+    /** Lane batching (SweepRunner::addBatch): the batch this job ran
+     *  in as one lane, or empty for a solo job. Shared attempt costs
+     *  are split evenly across the lanes active in each attempt. */
+    std::string batch;
+    int lane = -1;           ///< Lane slot within the batch.
+    int laneWidth = 0;       ///< Full batch width W.
+};
+
+/** Aggregated lane occupancy of one batch across its attempts. */
+struct BatchOccupancy
+{
+    uint64_t attempts = 0;     ///< Batched attempts executed.
+    uint64_t activeLanes = 0;  ///< Sum of active lanes over attempts.
+    uint64_t width = 0;        ///< Batch width W.
+
+    /** Mean fraction of lanes doing useful work per attempt. */
+    double
+    occupancy() const
+    {
+        return attempts == 0 || width == 0
+                   ? 0.0
+                   : static_cast<double>(activeLanes) /
+                         static_cast<double>(attempts * width);
+    }
 };
 
 /**
@@ -149,6 +174,14 @@ class Profiler
      *  order). */
     void addJobCost(const JobCost &cost);
 
+    /** Record one batched attempt: @p activeLanes of @p width lanes
+     *  ran (SweepRunner::executeBatch drives this per attempt). */
+    void addBatchOccupancy(const std::string &batch,
+                           size_t activeLanes, size_t width);
+
+    /** Per-batch lane-occupancy aggregates, keyed by batch name. */
+    std::map<std::string, BatchOccupancy> batchOccupancy() const;
+
     /** Snapshot of the aggregated zone tree, keyed by path. */
     std::map<std::string, ZoneStat> zones() const;
 
@@ -192,6 +225,7 @@ class Profiler
     mutable std::mutex _mutex;   ///< Guards zones, jobs, hw status.
     std::map<std::string, ZoneStat> _zones;
     std::vector<JobCost> _jobs;
+    std::map<std::string, BatchOccupancy> _batches;
     std::string _jsonPath;
     std::string _jsonlPath;
     double _progressPeriodSec = 0.0;

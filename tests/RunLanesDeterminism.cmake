@@ -1,0 +1,63 @@
+# ctest driver: the ash_lanes determinism contract, end to end. Run a
+# sweep bench's lane-batched scenario study twice — per-job execution
+# (--lanes 1) and wide batches (--lanes 64) — under a parallel sweep
+# (--jobs 4), and require byte-identical stdout AND byte-identical
+# --stats-json after dropping the volatile "lanes.wall.*" throughput
+# lines (wall-clock keys are the study's only timing-dependent
+# output). Any lane-packing, mask, or merge-order dependence on the
+# batch width shows up here as a diff.
+# Invoked as:
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P RunLanesDeterminism.cmake
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+# Same JSON filename both times so the "wrote stats JSON: <path>" log
+# line cannot excuse a stdout difference.
+set(json "${WORKDIR}/lanes_stats.json")
+
+function(strip_wall_keys in out)
+    file(READ "${in}" text)
+    string(REGEX REPLACE "[^\n]*lanes\\.wall\\.[^\n]*\n" "" text
+                 "${text}")
+    file(WRITE "${out}" "${text}")
+endfunction()
+
+execute_process(COMMAND "${BENCH}" --scenarios 16 --lanes 1 --jobs 4
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_solo
+                ERROR_VARIABLE err_solo)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --lanes 1 exited with ${rc}:\n${err_solo}")
+endif()
+strip_wall_keys("${json}" "${WORKDIR}/lanes_stats_w1.json")
+file(WRITE "${WORKDIR}/lanes_stdout_w1.txt" "${out_solo}")
+
+execute_process(COMMAND "${BENCH}" --scenarios 16 --lanes 64 --jobs 4
+                        --stats-json "${json}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out_wide
+                ERROR_VARIABLE err_wide)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --lanes 64 exited with ${rc}:\n${err_wide}")
+endif()
+strip_wall_keys("${json}" "${WORKDIR}/lanes_stats_w64.json")
+file(WRITE "${WORKDIR}/lanes_stdout_w64.txt" "${out_wide}")
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/lanes_stdout_w1.txt"
+                        "${WORKDIR}/lanes_stdout_w64.txt"
+                RESULT_VARIABLE stdout_rc)
+if(NOT stdout_rc EQUAL 0)
+    message(FATAL_ERROR "stdout differs between --lanes 1 and "
+                        "--lanes 64 (${WORKDIR}/lanes_stdout_w{1,64}.txt)")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        "${WORKDIR}/lanes_stats_w1.json"
+                        "${WORKDIR}/lanes_stats_w64.json"
+                RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 0)
+    message(FATAL_ERROR "stats JSON differs between --lanes 1 and "
+                        "--lanes 64 (${WORKDIR}/lanes_stats_w{1,64}.json)")
+endif()

@@ -20,7 +20,9 @@
 #include "common/Shutdown.h"
 #include "exec/SweepRunner.h"
 #include "exec/ThreadPool.h"
+#include "guard/Fault.h"
 #include "obs/Report.h"
+#include "prof/Prof.h"
 
 namespace ash::exec {
 namespace {
@@ -336,6 +338,210 @@ TEST(SweepRunner, SerialFallbackRunsInline)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
     EXPECT_TRUE(all_on_main);
 }
+
+// ----- lane batches (addBatch) -------------------------------------
+
+TEST(SweepRunner, BatchRetriesOnlyFailingLanes)
+{
+    // One batch runs serially across its attempts, so plain capture
+    // is race-free.
+    std::vector<std::vector<size_t>> attemptSlots;
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.lanes = 4;
+    opts.maxAttempts = 2;
+    SweepRunner sweep(opts);
+    sweep.addBatch(
+        "batch/study",
+        {"batch/l0", "batch/l1", "batch/l2", "batch/l3"},
+        [&](BatchContext &bctx) {
+            std::vector<size_t> slots;
+            for (size_t k = 0; k < bctx.laneCount(); ++k)
+                slots.push_back(bctx.laneSlot(k));
+            attemptSlots.push_back(slots);
+            for (size_t k = 0; k < bctx.laneCount(); ++k) {
+                JobContext &lane = bctx.lane(k);
+                lane.publish("attempt",
+                             static_cast<double>(lane.attempt()));
+                if (lane.attempt() == 0 && bctx.laneSlot(k) == 2)
+                    bctx.failLane(k, "transient lane bug");
+            }
+        });
+    ASSERT_EQ(sweep.jobCount(), 4u);
+    sweep.run();
+    EXPECT_TRUE(sweep.failures().empty());
+
+    // Attempt 0 runs every lane; attempt 1 only the failing one.
+    ASSERT_EQ(attemptSlots.size(), 2u);
+    EXPECT_EQ(attemptSlots[0], (std::vector<size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(attemptSlots[1], (std::vector<size_t>{2}));
+
+    // Completed lanes kept their first-attempt staging; the retried
+    // lane replaced its own.
+    EXPECT_EQ(sweep.job(0).publishedValue("attempt"), 0.0);
+    EXPECT_EQ(sweep.job(1).publishedValue("attempt"), 0.0);
+    EXPECT_EQ(sweep.job(2).publishedValue("attempt"), 1.0);
+    EXPECT_EQ(sweep.job(3).publishedValue("attempt"), 0.0);
+}
+
+TEST(SweepRunner, BatchBodyThrowFailsAllActiveLanesThenRetries)
+{
+    std::vector<size_t> attemptWidths;
+    SweepOptions opts;
+    opts.jobs = 2;
+    opts.lanes = 3;
+    opts.maxAttempts = 2;
+    SweepRunner sweep(opts);
+    sweep.addBatch("throw/batch", {"throw/a", "throw/b", "throw/c"},
+                   [&](BatchContext &bctx) {
+                       attemptWidths.push_back(bctx.laneCount());
+                       if (bctx.lane(0).attempt() == 0)
+                           throw std::runtime_error(
+                               "whole-batch transient");
+                   });
+    sweep.run();
+    EXPECT_TRUE(sweep.failures().empty());
+    // The throw failed every active lane, so the retry re-runs all 3.
+    EXPECT_EQ(attemptWidths, (std::vector<size_t>{3, 3}));
+}
+
+TEST(SweepRunner, BatchExhaustedLaneFailureCarriesBatchAndLane)
+{
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.lanes = 3;
+    opts.maxAttempts = 2;
+    SweepRunner sweep(opts);
+    sweep.addBatch("fatal/batch", {"fatal/f0", "fatal/f1", "fatal/f2"},
+                   [&](BatchContext &bctx) {
+                       for (size_t k = 0; k < bctx.laneCount(); ++k)
+                           if (bctx.laneSlot(k) == 1)
+                               bctx.failLane(k, "permanent lane bug");
+                   });
+    const auto &failures = sweep.run();
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].job, "fatal/f1");
+    EXPECT_EQ(failures[0].index, 1u);
+    EXPECT_EQ(failures[0].attempts, 2);
+    EXPECT_EQ(failures[0].batch, "fatal/batch");
+    EXPECT_EQ(failures[0].lane, 1);
+    EXPECT_NE(failures[0].error.find("permanent lane bug"),
+              std::string::npos);
+}
+
+TEST(SweepRunner, BatchChunksByLaneWidthWithStableNames)
+{
+    // 5 lanes at width 2 split into b0/b1/b2 of widths 2, 2, 1;
+    // jobs=1 runs them inline in submission order.
+    std::vector<std::pair<std::string, size_t>> groups;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.lanes = 2;
+    SweepRunner sweep(opts);
+    std::vector<std::string> names;
+    for (int i = 0; i < 5; ++i)
+        names.push_back("chunk/l" + std::to_string(i));
+    sweep.addBatch("chunk", names, [&](BatchContext &bctx) {
+        groups.emplace_back(bctx.name(), bctx.width());
+    });
+    EXPECT_EQ(sweep.jobCount(), 5u);
+    sweep.run();
+    ASSERT_EQ(groups.size(), 3u);
+    EXPECT_EQ(groups[0],
+              (std::pair<std::string, size_t>{"chunk/b0", 2}));
+    EXPECT_EQ(groups[1],
+              (std::pair<std::string, size_t>{"chunk/b1", 2}));
+    EXPECT_EQ(groups[2],
+              (std::pair<std::string, size_t>{"chunk/b2", 1}));
+}
+
+TEST(SweepRunner, BatchCostsAndOccupancyReachProfiler)
+{
+    prof::Profiler &prof = prof::Profiler::instance();
+    prof.clear();
+    prof.setHwCountersEnabled(false);
+    prof.arm();
+
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.lanes = 2;
+    opts.maxAttempts = 2;
+    SweepRunner sweep(opts);
+    sweep.addBatch("prof/batch", {"prof/p0", "prof/p1"},
+                   [&](BatchContext &bctx) {
+                       for (size_t k = 0; k < bctx.laneCount(); ++k) {
+                           JobContext &lane = bctx.lane(k);
+                           if (lane.attempt() == 0 &&
+                               bctx.laneSlot(k) == 1)
+                               bctx.failLane(k, "flaky lane");
+                       }
+                   });
+    sweep.run();
+    prof.disarm();
+
+    auto costs = prof.jobCosts();
+    ASSERT_EQ(costs.size(), 2u);
+    EXPECT_EQ(costs[0].job, "prof/p0");
+    EXPECT_EQ(costs[0].batch, "prof/batch");
+    EXPECT_EQ(costs[0].lane, 0);
+    EXPECT_EQ(costs[0].laneWidth, 2);
+    EXPECT_EQ(costs[0].attempts, 1);
+    EXPECT_EQ(costs[0].attemptOutcomes,
+              (std::vector<std::string>{"ok"}));
+    EXPECT_EQ(costs[1].job, "prof/p1");
+    EXPECT_EQ(costs[1].lane, 1);
+    EXPECT_EQ(costs[1].attempts, 2);
+    EXPECT_EQ(costs[1].attemptOutcomes,
+              (std::vector<std::string>{"error", "ok"}));
+    EXPECT_FALSE(costs[1].failed);
+
+    // Attempt 0 ran both lanes, attempt 1 only the flaky one:
+    // 3 active lanes over 2 attempts of width 2 = 75% occupancy.
+    auto occupancy = prof.batchOccupancy();
+    ASSERT_EQ(occupancy.count("prof/batch"), 1u);
+    EXPECT_EQ(occupancy["prof/batch"].attempts, 2u);
+    EXPECT_EQ(occupancy["prof/batch"].activeLanes, 3u);
+    EXPECT_EQ(occupancy["prof/batch"].width, 2u);
+    EXPECT_DOUBLE_EQ(occupancy["prof/batch"].occupancy(), 0.75);
+
+    prof.clear();
+}
+
+#if ASH_GUARD_FAULTS
+TEST(SweepRunner, LanesBatchFaultSiteFailsAttemptThenRetries)
+{
+    // The injected fault fires at ASH_FAULT_POINT("lanes.batch"),
+    // before the body runs, so attempt 0 never reaches the body and
+    // every lane retries.
+    struct ArmedPlan
+    {
+        explicit ArmedPlan(const std::string &spec)
+        {
+            guard::FaultPlan plan;
+            std::string err;
+            EXPECT_TRUE(guard::FaultPlan::parse(spec, plan, &err))
+                << err;
+            guard::FaultInjector::instance().arm(std::move(plan));
+        }
+        ~ArmedPlan() { guard::FaultInjector::instance().disarm(); }
+    } armed("lanes.batch:error:count=1");
+
+    std::vector<size_t> bodyWidths;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.lanes = 2;
+    opts.maxAttempts = 2;
+    opts.backoffBaseMs = 0;
+    SweepRunner sweep(opts);
+    sweep.addBatch("chaos/batch", {"chaos/c0", "chaos/c1"},
+                   [&](BatchContext &bctx) {
+                       bodyWidths.push_back(bctx.laneCount());
+                   });
+    sweep.run();
+    EXPECT_TRUE(sweep.failures().empty());
+    EXPECT_EQ(bodyWidths, (std::vector<size_t>{2}));
+}
+#endif
 
 } // namespace
 } // namespace ash::exec

@@ -1,0 +1,287 @@
+/** @file Tests for lane-batched execution (src/lanes). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckpt/Snapshot.h"
+#include "designs/Designs.h"
+#include "lanes/LaneBatchEngine.h"
+#include "lanes/ScenarioGen.h"
+#include "refsim/ReferenceSimulator.h"
+#include "tests/TestUtil.h"
+#include "verilog/Compile.h"
+
+namespace ash::lanes {
+namespace {
+
+std::vector<designs::Design>
+testDesigns()
+{
+    designs::DesignScale scale;
+    scale.nttPoints = 16;
+    scale.pes = 9;
+    scale.rvCores = 4;
+    scale.warps = 4;
+    scale.lanes = 2;
+    return designs::allDesigns(scale);
+}
+
+/** Per-lane scenario bundle for a W-wide batch. */
+LaneStimulus
+sweepStimulus(const rtl::Netlist &nl, uint64_t seed, uint32_t w)
+{
+    std::vector<refsim::StimulusPtr> lanes;
+    for (const ScenarioSpec &spec : scenarioSweep(seed, w))
+        lanes.push_back(makeScenario(nl, spec));
+    return LaneStimulus(std::move(lanes));
+}
+
+// ---------------------------------------------------------------------
+// ScenarioGen
+// ---------------------------------------------------------------------
+
+TEST(ScenarioGen, PureFunctionOfCycle)
+{
+    rtl::Netlist nl;
+    nl.addInput("a", 16);
+    nl.addInput("b", 5);
+    ScenarioSpec spec;
+    spec.kind = ScenarioKind::Random;
+    spec.seed = 99;
+    refsim::StimulusPtr s1 = makeScenario(nl, spec);
+    refsim::StimulusPtr s2 = makeScenario(nl, spec);
+    std::vector<uint64_t> in1(2), in2(2);
+    // Same cycle queried out of order and repeatedly: same values.
+    for (uint64_t cycle : {7u, 3u, 7u, 0u, 7u}) {
+        std::fill(in1.begin(), in1.end(), 0);
+        std::fill(in2.begin(), in2.end(), 0);
+        s1->apply(cycle, in1);
+        s2->apply(cycle, in2);
+        EXPECT_EQ(in1, in2) << "cycle " << cycle;
+        EXPECT_LE(in1[1], 31u) << "input width respected";
+    }
+}
+
+TEST(ScenarioGen, KindsShapeTheStream)
+{
+    rtl::Netlist nl;
+    nl.addInput("x", 32);
+    std::vector<uint64_t> in(1);
+
+    ScenarioSpec rst;
+    rst.kind = ScenarioKind::ResetPulse;
+    rst.resetCycles = 5;
+    refsim::StimulusPtr s = makeScenario(nl, rst);
+    for (uint64_t c = 0; c < 5; ++c) {
+        in[0] = 123;
+        in[0] = 0;
+        s->apply(c, in);
+        EXPECT_EQ(in[0], 0u) << "held in reset at cycle " << c;
+    }
+    s->apply(5, in);
+    EXPECT_NE(in[0], 0u);
+
+    ScenarioSpec gate;
+    gate.kind = ScenarioKind::ClockGate;
+    gate.period = 4;
+    gate.duty = 2;
+    s = makeScenario(nl, gate);
+    for (uint64_t c = 0; c < 12; ++c) {
+        in[0] = 0;
+        s->apply(c, in);
+        if (c % 4 < 2)
+            EXPECT_NE(in[0], 0u) << "enabled slice at cycle " << c;
+        else
+            EXPECT_EQ(in[0], 0u) << "gated slice at cycle " << c;
+    }
+
+    ScenarioSpec hold;
+    hold.kind = ScenarioKind::ActivitySweep;
+    hold.holdCycles = 8;
+    s = makeScenario(nl, hold);
+    uint64_t first = 0;
+    s->apply(0, in);
+    first = in[0];
+    for (uint64_t c = 1; c < 8; ++c) {
+        in[0] = 0;
+        s->apply(c, in);
+        EXPECT_EQ(in[0], first) << "held block at cycle " << c;
+    }
+    s->apply(8, in);
+    EXPECT_NE(in[0], first);
+}
+
+TEST(ScenarioGen, SweepIsPrefixStable)
+{
+    auto wide = scenarioSweep(17, 64);
+    auto narrow = scenarioSweep(17, 9);
+    ASSERT_EQ(wide.size(), 64u);
+    for (size_t i = 0; i < narrow.size(); ++i) {
+        EXPECT_EQ(narrow[i].kind, wide[i].kind);
+        EXPECT_EQ(narrow[i].seed, wide[i].seed);
+        EXPECT_EQ(narrow[i].name(), wide[i].name());
+    }
+    // Distinct seeds produce distinct programs.
+    EXPECT_NE(scenarioSweep(18, 9)[0].seed, narrow[0].seed);
+}
+
+TEST(ScenarioGen, LaneStimulusForwardsLaneZero)
+{
+    rtl::Netlist nl;
+    nl.addInput("x", 24);
+    auto specs = scenarioSweep(5, 3);
+    std::vector<refsim::StimulusPtr> lanes;
+    for (const ScenarioSpec &spec : specs)
+        lanes.push_back(makeScenario(nl, spec));
+    LaneStimulus bundle(lanes);
+    std::vector<uint64_t> a(1, 0), b(1, 0);
+    bundle.apply(11, a);
+    lanes[0]->apply(11, b);
+    EXPECT_EQ(a, b);
+    bundle.applyLane(2, 11, a);
+    lanes[2]->apply(11, b);
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Lane parity: every design x W in {1, 3, 64, 65}
+// ---------------------------------------------------------------------
+
+struct ParityCase
+{
+    int design;
+    uint32_t lanes;
+};
+
+class LaneParity : public ::testing::TestWithParam<ParityCase>
+{
+};
+
+TEST_P(LaneParity, EveryLaneMatchesSoloRefsim)
+{
+    const ParityCase &tc = GetParam();
+    auto all = testDesigns();
+    const designs::Design &d = all[tc.design];
+    rtl::Netlist nl = designs::compileDesign(d);
+    const uint32_t w = tc.lanes;
+    const uint64_t cycles = 24;
+
+    auto specs = scenarioSweep(1234, w);
+    LaneStimulus bundle = sweepStimulus(nl, 1234, w);
+    LaneBatchEngine batch(nl, w);
+    EXPECT_FALSE(batch.usesCompiledKernel());
+    batch.run(bundle, cycles);
+
+    for (uint32_t l = 0; l < w; ++l) {
+        refsim::ReferenceSimulator solo(nl);
+        refsim::StimulusPtr stim = makeScenario(nl, specs[l]);
+        refsim::OutputTrace ref = solo.run(*stim, cycles);
+        ASSERT_EQ(batch.laneTrace(l), ref)
+            << d.name << " lane " << l << " of " << w;
+        // Stats byte-identical: same names, values, recording order.
+        EXPECT_EQ(batch.laneStats(l).toJson(),
+                  solo.stats().toJson())
+            << d.name << " lane " << l << " of " << w;
+        // Same double accumulation order => exact equality.
+        EXPECT_EQ(batch.laneActivityFactor(l), solo.activityFactor())
+            << d.name << " lane " << l << " of " << w;
+        EXPECT_EQ(batch.laneChanged(l), solo.changedLastCycle())
+            << d.name << " lane " << l << " of " << w;
+    }
+
+    // The CycleEngine surface is the lane-0 view.
+    EXPECT_EQ(batch.outputFrame(), batch.laneOutputFrame(0));
+    EXPECT_EQ(batch.stats().toJson(), batch.laneStats(0).toJson());
+    EXPECT_EQ(batch.cycle(), cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, LaneParity,
+    ::testing::Values(
+        ParityCase{0, 1}, ParityCase{0, 3}, ParityCase{0, 64},
+        ParityCase{0, 65}, ParityCase{1, 1}, ParityCase{1, 3},
+        ParityCase{1, 64}, ParityCase{1, 65}, ParityCase{2, 1},
+        ParityCase{2, 3}, ParityCase{2, 64}, ParityCase{2, 65},
+        ParityCase{3, 1}, ParityCase{3, 3}, ParityCase{3, 64},
+        ParityCase{3, 65}),
+    [](const ::testing::TestParamInfo<ParityCase> &info) {
+        return "d" + std::to_string(info.param.design) + "_w" +
+               std::to_string(info.param.lanes);
+    });
+
+// A broadcast (non-Lane) stimulus feeds every lane identically.
+TEST(Lanes, BroadcastStimulusFillsAllLanes)
+{
+    auto all = testDesigns();
+    rtl::Netlist nl = designs::compileDesign(all[0]);
+    auto stim = all[0].makeStimulus();
+    LaneBatchEngine batch(nl, 7);
+    batch.run(*stim, 12);
+    for (uint32_t l = 1; l < 7; ++l)
+        EXPECT_EQ(batch.laneTrace(l), batch.laneTrace(0));
+}
+
+// ---------------------------------------------------------------------
+// Checkpointing mid-batch
+// ---------------------------------------------------------------------
+
+TEST(Lanes, MidBatchSaveRestoreResumesByteIdentical)
+{
+    auto all = testDesigns();
+    const designs::Design &d = all[1];
+    rtl::Netlist nl = designs::compileDesign(d);
+    const uint32_t w = 5;
+
+    LaneStimulus bundle = sweepStimulus(nl, 77, w);
+    LaneBatchEngine a(nl, w);
+    a.run(bundle, 15);
+    std::stringstream img;
+    a.save(img);
+
+    // Tail of the original run.
+    a.run(bundle, 10);
+    std::vector<refsim::OutputTrace> tail(w);
+    std::vector<std::string> stats(w);
+    for (uint32_t l = 0; l < w; ++l) {
+        tail[l] = a.laneTrace(l);
+        stats[l] = a.laneStats(l).toJson();
+    }
+
+    // Restored engine replays the identical tail, stats included.
+    LaneBatchEngine b(nl, w);
+    b.restore(img);
+    EXPECT_EQ(b.cycle(), 15u);
+    b.run(bundle, 10);
+    for (uint32_t l = 0; l < w; ++l) {
+        EXPECT_EQ(b.laneTrace(l), tail[l]) << "lane " << l;
+        EXPECT_EQ(b.laneStats(l).toJson(), stats[l]) << "lane " << l;
+        EXPECT_EQ(b.laneActivityFactor(l), a.laneActivityFactor(l));
+    }
+
+    // Width is the snapshot config hash: wrong-width restore fails
+    // cleanly instead of mangling state.
+    img.clear();
+    img.seekg(0);
+    LaneBatchEngine narrow(nl, w - 1);
+    EXPECT_THROW(narrow.restore(img), ckpt::SnapshotError);
+}
+
+TEST(Lanes, ResetReturnsToTimeZero)
+{
+    auto all = testDesigns();
+    rtl::Netlist nl = designs::compileDesign(all[2]);
+    const uint32_t w = 3;
+    LaneStimulus bundle = sweepStimulus(nl, 9, w);
+    LaneBatchEngine eng(nl, w);
+    refsim::OutputTrace first = eng.run(bundle, 10);
+    std::string statsJson = eng.stats().toJson();
+    eng.reset();
+    EXPECT_EQ(eng.cycle(), 0u);
+    refsim::OutputTrace again = eng.run(bundle, 10);
+    EXPECT_EQ(again, first);
+    EXPECT_EQ(eng.stats().toJson(), statsJson);
+}
+
+} // namespace
+} // namespace ash::lanes
