@@ -16,6 +16,16 @@
  *  4. FAULT LEG (overlaps the flood) — a sacrificial "faulty"
  *     tenant whose jobs a fault plan kills; its errors must stay
  *     structured and must not disturb any other client.
+ *  5. CHAOS LEG (--chaos-kill, overlaps the flood) — two more
+ *     sacrificial tenants drive the worker pool's supervision paths:
+ *     "chaos" has its worker SIGKILLed on alternating requests
+ *     (every death must come back as a structured worker_crash on a
+ *     LIVE connection, and a retry must succeed on the respawned
+ *     worker), and "looper" crash-loops one design until its circuit
+ *     breaker opens (circuit_open must appear). The gates: zero
+ *     transport failures across both tenants, at least one
+ *     worker_crash, at least one circuit_open, byte-identical result
+ *     bytes throughout, and a clean daemon exit.
  *
  * The memoization contract is verified throughout: every response
  * for one cache key must carry byte-identical result bytes whether
@@ -77,6 +87,7 @@ struct Options
     uint64_t cycles = 400;       ///< Fixed cycles for every config.
     unsigned workers = 0;        ///< Daemon workers (0 = default).
     bool faultLeg = true;
+    bool chaosKill = false;      ///< Worker-kill chaos leg (pool).
     uint16_t httpPort = 0;       ///< Also smoke the HTTP endpoint.
     bool keepDaemon = false;     ///< Skip SIGTERM (external manage).
 };
@@ -128,6 +139,13 @@ struct Totals
     std::atomic<uint64_t> verified{0};
     std::atomic<uint64_t> mismatches{0};
 
+    // Chaos-leg accounting (--chaos-kill).
+    std::atomic<uint64_t> chaosAnswered{0};
+    std::atomic<uint64_t> chaosTransport{0};
+    std::atomic<uint64_t> chaosCrashes{0};
+    std::atomic<uint64_t> chaosCircuitOpen{0};
+    std::atomic<uint64_t> chaosRecovered{0};
+
     /** key -> first-seen result bytes (the byte-identity oracle). */
     std::mutex oracleMutex;
     std::map<std::string, std::string> oracle;
@@ -141,7 +159,7 @@ usage(const char *argv0)
                  "  [--clients N] [--requests N] [--configs K]\n"
                  "  [--design NAME] [--engine E] [--tiles N]\n"
                  "  [--cycles N] [--workers N] [--out PATH]\n"
-                 "  [--state-dir DIR] [--no-fault-leg]\n"
+                 "  [--state-dir DIR] [--no-fault-leg] [--chaos-kill]\n"
                  "  [--http-port N] [--keep-daemon]\n",
                  argv0);
     return 2;
@@ -326,6 +344,120 @@ faultLoop(const Options &opts, Totals &totals)
     ::close(fd);
 }
 
+/**
+ * The "chaos" tenant: its worker is SIGKILLed on alternating
+ * requests (pool.worker.kill, after=1:every=2). Every kill must
+ * surface as a structured worker_crash envelope on the SAME still-
+ * open connection — the daemon, not the connection, owns the blast
+ * radius — and retrying the key must succeed on the respawned
+ * worker. Successful results flow into the global byte-identity
+ * oracle, then a memo re-read of each key cross-checks that the
+ * supervisor memoized exactly the bytes it answered.
+ */
+void
+chaosLoop(const Options &opts, Totals &totals)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(opts.socketPath, &err);
+    if (fd < 0) {
+        totals.chaosTransport.fetch_add(1);
+        return;
+    }
+    serve::net::LineReader reader(fd);
+    serve::SimRequest req;
+    req.client = "chaos";
+    req.design = "vortex";   // Own design: its breaker is its own.
+    req.engine = opts.engine;
+    req.tiles = 4;
+    for (unsigned k = 0; k < 6; ++k) {
+        req.cycles = 64 + k;   // One distinct key per k.
+        bool okSeen = false;
+        for (unsigned attempt = 0; attempt < 6 && !okSeen;
+             ++attempt) {
+            req.nocache = true;   // Memo would dodge the kill site.
+            req.id = k * 16 + attempt;
+            std::string envelope;
+            if (!roundTrip(fd, reader, req, envelope)) {
+                totals.chaosTransport.fetch_add(1);
+                ::close(fd);
+                return;
+            }
+            totals.chaosAnswered.fetch_add(1);
+            if (envelope.rfind("{\"ok\": true", 0) == 0) {
+                okSeen = true;
+                if (attempt > 0)
+                    totals.chaosRecovered.fetch_add(1);
+                recordEnvelope(totals, envelope, 0.0);
+            } else if (envelope.find("worker_crash") !=
+                       std::string::npos) {
+                totals.chaosCrashes.fetch_add(1);
+            } else if (envelope.find("circuit_open") !=
+                       std::string::npos) {
+                totals.chaosCircuitOpen.fetch_add(1);
+                // Wait out the breaker cooldown before probing.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(600));
+            }
+        }
+        if (okSeen) {
+            // Memo re-read: the supervisor-side memoization of a
+            // crash-adjacent key must serve the exact bytes the
+            // execution answered (checked via the oracle).
+            req.nocache = false;
+            req.id = k * 16 + 15;
+            std::string envelope;
+            if (!roundTrip(fd, reader, req, envelope)) {
+                totals.chaosTransport.fetch_add(1);
+                ::close(fd);
+                return;
+            }
+            totals.chaosAnswered.fetch_add(1);
+            recordEnvelope(totals, envelope, 0.0);
+        }
+    }
+    ::close(fd);
+}
+
+/**
+ * The "looper" tenant: EVERY request kills its worker, so the design
+ * crash-loops until its per-design circuit breaker opens. The gate:
+ * circuit_open must appear (quarantine engaged) while every envelope
+ * stays structured on a live connection.
+ */
+void
+looperLoop(const Options &opts, Totals &totals)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(opts.socketPath, &err);
+    if (fd < 0) {
+        totals.chaosTransport.fetch_add(1);
+        return;
+    }
+    serve::net::LineReader reader(fd);
+    serve::SimRequest req;
+    req.client = "looper";
+    req.design = "chronos_pe";   // Distinct design = distinct breaker.
+    req.engine = opts.engine;
+    req.tiles = 4;
+    req.cycles = 32;
+    req.nocache = true;
+    for (unsigned j = 0; j < 8; ++j) {
+        req.id = j;
+        std::string envelope;
+        if (!roundTrip(fd, reader, req, envelope)) {
+            totals.chaosTransport.fetch_add(1);
+            ::close(fd);
+            return;
+        }
+        totals.chaosAnswered.fetch_add(1);
+        if (envelope.find("worker_crash") != std::string::npos)
+            totals.chaosCrashes.fetch_add(1);
+        else if (envelope.find("circuit_open") != std::string::npos)
+            totals.chaosCircuitOpen.fetch_add(1);
+    }
+    ::close(fd);
+}
+
 /** One HTTP POST /sim round trip (smoke for the TCP endpoint). */
 bool
 httpRoundTrip(uint16_t port, const serve::SimRequest &req)
@@ -363,11 +495,31 @@ spawnDaemon(const Options &opts)
         args.push_back("--workers");
         args.push_back(std::to_string(opts.workers));
     }
+    std::string plan;
     if (opts.faultLeg) {
         // Every job of the tenant named "faulty" dies; nobody else
         // matches the scope.
+        plan = "job.body@serve/faulty/:error";
+    }
+    if (opts.chaosKill) {
+        // Worker-kill chaos: alternating kills for "chaos" (per
+        // worker: the first request survives, the second dies, ...),
+        // and an unconditional crash loop for "looper". Scopes are
+        // client-keyed, so the flood and the seed/verify phases
+        // never match.
+        if (!plan.empty())
+            plan += ";";
+        plan += "pool.worker.kill@serve/chaos/:kill:after=1:every=2;"
+                "pool.worker.kill@serve/looper/:kill";
+        // A tight breaker so the looper quarantines within the run.
+        args.push_back("--breaker-k");
+        args.push_back("3");
+        args.push_back("--breaker-cooldown-ms");
+        args.push_back("500");
+    }
+    if (!plan.empty()) {
         args.push_back("--fault-plan");
-        args.push_back("job.body@serve/faulty/:error");
+        args.push_back(plan);
     }
     if (opts.httpPort != 0) {
         args.push_back("--http");
@@ -440,6 +592,8 @@ main(int argc, char **argv)
             opts.stateDir = v;
         else if (std::strcmp(arg, "--no-fault-leg") == 0)
             opts.faultLeg = false;
+        else if (std::strcmp(arg, "--chaos-kill") == 0)
+            opts.chaosKill = true;
         else if (std::strcmp(arg, "--http-port") == 0 && (v = value()))
             opts.httpPort = static_cast<uint16_t>(std::atoi(v));
         else if (std::strcmp(arg, "--keep-daemon") == 0)
@@ -493,10 +647,23 @@ main(int argc, char **argv)
         faulter = std::thread([&opts, &totals] {
             faultLoop(opts, totals);
         });
+    std::thread chaoser, looper;
+    if (opts.chaosKill) {
+        chaoser = std::thread([&opts, &totals] {
+            chaosLoop(opts, totals);
+        });
+        looper = std::thread([&opts, &totals] {
+            looperLoop(opts, totals);
+        });
+    }
     for (std::thread &t : threads)
         t.join();
     if (faulter.joinable())
         faulter.join();
+    if (chaoser.joinable())
+        chaoser.join();
+    if (looper.joinable())
+        looper.join();
 
     // Phase 3: warm verify — forced execution on the hot cache must
     // reproduce the cold bytes exactly.
@@ -586,6 +753,27 @@ main(int argc, char **argv)
         warn("serve_load: fault leg produced no structured errors");
         exitCode = 1;
     }
+    if (opts.chaosKill && daemon > 0) {
+        // The supervision gates: every chaos request was ANSWERED
+        // (a worker death never cost a connection), kills really
+        // happened and came back structured, and the crash-looping
+        // design was quarantined by its breaker.
+        if (totals.chaosTransport.load() != 0) {
+            warn("serve_load: %llu chaos transport failure(s) — a "
+                 "worker death leaked to a connection",
+                 (unsigned long long)totals.chaosTransport.load());
+            exitCode = 1;
+        }
+        if (totals.chaosCrashes.load() == 0) {
+            warn("serve_load: chaos leg produced no worker_crash");
+            exitCode = 1;
+        }
+        if (totals.chaosCircuitOpen.load() == 0) {
+            warn("serve_load: crash loop never tripped the circuit "
+                 "breaker");
+            exitCode = 1;
+        }
+    }
 
     JsonWriter w(true);
     w.beginObject();
@@ -621,6 +809,14 @@ main(int argc, char **argv)
     w.kv("leg_enabled", opts.faultLeg);
     w.kv("fault_errors", totals.faultErrors.load());
     w.kv("alive_after", aliveAfterFaults);
+    w.endObject();
+    w.key("chaos").beginObject();
+    w.kv("enabled", opts.chaosKill);
+    w.kv("answered", totals.chaosAnswered.load());
+    w.kv("transport_failures", totals.chaosTransport.load());
+    w.kv("worker_crashes", totals.chaosCrashes.load());
+    w.kv("circuit_open", totals.chaosCircuitOpen.load());
+    w.kv("recovered_after_crash", totals.chaosRecovered.load());
     w.endObject();
     w.kv("memo_p99_ms", memoP99);
     w.kv("cold_p50_ms", coldP50);

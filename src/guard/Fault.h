@@ -17,7 +17,10 @@
  *          (sites in the tree: job.body, job.alloc, lanes.batch,
  *           exec.persist.write, ckpt.image.write, ckpt.image.rename,
  *           ckpt.image.bytes, ckpt.manifest.write,
- *           ckpt.manifest.read)
+ *           ckpt.manifest.read, serve.results.write,
+ *           jit.source.write, jit.compile, jit.cache.bytes,
+ *           jit.dlopen, pool.worker.spawn, pool.worker.kill,
+ *           pool.ipc.corrupt)
  *   match  substring of the fault scope (the sweep job key; empty
  *          scope outside jobs); omitted = every scope
  *   kind   error   throw guard::InjectedFault (structured I/O-style

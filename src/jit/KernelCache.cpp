@@ -1,8 +1,12 @@
 #include "jit/KernelCache.h"
 
 #include <dlfcn.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +24,7 @@
 #include "common/Error.h"
 #include "common/Logging.h"
 #include "common/TmpPath.h"
+#include "guard/Cancel.h"
 #include "guard/Fault.h"
 #include "jit/Codegen.h"
 #include "rtl/Netlist.h"
@@ -130,6 +135,11 @@ JitOptions::resolved(const JitOptions &base)
     if (const char *v = std::getenv("ASH_JIT_FORCE_INTERP");
         v && *v && std::string(v) != "0")
         o.forceInterp = true;
+    if (o.compileBudgetMs == 0) {
+        if (const char *v = std::getenv("ASH_JIT_COMPILE_BUDGET_MS");
+            v && *v)
+            o.compileBudgetMs = std::strtoull(v, nullptr, 10);
+    }
     return o;
 }
 
@@ -151,11 +161,13 @@ struct KernelCache::Impl
     Snapshot snap;
 
     KernelPtr load(const rtl::Netlist &nl, const JitOptions &opts,
-                   const std::string &key, std::string &why);
+                   const std::string &key, std::string &why,
+                   bool &transient);
     KernelPtr tryOpen(const rtl::Netlist &nl, const std::string &so,
                       std::string &why);
     bool compile(const rtl::Netlist &nl, const JitOptions &opts,
-                 const std::string &so, std::string &why);
+                 const std::string &so, std::string &why,
+                 bool &transient);
     bool crcOk(const std::string &so, std::string &why);
 };
 
@@ -225,11 +237,19 @@ KernelCache::acquire(const rtl::Netlist &nl, const JitOptions &opts,
             task = std::make_shared<std::packaged_task<KernelPtr()>>(
                 [&im, &nl, opts = ropts, key]() -> KernelPtr {
                     std::string why;
-                    KernelPtr k = im.load(nl, opts, key, why);
+                    bool transient = false;
+                    KernelPtr k =
+                        im.load(nl, opts, key, why, transient);
                     std::lock_guard<std::mutex> relock(im.mutex);
                     if (!k) {
                         ++im.snap.failures;
-                        im.whys[key] = why;
+                        // A transient failure (deadline-killed
+                        // compile) is not memoized: this request
+                        // falls back to the interpreter, but a later
+                        // unhurried request may still build the
+                        // kernel.
+                        if (!transient)
+                            im.whys[key] = why;
                         im.slots.erase(key);
                     }
                     return k;
@@ -277,7 +297,8 @@ KernelCache::stats() const
  */
 KernelPtr
 KernelCache::Impl::load(const rtl::Netlist &nl, const JitOptions &opts,
-                        const std::string &key, std::string &why)
+                        const std::string &key, std::string &why,
+                        bool &transient)
 {
     std::error_code ec;
     fs::create_directories(opts.cacheDir, ec);
@@ -299,7 +320,7 @@ KernelCache::Impl::load(const rtl::Netlist &nl, const JitOptions &opts,
              so.c_str(), diskWhy.c_str());
     }
 
-    if (!compile(nl, opts, so, why))
+    if (!compile(nl, opts, so, why, transient))
         return nullptr;
     KernelPtr k = tryOpen(nl, so, why);
     if (k) {
@@ -391,11 +412,15 @@ KernelCache::Impl::tryOpen(const rtl::Netlist &nl,
     return k;
 }
 
-/** Emit, compile, CRC, and atomically publish @p so. */
+/** Emit, compile, CRC, and atomically publish @p so. Sets
+ *  @p transient (and returns false) when the toolchain was killed by
+ *  the compile budget or the thread's CancelToken rather than
+ *  failing on its own. */
 bool
 KernelCache::Impl::compile(const rtl::Netlist &nl,
                            const JitOptions &opts,
-                           const std::string &so, std::string &why)
+                           const std::string &so, std::string &why,
+                           bool &transient)
 {
     auto t0 = std::chrono::steady_clock::now();
     const std::string src =
@@ -427,7 +452,62 @@ KernelCache::Impl::compile(const rtl::Netlist &nl,
     cmd += kCompileFlags;
     cmd += " -o " + shQuote(soTmp) + " " + shQuote(ccPath);
     cmd += " > " + shQuote(logPath) + " 2>&1";
-    int rc = std::system(cmd.c_str());
+
+    // The toolchain runs as a watched child (its own process group,
+    // so the kill reaches cc1plus behind the sh) instead of a
+    // blocking std::system: a cold compile must respect the caller's
+    // deadline — the supervisor would otherwise SIGKILL the whole
+    // worker for a slow -O2 run, losing its warm caches — and the
+    // thread's CancelToken (the serve watchdog) for the same reason.
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        why = "fork failed for compiler";
+        cleanup();
+        return false;
+    }
+    if (pid == 0) {
+        ::setpgid(0, 0);
+        ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point budgetEnd =
+        Clock::now() + std::chrono::milliseconds(opts.compileBudgetMs);
+    int status = 0;
+    bool killed = false;
+    for (;;) {
+        pid_t got = ::waitpid(pid, &status, WNOHANG);
+        if (got == pid)
+            break;
+        if (got < 0) {
+            status = 0;
+            break;
+        }
+        guard::CancelToken *token = guard::CancelToken::current();
+        bool cancelled = token && token->cancelled();
+        bool overBudget = opts.compileBudgetMs > 0 &&
+                          Clock::now() >= budgetEnd;
+        if (cancelled || overBudget) {
+            ::kill(-pid, SIGKILL);
+            ::waitpid(pid, &status, 0);
+            killed = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (killed) {
+        warn("jit: compile for %s killed after %.0f ms "
+             "(budget %llu ms); falling back to the interpreter",
+             so.c_str(), msSince(t0),
+             static_cast<unsigned long long>(opts.compileBudgetMs));
+        why = "compile killed by deadline (budget " +
+              std::to_string(opts.compileBudgetMs) + " ms)";
+        transient = true;
+        cleanup();
+        return false;
+    }
+    int rc = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     if (rc != 0) {
         std::vector<char> log;
         slurp(logPath, log);

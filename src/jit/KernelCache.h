@@ -61,6 +61,19 @@ struct JitOptions
      *  ($ASH_JIT_FORCE_INTERP=1 sets this too). */
     bool forceInterp = false;
 
+    /**
+     * Wall-clock bound on a COLD compile, milliseconds; 0 (or
+     * $ASH_JIT_COMPILE_BUDGET_MS) = unbounded. A compile that blows
+     * the budget — or whose thread's guard::CancelToken fires, e.g.
+     * the serve watchdog on a request deadline — is killed, and the
+     * caller degrades to the interpreter with a warn. Deliberately
+     * NOT part of the cache key: the budget changes whether a kernel
+     * gets built, never what is built, and a timed-out compile is
+     * not memoized as a failure so a later unhurried request can
+     * still build the kernel.
+     */
+    uint64_t compileBudgetMs = 0;
+
     /** Resolve the env-var defaults described above. */
     static JitOptions resolved(const JitOptions &base);
 };

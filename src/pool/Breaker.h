@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Per-key circuit breakers for the worker pool: crash-loop
+ * quarantine at design granularity. One poisoned design — a kernel
+ * that segfaults its worker, a netlist that never meets its deadline
+ * — must 503 cleanly instead of burning a worker respawn per request
+ * while every other tenant's designs keep their fast paths.
+ *
+ * State machine per key (the design fingerprint):
+ *
+ *   CLOSED --K failures in window--> OPEN --cooldown--> HALF-OPEN
+ *   HALF-OPEN --probe succeeds--> CLOSED
+ *   HALF-OPEN --probe fails----> OPEN (cooldown restarts)
+ *
+ * Only containment-class failures count toward K: worker crashes,
+ * deadline timeouts, and IPC breakdowns. Structured simulation
+ * errors (bad request, injected job faults) are the request's own
+ * problem and never open the breaker.
+ *
+ * While OPEN, admit() rejects instantly — no worker lease, no fork,
+ * no queue slot. After cooldownMs one caller is admitted as the
+ * half-open probe; concurrent callers keep getting rejected until
+ * that probe reports back. Time is passed in by the caller so tests
+ * can drive the state machine without sleeping.
+ */
+
+#ifndef ASH_POOL_BREAKER_H
+#define ASH_POOL_BREAKER_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ash::pool {
+
+/** Breaker policy knobs. */
+struct BreakerOptions
+{
+    /** Failures within the window that open the breaker. */
+    int threshold = 3;
+    /** Rolling failure-count window, milliseconds. */
+    uint64_t windowMs = 30000;
+    /** OPEN -> HALF-OPEN cooldown, milliseconds. */
+    uint64_t cooldownMs = 1000;
+};
+
+enum class BreakerState : uint8_t { Closed, Open, HalfOpen };
+
+inline const char *
+breakerStateName(BreakerState s)
+{
+    switch (s) {
+      case BreakerState::Closed:   return "closed";
+      case BreakerState::Open:     return "open";
+      case BreakerState::HalfOpen: return "half_open";
+    }
+    return "?";
+}
+
+/** What admit() decided for one request. */
+enum class BreakerVerdict
+{
+    Allow,  ///< Closed (or no history): run it.
+    Probe,  ///< Half-open: run it, and report the outcome faithfully.
+    Reject, ///< Open: fail fast with a structured circuit_open error.
+};
+
+/** Keyed breaker table; thread-safe. */
+class BreakerBoard
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    struct Snap
+    {
+        std::string key;
+        BreakerState state = BreakerState::Closed;
+        uint64_t failures = 0;  ///< Containment failures, all time.
+        uint64_t rejected = 0;  ///< Requests refused while open.
+        uint64_t opens = 0;     ///< Closed/half-open -> open flips.
+    };
+
+    explicit BreakerBoard(BreakerOptions opts) : _opts(opts) {}
+
+    /** Gate one request for @p key. */
+    BreakerVerdict
+    admit(const std::string &key, Clock::time_point now = Clock::now())
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        Entry &e = _entries[key];
+        if (e.state == BreakerState::Closed)
+            return BreakerVerdict::Allow;
+        if (e.state == BreakerState::Open) {
+            if (now - e.openedAt <
+                std::chrono::milliseconds(_opts.cooldownMs)) {
+                ++e.rejected;
+                ++_rejected;
+                return BreakerVerdict::Reject;
+            }
+            e.state = BreakerState::HalfOpen;
+            e.probing = true;
+            return BreakerVerdict::Probe;
+        }
+        // Half-open: exactly one probe in flight at a time.
+        if (e.probing) {
+            ++e.rejected;
+            ++_rejected;
+            return BreakerVerdict::Reject;
+        }
+        e.probing = true;
+        return BreakerVerdict::Probe;
+    }
+
+    /** The request for @p key finished cleanly (or failed for
+     *  non-containment reasons — the design is not poisoned). */
+    void
+    onSuccess(const std::string &key,
+              Clock::time_point now = Clock::now())
+    {
+        (void)now;
+        std::lock_guard<std::mutex> lock(_mutex);
+        Entry &e = _entries[key];
+        if (e.state == BreakerState::HalfOpen) {
+            e.state = BreakerState::Closed;
+            e.probing = false;
+            e.recent.clear();
+        }
+    }
+
+    /** The request for @p key died in a containment-class way
+     *  (worker crash, deadline, IPC breakdown). */
+    void
+    onFailure(const std::string &key,
+              Clock::time_point now = Clock::now())
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        Entry &e = _entries[key];
+        ++e.failures;
+        if (e.state == BreakerState::HalfOpen) {
+            // The probe failed: straight back to open, fresh cooldown.
+            e.state = BreakerState::Open;
+            e.probing = false;
+            e.openedAt = now;
+            ++e.opens;
+            ++_opens;
+            return;
+        }
+        e.recent.push_back(now);
+        auto cutoff =
+            now - std::chrono::milliseconds(_opts.windowMs);
+        while (!e.recent.empty() && e.recent.front() < cutoff)
+            e.recent.pop_front();
+        if (e.state == BreakerState::Closed &&
+            static_cast<int>(e.recent.size()) >= _opts.threshold) {
+            e.state = BreakerState::Open;
+            e.openedAt = now;
+            e.recent.clear();
+            ++e.opens;
+            ++_opens;
+        }
+    }
+
+    BreakerState
+    state(const std::string &key) const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _entries.find(key);
+        return it == _entries.end() ? BreakerState::Closed
+                                    : it->second.state;
+    }
+
+    /** Total open flips / rejections (for /stats). */
+    uint64_t opens() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _opens;
+    }
+    uint64_t rejected() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _rejected;
+    }
+
+    /** Per-key snapshots, sorted by key. */
+    std::vector<Snap>
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        std::vector<Snap> out;
+        out.reserve(_entries.size());
+        for (const auto &[key, e] : _entries) {
+            Snap s;
+            s.key = key;
+            s.state = e.state;
+            s.failures = e.failures;
+            s.rejected = e.rejected;
+            s.opens = e.opens;
+            out.push_back(std::move(s));
+        }
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        BreakerState state = BreakerState::Closed;
+        bool probing = false;
+        Clock::time_point openedAt{};
+        std::deque<Clock::time_point> recent;
+        uint64_t failures = 0;
+        uint64_t rejected = 0;
+        uint64_t opens = 0;
+    };
+
+    BreakerOptions _opts;
+    mutable std::mutex _mutex;
+    std::map<std::string, Entry> _entries;
+    uint64_t _opens = 0;
+    uint64_t _rejected = 0;
+};
+
+} // namespace ash::pool
+
+#endif // ASH_POOL_BREAKER_H

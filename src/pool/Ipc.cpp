@@ -1,0 +1,192 @@
+#include "pool/Ipc.h"
+
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include "ckpt/Snapshot.h"
+#include "common/Json.h"
+#include "guard/Fault.h"
+
+namespace ash::pool {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x41504631u; // "APF1"
+/** Sanity bound: no request or reply is anywhere near this. */
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+struct FrameHeader
+{
+    uint32_t magic;
+    uint32_t length;
+    uint32_t crc;
+};
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Read exactly @p len bytes, polling in short slices so the caller's
+ * total timeout stays honest. Returns Ok/Eof/Timeout.
+ */
+FrameResult
+recvExact(int fd, void *data, size_t len, int timeoutMs)
+{
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           timeoutMs > 0 ? timeoutMs : 0);
+    char *p = static_cast<char *>(data);
+    while (len > 0) {
+        int slice = 100;
+        if (timeoutMs > 0) {
+            auto left = std::chrono::duration_cast<
+                            std::chrono::milliseconds>(deadline -
+                                                       Clock::now())
+                            .count();
+            if (left <= 0)
+                return FrameResult::Timeout;
+            slice = static_cast<int>(
+                left < 100 ? left : 100);
+        }
+        pollfd pfd{fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, slice);
+        if (rc < 0)
+            return FrameResult::Eof;
+        if (rc == 0)
+            continue;
+        ssize_t n = ::recv(fd, p, len, 0);
+        if (n <= 0)
+            return FrameResult::Eof;
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return FrameResult::Ok;
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    std::vector<char> bytes(payload.begin(), payload.end());
+    FrameHeader hdr;
+    hdr.magic = kMagic;
+    hdr.length = static_cast<uint32_t>(bytes.size());
+    hdr.crc = ckpt::crc32(bytes.data(), bytes.size());
+    // CRC first, corruption second: the flipped bytes travel under a
+    // checksum computed over the clean payload, so the reader's CRC
+    // check fails — exactly the failure mode real wire damage causes.
+    ASH_FAULT_CORRUPT("pool.ipc.corrupt", bytes.data(), bytes.size());
+    if (!sendAll(fd, &hdr, sizeof(hdr)))
+        return false;
+    return bytes.empty() || sendAll(fd, bytes.data(), bytes.size());
+}
+
+FrameResult
+readFrame(int fd, std::string &out, int timeoutMs)
+{
+    FrameHeader hdr{};
+    FrameResult rc = recvExact(fd, &hdr, sizeof(hdr), timeoutMs);
+    if (rc != FrameResult::Ok)
+        return rc;
+    if (hdr.magic != kMagic || hdr.length > kMaxFrameBytes)
+        return FrameResult::Corrupt;
+    out.resize(hdr.length);
+    if (hdr.length > 0) {
+        rc = recvExact(fd, out.data(), hdr.length, timeoutMs);
+        if (rc != FrameResult::Ok)
+            return rc;
+    }
+    if (ckpt::crc32(out.data(), out.size()) != hdr.crc)
+        return FrameResult::Corrupt;
+    return FrameResult::Ok;
+}
+
+std::string
+encodeRequest(const WorkRequest &req)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("seq", req.seq);
+    w.kv("scope", req.scope);
+    w.kv("breaker_key", req.breakerKey);
+    w.kv("deadline_ms", req.deadlineMs);
+    w.kv("body", req.body);
+    w.endObject();
+    return w.str();
+}
+
+bool
+decodeRequest(const std::string &text, WorkRequest &out)
+{
+    JsonValue doc;
+    if (!jsonParse(text, doc) || !doc.isObject())
+        return false;
+    if (!doc["seq"].isNumber() || !doc["scope"].isString() ||
+        !doc["breaker_key"].isString() ||
+        !doc["deadline_ms"].isNumber() || !doc["body"].isString())
+        return false;
+    out.seq = doc["seq"].asU64();
+    out.scope = doc["scope"].string();
+    out.breakerKey = doc["breaker_key"].string();
+    out.deadlineMs = doc["deadline_ms"].asU64();
+    out.body = doc["body"].string();
+    return true;
+}
+
+std::string
+encodeReply(const WorkReply &reply)
+{
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("seq", reply.seq);
+    w.kv("ok", reply.ok);
+    w.kv("class", reply.cls);
+    w.kv("kind", reply.kind);
+    w.kv("message", reply.message);
+    w.kv("payload", reply.payload);
+    w.kv("wall_sec", reply.wallSec);
+    w.kv("cpu_sec", reply.cpuSec);
+    w.endObject();
+    return w.str();
+}
+
+bool
+decodeReply(const std::string &text, WorkReply &out)
+{
+    JsonValue doc;
+    if (!jsonParse(text, doc) || !doc.isObject())
+        return false;
+    if (!doc["seq"].isNumber() || !doc["ok"].isBool() ||
+        !doc["class"].isString() || !doc["kind"].isString() ||
+        !doc["message"].isString() || !doc["payload"].isString() ||
+        !doc["wall_sec"].isNumber() || !doc["cpu_sec"].isNumber())
+        return false;
+    out.seq = doc["seq"].asU64();
+    out.ok = doc["ok"].boolean();
+    out.cls = doc["class"].string();
+    out.kind = doc["kind"].string();
+    out.message = doc["message"].string();
+    out.payload = doc["payload"].string();
+    out.wallSec = doc["wall_sec"].number();
+    out.cpuSec = doc["cpu_sec"].number();
+    return true;
+}
+
+} // namespace ash::pool

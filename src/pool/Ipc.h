@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Length-prefixed framing for the supervisor <-> worker socketpair.
+ * One frame is
+ *
+ *   [magic u32][length u32][crc32 u32][payload bytes]
+ *
+ * with the CRC computed over the payload, so a torn write, a short
+ * read, or injected corruption (`pool.ipc.corrupt`) is detected
+ * before any payload byte is trusted. The stream carries exactly one
+ * request frame in and one reply frame out per job; after ANY framing
+ * error the supervisor kills and respawns the worker instead of
+ * trying to resynchronize a byte stream it no longer trusts.
+ *
+ * Payloads are single-line JSON objects (common/Json.h), so the wire
+ * stays debuggable with strace and the request body — itself a serve
+ * protocol line — nests without escapes beyond standard JSON.
+ */
+
+#ifndef ASH_POOL_IPC_H
+#define ASH_POOL_IPC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ash::pool {
+
+/** Outcome of one readFrame() call. */
+enum class FrameResult
+{
+    Ok,       ///< A whole, CRC-clean frame is in the out buffer.
+    Eof,      ///< Peer closed (worker death or supervisor drain).
+    Timeout,  ///< Deadline passed with the frame incomplete.
+    Corrupt,  ///< Bad magic, absurd length, or CRC mismatch.
+};
+
+/**
+ * Write one frame. The `pool.ipc.corrupt` fault site flips payload
+ * bytes AFTER the CRC is computed, so injected damage is exactly the
+ * damage the reader's CRC check must catch. False on any write error
+ * (EPIPE when the peer died mid-frame).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one frame into @p out, waiting at most @p timeoutMs
+ * (<= 0 means wait forever). Partial frames followed by EOF report
+ * Eof — a worker killed mid-reply looks identical to one killed
+ * between replies.
+ */
+FrameResult readFrame(int fd, std::string &out, int timeoutMs);
+
+/** One unit of work shipped to a worker. */
+struct WorkRequest
+{
+    uint64_t seq = 0;        ///< Per-slot sequence (desync detection).
+    std::string scope;       ///< Fault/breaker scope, e.g. job-key prefix.
+    std::string breakerKey;  ///< Circuit-breaker key (design fingerprint).
+    uint64_t deadlineMs = 0; ///< Remaining budget; 0 = none.
+    std::string body;        ///< Opaque request line for the handler.
+};
+
+/** A worker's answer: result bytes plus the resource bill. */
+struct WorkReply
+{
+    uint64_t seq = 0;
+    bool ok = false;
+    std::string cls;     ///< Cache class on success ("cold"/"warm").
+    std::string kind;    ///< Stable machine tag on failure.
+    std::string message; ///< Human-readable failure detail.
+    std::string payload; ///< Result bytes on success.
+    double wallSec = 0.0; ///< prof::JobCost-style bill: wall time.
+    double cpuSec = 0.0;  ///< ... and thread-CPU time, in the child.
+};
+
+std::string encodeRequest(const WorkRequest &req);
+bool decodeRequest(const std::string &text, WorkRequest &out);
+
+std::string encodeReply(const WorkReply &reply);
+bool decodeReply(const std::string &text, WorkReply &out);
+
+} // namespace ash::pool
+
+#endif // ASH_POOL_IPC_H

@@ -1,0 +1,367 @@
+#include "pool/Supervisor.h"
+
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/Logging.h"
+#include "exec/Job.h"
+#include "exec/SweepRunner.h"
+#include "guard/Fault.h"
+
+namespace ash::pool {
+
+namespace {
+
+/** Spawn attempts per ensureAlive() call before giving up on the
+ *  request (the NEXT request tries again from scratch). */
+constexpr int kSpawnAttempts = 4;
+
+WorkReply
+failure(uint64_t seq, const char *kind, std::string message)
+{
+    WorkReply r;
+    r.seq = seq;
+    r.ok = false;
+    r.kind = kind;
+    r.message = std::move(message);
+    return r;
+}
+
+} // namespace
+
+Supervisor::Supervisor(PoolOptions opts, Handler handler)
+    : _opts(std::move(opts)), _handler(std::move(handler)),
+      _breakers(_opts.breaker)
+{
+    if (_opts.workers == 0)
+        _opts.workers = 1;
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+bool
+Supervisor::start(std::string *err)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_started)
+            return true;
+        _started = true;
+        _slots.resize(_opts.workers);
+        for (unsigned i = 0; i < _opts.workers; ++i)
+            _slots[i].backoffSeed =
+                exec::stableSeed("pool/slot" + std::to_string(i));
+    }
+    unsigned alive = 0;
+    for (Slot &slot : _slots)
+        if (ensureAlive(slot))
+            ++alive;
+    if (alive == 0) {
+        if (err)
+            *err = "pool: could not spawn any worker";
+        return false;
+    }
+    inform("pool: started %u/%u workers", alive, _opts.workers);
+    return true;
+}
+
+void
+Supervisor::stop()
+{
+    std::vector<Slot> doomed;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (!_started || _stopped) {
+            _stopped = true;
+            _cv.notify_all();
+            return;
+        }
+        _stopped = true;
+        doomed = _slots; // pids/fds by value; slots stay for stats.
+        for (Slot &slot : _slots) {
+            slot.pid = -1;
+            slot.fd = -1;
+        }
+        _cv.notify_all();
+    }
+    // Closing the supervisor end is the drain signal: workers see EOF
+    // and _exit(0). SIGKILL is only the backstop for a worker wedged
+    // mid-request.
+    for (Slot &slot : doomed)
+        if (slot.fd >= 0)
+            ::close(slot.fd);
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point grace =
+        Clock::now() + std::chrono::milliseconds(_opts.killGraceMs);
+    for (Slot &slot : doomed) {
+        if (slot.pid < 0)
+            continue;
+        for (;;) {
+            int status = 0;
+            pid_t got = ::waitpid(slot.pid, &status, WNOHANG);
+            if (got == slot.pid || (got < 0 && errno == ECHILD))
+                break;
+            if (Clock::now() >= grace) {
+                ::kill(slot.pid, SIGKILL);
+                ::waitpid(slot.pid, &status, 0);
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        slot.pid = -1;
+    }
+}
+
+Supervisor::Slot *
+Supervisor::lease()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        if (_stopped || !_started)
+            return nullptr;
+        for (Slot &slot : _slots) {
+            if (!slot.leased) {
+                slot.leased = true;
+                return &slot;
+            }
+        }
+        _cv.wait(lock);
+    }
+}
+
+void
+Supervisor::release(Slot &slot)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    slot.leased = false;
+    _cv.notify_one();
+}
+
+bool
+Supervisor::reapIfDead(Slot &slot)
+{
+    if (slot.pid < 0)
+        return true;
+    int status = 0;
+    pid_t got = ::waitpid(slot.pid, &status, WNOHANG);
+    if (got == 0)
+        return false; // Still running.
+    // Exited (or already reaped elsewhere): tear the slot down.
+    if (slot.fd >= 0)
+        ::close(slot.fd);
+    slot.fd = -1;
+    slot.pid = -1;
+    return true;
+}
+
+void
+Supervisor::killSlot(Slot &slot)
+{
+    if (slot.pid >= 0) {
+        ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(slot.pid, &status, 0);
+        slot.pid = -1;
+    }
+    if (slot.fd >= 0)
+        ::close(slot.fd);
+    slot.fd = -1;
+}
+
+bool
+Supervisor::ensureAlive(Slot &slot)
+{
+    bool alive = slot.pid >= 0 && !reapIfDead(slot);
+    if (alive)
+        return true;
+    bool replacing = slot.strikes > 0;
+    for (int attempt = 0; attempt < kSpawnAttempts; ++attempt) {
+        // Deterministic bounded backoff, keyed by the slot and its
+        // consecutive-failure count — crash loops slow down instead
+        // of fork-bombing, and the schedule replays run to run.
+        int step = slot.strikes + attempt;
+        if (step > 0) {
+            uint64_t delayMs = exec::retryBackoffMs(
+                slot.backoffSeed, step - 1, _opts.respawnBaseMs,
+                _opts.respawnCapMs);
+            if (delayMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delayMs));
+        }
+        try {
+            ASH_FAULT_POINT("pool.worker.spawn");
+        } catch (const std::exception &) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_spawnRetries;
+            continue;
+        }
+        int sv[2] = {-1, -1};
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_spawnRetries;
+            continue;
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(sv[0]);
+            ::close(sv[1]);
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_spawnRetries;
+            continue;
+        }
+        if (pid == 0) {
+            ::close(sv[0]);
+            if (_opts.childInit)
+                _opts.childInit();
+            workerMain(sv[1], _handler); // noreturn
+        }
+        ::close(sv[1]);
+        slot.pid = pid;
+        slot.fd = sv[0];
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_spawns;
+        if (replacing)
+            ++_restarts;
+        return true;
+    }
+    return false;
+}
+
+WorkReply
+Supervisor::submit(const WorkRequest &req)
+{
+    // 1. Breaker gate: an open key fails fast, before any worker or
+    //    queue slot is spent on it.
+    BreakerVerdict verdict = BreakerVerdict::Allow;
+    if (!req.breakerKey.empty())
+        verdict = _breakers.admit(req.breakerKey);
+    if (verdict == BreakerVerdict::Reject)
+        return failure(req.seq, "circuit_open",
+                       "design quarantined after repeated worker "
+                       "crashes; retry after cooldown");
+
+    auto settle = [&](bool contained) {
+        if (req.breakerKey.empty())
+            return;
+        if (contained)
+            _breakers.onFailure(req.breakerKey);
+        else
+            _breakers.onSuccess(req.breakerKey);
+    };
+
+    Slot *slot = lease();
+    if (!slot) {
+        settle(false); // Shutdown is nobody's poison.
+        return failure(req.seq, "pool_stopped",
+                       "worker pool is shut down");
+    }
+
+    WorkReply reply;
+    bool contained = false;
+    const char *containKind = nullptr;
+    if (!ensureAlive(*slot)) {
+        contained = true;
+        containKind = "worker_spawn";
+        reply = failure(req.seq, containKind,
+                        "could not spawn a worker for this request");
+    } else {
+        WorkRequest framed = req;
+        framed.seq = ++slot->seq;
+        if (!writeFrame(slot->fd, encodeRequest(framed))) {
+            // The worker died between lease and write.
+            contained = true;
+            containKind = "worker_crash";
+        } else {
+            int timeoutMs =
+                framed.deadlineMs > 0
+                    ? static_cast<int>(framed.deadlineMs +
+                                       _opts.killGraceMs)
+                    : static_cast<int>(_opts.replyTimeoutMs);
+            std::string text;
+            FrameResult rc = readFrame(slot->fd, text, timeoutMs);
+            switch (rc) {
+              case FrameResult::Ok:
+                if (!decodeReply(text, reply) ||
+                    reply.seq != framed.seq) {
+                    contained = true;
+                    containKind = "pool_ipc";
+                } else {
+                    reply.seq = req.seq;
+                }
+                break;
+              case FrameResult::Eof:
+                contained = true;
+                containKind = "worker_crash";
+                break;
+              case FrameResult::Timeout:
+                contained = true;
+                containKind = "worker_timeout";
+                break;
+              case FrameResult::Corrupt:
+                contained = true;
+                containKind = "pool_ipc";
+                break;
+            }
+        }
+        if (contained) {
+            // Whatever the failure, the stream is no longer trusted:
+            // kill (idempotent on a dead child) and respawn later.
+            killSlot(*slot);
+            const char *what =
+                std::string(containKind) == "worker_crash"
+                    ? "worker process died mid-request"
+                : std::string(containKind) == "worker_timeout"
+                    ? "worker blew its deadline and was killed"
+                    : "worker reply frame was corrupt or desynced";
+            reply = failure(req.seq, containKind, what);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (contained) {
+            ++slot->strikes;
+            std::string kind = containKind ? containKind : "";
+            if (kind == "worker_crash" || kind == "worker_spawn")
+                ++_crashes;
+            else if (kind == "worker_timeout")
+                ++_timeouts;
+            else
+                ++_ipcErrors;
+        } else {
+            slot->strikes = 0;
+        }
+    }
+    settle(contained);
+    release(*slot);
+    return reply;
+}
+
+PoolStats
+Supervisor::stats() const
+{
+    PoolStats s;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        s.workers = _opts.workers;
+        s.spawns = _spawns;
+        s.restarts = _restarts;
+        s.spawnRetries = _spawnRetries;
+        s.crashes = _crashes;
+        s.timeouts = _timeouts;
+        s.ipcErrors = _ipcErrors;
+    }
+    s.rejectedOpen = _breakers.rejected();
+    s.breakerOpens = _breakers.opens();
+    s.breakers = _breakers.snapshot();
+    return s;
+}
+
+} // namespace ash::pool

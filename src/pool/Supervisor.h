@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The supervised worker-process pool: crash containment for services
+ * that execute untrusted-by-construction work (dlopened jit kernels,
+ * unbounded simulations) on behalf of many tenants.
+ *
+ * PROCESS TREE — start() forks N long-lived workers, each holding
+ * one end of a private socketpair and its own copy-on-write address
+ * space (so each worker owns a private jit KernelCache handle, a
+ * private design cache, and cannot scribble on its siblings).
+ * submit() leases a worker slot, frames the request in, and blocks
+ * for the reply frame (result bytes + the prof-style cost bill).
+ *
+ * CRASH CONTAINMENT — a worker that dies (EOF on its socketpair,
+ * confirmed by a waitpid reap) converts the in-flight request into a
+ * structured `worker_crash` failure; the slot respawns on its next
+ * lease with deterministic bounded exponential backoff (the exec
+ * retry math) that resets after the first healthy reply. A worker
+ * that blows its request deadline (+ grace) is SIGKILLed by the
+ * supervisor — the parent-side backstop behind the worker's own
+ * in-process watchdog — and reported as `worker_timeout`.
+ *
+ * QUARANTINE — every submit() passes through a per-key circuit
+ * breaker (Breaker.h; the serve layer keys it by design
+ * fingerprint). Containment-class failures (crash/timeout/IPC) feed
+ * the breaker; an OPEN key fails fast with `circuit_open`, spending
+ * no worker, no fork, no time.
+ *
+ * Fault sites: `pool.worker.spawn` (spawn-path failures, retried
+ * under the same backoff), `pool.worker.kill` (in the child, per
+ * request), `pool.ipc.corrupt` (reply framing).
+ *
+ * FORK SAFETY — the initial fork happens in start(), before the
+ * caller spawns its service threads. Respawns later fork from a
+ * threaded process; that is the same trade the serve daemon's
+ * --isolate mode already makes, and the child runs only
+ * async-signal-tolerant glibc paths (pthread_atfork resets malloc)
+ * before settling into its own single-threaded loop.
+ */
+
+#ifndef ASH_POOL_SUPERVISOR_H
+#define ASH_POOL_SUPERVISOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "pool/Breaker.h"
+#include "pool/Ipc.h"
+#include "pool/Worker.h"
+
+namespace ash::pool {
+
+/** Pool sizing, supervision, and quarantine knobs. */
+struct PoolOptions
+{
+    unsigned workers = 2;
+
+    BreakerOptions breaker;
+
+    /** Respawn backoff (exec::retryBackoffMs shape). */
+    uint64_t respawnBaseMs = 25;
+    uint64_t respawnCapMs = 2000;
+
+    /** Parent-side kill grace past the request deadline, ms. */
+    uint64_t killGraceMs = 1000;
+
+    /** Reply wait for requests WITHOUT a deadline, ms. */
+    uint64_t replyTimeoutMs = 10 * 60 * 1000;
+
+    /** Runs in the child right after fork (close inherited listen
+     *  fds and the like) before the worker loop starts. */
+    std::function<void()> childInit;
+};
+
+/** Counters for /stats. */
+struct PoolStats
+{
+    unsigned workers = 0;
+    uint64_t spawns = 0;        ///< Successful forks, ever.
+    uint64_t restarts = 0;      ///< Spawns replacing a dead worker.
+    uint64_t spawnRetries = 0;  ///< Spawn attempts that failed.
+    uint64_t crashes = 0;       ///< Requests lost to worker death.
+    uint64_t timeouts = 0;      ///< Parent-side deadline kills.
+    uint64_t ipcErrors = 0;     ///< Corrupt/desynced reply frames.
+    uint64_t rejectedOpen = 0;  ///< Fast-failed by an open breaker.
+    uint64_t breakerOpens = 0;  ///< Breaker open flips.
+    std::vector<BreakerBoard::Snap> breakers;
+};
+
+/** The pool; one per serving process. */
+class Supervisor
+{
+  public:
+    Supervisor(PoolOptions opts, Handler handler);
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** Fork the initial workers. Call before spawning service
+     *  threads. False with a message in @p err if no worker could
+     *  be spawned at all. */
+    bool start(std::string *err);
+
+    /** Kill and reap every worker; idempotent. */
+    void stop();
+
+    /**
+     * Run @p req on a worker (blocking). Every outcome is a reply:
+     * ok, or a structured failure with kind one of the handler's own
+     * kinds, "worker_crash", "worker_timeout", "pool_ipc",
+     * "circuit_open", or "pool_stopped".
+     */
+    WorkReply submit(const WorkRequest &req);
+
+    PoolStats stats() const;
+
+    /** The breaker table (tests, direct probes). */
+    BreakerBoard &breakers() { return _breakers; }
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        bool leased = false;
+        /** Consecutive containment failures; keys respawn backoff. */
+        int strikes = 0;
+        uint64_t seq = 0;
+        uint64_t backoffSeed = 0;
+    };
+
+    /** Block for a free slot; nullptr once stopped. */
+    Slot *lease();
+    void release(Slot &slot);
+
+    /** Ensure slot has a live worker, forking (with backoff) if not.
+     *  False when every spawn attempt failed. */
+    bool ensureAlive(Slot &slot);
+
+    /** SIGKILL + reap + close; safe on an already-dead slot. */
+    void killSlot(Slot &slot);
+
+    /** True when the slot's child has exited (reaps it). */
+    bool reapIfDead(Slot &slot);
+
+    PoolOptions _opts;
+    Handler _handler;
+    BreakerBoard _breakers;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::vector<Slot> _slots;
+    bool _started = false;
+    bool _stopped = false;
+
+    uint64_t _spawns = 0;
+    uint64_t _restarts = 0;
+    uint64_t _spawnRetries = 0;
+    uint64_t _crashes = 0;
+    uint64_t _timeouts = 0;
+    uint64_t _ipcErrors = 0;
+};
+
+} // namespace ash::pool
+
+#endif // ASH_POOL_SUPERVISOR_H

@@ -1,0 +1,93 @@
+#include "pool/Worker.h"
+
+#include <ctime>
+
+#include <unistd.h>
+
+#include "common/Logging.h"
+#include "guard/Fault.h"
+
+namespace ash::pool {
+
+namespace {
+
+/**
+ * The pool's fault scope while a request is being framed. The
+ * handler's SweepRunner re-registers its own job-key provider for
+ * the duration of the job body; the worker loop re-registers this
+ * one at the top of every iteration, so sites that fire OUTSIDE a
+ * job (pool.worker.kill, pool.ipc.corrupt) still carry the
+ * request's tenant/design scope for @match targeting.
+ */
+std::string &
+poolScopeSlot()
+{
+    static thread_local std::string scope;
+    return scope;
+}
+
+std::string
+currentPoolScope()
+{
+    return poolScopeSlot();
+}
+
+double
+threadCpuSec()
+{
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+} // namespace
+
+void
+workerMain(int fd, const Handler &handler)
+{
+    using Clock = std::chrono::steady_clock;
+    for (;;) {
+        guard::setFaultScopeProvider(&currentPoolScope);
+        poolScopeSlot().clear();
+
+        std::string text;
+        // The worker waits for work indefinitely; the supervisor owns
+        // all deadlines.
+        FrameResult rc = readFrame(fd, text, 0);
+        if (rc == FrameResult::Eof)
+            _exit(0);   // Drain or parent death: clean exit.
+        if (rc != FrameResult::Ok)
+            _exit(3);   // Desync: respawn is the only safe repair.
+
+        WorkRequest req;
+        if (!decodeRequest(text, req))
+            _exit(3);
+        poolScopeSlot() = req.scope;
+
+        WorkReply reply;
+        reply.seq = req.seq;
+        Clock::time_point t0 = Clock::now();
+        double cpu0 = threadCpuSec();
+        try {
+            // The chaos hook: a `kill` rule here is the deterministic
+            // stand-in for a kernel segfault mid-request.
+            ASH_FAULT_POINT("pool.worker.kill");
+            reply = handler(req);
+            reply.seq = req.seq;
+        } catch (const std::exception &e) {
+            reply.ok = false;
+            reply.kind = "exception";
+            reply.message = e.what();
+        }
+        reply.wallSec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        reply.cpuSec = threadCpuSec() - cpu0;
+
+        if (!writeFrame(fd, encodeReply(reply)))
+            _exit(0);   // Supervisor went away mid-reply.
+    }
+}
+
+} // namespace ash::pool

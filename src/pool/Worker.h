@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The worker side of the pool: the loop a freshly forked child runs
+ * over its end of the supervisor socketpair. One frame in (a
+ * WorkRequest), run the handler, one frame out (the WorkReply with
+ * the resource bill). The child never outlives the stream: EOF from
+ * the supervisor — drain or parent death — is a clean _exit(0), and
+ * an undecodable frame is a desync the child cannot repair, so it
+ * exits and lets the supervisor respawn a trusted stream.
+ *
+ * Fault scope: while a request is being framed (before the handler's
+ * own SweepRunner installs the job-key scope provider), the pool
+ * provides the request's scope string, so `pool.worker.kill@<match>`
+ * plans can target one tenant or design exactly like `job.body@...`
+ * plans do.
+ */
+
+#ifndef ASH_POOL_WORKER_H
+#define ASH_POOL_WORKER_H
+
+#include <functional>
+
+#include "pool/Ipc.h"
+
+namespace ash::pool {
+
+/** Runs one request inside the worker process. Must not throw —
+ *  failures travel as ok=false replies. */
+using Handler = std::function<WorkReply(const WorkRequest &)>;
+
+/**
+ * Serve requests on @p fd until EOF; never returns (the child
+ * _exit()s). The `pool.worker.kill` fault site fires once per
+ * request, under the request's scope, before the handler runs.
+ */
+[[noreturn]] void workerMain(int fd, const Handler &handler);
+
+} // namespace ash::pool
+
+#endif // ASH_POOL_WORKER_H

@@ -6,18 +6,31 @@
  * and exits 0 on ok:true, 2 on an ok:false envelope, 1 on any
  * transport failure.
  *
- *   ash_cli --socket /tmp/ash.sock [--op sim|stats|ping|shutdown]
+ * TRANSPORT failures (connect refused, send failed, short read —
+ * typically the daemon restarting or a connection racing a drain)
+ * are retried with bounded exponential backoff and deterministic
+ * jitter (exec::retryBackoffMs seeded from the client name, so two
+ * clients never thunder in lockstep). An ok:false ENVELOPE is a
+ * definitive answer from the daemon, never retried here.
+ *
+ *   ash_cli --socket PATH [--op sim|stats|ping|shutdown]
  *           [--client NAME] [--design NAME]
  *           [--engine dash|sash|refsim|jit] [--tiles N] [--cycles N]
- *           [--nocache] [--id N] [--result-only]
+ *           [--nocache] [--id N] [--deadline-ms N] [--result-only]
+ *           [--retries N] [--retry-budget-ms N]
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include <chrono>
+#include <thread>
+
 #include <unistd.h>
 
+#include "exec/Job.h"
+#include "exec/SweepRunner.h"
 #include "serve/Net.h"
 #include "serve/Protocol.h"
 
@@ -33,9 +46,39 @@ usage(const char *argv0)
         "usage: %s --socket PATH [--op sim|stats|ping|shutdown]\n"
         "          [--client NAME] [--design NAME]\n"
         "          [--engine dash|sash|refsim|jit] [--tiles N]\n"
-        "          [--cycles N] [--nocache] [--id N] [--result-only]\n",
+        "          [--cycles N] [--nocache] [--id N]\n"
+        "          [--deadline-ms N] [--result-only]\n"
+        "          [--retries N] [--retry-budget-ms N]\n",
         argv0);
     return 2;
+}
+
+/** One connect/send/read round trip. Returns 1 on an envelope in
+ *  @p envelope, 0 on a transport failure worth retrying. */
+int
+roundTrip(const std::string &socketPath, const serve::SimRequest &req,
+          std::string &envelope, std::string &transportErr)
+{
+    std::string err;
+    int fd = serve::net::connectUnix(socketPath, &err);
+    if (fd < 0) {
+        transportErr = err;
+        return 0;
+    }
+    if (!serve::net::writeAll(fd, serve::serializeRequest(req) +
+                                      "\n")) {
+        transportErr = "send failed";
+        ::close(fd);
+        return 0;
+    }
+    serve::net::LineReader reader(fd);
+    int rc = reader.readLine(envelope, nullptr, 10 * 60 * 1000);
+    ::close(fd);
+    if (rc != 1) {
+        transportErr = "no response (rc=" + std::to_string(rc) + ")";
+        return 0;
+    }
+    return 1;
 }
 
 } // namespace
@@ -46,6 +89,8 @@ main(int argc, char **argv)
     std::string socketPath;
     serve::SimRequest req;
     bool resultOnly = false;
+    int retries = 0;
+    uint64_t retryBudgetMs = 10000;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -71,35 +116,47 @@ main(int argc, char **argv)
             req.nocache = true;
         else if (std::strcmp(arg, "--id") == 0 && (v = value()))
             req.id = static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--deadline-ms") == 0 &&
+                 (v = value()))
+            req.deadlineMs = static_cast<uint64_t>(std::atoll(v));
         else if (std::strcmp(arg, "--result-only") == 0)
             resultOnly = true;
+        else if (std::strcmp(arg, "--retries") == 0 && (v = value()))
+            retries = std::atoi(v);
+        else if (std::strcmp(arg, "--retry-budget-ms") == 0 &&
+                 (v = value()))
+            retryBudgetMs = static_cast<uint64_t>(std::atoll(v));
         else
             return usage(argv[0]);
     }
     if (socketPath.empty())
         return usage(argv[0]);
 
-    std::string err;
-    int fd = serve::net::connectUnix(socketPath, &err);
-    if (fd < 0) {
-        std::fprintf(stderr, "ash_cli: %s\n", err.c_str());
-        return 1;
-    }
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point budgetEnd =
+        Clock::now() + std::chrono::milliseconds(retryBudgetMs);
+    uint64_t seed = exec::stableSeed("ash-cli/" + req.client);
 
-    if (!serve::net::writeAll(fd, serve::serializeRequest(req) +
-                                      "\n")) {
-        std::fprintf(stderr, "ash_cli: send failed\n");
-        ::close(fd);
-        return 1;
-    }
-
-    serve::net::LineReader reader(fd);
     std::string envelope;
-    int rc = reader.readLine(envelope, nullptr, 10 * 60 * 1000);
-    ::close(fd);
-    if (rc != 1) {
-        std::fprintf(stderr, "ash_cli: no response (rc=%d)\n", rc);
-        return 1;
+    std::string transportErr;
+    for (int attempt = 0;; ++attempt) {
+        if (roundTrip(socketPath, req, envelope, transportErr))
+            break;
+        bool budgetLeft = Clock::now() < budgetEnd;
+        if (attempt >= retries || !budgetLeft) {
+            std::fprintf(stderr, "ash_cli: %s%s\n",
+                         transportErr.c_str(),
+                         attempt > 0 ? " (retries exhausted)" : "");
+            return 1;
+        }
+        uint64_t delayMs =
+            exec::retryBackoffMs(seed, attempt, 25, 2000);
+        std::fprintf(stderr,
+                     "ash_cli: %s; retry %d/%d in %llu ms\n",
+                     transportErr.c_str(), attempt + 1, retries,
+                     static_cast<unsigned long long>(delayMs));
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
     }
 
     if (resultOnly) {

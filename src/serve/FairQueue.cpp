@@ -12,6 +12,8 @@ admitName(Admit a)
         return "queue_full";
       case Admit::RateLimited:
         return "rate_limited";
+      case Admit::Overloaded:
+        return "overloaded";
       case Admit::Closed:
         return "shutting_down";
     }
@@ -52,6 +54,15 @@ FairQueue::push(const std::string &client, std::function<void()> work)
     if (inserted)
         _order.push_back(client);
     ClientState &cs = it->second;
+    // Global saturation is checked before the per-client cap: when
+    // the daemon as a whole is drowning, even a well-behaved client
+    // gets the structured overloaded answer instead of a queue slot
+    // it would only wait in.
+    if (_limits.maxQueuedGlobal > 0 &&
+        _depth >= _limits.maxQueuedGlobal) {
+        ++cs.rejectedOverload;
+        return Admit::Overloaded;
+    }
     if (cs.queue.size() >= _limits.maxQueuedPerClient) {
         ++cs.rejectedFull;
         return Admit::QueueFull;
@@ -140,6 +151,7 @@ FairQueue::snapshot() const
         s.admitted = cs.admitted;
         s.rejectedFull = cs.rejectedFull;
         s.rejectedRate = cs.rejectedRate;
+        s.rejectedOverload = cs.rejectedOverload;
         out.push_back(std::move(s));
     }
     return out;

@@ -42,10 +42,17 @@ struct QueueLimits
     double ratePerSec = 0.0;
     /** Token-bucket burst capacity (only meaningful with a rate). */
     double burst = 32.0;
+    /** GLOBAL queued-work cap across every client; 0 disables it.
+     *  This is the overload-shedding line: past it the daemon is
+     *  saturated regardless of which client is asking, and admitting
+     *  more work only grows queue-wait for everyone. Per-client caps
+     *  protect clients from each other; this cap protects the daemon
+     *  itself. */
+    size_t maxQueuedGlobal = 0;
 };
 
 /** Outcome of an admission attempt. */
-enum class Admit { Ok, QueueFull, RateLimited, Closed };
+enum class Admit { Ok, QueueFull, RateLimited, Overloaded, Closed };
 
 /** Stable machine-readable tag for @p a ("queue_full", ...). */
 const char *admitName(Admit a);
@@ -62,6 +69,7 @@ class FairQueue
         uint64_t admitted = 0;
         uint64_t rejectedFull = 0;
         uint64_t rejectedRate = 0;
+        uint64_t rejectedOverload = 0;
     };
 
     explicit FairQueue(QueueLimits limits) : _limits(limits) {}
@@ -99,6 +107,7 @@ class FairQueue
         uint64_t admitted = 0;
         uint64_t rejectedFull = 0;
         uint64_t rejectedRate = 0;
+        uint64_t rejectedOverload = 0;
         double tokens = 0.0;
         Clock::time_point lastRefill{};
         bool everRefilled = false;

@@ -106,6 +106,8 @@ parseRequest(const std::string &line, SimRequest &out, std::string *err)
             req.nocache = v.boolean();
         else if (k == "id" && v.isNumber())
             req.id = v.asU64();
+        else if (k == "deadline_ms" && v.isNumber())
+            req.deadlineMs = v.asU64();
         else
             return fail("unknown or mistyped member '" + k + "'");
     }
@@ -125,6 +127,8 @@ parseRequest(const std::string &line, SimRequest &out, std::string *err)
             return fail("tiles must be in [1, 1024]");
         if (req.cycles < 1 || req.cycles > 1000000000ull)
             return fail("cycles must be in [1, 1e9]");
+        if (req.deadlineMs > 86400000ull)
+            return fail("deadline_ms must be in [0, 86400000]");
     }
 
     out = req;
@@ -144,6 +148,7 @@ serializeRequest(const SimRequest &req)
     w.kv("cycles", req.cycles);
     w.kv("nocache", req.nocache);
     w.kv("id", req.id);
+    w.kv("deadline_ms", req.deadlineMs);
     w.endObject();
     return w.str();
 }

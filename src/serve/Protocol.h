@@ -51,6 +51,11 @@ struct SimRequest
     uint64_t cycles = 60;
     bool nocache = false;          ///< Skip result memoization.
     uint64_t id = 0;               ///< Client correlation id, echoed.
+    /** Client deadline budget, milliseconds; 0 = server default.
+     *  Propagated through admission, the worker watchdog, and the
+     *  jit compile bound. NOT part of the cache key: a deadline
+     *  changes whether a result arrives, never what it is. */
+    uint64_t deadlineMs = 0;
 };
 
 /**

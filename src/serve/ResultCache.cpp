@@ -1,7 +1,9 @@
 #include "serve/ResultCache.h"
 
 #include <cstdio>
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include "ckpt/Snapshot.h"
 #include "common/Json.h"
@@ -174,12 +176,26 @@ ResultCache::persist()
         }
         bool ok =
             std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+        // fsync BEFORE the rename: the rename must never become
+        // visible ahead of the bytes it names, or a crash between
+        // the two leaves a torn manifest under the final name — the
+        // atomic-rename pattern is only atomic if the data is
+        // durable first.
+        ok = (std::fflush(f) == 0) && ok;
+        ok = (::fsync(::fileno(f)) == 0) && ok;
         ok = (std::fclose(f) == 0) && ok;
         if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
             warn("serve: failed to publish result manifest %s",
                  path.c_str());
             std::remove(tmp.c_str());
             return 0;
+        }
+        // And fsync the parent directory AFTER the rename, so the
+        // new directory entry itself survives a power cut.
+        int dirFd = ::open(_dir.c_str(), O_RDONLY | O_DIRECTORY);
+        if (dirFd >= 0) {
+            ::fsync(dirFd);
+            ::close(dirFd);
         }
     } catch (const Error &e) {
         warn("serve: result persist failed: %s", e.what());

@@ -11,8 +11,17 @@
  *              [--cache-mb MB] [--result-entries N]
  *              [--state-dir DIR] [--deadline SEC] [--isolate]
  *              [--rate R] [--burst N] [--inflight N]
- *              [--queue-cap N] [--fault-plan SPEC]
+ *              [--queue-cap N] [--queue-global N]
+ *              [--queue-wait-budget-ms N] [--no-pool]
+ *              [--breaker-k N] [--breaker-window-ms N]
+ *              [--breaker-cooldown-ms N] [--fault-plan SPEC]
  *              [--prof-json PATH]
+ *
+ * The daemon runs sim jobs in a supervised worker-process pool by
+ * default (src/pool): a crashing kernel kills its worker, not the
+ * daemon, and comes back as a structured worker_crash failure while
+ * the supervisor respawns the slot. --no-pool reverts to in-process
+ * worker threads (the pre-pool behavior; used by embedded tests).
  */
 
 #include <cstdio>
@@ -39,7 +48,10 @@ usage(const char *argv0)
         "          [--cache-mb MB] [--result-entries N]\n"
         "          [--state-dir DIR] [--deadline SEC] [--isolate]\n"
         "          [--rate REQ_PER_SEC] [--burst N] [--inflight N]\n"
-        "          [--queue-cap N] [--fault-plan SPEC]\n"
+        "          [--queue-cap N] [--queue-global N]\n"
+        "          [--queue-wait-budget-ms N] [--no-pool]\n"
+        "          [--breaker-k N] [--breaker-window-ms N]\n"
+        "          [--breaker-cooldown-ms N] [--fault-plan SPEC]\n"
         "          [--prof-json PATH]\n",
         argv0);
     return 2;
@@ -51,6 +63,8 @@ int
 main(int argc, char **argv)
 {
     serve::ServerOptions opts;
+    opts.pool = true;   // Crash containment on by default; --no-pool
+                        // reverts to in-process worker threads.
     std::string faultPlan;
     std::string profJson;
 
@@ -90,6 +104,26 @@ main(int argc, char **argv)
         else if (std::strcmp(arg, "--queue-cap") == 0 && (v = value()))
             opts.limits.maxQueuedPerClient =
                 static_cast<size_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--queue-global") == 0 &&
+                 (v = value()))
+            opts.limits.maxQueuedGlobal =
+                static_cast<size_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--queue-wait-budget-ms") == 0 &&
+                 (v = value()))
+            opts.queueWaitBudgetMs =
+                static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--no-pool") == 0)
+            opts.pool = false;
+        else if (std::strcmp(arg, "--breaker-k") == 0 && (v = value()))
+            opts.breaker.threshold = std::atoi(v);
+        else if (std::strcmp(arg, "--breaker-window-ms") == 0 &&
+                 (v = value()))
+            opts.breaker.windowMs =
+                static_cast<uint64_t>(std::atoll(v));
+        else if (std::strcmp(arg, "--breaker-cooldown-ms") == 0 &&
+                 (v = value()))
+            opts.breaker.cooldownMs =
+                static_cast<uint64_t>(std::atoll(v));
         else if (std::strcmp(arg, "--fault-plan") == 0 &&
                  (v = value()))
             faultPlan = v;

@@ -114,6 +114,40 @@ Server::start(std::string *err)
     _started = true;
 
     unsigned workers = _opts.workers ? _opts.workers : 1;
+
+    if (_opts.pool) {
+        // The pool forks HERE, before any service thread exists: the
+        // children inherit a quiet, single-threaded image. One slot
+        // per worker thread, so a thread that submits never waits on
+        // a lease. Listen fds do exist already; childInit closes
+        // them so a worker can never accept a connection.
+        pool::PoolOptions po;
+        po.workers = workers;
+        po.breaker = _opts.breaker;
+        int unixFd = _unixFd, httpFd = _httpFd;
+        po.childInit = [unixFd, httpFd] {
+            if (unixFd >= 0)
+                ::close(unixFd);
+            if (httpFd >= 0)
+                ::close(httpFd);
+        };
+        _pool = std::make_unique<pool::Supervisor>(
+            po, [this](const pool::WorkRequest &wr) {
+                return poolWork(wr);
+            });
+        if (!_pool->start(err)) {
+            _pool.reset();
+            ::close(_unixFd);
+            _unixFd = -1;
+            if (_httpFd >= 0) {
+                ::close(_httpFd);
+                _httpFd = -1;
+            }
+            _started = false;
+            return false;
+        }
+    }
+
     for (unsigned i = 0; i < workers; ++i)
         _workers.emplace_back([this] { workerLoop(); });
     _acceptThreads.emplace_back(
@@ -155,6 +189,8 @@ Server::stop()
         t.join();
     _workers.clear();
     reapConnections(true);
+    if (_pool)
+        _pool->stop();
 
     if (_unixFd >= 0)
         ::close(_unixFd);
@@ -379,6 +415,9 @@ Server::handleLine(const std::string &line)
                                  ? "per-client queue is full"
                              : verdict == Admit::RateLimited
                                  ? "per-client rate limit exceeded"
+                             : verdict == Admit::Overloaded
+                                 ? "daemon is saturated; retry with "
+                                   "backoff"
                                  : "daemon is draining");
     }
     // Blocks until a worker fulfills the promise; during a drain the
@@ -410,12 +449,78 @@ Server::execute(Pending &p)
     std::string envelope;
     const char *cls = nullptr;
     bool failed = false;
+    // Pool mode bills the worker's own measurements; -1 means "use
+    // this thread's clocks" (inline mode).
+    double billWallSec = -1.0;
+    double billCpuSec = 0.0;
     try {
         std::string payload;
         // Re-check the memo store: an identical request may have
         // completed while this one sat in the queue.
         if (!p.req.nocache && _results.get(p.key, payload)) {
             cls = "memo";
+        } else if (_pool) {
+            // Overload shedding: work that waited past the budget is
+            // answered with a structured refusal instead of being run
+            // late — under saturation, running it would only push the
+            // NEXT request past its budget too.
+            if (_opts.queueWaitBudgetMs > 0 &&
+                timing.queueMs >
+                    static_cast<double>(_opts.queueWaitBudgetMs)) {
+                _shedQueueWait.fetch_add(1,
+                                         std::memory_order_relaxed);
+                throw ServeJobError(
+                    "overloaded",
+                    "request waited " +
+                        std::to_string(
+                            static_cast<uint64_t>(timing.queueMs)) +
+                        "ms in queue, over the " +
+                        std::to_string(_opts.queueWaitBudgetMs) +
+                        "ms budget");
+            }
+            // Deadline propagation: the client budget (or the server
+            // default) is measured from ARRIVAL, so queue wait eats
+            // into it; what remains bounds the worker watchdog, the
+            // jit compile, and the supervisor's kill timer.
+            uint64_t totalMs =
+                p.req.deadlineMs
+                    ? p.req.deadlineMs
+                    : static_cast<uint64_t>(_opts.deadlineSec *
+                                            1000.0);
+            uint64_t remainMs = 0;
+            if (totalMs > 0) {
+                double spentMs =
+                    msSince(p.arrival, Clock::now());
+                if (spentMs >= static_cast<double>(totalMs)) {
+                    _shedDeadline.fetch_add(
+                        1, std::memory_order_relaxed);
+                    throw ServeJobError(
+                        "deadline_exceeded",
+                        "deadline spent before the request "
+                        "reached a worker");
+                }
+                remainMs =
+                    totalMs - static_cast<uint64_t>(spentMs);
+            }
+
+            pool::WorkRequest wr;
+            wr.scope = "serve/" + p.req.client + "/" +
+                       p.req.design + "/" + p.req.engine;
+            // Quarantine at design granularity: the fingerprint half
+            // of the cache key.
+            wr.breakerKey = p.key.substr(0, p.key.find('-'));
+            wr.deadlineMs = remainMs;
+            wr.body = serializeRequest(p.req);
+            pool::WorkReply r = _pool->submit(wr);
+            billWallSec = r.wallSec;
+            billCpuSec = r.cpuSec;
+            if (!r.ok)
+                throw ServeJobError(
+                    r.kind.empty() ? "pool" : r.kind, r.message);
+            payload = r.payload;
+            cls = r.cls == "cold" ? "cold" : "warm";
+            if (!p.req.nocache)
+                _results.put(p.key, payload);
         } else {
             bool compiledNow = false;
             std::shared_ptr<const core::TaskProgram> prog;
@@ -443,23 +548,31 @@ Server::execute(Pending &p)
     // Billing charges SERVICE time (work the client caused), while
     // the latency record keeps the client-visible arrival-to-answer
     // time — queue wait is the daemon's scheduling choice, not the
-    // client's bill.
-    double wallSec = msSince(begin, Clock::now()) / 1000.0;
+    // client's bill. Pool mode uses the worker's own bill so the
+    // supervisor round trip isn't charged to the tenant.
+    double wallSec = billWallSec >= 0.0
+                         ? billWallSec
+                         : msSince(begin, Clock::now()) / 1000.0;
+    double cpuSec = billWallSec >= 0.0 ? billCpuSec
+                                       : threadCpuSec() - cpu0;
     account(p.req.client, failed ? nullptr : cls,
             msSince(p.arrival, Clock::now()), failed, wallSec,
-            threadCpuSec() - cpu0);
+            cpuSec);
     p.promise.set_value(std::move(envelope));
 }
 
 std::string
 Server::runJob(const SimRequest &req, const DesignEntry &entry,
-               const core::TaskProgram *prog, const std::string &key)
+               const core::TaskProgram *prog, const std::string &key,
+               uint64_t deadlineMs)
 {
     ASH_PROF_ZONE("serve.run");
     exec::SweepOptions so;
     so.jobs = 1;
     so.maxAttempts = 1;
-    so.jobDeadlineSec = _opts.deadlineSec;
+    so.jobDeadlineSec = deadlineMs > 0
+                            ? static_cast<double>(deadlineMs) / 1000.0
+                            : _opts.deadlineSec;
     so.isolate = _opts.isolate;
     // The daemon's drain contract is stronger than the benches':
     // admitted requests must be ANSWERED, so the per-request sweep
@@ -474,7 +587,8 @@ Server::runJob(const SimRequest &req, const DesignEntry &entry,
         "#" + std::to_string(_seq.fetch_add(1));
 
     exec::SweepRunner sweep(so);
-    sweep.add(jobKey, [&req, &entry, prog](exec::JobContext &ctx) {
+    sweep.add(jobKey, [&req, &entry, prog,
+                       deadlineMs](exec::JobContext &ctx) {
         refsim::StimulusPtr stim = entry.design.makeStimulus();
         if (req.engine == "refsim") {
             refsim::ReferenceSimulator sim(entry.netlist);
@@ -485,8 +599,13 @@ Server::runJob(const SimRequest &req, const DesignEntry &entry,
         } else if (req.engine == "jit") {
             // Same observables as refsim (that's the jit parity
             // contract), so the payload stays a pure function of the
-            // request even if a kernel-cache miss compiled mid-run.
-            jit::JitSimulator sim(entry.netlist);
+            // request even if a kernel-cache miss compiled mid-run —
+            // or never compiled at all because the deadline-bounded
+            // compile below timed out and the run fell back to the
+            // interpreter.
+            jit::JitOptions jo;
+            jo.compileBudgetMs = deadlineMs;
+            jit::JitSimulator sim(entry.netlist, jo);
             sim.run(*stim, req.cycles);
             ctx.publish("design_cycles",
                         static_cast<double>(req.cycles));
@@ -516,6 +635,54 @@ Server::runJob(const SimRequest &req, const DesignEntry &entry,
                                       f.error);
     }
     return buildResultPayload(req, key, sweep.job(0));
+}
+
+pool::WorkReply
+Server::poolWork(const pool::WorkRequest &wr)
+{
+    // Runs in the forked worker child. `this` is the child's
+    // copy-on-write image of the Server: _registry and _designs are
+    // private to this worker (its own hot program cache, its own jit
+    // KernelCache behind the simulator), while _results is never
+    // touched — memoization is the SUPERVISOR's job, on the reply,
+    // so a crashing worker can never publish a torn memo entry.
+    pool::WorkReply r;
+    r.seq = wr.seq;
+    r.ok = false;
+
+    SimRequest req;
+    std::string perr;
+    if (!parseRequest(wr.body, req, &perr)) {
+        r.kind = "proto";
+        r.message = "worker could not parse request: " + perr;
+        return r;
+    }
+    const DesignEntry *entry = _registry.get(req.design);
+    if (!entry) {
+        r.kind = "unknown_design";
+        r.message = "no design named '" + req.design + "'";
+        return r;
+    }
+    try {
+        bool compiledNow = false;
+        std::shared_ptr<const core::TaskProgram> prog;
+        if (req.engine != "refsim" && req.engine != "jit")
+            prog = _designs.get(*entry, req.tiles, programHash(req),
+                                compiledNow);
+        std::string key =
+            cacheKey(entry->fingerprint, configHash(req));
+        r.payload =
+            runJob(req, *entry, prog.get(), key, wr.deadlineMs);
+        r.cls = compiledNow ? "cold" : "warm";
+        r.ok = true;
+    } catch (const Error &e) {
+        r.kind = e.kind();
+        r.message = e.what();
+    } catch (const std::exception &e) {
+        r.kind = "exception";
+        r.message = e.what();
+    }
+    return r;
 }
 
 std::string
@@ -649,10 +816,47 @@ Server::statsPayload()
         w.kv("admitted", s.admitted);
         w.kv("rejected_full", s.rejectedFull);
         w.kv("rejected_rate", s.rejectedRate);
+        w.kv("rejected_overload", s.rejectedOverload);
         w.endObject();
     }
     w.endArray();
     w.endObject();
+
+    w.key("shed").beginObject();
+    w.kv("queue_wait",
+         _shedQueueWait.load(std::memory_order_relaxed));
+    w.kv("deadline", _shedDeadline.load(std::memory_order_relaxed));
+    uint64_t overloaded = 0;
+    for (const FairQueue::ClientSnap &s : queue)
+        overloaded += s.rejectedOverload;
+    w.kv("overloaded", overloaded);
+    w.endObject();
+
+    if (_pool) {
+        pool::PoolStats ps = _pool->stats();
+        w.key("pool").beginObject();
+        w.kv("workers", ps.workers);
+        w.kv("spawns", ps.spawns);
+        w.kv("restarts", ps.restarts);
+        w.kv("spawn_retries", ps.spawnRetries);
+        w.kv("crashes", ps.crashes);
+        w.kv("timeouts", ps.timeouts);
+        w.kv("ipc_errors", ps.ipcErrors);
+        w.kv("rejected_open", ps.rejectedOpen);
+        w.kv("breaker_opens", ps.breakerOpens);
+        w.key("breakers").beginArray();
+        for (const pool::BreakerBoard::Snap &b : ps.breakers) {
+            w.beginObject();
+            w.kv("key", b.key);
+            w.kv("state", pool::breakerStateName(b.state));
+            w.kv("failures", b.failures);
+            w.kv("rejected", b.rejected);
+            w.kv("opens", b.opens);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
 
     // Clients sorted slowest-first by billed wall time: the /stats
     // consumer's "who is eating the daemon" view.

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "pool/Supervisor.h"
 #include "serve/DesignCache.h"
 #include "serve/FairQueue.h"
 #include "serve/Protocol.h"
@@ -71,6 +72,21 @@ struct ServerOptions
     /** Fork-isolate each request's job body. */
     bool isolate = false;
     QueueLimits limits;
+
+    /**
+     * Run sim jobs in the supervised worker-process pool (src/pool)
+     * instead of in the daemon's own worker threads. One pool slot
+     * per worker thread; a crashing kernel takes out its worker
+     * process, not the daemon, and the request comes back as a
+     * structured worker_crash failure.
+     */
+    bool pool = false;
+    /** Circuit-breaker policy (pool mode), keyed by design
+     *  fingerprint. */
+    pool::BreakerOptions breaker;
+    /** Shed (structured "overloaded") any admitted request whose
+     *  queue wait exceeded this budget, ms; 0 disables. */
+    uint64_t queueWaitBudgetMs = 0;
 };
 
 /** The daemon; one instance per process (tests embed several,
@@ -161,10 +177,17 @@ class Server
     /** Worker side: execute p's simulation and fulfill its promise. */
     void execute(Pending &p);
 
-    /** Run the request as a single-job sweep; returns the payload. */
+    /** Run the request as a single-job sweep; returns the payload.
+     *  @p deadlineMs overrides the server-wide deadline when > 0
+     *  (pool mode propagates the request's remaining budget). */
     std::string runJob(const SimRequest &req, const DesignEntry &entry,
                        const core::TaskProgram *prog,
-                       const std::string &key);
+                       const std::string &key,
+                       uint64_t deadlineMs = 0);
+
+    /** Pool-worker side (runs in the forked child): one request in,
+     *  one reply out. */
+    pool::WorkReply poolWork(const pool::WorkRequest &wr);
 
     /** Deterministic result payload from a completed job context. */
     static std::string buildResultPayload(const SimRequest &req,
@@ -184,6 +207,7 @@ class Server
     DesignCache _designs;
     ResultCache _results;
     FairQueue _queue;
+    std::unique_ptr<pool::Supervisor> _pool;
 
     int _unixFd = -1;
     int _httpFd = -1;
@@ -209,6 +233,12 @@ class Server
     LatencyRec _latMemo, _latWarm, _latCold;
     std::atomic<uint64_t> _answered{0};
     std::atomic<uint64_t> _seq{0};   ///< Job-key sequence.
+
+    /// @name Overload-shedding counters (see statsPayload "shed").
+    /// @{
+    std::atomic<uint64_t> _shedQueueWait{0};
+    std::atomic<uint64_t> _shedDeadline{0};
+    /// @}
 };
 
 } // namespace ash::serve

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for the supervised worker pool (src/pool): frame integrity
+ * on the socketpair wire, the per-key circuit-breaker state machine
+ * driven with injected time (no sleeps), and the supervisor
+ * end-to-end — a worker that dies mid-request comes back as a
+ * structured worker_crash, the slot respawns, and the next request
+ * succeeds; a worker that blows its deadline is killed and reported
+ * as worker_timeout; a crash-looping key trips the breaker and
+ * recovers through a half-open probe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ckpt/Snapshot.h"
+#include "pool/Breaker.h"
+#include "pool/Ipc.h"
+#include "pool/Supervisor.h"
+
+namespace ash::pool {
+namespace {
+
+// ---------------------------------------------------------------
+// IPC framing
+// ---------------------------------------------------------------
+
+TEST(PoolIpc, FrameRoundTrip)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    std::string payload = "{\"hello\": \"world\"}";
+    EXPECT_TRUE(writeFrame(sv[0], payload));
+
+    std::string got;
+    EXPECT_EQ(readFrame(sv[1], got, 1000), FrameResult::Ok);
+    EXPECT_EQ(got, payload);
+
+    // Peer close reads as Eof, not an error.
+    ::close(sv[0]);
+    EXPECT_EQ(readFrame(sv[1], got, 1000), FrameResult::Eof);
+    ::close(sv[1]);
+}
+
+TEST(PoolIpc, CorruptCrcIsDetected)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+
+    // Hand-build a frame whose CRC does not match its payload.
+    const std::string payload = "{\"seq\": 1}";
+    uint32_t magic = 0x41504631u;   // "APF1"
+    uint32_t length = static_cast<uint32_t>(payload.size());
+    uint32_t crc =
+        ckpt::crc32(payload.data(), payload.size()) ^ 0xdeadbeefu;
+    std::string wire;
+    wire.append(reinterpret_cast<const char *>(&magic), 4);
+    wire.append(reinterpret_cast<const char *>(&length), 4);
+    wire.append(reinterpret_cast<const char *>(&crc), 4);
+    wire += payload;
+    ASSERT_EQ(::send(sv[0], wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+
+    std::string got;
+    EXPECT_EQ(readFrame(sv[1], got, 1000), FrameResult::Corrupt);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(PoolIpc, BadMagicIsCorrupt)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    const char junk[12] = "not-a-frame";
+    ASSERT_EQ(::send(sv[0], junk, sizeof(junk), 0),
+              static_cast<ssize_t>(sizeof(junk)));
+    std::string got;
+    EXPECT_EQ(readFrame(sv[1], got, 1000), FrameResult::Corrupt);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(PoolIpc, RequestReplyCodecRoundTrip)
+{
+    WorkRequest req;
+    req.seq = 42;
+    req.scope = "serve/alice/ntt/sash";
+    req.breakerKey = "deadbeef";
+    req.deadlineMs = 1500;
+    req.body = "{\"op\": \"sim\", \"design\": \"ntt\"}";
+    WorkRequest back;
+    ASSERT_TRUE(decodeRequest(encodeRequest(req), back));
+    EXPECT_EQ(back.seq, req.seq);
+    EXPECT_EQ(back.scope, req.scope);
+    EXPECT_EQ(back.breakerKey, req.breakerKey);
+    EXPECT_EQ(back.deadlineMs, req.deadlineMs);
+    EXPECT_EQ(back.body, req.body);
+
+    WorkReply rep;
+    rep.seq = 42;
+    rep.ok = false;
+    rep.cls = "cold";
+    rep.kind = "deadline_exceeded";
+    rep.message = "job ran out of budget";
+    rep.payload = "{\"cycles\": 8}";
+    rep.wallSec = 0.25;
+    rep.cpuSec = 0.125;
+    WorkReply rback;
+    ASSERT_TRUE(decodeReply(encodeReply(rep), rback));
+    EXPECT_EQ(rback.seq, rep.seq);
+    EXPECT_EQ(rback.ok, rep.ok);
+    EXPECT_EQ(rback.cls, rep.cls);
+    EXPECT_EQ(rback.kind, rep.kind);
+    EXPECT_EQ(rback.message, rep.message);
+    EXPECT_EQ(rback.payload, rep.payload);
+    EXPECT_DOUBLE_EQ(rback.wallSec, rep.wallSec);
+    EXPECT_DOUBLE_EQ(rback.cpuSec, rep.cpuSec);
+}
+
+// ---------------------------------------------------------------
+// Circuit breaker (injected time; fully deterministic)
+// ---------------------------------------------------------------
+
+using Clock = BreakerBoard::Clock;
+
+Clock::time_point
+at(uint64_t ms)
+{
+    return Clock::time_point{} + std::chrono::milliseconds(ms);
+}
+
+TEST(PoolBreaker, OpensAfterThresholdAndRecovers)
+{
+    BreakerOptions opts;
+    opts.threshold = 2;
+    opts.windowMs = 1000;
+    opts.cooldownMs = 500;
+    BreakerBoard board(opts);
+
+    // Healthy key: admit freely.
+    EXPECT_EQ(board.admit("k", at(0)), BreakerVerdict::Allow);
+    EXPECT_EQ(board.state("k"), BreakerState::Closed);
+
+    // Two containment failures inside the window flip it open.
+    board.onFailure("k", at(10));
+    EXPECT_EQ(board.state("k"), BreakerState::Closed);
+    board.onFailure("k", at(20));
+    EXPECT_EQ(board.state("k"), BreakerState::Open);
+    EXPECT_EQ(board.opens(), 1u);
+
+    // Inside the cooldown: fast reject, no probe.
+    EXPECT_EQ(board.admit("k", at(100)), BreakerVerdict::Reject);
+    EXPECT_GE(board.rejected(), 1u);
+
+    // Past the cooldown: exactly one probe; rivals still rejected.
+    EXPECT_EQ(board.admit("k", at(600)), BreakerVerdict::Probe);
+    EXPECT_EQ(board.state("k"), BreakerState::HalfOpen);
+    EXPECT_EQ(board.admit("k", at(601)), BreakerVerdict::Reject);
+
+    // Probe succeeds: closed again with a clean failure window.
+    board.onSuccess("k", at(650));
+    EXPECT_EQ(board.state("k"), BreakerState::Closed);
+    board.onFailure("k", at(700));
+    EXPECT_EQ(board.state("k"), BreakerState::Closed)
+        << "the window must reset on recovery";
+}
+
+TEST(PoolBreaker, FailedProbeReopens)
+{
+    BreakerOptions opts;
+    opts.threshold = 1;
+    opts.windowMs = 1000;
+    opts.cooldownMs = 500;
+    BreakerBoard board(opts);
+
+    board.onFailure("k", at(0));
+    EXPECT_EQ(board.state("k"), BreakerState::Open);
+    EXPECT_EQ(board.admit("k", at(600)), BreakerVerdict::Probe);
+    board.onFailure("k", at(610));
+    EXPECT_EQ(board.state("k"), BreakerState::Open);
+    EXPECT_EQ(board.opens(), 2u);
+    // The cooldown restarted at the probe failure.
+    EXPECT_EQ(board.admit("k", at(700)), BreakerVerdict::Reject);
+    EXPECT_EQ(board.admit("k", at(1200)), BreakerVerdict::Probe);
+}
+
+TEST(PoolBreaker, WindowPrunesOldFailures)
+{
+    BreakerOptions opts;
+    opts.threshold = 2;
+    opts.windowMs = 100;
+    opts.cooldownMs = 500;
+    BreakerBoard board(opts);
+
+    board.onFailure("k", at(0));
+    board.onFailure("k", at(500));   // First failure long expired.
+    EXPECT_EQ(board.state("k"), BreakerState::Closed);
+    board.onFailure("k", at(560));   // Two within 100 ms: open.
+    EXPECT_EQ(board.state("k"), BreakerState::Open);
+}
+
+TEST(PoolBreaker, KeysAreIndependent)
+{
+    BreakerOptions opts;
+    opts.threshold = 1;
+    BreakerBoard board(opts);
+    board.onFailure("poisoned", at(0));
+    EXPECT_EQ(board.state("poisoned"), BreakerState::Open);
+    EXPECT_EQ(board.admit("healthy", at(1)), BreakerVerdict::Allow);
+
+    auto snaps = board.snapshot();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_EQ(snaps[0].key, "healthy");
+    EXPECT_EQ(snaps[1].key, "poisoned");
+    EXPECT_EQ(snaps[1].opens, 1u);
+}
+
+// ---------------------------------------------------------------
+// Supervisor end-to-end (real forks)
+// ---------------------------------------------------------------
+
+/** Echo handler with magic bodies: "die" hard-kills the worker
+ *  mid-request; "sleep" stalls past any reasonable deadline. */
+Handler
+testHandler()
+{
+    return [](const WorkRequest &req) -> WorkReply {
+        if (req.body == "die")
+            ::_exit(9);
+        if (req.body == "sleep")
+            std::this_thread::sleep_for(std::chrono::seconds(30));
+        WorkReply r;
+        r.ok = true;
+        r.cls = "warm";
+        r.payload = "echo:" + req.body;
+        return r;
+    };
+}
+
+PoolOptions
+fastOptions()
+{
+    PoolOptions po;
+    po.workers = 1;
+    po.respawnBaseMs = 1;
+    po.respawnCapMs = 10;
+    po.killGraceMs = 200;
+    po.breaker.threshold = 100;   // Out of the way by default.
+    return po;
+}
+
+TEST(PoolSupervisor, EchoRoundTrip)
+{
+    Supervisor sup(fastOptions(), testHandler());
+    std::string err;
+    ASSERT_TRUE(sup.start(&err)) << err;
+
+    WorkRequest req;
+    req.body = "ping";
+    WorkReply r = sup.submit(req);
+    EXPECT_TRUE(r.ok) << r.kind << ": " << r.message;
+    EXPECT_EQ(r.payload, "echo:ping");
+    EXPECT_GE(r.wallSec, 0.0);
+    sup.stop();
+    EXPECT_EQ(sup.submit(req).kind, "pool_stopped");
+}
+
+TEST(PoolSupervisor, CrashIsContainedAndSlotRespawns)
+{
+    Supervisor sup(fastOptions(), testHandler());
+    std::string err;
+    ASSERT_TRUE(sup.start(&err)) << err;
+
+    WorkRequest doomed;
+    doomed.body = "die";
+    WorkReply r = sup.submit(doomed);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.kind, "worker_crash");
+
+    // The very next request lands on a respawned worker.
+    WorkRequest req;
+    req.body = "after";
+    WorkReply r2 = sup.submit(req);
+    EXPECT_TRUE(r2.ok) << r2.kind << ": " << r2.message;
+    EXPECT_EQ(r2.payload, "echo:after");
+
+    PoolStats stats = sup.stats();
+    EXPECT_EQ(stats.crashes, 1u);
+    EXPECT_GE(stats.restarts, 1u);
+    EXPECT_GE(stats.spawns, 2u);
+    sup.stop();
+}
+
+TEST(PoolSupervisor, DeadlineKillsStuckWorker)
+{
+    Supervisor sup(fastOptions(), testHandler());
+    std::string err;
+    ASSERT_TRUE(sup.start(&err)) << err;
+
+    WorkRequest stuck;
+    stuck.body = "sleep";
+    stuck.deadlineMs = 100;
+    auto t0 = std::chrono::steady_clock::now();
+    WorkReply r = sup.submit(stuck);
+    auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.kind, "worker_timeout");
+    EXPECT_LT(elapsed, 10) << "kill must not wait out the sleep";
+
+    WorkRequest req;
+    req.body = "recovered";
+    EXPECT_TRUE(sup.submit(req).ok);
+    EXPECT_EQ(sup.stats().timeouts, 1u);
+    sup.stop();
+}
+
+TEST(PoolSupervisor, CrashLoopTripsBreakerThenProbeRecovers)
+{
+    PoolOptions po = fastOptions();
+    po.breaker.threshold = 2;
+    po.breaker.windowMs = 60000;
+    po.breaker.cooldownMs = 150;
+    Supervisor sup(po, testHandler());
+    std::string err;
+    ASSERT_TRUE(sup.start(&err)) << err;
+
+    WorkRequest doomed;
+    doomed.body = "die";
+    doomed.breakerKey = "bad-design";
+    EXPECT_EQ(sup.submit(doomed).kind, "worker_crash");
+    EXPECT_EQ(sup.submit(doomed).kind, "worker_crash");
+
+    // Breaker open: fail fast, no respawn burned.
+    PoolStats before = sup.stats();
+    EXPECT_EQ(sup.submit(doomed).kind, "circuit_open");
+    EXPECT_EQ(sup.stats().spawns, before.spawns);
+    EXPECT_GE(sup.stats().rejectedOpen, 1u);
+    EXPECT_GE(sup.stats().breakerOpens, 1u);
+
+    // Other keys are untouched by the quarantine.
+    WorkRequest healthy;
+    healthy.body = "fine";
+    healthy.breakerKey = "good-design";
+    EXPECT_TRUE(sup.submit(healthy).ok);
+
+    // Past the cooldown a healthy probe closes the breaker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    WorkRequest probe;
+    probe.body = "probe";
+    probe.breakerKey = "bad-design";
+    WorkReply pr = sup.submit(probe);
+    EXPECT_TRUE(pr.ok) << pr.kind << ": " << pr.message;
+    EXPECT_EQ(sup.breakers().state("bad-design"),
+              BreakerState::Closed);
+    sup.stop();
+}
+
+TEST(PoolSupervisor, StopIsIdempotentAndReapsWorkers)
+{
+    Supervisor sup(fastOptions(), testHandler());
+    std::string err;
+    ASSERT_TRUE(sup.start(&err)) << err;
+    WorkRequest req;
+    req.body = "x";
+    EXPECT_TRUE(sup.submit(req).ok);
+    sup.stop();
+    sup.stop();   // Second stop must be a no-op.
+}
+
+} // namespace
+} // namespace ash::pool

@@ -47,6 +47,7 @@ TEST(ServeProtocol, SerializeParseRoundTrip)
     req.cycles = 12345;
     req.nocache = true;
     req.id = 99;
+    req.deadlineMs = 2500;
 
     SimRequest back;
     std::string err;
@@ -59,6 +60,13 @@ TEST(ServeProtocol, SerializeParseRoundTrip)
     EXPECT_EQ(back.cycles, req.cycles);
     EXPECT_EQ(back.nocache, req.nocache);
     EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.deadlineMs, req.deadlineMs);
+
+    // A deadline changes whether a result arrives, never what it is:
+    // it must not enter the memo key.
+    SimRequest hurried = req;
+    hurried.deadlineMs = 1;
+    EXPECT_EQ(configHash(req), configHash(hurried));
 }
 
 TEST(ServeProtocol, RejectsMalformedRequests)
@@ -220,6 +228,33 @@ TEST(ServeFairQueue, InFlightCapThrottlesSoleClient)
     t.join();
     EXPECT_TRUE(second.load());
     q.done(c2);
+}
+
+TEST(ServeFairQueue, GlobalCapShedsOverload)
+{
+    QueueLimits limits;
+    limits.maxQueuedPerClient = 64;
+    limits.maxQueuedGlobal = 2;
+    FairQueue q(limits);
+    EXPECT_EQ(q.push("a", [] {}), Admit::Ok);
+    EXPECT_EQ(q.push("b", [] {}), Admit::Ok);
+    // The global line is full: even a fresh client is shed, and the
+    // rejection is distinguishable from a per-client cap.
+    EXPECT_EQ(q.push("c", [] {}), Admit::Overloaded);
+    EXPECT_EQ(std::string(admitName(Admit::Overloaded)),
+              "overloaded");
+
+    // Draining one slot reopens admission.
+    std::function<void()> work;
+    std::string client;
+    ASSERT_TRUE(q.pop(work, client));
+    q.done(client);
+    EXPECT_EQ(q.push("c", [] {}), Admit::Ok);
+
+    uint64_t shed = 0;
+    for (const auto &cs : q.snapshot())
+        shed += cs.rejectedOverload;
+    EXPECT_EQ(shed, 1u);
 }
 
 // ---------------------------------------------------------------
@@ -592,6 +627,223 @@ TEST(ServeSharedState, ConcurrentPersistNeverTearsManifest)
     ResultCache last(4096, dir);
     EXPECT_EQ(last.load(), 40u);
     EXPECT_EQ(last.stats().dropped, 0u);
+}
+
+// ---------------------------------------------------------------
+// Pool mode: crash containment, quarantine, shedding (end to end)
+// ---------------------------------------------------------------
+
+TEST(ServePool, WorkerCrashIsContainedAndMemoSurvives)
+{
+    // Kill the worker on every request from the "victim" tenant; the
+    // daemon must convert each death into a structured worker_crash
+    // while other tenants' results stay byte-identical. Armed BEFORE
+    // start() so the forked workers inherit the plan.
+    guard::FaultPlan plan;
+    std::string perr;
+    ASSERT_TRUE(guard::FaultPlan::parse(
+        "pool.worker.kill@serve/victim/:kill", plan, &perr))
+        << perr;
+    guard::FaultInjector::instance().arm(plan);
+
+    ServerOptions opts;
+    opts.socketPath = sockPath("poolcrash");
+    opts.pool = true;
+    opts.workers = 1;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Establish the fault-free oracle bytes and memoize them.
+    std::string e1 = ask(opts.socketPath, tinySim("healthy"));
+    EXPECT_EQ(extractCacheClass(e1), "cold");
+    std::string oracle;
+    ASSERT_TRUE(extractResult(e1, oracle));
+
+    // The victim's request dies in the worker, not the daemon.
+    SimRequest doomed = tinySim("victim");
+    doomed.nocache = true;   // the memo fast path never hits the pool
+    std::string bad = ask(opts.socketPath, doomed);
+    EXPECT_EQ(bad.rfind("{\"ok\": false", 0), 0u);
+    EXPECT_NE(bad.find("worker_crash"), std::string::npos) << bad;
+
+    // The slot respawned: the healthy tenant executes again (nocache
+    // forces a real run on the fresh worker) with identical bytes.
+    SimRequest rerun = tinySim("healthy");
+    rerun.nocache = true;
+    std::string e2 = ask(opts.socketPath, rerun);
+    EXPECT_EQ(e2.rfind("{\"ok\": true", 0), 0u) << e2;
+    std::string rerunBytes;
+    ASSERT_TRUE(extractResult(e2, rerunBytes));
+    EXPECT_EQ(rerunBytes, oracle);
+
+    // And the memo entry published before the crash is untouched.
+    std::string e3 = ask(opts.socketPath, tinySim("healthy"));
+    EXPECT_EQ(extractCacheClass(e3), "memo");
+    std::string memoBytes;
+    ASSERT_TRUE(extractResult(e3, memoBytes));
+    EXPECT_EQ(memoBytes, oracle);
+
+    // /stats surfaces the supervision counters.
+    SimRequest stats;
+    stats.op = "stats";
+    std::string env = ask(opts.socketPath, stats);
+    EXPECT_NE(env.find("\"pool\""), std::string::npos);
+    EXPECT_NE(env.find("\"crashes\""), std::string::npos);
+    EXPECT_NE(env.find("\"restarts\""), std::string::npos);
+
+    server.stop();
+    guard::FaultInjector::instance().disarm();
+}
+
+TEST(ServePool, CrashLoopTripsBreakerAndProbeRecovers)
+{
+    // The "looper" tenant's design crash-loops its worker. After K
+    // crashes the design's breaker opens: fail-fast circuit_open, no
+    // respawn burned, while a different design keeps its fast path.
+    guard::FaultPlan plan;
+    std::string perr;
+    ASSERT_TRUE(guard::FaultPlan::parse(
+        "pool.worker.kill@serve/looper/:kill", plan, &perr))
+        << perr;
+    guard::FaultInjector::instance().arm(plan);
+
+    ServerOptions opts;
+    opts.socketPath = sockPath("poolloop");
+    opts.pool = true;
+    opts.workers = 1;
+    opts.breaker.threshold = 2;
+    opts.breaker.windowMs = 60000;
+    opts.breaker.cooldownMs = 300;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // The breaker keys on the design fingerprint, so the looper must
+    // poison a design of its own, distinct from healthy traffic.
+    SimRequest doomed = tinySim("looper");
+    doomed.design = "chronos_pe";
+    doomed.nocache = true;
+
+    std::string c1 = ask(opts.socketPath, doomed);
+    EXPECT_NE(c1.find("worker_crash"), std::string::npos) << c1;
+    std::string c2 = ask(opts.socketPath, doomed);
+    EXPECT_NE(c2.find("worker_crash"), std::string::npos) << c2;
+
+    // Threshold reached: quarantined, instantly.
+    std::string c3 = ask(opts.socketPath, doomed);
+    EXPECT_NE(c3.find("circuit_open"), std::string::npos) << c3;
+
+    // Cure the design BEFORE any further traffic: respawned workers
+    // fork from the parent's current injector state, so the next
+    // spawned worker is clean. (Disarming later would let a healthy
+    // request respawn a worker that still carries the armed plan.)
+    guard::FaultInjector::instance().disarm();
+
+    // Other designs are untouched by the quarantine: the looper's
+    // breaker is still open while the bystander runs.
+    std::string good = ask(opts.socketPath, tinySim("bystander"));
+    EXPECT_EQ(good.rfind("{\"ok\": true", 0), 0u) << good;
+
+    // Wait out the cooldown; the half-open probe closes the breaker.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    std::string probe = ask(opts.socketPath, doomed);
+    EXPECT_EQ(probe.rfind("{\"ok\": true", 0), 0u) << probe;
+    std::string again = ask(opts.socketPath, doomed);
+    EXPECT_EQ(again.rfind("{\"ok\": true", 0), 0u) << again;
+
+    server.stop();
+}
+
+TEST(ServePool, QueueWaitBudgetShedsInsteadOfServingLate)
+{
+    ServerOptions opts;
+    opts.socketPath = sockPath("poolshed");
+    opts.pool = true;
+    opts.workers = 1;
+    // A budget of zero milliseconds is already spent by the time any
+    // request reaches the worker thread: everything pool-bound sheds
+    // with a structured "overloaded", and the memo fast path (which
+    // never queues) keeps working.
+    opts.queueWaitBudgetMs = 0;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    SimRequest req = tinySim("shed");
+    std::string env = ask(opts.socketPath, req);
+    // queueWaitBudgetMs = 0 means "no budget" (disabled) — the
+    // request must succeed...
+    EXPECT_EQ(env.rfind("{\"ok\": true", 0), 0u) << env;
+    server.stop();
+
+    // ...whereas a 1 ms budget with a worker pinned by a slow first
+    // request sheds the request stuck behind it.
+    ServerOptions tight = opts;
+    tight.socketPath = sockPath("poolshed2");
+    tight.queueWaitBudgetMs = 1;
+    Server server2(tight);
+    ASSERT_TRUE(server2.start(&err)) << err;
+
+    std::vector<std::string> envs(3);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 3; ++i)
+        threads.emplace_back([&, i] {
+            SimRequest r = tinySim("shed");
+            r.cycles = 4096 + static_cast<uint64_t>(i);
+            r.nocache = true;
+            envs[static_cast<size_t>(i)] =
+                ask(tight.socketPath, r);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    int okCount = 0, shedCount = 0;
+    for (const std::string &e : envs) {
+        if (e.rfind("{\"ok\": true", 0) == 0)
+            ++okCount;
+        else if (e.find("overloaded") != std::string::npos)
+            ++shedCount;
+    }
+    // With one worker and a 1 ms wait budget, at least one of the
+    // three racing requests had to queue past its budget; every
+    // outcome is a structured answer either way.
+    EXPECT_EQ(okCount + shedCount, 3) << envs[0] << envs[1] << envs[2];
+    EXPECT_GE(shedCount, 1);
+    server2.stop();
+}
+
+TEST(ServePool, DeadlineExceededBeforeWorkerIsStructured)
+{
+    ServerOptions opts;
+    opts.socketPath = sockPath("pooldeadline");
+    opts.pool = true;
+    opts.workers = 1;
+    Server server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Pin the worker with a big job, then send a request whose
+    // deadline expires while it queues: the daemon must shed it with
+    // deadline_exceeded before wasting a worker lease on it.
+    std::thread pin([&] {
+        SimRequest big = tinySim("pin");
+        big.cycles = 8192;   // ~seconds of sim: pins the sole worker
+        big.nocache = true;
+        ask(opts.socketPath, big);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    SimRequest hurried = tinySim("hurried");
+    hurried.cycles = 16;
+    hurried.nocache = true;
+    hurried.deadlineMs = 1;
+    std::string env = ask(opts.socketPath, hurried);
+    pin.join();
+    EXPECT_EQ(env.rfind("{\"ok\": false", 0), 0u) << env;
+    EXPECT_NE(env.find("deadline_exceeded"), std::string::npos)
+        << env;
+    server.stop();
 }
 
 } // namespace
